@@ -1,0 +1,46 @@
+"""Shared plumbing for the per-figure benchmark harness.
+
+Each bench regenerates one table/figure of the paper at reduced sample size
+(raise via ``MARVEL_FAULTS`` / ``MARVEL_WORKLOADS``), saves the rendered
+text + rows under ``results/``, and asserts the figure's qualitative shape.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+#: bench-scale knobs (kept modest so the whole harness finishes in minutes)
+FAULTS = int(os.environ.get("MARVEL_FAULTS", 18))
+N_WORKLOADS = int(os.environ.get("MARVEL_WORKLOADS", 4))
+
+
+def bench_workloads(count: int | None = None) -> list[str]:
+    from repro.workloads import WORKLOAD_NAMES
+
+    return WORKLOAD_NAMES[: count or N_WORKLOADS]
+
+
+def save_figure(fig, slug: str) -> None:
+    """Persist one figure's rendering + raw rows under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{slug}.txt").write_text(f"{fig.figure}\n\n{fig.text}\n")
+    with open(RESULTS_DIR / f"{slug}.json", "w") as handle:
+        json.dump(fig.rows, handle, indent=2, default=str)
+
+
+def run_once(benchmark, fn):
+    """Run a figure driver exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def wavf_rows(fig, key: str = "avf") -> dict[str, float]:
+    """Extract the per-ISA weighted-AVF entries from a figure's rows."""
+    return {
+        row["isa"]: row[key]
+        for row in fig.rows
+        if row.get("workload") == "wAVF"
+    }

@@ -1,0 +1,19 @@
+"""Figure 4 — Integer physical register file AVF across workloads x ISAs.
+
+Paper shape: AVF ~5-21%, RISC-V consistently highest (Observation 1).
+"""
+
+from _bench_util import FAULTS, bench_workloads, run_once, save_figure, wavf_rows
+
+
+def test_fig04_regfile_avf(benchmark):
+    from repro.analysis import figures
+
+    fig = run_once(
+        benchmark,
+        lambda: figures.fig4_regfile_avf(faults=FAULTS, workloads=bench_workloads()),
+    )
+    save_figure(fig, "fig04_regfile_avf")
+    wavf = wavf_rows(fig)
+    assert set(wavf) == {"arm", "x86", "rv"}
+    assert all(0.0 <= v <= 0.6 for v in wavf.values())

@@ -1,0 +1,22 @@
+"""Figure 6 — L1 data cache AVF.
+
+Paper shape: the largest variance of all structures (3-45%); SDC-dominant.
+"""
+
+from _bench_util import FAULTS, bench_workloads, run_once, save_figure
+
+
+def test_fig06_l1d_avf(benchmark):
+    from repro.analysis import figures
+
+    fig = run_once(
+        benchmark,
+        lambda: figures.fig6_l1d_avf(faults=FAULTS, workloads=bench_workloads()),
+    )
+    save_figure(fig, "fig06_l1d_avf")
+    per_wl = [r["avf"] for r in fig.rows if r["workload"] != "wAVF"]
+    assert max(per_wl) - min(per_wl) >= 0.0   # variance report
+    # Observation 5: data corruption is SDC-dominant where it strikes at all
+    sdc = sum(r["sdc_avf"] for r in fig.rows if r["workload"] == "wAVF")
+    crash = sum(r["crash_avf"] for r in fig.rows if r["workload"] == "wAVF")
+    assert sdc >= crash

@@ -1,0 +1,16 @@
+"""Figure 7 — Load queue AVF.  Paper shape: low (2-13%)."""
+
+from _bench_util import FAULTS, bench_workloads, run_once, save_figure, wavf_rows
+
+
+def test_fig07_loadqueue_avf(benchmark):
+    from repro.analysis import figures
+
+    fig = run_once(
+        benchmark,
+        lambda: figures.fig7_lq_avf(faults=FAULTS, workloads=bench_workloads()),
+    )
+    save_figure(fig, "fig07_loadqueue_avf")
+    wavf = wavf_rows(fig)
+    # queues sit well below caches in vulnerability
+    assert all(v <= 0.35 for v in wavf.values())

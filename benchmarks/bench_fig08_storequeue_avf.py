@@ -1,0 +1,19 @@
+"""Figure 8 — Store queue AVF.
+
+Paper shape: low (2-12%); Arm lowest (weak ordering drains the queue
+faster — Observation 4).
+"""
+
+from _bench_util import FAULTS, bench_workloads, run_once, save_figure, wavf_rows
+
+
+def test_fig08_storequeue_avf(benchmark):
+    from repro.analysis import figures
+
+    fig = run_once(
+        benchmark,
+        lambda: figures.fig8_sq_avf(faults=FAULTS, workloads=bench_workloads()),
+    )
+    save_figure(fig, "fig08_storequeue_avf")
+    wavf = wavf_rows(fig)
+    assert all(v <= 0.35 for v in wavf.values())

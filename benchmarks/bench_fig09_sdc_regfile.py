@@ -1,0 +1,21 @@
+"""Figure 9 — SDC share of the PRF AVF.
+
+Paper shape: SDC wAVF is 4-5x below total wAVF (crashes dominate register
+corruption — Observation 5).  Reuses the Figure 4 campaigns.
+"""
+
+from _bench_util import FAULTS, bench_workloads, run_once, save_figure, wavf_rows
+
+
+def test_fig09_sdc_regfile(benchmark):
+    from repro.analysis import figures
+
+    fig = run_once(
+        benchmark,
+        lambda: figures.fig9_sdc_regfile(faults=FAULTS, workloads=bench_workloads()),
+    )
+    save_figure(fig, "fig09_sdc_regfile")
+    total = wavf_rows(fig, "avf")
+    sdc = wavf_rows(fig, "sdc_avf")
+    for isa in total:
+        assert sdc[isa] <= total[isa] + 1e-9

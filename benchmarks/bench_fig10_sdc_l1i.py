@@ -1,0 +1,23 @@
+"""Figure 10 — SDC share of the L1I AVF.
+
+Paper shape: SDC wAVF 9-17x below total (corrupted instructions crash).
+"""
+
+from _bench_util import FAULTS, bench_workloads, run_once, save_figure, wavf_rows
+
+
+def test_fig10_sdc_l1i(benchmark):
+    from repro.analysis import figures
+
+    fig = run_once(
+        benchmark,
+        lambda: figures.fig10_sdc_l1i(faults=FAULTS, workloads=bench_workloads()),
+    )
+    save_figure(fig, "fig10_sdc_l1i")
+    total = wavf_rows(fig, "avf")
+    crash = wavf_rows(fig, "crash_avf")
+    sdc = wavf_rows(fig, "sdc_avf")
+    # crashes must be a substantial component of I-cache vulnerability
+    assert sum(crash.values()) > 0
+    for isa in total:
+        assert sdc[isa] <= total[isa] + 1e-9

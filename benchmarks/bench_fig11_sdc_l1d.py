@@ -1,0 +1,20 @@
+"""Figure 11 — SDC share of the L1D AVF.
+
+Paper shape: in contrast to the PRF and L1I, SDCs DOMINATE the data cache's
+AVF (Observation 5).
+"""
+
+from _bench_util import FAULTS, bench_workloads, run_once, save_figure, wavf_rows
+
+
+def test_fig11_sdc_l1d(benchmark):
+    from repro.analysis import figures
+
+    fig = run_once(
+        benchmark,
+        lambda: figures.fig11_sdc_l1d(faults=FAULTS, workloads=bench_workloads()),
+    )
+    save_figure(fig, "fig11_sdc_l1d")
+    sdc = wavf_rows(fig, "sdc_avf")
+    crash = wavf_rows(fig, "crash_avf")
+    assert sum(sdc.values()) >= sum(crash.values())

@@ -1,0 +1,20 @@
+"""Figure 12 — SDC probability under permanent faults, L1I.
+
+Paper shape: small (<= ~3%): stuck instruction bits crash, not corrupt.
+"""
+
+from _bench_util import FAULTS, bench_workloads, run_once, save_figure
+
+
+def test_fig12_permanent_l1i(benchmark):
+    from repro.analysis import figures
+
+    fig = run_once(
+        benchmark,
+        lambda: figures.fig12_permanent_l1i(
+            faults=FAULTS, workloads=["crc32", "qsort", "rijndael"]
+        ),
+    )
+    save_figure(fig, "fig12_permanent_l1i")
+    for row in fig.rows:
+        assert row["sdc_avf"] <= row["crash_avf"] + 0.35

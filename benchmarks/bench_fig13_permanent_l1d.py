@@ -1,0 +1,27 @@
+"""Figure 13 — SDC probability under permanent faults, L1D.
+
+Paper shape: much larger than for the L1I (up to ~70%): a stuck data bit
+keeps corrupting values for the whole run.
+"""
+
+from _bench_util import FAULTS, bench_workloads, run_once, save_figure
+
+
+def test_fig13_permanent_l1d(benchmark):
+    from repro.analysis import figures
+
+    workloads = ["crc32", "qsort", "rijndael"]
+    fig = run_once(
+        benchmark,
+        lambda: figures.fig13_permanent_l1d(
+            faults=FAULTS, workloads=workloads
+        ),
+    )
+    save_figure(fig, "fig13_permanent_l1d")
+    l1d_sdc = sum(r["sdc_avf"] for r in fig.rows) / len(fig.rows)
+
+    l1i = figures.fig12_permanent_l1i(faults=FAULTS, workloads=workloads)
+    l1i_sdc = sum(r["sdc_avf"] for r in l1i.rows) / len(l1i.rows)
+    # the paper's contrast: permanent faults produce far more SDCs in the
+    # data cache than in the instruction cache
+    assert l1d_sdc >= l1i_sdc - 0.05

@@ -1,0 +1,26 @@
+"""Figure 14 — DSA AVF with SDC/Crash breakdown over Table IV components.
+
+Paper shapes: BFS is crash-dominated (RegBanks hold graph indices);
+FFT/GEMM/MERGESORT are pure SDC; GEMM's output SPM sits below its input
+SPM; MERGESORT's TEMP sits below MAIN.
+"""
+
+from _bench_util import FAULTS, run_once, save_figure
+
+
+def test_fig14_dsa_avf(benchmark):
+    from repro.analysis import figures
+
+    fig = run_once(benchmark, lambda: figures.fig14_dsa_avf(faults=FAULTS * 2))
+    save_figure(fig, "fig14_dsa_avf")
+    by = {(r["design"], r["component"]): r for r in fig.rows}
+
+    bfs = [by[("bfs", "EDGES")], by[("bfs", "NODES")]]
+    assert sum(r["crash_avf"] for r in bfs) >= sum(r["sdc_avf"] for r in bfs)
+
+    for comp in ("IMG", "REAL"):
+        assert by[("fft", comp)]["crash_avf"] == 0.0
+        assert by[("fft", comp)]["sdc_avf"] > 0.0
+
+    assert by[("gemm", "MATRIX3")]["avf"] <= by[("gemm", "MATRIX1")]["avf"] + 0.1
+    assert by[("mergesort", "TEMP")]["avf"] <= by[("mergesort", "MAIN")]["avf"]

@@ -1,0 +1,24 @@
+"""Figure 15 — PRF-size sensitivity on RISC-V (96/128/192 registers).
+
+Paper shape: AVF increases as the register file shrinks (occupancy rises).
+"""
+
+from _bench_util import FAULTS, bench_workloads, run_once, save_figure
+
+
+def test_fig15_prf_sensitivity(benchmark):
+    from repro.analysis import figures
+
+    fig = run_once(
+        benchmark,
+        lambda: figures.fig15_prf_sensitivity(
+            faults=FAULTS, workloads=bench_workloads(3)
+        ),
+    )
+    save_figure(fig, "fig15_prf_sensitivity")
+    wavf = {
+        r["prf_size"]: r["avf"] for r in fig.rows if r["workload"] == "wAVF"
+    }
+    assert set(wavf) == {96, 128, 192}
+    # monotone trend with slack for the reduced sample
+    assert wavf[96] >= wavf[192] - 0.05

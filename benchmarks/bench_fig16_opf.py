@@ -1,0 +1,33 @@
+"""Figure 16 — CPU vs DSA: AVF and Operations-per-Failure for 4 algorithms.
+
+Paper shape: the DSA is more vulnerable (higher AVF) yet wins on OPF
+because it executes the task many times faster (Observation 7).
+"""
+
+from _bench_util import FAULTS, run_once, save_figure
+
+
+def test_fig16_opf(benchmark):
+    from repro.analysis import figures
+
+    fig = run_once(benchmark, lambda: figures.fig16_opf(faults=FAULTS))
+    save_figure(fig, "fig16_opf")
+    by = {(r["algorithm"], r["platform"]): r for r in fig.rows}
+    algorithms = {r["algorithm"] for r in fig.rows}
+    assert algorithms == {"gemm", "bfs", "fft", "md_knn"}
+    # the DSA completes every kernel in fewer cycles
+    for algo in algorithms:
+        assert by[(algo, "dsa")]["cycles"] < by[(algo, "cpu")]["cycles"]
+    # Observation 7, both halves: the DSA is typically MORE vulnerable ...
+    more_vulnerable = sum(
+        by[(a, "dsa")]["avf"] >= by[(a, "cpu")]["avf"] for a in algorithms
+    )
+    assert more_vulnerable >= 2
+    # ... yet wins the performance/reliability trade-off where its speedup
+    # exceeds the AVF ratio (2 of 4 algorithms on this substrate; the
+    # paper's testbed accelerators are an order of magnitude faster — see
+    # EXPERIMENTS.md)
+    dsa_wins = sum(
+        by[(a, "dsa")]["opf"] >= by[(a, "cpu")]["opf"] for a in algorithms
+    )
+    assert dsa_wins >= 2

@@ -1,0 +1,27 @@
+"""Table I — capability matrix of resilience-analysis frameworks."""
+
+from _bench_util import RESULTS_DIR, run_once
+
+
+def test_table1_capabilities(benchmark):
+    from repro.core.capabilities import PRIOR_WORK, THIS_WORK, render_table1
+
+    text = run_once(benchmark, render_table1)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "table1.txt").write_text(text + "\n")
+    # this framework must be the only row with full coverage
+    from dataclasses import fields
+
+    assert all(
+        getattr(THIS_WORK, f.name) is True
+        for f in fields(THIS_WORK)
+        if isinstance(getattr(THIS_WORK, f.name), bool)
+    )
+    assert all(
+        any(
+            not getattr(prior, f.name)
+            for f in fields(prior)
+            if isinstance(getattr(prior, f.name), bool)
+        )
+        for prior in PRIOR_WORK
+    )

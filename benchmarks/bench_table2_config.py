@@ -1,0 +1,34 @@
+"""Table II — the simulated microarchitecture configuration per ISA."""
+
+from _bench_util import RESULTS_DIR, run_once
+
+
+def test_table2_configuration(benchmark):
+    from repro.core.presets import paper_config
+    from repro.core.report import render_table
+
+    def build():
+        cfg = paper_config()
+        rows = [
+            ("ISA", "RISC-V / Arm / x86"),
+            ("Pipeline", f"64-bit OoO ({cfg.width}-issue)"),
+            ("L1 Instruction Cache",
+             f"{cfg.l1i.size // 1024}KB, {cfg.l1i.line_size}B line, "
+             f"{cfg.l1i.num_sets} sets, {cfg.l1i.assoc}-way"),
+            ("L1 Data Cache",
+             f"{cfg.l1d.size // 1024}KB, {cfg.l1d.line_size}B line, "
+             f"{cfg.l1d.num_sets} sets, {cfg.l1d.assoc}-way"),
+            ("L2 Cache",
+             f"{cfg.l2.size // 1024 // 1024}MB, {cfg.l2.line_size}B line, "
+             f"{cfg.l2.num_sets} sets, {cfg.l2.assoc}-way"),
+            ("Physical Register File",
+             f"{cfg.int_phys_regs} Int; {cfg.fp_phys_regs} FP"),
+            ("LQ/SQ/IQ/ROB entries",
+             f"{cfg.lq_entries}/{cfg.sq_entries}/{cfg.iq_entries}/{cfg.rob_entries}"),
+        ]
+        return render_table(["Parameter", "Value"], rows)
+
+    text = run_once(benchmark, build)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "table2.txt").write_text(text + "\n")
+    assert "32KB" in text and "128/" not in text.splitlines()[0]

@@ -1,0 +1,30 @@
+"""Table IV — injection components of each accelerator design."""
+
+from _bench_util import RESULTS_DIR, run_once
+
+
+def test_table4_components(benchmark):
+    from repro.accel_designs import DESIGNS, PAPER_TARGETS, get_design
+    from repro.core.report import render_table
+
+    def build():
+        rows = []
+        for name in DESIGNS:
+            design = get_design(name)
+            kinds = {m.name: (m.size, m.kind) for m in design.memories}
+            for comp in PAPER_TARGETS[name]:
+                size, kind = kinds[comp]
+                rows.append((name.upper(), comp, size,
+                             "RegBank" if kind == "regbank" else "SPM"))
+        return rows, render_table(
+            ["Accelerator", "Component", "Memory Size (Bytes)", "Memory Type"], rows
+        )
+
+    rows, text = run_once(benchmark, build)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "table4.txt").write_text(text + "\n")
+    by = {(r[0], r[1]): r[3] for r in rows}
+    assert by[("BFS", "EDGES")] == "RegBank"
+    assert by[("FFT", "REAL")] == "SPM"
+    assert by[("STENCIL3D", "C_VAR")] == "RegBank"
+    assert len(rows) == 18

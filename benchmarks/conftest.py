@@ -1,0 +1,6 @@
+"""Benchmark-harness configuration (pytest-benchmark, one run per figure)."""
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))

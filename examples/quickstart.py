@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quickstart: one statistical fault-injection campaign, start to finish.
+
+Injects transient single-bit faults into the integer physical register file
+while the out-of-order RISC-V core runs the qsort workload, then prints the
+AVF report with its SDC/Crash decomposition, the HVF, and the achieved
+statistical error margin.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CampaignSpec, run_campaign, sim_config
+from repro.core.report import render_table
+
+
+def main() -> None:
+    spec = CampaignSpec(
+        isa="rv",                  # 'rv' | 'arm' | 'x86'
+        workload="qsort",          # any of the 15 MiBench-analog workloads
+        target="regfile_int",      # see repro.core.targets.TARGETS
+        cfg=sim_config(),          # the scaled Table II configuration
+        scale="tiny",
+        faults=60,                 # statistical sample size
+        seed=42,
+    )
+    print(f"running {spec.faults} fault injections "
+          f"({spec.isa}/{spec.workload}/{spec.target}) ...")
+    result = run_campaign(spec)
+
+    print()
+    print(render_table(
+        ["metric", "value"],
+        [
+            ("AVF", result.avf),
+            ("  SDC share", result.sdc_avf),
+            ("  Crash share", result.crash_avf),
+            ("HVF (commit-visible)", result.hvf),
+            ("error margin (95% conf)", result.error_margin),
+            ("golden cycles", result.golden.cycles),
+        ],
+    ))
+
+    print("\nper-fault outcomes:")
+    from collections import Counter
+
+    outcomes = Counter(
+        (r.outcome.value, r.masked_reason or r.crash_reason or "-")
+        for r in result.records
+    )
+    for (outcome, detail), count in outcomes.most_common():
+        print(f"  {outcome:8s} {detail:20s} x{count}")
+
+
+if __name__ == "__main__":
+    main()

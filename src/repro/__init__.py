@@ -1,0 +1,62 @@
+"""gem5-MARVEL reproduction: microarchitecture-level fault injection for
+heterogeneous SoC architectures, in pure Python.
+
+Quickstart::
+
+    from repro import CampaignSpec, run_campaign, sim_config
+
+    spec = CampaignSpec(isa="rv", workload="qsort", target="regfile_int",
+                        cfg=sim_config(), faults=100)
+    result = run_campaign(spec)
+    print(result.avf, result.sdc_avf, result.crash_avf, result.hvf)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core import (
+    CampaignSpec,
+    FaultFlip,
+    FaultMask,
+    FaultModel,
+    HVFClass,
+    Outcome,
+    avf,
+    golden_run,
+    hvf,
+    opf,
+    paper_config,
+    run_campaign,
+    sdc_avf,
+    sim_config,
+    weighted_avf,
+)
+from repro.cpu.config import CPUConfig
+from repro.isa.base import get_isa, isa_names
+from repro.workloads import WORKLOAD_NAMES, build_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CPUConfig",
+    "CampaignSpec",
+    "FaultFlip",
+    "FaultMask",
+    "FaultModel",
+    "HVFClass",
+    "Outcome",
+    "WORKLOAD_NAMES",
+    "avf",
+    "build_workload",
+    "get_isa",
+    "golden_run",
+    "hvf",
+    "isa_names",
+    "opf",
+    "paper_config",
+    "run_campaign",
+    "sdc_avf",
+    "sim_config",
+    "weighted_avf",
+    "__version__",
+]

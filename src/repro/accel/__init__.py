@@ -1,0 +1,30 @@
+"""gem5-SALAM analog: LLVM-IR-style dataflow accelerator modelling.
+
+* :mod:`repro.accel.spm` — scratchpad memories and register banks (the DSA
+  injection targets),
+* :mod:`repro.accel.dataflow` — the dynamic dataflow execution engine with a
+  constrained functional-unit pool,
+* :mod:`repro.accel.dma`, :mod:`repro.accel.mmr` — DMA engines and
+  memory-mapped control registers,
+* :mod:`repro.accel.interrupts` — GIC (Arm) and PLIC (RISC-V) interrupt
+  controller models,
+* :mod:`repro.accel.cluster` — accelerator instances and clusters,
+* :mod:`repro.accel.configgen` — the YAML-subset automatic configuration
+  script generator (Section III-C2),
+* :mod:`repro.accel.campaign` — SFI campaigns against DSA memories.
+"""
+
+from repro.accel.cluster import Accelerator, AccelDesign, MemDecl
+from repro.accel.dataflow import AccelResult, DataflowEngine, FUConfig
+from repro.accel.spm import RegisterBank, ScratchpadMemory
+
+__all__ = [
+    "AccelDesign",
+    "AccelResult",
+    "Accelerator",
+    "DataflowEngine",
+    "FUConfig",
+    "MemDecl",
+    "RegisterBank",
+    "ScratchpadMemory",
+]

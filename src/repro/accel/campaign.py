@@ -1,0 +1,255 @@
+"""SFI campaigns against accelerator memories (the paper's Section V-E).
+
+Mirrors the CPU campaign flow: golden standalone run → uniform fault sample
+over one component's bits and the kernel's cycle span → one run per fault →
+Masked / SDC / Crash classification.  For SPM/RegBank targets the paper
+notes HVF and AVF coincide (any consumed corruption is architecturally
+visible), so records carry ``hvf = CORRUPTION`` exactly for non-masked runs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.accel.cluster import Accelerator
+from repro.accel.dataflow import DataflowEngine, FUConfig
+from repro.accel.spm import ScratchpadMemory
+from repro.accel_designs import get_design
+from repro.core.faults import FaultFlip, FaultMask, FaultModel
+from repro.core.outcome import HVFClass, Outcome
+from repro.core.campaign import FaultRecord
+from repro.core.sampling import error_margin_for
+
+
+@dataclass(frozen=True)
+class AccelCampaignSpec:
+    """A DSA fault campaign (picklable)."""
+
+    design: str
+    component: str
+    scale: str = "tiny"
+    model: FaultModel = FaultModel.TRANSIENT
+    faults: int = 100
+    seed: int = 1
+    fu: FUConfig | None = None
+    watchdog_factor: int = 8
+
+
+class AccelInjector:
+    """Applies one fault mask to a live accelerator memory."""
+
+    UNINJECTED, ARMED, READ, MASKED_UNUSED, MASKED_OVERWRITTEN = range(5)
+
+    def __init__(self, mask: FaultMask, mem: ScratchpadMemory):
+        if len(mask.flips) != 1:
+            raise ValueError("accelerator campaigns use single-flip masks")
+        self.mask = mask
+        self.flip = mask.flips[0]
+        self.mem = mem
+        self.state = self.UNINJECTED
+        mem.probe = self
+
+    @property
+    def byte(self) -> int:
+        return self.flip.bit // 8
+
+    def tick(self, engine: DataflowEngine) -> None:
+        if self.state is self.UNINJECTED and engine.cycle >= self.flip.cycle:
+            if self.mask.model is FaultModel.TRANSIENT:
+                if not self.mem.byte_used(self.byte):
+                    self.state = self.MASKED_UNUSED
+                    return
+                self.mem.flip_bit(self.flip.bit)
+            else:
+                self.mem.force_bit(self.flip.bit, self.mask.model.stuck_value)
+            self.state = self.ARMED
+
+    # ------------------------------------------------------------ probe
+
+    def on_read(self, mem, lo: int, hi: int) -> None:
+        if self.state == self.ARMED and lo <= self.byte < hi:
+            self.state = self.READ
+
+    def on_write(self, mem, lo: int, hi: int) -> None:
+        if not (lo <= self.byte < hi):
+            return
+        if self.mask.model.permanent:
+            if self.state != self.UNINJECTED:
+                mem.force_bit(self.flip.bit, self.mask.model.stuck_value)
+        elif self.state == self.ARMED:
+            self.state = self.MASKED_OVERWRITTEN
+
+    # ------------------------------------------------------------ verdicts
+
+    @property
+    def early_masked(self) -> bool:
+        return self.mask.model is FaultModel.TRANSIENT and self.state in (
+            self.MASKED_UNUSED,
+            self.MASKED_OVERWRITTEN,
+        )
+
+    def masked_reason(self) -> str | None:
+        return {
+            self.MASKED_UNUSED: "masked_unused",
+            self.MASKED_OVERWRITTEN: "masked_overwritten",
+        }.get(self.state)
+
+
+@dataclass
+class AccelGolden:
+    cycles: int            # kernel execution cycles (injection window)
+    total_cycles: int      # incl. DMA
+    output: bytes
+    operations: int
+
+
+@dataclass
+class AccelCampaignResult:
+    spec: AccelCampaignSpec
+    records: list[FaultRecord]
+    golden: AccelGolden
+    population_bits: int
+
+    def count(self, outcome: Outcome) -> int:
+        return sum(1 for r in self.records if r.outcome is outcome)
+
+    @property
+    def avf(self) -> float:
+        return 1 - self.count(Outcome.MASKED) / len(self.records)
+
+    @property
+    def sdc_avf(self) -> float:
+        return self.count(Outcome.SDC) / len(self.records)
+
+    @property
+    def crash_avf(self) -> float:
+        return self.count(Outcome.CRASH) / len(self.records)
+
+    @property
+    def error_margin(self) -> float:
+        return error_margin_for(len(self.records), self.population_bits)
+
+    def summary(self) -> dict:
+        return {
+            "design": self.spec.design,
+            "component": self.spec.component,
+            "model": self.spec.model.value,
+            "faults": len(self.records),
+            "avf": self.avf,
+            "sdc_avf": self.sdc_avf,
+            "crash_avf": self.crash_avf,
+            "golden_cycles": self.golden.cycles,
+        }
+
+
+_ACCEL_GOLDEN_CACHE: dict[tuple, AccelGolden] = {}
+
+
+def accel_golden(spec: AccelCampaignSpec) -> AccelGolden:
+    key = (spec.design, spec.scale, spec.fu)
+    cached = _ACCEL_GOLDEN_CACHE.get(key)
+    if cached is not None:
+        return cached
+    accel = get_design(spec.design).instantiate(spec.fu)
+    dma_in = accel.load_inputs(spec.scale)
+    engine = DataflowEngine(accel.kernel(spec.scale), accel.memmap, accel.fu)
+    result = engine.run()
+    if not result.ok:
+        raise RuntimeError(f"golden accel run failed: {result.crashed}")
+    output = b""
+    for name in accel.design.output_memories:
+        mem = accel.memories[name]
+        output += mem.dump(0, mem.used_extent())
+    golden = AccelGolden(
+        cycles=result.cycles,
+        total_cycles=result.cycles + dma_in,
+        output=output,
+        operations=result.operations,
+    )
+    _ACCEL_GOLDEN_CACHE[key] = golden
+    return golden
+
+
+def accel_masks(spec: AccelCampaignSpec, golden: AccelGolden) -> list[FaultMask]:
+    design = get_design(spec.design)
+    size = {d.name: d.size for d in design.memories}[spec.component]
+    rng = random.Random(spec.seed)
+    masks = []
+    for mask_id in range(spec.faults):
+        masks.append(
+            FaultMask(
+                model=spec.model,
+                flips=(
+                    FaultFlip(
+                        structure=f"accel:{spec.design}:{spec.component}",
+                        entry=0,
+                        bit=rng.randrange(size * 8),
+                        cycle=0 if spec.model.permanent else rng.randrange(golden.cycles),
+                    ),
+                ),
+                mask_id=mask_id,
+            )
+        )
+    return masks
+
+
+def run_one_accel_fault(spec: AccelCampaignSpec, mask: FaultMask) -> FaultRecord:
+    golden = accel_golden(spec)
+    accel = get_design(spec.design).instantiate(spec.fu)
+    accel.load_inputs(spec.scale)
+    injector = AccelInjector(mask, accel.mem(spec.component))
+    engine = DataflowEngine(
+        accel.kernel(spec.scale),
+        accel.memmap,
+        accel.fu,
+        watchdog_cycles=golden.cycles * spec.watchdog_factor + 1000,
+    )
+    engine.injector = injector
+    result = engine.run()
+
+    if injector.early_masked and result.ok:
+        outcome, reason = Outcome.MASKED, injector.masked_reason()
+        hvf = HVFClass.BENIGN
+        output = golden.output
+    elif not result.ok:
+        outcome, reason, hvf = Outcome.CRASH, None, HVFClass.CORRUPTION
+        output = b""
+    else:
+        output = b""
+        for name in accel.design.output_memories:
+            mem = accel.memories[name]
+            output += mem.dump(0, mem.used_extent())
+        if output == golden.output:
+            outcome = Outcome.MASKED
+            reason = injector.masked_reason() or "masked_silent"
+            hvf = HVFClass.BENIGN
+        else:
+            outcome, reason, hvf = Outcome.SDC, None, HVFClass.CORRUPTION
+    return FaultRecord(
+        mask=mask,
+        outcome=outcome,
+        hvf=hvf,
+        cycles=result.cycles,
+        masked_reason=reason,
+        crash_reason=result.crashed,
+        activated=injector.state == AccelInjector.READ,
+    )
+
+
+def run_accel_campaign(
+    spec: AccelCampaignSpec, masks: list[FaultMask] | None = None
+) -> AccelCampaignResult:
+    """Run a DSA fault-injection campaign."""
+    golden = accel_golden(spec)
+    if masks is None:
+        masks = accel_masks(spec, golden)
+    records = [run_one_accel_fault(spec, m) for m in masks]
+    design = get_design(spec.design)
+    size = {d.name: d.size for d in design.memories}[spec.component]
+    return AccelCampaignResult(
+        spec=spec,
+        records=records,
+        golden=golden,
+        population_bits=size * 8,
+    )

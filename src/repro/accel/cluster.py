@@ -1,0 +1,139 @@
+"""Accelerator designs, instances, and clusters (gem5-SALAM's Compute Unit
+plus Communications Interface).
+
+An :class:`AccelDesign` is the static description (memories, kernel builder,
+DMA plan, default FU pool).  An :class:`Accelerator` is a live instance:
+instantiated memories, a dataflow engine, MMRs and an interrupt line.
+
+Standalone execution (``Accelerator.run_standalone``) models the full paper
+flow at device level: DMA the inputs into the SPMs/RegBanks, execute the
+kernel on the dataflow engine, DMA the results back, and report cycles
+including the transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Callable
+
+from repro.accel.dataflow import AccelResult, AddressMap, DataflowEngine, FUConfig
+from repro.accel.dma import DMAEngine
+from repro.accel.spm import RegisterBank, ScratchpadMemory
+from repro.kernel.ir import Program
+
+#: base of the accelerator-local address space
+ACCEL_BASE = 0x0
+
+@dataclass(frozen=True)
+class MemDecl:
+    """Declaration of one accelerator-local memory (Table IV rows)."""
+
+    name: str
+    size: int
+    kind: str = "spm"          # 'spm' | 'regbank'
+    ports: int = 4             # banked dual-ported SPMs are the HLS norm
+
+    def instantiate(self, base: int) -> ScratchpadMemory:
+        cls = RegisterBank if self.kind == "regbank" else ScratchpadMemory
+        ports = self.ports if self.kind == "spm" else max(1, self.ports // 2)
+        return cls(self.name, self.size, base, ports)
+
+
+@dataclass
+class AccelDesign:
+    """Static description of one accelerator (a MachSuite design analog)."""
+
+    name: str
+    memories: list[MemDecl]
+    #: build_kernel(mem_bases: dict[str, int], scale: str) -> Program
+    build_kernel: Callable
+    #: inputs(scale) -> dict[mem_name, bytes] (DMA'd in before the run)
+    inputs: Callable
+    #: memories whose contents are the architectural result (DMA'd out)
+    output_memories: list[str]
+    fu: FUConfig = field(default_factory=FUConfig)
+    #: logical operation count per kernel execution (for OPS/OPF)
+    operations_per_run: Callable = lambda scale: 1.0
+    description: str = ""
+
+    def layout(self) -> dict[str, int]:
+        """Assign base addresses (64B aligned, contiguous)."""
+        bases = {}
+        cursor = ACCEL_BASE + 0x40  # keep address 0 unmapped: null-ish faults
+        for decl in self.memories:
+            bases[decl.name] = cursor
+            cursor += (decl.size + 63) // 64 * 64
+        return bases
+
+    def instantiate(self, fu: FUConfig | None = None) -> "Accelerator":
+        return Accelerator(self, fu or self.fu)
+
+
+class Accelerator:
+    """A live accelerator instance."""
+
+    def __init__(self, design: AccelDesign, fu: FUConfig):
+        self.design = design
+        self.fu = fu
+        bases = design.layout()
+        self.memories = {
+            decl.name: decl.instantiate(bases[decl.name]) for decl in design.memories
+        }
+        self.memmap = AddressMap(list(self.memories.values()))
+        self.bases = bases
+        self.dma = DMAEngine()
+        self.irq_line: Callable | None = None   # set by the SoC / controller
+        self.kernel_cache: dict[str, Program] = {}
+
+    def kernel(self, scale: str) -> Program:
+        if scale not in self.kernel_cache:
+            self.kernel_cache[scale] = self.design.build_kernel(self.bases, scale)
+        return self.kernel_cache[scale]
+
+    def mem(self, name: str) -> ScratchpadMemory:
+        return self.memories[name]
+
+    # ------------------------------------------------------------ standalone
+
+    def load_inputs(self, scale: str) -> int:
+        """DMA all design inputs into the local memories; returns cycles."""
+        cycles = 0
+        for name, blob in self.design.inputs(scale).items():
+            cycles += self.dma.transfer_in(self.memories[name], 0, blob)
+        return cycles
+
+    def run_standalone(
+        self, scale: str = "default", watchdog_cycles: int = 2_000_000,
+        preloaded: bool = False,
+    ) -> tuple[AccelResult, bytes]:
+        """DMA-in → execute → DMA-out; returns (result, output bytes).
+
+        ``output`` is the concatenated contents of the design's output
+        memories after execution — what the host would read back.  With
+        ``preloaded=True`` the caller has already loaded (and possibly
+        corrupted) the input memories.
+        """
+        dma_in = 0 if preloaded else self.load_inputs(scale)
+        engine = DataflowEngine(
+            self.kernel(scale), self.memmap, self.fu, watchdog_cycles
+        )
+        result = engine.run()
+        output = b""
+        dma_out = 0
+        if result.ok:
+            for name in self.design.output_memories:
+                mem = self.memories[name]
+                extent = mem.used_extent()
+                blob = mem.dump(0, extent)
+                dma_out += self.dma.transfer_out(mem, 0, extent)
+                output += blob
+        total = AccelResult(
+            cycles=result.cycles + dma_in + dma_out,
+            operations=result.operations,
+            blocks=result.blocks,
+            crashed=result.crashed,
+            output=output,
+        )
+        if self.irq_line is not None:
+            self.irq_line()
+        return total, output

@@ -1,0 +1,168 @@
+"""Automatic configuration script generator (paper Section III-C2).
+
+gem5-SALAM builds accelerator-rich SoCs from a single YAML system
+description; the paper's RISC-V port swaps the Arm template for a RISC-V
+full-system one.  This module provides the same workflow: a small YAML
+subset parser (mappings, sequences, scalars — no external dependency) and a
+generator that instantiates the SoC from the description, selecting the
+per-ISA platform template (interrupt controller, memory map).
+
+Example description::
+
+    system:
+      isa: rv
+      preset: sim
+      scale: tiny
+    accelerator:
+      design: gemm
+      fu:
+        alu: 4
+        mul: 2
+        fpu: 8
+        div: 1
+"""
+
+from __future__ import annotations
+
+from repro.accel.dataflow import FUConfig
+
+
+class ConfigError(Exception):
+    """Malformed system description."""
+
+
+def parse_yaml(text: str):
+    """Parse the YAML subset: nested mappings, block sequences, scalars."""
+    lines = []
+    for raw in text.splitlines():
+        stripped = raw.split("#", 1)[0].rstrip()
+        if stripped.strip():
+            lines.append(stripped)
+    value, rest = _parse_block(lines, 0, _indent(lines[0]) if lines else 0)
+    if rest != len(lines):
+        raise ConfigError(f"trailing content at line {rest + 1}")
+    return value
+
+
+def _indent(line: str) -> int:
+    return len(line) - len(line.lstrip(" "))
+
+
+def _scalar(token: str):
+    token = token.strip()
+    if token in ("true", "True"):
+        return True
+    if token in ("false", "False"):
+        return False
+    if token.startswith(("'", '"')) and token.endswith(token[0]) and len(token) >= 2:
+        return token[1:-1]
+    try:
+        return int(token, 0)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        return token
+
+
+def _parse_block(lines: list[str], start: int, indent: int):
+    """Parse one block (mapping or sequence) at the given indent level."""
+    if start >= len(lines):
+        raise ConfigError("empty block")
+    if lines[start].lstrip().startswith("- "):
+        return _parse_sequence(lines, start, indent)
+    return _parse_mapping(lines, start, indent)
+
+
+def _parse_mapping(lines: list[str], start: int, indent: int):
+    result: dict = {}
+    i = start
+    while i < len(lines):
+        line = lines[i]
+        ind = _indent(line)
+        if ind < indent:
+            break
+        if ind > indent:
+            raise ConfigError(f"unexpected indent at line {i + 1}: {line!r}")
+        body = line.strip()
+        if ":" not in body:
+            raise ConfigError(f"expected 'key: value' at line {i + 1}: {line!r}")
+        key, _, rest = body.partition(":")
+        key = key.strip()
+        rest = rest.strip()
+        if rest:
+            result[key] = _scalar(rest)
+            i += 1
+        else:
+            if i + 1 >= len(lines) or _indent(lines[i + 1]) <= indent:
+                result[key] = None
+                i += 1
+                continue
+            value, i = _parse_block(lines, i + 1, _indent(lines[i + 1]))
+            result[key] = value
+    return result, i
+
+
+def _parse_sequence(lines: list[str], start: int, indent: int):
+    result: list = []
+    i = start
+    while i < len(lines):
+        line = lines[i]
+        ind = _indent(line)
+        if ind < indent or not line.lstrip().startswith("- "):
+            break
+        item_body = line.strip()[2:]
+        if ":" in item_body:
+            # inline first key of a mapping item: re-materialize and parse
+            sub = [" " * (ind + 2) + item_body]
+            j = i + 1
+            while j < len(lines) and _indent(lines[j]) > ind:
+                sub.append(lines[j])
+                j += 1
+            value, _ = _parse_mapping(sub, 0, ind + 2)
+            result.append(value)
+            i = j
+        else:
+            result.append(_scalar(item_body))
+            i += 1
+    return result, i
+
+
+# --------------------------------------------------------------------------
+# generation
+# --------------------------------------------------------------------------
+
+
+def fu_from_config(section: dict | None) -> FUConfig | None:
+    if not section:
+        return None
+    return FUConfig(
+        alu=int(section.get("alu", 4)),
+        mul=int(section.get("mul", 2)),
+        fpu=int(section.get("fpu", 4)),
+        div=int(section.get("div", 1)),
+    )
+
+
+def generate_soc(text: str):
+    """Instantiate a :class:`HeterogeneousSoC` from a YAML description."""
+    from repro.core.presets import get_preset
+    from repro.soc.system import build_soc
+
+    config = parse_yaml(text)
+    system = config.get("system") or {}
+    accel = config.get("accelerator") or {}
+    if "design" not in accel:
+        raise ConfigError("accelerator.design is required")
+    isa = system.get("isa", "rv")
+    if isa not in ("rv", "arm", "x86"):
+        raise ConfigError(f"unknown isa {isa!r}")
+    cfg = get_preset(system.get("preset", "sim"))
+    return build_soc(
+        accel["design"],
+        isa_name=isa,
+        cfg=cfg,
+        scale=system.get("scale", "tiny"),
+        fu=fu_from_config(accel.get("fu")),
+    )

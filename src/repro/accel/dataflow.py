@@ -1,0 +1,394 @@
+"""Dynamic dataflow execution engine (gem5-SALAM's LLVM runtime analog).
+
+Executes a mini-IR kernel ("the LLVM IR of the accelerated C function") as a
+dependence graph, one basic block at a time:
+
+* within a block, operations fire as soon as their register operands are
+  produced and a functional unit of the right class is free — the
+  *hardware resource model* of Section V-H: users constrain the number of
+  parallel functional units and the engine schedules around them;
+* memory operations additionally arbitrate for their target memory's ports
+  (SPMs/RegBanks each have a fixed port count; RegBank reads pay the delta
+  delay);
+* memory ordering is conservative: a load waits for all earlier stores in
+  the block, a store for all earlier memory operations.
+
+Because operand values come straight out of SPM/RegBank bytearrays, injected
+faults propagate through the datapath with no extra machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.accel.spm import AccelMemFault, RegisterBank, ScratchpadMemory
+
+
+class AccelTimeout(Exception):
+    """Kernel exceeded its cycle watchdog (a hang — classified as Crash)."""
+
+
+class _EarlyMaskStop(Exception):
+    """The injector proved the fault harmless; no need to finish the run."""
+
+
+_HALT = object()
+from repro.kernel.interp import eval_binop, eval_cond, fcvt_to_int
+from repro.kernel.ir import (
+    MASK64,
+    BinOp,
+    Op,
+    Program,
+    float_to_bits,
+    to_signed,
+    to_unsigned,
+)
+
+
+@dataclass(frozen=True)
+class FUConfig:
+    """Functional-unit pool sizes (the Section V-H DSE knobs)."""
+
+    alu: int = 4
+    mul: int = 2
+    fpu: int = 4
+    div: int = 1
+
+    def scaled(self, factor: int) -> "FUConfig":
+        """All pools multiplied by ``factor`` (≥1 each)."""
+        return FUConfig(
+            alu=max(1, self.alu * factor),
+            mul=max(1, self.mul * factor),
+            fpu=max(1, self.fpu * factor),
+            div=max(1, self.div * factor),
+        )
+
+    @staticmethod
+    def uniform(n: int) -> "FUConfig":
+        return FUConfig(alu=n, mul=n, fpu=n, div=max(1, n // 2))
+
+    @property
+    def total_units(self) -> int:
+        return self.alu + self.mul + self.fpu + self.div
+
+
+# Specialized-datapath latencies: an HLS-style engine chains short operators
+# (no fetch/decode/issue overhead), so FP ops complete in 2 cycles where the
+# general-purpose pipeline needs 4 — one source of the DSA speed advantage.
+_LATENCY = {"alu": 1, "mul": 2, "fpu": 2, "div": 8, "fdiv": 8}
+
+_MUL_OPS = {BinOp.MUL}
+_DIV_OPS = {BinOp.DIVS, BinOp.DIVU, BinOp.REMS, BinOp.REMU}
+_FPU_OPS = {BinOp.FADD, BinOp.FSUB, BinOp.FMUL, BinOp.FLT, BinOp.FEQ}
+_FDIV_OPS = {BinOp.FDIV}
+
+
+def _op_class(instr) -> str:
+    if instr.op is Op.BIN:
+        if instr.binop in _MUL_OPS:
+            return "mul"
+        if instr.binop in _DIV_OPS:
+            return "div"
+        if instr.binop in _FDIV_OPS:
+            return "fdiv"
+        if instr.binop in _FPU_OPS:
+            return "fpu"
+        return "alu"
+    if instr.op in (Op.FCVT, Op.FCVTI):
+        return "fpu"
+    if instr.op in (Op.LOAD, Op.STORE):
+        return "mem"
+    return "alu"
+
+
+class AddressMap:
+    """Routes accelerator addresses to SPMs/RegBanks."""
+
+    def __init__(self, memories: list[ScratchpadMemory]):
+        self.memories = list(memories)
+        self.by_name = {m.name: m for m in memories}
+
+    def find(self, addr: int, width: int) -> ScratchpadMemory | None:
+        for mem in self.memories:
+            if mem.contains(addr, width):
+                return mem
+        return None
+
+
+@dataclass
+class AccelResult:
+    """Outcome of one kernel execution on the dataflow engine."""
+
+    cycles: int
+    operations: int
+    blocks: int
+    crashed: str | None = None
+    output: bytes = b""
+
+    @property
+    def ok(self) -> bool:
+        return self.crashed is None
+
+
+class _Node:
+    """One dynamic operation instance.
+
+    Destinations are *renamed* to fresh value slots at fetch (the dynamic
+    twin of LLVM's SSA form), so WAR/WAW hazards cannot exist — only true
+    (RAW) dependences and memory ordering gate execution, exactly like
+    gem5-SALAM's dynamic graph engine.
+    """
+
+    __slots__ = (
+        "idx", "instr", "pending", "dependents", "pending_start",
+        "start_dependents", "started", "done", "is_terminator",
+        "src_slots", "dst_slot",
+    )
+
+    def __init__(self, idx, instr):
+        self.idx = idx
+        self.instr = instr
+        self.pending = 0                 # completion-gated deps (true RAW)
+        self.dependents: list["_Node"] = []
+        self.pending_start = 0           # issue-gated deps (memory ordering)
+        self.start_dependents: list["_Node"] = []
+        self.started = False
+        self.done = False
+        self.is_terminator = instr.op in (Op.JUMP, Op.BR, Op.HALT)
+        self.src_slots: tuple[int, ...] = ()
+        self.dst_slot: int | None = None
+
+    @property
+    def ready(self) -> bool:
+        return not self.started and self.pending == 0 and self.pending_start == 0
+
+
+class DataflowEngine:
+    """Executes one kernel program against an :class:`AddressMap`."""
+
+    def __init__(
+        self,
+        program: Program,
+        memmap: AddressMap,
+        fu: FUConfig = FUConfig(),
+        watchdog_cycles: int = 10_000_000,
+    ):
+        program.verify()
+        self.program = program
+        self.memmap = memmap
+        self.fu = fu
+        self.watchdog = watchdog_cycles
+        self.values: list[int] = []
+        self.cycle = 0
+        self.operations = 0
+        self.blocks_executed = 0
+        self.output = bytearray()
+        self.injector = None          # optional AccelInjector
+        self._blocks = {b.label: b for b in program.blocks}
+
+    # ------------------------------------------------------------ scheduling
+    #
+    # A continuous cross-block dataflow scheduler: the terminator of a block
+    # fires as soon as its *own* operands are ready, the successor block's
+    # operations enter the window immediately, and older operations keep
+    # executing — loop iterations pipeline exactly as in gem5-SALAM's
+    # dynamic LLVM runtime.  Register (RAW/WAW/WAR) and memory ordering
+    # dependences persist across block boundaries.
+
+    def _fetch_block(self, block) -> list["_Node"]:
+        """Append a block's ops to the window with dynamic renaming."""
+        nodes = [_Node(self._next_id + i, ins) for i, ins in enumerate(block.instrs)]
+        self._next_id += len(nodes)
+
+        def add_edge(src: "_Node", dst: "_Node") -> None:
+            """True dependence: dst consumes src's RESULT."""
+            if src is dst or src.done:
+                return
+            if dst not in src.dependents:
+                src.dependents.append(dst)
+                dst.pending += 1
+
+        def add_start_edge(src: "_Node", dst: "_Node") -> None:
+            """Memory ordering: writes land at issue, so issue order is the
+            required order."""
+            if src is dst or src.started:
+                return
+            if dst not in src.start_dependents:
+                src.start_dependents.append(dst)
+                dst.pending_start += 1
+
+        for node in nodes:
+            ins = node.instr
+            slots = []
+            for vreg in ins.sources():
+                slot = self._rename.get(vreg)
+                if slot is None:             # read-before-write: a zero slot
+                    slot = self._new_slot()
+                    self._rename[vreg] = slot
+                slots.append(slot)
+                writer = self._slot_writer.get(slot)
+                if writer is not None:
+                    add_edge(writer, node)                      # RAW
+            node.src_slots = tuple(slots)
+            if ins.dest is not None:
+                slot = self._new_slot()
+                node.dst_slot = slot
+                self._rename[ins.dest] = slot
+                self._slot_writer[slot] = node
+            if ins.op is Op.LOAD:
+                for store in self._mem_stores:
+                    add_start_edge(store, node)
+                self._mem_any.append(node)
+            elif ins.op in (Op.STORE, Op.OUT):
+                for mem_op in self._mem_any:
+                    add_start_edge(mem_op, node)
+                self._mem_stores.append(node)
+                self._mem_any.append(node)
+        # prune issued nodes from the memory-ordering windows
+        self._mem_stores = [n for n in self._mem_stores if not n.started]
+        self._mem_any = [n for n in self._mem_any if not n.started]
+        return nodes
+
+    def _new_slot(self) -> int:
+        self.values.append(0)
+        return len(self.values) - 1
+
+    def run(self) -> AccelResult:
+        crashed = None
+        self._next_id = 0
+        self._rename: dict = {}
+        self._slot_writer: dict = {}
+        self.values: list[int] = []
+        self._mem_stores: list = []
+        self._mem_any: list = []
+        window: list[_Node] = list(self._fetch_block(self.program.entry))
+        self.blocks_executed = 1
+        completing: dict[int, list[_Node]] = {}
+        halted = False
+
+        try:
+            while window:
+                self.cycle += 1
+                if self.cycle > self.watchdog:
+                    raise AccelTimeout
+                if self.injector is not None:
+                    self.injector.tick(self)
+                    if self.injector.early_masked:
+                        raise _EarlyMaskStop
+                # complete
+                for node in completing.pop(self.cycle, ()):
+                    node.done = True
+                    for dep in node.dependents:
+                        dep.pending -= 1
+                # issue
+                budget = {
+                    "alu": self.fu.alu, "mul": self.fu.mul, "fpu": self.fu.fpu,
+                    "div": self.fu.div, "fdiv": self.fu.div,
+                }
+                mem_ports: dict[str, int] = {}
+                for node in window:
+                    if not node.ready:
+                        continue
+                    cls = _op_class(node.instr)
+                    if cls == "mem":
+                        latency = self._issue_mem(node, mem_ports)
+                        if latency is None:
+                            continue
+                    else:
+                        if budget[cls] <= 0:
+                            continue
+                        budget[cls] -= 1
+                        latency = _LATENCY[cls]
+                        result = self._execute(node)
+                        if result is _HALT:
+                            halted = True
+                        elif isinstance(result, str):
+                            # the branch direction is known at issue: fetch
+                            # the successor block into the window immediately
+                            window.extend(self._fetch_block(self._blocks[result]))
+                            self.blocks_executed += 1
+                    node.started = True
+                    for dep in node.start_dependents:
+                        dep.pending_start -= 1
+                    self.operations += 1
+                    completing.setdefault(self.cycle + latency, []).append(node)
+                window = [n for n in window if not n.done]
+        except _EarlyMaskStop:
+            pass
+        except AccelTimeout:
+            crashed = "timeout"
+        except AccelMemFault:
+            crashed = "mem_fault"
+        return AccelResult(
+            cycles=self.cycle,
+            operations=self.operations,
+            blocks=self.blocks_executed,
+            crashed=crashed,
+            output=bytes(self.output),
+        )
+
+    def _issue_mem(self, node: "_Node", mem_ports: dict[str, int]) -> int | None:
+        ins = node.instr
+        values = self.values
+        addr = (values[node.src_slots[0]] + ins.offset) & MASK64
+        mem = self.memmap.find(addr, ins.width)
+        if mem is None:
+            raise AccelMemFault("unmapped", addr, ins.width)
+        used = mem_ports.get(mem.name, 0)
+        if used >= mem.ports:
+            return None
+        mem_ports[mem.name] = used + 1
+        if ins.op is Op.LOAD:
+            raw = mem.read(addr, ins.width)
+            if ins.signed:
+                raw = to_unsigned(to_signed(raw, ins.width * 8))
+            values[node.dst_slot] = raw
+            latency = mem.read_latency
+            if isinstance(mem, RegisterBank):
+                latency += mem.delta
+        else:
+            mem.write(addr, values[node.src_slots[1]], ins.width)
+            latency = mem.write_latency
+        return latency
+
+    # ------------------------------------------------------------ semantics
+
+    def _execute(self, node: "_Node"):
+        ins = node.instr
+        op = ins.op
+        values = self.values
+        src = node.src_slots
+        if op is Op.BIN:
+            values[node.dst_slot] = eval_binop(ins.binop, values[src[0]], values[src[1]])
+        elif op is Op.CONST:
+            values[node.dst_slot] = to_unsigned(ins.imm)
+        elif op is Op.FCONST:
+            values[node.dst_slot] = float_to_bits(ins.imm)
+        elif op is Op.MOV:
+            values[node.dst_slot] = values[src[0]]
+        elif op is Op.SELECT:
+            # sources() order is (a, b, c)
+            chosen = src[0] if values[src[2]] != 0 else src[1]
+            values[node.dst_slot] = values[chosen]
+        elif op is Op.FCVT:
+            values[node.dst_slot] = float_to_bits(float(to_signed(values[src[0]])))
+        elif op is Op.FCVTI:
+            values[node.dst_slot] = fcvt_to_int(values[src[0]])
+        elif op is Op.OUT:
+            value = to_unsigned(values[src[0]], ins.width * 8)
+            self.output += value.to_bytes(ins.width, "little")
+        elif op in (Op.CHECKPOINT, Op.SWITCH_CPU, Op.WFI, Op.NOP):
+            pass
+        elif op is Op.JUMP:
+            return ins.taken
+        elif op is Op.BR:
+            if eval_cond(ins.cond, values[src[0]], values[src[1]]):
+                return ins.taken
+            return ins.fallthrough
+        elif op is Op.HALT:
+            return _HALT
+        elif op is Op.LA:
+            raise AccelMemFault("LA unsupported in accelerator kernels", 0, 0)
+        else:  # pragma: no cover
+            raise AccelMemFault(f"unsupported op {op}", 0, 0)
+        return None

@@ -1,0 +1,56 @@
+"""DMA engine: timed block transfers between host memory and SPMs/RegBanks.
+
+gem5-SALAM's designs move inputs in and results out over DMA; the paper's
+SPM fault analysis leans on this (input SPMs are written *once* by the DMA
+at initialization, output SPMs continuously by the datapath — Figure 14's
+GEMM input-vs-output asymmetry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DMAStats:
+    transfers: int = 0
+    bytes_moved: int = 0
+    cycles: int = 0
+
+
+class DMAEngine:
+    """A simple burst-transfer engine: fixed setup cost + bytes/cycle."""
+
+    def __init__(self, setup_cycles: int = 20, bytes_per_cycle: int = 16):
+        if bytes_per_cycle <= 0:
+            raise ValueError("bytes_per_cycle must be positive")
+        self.setup_cycles = setup_cycles
+        self.bytes_per_cycle = bytes_per_cycle
+        self.stats = DMAStats()
+
+    def _cost(self, nbytes: int) -> int:
+        cycles = self.setup_cycles + (nbytes + self.bytes_per_cycle - 1) // self.bytes_per_cycle
+        self.stats.transfers += 1
+        self.stats.bytes_moved += nbytes
+        self.stats.cycles += cycles
+        return cycles
+
+    def transfer_in(self, mem, offset: int, blob: bytes) -> int:
+        """Host → accelerator memory; returns cycles consumed."""
+        mem.load_block(offset, blob)
+        return self._cost(len(blob))
+
+    def transfer_out(self, mem, offset: int, size: int) -> int:
+        """Accelerator memory → host; returns cycles consumed.
+
+        The data itself is read by the caller via ``mem.dump``; this models
+        only the timing (and notifies the probe that the bytes were read —
+        a fault in data that is DMA'd out has, by definition, been consumed).
+        """
+        if mem.probe:
+            mem.probe.on_read(mem, offset, offset + size)
+        return self._cost(size)
+
+    def transfer_host_to_host(self, src: bytes) -> int:
+        """Host-to-host staging copy (used by the SoC driver path)."""
+        return self._cost(len(src))

@@ -1,0 +1,153 @@
+"""Interrupt controller models: Arm GIC and RISC-V PLIC analogs.
+
+The paper's RISC-V port of gem5-SALAM hinges on translating the Arm GIC
+plumbing to the RISC-V PLIC (Section III-C1).  Both models here share the
+same device-side API (``post``/``clear`` a line) and CPU-side API
+(``pending``/``claim``/``complete``), differing in the architectural
+details software sees:
+
+* **GIC**: banked per-CPU interface, acknowledge returns the interrupt ID,
+  priority masking, end-of-interrupt on the CPU interface.
+* **PLIC**: global gateway with per-source priority and per-context
+  threshold; claim atomically clears the pending bit at the gateway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class InterruptController:
+    """Common device-facing surface."""
+
+    def post(self, line: int) -> None:
+        raise NotImplementedError
+
+    def clear(self, line: int) -> None:
+        raise NotImplementedError
+
+    def pending(self, context: int = 0) -> bool:
+        raise NotImplementedError
+
+    def claim(self, context: int = 0) -> int | None:
+        raise NotImplementedError
+
+    def complete(self, line: int, context: int = 0) -> None:
+        raise NotImplementedError
+
+
+@dataclass
+class GIC(InterruptController):
+    """Arm Generic Interrupt Controller (distributor + CPU interface) analog."""
+
+    num_lines: int = 64
+    num_cpus: int = 1
+    priorities: dict[int, int] = field(default_factory=dict)
+    _pending: set = field(default_factory=set)
+    _active: dict = field(default_factory=dict)   # cpu -> line
+    _enabled: set = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        self._enabled = set(range(self.num_lines))
+
+    def enable(self, line: int, enabled: bool = True) -> None:
+        (self._enabled.add if enabled else self._enabled.discard)(line)
+
+    def set_priority(self, line: int, priority: int) -> None:
+        self.priorities[line] = priority
+
+    def post(self, line: int) -> None:
+        if not 0 <= line < self.num_lines:
+            raise ValueError(f"GIC line {line} out of range")
+        self._pending.add(line)
+
+    def clear(self, line: int) -> None:
+        self._pending.discard(line)
+
+    def _best(self) -> int | None:
+        candidates = [l for l in self._pending if l in self._enabled]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda l: (self.priorities.get(l, 128), l))
+
+    def pending(self, context: int = 0) -> bool:
+        return self._best() is not None and context not in self._active
+
+    def claim(self, context: int = 0) -> int | None:
+        """IAR read: acknowledge the highest-priority pending interrupt."""
+        if context in self._active:
+            return None
+        line = self._best()
+        if line is None:
+            return None
+        self._pending.discard(line)
+        self._active[context] = line
+        return line
+
+    def complete(self, line: int, context: int = 0) -> None:
+        """EOIR write."""
+        if self._active.get(context) == line:
+            del self._active[context]
+
+
+@dataclass
+class PLIC(InterruptController):
+    """RISC-V Platform-Level Interrupt Controller analog."""
+
+    num_sources: int = 64
+    num_contexts: int = 1
+    priorities: dict[int, int] = field(default_factory=dict)
+    thresholds: dict[int, int] = field(default_factory=dict)
+    _gateway_pending: set = field(default_factory=set)
+    _claimed: dict = field(default_factory=dict)  # context -> set of lines
+
+    def set_priority(self, source: int, priority: int) -> None:
+        if priority < 0 or priority > 7:
+            raise ValueError("PLIC priorities are 0..7")
+        self.priorities[source] = priority
+
+    def set_threshold(self, context: int, threshold: int) -> None:
+        self.thresholds[context] = threshold
+
+    def post(self, source: int) -> None:
+        if not 1 <= source < self.num_sources:
+            raise ValueError(f"PLIC source {source} out of range (0 is reserved)")
+        self._gateway_pending.add(source)
+
+    def clear(self, source: int) -> None:
+        self._gateway_pending.discard(source)
+
+    def _eligible(self, context: int) -> list[int]:
+        threshold = self.thresholds.get(context, 0)
+        return [
+            s
+            for s in self._gateway_pending
+            if self.priorities.get(s, 1) > threshold
+        ]
+
+    def pending(self, context: int = 0) -> bool:
+        return bool(self._eligible(context))
+
+    def claim(self, context: int = 0) -> int | None:
+        """Claim register read: highest priority wins, ties break on ID."""
+        eligible = self._eligible(context)
+        if not eligible:
+            return None
+        source = max(eligible, key=lambda s: (self.priorities.get(s, 1), -s))
+        self._gateway_pending.discard(source)
+        self._claimed.setdefault(context, set()).add(source)
+        return source
+
+    def complete(self, source: int, context: int = 0) -> None:
+        self._claimed.get(context, set()).discard(source)
+
+
+def controller_for_isa(isa_name: str) -> InterruptController:
+    """The platform interrupt controller each ISA's SoC template uses."""
+    if isa_name == "arm":
+        return GIC()
+    if isa_name in ("rv", "x86"):
+        # the paper ports GIC→PLIC for RISC-V; our x86 SoC template reuses
+        # the PLIC-style global controller (an IOAPIC stand-in)
+        return PLIC()
+    raise ValueError(f"no interrupt controller template for ISA {isa_name!r}")

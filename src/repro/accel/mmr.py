@@ -1,0 +1,81 @@
+"""Memory-mapped registers (MMRs): the accelerator's host-facing interface.
+
+gem5-SALAM accelerators are memory-mapped devices: the host writes argument
+and control registers, sets the START bit, and receives a completion
+interrupt; status is also pollable.  :class:`MMRBlock` provides exactly
+that surface and plugs into :class:`repro.cpu.memory.MainMemory` as an
+MMIO region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Callable
+
+from repro.cpu.memory import MMIORegion
+
+# register offsets (8 bytes each)
+REG_CTRL = 0x00      # write 1 to start
+REG_STATUS = 0x08    # 0 idle, 1 running, 2 done, 3 error
+REG_ARG0 = 0x10
+REG_ARG1 = 0x18
+REG_ARG2 = 0x20
+REG_ARG3 = 0x28
+MMR_SIZE = 0x40
+
+STATUS_IDLE = 0
+STATUS_RUNNING = 1
+STATUS_DONE = 2
+STATUS_ERROR = 3
+
+
+@dataclass
+class MMRBlock:
+    """Control/status/argument registers of one accelerator."""
+
+    name: str
+    base: int
+    on_start: Callable | None = None     # called when CTRL bit 0 is written
+    regs: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for off in range(0, MMR_SIZE, 8):
+            self.regs.setdefault(off, 0)
+
+    # -------------------------------------------------------------- access
+
+    def read(self, addr: int, width: int) -> int:
+        off = (addr - self.base) & ~0x7
+        value = self.regs.get(off, 0)
+        shift = (addr - self.base - off) * 8
+        return (value >> shift) & ((1 << (width * 8)) - 1)
+
+    def write(self, addr: int, value: int, width: int) -> None:
+        off = (addr - self.base) & ~0x7
+        if off == REG_CTRL and value & 1:
+            self.regs[REG_STATUS] = STATUS_RUNNING
+            if self.on_start is not None:
+                self.on_start(self)
+            return
+        self.regs[off] = value & ((1 << 64) - 1)
+
+    # -------------------------------------------------------------- helpers
+
+    def arg(self, index: int) -> int:
+        return self.regs[REG_ARG0 + 8 * index]
+
+    def set_status(self, status: int) -> None:
+        self.regs[REG_STATUS] = status
+
+    @property
+    def status(self) -> int:
+        return self.regs[REG_STATUS]
+
+    def as_mmio_region(self) -> MMIORegion:
+        return MMIORegion(
+            start=self.base,
+            end=self.base + MMR_SIZE,
+            read=self.read,
+            write=self.write,
+            name=f"mmr:{self.name}",
+        )

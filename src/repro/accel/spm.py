@@ -1,0 +1,143 @@
+"""Accelerator-local memories: scratchpads (SPMs) and register banks.
+
+These are the paper's DSA injection targets (Section IV-E): high-speed
+storage next to the functional units, holding the inputs, outputs and
+intermediates of the accelerated algorithm.  Register banks play the same
+role but are slower, with a delta delay between a write and the moment the
+written data is readable.
+
+Contents are real bytearrays; injected bit flips propagate by computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class AccelMemFault(Exception):
+    """Access outside the memory (a DSA-side crash cause)."""
+
+    def __init__(self, name: str, addr: int, width: int):
+        super().__init__(f"{name}: access out of range: +{addr:#x}/{width}")
+        self.name = name
+
+
+class MemProbe:
+    """Observer for byte-level events (armed by the DSA injector)."""
+
+    def on_read(self, mem: "ScratchpadMemory", lo: int, hi: int) -> None: ...
+
+    def on_write(self, mem: "ScratchpadMemory", lo: int, hi: int) -> None: ...
+
+
+class ScratchpadMemory:
+    """A byte-addressable scratchpad with a fixed number of access ports."""
+
+    kind = "spm"
+    read_latency = 1
+    write_latency = 1
+
+    def __init__(self, name: str, size: int, base: int, ports: int = 2):
+        self.name = name
+        self.size = size
+        self.base = base
+        self.ports = ports
+        self.data = bytearray(size)
+        self.probe: MemProbe | None = None
+        #: bytes ever written — an untouched cell is "unused" for masking
+        self.touched = bytearray(size)
+        self.reads = 0
+        self.writes = 0
+
+    # -------------------------------------------------------------- access
+
+    def contains(self, addr: int, width: int = 1) -> bool:
+        return self.base <= addr and addr + width <= self.base + self.size
+
+    def _offset(self, addr: int, width: int) -> int:
+        off = addr - self.base
+        if off < 0 or off + width > self.size:
+            raise AccelMemFault(self.name, off, width)
+        return off
+
+    def read(self, addr: int, width: int) -> int:
+        off = self._offset(addr, width)
+        self.reads += 1
+        if self.probe:
+            self.probe.on_read(self, off, off + width)
+        return int.from_bytes(self.data[off : off + width], "little")
+
+    def write(self, addr: int, value: int, width: int) -> None:
+        off = self._offset(addr, width)
+        self.writes += 1
+        self.data[off : off + width] = (value & ((1 << (width * 8)) - 1)).to_bytes(
+            width, "little"
+        )
+        for i in range(off, off + width):
+            self.touched[i] = 1
+        if self.probe:
+            self.probe.on_write(self, off, off + width)
+
+    def load_block(self, offset: int, block: bytes) -> None:
+        """Raw initialization (DMA backend); marks bytes as touched."""
+        if offset < 0 or offset + len(block) > self.size:
+            raise AccelMemFault(self.name, offset, len(block))
+        self.data[offset : offset + len(block)] = block
+        for i in range(offset, offset + len(block)):
+            self.touched[i] = 1
+        if self.probe:
+            self.probe.on_write(self, offset, offset + len(block))
+
+    def dump(self, offset: int = 0, size: int | None = None) -> bytes:
+        size = self.size if size is None else size
+        return bytes(self.data[offset : offset + size])
+
+    # ------------------------------------------------------------ injection
+
+    @property
+    def num_bits(self) -> int:
+        return self.size * 8
+
+    def flip_bit(self, bit: int) -> None:
+        self.data[bit // 8] ^= 1 << (bit % 8)
+
+    def force_bit(self, bit: int, value: int) -> bool:
+        byte = bit // 8
+        mask = 1 << (bit % 8)
+        old = self.data[byte]
+        new = (old | mask) if value else (old & ~mask)
+        self.data[byte] = new
+        return new != old
+
+    def byte_used(self, byte: int) -> bool:
+        return bool(self.touched[byte])
+
+    def used_extent(self) -> int:
+        """One past the highest byte ever written (0 if untouched)."""
+        for i in range(self.size - 1, -1, -1):
+            if self.touched[i]:
+                return i + 1
+        return 0
+
+    def snapshot(self) -> dict:
+        return {"data": bytes(self.data), "touched": bytes(self.touched)}
+
+    def restore(self, snap: dict) -> None:
+        self.data[:] = snap["data"]
+        self.touched[:] = snap["touched"]
+
+
+class RegisterBank(ScratchpadMemory):
+    """Slower sibling of the SPM with a write-to-read delta delay.
+
+    The engine models the delta by adding ``delta`` cycles to reads; ports
+    default lower than SPMs.
+    """
+
+    kind = "regbank"
+    read_latency = 2
+    write_latency = 1
+    delta = 1
+
+    def __init__(self, name: str, size: int, base: int, ports: int = 1):
+        super().__init__(name, size, base, ports)

@@ -1,0 +1,11 @@
+"""MachSuite-analog accelerator designs (the paper's Table IV set).
+
+Eight designs — BFS, FFT, GEMM, MD_KNN, MERGESORT, SPMV, STENCIL2D,
+STENCIL3D — with the same component roles the paper injects into
+(index-carrying register banks vs data scratchpads, input-once vs
+streaming-write memories) at scaled sizes.
+"""
+
+from repro.accel_designs.registry import DESIGNS, PAPER_TARGETS, get_design
+
+__all__ = ["DESIGNS", "PAPER_TARGETS", "get_design"]

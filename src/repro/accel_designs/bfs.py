@@ -1,0 +1,138 @@
+"""BFS accelerator: breadth-first traversal (MachSuite bfs/queue analog).
+
+Table IV components: **EDGES** and **NODES** register banks, holding the CSR
+graph — edge targets and per-node (edge_begin, edge_count) records.  Both
+carry *indices consumed by the accelerator's address generation*, which is
+why nearly all BFS fault effects are crashes (out-of-range scratchpad
+accesses or traversal blow-ups caught by the watchdog) in Figure 14.
+"""
+
+from __future__ import annotations
+
+from repro.accel.cluster import AccelDesign, MemDecl
+from repro.accel.dataflow import FUConfig
+from repro.accel_designs._common import pack_u32
+from repro.kernel.ir import Cond, Program, ProgramBuilder
+from repro.workloads._util import lcg_values
+
+_INF = 0xFFFFFFFF
+
+
+def _graph(scale: str) -> tuple[int, list[int], list[int]]:
+    """Deterministic connected digraph in CSR form: (n, node_recs, edges)."""
+    n = 16 if scale == "tiny" else 32
+    degree = 4
+    targets = lcg_values(211, n * degree, 0, n)
+    edges: list[int] = []
+    node_recs: list[int] = []
+    for v in range(n):
+        node_recs.append(len(edges))         # edge_begin
+        node_recs.append(degree)             # edge_count
+        edges.append((v + 1) % n)            # ring edge keeps it connected
+        edges.extend(targets[v * degree : v * degree + degree - 1])
+    return n, node_recs, edges
+
+
+def build_kernel(mem: dict[str, int], scale: str) -> Program:
+    n, _, edges = _graph(scale)
+    b = ProgramBuilder(f"bfs_accel_{n}")
+    b.label("entry")
+    nodes_base = b.const(mem["NODES"])
+    edges_base = b.const(mem["EDGES"])
+    level_base = b.const(mem["LEVEL"])
+    queue_base = b.const(mem["QUEUE"])
+    nn = b.const(n)
+    inf = b.const(_INF)
+
+    # init levels to INF, push root (node 0)
+    i0 = b.var(0)
+    b.label("init")
+    b.store(inf, b.add(level_base, b.shl(i0, b.const(2))), 0, width=4)
+    b.inc(i0)
+    b.br(Cond.LTU, i0, nn, "init", "seed")
+    b.label("seed")
+    b.store(b.const(0), level_base, 0, width=4)       # level[0] = 0
+    b.store(b.const(0), queue_base, 0, width=4)       # queue[0] = node 0
+    head = b.var(0)
+    tail = b.var(1)
+
+    b.label("bfs_loop")
+    b.br(Cond.GEU, head, tail, "done", "visit")
+    b.label("visit")
+    node = b.load(b.add(queue_base, b.shl(head, b.const(2))), 0, width=4, signed=False)
+    b.inc(head)
+    lvl = b.load(b.add(level_base, b.shl(node, b.const(2))), 0, width=4, signed=False)
+    nrec = b.add(nodes_base, b.shl(node, b.const(3)))
+    begin = b.load(nrec, 0, width=4, signed=False)
+    count = b.load(nrec, 4, width=4, signed=False)
+    e = b.var(0)
+    b.label("edge_loop")
+    b.br(Cond.GEU, e, count, "bfs_loop", "edge_body")
+    b.label("edge_body")
+    eidx = b.add(begin, e)
+    tgt = b.load(b.add(edges_base, b.shl(eidx, b.const(2))), 0, width=4, signed=False)
+    tlvl_addr = b.add(level_base, b.shl(tgt, b.const(2)))
+    tlvl = b.load(tlvl_addr, 0, width=4, signed=False)
+    b.br(Cond.LTU, tlvl, inf, "edge_next", "discover")
+    b.label("discover")
+    newlvl = b.addi(lvl, 1)
+    b.store(newlvl, tlvl_addr, 0, width=4)
+    b.store(tgt, b.add(queue_base, b.shl(tail, b.const(2))), 0, width=4)
+    b.inc(tail)
+    b.label("edge_next")
+    b.inc(e)
+    b.jump("edge_loop")
+
+    b.label("done")
+    b.halt()
+    return b.build()
+
+
+def inputs(scale: str) -> dict[str, bytes]:
+    n, node_recs, edges = _graph(scale)
+    return {
+        "NODES": pack_u32(node_recs),
+        "EDGES": pack_u32(edges),
+        "LEVEL": bytes(n * 4),
+        "QUEUE": bytes(n * 4 * 2),
+    }
+
+
+def reference_output(scale: str) -> bytes:
+    n, node_recs, edges = _graph(scale)
+    level = [_INF] * n
+    level[0] = 0
+    queue = [0]
+    head = 0
+    while head < len(queue):
+        v = queue[head]
+        head += 1
+        begin, count = node_recs[2 * v], node_recs[2 * v + 1]
+        for e in range(count):
+            t = edges[begin + e]
+            if level[t] == _INF:
+                level[t] = level[v] + 1
+                queue.append(t)
+    return pack_u32(level)
+
+
+def design() -> AccelDesign:
+    n = 32  # default-scale sizing for the memory map
+    degree = 4
+    return AccelDesign(
+        name="bfs",
+        memories=[
+            MemDecl("EDGES", n * degree * 4, "regbank", ports=2),
+            MemDecl("NODES", n * 2 * 4, "regbank", ports=2),
+            MemDecl("LEVEL", n * 4, "spm"),
+            MemDecl("QUEUE", n * 4 * 2, "spm"),
+        ],
+        build_kernel=build_kernel,
+        inputs=inputs,
+        output_memories=["LEVEL"],
+        fu=FUConfig(alu=8, mul=4, fpu=1, div=1),
+        operations_per_run=lambda scale: float(
+            (16 if scale == "tiny" else 32) * degree
+        ),
+        description="CSR breadth-first search; RegBanks hold graph indices",
+    )

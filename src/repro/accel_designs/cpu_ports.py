@@ -1,0 +1,271 @@
+"""CPU ports of the four Figure-16 algorithms (GEMM, BFS, FFT, KNN).
+
+For the paper's performance-aware CPU-vs-DSA comparison (Section V-G), the
+same four algorithms are "properly implemented to run and modelled in both
+computing systems".  These builders produce mini-IR programs for the OoO
+CPU that consume the *same inputs* as the accelerator designs and emit the
+*same result bytes* (via the output port), so AVF and OPF are measured over
+identical computations.
+
+Registered as workloads ``gemm_cpu`` / ``bfs_cpu`` / ``fft_cpu`` /
+``knn_cpu``.
+"""
+
+from __future__ import annotations
+
+from repro.accel_designs import bfs as bfs_mod
+from repro.accel_designs import fft as fft_mod
+from repro.accel_designs import gemm as gemm_mod
+from repro.accel_designs import md_knn as knn_mod
+from repro.kernel.ir import BinOp, Cond, Program, ProgramBuilder
+from repro.workloads.suite import register_workload
+
+
+def _emit_buffer(b: ProgramBuilder, base, nbytes: int) -> None:
+    """OUT every 8-byte word of a buffer (the CPU-side result channel)."""
+    count = b.const(nbytes // 8)
+    i = b.var(0)
+    b.label("emit_loop")
+    v = b.load(b.add(base, b.shl(i, b.const(3))), 0, width=8)
+    b.out(v, width=8)
+    b.inc(i)
+    b.br(Cond.LTU, i, count, "emit_loop", "emit_done")
+    b.label("emit_done")
+    b.halt()
+
+
+def build_gemm_cpu(scale: str = "tiny") -> Program:
+    n = gemm_mod._dim(scale)
+    blobs = gemm_mod.inputs(scale)
+    b = ProgramBuilder(f"gemm_cpu_{n}")
+    a_sym = b.data_bytes("A", blobs["MATRIX1"])
+    b_sym = b.data_bytes("B", blobs["MATRIX2"])
+    c_sym = b.data_zeros("C", n * n * 8)
+
+    b.label("entry")
+    b.checkpoint()
+    a = b.la(a_sym)
+    bb = b.la(b_sym)
+    c = b.la(c_sym)
+    nn = b.const(n)
+    row = b.const(n * 8)
+    i = b.var(0)
+    b.label("rows")
+    j = b.var(0)
+    b.label("cols")
+    acc = b.fvar(0.0)
+    arow = b.add(a, b.mul(i, row))
+    k = b.var(0)
+    b.label("dot")
+    av = b.fload(b.add(arow, b.shl(k, b.const(3))), 0)
+    bv = b.fload(b.add(bb, b.add(b.mul(k, row), b.shl(j, b.const(3)))), 0)
+    b.bin(BinOp.FADD, acc, b.bin(BinOp.FMUL, av, bv), dest=acc)
+    b.inc(k)
+    b.br(Cond.LTU, k, nn, "dot", "store")
+    b.label("store")
+    b.store(acc, b.add(c, b.add(b.mul(i, row), b.shl(j, b.const(3)))), 0, width=8)
+    b.inc(j)
+    b.br(Cond.LTU, j, nn, "cols", "next_row")
+    b.label("next_row")
+    b.inc(i)
+    b.br(Cond.LTU, i, nn, "rows", "emit")
+    b.label("emit")
+    b.switch_cpu()
+    _emit_buffer(b, b.la(c_sym), n * n * 8)
+    return b.build()
+
+
+def build_bfs_cpu(scale: str = "tiny") -> Program:
+    n, node_recs, edges = bfs_mod._graph(scale)
+    b = ProgramBuilder(f"bfs_cpu_{n}")
+    nodes_sym = b.data_words("nodes", node_recs, width=4)
+    edges_sym = b.data_words("edges", edges, width=4)
+    level_sym = b.data_zeros("level", n * 4)
+    queue_sym = b.data_zeros("queue", n * 4 * 2)
+
+    b.label("entry")
+    b.checkpoint()
+    nodes = b.la(nodes_sym)
+    edgs = b.la(edges_sym)
+    level = b.la(level_sym)
+    queue = b.la(queue_sym)
+    nn = b.const(n)
+    inf = b.const(0xFFFFFFFF)
+
+    i0 = b.var(0)
+    b.label("init")
+    b.store(inf, b.add(level, b.shl(i0, b.const(2))), 0, width=4)
+    b.inc(i0)
+    b.br(Cond.LTU, i0, nn, "init", "seed")
+    b.label("seed")
+    b.store(b.const(0), level, 0, width=4)
+    b.store(b.const(0), queue, 0, width=4)
+    head = b.var(0)
+    tail = b.var(1)
+    b.label("loop")
+    b.br(Cond.GEU, head, tail, "emit", "visit")
+    b.label("visit")
+    node = b.load(b.add(queue, b.shl(head, b.const(2))), 0, width=4, signed=False)
+    b.inc(head)
+    lvl = b.load(b.add(level, b.shl(node, b.const(2))), 0, width=4, signed=False)
+    nrec = b.add(nodes, b.shl(node, b.const(3)))
+    begin = b.load(nrec, 0, width=4, signed=False)
+    count = b.load(nrec, 4, width=4, signed=False)
+    e = b.var(0)
+    b.label("edge")
+    b.br(Cond.GEU, e, count, "loop", "body")
+    b.label("body")
+    tgt = b.load(b.add(edgs, b.shl(b.add(begin, e), b.const(2))), 0, width=4, signed=False)
+    taddr = b.add(level, b.shl(tgt, b.const(2)))
+    tlvl = b.load(taddr, 0, width=4, signed=False)
+    b.br(Cond.LTU, tlvl, inf, "edge_next", "discover")
+    b.label("discover")
+    b.store(b.addi(lvl, 1), taddr, 0, width=4)
+    b.store(tgt, b.add(queue, b.shl(tail, b.const(2))), 0, width=4)
+    b.inc(tail)
+    b.label("edge_next")
+    b.inc(e)
+    b.jump("edge")
+    b.label("emit")
+    b.switch_cpu()
+    _emit_buffer(b, b.la(level_sym), n * 4)
+    return b.build()
+
+
+def build_fft_cpu(scale: str = "tiny") -> Program:
+    n = fft_mod._n(scale)
+    log_n = n.bit_length() - 1
+    blobs = fft_mod.inputs(scale)
+    b = ProgramBuilder(f"fft_cpu_{n}")
+    re_sym = b.data_bytes("re", blobs["REAL"])
+    im_sym = b.data_bytes("im", blobs["IMG"])
+    twr_sym = b.data_bytes("twr", blobs["TWID_RE"])
+    twi_sym = b.data_bytes("twi", blobs["TWID_IM"])
+
+    b.label("entry")
+    b.checkpoint()
+    reb = b.la(re_sym)
+    imb = b.la(im_sym)
+    twrb = b.la(twr_sym)
+    twib = b.la(twi_sym)
+    nn = b.const(n)
+
+    stage = b.var(1)
+    tw_base = b.var(0)
+    b.label("stage")
+    m = b.shl(b.const(1), stage)
+    half = b.shr(m, b.const(1))
+    grp = b.var(0)
+    b.label("group")
+    k = b.var(0)
+    b.label("bfly")
+    tw = b.add(tw_base, k)
+    wr = b.fload(b.add(twrb, b.shl(tw, b.const(3))), 0)
+    wi = b.fload(b.add(twib, b.shl(tw, b.const(3))), 0)
+    top8 = b.shl(b.add(grp, k), b.const(3))
+    bot8 = b.shl(b.add(b.add(grp, k), half), b.const(3))
+    ar = b.fload(b.add(reb, top8), 0)
+    ai = b.fload(b.add(imb, top8), 0)
+    br_ = b.fload(b.add(reb, bot8), 0)
+    bi = b.fload(b.add(imb, bot8), 0)
+    tr = b.bin(BinOp.FSUB, b.bin(BinOp.FMUL, wr, br_), b.bin(BinOp.FMUL, wi, bi))
+    ti = b.bin(BinOp.FADD, b.bin(BinOp.FMUL, wr, bi), b.bin(BinOp.FMUL, wi, br_))
+    b.store(b.bin(BinOp.FADD, ar, tr), b.add(reb, top8), 0, width=8)
+    b.store(b.bin(BinOp.FADD, ai, ti), b.add(imb, top8), 0, width=8)
+    b.store(b.bin(BinOp.FSUB, ar, tr), b.add(reb, bot8), 0, width=8)
+    b.store(b.bin(BinOp.FSUB, ai, ti), b.add(imb, bot8), 0, width=8)
+    b.inc(k)
+    b.br(Cond.LTU, k, half, "bfly", "group_next")
+    b.label("group_next")
+    b.add(grp, m, dest=grp)
+    b.br(Cond.LTU, grp, nn, "group", "stage_next")
+    b.label("stage_next")
+    b.add(tw_base, half, dest=tw_base)
+    b.inc(stage)
+    b.br(Cond.LTU, stage, b.const(log_n + 1), "stage", "emit_re")
+
+    b.label("emit_re")
+    b.switch_cpu()
+    count = b.const(n)
+    i = b.var(0)
+    b.label("er_loop")
+    v = b.load(b.add(reb, b.shl(i, b.const(3))), 0, width=8)
+    b.out(v, width=8)
+    b.inc(i)
+    b.br(Cond.LTU, i, count, "er_loop", "emit_im")
+    b.label("emit_im")
+    j = b.var(0)
+    b.label("ei_loop")
+    v2 = b.load(b.add(imb, b.shl(j, b.const(3))), 0, width=8)
+    b.out(v2, width=8)
+    b.inc(j)
+    b.br(Cond.LTU, j, count, "ei_loop", "fin")
+    b.label("fin")
+    b.halt()
+    return b.build()
+
+
+def build_knn_cpu(scale: str = "tiny") -> Program:
+    n = knn_mod._atoms(scale)
+    blobs = knn_mod.inputs(scale)
+    b = ProgramBuilder(f"knn_cpu_{n}")
+    pos_sym = b.data_bytes("pos", blobs["POS"])
+    nl_sym = b.data_bytes("nl", blobs["NLADDR"])
+    fx_sym = b.data_zeros("fx", n * 8)
+
+    b.label("entry")
+    b.checkpoint()
+    pos = b.la(pos_sym)
+    nl = b.la(nl_sym)
+    fx = b.la(fx_sym)
+    nn = b.const(n)
+    knn = b.const(knn_mod._NEIGHBOURS)
+    half = b.fconst(0.5)
+    one = b.fconst(1.0)
+
+    i = b.var(0)
+    b.label("atoms")
+    i3 = b.muli(i, 24)
+    xi = b.fload(b.add(pos, i3), 0)
+    yi = b.fload(b.add(pos, i3), 8)
+    zi = b.fload(b.add(pos, i3), 16)
+    force = b.fvar(0.0)
+    j = b.var(0)
+    b.label("neigh")
+    nidx = b.add(b.mul(i, knn), j)
+    ja = b.load(b.add(nl, b.shl(nidx, b.const(2))), 0, width=4, signed=False)
+    j3 = b.muli(ja, 24)
+    dx = b.bin(BinOp.FSUB, xi, b.fload(b.add(pos, j3), 0))
+    dy = b.bin(BinOp.FSUB, yi, b.fload(b.add(pos, j3), 8))
+    dz = b.bin(BinOp.FSUB, zi, b.fload(b.add(pos, j3), 16))
+    r2 = b.bin(
+        BinOp.FADD,
+        b.bin(BinOp.FADD, b.bin(BinOp.FMUL, dx, dx), b.bin(BinOp.FMUL, dy, dy)),
+        b.bin(BinOp.FMUL, dz, dz),
+    )
+    inv = b.bin(BinOp.FDIV, one, r2)
+    r6 = b.bin(BinOp.FMUL, b.bin(BinOp.FMUL, inv, inv), inv)
+    pot = b.bin(BinOp.FSUB, r6, b.bin(BinOp.FMUL, inv, half))
+    b.bin(BinOp.FADD, force, b.bin(BinOp.FMUL, pot, dx), dest=force)
+    b.inc(j)
+    b.br(Cond.LTU, j, knn, "neigh", "store")
+    b.label("store")
+    b.store(force, b.add(fx, b.shl(i, b.const(3))), 0, width=8)
+    b.inc(i)
+    b.br(Cond.LTU, i, nn, "atoms", "emit")
+    b.label("emit")
+    b.switch_cpu()
+    _emit_buffer(b, b.la(fx_sym), n * 8)
+    return b.build()
+
+
+#: maps CPU workload name -> (builder, matching accelerator design)
+CPU_PORTS = {
+    "gemm_cpu": (build_gemm_cpu, "gemm"),
+    "bfs_cpu": (build_bfs_cpu, "bfs"),
+    "fft_cpu": (build_fft_cpu, "fft"),
+    "knn_cpu": (build_knn_cpu, "md_knn"),
+}
+
+for _name, (_builder, _design) in CPU_PORTS.items():
+    register_workload(_name, _builder)

@@ -1,0 +1,150 @@
+"""FFT accelerator: radix-2 DIT transform (MachSuite fft/strided analog).
+
+Table IV components: **REAL** and **IMG** scratchpads holding the working
+signal (also the output).  Twiddle factors live in an untargeted ROM-like
+SPM.  Faults in either SPM corrupt pure data — every non-masked effect is
+an SDC (Figure 14), with REAL/IMG nearly symmetric.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.accel.cluster import AccelDesign, MemDecl
+from repro.accel.dataflow import FUConfig
+from repro.accel_designs._common import det_floats, pack_f64
+from repro.kernel.ir import BinOp, Cond, Program, ProgramBuilder
+
+
+def _n(scale: str) -> int:
+    return 32 if scale == "tiny" else 64
+
+
+def _twiddles(n: int) -> tuple[list[float], list[float]]:
+    tw_re, tw_im = [], []
+    log_n = n.bit_length() - 1
+    for s in range(1, log_n + 1):
+        half = 1 << (s - 1)
+        for k in range(half):
+            angle = -2.0 * math.pi * k / (1 << s)
+            tw_re.append(math.cos(angle))
+            tw_im.append(math.sin(angle))
+    return tw_re, tw_im
+
+
+def build_kernel(mem: dict[str, int], scale: str) -> Program:
+    n = _n(scale)
+    log_n = n.bit_length() - 1
+    b = ProgramBuilder(f"fft_accel_{n}")
+    b.label("entry")
+    reb = b.const(mem["REAL"])
+    imb = b.const(mem["IMG"])
+    twrb = b.const(mem["TWID_RE"])
+    twib = b.const(mem["TWID_IM"])
+    nn = b.const(n)
+
+    # data arrives bit-reverse-permuted via DMA; run the butterfly stages
+    stage = b.var(1)
+    tw_base = b.var(0)
+    b.label("stage_loop")
+    m = b.shl(b.const(1), stage)
+    half = b.shr(m, b.const(1))
+    grp = b.var(0)
+    b.label("group_loop")
+    k = b.var(0)
+    b.label("bfly")
+    tw_idx = b.add(tw_base, k)
+    wr = b.fload(b.add(twrb, b.shl(tw_idx, b.const(3))), 0)
+    wi = b.fload(b.add(twib, b.shl(tw_idx, b.const(3))), 0)
+    top8 = b.shl(b.add(grp, k), b.const(3))
+    bot8 = b.shl(b.add(b.add(grp, k), half), b.const(3))
+    ar = b.fload(b.add(reb, top8), 0)
+    ai = b.fload(b.add(imb, top8), 0)
+    br_ = b.fload(b.add(reb, bot8), 0)
+    bi = b.fload(b.add(imb, bot8), 0)
+    tr = b.bin(BinOp.FSUB, b.bin(BinOp.FMUL, wr, br_), b.bin(BinOp.FMUL, wi, bi))
+    ti = b.bin(BinOp.FADD, b.bin(BinOp.FMUL, wr, bi), b.bin(BinOp.FMUL, wi, br_))
+    b.store(b.bin(BinOp.FADD, ar, tr), b.add(reb, top8), 0, width=8)
+    b.store(b.bin(BinOp.FADD, ai, ti), b.add(imb, top8), 0, width=8)
+    b.store(b.bin(BinOp.FSUB, ar, tr), b.add(reb, bot8), 0, width=8)
+    b.store(b.bin(BinOp.FSUB, ai, ti), b.add(imb, bot8), 0, width=8)
+    b.inc(k)
+    b.br(Cond.LTU, k, half, "bfly", "group_next")
+    b.label("group_next")
+    b.add(grp, m, dest=grp)
+    b.br(Cond.LTU, grp, nn, "group_loop", "stage_next")
+    b.label("stage_next")
+    b.add(tw_base, half, dest=tw_base)
+    b.inc(stage)
+    b.br(Cond.LTU, stage, b.const(log_n + 1), "stage_loop", "done")
+    b.label("done")
+    b.halt()
+    return b.build()
+
+
+def _bitrev_signal(scale: str) -> list[float]:
+    n = _n(scale)
+    log_n = n.bit_length() - 1
+    signal = det_floats(223, n)
+    out = [0.0] * n
+    for i in range(n):
+        r = 0
+        for bit in range(log_n):
+            if i & (1 << bit):
+                r |= 1 << (log_n - 1 - bit)
+        out[i] = signal[r]
+    return out
+
+
+def inputs(scale: str) -> dict[str, bytes]:
+    n = _n(scale)
+    tw_re, tw_im = _twiddles(n)
+    return {
+        "REAL": pack_f64(_bitrev_signal(scale)),
+        "IMG": bytes(n * 8),
+        "TWID_RE": pack_f64(tw_re),
+        "TWID_IM": pack_f64(tw_im),
+    }
+
+
+def reference_output(scale: str) -> bytes:
+    n = _n(scale)
+    re = _bitrev_signal(scale)
+    im = [0.0] * n
+    tw_re, tw_im = _twiddles(n)
+    tw_base = 0
+    stage = 1
+    log_n = n.bit_length() - 1
+    while stage <= log_n:
+        m = 1 << stage
+        half = m >> 1
+        for grp in range(0, n, m):
+            for k in range(half):
+                wr, wi = tw_re[tw_base + k], tw_im[tw_base + k]
+                top, bot = grp + k, grp + k + half
+                tr = wr * re[bot] - wi * im[bot]
+                ti = wr * im[bot] + wi * re[bot]
+                re[top], re[bot] = re[top] + tr, re[top] - tr
+                im[top], im[bot] = im[top] + ti, im[top] - ti
+        tw_base += half
+        stage += 1
+    return pack_f64(re) + pack_f64(im)
+
+
+def design() -> AccelDesign:
+    n = 64
+    return AccelDesign(
+        name="fft",
+        memories=[
+            MemDecl("IMG", n * 8, "spm"),
+            MemDecl("REAL", n * 8, "spm"),
+            MemDecl("TWID_RE", (n - 1) * 8, "spm"),
+            MemDecl("TWID_IM", (n - 1) * 8, "spm"),
+        ],
+        build_kernel=build_kernel,
+        inputs=inputs,
+        output_memories=["REAL", "IMG"],
+        fu=FUConfig(alu=8, mul=4, fpu=6, div=1),
+        operations_per_run=lambda scale: 5.0 * _n(scale) * (_n(scale).bit_length() - 1),
+        description="radix-2 DIT FFT over REAL/IMG scratchpads",
+    )

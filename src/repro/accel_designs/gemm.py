@@ -1,0 +1,112 @@
+"""GEMM accelerator: dense matrix multiply (MachSuite gemm/ncubed analog).
+
+Components mirror Table IV: MATRIX1 (input A, SPM, DMA'd once), MATRIX2
+(input B, SPM, untargeted in the paper), MATRIX3 (output C, SPM, written
+continuously by the datapath).  The inner dot-product loop is unrolled 8×,
+giving the functional-unit sweep of Figure 17 real parallelism to harvest.
+"""
+
+from __future__ import annotations
+
+from repro.accel.cluster import AccelDesign, MemDecl
+from repro.accel.dataflow import FUConfig
+from repro.accel_designs._common import det_floats, pack_f64
+from repro.kernel.ir import BinOp, Cond, Program, ProgramBuilder
+
+_UNROLL = 8
+
+
+def _dim(scale: str) -> int:
+    return 8 if scale == "tiny" else 16
+
+
+def build_kernel(mem: dict[str, int], scale: str) -> Program:
+    n = _dim(scale)
+    b = ProgramBuilder(f"gemm_accel_{n}")
+    b.label("entry")
+    a_base = b.const(mem["MATRIX1"])
+    b_base = b.const(mem["MATRIX2"])
+    c_base = b.const(mem["MATRIX3"])
+    nn = b.const(n)
+    row_bytes = b.const(n * 8)
+
+    i = b.var(0)
+    b.label("row")
+    j = b.var(0)
+    b.label("col")
+    acc = b.fvar(0.0)
+    a_row = b.add(a_base, b.mul(i, row_bytes))
+    k = b.var(0)
+    b.label("dot")
+    # 8-way unrolled multiply-accumulate
+    partials = []
+    for u in range(_UNROLL):
+        ku = b.addi(k, u)
+        av = b.fload(b.add(a_row, b.shl(ku, b.const(3))), 0)
+        brow = b.add(b_base, b.mul(ku, row_bytes))
+        bv = b.fload(b.add(brow, b.shl(j, b.const(3))), 0)
+        partials.append(b.bin(BinOp.FMUL, av, bv))
+    # reduction tree
+    while len(partials) > 1:
+        partials = [
+            b.bin(BinOp.FADD, partials[t], partials[t + 1])
+            for t in range(0, len(partials), 2)
+        ]
+    b.bin(BinOp.FADD, acc, partials[0], dest=acc)
+    b.addi(k, _UNROLL, dest=k)
+    b.br(Cond.LTU, k, nn, "dot", "store_c")
+    b.label("store_c")
+    c_addr = b.add(c_base, b.add(b.mul(i, row_bytes), b.shl(j, b.const(3))))
+    b.store(acc, c_addr, 0, width=8)
+    b.inc(j)
+    b.br(Cond.LTU, j, nn, "col", "row_next")
+    b.label("row_next")
+    b.inc(i)
+    b.br(Cond.LTU, i, nn, "row", "done")
+    b.label("done")
+    b.halt()
+    return b.build()
+
+
+def inputs(scale: str) -> dict[str, bytes]:
+    n = _dim(scale)
+    a = det_floats(101, n * n)
+    bm = det_floats(103, n * n)
+    return {
+        "MATRIX1": pack_f64(a),
+        "MATRIX2": pack_f64(bm),
+        "MATRIX3": bytes(n * n * 8),   # zero-initialized output
+    }
+
+
+def reference_output(scale: str) -> bytes:
+    """Functional GEMM for test oracles."""
+    n = _dim(scale)
+    a = det_floats(101, n * n)
+    bm = det_floats(103, n * n)
+    c = [0.0] * (n * n)
+    for i in range(n):
+        for j in range(n):
+            acc = 0.0
+            for k in range(n):
+                acc += a[i * n + k] * bm[k * n + j]
+            c[i * n + j] = acc
+    return pack_f64(c)
+
+
+def design() -> AccelDesign:
+    n_default = _dim("default")
+    return AccelDesign(
+        name="gemm",
+        memories=[
+            MemDecl("MATRIX1", n_default * n_default * 8, "spm"),
+            MemDecl("MATRIX2", n_default * n_default * 8, "spm"),
+            MemDecl("MATRIX3", n_default * n_default * 8, "spm"),
+        ],
+        build_kernel=build_kernel,
+        inputs=inputs,
+        output_memories=["MATRIX3"],
+        fu=FUConfig(alu=8, mul=4, fpu=8, div=1),
+        operations_per_run=lambda scale: 2.0 * _dim(scale) ** 3,
+        description="dense matrix multiply, 8x unrolled dot product",
+    )

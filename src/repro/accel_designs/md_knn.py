@@ -1,0 +1,131 @@
+"""MD_KNN accelerator: molecular-dynamics k-nearest-neighbour force kernel
+(MachSuite md/knn analog).
+
+Table IV components: **NLADDR** (neighbour-list indices, SPM — corrupted
+entries become wild position reads: crash-capable) and **FORCEX**
+(per-atom force output, SPM — pure data: SDCs).  Atom positions live in an
+untargeted SPM.
+"""
+
+from __future__ import annotations
+
+from repro.accel.cluster import AccelDesign, MemDecl
+from repro.accel.dataflow import FUConfig
+from repro.accel_designs._common import det_floats, pack_f64, pack_u32
+from repro.kernel.ir import BinOp, Cond, Program, ProgramBuilder
+from repro.workloads._util import lcg_values
+
+_NEIGHBOURS = 8
+
+
+def _atoms(scale: str) -> int:
+    return 16 if scale == "tiny" else 32
+
+
+def _positions(scale: str) -> list[float]:
+    return det_floats(307, _atoms(scale) * 3, lo=0.5, hi=7.5)
+
+
+def _neighbour_list(scale: str) -> list[int]:
+    n = _atoms(scale)
+    raw = lcg_values(311, n * _NEIGHBOURS, 0, n - 1)
+    # neighbour j of atom i, skipping i itself
+    return [v if v < i else v + 1 for i in range(n) for v in raw[i * _NEIGHBOURS : (i + 1) * _NEIGHBOURS]]
+
+
+def build_kernel(mem: dict[str, int], scale: str) -> Program:
+    n = _atoms(scale)
+    b = ProgramBuilder(f"md_knn_accel_{n}")
+    b.label("entry")
+    pos = b.const(mem["POS"])
+    nl = b.const(mem["NLADDR"])
+    fx = b.const(mem["FORCEX"])
+    nn = b.const(n)
+    knn = b.const(_NEIGHBOURS)
+
+    i = b.var(0)
+    b.label("atom_loop")
+    i3 = b.muli(i, 24)
+    xi = b.fload(b.add(pos, i3), 0)
+    yi = b.fload(b.add(pos, i3), 8)
+    zi = b.fload(b.add(pos, i3), 16)
+    force = b.fvar(0.0)
+    j = b.var(0)
+    b.label("neigh_loop")
+    nidx = b.add(b.mul(i, knn), j)
+    jatom = b.load(b.add(nl, b.shl(nidx, b.const(2))), 0, width=4, signed=False)
+    j3 = b.muli(jatom, 24)
+    xj = b.fload(b.add(pos, j3), 0)
+    yj = b.fload(b.add(pos, j3), 8)
+    zj = b.fload(b.add(pos, j3), 16)
+    dx = b.bin(BinOp.FSUB, xi, xj)
+    dy = b.bin(BinOp.FSUB, yi, yj)
+    dz = b.bin(BinOp.FSUB, zi, zj)
+    r2 = b.bin(
+        BinOp.FADD,
+        b.bin(BinOp.FADD, b.bin(BinOp.FMUL, dx, dx), b.bin(BinOp.FMUL, dy, dy)),
+        b.bin(BinOp.FMUL, dz, dz),
+    )
+    # Lennard-Jones-flavoured force magnitude: 1/r^6 - 0.5/r^3
+    inv_r2 = b.bin(BinOp.FDIV, b.fconst(1.0), r2)
+    r6 = b.bin(BinOp.FMUL, b.bin(BinOp.FMUL, inv_r2, inv_r2), inv_r2)
+    r3 = b.bin(BinOp.FMUL, inv_r2, b.fconst(0.5))
+    pot = b.bin(BinOp.FSUB, r6, r3)
+    fx_c = b.bin(BinOp.FMUL, pot, dx)
+    b.bin(BinOp.FADD, force, fx_c, dest=force)
+    b.inc(j)
+    b.br(Cond.LTU, j, knn, "neigh_loop", "store_force")
+    b.label("store_force")
+    b.store(force, b.add(fx, b.shl(i, b.const(3))), 0, width=8)
+    b.inc(i)
+    b.br(Cond.LTU, i, nn, "atom_loop", "done")
+    b.label("done")
+    b.halt()
+    return b.build()
+
+
+def inputs(scale: str) -> dict[str, bytes]:
+    n = _atoms(scale)
+    return {
+        "POS": pack_f64(_positions(scale)),
+        "NLADDR": pack_u32(_neighbour_list(scale)),
+        "FORCEX": bytes(n * 8),
+    }
+
+
+def reference_output(scale: str) -> bytes:
+    n = _atoms(scale)
+    pos = _positions(scale)
+    nl = _neighbour_list(scale)
+    forces = []
+    for i in range(n):
+        xi, yi, zi = pos[3 * i : 3 * i + 3]
+        force = 0.0
+        for j in range(_NEIGHBOURS):
+            ja = nl[i * _NEIGHBOURS + j]
+            xj, yj, zj = pos[3 * ja : 3 * ja + 3]
+            dx, dy, dz = xi - xj, yi - yj, zi - zj
+            r2 = dx * dx + dy * dy + dz * dz
+            inv_r2 = 1.0 / r2
+            pot = inv_r2 * inv_r2 * inv_r2 - inv_r2 * 0.5
+            force += pot * dx
+        forces.append(force)
+    return pack_f64(forces)
+
+
+def design() -> AccelDesign:
+    n = 32
+    return AccelDesign(
+        name="md_knn",
+        memories=[
+            MemDecl("NLADDR", n * _NEIGHBOURS * 4, "spm"),
+            MemDecl("FORCEX", n * 8, "spm"),
+            MemDecl("POS", n * 3 * 8, "spm"),
+        ],
+        build_kernel=build_kernel,
+        inputs=inputs,
+        output_memories=["FORCEX"],
+        fu=FUConfig(alu=8, mul=4, fpu=6, div=2),
+        operations_per_run=lambda scale: float(_atoms(scale) * _NEIGHBOURS * 12),
+        description="k-nearest-neighbour LJ force kernel",
+    )

@@ -1,0 +1,120 @@
+"""MERGESORT accelerator: bottom-up merge sort (MachSuite sort/merge analog).
+
+Table IV components: **MAIN** (the array being sorted) and **TEMP** (the
+merge staging buffer), both SPMs.  TEMP's AVF sits well below MAIN's: its
+cells are rewritten by the continuous merge-write stream, so most faults
+are overwritten before being consumed (Figure 14's MERGESORT asymmetry).
+"""
+
+from __future__ import annotations
+
+from repro.accel.cluster import AccelDesign, MemDecl
+from repro.accel.dataflow import FUConfig
+from repro.accel_designs._common import pack_u64
+from repro.kernel.ir import BinOp, Cond, Program, ProgramBuilder
+from repro.workloads._util import lcg_values
+
+
+def _count(scale: str) -> int:
+    return 32 if scale == "tiny" else 64
+
+
+def _values(scale: str) -> list[int]:
+    return lcg_values(401, _count(scale), 0, 1 << 32)
+
+
+def build_kernel(mem: dict[str, int], scale: str) -> Program:
+    n = _count(scale)
+    b = ProgramBuilder(f"mergesort_accel_{n}")
+    b.label("entry")
+    main = b.const(mem["MAIN"])
+    temp = b.const(mem["TEMP"])
+    nn = b.const(n)
+
+    width = b.var(1)
+    b.label("pass_loop")
+    lo = b.var(0)
+    b.label("merge_loop")
+    mid = b.add(lo, width)
+    hi = b.add(mid, width)
+    # clamp mid/hi to n
+    mle = b.bin(BinOp.SLTU, nn, mid)
+    b.select(mle, nn, mid, dest=mid)
+    hle = b.bin(BinOp.SLTU, nn, hi)
+    b.select(hle, nn, hi, dest=hi)
+
+    a = b.mov(lo)
+    c = b.mov(mid)
+    out = b.mov(lo)
+    b.label("pick_loop")
+    b.br(Cond.GEU, out, hi, "copy_back", "pick")
+    b.label("pick")
+    a_done = b.bin(BinOp.SLTU, a, mid)
+    c_done = b.bin(BinOp.SLTU, c, hi)
+    b.br(Cond.EQ, a_done, b.const(0), "take_c", "check_c")
+    b.label("check_c")
+    b.br(Cond.EQ, c_done, b.const(0), "take_a", "compare")
+    b.label("compare")
+    va = b.load(b.add(main, b.shl(a, b.const(3))), 0, width=8)
+    vc = b.load(b.add(main, b.shl(c, b.const(3))), 0, width=8)
+    b.br(Cond.LTU, vc, va, "take_c", "take_a")
+    b.label("take_a")
+    va2 = b.load(b.add(main, b.shl(a, b.const(3))), 0, width=8)
+    b.store(va2, b.add(temp, b.shl(out, b.const(3))), 0, width=8)
+    b.inc(a)
+    b.jump("advance")
+    b.label("take_c")
+    vc2 = b.load(b.add(main, b.shl(c, b.const(3))), 0, width=8)
+    b.store(vc2, b.add(temp, b.shl(out, b.const(3))), 0, width=8)
+    b.inc(c)
+    b.label("advance")
+    b.inc(out)
+    b.jump("pick_loop")
+
+    b.label("copy_back")
+    cb = b.mov(lo)
+    b.label("copy_loop")
+    b.br(Cond.GEU, cb, hi, "merge_next", "copy_body")
+    b.label("copy_body")
+    tv = b.load(b.add(temp, b.shl(cb, b.const(3))), 0, width=8)
+    b.store(tv, b.add(main, b.shl(cb, b.const(3))), 0, width=8)
+    b.inc(cb)
+    b.jump("copy_loop")
+
+    b.label("merge_next")
+    b.add(lo, b.shl(width, b.const(1)), dest=lo)
+    b.br(Cond.LTU, lo, nn, "merge_loop", "pass_next")
+    b.label("pass_next")
+    b.shl(width, b.const(1), dest=width)
+    b.br(Cond.LTU, width, nn, "pass_loop", "done")
+    b.label("done")
+    b.halt()
+    return b.build()
+
+
+def inputs(scale: str) -> dict[str, bytes]:
+    n = _count(scale)
+    return {"MAIN": pack_u64(_values(scale)), "TEMP": bytes(n * 8)}
+
+
+def reference_output(scale: str) -> bytes:
+    return pack_u64(sorted(_values(scale)))
+
+
+def design() -> AccelDesign:
+    n = 64
+    return AccelDesign(
+        name="mergesort",
+        memories=[
+            MemDecl("MAIN", n * 8, "spm"),
+            MemDecl("TEMP", n * 8, "spm"),
+        ],
+        build_kernel=build_kernel,
+        inputs=inputs,
+        output_memories=["MAIN"],
+        fu=FUConfig(alu=8, mul=4, fpu=1, div=1),
+        operations_per_run=lambda scale: float(
+            _count(scale) * max(1, _count(scale).bit_length() - 1)
+        ),
+        description="bottom-up merge sort over MAIN with TEMP staging",
+    )

@@ -1,0 +1,54 @@
+"""Design registry + the Table IV injection-target index."""
+
+from __future__ import annotations
+
+from repro.accel.cluster import AccelDesign
+from repro.accel_designs import (
+    bfs,
+    fft,
+    gemm,
+    md_knn,
+    mergesort,
+    spmv,
+    stencil2d,
+    stencil3d,
+)
+
+_MODULES = {
+    "bfs": bfs,
+    "fft": fft,
+    "gemm": gemm,
+    "md_knn": md_knn,
+    "mergesort": mergesort,
+    "spmv": spmv,
+    "stencil2d": stencil2d,
+    "stencil3d": stencil3d,
+}
+
+DESIGNS: dict[str, AccelDesign] = {name: mod.design() for name, mod in _MODULES.items()}
+
+#: the components the paper injects into per design (Table IV)
+PAPER_TARGETS: dict[str, list[str]] = {
+    "bfs": ["EDGES", "NODES"],
+    "fft": ["IMG", "REAL"],
+    "gemm": ["MATRIX1", "MATRIX3"],
+    "md_knn": ["NLADDR", "FORCEX"],
+    "mergesort": ["MAIN", "TEMP"],
+    "spmv": ["VAL", "COLS"],
+    "stencil2d": ["ORIG", "SOL", "FILTER"],
+    "stencil3d": ["ORIG", "SOL", "C_VAR"],
+}
+
+
+def get_design(name: str) -> AccelDesign:
+    try:
+        return DESIGNS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown accelerator design {name!r}; available: {', '.join(DESIGNS)}"
+        ) from None
+
+
+def reference_output(name: str, scale: str) -> bytes:
+    """Functional reference result bytes for a design (test oracle)."""
+    return _MODULES[name].reference_output(scale)

@@ -1,0 +1,115 @@
+"""SPMV accelerator: sparse matrix-vector multiply, CRS form (MachSuite
+spmv/crs analog).
+
+Table IV components: **VAL** (nonzero values, SPM — pure data: SDCs) and
+**COLS** (column indices, SPM — consumed by address generation: corrupted
+entries read wild vector elements or fall off the map).  Row delimiters and
+the dense vector live in untargeted SPMs.
+"""
+
+from __future__ import annotations
+
+from repro.accel.cluster import AccelDesign, MemDecl
+from repro.accel.dataflow import FUConfig
+from repro.accel_designs._common import det_floats, pack_f64, pack_u32
+from repro.kernel.ir import BinOp, Cond, Program, ProgramBuilder
+from repro.workloads._util import lcg_values
+
+_NNZ_PER_ROW = 4
+
+
+def _rows(scale: str) -> int:
+    return 16 if scale == "tiny" else 32
+
+
+def _matrix(scale: str) -> tuple[list[float], list[int], list[int]]:
+    n = _rows(scale)
+    vals = det_floats(503, n * _NNZ_PER_ROW)
+    cols = lcg_values(509, n * _NNZ_PER_ROW, 0, n)
+    rowdelim = [r * _NNZ_PER_ROW for r in range(n + 1)]
+    return vals, cols, rowdelim
+
+
+def _vector(scale: str) -> list[float]:
+    return det_floats(521, _rows(scale))
+
+
+def build_kernel(mem: dict[str, int], scale: str) -> Program:
+    n = _rows(scale)
+    b = ProgramBuilder(f"spmv_accel_{n}")
+    b.label("entry")
+    val = b.const(mem["VAL"])
+    cols = b.const(mem["COLS"])
+    rowd = b.const(mem["ROWDELIM"])
+    vec = b.const(mem["VEC"])
+    out = b.const(mem["OUT"])
+    nn = b.const(n)
+
+    r = b.var(0)
+    b.label("row_loop")
+    begin = b.load(b.add(rowd, b.shl(r, b.const(2))), 0, width=4, signed=False)
+    end = b.load(b.add(rowd, b.shl(r, b.const(2))), 4, width=4, signed=False)
+    acc = b.fvar(0.0)
+    k = b.mov(begin)
+    b.label("nnz_loop")
+    b.br(Cond.GEU, k, end, "store_row", "nnz_body")
+    b.label("nnz_body")
+    v = b.fload(b.add(val, b.shl(k, b.const(3))), 0)
+    col = b.load(b.add(cols, b.shl(k, b.const(2))), 0, width=4, signed=False)
+    x = b.fload(b.add(vec, b.shl(col, b.const(3))), 0)
+    b.bin(BinOp.FADD, acc, b.bin(BinOp.FMUL, v, x), dest=acc)
+    b.inc(k)
+    b.jump("nnz_loop")
+    b.label("store_row")
+    b.store(acc, b.add(out, b.shl(r, b.const(3))), 0, width=8)
+    b.inc(r)
+    b.br(Cond.LTU, r, nn, "row_loop", "done")
+    b.label("done")
+    b.halt()
+    return b.build()
+
+
+def inputs(scale: str) -> dict[str, bytes]:
+    n = _rows(scale)
+    vals, cols, rowdelim = _matrix(scale)
+    return {
+        "VAL": pack_f64(vals),
+        "COLS": pack_u32(cols),
+        "ROWDELIM": pack_u32(rowdelim),
+        "VEC": pack_f64(_vector(scale)),
+        "OUT": bytes(n * 8),
+    }
+
+
+def reference_output(scale: str) -> bytes:
+    n = _rows(scale)
+    vals, cols, rowdelim = _matrix(scale)
+    vec = _vector(scale)
+    out = []
+    for r in range(n):
+        acc = 0.0
+        for k in range(rowdelim[r], rowdelim[r + 1]):
+            acc += vals[k] * vec[cols[k]]
+        out.append(acc)
+    return pack_f64(out)
+
+
+def design() -> AccelDesign:
+    n = 32
+    nnz = n * _NNZ_PER_ROW
+    return AccelDesign(
+        name="spmv",
+        memories=[
+            MemDecl("VAL", nnz * 8, "spm"),
+            MemDecl("COLS", nnz * 4, "spm"),
+            MemDecl("ROWDELIM", (n + 1) * 4, "spm"),
+            MemDecl("VEC", n * 8, "spm"),
+            MemDecl("OUT", n * 8, "spm"),
+        ],
+        build_kernel=build_kernel,
+        inputs=inputs,
+        output_memories=["OUT"],
+        fu=FUConfig(alu=8, mul=4, fpu=4, div=1),
+        operations_per_run=lambda scale: float(2 * _rows(scale) * _NNZ_PER_ROW),
+        description="CRS sparse matrix-vector multiply",
+    )

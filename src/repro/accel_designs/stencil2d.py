@@ -1,0 +1,104 @@
+"""STENCIL2D accelerator: 3x3 convolution over a 2-D grid (MachSuite
+stencil/stencil2d analog).
+
+Table IV components: **ORIG** (input grid, SPM), **SOL** (output grid, SPM)
+and **FILTER** (the 3x3 coefficient register bank — tiny but consumed by
+every output point, so per-bit vulnerability is high).
+"""
+
+from __future__ import annotations
+
+from repro.accel.cluster import AccelDesign, MemDecl
+from repro.accel.dataflow import FUConfig
+from repro.accel_designs._common import det_floats, pack_f64
+from repro.kernel.ir import BinOp, Cond, Program, ProgramBuilder
+
+
+def _dim(scale: str) -> int:
+    return 8 if scale == "tiny" else 16
+
+
+_FILTER = [0.0625, 0.125, 0.0625, 0.125, 0.25, 0.125, 0.0625, 0.125, 0.0625]
+
+
+def build_kernel(mem: dict[str, int], scale: str) -> Program:
+    n = _dim(scale)
+    b = ProgramBuilder(f"stencil2d_accel_{n}")
+    b.label("entry")
+    orig = b.const(mem["ORIG"])
+    sol = b.const(mem["SOL"])
+    filt = b.const(mem["FILTER"])
+    lim = b.const(n - 1)
+    row_bytes = b.const(n * 8)
+
+    r = b.var(1)
+    b.label("row")
+    c = b.var(1)
+    b.label("col")
+    acc = b.fvar(0.0)
+    # fully unrolled 3x3 tap loop — stencils are the classic unroll target
+    for dr in (-1, 0, 1):
+        for dc in (-1, 0, 1):
+            roff = b.mul(b.addi(r, dr), row_bytes)
+            addr = b.add(orig, b.add(roff, b.shl(b.addi(c, dc), b.const(3))))
+            pix = b.fload(addr, 0)
+            coeff = b.fload(
+                b.add(filt, b.const(((dr + 1) * 3 + (dc + 1)) * 8)), 0
+            )
+            b.bin(BinOp.FADD, acc, b.bin(BinOp.FMUL, pix, coeff), dest=acc)
+    out_addr = b.add(sol, b.add(b.mul(r, row_bytes), b.shl(c, b.const(3))))
+    b.store(acc, out_addr, 0, width=8)
+    b.inc(c)
+    b.br(Cond.LT, c, lim, "col", "row_next")
+    b.label("row_next")
+    b.inc(r)
+    b.br(Cond.LT, r, lim, "row", "done")
+    b.label("done")
+    b.halt()
+    return b.build()
+
+
+def _grid(scale: str) -> list[float]:
+    n = _dim(scale)
+    return det_floats(601, n * n, lo=0.0, hi=100.0)
+
+
+def inputs(scale: str) -> dict[str, bytes]:
+    n = _dim(scale)
+    return {
+        "ORIG": pack_f64(_grid(scale)),
+        "SOL": bytes(n * n * 8),
+        "FILTER": pack_f64(_FILTER),
+    }
+
+
+def reference_output(scale: str) -> bytes:
+    n = _dim(scale)
+    grid = _grid(scale)
+    sol = [0.0] * (n * n)
+    for r in range(1, n - 1):
+        for c in range(1, n - 1):
+            acc = 0.0
+            for dr in (-1, 0, 1):
+                for dc in (-1, 0, 1):
+                    acc += grid[(r + dr) * n + c + dc] * _FILTER[(dr + 1) * 3 + dc + 1]
+            sol[r * n + c] = acc
+    return pack_f64(sol)
+
+
+def design() -> AccelDesign:
+    n = 16
+    return AccelDesign(
+        name="stencil2d",
+        memories=[
+            MemDecl("ORIG", n * n * 8, "spm"),
+            MemDecl("SOL", n * n * 8, "spm"),
+            MemDecl("FILTER", 9 * 8, "regbank"),
+        ],
+        build_kernel=build_kernel,
+        inputs=inputs,
+        output_memories=["SOL"],
+        fu=FUConfig(alu=8, mul=4, fpu=6, div=1),
+        operations_per_run=lambda scale: float(18 * (_dim(scale) - 2) ** 2),
+        description="3x3 convolution with coefficient register bank",
+    )

@@ -1,0 +1,137 @@
+"""STENCIL3D accelerator: 7-point stencil over a 3-D grid (MachSuite
+stencil/stencil3d analog).
+
+Table IV components: **ORIG**/**SOL** scratchpads and **C_VAR**, an 8-byte
+register bank holding the two stencil coefficients — the smallest injection
+target in the suite, yet consumed by every interior point.
+"""
+
+from __future__ import annotations
+
+from repro.accel.cluster import AccelDesign, MemDecl
+from repro.accel.dataflow import FUConfig
+from repro.accel_designs._common import det_floats, pack_f64
+from repro.kernel.ir import BinOp, Cond, Program, ProgramBuilder
+
+
+def _dim(scale: str) -> int:
+    return 5 if scale == "tiny" else 8
+
+
+def _coeffs() -> list[float]:
+    return [0.5, 0.0833]  # centre weight, neighbour weight (packed in C_VAR)
+
+
+def build_kernel(mem: dict[str, int], scale: str) -> Program:
+    n = _dim(scale)
+    b = ProgramBuilder(f"stencil3d_accel_{n}")
+    b.label("entry")
+    orig = b.const(mem["ORIG"])
+    sol = b.const(mem["SOL"])
+    cvar = b.const(mem["C_VAR"])
+    lim = b.const(n - 1)
+    plane = b.const(n * n * 8)
+    row = b.const(n * 8)
+
+    # C_VAR is 8 bytes in Table IV: two fixed-point (x1e4) u32 coefficients
+    ten_k = b.fconst(10000.0)
+
+    z = b.var(1)
+    b.label("zloop")
+    y = b.var(1)
+    b.label("yloop")
+    x = b.var(1)
+    b.label("xloop")
+    # coefficients re-fetched per point, like unhoisted LLVM-IR loads in a
+    # SALAM datapath (keeps the C_VAR register bank architecturally live)
+    c0_raw = b.load(cvar, 0, width=4, signed=False)
+    c0 = b.bin(BinOp.FDIV, b.fcvt(c0_raw), ten_k)
+    c1_raw = b.load(cvar, 4, width=4, signed=False)
+    c1 = b.bin(BinOp.FDIV, b.fcvt(c1_raw), ten_k)
+    center_off = b.add(
+        b.add(b.mul(z, plane), b.mul(y, row)), b.shl(x, b.const(3))
+    )
+    centre = b.fload(b.add(orig, center_off), 0)
+    acc = b.bin(BinOp.FMUL, centre, c0)
+    neigh = b.fvar(0.0)
+    for dz, dy, dx in ((1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)):
+        off = b.add(
+            b.add(b.mul(b.addi(z, dz), plane), b.mul(b.addi(y, dy), row)),
+            b.shl(b.addi(x, dx), b.const(3)),
+        )
+        v = b.fload(b.add(orig, off), 0)
+        b.bin(BinOp.FADD, neigh, v, dest=neigh)
+    b.bin(BinOp.FADD, acc, b.bin(BinOp.FMUL, neigh, c1), dest=acc)
+    b.store(acc, b.add(sol, center_off), 0, width=8)
+    b.inc(x)
+    b.br(Cond.LT, x, lim, "xloop", "ynext")
+    b.label("ynext")
+    b.inc(y)
+    b.br(Cond.LT, y, lim, "yloop", "znext")
+    b.label("znext")
+    b.inc(z)
+    b.br(Cond.LT, z, lim, "zloop", "done")
+    b.label("done")
+    b.halt()
+    return b.build()
+
+
+def _grid(scale: str) -> list[float]:
+    n = _dim(scale)
+    return det_floats(701, n * n * n, lo=0.0, hi=50.0)
+
+
+def _cvar_bytes() -> bytes:
+    import struct
+
+    c0, c1 = _coeffs()
+    return struct.pack("<II", int(c0 * 10000), int(c1 * 10000))
+
+
+def inputs(scale: str) -> dict[str, bytes]:
+    n = _dim(scale)
+    return {
+        "ORIG": pack_f64(_grid(scale)),
+        "SOL": bytes(n * n * n * 8),
+        "C_VAR": _cvar_bytes(),
+    }
+
+
+def reference_output(scale: str) -> bytes:
+    import struct
+
+    n = _dim(scale)
+    grid = _grid(scale)
+    raw = _cvar_bytes()
+    c0_fp, c1_fp = struct.unpack("<II", raw)
+    c0, c1 = c0_fp / 10000.0, c1_fp / 10000.0
+    sol = [0.0] * (n * n * n)
+    for z in range(1, n - 1):
+        for y in range(1, n - 1):
+            for x in range(1, n - 1):
+                idx = z * n * n + y * n + x
+                neigh = (
+                    grid[idx + n * n] + grid[idx - n * n]
+                    + grid[idx + n] + grid[idx - n]
+                    + grid[idx + 1] + grid[idx - 1]
+                )
+                sol[idx] = grid[idx] * c0 + neigh * c1
+    return pack_f64(sol)
+
+
+def design() -> AccelDesign:
+    n = 8
+    return AccelDesign(
+        name="stencil3d",
+        memories=[
+            MemDecl("ORIG", n * n * n * 8, "spm"),
+            MemDecl("SOL", n * n * n * 8, "spm"),
+            MemDecl("C_VAR", 8, "regbank"),
+        ],
+        build_kernel=build_kernel,
+        inputs=inputs,
+        output_memories=["SOL"],
+        fu=FUConfig(alu=8, mul=4, fpu=6, div=1),
+        operations_per_run=lambda scale: float(9 * (_dim(scale) - 2) ** 3),
+        description="7-point 3-D stencil with coefficient register bank",
+    )

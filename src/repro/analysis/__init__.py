@@ -1,0 +1,5 @@
+"""Experiment drivers that regenerate the paper's tables and figures."""
+
+from repro.analysis import figures
+
+__all__ = ["figures"]

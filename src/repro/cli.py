@@ -1,0 +1,197 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The paper's campaign controller is script-driven (Figure 2's "running
+scripts"); this CLI is that entry point:
+
+* ``campaign``       — CPU-structure fault-injection campaign,
+* ``accel-campaign`` — DSA-memory fault-injection campaign,
+* ``figure``         — regenerate one paper figure,
+* ``soc``            — run the heterogeneous SoC flow,
+* ``list``           — available ISAs / workloads / targets / designs,
+* ``validate``       — the Listing-1 injector sanity check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _add_campaign(sub) -> None:
+    p = sub.add_parser("campaign", help="run a CPU SFI campaign")
+    p.add_argument("--isa", default="rv", choices=["rv", "arm", "x86"])
+    p.add_argument("--workload", default="qsort")
+    p.add_argument("--target", default="regfile_int")
+    p.add_argument("--faults", type=int, default=100)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--scale", default="tiny")
+    p.add_argument("--preset", default="sim", choices=["sim", "paper"])
+    p.add_argument("--model", default="transient",
+                   choices=["transient", "stuck0", "stuck1"])
+    p.add_argument("--flips-per-mask", type=int, default=1)
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--csv", help="write per-campaign summary CSV here")
+
+
+def _add_accel(sub) -> None:
+    p = sub.add_parser("accel-campaign", help="run a DSA SFI campaign")
+    p.add_argument("--design", default="gemm")
+    p.add_argument("--component", default="MATRIX1")
+    p.add_argument("--faults", type=int, default=100)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--scale", default="default")
+    p.add_argument("--model", default="transient",
+                   choices=["transient", "stuck0", "stuck1"])
+    p.add_argument("--fu", type=int, help="uniform functional-unit count")
+
+
+def _add_figure(sub) -> None:
+    p = sub.add_parser("figure", help="regenerate one paper figure")
+    p.add_argument("number", type=int, help="paper figure number (4-18)")
+    p.add_argument("--faults", type=int, default=None)
+
+
+def _add_soc(sub) -> None:
+    p = sub.add_parser("soc", help="run the heterogeneous SoC flow")
+    p.add_argument("--isa", default="rv", choices=["rv", "arm", "x86"])
+    p.add_argument("--design", default="gemm")
+    p.add_argument("--scale", default="tiny")
+
+
+def _add_validate(sub) -> None:
+    p = sub.add_parser("validate", help="Listing-1 injector sanity check")
+    p.add_argument("--isa", default="rv", choices=["rv", "arm", "x86"])
+    p.add_argument("--faults", type=int, default=30)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="gem5-MARVEL reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_campaign(sub)
+    _add_accel(sub)
+    _add_figure(sub)
+    _add_soc(sub)
+    _add_validate(sub)
+    sub.add_parser("list", help="available ISAs/workloads/targets/designs")
+    return parser
+
+
+def _model(name: str):
+    from repro.core.faults import FaultModel
+
+    return {"transient": FaultModel.TRANSIENT, "stuck0": FaultModel.STUCK_AT_0,
+            "stuck1": FaultModel.STUCK_AT_1}[name]
+
+
+def cmd_campaign(args) -> int:
+    from repro.core.campaign import CampaignSpec, run_campaign
+    from repro.core.presets import get_preset
+    from repro.core.report import render_table, save_report
+
+    spec = CampaignSpec(
+        isa=args.isa, workload=args.workload, target=args.target,
+        cfg=get_preset(args.preset), scale=args.scale, faults=args.faults,
+        seed=args.seed, model=_model(args.model),
+        flips_per_mask=args.flips_per_mask,
+    )
+    result = run_campaign(spec, workers=args.workers)
+    summary = result.summary()
+    print(render_table(["metric", "value"], sorted(summary.items())))
+    if args.csv:
+        save_report(args.csv, [summary])
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def cmd_accel(args) -> int:
+    from repro.accel.campaign import AccelCampaignSpec, run_accel_campaign
+    from repro.accel.dataflow import FUConfig
+    from repro.core.report import render_table
+
+    spec = AccelCampaignSpec(
+        design=args.design, component=args.component, scale=args.scale,
+        faults=args.faults, seed=args.seed, model=_model(args.model),
+        fu=FUConfig.uniform(args.fu) if args.fu else None,
+    )
+    result = run_accel_campaign(spec)
+    print(render_table(["metric", "value"], sorted(result.summary().items())))
+    return 0
+
+
+_FIGURES = {
+    4: "fig4_regfile_avf", 5: "fig5_l1i_avf", 6: "fig6_l1d_avf",
+    7: "fig7_lq_avf", 8: "fig8_sq_avf", 9: "fig9_sdc_regfile",
+    10: "fig10_sdc_l1i", 11: "fig11_sdc_l1d", 12: "fig12_permanent_l1i",
+    13: "fig13_permanent_l1d", 14: "fig14_dsa_avf",
+    15: "fig15_prf_sensitivity", 16: "fig16_opf", 17: "fig17_gemm_dse",
+    18: "fig18_hvf",
+}
+
+
+def cmd_figure(args) -> int:
+    from repro.analysis import figures
+
+    name = _FIGURES.get(args.number)
+    if name is None:
+        print(f"no driver for figure {args.number}; available: "
+              f"{sorted(_FIGURES)}", file=sys.stderr)
+        return 2
+    kwargs = {"faults": args.faults} if args.faults else {}
+    fig = getattr(figures, name)(**kwargs)
+    print(fig.figure)
+    print(fig.text)
+    return 0
+
+
+def cmd_soc(args) -> int:
+    from repro.soc.system import build_soc
+
+    soc = build_soc(args.design, isa_name=args.isa, scale=args.scale)
+    result = soc.run()
+    status = "ok" if result.ok else f"FAILED ({result.crashed})"
+    print(f"{status}: cpu={result.cpu_cycles} cycles, "
+          f"dsa={result.accel_cycles} cycles, result={result.output.hex()}")
+    return 0 if result.ok else 1
+
+
+def cmd_validate(args) -> int:
+    from repro.core.presets import sim_config
+    from repro.core.validation import run_l1d_validation
+
+    result = run_l1d_validation(args.isa, sim_config(), faults=args.faults)
+    print(f"L1D validation ({args.isa}): {result.visible}/{result.injected} "
+          f"visible — coverage {result.coverage:.1%} (paper: 100%)")
+    return 0 if result.coverage >= 0.9 else 1
+
+
+def cmd_list(args) -> int:
+    from repro.accel_designs import DESIGNS, PAPER_TARGETS
+    from repro.core.targets import TARGETS
+    from repro.isa.base import isa_names
+    from repro.workloads import WORKLOAD_NAMES
+
+    print("ISAs:      ", ", ".join(isa_names()))
+    print("workloads: ", ", ".join(WORKLOAD_NAMES))
+    print("targets:   ", ", ".join(TARGETS))
+    print("designs:   ", ", ".join(
+        f"{d}({'/'.join(PAPER_TARGETS[d])})" for d in DESIGNS))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "campaign": cmd_campaign,
+        "accel-campaign": cmd_accel,
+        "figure": cmd_figure,
+        "soc": cmd_soc,
+        "validate": cmd_validate,
+        "list": cmd_list,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

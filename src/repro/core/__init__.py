@@ -1,0 +1,61 @@
+"""gem5-MARVEL core: the microarchitecture-level fault-injection framework.
+
+The paper's contribution — everything else in :mod:`repro` is substrate.
+
+Public entry points:
+
+* :func:`repro.core.campaign.run_campaign` — run a statistical fault
+  injection campaign against a CPU structure and get per-fault records,
+* :func:`repro.core.campaign.golden_run` — (cached) fault-free reference,
+* :mod:`repro.core.sampling` — Leveugle statistical sample machinery,
+* :mod:`repro.core.metrics` — AVF / weighted AVF / SDC-AVF / HVF / OPF,
+* :mod:`repro.core.presets` — the paper's Table II configuration and the
+  scaled default.
+"""
+
+from repro.core.campaign import (
+    CampaignResult,
+    CampaignSpec,
+    FaultRecord,
+    golden_run,
+    run_campaign,
+    run_one_fault,
+)
+from repro.core.faults import FaultFlip, FaultMask, FaultModel
+from repro.core.metrics import (
+    avf,
+    crash_avf,
+    error_margin,
+    hvf,
+    opf,
+    sdc_avf,
+    weighted_avf,
+)
+from repro.core.outcome import HVFClass, Outcome
+from repro.core.presets import paper_config, sim_config
+from repro.core.sampling import generate_masks, sample_size
+
+__all__ = [
+    "CampaignResult",
+    "CampaignSpec",
+    "FaultFlip",
+    "FaultMask",
+    "FaultModel",
+    "FaultRecord",
+    "HVFClass",
+    "Outcome",
+    "avf",
+    "crash_avf",
+    "error_margin",
+    "generate_masks",
+    "golden_run",
+    "hvf",
+    "opf",
+    "paper_config",
+    "run_campaign",
+    "run_one_fault",
+    "sample_size",
+    "sdc_avf",
+    "sim_config",
+    "weighted_avf",
+]

@@ -1,0 +1,285 @@
+"""Fault-injection campaign controller (the paper's Figure 2 flow).
+
+1. build the hardware configuration + workload (compile once, cache),
+2. run the golden (fault-free) simulation, recording output, cycle count,
+   the injection window (checkpoint→switch_cpu) and the commit trace,
+3. generate a statistical fault-mask sample over the target structure,
+4. run one simulation per mask (optionally across worker processes),
+   with the early-termination optimizations armed,
+5. classify every run (Masked / SDC / Crash and HVF Benign / Corruption),
+6. aggregate into AVF / HVF / error-margin reports.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+
+from repro.core.faults import FaultMask, FaultModel
+from repro.core.injector import InjectionController
+from repro.core.outcome import Classification, HVFClass, Outcome, classify
+from repro.core.sampling import error_margin_for, generate_masks
+from repro.core.targets import get_target
+from repro.cpu.config import CPUConfig
+from repro.cpu.core import CrashError, OoOCore, RunResult
+from repro.isa.base import get_isa
+from repro.kernel.compiler import Executable, compile_program
+from repro.workloads import build_workload
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything needed to reproduce a campaign (picklable)."""
+
+    isa: str
+    workload: str
+    target: str
+    cfg: CPUConfig
+    scale: str = "tiny"
+    model: FaultModel = FaultModel.TRANSIENT
+    faults: int = 100
+    seed: int = 1
+    flips_per_mask: int = 1
+    stop_early: bool = True
+    stop_on_hvf: bool = False       # HVF-only campaigns may stop at first mismatch
+
+
+@dataclass
+class GoldenRun:
+    """Cached fault-free reference execution."""
+
+    exe: Executable
+    result: RunResult
+    window: tuple[int, int]
+
+    @property
+    def output(self) -> bytes:
+        return self.result.output
+
+    @property
+    def cycles(self) -> int:
+        return self.result.cycles
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """Per-fault outcome row."""
+
+    mask: FaultMask
+    outcome: Outcome
+    hvf: HVFClass
+    cycles: int
+    masked_reason: str | None = None
+    crash_reason: str | None = None
+    activated: bool = False
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated campaign results."""
+
+    spec: CampaignSpec
+    records: list[FaultRecord]
+    golden: GoldenRun
+    population_bits: int
+
+    def count(self, outcome: Outcome) -> int:
+        return sum(1 for r in self.records if r.outcome is outcome)
+
+    @property
+    def avf(self) -> float:
+        return 1 - self.count(Outcome.MASKED) / len(self.records)
+
+    @property
+    def sdc_avf(self) -> float:
+        return self.count(Outcome.SDC) / len(self.records)
+
+    @property
+    def crash_avf(self) -> float:
+        return self.count(Outcome.CRASH) / len(self.records)
+
+    @property
+    def hvf(self) -> float:
+        corrupt = sum(1 for r in self.records if r.hvf is HVFClass.CORRUPTION)
+        return corrupt / len(self.records)
+
+    @property
+    def error_margin(self) -> float:
+        return error_margin_for(len(self.records), self.population_bits)
+
+    def summary(self) -> dict:
+        return {
+            "isa": self.spec.isa,
+            "workload": self.spec.workload,
+            "target": self.spec.target,
+            "model": self.spec.model.value,
+            "faults": len(self.records),
+            "avf": self.avf,
+            "sdc_avf": self.sdc_avf,
+            "crash_avf": self.crash_avf,
+            "hvf": self.hvf,
+            "error_margin": self.error_margin,
+            "golden_cycles": self.golden.cycles,
+        }
+
+
+# --------------------------------------------------------------------------
+# golden-run cache
+# --------------------------------------------------------------------------
+
+_GOLDEN_CACHE: dict[tuple, GoldenRun] = {}
+_EXE_CACHE: dict[tuple, Executable] = {}
+
+
+def compile_workload(isa_name: str, workload: str, scale: str) -> Executable:
+    """Compile (and memoize) a workload for an ISA."""
+    key = (isa_name, workload, scale)
+    if key not in _EXE_CACHE:
+        program = build_workload(workload, scale)
+        _EXE_CACHE[key] = compile_program(program, get_isa(isa_name))
+    return _EXE_CACHE[key]
+
+
+def golden_run(isa_name: str, workload: str, cfg: CPUConfig, scale: str = "tiny") -> GoldenRun:
+    """Fault-free reference run (cached per isa/workload/config/scale)."""
+    key = (isa_name, workload, scale, cfg)
+    cached = _GOLDEN_CACHE.get(key)
+    if cached is not None:
+        return cached
+    exe = compile_workload(isa_name, workload, scale)
+    isa = get_isa(isa_name)
+    core = OoOCore.from_executable(exe, isa, cfg)
+    core.trace_mode = "record"
+    result = core.run()
+    if not result.ok:
+        raise RuntimeError(
+            f"golden run failed for {isa_name}/{workload}: {result.crashed}"
+        )
+    lo = result.checkpoint_cycle if result.checkpoint_cycle is not None else 0
+    hi = result.switch_cycle if result.switch_cycle is not None else result.cycles
+    if hi <= lo:
+        hi = result.cycles
+    golden = GoldenRun(exe=exe, result=result, window=(lo, hi))
+    _GOLDEN_CACHE[key] = golden
+    return golden
+
+
+def clear_caches() -> None:
+    """Drop memoized executables and golden runs (tests use this)."""
+    _GOLDEN_CACHE.clear()
+    _EXE_CACHE.clear()
+
+
+# --------------------------------------------------------------------------
+# single fault run
+# --------------------------------------------------------------------------
+
+
+def run_one_fault(spec: CampaignSpec, mask: FaultMask, golden: GoldenRun | None = None) -> FaultRecord:
+    """Simulate one injected fault and classify the outcome."""
+    if golden is None:
+        golden = golden_run(spec.isa, spec.workload, spec.cfg, spec.scale)
+    isa = get_isa(spec.isa)
+    controller = InjectionController(mask, stop_early=spec.stop_early)
+    core = OoOCore.from_executable(golden.exe, isa, cfg=spec.cfg, injector=controller)
+    core.trace_mode = "compare"
+    core.golden_trace = golden.result.commit_trace
+    core.stop_on_hvf = spec.stop_on_hvf
+
+    max_cycles = golden.cycles * spec.cfg.watchdog_factor + 10_000
+    crashed: str | None = None
+    crash_pc = 0
+    try:
+        while not core.halted and core.cycle < max_cycles:
+            core.step()
+            if controller.early_masked:
+                break
+        if not core.halted and not controller.early_masked:
+            crashed = "timeout"
+    except CrashError as exc:
+        crashed = exc.reason
+        crash_pc = exc.pc
+
+    result = RunResult(
+        output=bytes(core.output),
+        cycles=core.cycle,
+        instructions=core.instructions,
+        halted=core.halted,
+        crashed=crashed,
+        crash_pc=crash_pc,
+        hvf_corrupt=core.hvf_corrupt,
+        hvf_seq=core.hvf_seq,
+    )
+    if spec.stop_on_hvf and core.hvf_corrupt:
+        # HVF-only campaign: the run stopped at the first commit mismatch
+        cls = Classification(Outcome.SDC, HVFClass.CORRUPTION)
+    else:
+        cls = classify(
+            result,
+            golden.output,
+            controller.early_masked,
+            controller.masked_reason(),
+        )
+    return FaultRecord(
+        mask=mask,
+        outcome=cls.outcome,
+        hvf=cls.hvf,
+        cycles=core.cycle,
+        masked_reason=cls.masked_reason,
+        crash_reason=cls.crash_reason,
+        activated=controller.activated,
+    )
+
+
+def _worker(args: tuple) -> FaultRecord:
+    spec, mask = args
+    return run_one_fault(spec, mask)
+
+
+# --------------------------------------------------------------------------
+# campaign driver
+# --------------------------------------------------------------------------
+
+
+def masks_for_spec(spec: CampaignSpec, golden: GoldenRun) -> list[FaultMask]:
+    """Generate the statistical fault sample for a campaign spec."""
+    isa = get_isa(spec.isa)
+    probe_core = OoOCore.from_executable(golden.exe, isa, spec.cfg)
+    entries, bits = get_target(spec.target).geometry(probe_core)
+    return generate_masks(
+        structure=spec.target,
+        entries=entries,
+        bits_per_entry=bits,
+        count=spec.faults,
+        window=golden.window,
+        model=spec.model,
+        seed=spec.seed,
+        flips_per_mask=spec.flips_per_mask,
+    )
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    masks: list[FaultMask] | None = None,
+    workers: int = 1,
+) -> CampaignResult:
+    """Run a full SFI campaign; returns per-fault records + aggregates."""
+    golden = golden_run(spec.isa, spec.workload, spec.cfg, spec.scale)
+    if masks is None:
+        masks = masks_for_spec(spec, golden)
+
+    if workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            records = list(pool.map(_worker, [(spec, m) for m in masks]))
+    else:
+        records = [run_one_fault(spec, m, golden) for m in masks]
+
+    isa = get_isa(spec.isa)
+    probe_core = OoOCore.from_executable(golden.exe, isa, spec.cfg)
+    entries, bits = get_target(spec.target).geometry(probe_core)
+    return CampaignResult(
+        spec=spec,
+        records=records,
+        golden=golden,
+        population_bits=entries * bits,
+    )

@@ -1,0 +1,105 @@
+"""The framework capability matrix — the paper's Table I.
+
+Used by tests (every claimed capability must map to a live code path) and
+by the Table I bench, which renders the row this framework contributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """One row of Table I."""
+
+    name: str
+    sim_uarch: bool = False
+    sim_gem5: bool = False
+    sim_full_system: bool = False
+    fi_cpu: bool = False
+    fi_dsa: bool = False
+    fi_soc: bool = False
+    isa_x86: bool = False
+    isa_arm: bool = False
+    isa_riscv: bool = False
+    transient: bool = False
+    permanent: bool = False
+    single_bit: bool = False
+    multi_bit: bool = False
+    metric_avf: bool = False
+    metric_hvf: bool = False
+
+
+THIS_WORK = Capabilities(
+    name="gem5-MARVEL (this repro)",
+    sim_uarch=True,
+    sim_gem5=True,          # gem5-analog cycle-level OoO substrate
+    sim_full_system=True,   # SoC: CPU + DSA + MMRs + DMA + interrupts
+    fi_cpu=True,
+    fi_dsa=True,
+    fi_soc=True,
+    isa_x86=True,
+    isa_arm=True,
+    isa_riscv=True,
+    transient=True,
+    permanent=True,
+    single_bit=True,
+    multi_bit=True,
+    metric_avf=True,
+    metric_hvf=True,
+)
+
+#: prior-work rows as the paper reports them (for the Table I rendering)
+PRIOR_WORK = [
+    Capabilities("FIMSIM", sim_uarch=True, sim_gem5=True, fi_cpu=True,
+                 transient=True, permanent=True, single_bit=True,
+                 multi_bit=True, metric_avf=True),
+    Capabilities("GeFIN", sim_uarch=True, sim_gem5=True, sim_full_system=True,
+                 fi_cpu=True, isa_x86=True, isa_arm=True, transient=True,
+                 permanent=True, single_bit=True, multi_bit=True,
+                 metric_avf=True, metric_hvf=True),
+    Capabilities("MaFIN", sim_uarch=True, sim_full_system=True, fi_cpu=True,
+                 isa_x86=True, transient=True, permanent=True,
+                 single_bit=True, multi_bit=True, metric_avf=True),
+    Capabilities("GemFI", sim_gem5=True, fi_cpu=True, isa_x86=True,
+                 transient=True, permanent=True, single_bit=True),
+    Capabilities("Thales/Fidelity", transient=True, single_bit=True,
+                 multi_bit=True),
+    Capabilities("LLFI/LLTFI", fi_cpu=True, isa_x86=True, isa_arm=True,
+                 transient=True, single_bit=True),
+    Capabilities("gem5-Approxilyzer", sim_gem5=True, sim_full_system=True,
+                 fi_cpu=True, isa_x86=True, transient=True, single_bit=True),
+]
+
+_COLUMNS = [
+    ("uArch", "sim_uarch"),
+    ("gem5", "sim_gem5"),
+    ("FS", "sim_full_system"),
+    ("CPU", "fi_cpu"),
+    ("DSA", "fi_dsa"),
+    ("SoC", "fi_soc"),
+    ("x86", "isa_x86"),
+    ("Arm", "isa_arm"),
+    ("RISC-V", "isa_riscv"),
+    ("Trans", "transient"),
+    ("Perm", "permanent"),
+    ("1bit", "single_bit"),
+    ("Nbit", "multi_bit"),
+    ("AVF", "metric_avf"),
+    ("HVF", "metric_hvf"),
+]
+
+
+def render_table1() -> str:
+    """ASCII rendering of Table I (prior work + this framework)."""
+    rows = PRIOR_WORK + [THIS_WORK]
+    name_w = max(len(r.name) for r in rows) + 1
+    header = "Framework".ljust(name_w) + " ".join(c.ljust(6) for c, _ in _COLUMNS)
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        cells = " ".join(
+            ("yes" if getattr(row, attr) else ".").ljust(6) for _, attr in _COLUMNS
+        )
+        lines.append(row.name.ljust(name_w) + cells)
+    return "\n".join(lines)

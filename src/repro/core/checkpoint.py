@@ -1,0 +1,98 @@
+"""Checkpointing: snapshot/restore of the full simulated system state.
+
+The paper extends gem5's checkpointing to preserve **both** architectural
+and microarchitectural state (including cache contents) so fault campaigns
+can start from any point without warm-up (Section IV-B, "Flexibility and
+Ease of Expansion").  This module does the same for :class:`OoOCore`:
+a checkpoint captures memory, all cache arrays (tags + data + PLRU),
+physical register files, rename tables, queues and the fetch state, taken
+at a quiesced point (pipeline drained).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.core import OoOCore
+
+
+class CheckpointError(Exception):
+    """Checkpoint taken or restored in an invalid pipeline state."""
+
+
+@dataclass
+class Checkpoint:
+    """An opaque full-system snapshot."""
+
+    cycle: int
+    payload: dict
+
+
+def quiesce(core: OoOCore, max_cycles: int = 100_000) -> None:
+    """Drain the pipeline: run until the ROB and store queue are empty.
+
+    Fetch keeps running, so this is "drain in-flight work", not "stop" —
+    call right after the instruction of interest commits.
+    """
+    start = core.cycle
+    while core.rob or any(e.valid for e in core.sq.entries):
+        if core.halted:
+            return
+        if core.cycle - start > max_cycles:
+            raise CheckpointError("pipeline failed to drain")
+        core.step()
+
+
+def take_checkpoint(core: OoOCore) -> Checkpoint:
+    """Snapshot the complete system state (call on a quiesced core)."""
+    if core.rob:
+        raise CheckpointError("checkpoint requires a drained pipeline")
+    payload = {
+        "memory": core.memory.snapshot(),
+        "l1i": core.l1i.snapshot(),
+        "l1d": core.l1d.snapshot(),
+        "l2": core.l2.snapshot(),
+        "prf_int": core.prf_int.snapshot(),
+        "prf_fp": core.prf_fp.snapshot(),
+        "rat_int": list(core.rat_int),
+        "rat_fp": list(core.rat_fp),
+        "lq": core.lq.snapshot(),
+        "sq": core.sq.snapshot(),
+        "predictor": core.predictor.snapshot(),
+        "fetch_pc": core.fetch_pc,
+        "cycle": core.cycle,
+        "seq": core.seq,
+        "instructions": core.instructions,
+        "output": bytes(core.output),
+        "halted": core.halted,
+    }
+    return Checkpoint(cycle=core.cycle, payload=payload)
+
+
+def restore_checkpoint(core: OoOCore, ckpt: Checkpoint) -> None:
+    """Restore a snapshot into a core built with the same configuration."""
+    p = ckpt.payload
+    core.memory.restore(p["memory"])
+    core.l1i.restore(p["l1i"])
+    core.l1d.restore(p["l1d"])
+    core.l2.restore(p["l2"])
+    core.prf_int.restore(p["prf_int"])
+    core.prf_fp.restore(p["prf_fp"])
+    core.rat_int[:] = p["rat_int"]
+    core.rat_fp[:] = p["rat_fp"]
+    core.lq.restore(p["lq"])
+    core.sq.restore(p["sq"])
+    core.predictor.restore(p["predictor"])
+    core.fetch_pc = p["fetch_pc"]
+    core.cycle = p["cycle"]
+    core.seq = p["seq"]
+    core.instructions = p["instructions"]
+    core.output = bytearray(p["output"])
+    core.halted = p["halted"]
+    core.rob.clear()
+    core.iq.clear()
+    core.inflight.clear()
+    core.fetch_queue.clear()
+    core.fetch_stalled = False
+    core.fetch_ready_at = core.cycle
+    core._decode_cache.clear()

@@ -1,0 +1,94 @@
+"""Fault models and fault masks (the paper's Table III).
+
+* **Transient**: a storage element's bit is flipped at one clock cycle; the
+  bit position and the cycle can be chosen arbitrarily (randomly or
+  directed).
+* **Permanent**: a storage element's bit is stuck at 0 or 1 for the whole
+  run; the framework re-enforces the stuck value after every write to the
+  faulty cell.
+* **Multi-bit**: a mask may carry several flips (spatial multi-bit in one
+  or several structures, or temporal combinations at different cycles).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class FaultModel(enum.Enum):
+    """Supported fault models (Table III)."""
+
+    TRANSIENT = "transient"
+    STUCK_AT_0 = "stuck0"
+    STUCK_AT_1 = "stuck1"
+
+    @property
+    def permanent(self) -> bool:
+        return self is not FaultModel.TRANSIENT
+
+    @property
+    def stuck_value(self) -> int:
+        if self is FaultModel.STUCK_AT_0:
+            return 0
+        if self is FaultModel.STUCK_AT_1:
+            return 1
+        raise ValueError("transient faults have no stuck value")
+
+
+@dataclass(frozen=True)
+class FaultFlip:
+    """One faulty bit: ``structure`` is a target-registry name
+    ('regfile_int', 'l1d', 'sq', ...), ``entry`` an index into the
+    structure's entry space, ``bit`` a bit offset within the entry."""
+
+    structure: str
+    entry: int
+    bit: int
+    #: per-flip injection cycle (transient); permanent flips apply at t=0
+    cycle: int = 0
+
+
+@dataclass(frozen=True)
+class FaultMask:
+    """A complete fault specification for one injection run.
+
+    Mirrors the paper's *fault mask files* (Section IV-C step 1): which
+    component, which entry/bit, which cycle, and which fault model.
+    """
+
+    model: FaultModel
+    flips: tuple[FaultFlip, ...]
+    mask_id: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.flips:
+            raise ValueError("a fault mask needs at least one flip")
+
+    @property
+    def multi_bit(self) -> bool:
+        return len(self.flips) > 1
+
+    @property
+    def structures(self) -> set[str]:
+        return {f.structure for f in self.flips}
+
+    @property
+    def first_cycle(self) -> int:
+        return min(f.cycle for f in self.flips)
+
+    @staticmethod
+    def single(
+        structure: str,
+        entry: int,
+        bit: int,
+        cycle: int,
+        model: FaultModel = FaultModel.TRANSIENT,
+        mask_id: int = 0,
+    ) -> "FaultMask":
+        """Convenience constructor for the common single-bit case."""
+        return FaultMask(
+            model=model,
+            flips=(FaultFlip(structure, entry, bit, cycle),),
+            mask_id=mask_id,
+        )

@@ -1,0 +1,200 @@
+"""The injection controller: applies fault masks to a live core and watches
+fault liveness for early termination.
+
+Implements the paper's campaign speedups (Section IV-B):
+
+* a transient fault landing in an **invalid or unused** entry (free physical
+  register, invalid cache line, empty queue slot) is Masked immediately;
+* a transient fault whose faulty cell is **overwritten before being read**
+  (register writeback, cache line refill or store, queue entry reuse) is
+  Masked and the run terminates early;
+* a clean cache line **evicted** without the faulty byte having been read
+  discards the fault (Masked); a dirty eviction lets the corrupted data
+  escape to the next level — the simulation simply keeps computing with it.
+
+Permanent faults are *enforced*: after every write touching the faulty cell
+the stuck-at value is re-applied, so the defect behaves like broken SRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.faults import FaultFlip, FaultMask, FaultModel
+from repro.core.targets import Target, get_target
+
+# flip lifecycle states
+PENDING = "pending"
+ARMED = "armed"                      # injected; fault bits live, unread
+READ = "read"                        # activated: corrupted value consumed
+ESCAPED = "escaped"                  # corrupted data left the structure (dirty evict)
+MASKED_UNUSED = "masked_unused"      # hit an invalid/free entry
+MASKED_OVERWRITTEN = "masked_overwritten"
+MASKED_DISCARDED = "masked_discarded"  # clean eviction / entry freed
+
+FINAL_MASKED = {MASKED_UNUSED, MASKED_OVERWRITTEN, MASKED_DISCARDED}
+LIVE = {READ, ESCAPED}
+
+
+@dataclass
+class _FlipState:
+    flip: FaultFlip
+    target: Target
+    status: str = PENDING
+
+    @property
+    def byte(self) -> int:
+        return self.flip.bit // 8
+
+
+class InjectionController:
+    """Drives one fault mask through one simulation.
+
+    Attach to a core via ``OoOCore(..., injector=controller)``; the core
+    calls :meth:`tick` at the top of every cycle and the structures call the
+    probe methods on reads/writes/evictions.
+    """
+
+    def __init__(self, mask: FaultMask, stop_early: bool = True):
+        self.mask = mask
+        self.stop_early = stop_early
+        self.flips = [_FlipState(f, get_target(f.structure)) for f in mask.flips]
+        self._by_structure: dict[int, list[_FlipState]] = {}
+        self.checkpoint_seen = False
+        self.switch_seen = False
+
+    # ------------------------------------------------------------ lifecycle
+
+    def tick(self, core) -> None:
+        for fs in self.flips:
+            if fs.status is PENDING and core.cycle >= fs.flip.cycle:
+                self._apply(core, fs)
+
+    def _apply(self, core, fs: _FlipState) -> None:
+        flip = fs.flip
+        if self.mask.model is FaultModel.TRANSIENT:
+            if not fs.target.occupied(core, flip.entry):
+                fs.status = MASKED_UNUSED
+                return
+            fs.target.flip(core, flip.entry, flip.bit)
+        else:
+            fs.target.force(core, flip.entry, flip.bit, self.mask.model.stuck_value)
+        fs.status = ARMED
+        self._arm(core, fs)
+
+    def _arm(self, core, fs: _FlipState) -> None:
+        structure = fs.target.structure(core)
+        structure.probe = self
+        self._by_structure.setdefault(id(structure), []).append(fs)
+
+    def _watches(self, structure) -> list[_FlipState]:
+        return self._by_structure.get(id(structure), ())
+
+    # ------------------------------------------------------------ verdicts
+
+    @property
+    def all_injected(self) -> bool:
+        return all(fs.status is not PENDING for fs in self.flips)
+
+    @property
+    def early_masked(self) -> bool:
+        """True when the run can stop: every flip is provably harmless."""
+        return (
+            self.stop_early
+            and self.mask.model is FaultModel.TRANSIENT
+            and all(fs.status in FINAL_MASKED for fs in self.flips)
+        )
+
+    @property
+    def activated(self) -> bool:
+        """At least one corrupted bit was consumed by the pipeline."""
+        return any(fs.status in LIVE for fs in self.flips)
+
+    def masked_reason(self) -> str | None:
+        if not all(fs.status in FINAL_MASKED for fs in self.flips):
+            return None
+        order = [MASKED_UNUSED, MASKED_DISCARDED, MASKED_OVERWRITTEN]
+        for status in order:
+            if all(fs.status == status for fs in self.flips):
+                return status
+        return "masked_mixed"
+
+    # ------------------------------------------------------------ core hooks
+
+    def on_checkpoint(self, core) -> None:
+        self.checkpoint_seen = True
+
+    def on_switch_cpu(self, core) -> None:
+        self.switch_seen = True
+
+    # ------------------------------------------------------------ cache probe
+
+    def on_read(self, cache, line: int, lo: int, hi: int) -> None:
+        for fs in self._watches(cache):
+            if fs.status is ARMED and fs.flip.entry == line and lo <= fs.byte < hi:
+                fs.status = READ
+
+    def on_write(self, cache, line: int, lo: int, hi: int) -> None:
+        permanent = self.mask.model.permanent
+        for fs in self._watches(cache):
+            if fs.flip.entry != line or not (lo <= fs.byte < hi):
+                continue
+            if permanent:
+                cache.force_bit(line, fs.flip.bit, self.mask.model.stuck_value)
+            elif fs.status is ARMED:
+                fs.status = MASKED_OVERWRITTEN
+
+    def on_fill(self, cache, line: int) -> None:
+        self.on_write(cache, line, 0, cache.cfg.line_size)
+
+    def on_evict(self, cache, line: int, dirty: bool) -> None:
+        if self.mask.model.permanent:
+            return  # the broken cell stays broken; next fill re-forces via on_fill
+        for fs in self._watches(cache):
+            if fs.flip.entry != line or fs.status is not ARMED:
+                continue
+            fs.status = ESCAPED if dirty else MASKED_DISCARDED
+
+    # ------------------------------------------------------------ regfile probe
+
+    def on_reg_read(self, rf, reg: int) -> None:
+        for fs in self._watches(rf):
+            if fs.status is ARMED and fs.flip.entry == reg:
+                fs.status = READ
+
+    def on_reg_write(self, rf, reg: int) -> None:
+        permanent = self.mask.model.permanent
+        for fs in self._watches(rf):
+            if fs.flip.entry != reg:
+                continue
+            if permanent:
+                rf.force_bit(reg, fs.flip.bit, self.mask.model.stuck_value)
+            elif fs.status is ARMED:
+                fs.status = MASKED_OVERWRITTEN
+
+    # ------------------------------------------------------------ LSQ probe
+
+    def on_entry_read(self, queue, idx: int) -> None:
+        for fs in self._watches(queue):
+            if fs.status is ARMED and fs.flip.entry == idx:
+                fs.status = READ
+
+    def on_entry_write(self, queue, idx: int, field: str) -> None:
+        permanent = self.mask.model.permanent
+        for fs in self._watches(queue):
+            if fs.flip.entry != idx:
+                continue
+            fault_field = "addr" if fs.flip.bit < 64 else "data"
+            if field != "alloc" and field != fault_field:
+                continue
+            if permanent:
+                queue.force_bit(idx, fs.flip.bit, self.mask.model.stuck_value)
+            elif fs.status is ARMED:
+                fs.status = MASKED_OVERWRITTEN
+
+    def on_entry_free(self, queue, idx: int) -> None:
+        if self.mask.model.permanent:
+            return
+        for fs in self._watches(queue):
+            if fs.flip.entry == idx and fs.status is ARMED:
+                fs.status = MASKED_DISCARDED

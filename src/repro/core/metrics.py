@@ -1,0 +1,102 @@
+"""Vulnerability metrics: AVF, weighted AVF, SDC/Crash splits, HVF, OPF.
+
+* **AVF** — probability that a fault in a structure corrupts the program's
+  visible behaviour: ``(SDC + Crash) / runs``.
+* **weighted AVF** (Section V-A) — per-benchmark AVFs combined with each
+  benchmark's execution time as the weight.
+* **HVF** — probability that a fault becomes architecturally visible at the
+  commit stage (``Corruption / runs``); always ≥ AVF.
+* **OPF** (Section V-G) — *operations per failure*: ``OPS / AVF`` where OPS
+  is how many times per second the platform completes the workload.  Larger
+  OPF = more correct executions between failures = a better
+  performance/reliability trade-off.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.outcome import HVFClass, Outcome
+from repro.core.sampling import error_margin_for
+
+
+def _count(records: Iterable, outcome: Outcome) -> tuple[int, int]:
+    n = hits = 0
+    for r in records:
+        n += 1
+        if r.outcome is outcome:
+            hits += 1
+    return hits, n
+
+
+def avf(records: Sequence) -> float:
+    """Architectural Vulnerability Factor: share of non-masked runs."""
+    masked, n = _count(records, Outcome.MASKED)
+    if n == 0:
+        raise ValueError("no fault records")
+    return (n - masked) / n
+
+
+def sdc_avf(records: Sequence) -> float:
+    """The SDC share of the AVF."""
+    sdc, n = _count(records, Outcome.SDC)
+    if n == 0:
+        raise ValueError("no fault records")
+    return sdc / n
+
+
+def crash_avf(records: Sequence) -> float:
+    """The Crash share of the AVF."""
+    crash, n = _count(records, Outcome.CRASH)
+    if n == 0:
+        raise ValueError("no fault records")
+    return crash / n
+
+
+def hvf(records: Sequence) -> float:
+    """Hardware Vulnerability Factor: share of commit-visible corruptions."""
+    n = corrupt = 0
+    for r in records:
+        n += 1
+        if r.hvf is HVFClass.CORRUPTION:
+            corrupt += 1
+    if n == 0:
+        raise ValueError("no fault records")
+    return corrupt / n
+
+
+def weighted_avf(avfs: Sequence[float], times: Sequence[float]) -> float:
+    """Execution-time-weighted AVF across benchmarks (Section V-A)::
+
+        wAVF(c) = sum_k AVF_k(c) * t_k / sum_k t_k
+    """
+    if len(avfs) != len(times) or not avfs:
+        raise ValueError("avfs and times must be equal-length and non-empty")
+    total = sum(times)
+    if total <= 0:
+        raise ValueError("total execution time must be positive")
+    return sum(a * t for a, t in zip(avfs, times)) / total
+
+
+def opf(
+    avf_value: float,
+    cycles_per_run: float,
+    clock_hz: float = 2e9,
+    operations_per_run: float = 1.0,
+) -> float:
+    """Operations-per-Failure: ``OPF = OPS / AVF`` (Section V-G).
+
+    ``OPS = operations_per_run / (cycles_per_run / clock_hz)``.  An AVF of 0
+    gives ``inf`` (never fails).
+    """
+    if cycles_per_run <= 0 or clock_hz <= 0:
+        raise ValueError("cycles and clock must be positive")
+    ops = operations_per_run / (cycles_per_run / clock_hz)
+    if avf_value <= 0:
+        return float("inf")
+    return ops / avf_value
+
+
+def error_margin(records: Sequence, population: int, confidence: float = 0.95) -> float:
+    """Achieved statistical error margin of a campaign's sample size."""
+    return error_margin_for(len(records), population, confidence)

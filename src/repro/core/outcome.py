@@ -1,0 +1,66 @@
+"""Fault-effect classification (the paper's Section IV-A2).
+
+AVF classes — full cross-layer verdicts on the program outcome:
+
+* **MASKED** — the run completed and the output matches the fault-free run.
+* **SDC** — the run completed *normally* but produced different output
+  (silent data corruption: no observable indication anything went wrong).
+* **CRASH** — a catastrophic event ended the run early: illegal instruction,
+  wild memory access, or a hang caught by the watchdog ("excessively long
+  execution times" count as crashes, as in the paper's BFS analysis).
+
+HVF classes — hardware-layer verdicts at the commit stage:
+
+* **BENIGN** — the fault never made it to the software layer: every
+  committed instruction (bytes, destination value, memory traffic, order)
+  matched the fault-free trace.
+* **CORRUPTION** — the commit stream diverged from the fault-free trace,
+  i.e. the fault became architecturally visible, whether or not software
+  later masked it.  By construction HVF ≥ AVF.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cpu.core import RunResult
+
+
+class Outcome(enum.Enum):
+    MASKED = "masked"
+    SDC = "sdc"
+    CRASH = "crash"
+
+
+class HVFClass(enum.Enum):
+    BENIGN = "benign"
+    CORRUPTION = "corruption"
+
+
+@dataclass(frozen=True)
+class Classification:
+    outcome: Outcome
+    hvf: HVFClass
+    masked_reason: str | None = None   # unused/overwritten/discarded/silent
+    crash_reason: str | None = None
+
+
+def classify(
+    result: RunResult,
+    golden_output: bytes,
+    early_masked: bool,
+    masked_reason: str | None,
+) -> Classification:
+    """Derive the AVF and HVF classes for one fault run."""
+    if early_masked:
+        return Classification(Outcome.MASKED, HVFClass.BENIGN, masked_reason)
+    if result.crashed is not None:
+        return Classification(
+            Outcome.CRASH, HVFClass.CORRUPTION, crash_reason=result.crashed
+        )
+    hvf = HVFClass.CORRUPTION if result.hvf_corrupt else HVFClass.BENIGN
+    if result.output == golden_output:
+        reason = masked_reason or "masked_silent"
+        return Classification(Outcome.MASKED, hvf, reason)
+    return Classification(Outcome.SDC, HVFClass.CORRUPTION)

@@ -1,0 +1,66 @@
+"""Result aggregation and rendering: campaign tables, CSV/JSON export."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from collections.abc import Iterable, Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence], floatfmt: str = "{:.3f}"
+) -> str:
+    """Plain-text table with aligned columns."""
+    rendered_rows = [
+        [floatfmt.format(c) if isinstance(c, float) else str(c) for c in row]
+        for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_bars(
+    labels: Sequence[str], values: Sequence[float], width: int = 40, unit: str = "%"
+) -> str:
+    """ASCII bar chart (one row per label) — the text twin of a paper figure."""
+    if not labels:
+        return "(no data)"
+    peak = max(max(values), 1e-9)
+    label_w = max(len(l) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, round(value / peak * width))
+        lines.append(f"{label.ljust(label_w)} |{bar.ljust(width)}| {value * 100 if unit == '%' else value:7.2f}{unit}")
+    return "\n".join(lines)
+
+
+def summaries_to_csv(summaries: list[dict]) -> str:
+    """Serialize campaign summaries to CSV text."""
+    if not summaries:
+        return ""
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=list(summaries[0]), lineterminator="\n")
+    writer.writeheader()
+    writer.writerows(summaries)
+    return buf.getvalue()
+
+
+def summaries_to_json(summaries: list[dict]) -> str:
+    return json.dumps(summaries, indent=2, default=str)
+
+
+def save_report(path: str, summaries: list[dict], fmt: str = "csv") -> None:
+    """Write campaign summaries to disk (csv or json)."""
+    text = summaries_to_csv(summaries) if fmt == "csv" else summaries_to_json(summaries)
+    with open(path, "w") as handle:
+        handle.write(text)

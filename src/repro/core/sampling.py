@@ -1,0 +1,92 @@
+"""Statistical fault sampling (Leveugle et al., DATE 2009).
+
+The paper's campaigns draw 1,000 uniformly distributed single-bit faults per
+structure, which the Leveugle formulation puts at a 3% error margin with 95%
+confidence; these are the same formulas.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.core.faults import FaultFlip, FaultMask, FaultModel
+
+#: two-sided normal quantiles for common confidence levels
+_Z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+def _z(confidence: float) -> float:
+    try:
+        return _Z[round(confidence, 2)]
+    except KeyError:
+        raise ValueError(f"unsupported confidence {confidence}; use 0.90/0.95/0.99") from None
+
+
+def sample_size(
+    population: int,
+    error_margin: float = 0.03,
+    confidence: float = 0.95,
+    p: float = 0.5,
+) -> int:
+    """Faults needed for the given error margin (finite population corrected).
+
+    ``n = N / (1 + e^2 (N-1) / (z^2 p (1-p)))`` — Leveugle's equation with
+    ``p = 0.5`` as the conservative prior the paper adopts.
+    """
+    if population <= 0:
+        raise ValueError("population must be positive")
+    z = _z(confidence)
+    e2 = error_margin * error_margin
+    n = population / (1 + e2 * (population - 1) / (z * z * p * (1 - p)))
+    return max(1, math.ceil(n))
+
+
+def error_margin_for(
+    n: int, population: int, confidence: float = 0.95, p: float = 0.5
+) -> float:
+    """Error margin achieved by ``n`` samples out of ``population`` bits."""
+    if n <= 0 or population <= 0:
+        raise ValueError("n and population must be positive")
+    if n >= population:
+        return 0.0
+    z = _z(confidence)
+    return z * math.sqrt(p * (1 - p) / n * (population - n) / (population - 1))
+
+
+def generate_masks(
+    structure: str,
+    entries: int,
+    bits_per_entry: int,
+    count: int,
+    window: tuple[int, int],
+    model: FaultModel = FaultModel.TRANSIENT,
+    seed: int = 1,
+    flips_per_mask: int = 1,
+) -> list[FaultMask]:
+    """``count`` uniformly distributed fault masks over a structure.
+
+    ``window`` is the (start, end) cycle interval of the golden run during
+    which transient faults may strike (the checkpoint→switch_cpu region of
+    the paper's workload protocol).  Stuck-at faults are timed at cycle 0:
+    a manufacturing defect is present from power-on.
+    """
+    if entries <= 0 or bits_per_entry <= 0:
+        raise ValueError("structure geometry must be positive")
+    lo, hi = window
+    if hi <= lo:
+        raise ValueError(f"empty injection window {window}")
+    rng = random.Random(seed)
+    masks = []
+    for mask_id in range(count):
+        flips = tuple(
+            FaultFlip(
+                structure=structure,
+                entry=rng.randrange(entries),
+                bit=rng.randrange(bits_per_entry),
+                cycle=0 if model.permanent else rng.randrange(lo, hi),
+            )
+            for _ in range(flips_per_mask)
+        )
+        masks.append(FaultMask(model=model, flips=flips, mask_id=mask_id))
+    return masks

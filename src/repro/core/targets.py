@@ -1,0 +1,86 @@
+"""Injection-target registry: names → microarchitectural structures.
+
+Every supported structure exposes the same small interface so the injector
+and mask generator are structure-agnostic:
+
+* ``geometry(core) -> (entries, bits_per_entry)``
+* ``flip(core, entry, bit)`` / ``force(core, entry, bit, value) -> changed``
+* ``occupied(core, entry) -> bool`` — False means the paper's
+  "fault in an invalid or unused entry" fast path (immediately Masked)
+* ``structure(core)`` — the underlying object (for probe arming)
+
+The paper showcases five CPU structures (integer PRF, L1I, L1D, LQ, SQ);
+the registry also carries the FP register file and the L2 so campaigns can
+target them the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Target:
+    """One injectable structure."""
+
+    name: str
+    kind: str                      # 'regfile' | 'cache' | 'lsq'
+    accessor: object               # core -> structure object
+    description: str = ""
+
+    def structure(self, core):
+        return self.accessor(core)
+
+    def geometry(self, core) -> tuple[int, int]:
+        obj = self.structure(core)
+        if self.kind == "regfile":
+            return obj.size, 64
+        if self.kind == "cache":
+            return obj.num_lines, obj.bits_per_line
+        if self.kind == "lsq":
+            return len(obj.entries), obj.BITS_PER_ENTRY
+        raise ValueError(self.kind)  # pragma: no cover
+
+    def flip(self, core, entry: int, bit: int) -> None:
+        self.structure(core).flip_bit(entry, bit)
+
+    def force(self, core, entry: int, bit: int, value: int) -> bool:
+        return self.structure(core).force_bit(entry, bit, value)
+
+    def occupied(self, core, entry: int) -> bool:
+        obj = self.structure(core)
+        if self.kind == "regfile":
+            return entry not in obj.free
+        if self.kind == "cache":
+            return obj.line_valid(entry)
+        if self.kind == "lsq":
+            return obj.entry_valid(entry)
+        raise ValueError(self.kind)  # pragma: no cover
+
+
+TARGETS: dict[str, Target] = {
+    t.name: t
+    for t in [
+        Target("regfile_int", "regfile", lambda c: c.prf_int,
+               "integer physical register file"),
+        Target("regfile_fp", "regfile", lambda c: c.prf_fp,
+               "floating-point physical register file"),
+        Target("l1i", "cache", lambda c: c.l1i, "L1 instruction cache data array"),
+        Target("l1d", "cache", lambda c: c.l1d, "L1 data cache data array"),
+        Target("l2", "cache", lambda c: c.l2, "unified L2 cache data array"),
+        Target("lq", "lsq", lambda c: c.lq, "load queue (address+data fields)"),
+        Target("sq", "lsq", lambda c: c.sq, "store queue (address+data fields)"),
+    ]
+}
+
+#: the five structures the paper's CPU case studies showcase
+PAPER_CPU_TARGETS = ["regfile_int", "l1i", "l1d", "lq", "sq"]
+
+
+def get_target(name: str) -> Target:
+    try:
+        return TARGETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown injection target {name!r}; available: {', '.join(TARGETS)}"
+        ) from None

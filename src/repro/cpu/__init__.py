@@ -1,0 +1,12 @@
+"""Cycle-level CPU models with bit-level microarchitectural state.
+
+* :mod:`repro.cpu.atomic` — functional machine-code executor (gem5's
+  "atomic" CPU analog); used for fast golden runs and backend validation.
+* :mod:`repro.cpu.core` — the out-of-order, 8-issue, speculative core the
+  fault-injection campaigns target (gem5's O3 analog).
+"""
+
+from repro.cpu.config import CPUConfig
+from repro.cpu.core import CrashError, OoOCore, RunResult
+
+__all__ = ["CPUConfig", "CrashError", "OoOCore", "RunResult"]

@@ -1,0 +1,170 @@
+"""Atomic (functional) CPU: sequential fetch-decode-execute of machine code.
+
+The analog of gem5's AtomicSimpleCPU.  No timing, no speculation — one
+instruction completes per step.  Used for:
+
+* validating that each backend's machine code reproduces the reference
+  interpreter's output bit-for-bit,
+* producing golden outputs quickly,
+* the "switch to emulation at the end of the benchmark" phase the paper's
+  workload protocol prescribes (the OoO core hands the PC over after
+  ``switch_cpu``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.base import ISA, SysFn, UopKind
+from repro.kernel.compiler import Executable
+from repro.kernel.ir import MASK64
+from repro.cpu.exec import compute, load_value
+
+
+class AtomicFault(Exception):
+    """Architectural fault in atomic execution (illegal instr, bad address)."""
+
+    def __init__(self, reason: str, pc: int):
+        super().__init__(f"{reason} at pc={pc:#x}")
+        self.reason = reason
+        self.pc = pc
+
+
+@dataclass
+class AtomicResult:
+    output: bytes
+    instructions: int
+    halted: bool
+    checkpoint_hits: int = 0
+    switch_hits: int = 0
+
+
+@dataclass
+class AtomicCPU:
+    """Functional executor over a flat memory image."""
+
+    isa: ISA
+    memory: bytearray
+    pc: int
+    memsize: int = 0
+    int_regs: list[int] = field(default_factory=list)
+    fp_regs: list[int] = field(default_factory=list)
+    output: bytearray = field(default_factory=bytearray)
+    instructions: int = 0
+    halted: bool = False
+    checkpoint_hits: int = 0
+    switch_hits: int = 0
+
+    @classmethod
+    def from_executable(cls, exe: Executable, isa: ISA) -> "AtomicCPU":
+        cpu = cls(isa=isa, memory=exe.initial_memory(), pc=exe.entry)
+        cpu.memsize = exe.memmap.size
+        cpu.int_regs = [0] * isa.total_int_regs
+        cpu.fp_regs = [0] * isa.fp_regs
+        return cpu
+
+    # ------------------------------------------------------------------ regs
+
+    def read_reg(self, idx: int, fp: bool) -> int:
+        if fp:
+            return self.fp_regs[idx]
+        if idx == self.isa.zero_reg:
+            return 0
+        return self.int_regs[idx]
+
+    def write_reg(self, idx: int, fp: bool, value: int) -> None:
+        if fp:
+            self.fp_regs[idx] = value & MASK64
+        elif idx != self.isa.zero_reg:
+            self.int_regs[idx] = value & MASK64
+
+    # ------------------------------------------------------------------ mem
+
+    def _check(self, addr: int, width: int) -> None:
+        if addr + width > self.memsize or addr < 0:
+            raise AtomicFault("memory access out of range", self.pc)
+
+    def read_mem(self, addr: int, width: int) -> int:
+        self._check(addr, width)
+        return int.from_bytes(self.memory[addr : addr + width], "little")
+
+    def write_mem(self, addr: int, value: int, width: int) -> None:
+        self._check(addr, width)
+        self.memory[addr : addr + width] = (value & ((1 << (width * 8)) - 1)).to_bytes(
+            width, "little"
+        )
+
+    # ------------------------------------------------------------------ step
+
+    def step(self) -> None:
+        """Execute one machine instruction (all of its micro-ops)."""
+        if self.halted:
+            return
+        if self.pc + self.isa.min_instr_bytes > self.memsize:
+            raise AtomicFault("pc out of range", self.pc)
+        uops = self.isa.decode(self.memory, self.pc, self.pc)
+        self.instructions += 1
+        next_pc = (self.pc + uops[0].size) & MASK64
+        for uop in uops:
+            if uop.kind is UopKind.ILLEGAL:
+                raise AtomicFault("illegal instruction", self.pc)
+            srcvals = [
+                self.read_reg(r, fp)
+                for r, fp in zip(
+                    uop.srcs, uop.srcs_fp or (False,) * len(uop.srcs)
+                )
+            ]
+            res = compute(uop, srcvals)
+            if uop.kind is UopKind.LOAD:
+                raw = self.read_mem(res.addr, uop.width)
+                self.write_reg(uop.dst, uop.dst_fp, load_value(raw, uop.width, uop.signed))
+            elif uop.kind is UopKind.STORE:
+                self.write_mem(res.addr, res.store_data, uop.width)
+                if uop.fn == "pair":
+                    self.write_mem(
+                        res.addr + uop.width,
+                        res.store_data >> (uop.width * 8),
+                        uop.width,
+                    )
+            elif uop.kind in (UopKind.BRANCH, UopKind.JUMP):
+                if res.value is not None and uop.dst is not None:
+                    self.write_reg(uop.dst, False, res.value)
+                if res.taken:
+                    next_pc = res.target
+            elif uop.kind is UopKind.SYS:
+                self._sys(uop, srcvals)
+            elif res.value is not None and uop.dst is not None:
+                self.write_reg(uop.dst, uop.dst_fp, res.value)
+        self.pc = next_pc
+
+    def _sys(self, uop, srcvals) -> None:
+        fn = uop.fn
+        if fn is SysFn.HALT:
+            self.halted = True
+        elif fn is SysFn.OUT:
+            value = srcvals[0] & ((1 << (uop.width * 8)) - 1)
+            self.output += value.to_bytes(uop.width, "little")
+        elif fn is SysFn.CHECKPOINT:
+            self.checkpoint_hits += 1
+        elif fn is SysFn.SWITCH_CPU:
+            self.switch_hits += 1
+        # WFI and NOP are no-ops functionally
+
+    def run(self, max_instructions: int = 20_000_000) -> AtomicResult:
+        """Run to HALT (or fault/instruction budget)."""
+        while not self.halted:
+            if self.instructions >= max_instructions:
+                raise AtomicFault("instruction budget exceeded", self.pc)
+            self.step()
+        return AtomicResult(
+            output=bytes(self.output),
+            instructions=self.instructions,
+            halted=self.halted,
+            checkpoint_hits=self.checkpoint_hits,
+            switch_hits=self.switch_hits,
+        )
+
+
+def run_executable(exe: Executable, isa: ISA, max_instructions: int = 20_000_000) -> AtomicResult:
+    """One-shot functional run of a compiled executable."""
+    return AtomicCPU.from_executable(exe, isa).run(max_instructions)

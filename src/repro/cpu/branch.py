@@ -1,0 +1,40 @@
+"""Bimodal branch predictor (2-bit saturating counters).
+
+Direction-only: branch targets in the mini-ISAs are PC-relative and known at
+decode, so no BTB is modelled; a predicted-taken branch simply redirects the
+fetch PC at decode with a one-cycle bubble.
+"""
+
+from __future__ import annotations
+
+
+class BimodalPredictor:
+    """PC-indexed table of 2-bit saturating counters."""
+
+    def __init__(self, entries: int = 512):
+        if entries & (entries - 1):
+            raise ValueError("predictor entries must be a power of two")
+        self.entries = entries
+        self.table = [2] * entries  # weakly taken
+        self.lookups = 0
+        self.mispredicts = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & (self.entries - 1)
+
+    def predict(self, pc: int) -> bool:
+        self.lookups += 1
+        return self.table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool, mispredicted: bool) -> None:
+        idx = self._index(pc)
+        ctr = self.table[idx]
+        self.table[idx] = min(3, ctr + 1) if taken else max(0, ctr - 1)
+        if mispredicted:
+            self.mispredicts += 1
+
+    def snapshot(self) -> list[int]:
+        return list(self.table)
+
+    def restore(self, snap: list[int]) -> None:
+        self.table[:] = snap

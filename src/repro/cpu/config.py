@@ -1,0 +1,77 @@
+"""CPU/microarchitecture configuration (the paper's Table II).
+
+Two presets matter (see :mod:`repro.core.presets`):
+
+* ``paper()`` — the exact Table II sizes (32KB L1s, 1MB L2, 128+128 physical
+  registers, 32/32/64/128 LQ/SQ/IQ/ROB, 8-issue OoO),
+* ``sim()`` — the scaled configuration used by default in this repo so that
+  the scaled workloads occupy a comparable *fraction* of each structure
+  (AVF tracks occupancy fractions, not absolute sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    size: int
+    line_size: int = 64
+    assoc: int = 4
+    hit_latency: int = 2
+
+    def __post_init__(self) -> None:
+        if self.size % (self.line_size * self.assoc):
+            raise ValueError("cache size must be a multiple of line*assoc")
+
+    @property
+    def num_lines(self) -> int:
+        return self.size // self.line_size
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.assoc
+
+
+@dataclass(frozen=True)
+class CPUConfig:
+    """Out-of-order core parameters (Table II analog)."""
+
+    name: str = "sim"
+    width: int = 8                   # fetch/decode/rename/issue/commit width
+    rob_entries: int = 128
+    iq_entries: int = 64
+    lq_entries: int = 32
+    sq_entries: int = 32
+    int_phys_regs: int = 128
+    fp_phys_regs: int = 128
+    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(4096))
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(4096))
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(32768, assoc=8, hit_latency=12)
+    )
+    mem_latency: int = 60
+    fetch_bytes: int = 16
+    # functional-unit pool sizes
+    int_alu_units: int = 6
+    mul_div_units: int = 2
+    fp_units: int = 2
+    load_ports: int = 2
+    store_ports: int = 1
+    # latencies
+    mul_latency: int = 3
+    div_latency: int = 12
+    fp_latency: int = 4
+    fdiv_latency: int = 12
+    # branch prediction
+    predictor_entries: int = 512
+    # watchdog: a fault run is declared hung (Crash) beyond this multiple of
+    # the golden run's cycle count
+    watchdog_factor: int = 10
+
+    def with_(self, **kw) -> "CPUConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **kw)

@@ -1,0 +1,168 @@
+"""Micro-op execution semantics, shared by the atomic and OoO CPU models.
+
+All value computation funnels through :func:`repro.kernel.interp.eval_binop`
+so every substrate (interpreter, atomic CPU, OoO core, accelerator engine)
+produces bit-identical results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.base import AluFn, MicroOp, UopKind, flags_satisfy, pack_flags
+from repro.kernel.ir import (
+    MASK64,
+    BinOp,
+    bits_to_float,
+    float_to_bits,
+    to_signed,
+    to_unsigned,
+)
+from repro.kernel.interp import eval_binop, eval_cond, fcvt_to_int
+
+_SHIFT_FNS = {
+    "lsl": lambda v, n: (v << n) & MASK64,
+    "lsr": lambda v, n: v >> n,
+    "asr": lambda v, n: to_unsigned(to_signed(v) >> n),
+}
+
+
+class ExecError(Exception):
+    """Raised for malformed micro-ops (a simulator bug, not a guest fault)."""
+
+
+@dataclass
+class ExecResult:
+    """Outcome of computing one micro-op (no state is mutated here)."""
+
+    value: int | None = None        # register writeback value
+    addr: int | None = None         # effective address for LOAD/STORE
+    store_data: int | None = None
+    taken: bool | None = None       # branch resolution
+    target: int | None = None       # branch/jump target
+
+
+def apply_rm_shift(uop: MicroOp, value: int) -> int:
+    """Apply an Arm-style shifted-second-operand modifier."""
+    if uop.rm_shift is None:
+        return value
+    kind, amount = uop.rm_shift
+    return _SHIFT_FNS[kind](value & MASK64, amount & 63)
+
+
+def compute(uop: MicroOp, srcvals: list[int]) -> ExecResult:
+    """Execute ``uop`` over operand values; purely functional."""
+    kind = uop.kind
+    if kind in (UopKind.ALU, UopKind.MUL, UopKind.DIV, UopKind.FPU, UopKind.FDIV):
+        return _compute_alu(uop, srcvals)
+    if kind is UopKind.LOAD:
+        base = srcvals[0] if srcvals else 0
+        return ExecResult(addr=(base + uop.imm) & MASK64)
+    if kind is UopKind.STORE:
+        base = srcvals[0]
+        if uop.fn == "pair":
+            data = (srcvals[1] & MASK64) | ((srcvals[2] & MASK64) << 64)
+        else:
+            data = srcvals[1] & MASK64
+        return ExecResult(addr=(base + uop.imm) & MASK64, store_data=data)
+    if kind is UopKind.BRANCH:
+        if uop.uses_flags:
+            taken = flags_satisfy(uop.cond, srcvals[0])
+        elif uop.fn == "cbz":
+            taken = srcvals[0] == 0
+        elif uop.fn == "cbnz":
+            taken = srcvals[0] != 0
+        else:
+            a = srcvals[0]
+            b = srcvals[1] if len(srcvals) > 1 else 0
+            taken = eval_cond(uop.cond, a, b)
+        return ExecResult(taken=taken, target=uop.target)
+    if kind is UopKind.JUMP:
+        if uop.fn == "indirect":
+            target = (srcvals[0] + uop.imm) & MASK64 & ~1
+        else:
+            target = uop.target
+        link = (uop.pc + uop.size) & MASK64 if uop.dst is not None else None
+        return ExecResult(taken=True, target=target, value=link)
+    if kind is UopKind.SYS:
+        return ExecResult(value=srcvals[0] & MASK64 if srcvals else None)
+    if kind is UopKind.ILLEGAL:
+        return ExecResult()
+    raise ExecError(f"cannot execute {uop!r}")
+
+
+def _compute_alu(uop: MicroOp, srcvals: list[int]) -> ExecResult:
+    fn = uop.fn
+    if isinstance(fn, BinOp):
+        a = srcvals[0] & MASK64
+        if len(srcvals) > 1:
+            b = apply_rm_shift(uop, srcvals[1] & MASK64)
+        else:
+            b = to_unsigned(uop.imm)
+        return ExecResult(value=eval_binop(fn, a, b))
+    if fn is AluFn.MOVIMM:
+        return ExecResult(value=to_unsigned(uop.imm))
+    if fn is AluFn.MOV:
+        return ExecResult(value=srcvals[0] & MASK64)
+    if fn is AluFn.MOVK:
+        shift = (uop.imm >> 16) & 0x30
+        chunk = uop.imm & 0xFFFF
+        keep = srcvals[0] & ~(0xFFFF << shift) & MASK64
+        return ExecResult(value=keep | (chunk << shift))
+    if fn is AluFn.CMP:
+        a = srcvals[0] & MASK64
+        if len(srcvals) > 1:
+            b = apply_rm_shift(uop, srcvals[1] & MASK64)
+        else:
+            b = to_unsigned(uop.imm)
+        return ExecResult(value=pack_flags(a, b))
+    if fn is AluFn.FCMP:
+        from repro.isa.base import FLAG_EQ, FLAG_LT_S, FLAG_LT_U
+
+        fa, fb = bits_to_float(srcvals[0]), bits_to_float(srcvals[1])
+        word = 0
+        if fa < fb:
+            word |= FLAG_LT_S | FLAG_LT_U
+        if fa == fb:
+            word |= FLAG_EQ
+        return ExecResult(value=word)
+    if fn is AluFn.CSEL:
+        flags = srcvals[2]
+        chosen = srcvals[0] if flags_satisfy(uop.cond, flags) else srcvals[1]
+        return ExecResult(value=chosen & MASK64)
+    if fn is AluFn.MADD:
+        return ExecResult(
+            value=(srcvals[2] + srcvals[0] * srcvals[1]) & MASK64
+        )
+    if fn is AluFn.MSUB:
+        return ExecResult(
+            value=(srcvals[2] - srcvals[0] * srcvals[1]) & MASK64
+        )
+    if fn is AluFn.CSET:
+        return ExecResult(value=1 if flags_satisfy(uop.cond, srcvals[0]) else 0)
+    if fn is AluFn.FMV:
+        return ExecResult(value=srcvals[0] & MASK64)
+    if fn is AluFn.FCVT:
+        return ExecResult(value=float_to_bits(float(to_signed(srcvals[0]))))
+    if fn is AluFn.FCVTI:
+        return ExecResult(value=fcvt_to_int(srcvals[0]))
+    if fn is AluFn.LUI:
+        return ExecResult(value=to_unsigned(uop.imm))
+    raise ExecError(f"unknown ALU fn {fn!r}")
+
+
+def load_value(raw: int, width: int, signed: bool) -> int:
+    """Post-process a raw little-endian load of ``width`` bytes."""
+    if signed:
+        return to_unsigned(to_signed(raw, width * 8))
+    return raw & ((1 << (width * 8)) - 1)
+
+
+__all__ = [
+    "ExecError",
+    "ExecResult",
+    "apply_rm_shift",
+    "compute",
+    "load_value",
+    "bits_to_float",
+]

@@ -1,0 +1,143 @@
+"""Load and store queues with bit-level entry state.
+
+Entries hold real 64-bit address and data fields — the injection targets for
+the paper's Figures 7/8.  Store-to-load forwarding and the per-ISA drain
+policy (``MemoryModel.store_drain_rate``) live here; Arm's faster drain and
+load/store pairs are what lower its queue occupancy (Observation 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+MASK64 = (1 << 64) - 1
+
+
+class LSQProbe:
+    """Observer for queue-entry events (armed by the injector).
+
+    ``field`` on writes is one of ``alloc`` (whole entry re-initialized),
+    ``addr``, ``data``, so the injector can tell whether the faulty field
+    was overwritten.
+    """
+
+    def on_entry_read(self, queue: "LSQueue", idx: int) -> None: ...
+
+    def on_entry_write(self, queue: "LSQueue", idx: int, field: str) -> None: ...
+
+    def on_entry_free(self, queue: "LSQueue", idx: int) -> None: ...
+
+
+@dataclass
+class LSQEntry:
+    """One queue slot.  ``addr``/``data`` are the injectable bit fields."""
+
+    valid: bool = False
+    seq: int = -1
+    addr: int = 0
+    addr_known: bool = False
+    data: int = 0
+    data_known: bool = False
+    width: int = 8
+    committed: bool = False      # stores: past commit, awaiting drain
+    pair: bool = False           # Arm ldp/stp occupying one slot for two regs
+
+    def clear(self) -> None:
+        self.valid = False
+        self.seq = -1
+        self.addr = 0
+        self.addr_known = False
+        self.data = 0
+        self.data_known = False
+        self.committed = False
+        self.pair = False
+
+
+class LSQueue:
+    """A circular-buffer-free simple queue: index = slot, ordered by seq."""
+
+    #: bits per entry visible to the injector: 64 addr + 64 data
+    BITS_PER_ENTRY = 128
+
+    def __init__(self, name: str, entries: int):
+        self.name = name
+        self.entries = [LSQEntry() for _ in range(entries)]
+        self.probe: LSQProbe | None = None
+
+    def allocate(self, seq: int) -> int | None:
+        for idx, e in enumerate(self.entries):
+            if not e.valid:
+                e.clear()
+                e.valid = True
+                e.seq = seq
+                if self.probe:
+                    self.probe.on_entry_write(self, idx, "alloc")
+                return idx
+        return None
+
+    def set_addr(self, idx: int, addr: int, width: int) -> None:
+        e = self.entries[idx]
+        e.addr = addr & MASK64
+        e.addr_known = True
+        e.width = width
+        if self.probe:
+            self.probe.on_entry_write(self, idx, "addr")
+
+    def set_data(self, idx: int, data: int) -> None:
+        e = self.entries[idx]
+        e.data = data & ((1 << 128) - 1)  # pair stores carry 128 bits
+        e.data_known = True
+        if self.probe:
+            self.probe.on_entry_write(self, idx, "data")
+
+    def read_entry(self, idx: int) -> LSQEntry:
+        if self.probe:
+            self.probe.on_entry_read(self, idx)
+        return self.entries[idx]
+
+    def free(self, idx: int) -> None:
+        if self.probe:
+            self.probe.on_entry_free(self, idx)
+        self.entries[idx].clear()
+
+    def free_by_seq(self, min_seq: int) -> None:
+        """Squash entries younger than or equal to nothing — free seq > min_seq."""
+        for idx, e in enumerate(self.entries):
+            if e.valid and e.seq > min_seq and not e.committed:
+                self.free(idx)
+
+    def occupancy(self) -> int:
+        return sum(1 for e in self.entries if e.valid)
+
+    # ------------------------------------------------------------ injection
+
+    def flip_bit(self, idx: int, bit: int) -> None:
+        e = self.entries[idx]
+        if bit < 64:
+            e.addr ^= 1 << bit
+        else:
+            e.data ^= 1 << (bit - 64)
+
+    def force_bit(self, idx: int, bit: int, value: int) -> bool:
+        e = self.entries[idx]
+        if bit < 64:
+            old = e.addr
+            e.addr = (old | (1 << bit)) if value else (old & ~(1 << bit))
+            return e.addr != old
+        bit -= 64
+        old = e.data
+        e.data = (old | (1 << bit)) if value else (old & ~(1 << bit))
+        return e.data != old
+
+    def entry_valid(self, idx: int) -> bool:
+        return self.entries[idx].valid
+
+    # ------------------------------------------------------------ state
+
+    def snapshot(self) -> list[dict]:
+        return [dict(vars(e)) for e in self.entries]
+
+    def restore(self, snap: list[dict]) -> None:
+        for e, s in zip(self.entries, snap):
+            for key, val in s.items():
+                setattr(e, key, val)

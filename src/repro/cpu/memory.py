@@ -1,0 +1,91 @@
+"""Flat main memory with MMIO dispatch.
+
+The backing store for the cache hierarchy.  Device regions (accelerator MMRs,
+scratchpad apertures) register handlers and are accessed *uncached* by the
+core.  All state is a real bytearray, so corrupted cache writebacks land in
+memory exactly as corrupted bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class MemoryFault(Exception):
+    """Access outside the physical address space."""
+
+    def __init__(self, addr: int, width: int):
+        super().__init__(f"memory access out of range: {addr:#x}+{width}")
+        self.addr = addr
+        self.width = width
+
+
+@dataclass
+class MMIORegion:
+    """A device aperture: ``read(addr, width) -> int``, ``write(addr, value, width)``."""
+
+    start: int
+    end: int
+    read: object
+    write: object
+    name: str = "device"
+
+
+class MainMemory:
+    """Byte-addressable physical memory plus device apertures."""
+
+    def __init__(self, size: int, latency: int = 60):
+        self.size = size
+        self.latency = latency
+        self.data = bytearray(size)
+        self.mmio: list[MMIORegion] = []
+
+    def load_image(self, image: bytes, base: int = 0) -> None:
+        self.data[base : base + len(image)] = image
+
+    def add_mmio(self, region: MMIORegion) -> None:
+        self.mmio.append(region)
+
+    def mmio_region(self, addr: int) -> MMIORegion | None:
+        for region in self.mmio:
+            if region.start <= addr < region.end:
+                return region
+        return None
+
+    def is_mmio(self, addr: int) -> bool:
+        return self.mmio_region(addr) is not None
+
+    def check(self, addr: int, width: int) -> None:
+        if addr < 0 or addr + width > self.size:
+            raise MemoryFault(addr, width)
+
+    def read(self, addr: int, width: int) -> int:
+        region = self.mmio_region(addr)
+        if region is not None:
+            return region.read(addr, width)
+        self.check(addr, width)
+        return int.from_bytes(self.data[addr : addr + width], "little")
+
+    def write(self, addr: int, value: int, width: int) -> None:
+        region = self.mmio_region(addr)
+        if region is not None:
+            region.write(addr, value, width)
+            return
+        self.check(addr, width)
+        self.data[addr : addr + width] = (value & ((1 << (width * 8)) - 1)).to_bytes(
+            width, "little"
+        )
+
+    def read_block(self, addr: int, size: int) -> bytes:
+        self.check(addr, size)
+        return bytes(self.data[addr : addr + size])
+
+    def write_block(self, addr: int, block: bytes) -> None:
+        self.check(addr, len(block))
+        self.data[addr : addr + len(block)] = block
+
+    def snapshot(self) -> bytes:
+        return bytes(self.data)
+
+    def restore(self, image: bytes) -> None:
+        self.data[:] = image

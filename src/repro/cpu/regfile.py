@@ -1,0 +1,80 @@
+"""Physical register files with explicit free lists.
+
+Values are raw 64-bit integers; a transient fault flips a stored bit and the
+corrupted value flows to consumers through normal operand reads.  The free
+list lets the injector apply the paper's "fault in an unused entry is
+masked" early termination: a free physical register is guaranteed to be
+written (by the renamer) before its next read.
+"""
+
+from __future__ import annotations
+
+
+class RegFileProbe:
+    """Observer for register-level events (armed by the injector)."""
+
+    def on_reg_read(self, rf: "PhysRegFile", reg: int) -> None: ...
+
+    def on_reg_write(self, rf: "PhysRegFile", reg: int) -> None: ...
+
+
+class PhysRegFile:
+    """One physical register file (integer or floating point)."""
+
+    def __init__(self, name: str, size: int):
+        self.name = name
+        self.size = size
+        self.values = [0] * size
+        self.ready = [True] * size
+        self.free: list[int] = []
+        self.probe: RegFileProbe | None = None
+
+    def read(self, reg: int) -> int:
+        if self.probe:
+            self.probe.on_reg_read(self, reg)
+        return self.values[reg]
+
+    def write(self, reg: int, value: int) -> None:
+        self.values[reg] = value & ((1 << 64) - 1)
+        self.ready[reg] = True
+        if self.probe:  # after mutation, so stuck-at enforcement sees the write
+            self.probe.on_reg_write(self, reg)
+
+    def allocate(self) -> int | None:
+        """Take a register off the free list (None when exhausted)."""
+        if not self.free:
+            return None
+        reg = self.free.pop()
+        self.ready[reg] = False
+        return reg
+
+    def release(self, reg: int) -> None:
+        self.free.append(reg)
+
+    def is_free(self, reg: int) -> bool:
+        return reg in set(self.free)
+
+    # ------------------------------------------------------------ injection
+
+    def flip_bit(self, reg: int, bit: int) -> None:
+        self.values[reg] ^= 1 << bit
+
+    def force_bit(self, reg: int, bit: int, value: int) -> bool:
+        old = self.values[reg]
+        new = (old | (1 << bit)) if value else (old & ~(1 << bit))
+        self.values[reg] = new
+        return new != old
+
+    # ------------------------------------------------------------ state
+
+    def snapshot(self) -> dict:
+        return {
+            "values": list(self.values),
+            "ready": list(self.ready),
+            "free": list(self.free),
+        }
+
+    def restore(self, snap: dict) -> None:
+        self.values[:] = snap["values"]
+        self.ready[:] = snap["ready"]
+        self.free[:] = snap["free"]

@@ -1,0 +1,28 @@
+"""Bit-faithful miniature ISAs: RISC-V-, Arm-, and x86-flavoured.
+
+Each ISA provides an encoder (used by the compiler backend), a decoder that
+turns *arbitrary* bytes into micro-ops (never raising — corrupted bytes decode
+to different-but-valid or to ILLEGAL micro-ops, exactly what instruction-cache
+fault injection needs), and the microarchitectural policy knobs the paper's
+cross-ISA observations depend on (store-drain rate, queue-entry compression).
+"""
+
+from repro.isa.base import (
+    FLAGS_REG,
+    ISA,
+    MemoryModel,
+    MicroOp,
+    UopKind,
+    get_isa,
+    isa_names,
+)
+
+__all__ = [
+    "FLAGS_REG",
+    "ISA",
+    "MemoryModel",
+    "MicroOp",
+    "UopKind",
+    "get_isa",
+    "isa_names",
+]

@@ -1,0 +1,335 @@
+"""ISA abstraction shared by the three mini-ISAs.
+
+The out-of-order core (:mod:`repro.cpu.core`) is ISA-agnostic: it executes
+:class:`MicroOp` streams.  Every ISA module supplies
+
+* a compiler backend (:meth:`ISA.backend`) that lowers mini-IR to machine
+  code bytes,
+* a decoder (:meth:`ISA.decode`) mapping raw bytes at a PC to micro-ops —
+  total over all byte patterns: corrupted instruction words yield either a
+  *different valid* micro-op or an ``ILLEGAL`` one, never a Python error,
+* a :class:`MemoryModel` describing the load/store-queue policies the
+  paper's Observation 4 (memory-ordering effects on LQ/SQ vulnerability)
+  flows from.
+
+Register namespace convention (flat, per-ISA):
+
+* integer architectural registers ``0 .. int_regs-1``,
+* ``FLAGS_REG`` (``= int_regs``): condition flags (Arm NZCV / x86 RFLAGS
+  analog), renamed through the integer PRF like any other register,
+* ``TEMP_REG`` (``= int_regs + 1``): micro-architectural temporary used by
+  cracked CISC micro-ops (x86 load-op forms),
+* floating-point registers ``0 .. fp_regs-1`` in a separate space.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.kernel.ir import BinOp, Cond
+
+#: Architectural index of the condition-flags register (per-ISA offset added).
+FLAGS_REG = -1  # resolved per-ISA via ISA.flags_reg
+TEMP_REG = -2   # resolved per-ISA via ISA.temp_reg
+
+# Packed flags-word layout produced by compare micro-ops and consumed by
+# flag-based branches/selects.  A synthesized condition word: deterministic,
+# compact, and a single-bit flip in the renamed flags register corrupts
+# branch outcomes the way a flipped NZCV bit would.
+FLAG_LT_S = 1 << 0   # signed less-than
+FLAG_LT_U = 1 << 1   # unsigned less-than (carry/borrow analog)
+FLAG_EQ = 1 << 2     # zero/equal
+
+
+def pack_flags(a: int, b: int) -> int:
+    """Flags word for the comparison ``a ? b`` over raw 64-bit values."""
+    from repro.kernel.ir import to_signed
+
+    word = 0
+    if to_signed(a) < to_signed(b):
+        word |= FLAG_LT_S
+    if (a & ((1 << 64) - 1)) < (b & ((1 << 64) - 1)):
+        word |= FLAG_LT_U
+    if a == b:
+        word |= FLAG_EQ
+    return word
+
+
+def flags_satisfy(cond: Cond, flags: int) -> bool:
+    """Evaluate a condition against a packed flags word."""
+    if cond is Cond.EQ:
+        return bool(flags & FLAG_EQ)
+    if cond is Cond.NE:
+        return not flags & FLAG_EQ
+    if cond is Cond.LT:
+        return bool(flags & FLAG_LT_S)
+    if cond is Cond.GE:
+        return not flags & FLAG_LT_S
+    if cond is Cond.LTU:
+        return bool(flags & FLAG_LT_U)
+    if cond is Cond.GEU:
+        return not flags & FLAG_LT_U
+    raise ValueError(f"unknown cond {cond}")
+
+
+class UopKind(enum.Enum):
+    """Micro-op classes; each maps to a functional-unit pool in the core."""
+
+    ALU = "alu"
+    MUL = "mul"
+    DIV = "div"
+    FPU = "fpu"
+    FDIV = "fdiv"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    JUMP = "jump"
+    SYS = "sys"
+    ILLEGAL = "illegal"
+
+
+class SysFn(enum.Enum):
+    """System/magic micro-op functions (the m5-pseudo-instruction analogs)."""
+
+    HALT = "halt"
+    OUT = "out"
+    CHECKPOINT = "checkpoint"
+    SWITCH_CPU = "switch_cpu"
+    WFI = "wfi"
+    NOP = "nop"
+
+
+# Extra ALU functions beyond BinOp that decoders may produce.
+class AluFn(enum.Enum):
+    MOVIMM = "movimm"        # dst <- imm
+    MOV = "mov"              # dst <- src0
+    MOVK = "movk"            # dst <- (src0 & ~(0xffff << sh)) | (imm << sh)
+    CMP = "cmp"              # flags <- pack_flags(src0, src1')
+    FCMP = "fcmp"            # flags <- float compare(src0, src1)
+    CSEL = "csel"            # dst <- src0 if cond(flags) else src1
+    MADD = "madd"            # dst <- src2 + src0 * src1
+    CSET = "cset"            # dst <- 1 if cond(flags) else 0
+    MSUB = "msub"            # dst <- src2 - src0 * src1
+    FMV = "fmv"              # bit-move int reg -> fp reg (or back)
+    FCVT = "fcvt"            # int -> double
+    FCVTI = "fcvti"          # double -> int (truncating)
+    LUI = "lui"              # dst <- sign-extended (imm << 12)
+
+
+@dataclass
+class MicroOp:
+    """One micro-operation; the unit of execution in the OoO core.
+
+    ``dst``/``srcs`` name architectural registers in the ISA's flat integer
+    space, or the FP space when the corresponding ``*_fp`` flag is set.
+    """
+
+    kind: UopKind
+    fn: object = None                  # BinOp | AluFn | SysFn | Cond
+    dst: int | None = None
+    dst_fp: bool = False
+    srcs: tuple[int, ...] = ()
+    srcs_fp: tuple[bool, ...] = ()
+    imm: int = 0
+    # memory
+    width: int = 8
+    signed: bool = False
+    # branch
+    cond: Cond | None = None
+    target: int = 0                    # absolute target PC (filled by decoder)
+    uses_flags: bool = False
+    # Arm-style shifted second operand: (shift_type, amount); None when unused
+    rm_shift: tuple[str, int] | None = None
+    # bookkeeping (filled at fetch/decode)
+    pc: int = 0
+    size: int = 4
+    raw: bytes = b""
+    first_of_instr: bool = True        # False for the tail of cracked uops
+
+    def reads(self) -> tuple[int, ...]:
+        return self.srcs
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        fn = getattr(self.fn, "value", self.fn)
+        return (
+            f"<uop {self.kind.value}/{fn} dst={self.dst} srcs={self.srcs} "
+            f"imm={self.imm} pc={self.pc:#x}>"
+        )
+
+
+def illegal_uop(pc: int, raw: bytes, size: int) -> MicroOp:
+    """The micro-op produced when bytes do not decode."""
+    return MicroOp(kind=UopKind.ILLEGAL, pc=pc, raw=raw, size=size)
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Load/store-queue policy knobs — where ISA memory models bite.
+
+    * ``store_drain_rate``: committed stores written to the L1D per cycle.
+      TSO (x86-style) retires strictly one in-order store per cycle; weaker
+      models (Arm) may coalesce and drain faster.
+    * ``merge_pairs``: whether adjacent load/store *pair* instructions exist
+      (Arm ``ldp``/``stp``), halving queue occupancy for paired traffic.
+    """
+
+    name: str
+    store_drain_rate: int = 1
+    merge_pairs: bool = False
+
+
+@dataclass
+class ISA:
+    """Descriptor + encoder/decoder entry points for one mini-ISA."""
+
+    name: str
+    int_regs: int
+    fp_regs: int
+    memory_model: MemoryModel
+    min_instr_bytes: int = 4
+    max_instr_bytes: int = 4
+    zero_reg: int | None = None   # hardwired-zero architectural register
+    # filled in by the ISA module:
+    decode_fn: object = None
+    backend_cls: object = None
+    #: fraction-of-encoding-space notes for documentation/tests
+    description: str = ""
+
+    @property
+    def flags_reg(self) -> int:
+        return self.int_regs
+
+    @property
+    def temp_reg(self) -> int:
+        return self.int_regs + 1
+
+    @property
+    def total_int_regs(self) -> int:
+        """Architectural integer namespace size incl. flags + cracking temp."""
+        return self.int_regs + 2
+
+    def decode(self, mem: "bytes | memoryview", pc: int, offset: int) -> list[MicroOp]:
+        """Decode one instruction at ``mem[offset:]`` (PC ``pc``) to micro-ops.
+
+        Total: any byte pattern yields at least one micro-op (possibly
+        ILLEGAL).  The ``size`` of the first micro-op tells the fetch unit
+        how far to advance.
+        """
+        return self.decode_fn(mem, pc, offset)
+
+    def backend(self):
+        """Instantiate this ISA's compiler backend."""
+        return self.backend_cls(self)
+
+
+_REGISTRY: dict[str, ISA] = {}
+
+
+def register_isa(isa: ISA) -> ISA:
+    _REGISTRY[isa.name] = isa
+    return isa
+
+
+def get_isa(name: str) -> ISA:
+    """Look up an ISA by name ('rv', 'arm', 'x86')."""
+    # import lazily so `get_isa` works regardless of import order
+    if not _REGISTRY:
+        import importlib
+
+        for mod in ("riscv", "arm", "x86"):
+            try:
+                importlib.import_module(f"repro.isa.{mod}")
+            except ModuleNotFoundError:  # pragma: no cover - partial builds
+                pass
+
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown ISA {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def isa_names() -> list[str]:
+    """All registered ISA names, in the paper's presentation order."""
+    get_isa("rv")  # force registration
+    return ["arm", "x86", "rv"]
+
+
+# --------------------------------------------------------------------------
+# Machine-instruction assembly helper (shared by backends)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class MInstr:
+    """A machine instruction during assembly.
+
+    ``encode(addr, labels)`` returns the final bytes; ``size()`` must be
+    stable given the current ``long`` flag (branch relaxation toggles it).
+    """
+
+    mnemonic: str
+    operands: tuple = ()
+    label: str | None = None        # symbolic branch target
+    size_bytes: int = 4
+    long: bool = False              # relaxed (far-branch) form
+    encode_fn: object = None        # (self, addr, labels) -> bytes
+
+    def size(self) -> int:
+        return self.size_bytes
+
+    def encode(self, addr: int, labels: dict[str, int]) -> bytes:
+        return self.encode_fn(self, addr, labels)
+
+
+class AssemblyError(Exception):
+    """Raised when machine code cannot be assembled (range overflow, ...)."""
+
+
+def assemble(
+    instrs: list[tuple[str | None, MInstr]],
+    base: int,
+    in_range,
+    expand,
+    max_passes: int = 16,
+) -> tuple[bytes, dict[str, int]]:
+    """Two-phase assembly with iterative branch relaxation.
+
+    ``instrs`` is a list of ``(label_or_None, MInstr)`` — a label marks the
+    address of the instruction it precedes.  ``in_range(minstr, offset)``
+    says whether a branch reaches; ``expand(minstr)`` switches it to its long
+    form (must strictly grow).  Converges because sizes only increase.
+    """
+    for _ in range(max_passes):
+        labels: dict[str, int] = {}
+        addr = base
+        for label, mi in instrs:
+            if label is not None:
+                labels[label] = addr
+            addr += mi.size()
+        changed = False
+        addr = base
+        for _, mi in instrs:
+            if mi.label is not None and not mi.long:
+                target = labels.get(mi.label)
+                if target is None:
+                    raise AssemblyError(f"undefined label {mi.label!r}")
+                if not in_range(mi, target - addr):
+                    expand(mi)
+                    changed = True
+            addr += mi.size()
+        if not changed:
+            code = bytearray()
+            addr = base
+            for _, mi in instrs:
+                encoded = mi.encode(addr, labels)
+                if len(encoded) != mi.size():  # pragma: no cover - invariant
+                    raise AssemblyError(
+                        f"{mi.mnemonic}: encoded {len(encoded)}B, sized {mi.size()}B"
+                    )
+                code += encoded
+                addr += len(encoded)
+            return bytes(code), labels
+    raise AssemblyError("branch relaxation did not converge")

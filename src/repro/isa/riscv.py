@@ -1,0 +1,554 @@
+"""``rv`` — the RV64-flavoured mini-ISA.
+
+Faithful to RISC-V's structural properties: fixed 32-bit words, the standard
+R/I/S/B/U/J field layouts with scattered immediates, a *sparse* opcode space
+(only 12 of 128 major opcodes decode), a hardwired zero register, and
+compare-and-branch instructions (no condition flags).
+
+These properties carry the paper's RISC-V observations: more instructions
+per task (no complex addressing, no conditional select in the base ALU path
+— our backend synthesizes SELECT from 6 ops), and high masking of I-cache
+faults (flips frequently land in reserved encodings or unused fields).
+"""
+
+from __future__ import annotations
+
+from repro.isa.base import (
+    ISA,
+    AluFn,
+    MemoryModel,
+    MicroOp,
+    MInstr,
+    SysFn,
+    UopKind,
+    illegal_uop,
+    register_isa,
+)
+from repro.kernel.compiler import Backend
+from repro.kernel.ir import BinOp, Cond, Instr, Op, to_signed, to_unsigned
+
+# major opcodes
+_OP = 0x33
+_OP_IMM = 0x13
+_LOAD = 0x03
+_STORE = 0x23
+_BRANCH = 0x63
+_JAL = 0x6F
+_JALR = 0x67
+_LUI = 0x37
+_SYSTEM = 0x73
+_LOAD_FP = 0x07
+_STORE_FP = 0x27
+_OP_FP = 0x53
+
+_R_ALU = {
+    (0, 0x00): BinOp.ADD,
+    (0, 0x20): BinOp.SUB,
+    (1, 0x00): BinOp.SHL,
+    (2, 0x00): BinOp.SLT,
+    (3, 0x00): BinOp.SLTU,
+    (4, 0x00): BinOp.XOR,
+    (5, 0x00): BinOp.SHRL,
+    (5, 0x20): BinOp.SHRA,
+    (6, 0x00): BinOp.OR,
+    (7, 0x00): BinOp.AND,
+}
+_R_MULDIV = {
+    0: BinOp.MUL,
+    4: BinOp.DIVS,
+    5: BinOp.DIVU,
+    6: BinOp.REMS,
+    7: BinOp.REMU,
+}
+_I_ALU = {0: BinOp.ADD, 2: BinOp.SLT, 3: BinOp.SLTU, 4: BinOp.XOR, 6: BinOp.OR, 7: BinOp.AND}
+_LOADS = {0: (1, True), 1: (2, True), 2: (4, True), 3: (8, True), 4: (1, False), 5: (2, False), 6: (4, False)}
+_BR_COND = {0: Cond.EQ, 1: Cond.NE, 4: Cond.LT, 5: Cond.GE, 6: Cond.LTU, 7: Cond.GEU}
+_BR_F3 = {v: k for k, v in _BR_COND.items()}
+
+_SYS_OUT_BASE = 3  # imm12 3..6 -> OUT width 1/2/4/8
+_OUT_WIDTHS = {3: 1, 4: 2, 5: 4, 6: 8}
+_WFI_IMM = 0x105
+
+
+# --------------------------------------------------------------------------
+# bit helpers
+# --------------------------------------------------------------------------
+
+
+def _bits(word: int, hi: int, lo: int) -> int:
+    return (word >> lo) & ((1 << (hi - lo + 1)) - 1)
+
+
+def _sext(value: int, bits: int) -> int:
+    return to_unsigned(to_signed(value, bits))
+
+
+def enc_r(opcode, rd, f3, rs1, rs2, f7) -> int:
+    return (f7 << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | opcode
+
+
+def enc_i(opcode, rd, f3, rs1, imm) -> int:
+    return ((imm & 0xFFF) << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | opcode
+
+
+def enc_s(opcode, f3, rs1, rs2, imm) -> int:
+    imm &= 0xFFF
+    return (
+        ((imm >> 5) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (f3 << 12)
+        | ((imm & 0x1F) << 7)
+        | opcode
+    )
+
+
+def enc_b(opcode, f3, rs1, rs2, imm) -> int:
+    imm &= 0x1FFF
+    return (
+        (((imm >> 12) & 1) << 31)
+        | (((imm >> 5) & 0x3F) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (f3 << 12)
+        | (((imm >> 1) & 0xF) << 8)
+        | (((imm >> 11) & 1) << 7)
+        | opcode
+    )
+
+
+def enc_u(opcode, rd, imm20) -> int:
+    return ((imm20 & 0xFFFFF) << 12) | (rd << 7) | opcode
+
+
+def enc_j(opcode, rd, imm) -> int:
+    imm &= 0x1FFFFF
+    return (
+        (((imm >> 20) & 1) << 31)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 12) & 0xFF) << 12)
+        | (rd << 7)
+        | opcode
+    )
+
+
+def dec_i_imm(word: int) -> int:
+    return _sext(_bits(word, 31, 20), 12)
+
+
+def dec_s_imm(word: int) -> int:
+    return _sext((_bits(word, 31, 25) << 5) | _bits(word, 11, 7), 12)
+
+
+def dec_b_imm(word: int) -> int:
+    imm = (
+        (_bits(word, 31, 31) << 12)
+        | (_bits(word, 7, 7) << 11)
+        | (_bits(word, 30, 25) << 5)
+        | (_bits(word, 11, 8) << 1)
+    )
+    return _sext(imm, 13)
+
+
+def dec_j_imm(word: int) -> int:
+    imm = (
+        (_bits(word, 31, 31) << 20)
+        | (_bits(word, 19, 12) << 12)
+        | (_bits(word, 20, 20) << 11)
+        | (_bits(word, 30, 21) << 1)
+    )
+    return _sext(imm, 21)
+
+
+# --------------------------------------------------------------------------
+# Decoder
+# --------------------------------------------------------------------------
+
+
+def decode(mem, pc: int, offset: int) -> list[MicroOp]:
+    raw = bytes(mem[offset : offset + 4])
+    if len(raw) < 4:
+        return [illegal_uop(pc, raw, max(len(raw), 1))]
+    word = int.from_bytes(raw, "little")
+    opcode = word & 0x7F
+    rd = _bits(word, 11, 7)
+    f3 = _bits(word, 14, 12)
+    rs1 = _bits(word, 19, 15)
+    rs2 = _bits(word, 24, 20)
+    f7 = _bits(word, 31, 25)
+
+    def uop(**kw) -> list[MicroOp]:
+        return [MicroOp(pc=pc, size=4, raw=raw, **kw)]
+
+    ill = [illegal_uop(pc, raw, 4)]
+
+    if opcode == _OP:
+        if f7 == 1:
+            fn = _R_MULDIV.get(f3)
+            if fn is None:
+                return ill
+            kind = UopKind.MUL if fn is BinOp.MUL else UopKind.DIV
+            return uop(kind=kind, fn=fn, dst=rd, srcs=(rs1, rs2))
+        fn = _R_ALU.get((f3, f7))
+        if fn is None:
+            return ill
+        return uop(kind=UopKind.ALU, fn=fn, dst=rd, srcs=(rs1, rs2))
+
+    if opcode == _OP_IMM:
+        imm = dec_i_imm(word)
+        if f3 == 1:
+            if _bits(word, 31, 26) != 0:
+                return ill
+            return uop(kind=UopKind.ALU, fn=BinOp.SHL, dst=rd, srcs=(rs1,), imm=_bits(word, 25, 20))
+        if f3 == 5:
+            shamt = _bits(word, 25, 20)
+            arith = _bits(word, 30, 30)
+            if _bits(word, 31, 31) or _bits(word, 29, 26):
+                return ill
+            fn = BinOp.SHRA if arith else BinOp.SHRL
+            return uop(kind=UopKind.ALU, fn=fn, dst=rd, srcs=(rs1,), imm=shamt)
+        fn = _I_ALU.get(f3)
+        if fn is None:
+            return ill
+        return uop(kind=UopKind.ALU, fn=fn, dst=rd, srcs=(rs1,), imm=imm)
+
+    if opcode == _LOAD:
+        spec = _LOADS.get(f3)
+        if spec is None:
+            return ill
+        width, signed = spec
+        return uop(
+            kind=UopKind.LOAD, dst=rd, srcs=(rs1,), imm=dec_i_imm(word),
+            width=width, signed=signed,
+        )
+
+    if opcode == _STORE:
+        if f3 > 3:
+            return ill
+        return uop(
+            kind=UopKind.STORE, srcs=(rs1, rs2), imm=dec_s_imm(word), width=1 << f3,
+        )
+
+    if opcode == _BRANCH:
+        cond = _BR_COND.get(f3)
+        if cond is None:
+            return ill
+        return uop(
+            kind=UopKind.BRANCH, cond=cond, srcs=(rs1, rs2),
+            target=(pc + dec_b_imm(word)) & ((1 << 64) - 1),
+        )
+
+    if opcode == _JAL:
+        return uop(kind=UopKind.JUMP, dst=rd if rd else None,
+                   target=(pc + dec_j_imm(word)) & ((1 << 64) - 1))
+
+    if opcode == _JALR:
+        if f3 != 0:
+            return ill
+        return uop(kind=UopKind.JUMP, dst=rd if rd else None, srcs=(rs1,),
+                   imm=dec_i_imm(word), fn="indirect")
+
+    if opcode == _LUI:
+        return uop(kind=UopKind.ALU, fn=AluFn.MOVIMM, dst=rd,
+                   imm=_sext(_bits(word, 31, 12) << 12, 32))
+
+    if opcode == _SYSTEM:
+        if f3 != 0:
+            return ill
+        imm12 = _bits(word, 31, 20)
+        if imm12 == 0:
+            return uop(kind=UopKind.SYS, fn=SysFn.HALT)
+        if imm12 == 1:
+            return uop(kind=UopKind.SYS, fn=SysFn.CHECKPOINT)
+        if imm12 == 2:
+            return uop(kind=UopKind.SYS, fn=SysFn.SWITCH_CPU)
+        if imm12 in _OUT_WIDTHS:
+            return uop(kind=UopKind.SYS, fn=SysFn.OUT, srcs=(rs1,), width=_OUT_WIDTHS[imm12])
+        if imm12 == _WFI_IMM:
+            return uop(kind=UopKind.SYS, fn=SysFn.WFI)
+        if imm12 == 0x007:
+            return uop(kind=UopKind.SYS, fn=SysFn.NOP)
+        return ill
+
+    if opcode == _LOAD_FP:
+        if f3 != 3:
+            return ill
+        return uop(kind=UopKind.LOAD, dst=rd, dst_fp=True, srcs=(rs1,),
+                   imm=dec_i_imm(word), width=8)
+
+    if opcode == _STORE_FP:
+        if f3 != 3:
+            return ill
+        return uop(kind=UopKind.STORE, srcs=(rs1, rs2), srcs_fp=(False, True),
+                   imm=dec_s_imm(word), width=8)
+
+    if opcode == _OP_FP:
+        if f7 == 0x01:
+            return uop(kind=UopKind.FPU, fn=BinOp.FADD, dst=rd, dst_fp=True,
+                       srcs=(rs1, rs2), srcs_fp=(True, True))
+        if f7 == 0x05:
+            return uop(kind=UopKind.FPU, fn=BinOp.FSUB, dst=rd, dst_fp=True,
+                       srcs=(rs1, rs2), srcs_fp=(True, True))
+        if f7 == 0x09:
+            return uop(kind=UopKind.FPU, fn=BinOp.FMUL, dst=rd, dst_fp=True,
+                       srcs=(rs1, rs2), srcs_fp=(True, True))
+        if f7 == 0x0D:
+            return uop(kind=UopKind.FDIV, fn=BinOp.FDIV, dst=rd, dst_fp=True,
+                       srcs=(rs1, rs2), srcs_fp=(True, True))
+        if f7 == 0x11 and f3 == 0:  # FSGNJ.D used as FMV fp->fp
+            return uop(kind=UopKind.FPU, fn=AluFn.MOV, dst=rd, dst_fp=True,
+                       srcs=(rs1,), srcs_fp=(True,))
+        if f7 == 0x51 and f3 in (1, 2):
+            fn = BinOp.FLT if f3 == 1 else BinOp.FEQ
+            return uop(kind=UopKind.FPU, fn=fn, dst=rd, srcs=(rs1, rs2),
+                       srcs_fp=(True, True))
+        if f7 == 0x61 and rs2 == 2:  # FCVT.L.D
+            return uop(kind=UopKind.FPU, fn=AluFn.FCVTI, dst=rd, srcs=(rs1,),
+                       srcs_fp=(True,))
+        if f7 == 0x69 and rs2 == 2:  # FCVT.D.L
+            return uop(kind=UopKind.FPU, fn=AluFn.FCVT, dst=rd, dst_fp=True,
+                       srcs=(rs1,))
+        if f7 == 0x79 and rs2 == 0 and f3 == 0:  # FMV.D.X
+            return uop(kind=UopKind.FPU, fn=AluFn.FMV, dst=rd, dst_fp=True,
+                       srcs=(rs1,))
+        return ill
+
+    return ill
+
+
+# --------------------------------------------------------------------------
+# Backend
+# --------------------------------------------------------------------------
+
+
+def _word_mi(mnemonic: str, word: int) -> MInstr:
+    return MInstr(mnemonic, encode_fn=lambda mi, addr, labels: word.to_bytes(4, "little"))
+
+
+def _branch_mi(mnemonic: str, f3: int, rs1: int, rs2: int, label: str) -> MInstr:
+    inv = {0: 1, 1: 0, 4: 5, 5: 4, 6: 7, 7: 6}
+
+    def encode(mi: MInstr, addr: int, labels: dict[str, int]) -> bytes:
+        target = labels[mi.label]
+        if not mi.long:
+            return enc_b(_BRANCH, f3, rs1, rs2, target - addr).to_bytes(4, "little")
+        # inverted branch over an unconditional JAL
+        first = enc_b(_BRANCH, inv[f3], rs1, rs2, 8)
+        second = enc_j(_JAL, 0, target - (addr + 4))
+        return first.to_bytes(4, "little") + second.to_bytes(4, "little")
+
+    return MInstr(mnemonic, label=label, size_bytes=4, encode_fn=encode)
+
+
+def _jump_mi(label: str) -> MInstr:
+    def encode(mi: MInstr, addr: int, labels: dict[str, int]) -> bytes:
+        return enc_j(_JAL, 0, labels[mi.label] - addr).to_bytes(4, "little")
+
+    return MInstr("j", label=label, size_bytes=4, encode_fn=encode)
+
+
+class RiscvBackend(Backend):
+    """Lowers mini-IR to rv machine code."""
+
+    ZERO = 0
+    spill_base = 2                       # x2 / sp
+    scratch_int = [3, 4, 5, 6, 7, 31]    # x3..x7, x31
+    allocatable_int = [1] + list(range(8, 31))  # x1, x8..x30 (24 regs)
+    scratch_fp = [0, 1, 2]
+    allocatable_fp = list(range(3, 32))  # f3..f31 (29 regs)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _w(self, mnemonic: str, word: int) -> None:
+        self.emit(_word_mi(mnemonic, word))
+
+    def emit_nop(self) -> None:
+        self._w("nop", enc_i(_OP_IMM, 0, 0, 0, 0))  # addi x0, x0, 0
+
+    def emit_const(self, reg: int, value: int) -> None:
+        value = to_unsigned(value)
+        sval = to_signed(value)
+        if -2048 <= sval < 2048:
+            self._w("li", enc_i(_OP_IMM, reg, 0, self.ZERO, sval))
+            return
+        if -(1 << 31) <= sval < (1 << 31):
+            self._lui_addi(reg, sval)
+            return
+        if value < (1 << 32):
+            # signed-32 materialization then zero-extend the low word
+            self._lui_addi(reg, to_signed(value, 32))
+            self._w("slli", enc_i(_OP_IMM, reg, 1, reg, 32))
+            self._w("srli", enc_i(_OP_IMM, reg, 5, reg, 32))
+            return
+        # full 64-bit: top signed chunk, then shift-and-or 11-bit chunks
+        chunks = []
+        rest = value
+        while rest or not chunks:
+            chunks.append(rest & 0x7FF)
+            rest >>= 11
+        chunks.reverse()
+        top = chunks[0]
+        top_signed = to_signed(top, 11) if len(chunks) == 6 else top
+        self._w("li", enc_i(_OP_IMM, reg, 0, self.ZERO, top_signed & 0xFFF))
+        for chunk in chunks[1:]:
+            self._w("slli", enc_i(_OP_IMM, reg, 1, reg, 11))
+            if chunk:
+                self._w("ori", enc_i(_OP_IMM, reg, 6, reg, chunk))
+
+    def _lui_addi(self, reg: int, sval: int) -> None:
+        hi = (sval + 0x800) >> 12
+        lo = sval - (hi << 12)
+        self._w("lui", enc_u(_LUI, reg, hi))
+        if lo:
+            self._w("addi", enc_i(_OP_IMM, reg, 0, reg, lo))
+
+    def emit_prologue(self, spill_base_addr: int) -> None:
+        self.emit_const(self.spill_base, spill_base_addr)
+
+    def emit_load_spill(self, reg: int, slot: int, fp: bool) -> None:
+        if fp:
+            self._w("fld", enc_i(_LOAD_FP, reg, 3, self.spill_base, slot * 8))
+        else:
+            self._w("ld", enc_i(_LOAD, reg, 3, self.spill_base, slot * 8))
+
+    def emit_store_spill(self, reg: int, slot: int, fp: bool) -> None:
+        if fp:
+            self._w("fsd", enc_s(_STORE_FP, 3, self.spill_base, reg, slot * 8))
+        else:
+            self._w("sd", enc_s(_STORE, 3, self.spill_base, reg, slot * 8))
+
+    # -- main lowering ---------------------------------------------------------
+
+    def lower(self, instrs: list[Instr], index: int, regof, use_counts) -> int:
+        ins = instrs[index]
+        op = ins.op
+        if op is Op.CONST:
+            self.emit_const(regof(ins.dest), ins.imm)
+        elif op is Op.FCONST:
+            from repro.kernel.ir import float_to_bits
+
+            scratch = self.scratch_int[-1]
+            self.emit_const(scratch, float_to_bits(ins.imm))
+            self._w("fmv.d.x", enc_r(_OP_FP, regof(ins.dest), 0, scratch, 0, 0x79))
+        elif op is Op.MOV:
+            if ins.dest.kind == "f":
+                rs = regof(ins.a)
+                self._w("fmv.d", enc_r(_OP_FP, regof(ins.dest), 0, rs, rs, 0x11))
+            else:
+                self._w("mv", enc_i(_OP_IMM, regof(ins.dest), 0, regof(ins.a), 0))
+        elif op is Op.LA:
+            self.emit_const(regof(ins.dest), self.program.symbol_address(ins.symbol))
+        elif op is Op.BIN:
+            self._lower_bin(ins, regof)
+        elif op is Op.SELECT:
+            self._lower_select(ins, regof)
+        elif op is Op.FCVT:
+            self._w("fcvt.d.l", enc_r(_OP_FP, regof(ins.dest), 0, regof(ins.a), 2, 0x69))
+        elif op is Op.FCVTI:
+            self._w("fcvt.l.d", enc_r(_OP_FP, regof(ins.dest), 0, regof(ins.a), 2, 0x61))
+        elif op is Op.LOAD:
+            if ins.dest.kind == "f":
+                self._w("fld", enc_i(_LOAD_FP, regof(ins.dest), 3, regof(ins.a), ins.offset))
+            else:
+                f3 = {1: 0, 2: 1, 4: 2, 8: 3}[ins.width]
+                if not ins.signed and ins.width < 8:
+                    f3 = {1: 4, 2: 5, 4: 6}[ins.width]
+                self._w("ld", enc_i(_LOAD, regof(ins.dest), f3, regof(ins.a), ins.offset))
+        elif op is Op.STORE:
+            if ins.b.kind == "f":
+                self._w("fsd", enc_s(_STORE_FP, 3, regof(ins.a), regof(ins.b), ins.offset))
+            else:
+                f3 = {1: 0, 2: 1, 4: 2, 8: 3}[ins.width]
+                self._w("sd", enc_s(_STORE, f3, regof(ins.a), regof(ins.b), ins.offset))
+        elif op is Op.OUT:
+            imm = {1: 3, 2: 4, 4: 5, 8: 6}[ins.width]
+            self._w("out", enc_i(_SYSTEM, 0, 0, regof(ins.a), imm))
+        elif op is Op.CHECKPOINT:
+            self._w("checkpoint", enc_i(_SYSTEM, 0, 0, 0, 1))
+        elif op is Op.SWITCH_CPU:
+            self._w("switch", enc_i(_SYSTEM, 0, 0, 0, 2))
+        elif op is Op.WFI:
+            self._w("wfi", enc_i(_SYSTEM, 0, 0, 0, _WFI_IMM))
+        elif op is Op.NOP:
+            self.emit_nop()
+        elif op is Op.JUMP:
+            self.emit(_jump_mi(ins.taken))
+        elif op is Op.BR:
+            f3 = _BR_F3[ins.cond]
+            self.emit(_branch_mi("b" + ins.cond.value, f3, regof(ins.a), regof(ins.b), ins.taken))
+            self.emit(_jump_mi(ins.fallthrough))
+        elif op is Op.HALT:
+            self._w("halt", enc_i(_SYSTEM, 0, 0, 0, 0))
+        else:  # pragma: no cover - verifier forbids
+            raise NotImplementedError(op)
+        return 1
+
+    def _lower_bin(self, ins: Instr, regof) -> None:
+        rd, ra, rb = regof(ins.dest), regof(ins.a), regof(ins.b)
+        fn = ins.binop
+        if fn is BinOp.SEQ:
+            self._w("xor", enc_r(_OP, rd, 4, ra, rb, 0))
+            self._w("sltiu", enc_i(_OP_IMM, rd, 3, rd, 1))
+            return
+        fp_map = {BinOp.FADD: 0x01, BinOp.FSUB: 0x05, BinOp.FMUL: 0x09, BinOp.FDIV: 0x0D}
+        if fn in fp_map:
+            self._w(fn.value, enc_r(_OP_FP, rd, 0, ra, rb, fp_map[fn]))
+            return
+        if fn is BinOp.FLT:
+            self._w("flt.d", enc_r(_OP_FP, rd, 1, ra, rb, 0x51))
+            return
+        if fn is BinOp.FEQ:
+            self._w("feq.d", enc_r(_OP_FP, rd, 2, ra, rb, 0x51))
+            return
+        int_map = {
+            BinOp.ADD: (0, 0x00), BinOp.SUB: (0, 0x20), BinOp.SHL: (1, 0x00),
+            BinOp.SLT: (2, 0x00), BinOp.SLTU: (3, 0x00), BinOp.XOR: (4, 0x00),
+            BinOp.SHRL: (5, 0x00), BinOp.SHRA: (5, 0x20), BinOp.OR: (6, 0x00),
+            BinOp.AND: (7, 0x00),
+        }
+        if fn in int_map:
+            f3, f7 = int_map[fn]
+            self._w(fn.value, enc_r(_OP, rd, f3, ra, rb, f7))
+            return
+        mul_map = {BinOp.MUL: 0, BinOp.DIVS: 4, BinOp.DIVU: 5, BinOp.REMS: 6, BinOp.REMU: 7}
+        self._w(fn.value, enc_r(_OP, rd, mul_map[fn], ra, rb, 1))
+
+    def _lower_select(self, ins: Instr, regof) -> None:
+        rd, rc = regof(ins.dest), regof(ins.c)
+        ra, rb = regof(ins.a), regof(ins.b)
+        t0, t1 = self.scratch_int[-1], self.scratch_int[-2]
+        # t0 = (c != 0) ? -1 : 0 ; rd = (a & t0) | (b & ~t0)
+        self._w("sltu", enc_r(_OP, t0, 3, self.ZERO, rc, 0))
+        self._w("sub", enc_r(_OP, t0, 0, self.ZERO, t0, 0x20))
+        if ins.dest.kind == "f":
+            raise NotImplementedError("float SELECT is not used by the IR builder")
+        self._w("and", enc_r(_OP, t1, 7, ra, t0, 0))
+        self._w("xori", enc_i(_OP_IMM, t0, 4, t0, -1))
+        self._w("and", enc_r(_OP, t0, 7, rb, t0, 0))
+        self._w("or", enc_r(_OP, rd, 6, t1, t0, 0))
+
+    # -- branch relaxation ------------------------------------------------------
+
+    def branch_in_range(self, mi: MInstr, offset: int) -> bool:
+        if mi.mnemonic.startswith("b"):
+            return -4096 <= offset < 4096
+        return -(1 << 20) <= offset < (1 << 20)
+
+    def expand_branch(self, mi: MInstr) -> None:
+        mi.long = True
+        mi.size_bytes = 8
+
+
+ISA_RV = register_isa(
+    ISA(
+        name="rv",
+        int_regs=32,
+        zero_reg=0,
+        fp_regs=32,
+        memory_model=MemoryModel(name="rvwmo", store_drain_rate=1, merge_pairs=False),
+        decode_fn=decode,
+        backend_cls=RiscvBackend,
+        description="fixed 32-bit words, sparse opcode space, scattered immediates",
+    )
+)

@@ -1,0 +1,523 @@
+"""``x86`` — the x86-64-flavoured mini-ISA.
+
+Faithful to x86's structural properties:
+
+* **variable-length** instructions (1–10 bytes): a flipped bit can change an
+  instruction's *length* and desynchronize the decode of everything after it
+  — the classic CISC fault mode (usually ending in an illegal opcode crash);
+* two-operand ALU forms (``dst = dst op src``) and **memory operands**:
+  ``add r, [r+disp]`` forms crack into a load micro-op (through the hidden
+  micro-architectural temp register) plus an ALU micro-op;
+* 16 general-purpose registers — the allocator spills where Arm/RISC-V keep
+  values in registers, producing the extra data-cache write traffic behind
+  x86's distinctive L1D behaviour (Observation 3);
+* RFLAGS-style condition flags written by ``cmp`` and consumed by ``jcc`` /
+  ``cmovcc``;
+* TSO-flavoured memory ordering: strictly one in-order committed store per
+  cycle drains to the L1D.
+
+Encoding: ``[opcode:1][modrm:1][disp32?][imm32/imm64?]``; the modrm byte
+packs two 4-bit register fields (reg, rm).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.isa.base import (
+    ISA,
+    AluFn,
+    MemoryModel,
+    MicroOp,
+    MInstr,
+    SysFn,
+    UopKind,
+    illegal_uop,
+    register_isa,
+)
+from repro.kernel.compiler import Backend
+from repro.kernel.ir import BinOp, Cond, Instr, Op, float_to_bits, to_signed, to_unsigned
+
+MASK64 = (1 << 64) - 1
+
+_CONDS = [Cond.EQ, Cond.NE, Cond.LT, Cond.GE, Cond.LTU, Cond.GEU]
+
+# form -> total length in bytes
+_FORM_LEN = {
+    "RR": 2,        # opcode modrm
+    "RM": 6,        # opcode modrm disp32         (load-op: reg op= [rm+disp])
+    "MR": 6,        # opcode modrm disp32         (store: [rm+disp] = reg)
+    "LD": 6,        # opcode modrm disp32         (load: reg = [rm+disp])
+    "RI32": 6,      # opcode modrm imm32
+    "RI8": 3,       # opcode modrm imm8           (shifts)
+    "RI64": 10,     # opcode modrm imm64          (movabs)
+    "JCC": 5,       # opcode rel32
+    "JMP": 5,       # opcode rel32
+    "SYS": 1,
+    "OUTR": 2,      # opcode modrm (reg field = source)
+}
+
+# opcode assignments ---------------------------------------------------------
+_SPECS: dict[int, tuple[str, str, object]] = {}
+
+
+def _spec(op: int, name: str, form: str, info=None) -> int:
+    assert op not in _SPECS, hex(op)
+    _SPECS[op] = (name, form, info)
+    return op
+
+# ALU reg-reg (two-operand): dst = dst op src
+_ALU_RR = {
+    0x01: BinOp.ADD, 0x29: BinOp.SUB, 0x21: BinOp.AND, 0x09: BinOp.OR,
+    0x31: BinOp.XOR, 0x0F: BinOp.MUL, 0xF6: BinOp.DIVU, 0xF7: BinOp.DIVS,
+    0xF8: BinOp.REMU, 0xF9: BinOp.REMS, 0xD3: BinOp.SHL, 0xD1: BinOp.SHRL,
+    0xD2: BinOp.SHRA,
+}
+for _op, _fn in _ALU_RR.items():
+    _spec(_op, f"alu_{_fn.value}", "RR", _fn)
+
+# ALU with memory operand (load-op)
+_ALU_RM = {0x03: BinOp.ADD, 0x2B: BinOp.SUB, 0x23: BinOp.AND, 0x0B: BinOp.OR,
+           0x33: BinOp.XOR, 0xAF: BinOp.MUL}
+for _op, _fn in _ALU_RM.items():
+    _spec(_op, f"aluM_{_fn.value}", "RM", _fn)
+
+# ALU with imm32
+_ALU_RI = {0x05: BinOp.ADD, 0x2D: BinOp.SUB, 0x25: BinOp.AND, 0x0D: BinOp.OR,
+           0x35: BinOp.XOR}
+for _op, _fn in _ALU_RI.items():
+    _spec(_op, f"aluI_{_fn.value}", "RI32", _fn)
+
+# shifts by imm8
+_spec(0xC0, "shl_i", "RI8", BinOp.SHL)
+_spec(0xC1, "shr_i", "RI8", BinOp.SHRL)
+_spec(0xC2, "sar_i", "RI8", BinOp.SHRA)
+
+_spec(0x89, "mov_rr", "RR", None)
+_spec(0xB8, "mov_ri32", "RI32", None)
+_spec(0xB9, "movabs", "RI64", None)
+
+# loads: (width, signed)
+_LOADS = {
+    0x8B: (8, False), 0xB6: (1, False), 0xBE: (1, True), 0xB7: (2, False),
+    0xBF: (2, True), 0x63: (4, True), 0x8D: (4, False),
+}
+for _op, (_w, _s) in _LOADS.items():
+    _spec(_op, f"ld{_w}{'s' if _s else 'u'}", "LD", (_w, _s))
+
+# stores
+_STORES = {0x88: 1, 0x66: 2, 0x67: 4, 0x99: 8}
+for _op, _w in _STORES.items():
+    _spec(_op, f"st{_w}", "MR", _w)
+
+_spec(0x39, "cmp_rr", "RR", "cmp")
+_spec(0x3D, "cmp_ri", "RI32", "cmp")
+
+# conditional branches (one opcode per condition)
+_JCC_BASE = 0x70
+for _i, _c in enumerate(_CONDS):
+    _spec(_JCC_BASE + _i, f"j{_c.value}", "JCC", _c)
+_spec(0xE9, "jmp", "JMP", None)
+
+# cmovcc
+_CMOV_BASE = 0x40
+for _i, _c in enumerate(_CONDS):
+    _spec(_CMOV_BASE + _i, f"cmov{_c.value}", "RR", ("cmov", _c))
+
+# SSE-flavoured FP (xmm registers)
+_FP_RR = {0x58: BinOp.FADD, 0x5C: BinOp.FSUB, 0x59: BinOp.FMUL, 0x5E: BinOp.FDIV}
+for _op, _fn in _FP_RR.items():
+    _spec(_op, f"f{_fn.value}", "RR", _fn)
+_spec(0x10, "movsd_load", "LD", (8, False))   # xmm = [r+disp]
+_spec(0x11, "movsd_store", "MR", 8)           # [r+disp] = xmm
+_spec(0x2A, "cvtsi2sd", "RR", None)
+_spec(0x2C, "cvttsd2si", "RR", None)
+_spec(0x6E, "movq_xr", "RR", None)            # xmm = gpr bits
+_spec(0x28, "movsd_rr", "RR", None)           # xmm = xmm
+_spec(0x2F, "comisd", "RR", None)             # flags = fpcompare(xmm, xmm)
+
+# system / magic
+_spec(0xF4, "hlt", "SYS", SysFn.HALT)
+_spec(0x90, "nop", "SYS", SysFn.NOP)
+_spec(0xF1, "checkpoint", "SYS", SysFn.CHECKPOINT)
+_spec(0xF2, "switch", "SYS", SysFn.SWITCH_CPU)
+_spec(0xF3, "wfi", "SYS", SysFn.WFI)
+for _i, _w in enumerate((1, 2, 4, 8)):
+    _spec(0xE0 + _i, f"out{_w}", "OUTR", _w)
+
+_FP_LOAD_OPS = {"movsd_load"}
+_FP_STORE_OPS = {"movsd_store"}
+
+
+# ---------------------------------------------------------------------------
+# Decoder
+# ---------------------------------------------------------------------------
+
+
+def decode(mem, pc: int, offset: int) -> list[MicroOp]:
+    avail = len(mem) - offset
+    if avail <= 0:
+        return [illegal_uop(pc, b"", 1)]
+    op = mem[offset]
+    spec = _SPECS.get(op)
+    if spec is None:
+        return [illegal_uop(pc, bytes(mem[offset : offset + 1]), 1)]
+    name, form, info = spec
+    size = _FORM_LEN[form]
+    if avail < size:
+        return [illegal_uop(pc, bytes(mem[offset : offset + avail]), max(avail, 1))]
+    raw = bytes(mem[offset : offset + size])
+    flags = ISA_X86.flags_reg
+    temp = ISA_X86.temp_reg
+
+    def uop(**kw) -> MicroOp:
+        return MicroOp(pc=pc, size=size, raw=raw, **kw)
+
+    if form == "SYS":
+        return [uop(kind=UopKind.SYS, fn=info)]
+    if form in ("JCC", "JMP"):
+        rel = struct.unpack_from("<i", raw, 1)[0]
+        target = (pc + size + rel) & MASK64
+        if form == "JMP":
+            return [uop(kind=UopKind.JUMP, target=target)]
+        return [uop(kind=UopKind.BRANCH, cond=info, srcs=(flags,), uses_flags=True,
+                    target=target)]
+
+    modrm = raw[1]
+    reg = (modrm >> 4) & 0xF
+    rm = modrm & 0xF
+
+    if form == "OUTR":
+        return [uop(kind=UopKind.SYS, fn=SysFn.OUT, srcs=(reg,), width=info)]
+
+    if form == "RR":
+        if name == "mov_rr":
+            return [uop(kind=UopKind.ALU, fn=AluFn.MOV, dst=reg, srcs=(rm,))]
+        if name == "cvtsi2sd":
+            return [uop(kind=UopKind.FPU, fn=AluFn.FCVT, dst=reg, dst_fp=True, srcs=(rm,))]
+        if name == "cvttsd2si":
+            return [uop(kind=UopKind.FPU, fn=AluFn.FCVTI, dst=reg, srcs=(rm,),
+                        srcs_fp=(True,))]
+        if name == "movq_xr":
+            return [uop(kind=UopKind.FPU, fn=AluFn.FMV, dst=reg, dst_fp=True, srcs=(rm,))]
+        if name == "movsd_rr":
+            return [uop(kind=UopKind.FPU, fn=AluFn.MOV, dst=reg, dst_fp=True,
+                        srcs=(rm,), srcs_fp=(True,))]
+        if name == "comisd":
+            return [uop(kind=UopKind.FPU, fn=AluFn.FCMP, dst=flags, srcs=(reg, rm),
+                        srcs_fp=(True, True))]
+        if name == "cmp_rr":
+            return [uop(kind=UopKind.ALU, fn=AluFn.CMP, dst=flags, srcs=(reg, rm))]
+        if isinstance(info, tuple) and info[0] == "cmov":
+            # cmovcc reg, rm : reg = cond ? rm : reg
+            return [uop(kind=UopKind.ALU, fn=AluFn.CSEL, dst=reg,
+                        srcs=(rm, reg, flags), cond=info[1])]
+        if info in _FP_RR.values():
+            kind = UopKind.FDIV if info is BinOp.FDIV else UopKind.FPU
+            return [uop(kind=kind, fn=info, dst=reg, dst_fp=True, srcs=(reg, rm),
+                        srcs_fp=(True, True))]
+        # two-operand ALU: reg = reg op rm
+        kind = UopKind.ALU
+        if info is BinOp.MUL:
+            kind = UopKind.MUL
+        elif info in (BinOp.DIVU, BinOp.DIVS, BinOp.REMU, BinOp.REMS):
+            kind = UopKind.DIV
+        return [uop(kind=kind, fn=info, dst=reg, srcs=(reg, rm))]
+
+    if form == "RI32":
+        imm = struct.unpack_from("<i", raw, 2)[0]
+        if name == "mov_ri32":
+            return [uop(kind=UopKind.ALU, fn=AluFn.MOVIMM, dst=reg, imm=to_unsigned(imm))]
+        if name == "cmp_ri":
+            return [uop(kind=UopKind.ALU, fn=AluFn.CMP, dst=flags, srcs=(reg,), imm=imm)]
+        return [uop(kind=UopKind.ALU, fn=info, dst=reg, srcs=(reg,), imm=imm)]
+
+    if form == "RI8":
+        return [uop(kind=UopKind.ALU, fn=info, dst=reg, srcs=(reg,), imm=raw[2] & 63)]
+
+    if form == "RI64":
+        imm = struct.unpack_from("<Q", raw, 2)[0]
+        return [uop(kind=UopKind.ALU, fn=AluFn.MOVIMM, dst=reg, imm=imm)]
+
+    disp = struct.unpack_from("<i", raw, 2)[0]
+
+    if form == "LD":
+        width, signed = info
+        fp = name in _FP_LOAD_OPS
+        return [uop(kind=UopKind.LOAD, dst=reg, dst_fp=fp, srcs=(rm,), imm=disp,
+                    width=width, signed=signed)]
+    if form == "MR":
+        fp = name in _FP_STORE_OPS
+        return [uop(kind=UopKind.STORE, srcs=(rm, reg), srcs_fp=(False, fp),
+                    imm=disp, width=info)]
+    if form == "RM":
+        # load-op: crack into LOAD temp <- [rm+disp] ; ALU reg <- reg op temp
+        load = uop(kind=UopKind.LOAD, dst=temp, srcs=(rm,), imm=disp, width=8,
+                   signed=False)
+        kind = UopKind.MUL if info is BinOp.MUL else UopKind.ALU
+        alu = uop(kind=kind, fn=info, dst=reg, srcs=(reg, temp))
+        alu.first_of_instr = False
+        return [load, alu]
+
+    return [illegal_uop(pc, raw, size)]  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# Backend
+# ---------------------------------------------------------------------------
+
+
+_OP_FOR_RR = {v: k for k, v in _ALU_RR.items()}
+_OP_FOR_RM = {v: k for k, v in _ALU_RM.items()}
+_OP_FOR_FP = {v: k for k, v in _FP_RR.items()}
+_OP_FOR_LOAD = {v: k for k, v in _LOADS.items()}
+_OP_FOR_STORE = {v: k for k, v in _STORES.items()}
+_OP_FOR_JCC = {c: _JCC_BASE + i for i, c in enumerate(_CONDS)}
+_OP_FOR_CMOV = {c: _CMOV_BASE + i for i, c in enumerate(_CONDS)}
+
+_COMMUTATIVE = {BinOp.ADD, BinOp.AND, BinOp.OR, BinOp.XOR, BinOp.MUL, BinOp.FADD, BinOp.FMUL}
+
+
+def _enc(op: int, *tail: bytes) -> bytes:
+    return bytes([op]) + b"".join(tail)
+
+
+def _modrm(reg: int, rm: int) -> bytes:
+    return bytes([((reg & 0xF) << 4) | (rm & 0xF)])
+
+
+def _bytes_mi(mnemonic: str, data: bytes) -> MInstr:
+    return MInstr(mnemonic, size_bytes=len(data), encode_fn=lambda mi, a, l: data)
+
+
+def _rel_mi(mnemonic: str, op: int, label: str) -> MInstr:
+    def encode(mi: MInstr, addr: int, labels: dict[str, int]) -> bytes:
+        rel = labels[mi.label] - (addr + 5)
+        return _enc(op, struct.pack("<i", rel))
+
+    return MInstr(mnemonic, label=label, size_bytes=5, encode_fn=encode)
+
+
+class X86Backend(Backend):
+    """Lowers mini-IR to x86 machine code; folds single-use loads into ALU
+    memory operands (the load-op peephole)."""
+
+    spill_base = 4                       # rsp
+    scratch_int = [10, 11, 12, 13]       # r10..r13 (operand reloads)
+    lowering_scratch = 14                # r14 (two-operand shuffling)
+    allocatable_int = [0, 1, 2, 3, 5, 6, 7, 8, 9, 15]  # 10 registers
+    scratch_fp = [12, 13, 14]
+    fp_lowering_scratch = 15             # xmm15 (two-operand shuffling)
+    allocatable_fp = list(range(0, 12))
+
+    def _b(self, mnemonic: str, data: bytes) -> None:
+        self.emit(_bytes_mi(mnemonic, data))
+
+    def emit_nop(self) -> None:
+        self._b("nop", _enc(0x90))
+
+    def emit_const(self, reg: int, value: int) -> None:
+        sval = to_signed(to_unsigned(value))
+        if -(1 << 31) <= sval < (1 << 31):
+            self._b("mov_ri32", _enc(0xB8, _modrm(reg, 0), struct.pack("<i", sval)))
+        else:
+            self._b("movabs", _enc(0xB9, _modrm(reg, 0),
+                                   struct.pack("<Q", to_unsigned(value))))
+
+    def emit_prologue(self, spill_base_addr: int) -> None:
+        self.emit_const(self.spill_base, spill_base_addr)
+
+    def emit_load_spill(self, reg: int, slot: int, fp: bool) -> None:
+        op = 0x10 if fp else 0x8B
+        self._b("ld_spill", _enc(op, _modrm(reg, self.spill_base),
+                                 struct.pack("<i", slot * 8)))
+
+    def emit_store_spill(self, reg: int, slot: int, fp: bool) -> None:
+        op = 0x11 if fp else 0x99
+        self._b("st_spill", _enc(op, _modrm(reg, self.spill_base),
+                                 struct.pack("<i", slot * 8)))
+
+    # -------------------------------------------------------------- helpers
+
+    def _mov_rr(self, dst: int, src: int) -> None:
+        if dst != src:
+            self._b("mov_rr", _enc(0x89, _modrm(dst, src)))
+
+    def _mov_fp(self, dst: int, src: int) -> None:
+        if dst != src:
+            self._b("movsd_rr", _enc(0x28, _modrm(dst, src)))
+
+    def _alu_rr(self, fn: BinOp, dst: int, src: int) -> None:
+        self._b(f"alu_{fn.value}", _enc(_OP_FOR_RR[fn], _modrm(dst, src)))
+
+    def _two_operand(
+        self, fn: BinOp, opmap: dict, rd: int, ra: int, rb: int, fp: bool = False
+    ) -> None:
+        """Lower rd = ra <fn> rb through two-operand RR form."""
+        mov = self._mov_fp if fp else self._mov_rr
+        if rd == ra:
+            self._b(f"alu_{fn.value}", _enc(opmap[fn], _modrm(rd, rb)))
+        elif rd == rb:
+            if fn in _COMMUTATIVE:
+                self._b(f"alu_{fn.value}", _enc(opmap[fn], _modrm(rd, ra)))
+            else:
+                t = self.fp_lowering_scratch if fp else self.lowering_scratch
+                mov(t, ra)
+                self._b(f"alu_{fn.value}", _enc(opmap[fn], _modrm(t, rb)))
+                mov(rd, t)
+        else:
+            mov(rd, ra)
+            self._b(f"alu_{fn.value}", _enc(opmap[fn], _modrm(rd, rb)))
+
+    # -------------------------------------------------------------- lowering
+
+    def lower(self, instrs: list[Instr], index: int, regof, use_counts) -> int:
+        ins = instrs[index]
+        op = ins.op
+        if op is Op.CONST:
+            self.emit_const(regof(ins.dest), ins.imm)
+        elif op is Op.FCONST:
+            scratch = self.lowering_scratch
+            self.emit_const(scratch, float_to_bits(ins.imm))
+            self._b("movq_xr", _enc(0x6E, _modrm(regof(ins.dest), scratch)))
+        elif op is Op.MOV:
+            if ins.dest.kind == "f":
+                self._b("movsd_rr", _enc(0x28, _modrm(regof(ins.dest), regof(ins.a))))
+            else:
+                self._mov_rr(regof(ins.dest), regof(ins.a))
+        elif op is Op.LA:
+            self.emit_const(regof(ins.dest), self.program.symbol_address(ins.symbol))
+        elif op is Op.BIN:
+            return self._lower_bin(instrs, index, regof, use_counts)
+        elif op is Op.SELECT:
+            rd, rc = regof(ins.dest), regof(ins.c)
+            ra, rb = regof(ins.a), regof(ins.b)
+            self._b("cmp_ri", _enc(0x3D, _modrm(rc, 0), struct.pack("<i", 0)))
+            if rd == ra:
+                t = self.lowering_scratch
+                self._mov_rr(t, ra)
+                self._mov_rr(rd, rb)
+                self._b("cmovne", _enc(_OP_FOR_CMOV[Cond.NE], _modrm(rd, t)))
+            else:
+                self._mov_rr(rd, rb)
+                self._b("cmovne", _enc(_OP_FOR_CMOV[Cond.NE], _modrm(rd, ra)))
+        elif op is Op.FCVT:
+            self._b("cvtsi2sd", _enc(0x2A, _modrm(regof(ins.dest), regof(ins.a))))
+        elif op is Op.FCVTI:
+            self._b("cvttsd2si", _enc(0x2C, _modrm(regof(ins.dest), regof(ins.a))))
+        elif op is Op.LOAD:
+            folded = self._try_fold_load_op(instrs, index, regof, use_counts)
+            if folded:
+                return 2
+            if ins.dest.kind == "f":
+                self._b("movsd_load", _enc(0x10, _modrm(regof(ins.dest), regof(ins.a)),
+                                           struct.pack("<i", ins.offset)))
+            else:
+                opcode = _OP_FOR_LOAD[(ins.width, ins.signed and ins.width < 8)]
+                self._b("load", _enc(opcode, _modrm(regof(ins.dest), regof(ins.a)),
+                                     struct.pack("<i", ins.offset)))
+        elif op is Op.STORE:
+            if ins.b.kind == "f":
+                self._b("movsd_store", _enc(0x11, _modrm(regof(ins.b), regof(ins.a)),
+                                            struct.pack("<i", ins.offset)))
+            else:
+                self._b("store", _enc(_OP_FOR_STORE[ins.width],
+                                      _modrm(regof(ins.b), regof(ins.a)),
+                                      struct.pack("<i", ins.offset)))
+        elif op is Op.OUT:
+            opcode = 0xE0 + (1, 2, 4, 8).index(ins.width)
+            self._b("out", _enc(opcode, _modrm(regof(ins.a), 0)))
+        elif op is Op.CHECKPOINT:
+            self._b("checkpoint", _enc(0xF1))
+        elif op is Op.SWITCH_CPU:
+            self._b("switch", _enc(0xF2))
+        elif op is Op.WFI:
+            self._b("wfi", _enc(0xF3))
+        elif op is Op.NOP:
+            self.emit_nop()
+        elif op is Op.JUMP:
+            self.emit(_rel_mi("jmp", 0xE9, ins.taken))
+        elif op is Op.BR:
+            self._b("cmp_rr", _enc(0x39, _modrm(regof(ins.a), regof(ins.b))))
+            self.emit(_rel_mi("jcc", _OP_FOR_JCC[ins.cond], ins.taken))
+            self.emit(_rel_mi("jmp", 0xE9, ins.fallthrough))
+        elif op is Op.HALT:
+            self._b("hlt", _enc(0xF4))
+        else:  # pragma: no cover
+            raise NotImplementedError(op)
+        return 1
+
+    def _try_fold_load_op(self, instrs, index, regof, use_counts) -> bool:
+        """Fold ``t = load [b+d]; x = y op t`` into ``op x, [b+d]`` (load-op)."""
+        ins = instrs[index]
+        if ins.width != 8 or ins.dest.kind != "i" or index + 1 >= len(instrs):
+            return False
+        nxt = instrs[index + 1]
+        if (
+            nxt.op is not Op.BIN
+            or nxt.binop not in _OP_FOR_RM
+            or nxt.b != ins.dest
+            or nxt.a == ins.dest
+            or use_counts.get(ins.dest, 0) != 1
+        ):
+            return False
+        for v in (ins.dest, ins.a, nxt.a, nxt.dest):
+            if regof.is_spilled(v):
+                return False
+        rd, ra, base = regof(nxt.dest), regof(nxt.a), regof(ins.a)
+        if rd != ra and rd == base:
+            return False  # mov rd, ra would clobber the base register
+        fn = nxt.binop
+        if rd != ra:
+            self._mov_rr(rd, ra)
+        self._b(
+            f"aluM_{fn.value}",
+            _enc(_OP_FOR_RM[fn], _modrm(rd, base), struct.pack("<i", ins.offset)),
+        )
+        return True
+
+    def _lower_bin(self, instrs: list[Instr], index: int, regof, use_counts) -> int:
+        ins = instrs[index]
+        fn = ins.binop
+        rd, ra, rb = regof(ins.dest), regof(ins.a), regof(ins.b)
+        if fn in _OP_FOR_FP:
+            self._two_operand(fn, _OP_FOR_FP, rd, ra, rb, fp=True)
+            return 1
+        if fn in (BinOp.FLT, BinOp.FEQ):
+            cond = Cond.LT if fn is BinOp.FLT else Cond.EQ
+            self._b("comisd", _enc(0x2F, _modrm(ra, rb)))
+            t = self.lowering_scratch
+            self.emit_const(t, 1)
+            self.emit_const(rd, 0)
+            self._b("cmovcc", _enc(_OP_FOR_CMOV[cond], _modrm(rd, t)))
+            return 1
+        if fn in (BinOp.SLT, BinOp.SLTU, BinOp.SEQ):
+            cond = {BinOp.SLT: Cond.LT, BinOp.SLTU: Cond.LTU, BinOp.SEQ: Cond.EQ}[fn]
+            self._b("cmp_rr", _enc(0x39, _modrm(ra, rb)))
+            t = self.lowering_scratch
+            self.emit_const(t, 1)
+            self.emit_const(rd, 0)
+            self._b("cmovcc", _enc(_OP_FOR_CMOV[cond], _modrm(rd, t)))
+            return 1
+        self._two_operand(fn, _OP_FOR_RR, rd, ra, rb)
+        return 1
+
+    # -------------------------------------------------------------- relaxation
+
+    def branch_in_range(self, mi: MInstr, offset: int) -> bool:
+        return True  # rel32 always reaches
+
+
+ISA_X86 = register_isa(
+    ISA(
+        name="x86",
+        int_regs=16,
+        fp_regs=16,
+        memory_model=MemoryModel(name="tso", store_drain_rate=1, merge_pairs=False),
+        min_instr_bytes=1,
+        max_instr_bytes=10,
+        decode_fn=decode,
+        backend_cls=X86Backend,
+        description="variable length (1-10B), two-operand forms, memory operands",
+    )
+)

@@ -1,0 +1,38 @@
+"""Program kernel: the mini-IR shared by CPU backends and the accelerator engine.
+
+Workloads are written once against :class:`repro.kernel.ir.ProgramBuilder`.
+They can then be
+
+* interpreted functionally (:mod:`repro.kernel.interp`) — the golden oracle,
+* compiled to any of the three ISA backends (:mod:`repro.kernel.compiler`)
+  and executed cycle-accurately on :class:`repro.cpu.core.OoOCore`,
+* executed as a dynamic dataflow graph by :mod:`repro.accel.dataflow`
+  (the gem5-SALAM "LLVM IR" analog).
+"""
+
+from repro.kernel.ir import (
+    BinOp,
+    Block,
+    Cond,
+    Instr,
+    MemoryMap,
+    Op,
+    Program,
+    ProgramBuilder,
+    VReg,
+)
+from repro.kernel.interp import InterpResult, Interpreter
+
+__all__ = [
+    "BinOp",
+    "Block",
+    "Cond",
+    "Instr",
+    "InterpResult",
+    "Interpreter",
+    "MemoryMap",
+    "Op",
+    "Program",
+    "ProgramBuilder",
+    "VReg",
+]

@@ -1,0 +1,370 @@
+"""Mini-IR → machine-code compiler shared by the three ISA backends.
+
+Pipeline:
+
+1. **Liveness** — iterative backward dataflow over the CFG at IR level.
+2. **Linear-scan register allocation** (Poletto/Sarkar) per register class
+   (integer, floating point), with furthest-end spilling.  Spilled vregs get
+   stack slots addressed off the backend's reserved spill-base register and
+   are reloaded through dedicated scratch registers (the classic -O0 reload
+   scheme — the paper compiles its validation programs with ``-O0`` too).
+3. **Lowering** — the backend turns each IR instruction (with operands
+   resolved to architectural registers) into machine instructions.  Backends
+   may consume several IR instructions at once for their peepholes (Arm
+   store-pair merging, x86 load-op folding).
+4. **Assembly** — label resolution with iterative branch relaxation
+   (:func:`repro.isa.base.assemble`).
+
+The register count of each ISA flows straight into spill behaviour here,
+which is one of the mechanisms behind the paper's cross-ISA observations
+(x86's 16 GPRs produce spill traffic that Arm/RISC-V's 31 GPRs avoid).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.base import ISA, MInstr, assemble
+from repro.kernel.ir import Block, Instr, MemoryMap, Op, Program, VReg
+
+
+class CompileError(Exception):
+    """Raised when a program cannot be lowered to the target ISA."""
+
+
+# --------------------------------------------------------------------------
+# Liveness + intervals
+# --------------------------------------------------------------------------
+
+
+def compute_liveness(program: Program) -> dict[str, tuple[set, set]]:
+    """Per-block (live_in, live_out) sets of vregs, via iterative dataflow."""
+    blocks = program.blocks
+    succ = {b.label: b.successors() for b in blocks}
+    use: dict[str, set] = {}
+    defs: dict[str, set] = {}
+    for b in blocks:
+        u, d = set(), set()
+        for ins in b.instrs:
+            for s in ins.sources():
+                if s not in d:
+                    u.add(s)
+            if ins.dest is not None:
+                d.add(ins.dest)
+        use[b.label], defs[b.label] = u, d
+
+    live_in = {b.label: set() for b in blocks}
+    live_out = {b.label: set() for b in blocks}
+    changed = True
+    while changed:
+        changed = False
+        for b in reversed(blocks):
+            out = set()
+            for s in succ[b.label]:
+                out |= live_in[s]
+            inn = use[b.label] | (out - defs[b.label])
+            if out != live_out[b.label] or inn != live_in[b.label]:
+                live_out[b.label], live_in[b.label] = out, inn
+                changed = True
+    return {b.label: (live_in[b.label], live_out[b.label]) for b in blocks}
+
+
+@dataclass
+class Interval:
+    vreg: VReg
+    start: int
+    end: int
+    reg: int | None = None
+    slot: int | None = None
+
+    @property
+    def spilled(self) -> bool:
+        return self.slot is not None
+
+
+def build_intervals(program: Program, kind: str) -> list[Interval]:
+    """Single-interval live ranges over a linear numbering of instructions."""
+    liveness = compute_liveness(program)
+    pos = 0
+    positions: dict[str, tuple[int, int]] = {}
+    numbered: list[tuple[int, Instr]] = []
+    for b in program.blocks:
+        start = pos
+        for ins in b.instrs:
+            numbered.append((pos, ins))
+            pos += 1
+        positions[b.label] = (start, pos - 1)
+
+    ranges: dict[VReg, list[int]] = {}
+
+    def touch(v: VReg, p: int) -> None:
+        if v.kind != kind:
+            return
+        r = ranges.setdefault(v, [p, p])
+        r[0] = min(r[0], p)
+        r[1] = max(r[1], p)
+
+    idx = 0
+    for b in program.blocks:
+        bstart, bend = positions[b.label]
+        _, live_out = liveness[b.label]
+        for v in live_out:
+            touch(v, bend)
+        live_in, _ = liveness[b.label]
+        for v in live_in:
+            touch(v, bstart)
+        for p in range(bstart, bend + 1):
+            ins = numbered[idx][1]
+            idx += 1
+            if ins.dest is not None:
+                touch(ins.dest, p)
+            for s in ins.sources():
+                touch(s, p)
+    return [Interval(v, r[0], r[1]) for v, r in ranges.items()]
+
+
+def linear_scan(intervals: list[Interval], registers: list[int]) -> None:
+    """Allocate ``registers`` to ``intervals`` in place; spill on pressure."""
+    next_slot = 0
+    free = list(registers)
+    active: list[Interval] = []
+    for iv in sorted(intervals, key=lambda i: (i.start, i.end)):
+        # expire
+        still = []
+        for a in active:
+            if a.end < iv.start:
+                free.append(a.reg)
+            else:
+                still.append(a)
+        active = still
+        if free:
+            iv.reg = free.pop()
+            active.append(iv)
+            continue
+        # spill the interval that ends last
+        victim = max(active + [iv], key=lambda i: i.end)
+        if victim is iv:
+            iv.slot = next_slot
+        else:
+            iv.reg = victim.reg
+            victim.reg = None
+            victim.slot = next_slot
+            active.remove(victim)
+            active.append(iv)
+        next_slot += 1
+
+
+# --------------------------------------------------------------------------
+# Backend interface
+# --------------------------------------------------------------------------
+
+
+class Backend:
+    """Base class for ISA code generators.
+
+    Subclasses define the register conventions and the lowering of each IR
+    instruction to machine instructions.  They emit through :meth:`emit`
+    which accumulates ``(pending_label, MInstr)`` pairs for the assembler.
+    """
+
+    #: architectural registers available to the allocator
+    allocatable_int: list[int] = []
+    allocatable_fp: list[int] = []
+    #: dedicated reload registers (never allocated)
+    scratch_int: list[int] = []
+    scratch_fp: list[int] = []
+    #: reserved register holding the spill-area base address
+    spill_base: int = 0
+
+    def __init__(self, isa: ISA):
+        self.isa = isa
+        self.out: list[tuple[str | None, MInstr]] = []
+        self._pending_label: str | None = None
+
+    # -- emission ----------------------------------------------------------
+    def emit(self, mi: MInstr) -> None:
+        self.out.append((self._pending_label, mi))
+        self._pending_label = None
+
+    def mark_label(self, name: str) -> None:
+        if self._pending_label is not None:
+            # two labels at the same address: emit an ISA nop to separate
+            self.emit_nop()
+        self._pending_label = name
+
+    def finish_labels(self) -> None:
+        if self._pending_label is not None:
+            self.emit_nop()
+
+    # -- required hooks ------------------------------------------------------
+    def emit_nop(self) -> None:
+        raise NotImplementedError
+
+    def emit_const(self, reg: int, value: int) -> None:
+        raise NotImplementedError
+
+    def emit_prologue(self, spill_base_addr: int) -> None:
+        raise NotImplementedError
+
+    def emit_load_spill(self, reg: int, slot: int, fp: bool) -> None:
+        raise NotImplementedError
+
+    def emit_store_spill(self, reg: int, slot: int, fp: bool) -> None:
+        raise NotImplementedError
+
+    def lower(self, instrs: list[Instr], index: int, regof, use_counts) -> int:
+        """Lower ``instrs[index]``; return how many IR instructions consumed."""
+        raise NotImplementedError
+
+    # -- assembly ------------------------------------------------------------
+    def branch_in_range(self, mi: MInstr, offset: int) -> bool:
+        return True
+
+    def expand_branch(self, mi: MInstr) -> None:  # pragma: no cover - default
+        raise NotImplementedError
+
+
+# --------------------------------------------------------------------------
+# Executable container
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Executable:
+    """Compiled machine program ready to load into the simulated system."""
+
+    isa_name: str
+    program_name: str
+    code: bytes
+    entry: int
+    data: bytes
+    memmap: MemoryMap
+    labels: dict[str, int] = field(default_factory=dict)
+    spill_slots: int = 0
+
+    @property
+    def code_end(self) -> int:
+        return self.entry + len(self.code)
+
+    def initial_memory(self) -> bytearray:
+        """A fresh flat memory image with code + data loaded."""
+        mem = bytearray(self.memmap.size)
+        mem[self.entry : self.entry + len(self.code)] = self.code
+        base = self.memmap.data_base
+        mem[base : base + len(self.data)] = self.data
+        return mem
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+
+class RegMap:
+    """Operand-register resolution handed to backends during lowering.
+
+    Maps vregs to architectural registers; spilled vregs are resolved to the
+    scratch register the driver reloaded them into for the current
+    instruction.
+    """
+
+    def __init__(self) -> None:
+        self.assign: dict[VReg, int] = {}
+        self.local: dict[VReg, int] = {}
+
+    def __call__(self, v: VReg) -> int:
+        if v in self.local:
+            return self.local[v]
+        return self.assign[v]
+
+    def is_spilled(self, v: VReg) -> bool:
+        return v not in self.assign
+
+
+def compile_program(program: Program, isa: ISA) -> Executable:
+    """Compile ``program`` for ``isa`` and return the executable image."""
+    program.verify()
+    backend = isa.backend()
+    backend.program = program
+
+    spill_map: dict[VReg, int] = {}
+    regmap = RegMap()
+    for kind, regs in (("i", backend.allocatable_int), ("f", backend.allocatable_fp)):
+        intervals = build_intervals(program, kind)
+        linear_scan(intervals, regs)
+        for iv in intervals:
+            if iv.spilled:
+                spill_map[iv.vreg] = len(spill_map)
+            else:
+                regmap.assign[iv.vreg] = iv.reg
+
+    use_counts: dict[VReg, int] = {}
+    for blk in program.blocks:
+        for ins in blk.instrs:
+            for s in ins.sources():
+                use_counts[s] = use_counts.get(s, 0) + 1
+
+    spill_bytes = len(spill_map) * 8
+    spill_base_addr = (program.memmap.stack_top - spill_bytes) & ~0xF
+    backend.emit_prologue(spill_base_addr)
+
+    for blk in program.blocks:
+        backend.mark_label(blk.label)
+        instrs = blk.instrs
+        i = 0
+        while i < len(instrs):
+            ins = instrs[i]
+            regmap.local = {}
+            # reload spilled sources into scratch registers
+            int_scratch = list(backend.scratch_int)
+            fp_scratch = list(backend.scratch_fp)
+            for s in ins.sources():
+                if s in regmap.local or s in regmap.assign:
+                    continue
+                slot = spill_map[s]
+                pool = fp_scratch if s.kind == "f" else int_scratch
+                if not pool:
+                    raise CompileError(
+                        f"{program.name}: out of scratch registers lowering {ins!r}"
+                    )
+                reg = pool.pop(0)
+                backend.emit_load_spill(reg, slot, fp=s.kind == "f")
+                regmap.local[s] = reg
+            dest_spilled = ins.dest is not None and (
+                ins.dest not in regmap.assign
+            )
+            if dest_spilled and ins.dest not in regmap.local:
+                # (a spilled dest that is also a source reuses its reload reg)
+                pool = fp_scratch if ins.dest.kind == "f" else int_scratch
+                if not pool:
+                    raise CompileError(
+                        f"{program.name}: out of scratch registers for dest of {ins!r}"
+                    )
+                regmap.local[ins.dest] = pool.pop(0)
+
+            consumed = backend.lower(instrs, i, regmap, use_counts)
+            if dest_spilled:
+                backend.emit_store_spill(
+                    regmap.local[ins.dest],
+                    spill_map[ins.dest],
+                    fp=ins.dest.kind == "f",
+                )
+            i += max(1, consumed)
+    backend.finish_labels()
+
+    code, labels = assemble(
+        backend.out,
+        base=program.memmap.code_base,
+        in_range=backend.branch_in_range,
+        expand=backend.expand_branch,
+    )
+    return Executable(
+        isa_name=isa.name,
+        program_name=program.name,
+        code=code,
+        entry=program.memmap.code_base,
+        data=program.data_segment(),
+        memmap=program.memmap,
+        labels=labels,
+        spill_slots=len(spill_map),
+    )

@@ -1,0 +1,266 @@
+"""Reference interpreter for the mini-IR.
+
+This is the *functional golden oracle*: every CPU backend and the accelerator
+dataflow engine must produce bit-identical program output to this interpreter
+on every workload (asserted by the integration test suite).  It corresponds to
+a fault-free architectural execution — the thing gem5-MARVEL diffs fault runs
+against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kernel.ir import (
+    MASK64,
+    BinOp,
+    Cond,
+    Instr,
+    Op,
+    Program,
+    bits_to_float,
+    float_to_bits,
+    to_signed,
+    to_unsigned,
+)
+
+INT64_MIN = -(1 << 63)
+INT64_MAX = (1 << 63) - 1
+
+
+class InterpFault(Exception):
+    """An architectural fault during interpretation (bad address, ...)."""
+
+
+def eval_binop(binop: BinOp, a: int, b: int) -> int:
+    """Evaluate one binary op over raw 64-bit operand values.
+
+    Shared by the interpreter, the CPU execute stage, and the accelerator
+    functional units, so all substrates agree bit-for-bit (including the
+    hardware-flavoured division-by-zero results RISC-V defines).
+    """
+    a &= MASK64
+    b &= MASK64
+    if binop is BinOp.ADD:
+        return (a + b) & MASK64
+    if binop is BinOp.SUB:
+        return (a - b) & MASK64
+    if binop is BinOp.MUL:
+        return (a * b) & MASK64
+    if binop is BinOp.DIVU:
+        return MASK64 if b == 0 else (a // b) & MASK64
+    if binop is BinOp.REMU:
+        return a if b == 0 else (a % b) & MASK64
+    if binop is BinOp.DIVS:
+        sa, sb = to_signed(a), to_signed(b)
+        if sb == 0:
+            return MASK64  # -1, RISC-V semantics
+        if sa == INT64_MIN and sb == -1:
+            return to_unsigned(INT64_MIN)
+        q = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            q = -q
+        return to_unsigned(q)
+    if binop is BinOp.REMS:
+        sa, sb = to_signed(a), to_signed(b)
+        if sb == 0:
+            return a
+        if sa == INT64_MIN and sb == -1:
+            return 0
+        r = abs(sa) % abs(sb)
+        if sa < 0:
+            r = -r
+        return to_unsigned(r)
+    if binop is BinOp.AND:
+        return a & b
+    if binop is BinOp.OR:
+        return a | b
+    if binop is BinOp.XOR:
+        return a ^ b
+    if binop is BinOp.SHL:
+        return (a << (b & 63)) & MASK64
+    if binop is BinOp.SHRL:
+        return a >> (b & 63)
+    if binop is BinOp.SHRA:
+        return to_unsigned(to_signed(a) >> (b & 63))
+    if binop is BinOp.SLT:
+        return 1 if to_signed(a) < to_signed(b) else 0
+    if binop is BinOp.SLTU:
+        return 1 if a < b else 0
+    if binop is BinOp.SEQ:
+        return 1 if a == b else 0
+    # Floating point: operands are raw double bits.
+    fa, fb = bits_to_float(a), bits_to_float(b)
+    if binop is BinOp.FADD:
+        return float_to_bits(fa + fb)
+    if binop is BinOp.FSUB:
+        return float_to_bits(fa - fb)
+    if binop is BinOp.FMUL:
+        return float_to_bits(fa * fb)
+    if binop is BinOp.FDIV:
+        if fb == 0.0:
+            return float_to_bits(float("inf") if fa > 0 else float("-inf") if fa < 0 else float("nan"))
+        return float_to_bits(fa / fb)
+    if binop is BinOp.FLT:
+        return 1 if fa < fb else 0
+    if binop is BinOp.FEQ:
+        return 1 if fa == fb else 0
+    raise InterpFault(f"unknown binop {binop}")
+
+
+def eval_cond(cond: Cond, a: int, b: int) -> bool:
+    """Evaluate one branch condition over raw 64-bit operands."""
+    a &= MASK64
+    b &= MASK64
+    if cond is Cond.EQ:
+        return a == b
+    if cond is Cond.NE:
+        return a != b
+    if cond is Cond.LT:
+        return to_signed(a) < to_signed(b)
+    if cond is Cond.GE:
+        return to_signed(a) >= to_signed(b)
+    if cond is Cond.LTU:
+        return a < b
+    if cond is Cond.GEU:
+        return a >= b
+    raise InterpFault(f"unknown cond {cond}")
+
+
+def fcvt_to_int(bits: int) -> int:
+    """float -> int64 conversion, truncating, saturating (RISC-V flavour)."""
+    value = bits_to_float(bits)
+    if value != value:  # NaN
+        return to_unsigned(INT64_MAX)
+    if value >= 2.0**63:
+        return to_unsigned(INT64_MAX)
+    if value <= -(2.0**63):
+        return to_unsigned(INT64_MIN)
+    return to_unsigned(int(value))
+
+
+@dataclass
+class InterpResult:
+    """Outcome of a functional execution."""
+
+    output: bytes
+    instructions: int
+    blocks_executed: int
+    op_histogram: dict[Op, int] = field(default_factory=dict)
+
+
+class Interpreter:
+    """Functional executor for :class:`~repro.kernel.ir.Program`."""
+
+    def __init__(self, program: Program, max_instructions: int = 50_000_000):
+        program.verify()
+        self.program = program
+        self.max_instructions = max_instructions
+        self.memmap = program.memmap
+        self.memory = bytearray(self.memmap.size)
+        data = program.data_segment()
+        base = self.memmap.data_base
+        self.memory[base : base + len(data)] = data
+        self.regs: list[int] = [0] * max(program.num_vregs, 1)
+        self.output = bytearray()
+        self.instructions = 0
+        self.blocks_executed = 0
+        self.op_histogram: dict[Op, int] = {}
+        self._block_index = {blk.label: blk for blk in program.blocks}
+
+    # ------------------------------------------------------------- memory
+
+    def _check_addr(self, addr: int, width: int) -> None:
+        if not self.memmap.contains(addr, width):
+            raise InterpFault(f"memory access out of range: {addr:#x}+{width}")
+
+    def read_mem(self, addr: int, width: int, signed: bool) -> int:
+        self._check_addr(addr, width)
+        raw = int.from_bytes(self.memory[addr : addr + width], "little")
+        if signed:
+            raw = to_unsigned(to_signed(raw, width * 8))
+        return raw
+
+    def write_mem(self, addr: int, value: int, width: int) -> None:
+        self._check_addr(addr, width)
+        self.memory[addr : addr + width] = to_unsigned(value, width * 8).to_bytes(
+            width, "little"
+        )
+
+    # ---------------------------------------------------------------- run
+
+    def run(self) -> InterpResult:
+        """Execute from the entry block until HALT; return the result."""
+        block = self.program.entry
+        while True:
+            self.blocks_executed += 1
+            next_label = self._exec_block(block)
+            if next_label is None:
+                break
+            block = self._block_index[next_label]
+        return InterpResult(
+            output=bytes(self.output),
+            instructions=self.instructions,
+            blocks_executed=self.blocks_executed,
+            op_histogram=dict(self.op_histogram),
+        )
+
+    def _exec_block(self, block) -> str | None:
+        for instr in block.instrs:
+            self.instructions += 1
+            if self.instructions > self.max_instructions:
+                raise InterpFault("instruction budget exceeded (infinite loop?)")
+            self.op_histogram[instr.op] = self.op_histogram.get(instr.op, 0) + 1
+            op = instr.op
+            if op is Op.BIN:
+                self.regs[instr.dest.index] = eval_binop(
+                    instr.binop, self.regs[instr.a.index], self.regs[instr.b.index]
+                )
+            elif op is Op.CONST:
+                self.regs[instr.dest.index] = to_unsigned(instr.imm)
+            elif op is Op.FCONST:
+                self.regs[instr.dest.index] = float_to_bits(instr.imm)
+            elif op is Op.MOV:
+                self.regs[instr.dest.index] = self.regs[instr.a.index]
+            elif op is Op.LA:
+                self.regs[instr.dest.index] = self.program.symbol_address(instr.symbol)
+            elif op is Op.SELECT:
+                chosen = instr.a if self.regs[instr.c.index] != 0 else instr.b
+                self.regs[instr.dest.index] = self.regs[chosen.index]
+            elif op is Op.FCVT:
+                self.regs[instr.dest.index] = float_to_bits(
+                    float(to_signed(self.regs[instr.a.index]))
+                )
+            elif op is Op.FCVTI:
+                self.regs[instr.dest.index] = fcvt_to_int(self.regs[instr.a.index])
+            elif op is Op.LOAD:
+                addr = (self.regs[instr.a.index] + instr.offset) & MASK64
+                self.regs[instr.dest.index] = self.read_mem(
+                    addr, instr.width, instr.signed
+                )
+            elif op is Op.STORE:
+                addr = (self.regs[instr.a.index] + instr.offset) & MASK64
+                self.write_mem(addr, self.regs[instr.b.index], instr.width)
+            elif op is Op.OUT:
+                value = to_unsigned(self.regs[instr.a.index], instr.width * 8)
+                self.output += value.to_bytes(instr.width, "little")
+            elif op in (Op.CHECKPOINT, Op.SWITCH_CPU, Op.WFI, Op.NOP):
+                pass
+            elif op is Op.JUMP:
+                return instr.taken
+            elif op is Op.BR:
+                if eval_cond(
+                    instr.cond, self.regs[instr.a.index], self.regs[instr.b.index]
+                ):
+                    return instr.taken
+                return instr.fallthrough
+            elif op is Op.HALT:
+                return None
+            else:  # pragma: no cover - verifier rejects unknown ops
+                raise InterpFault(f"unhandled op {op}")
+        raise InterpFault(f"block {block.label} fell off the end")  # pragma: no cover
+
+
+def run_program(program: Program, max_instructions: int = 50_000_000) -> InterpResult:
+    """One-shot functional execution of ``program``."""
+    return Interpreter(program, max_instructions).run()

@@ -1,0 +1,549 @@
+"""The mini-IR: a typed three-address intermediate representation.
+
+This plays the role that LLVM IR plays for gem5-SALAM and that C source plays
+for the MiBench binaries: a single description of each workload that every
+execution substrate (reference interpreter, three CPU backends, accelerator
+dataflow engine) consumes.
+
+Design points:
+
+* Values live in *virtual registers* (:class:`VReg`), either integer (``i``)
+  or floating point (``f``).  Integers are 64-bit two's complement; floats
+  are IEEE-754 doubles whose raw bits travel through the same 64-bit paths.
+* Programs are lists of basic blocks ending in exactly one terminator
+  (``JUMP`` / ``BR`` / ``HALT``).
+* Memory is byte addressed within a flat map (:class:`MemoryMap`); workloads
+  declare named data symbols and address them via ``LA`` (load-address).
+* The magic ops ``CHECKPOINT`` / ``SWITCH_CPU`` / ``OUT`` mirror gem5's m5
+  pseudo-instructions used by the paper (Listing 1) to mark the fault
+  injection window and the program output channel.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+
+
+MASK64 = (1 << 64) - 1
+
+
+def to_signed(value: int, bits: int = 64) -> int:
+    """Interpret ``value``'s low ``bits`` bits as a two's-complement integer."""
+    value &= (1 << bits) - 1
+    sign = 1 << (bits - 1)
+    return value - (1 << bits) if value & sign else value
+
+
+def to_unsigned(value: int, bits: int = 64) -> int:
+    """Truncate ``value`` to ``bits`` bits, unsigned."""
+    return value & ((1 << bits) - 1)
+
+
+def float_to_bits(value: float) -> int:
+    """Raw IEEE-754 double bits of ``value``."""
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def bits_to_float(bits: int) -> float:
+    """Reinterpret 64 raw bits as an IEEE-754 double."""
+    return struct.unpack("<d", struct.pack("<Q", bits & MASK64))[0]
+
+
+class Op(enum.Enum):
+    """IR opcodes."""
+
+    # Value producers
+    CONST = "const"      # d <- imm (i64)
+    FCONST = "fconst"    # d <- imm (double)
+    MOV = "mov"          # d <- a
+    LA = "la"            # d <- address of data symbol
+    BIN = "bin"          # d <- a <binop> b
+    SELECT = "select"    # d <- a if c != 0 else b
+    FCVT = "fcvt"        # d(f) <- float(a as signed int)
+    FCVTI = "fcvti"      # d(i) <- int(a as double), truncating
+    # Memory
+    LOAD = "load"        # d <- mem[a + off] (width, signed)
+    STORE = "store"      # mem[a + off] <- s (width)
+    # Magic / system
+    OUT = "out"          # append low `width` bytes of s to program output
+    CHECKPOINT = "checkpoint"
+    SWITCH_CPU = "switch_cpu"
+    WFI = "wfi"          # wait-for-interrupt (SoC host drivers)
+    NOP = "nop"
+    # Terminators
+    JUMP = "jump"
+    BR = "br"            # if cond(a, b): goto taken else goto fallthrough
+    HALT = "halt"
+
+
+class BinOp(enum.Enum):
+    """Binary ALU/FPU operations used by ``Op.BIN``."""
+
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIVS = "divs"      # signed division, toward zero; x/0 == -1 (hw-like)
+    DIVU = "divu"      # unsigned division; x/0 == 2^64-1
+    REMS = "rems"
+    REMU = "remu"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"        # shift amount uses low 6 bits
+    SHRL = "shrl"      # logical right
+    SHRA = "shra"      # arithmetic right
+    SLT = "slt"        # d = 1 if a <s b else 0
+    SLTU = "sltu"      # d = 1 if a <u b else 0
+    SEQ = "seq"        # d = 1 if a == b else 0
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FLT = "flt"        # d(i) = 1 if a <f b
+    FEQ = "feq"        # d(i) = 1 if a ==f b
+
+    @property
+    def is_float(self) -> bool:
+        return self in _FLOAT_BINOPS
+
+    @property
+    def result_is_int(self) -> bool:
+        """True when the result is an integer even for float inputs."""
+        return self not in (BinOp.FADD, BinOp.FSUB, BinOp.FMUL, BinOp.FDIV)
+
+
+_FLOAT_BINOPS = {BinOp.FADD, BinOp.FSUB, BinOp.FMUL, BinOp.FDIV, BinOp.FLT, BinOp.FEQ}
+
+
+class Cond(enum.Enum):
+    """Branch conditions for ``Op.BR`` (two integer operands)."""
+
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"      # signed
+    GE = "ge"      # signed
+    LTU = "ltu"
+    GEU = "geu"
+
+
+@dataclass(frozen=True)
+class VReg:
+    """A virtual register: SSA-ish value name with a kind ('i' or 'f')."""
+
+    index: int
+    kind: str = "i"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"%{self.kind}{self.index}"
+
+
+@dataclass
+class Instr:
+    """One IR instruction.  Field use depends on ``op``; unused fields None."""
+
+    op: Op
+    dest: VReg | None = None
+    a: VReg | None = None
+    b: VReg | None = None
+    c: VReg | None = None
+    imm: int | float | None = None
+    binop: BinOp | None = None
+    symbol: str | None = None
+    offset: int = 0
+    width: int = 8
+    signed: bool = True
+    cond: Cond | None = None
+    taken: str | None = None
+    fallthrough: str | None = None
+
+    def sources(self) -> list[VReg]:
+        """Virtual registers read by this instruction."""
+        return [r for r in (self.a, self.b, self.c) if r is not None]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = [self.op.value]
+        if self.binop:
+            parts.append(self.binop.value)
+        if self.dest is not None:
+            parts.append(f"{self.dest!r}<-")
+        parts.extend(repr(r) for r in self.sources())
+        if self.imm is not None:
+            parts.append(str(self.imm))
+        if self.symbol:
+            parts.append(self.symbol)
+        if self.taken:
+            parts.append(f"?{self.cond.value}->{self.taken}/{self.fallthrough}")
+        return " ".join(parts)
+
+
+@dataclass
+class Block:
+    """A basic block: straight-line instructions plus one terminator."""
+
+    label: str
+    instrs: list[Instr] = field(default_factory=list)
+
+    @property
+    def terminator(self) -> Instr:
+        return self.instrs[-1]
+
+    @property
+    def body(self) -> list[Instr]:
+        return self.instrs[:-1]
+
+    def successors(self) -> list[str]:
+        term = self.terminator
+        if term.op is Op.JUMP:
+            return [term.taken]
+        if term.op is Op.BR:
+            return [term.taken, term.fallthrough]
+        return []
+
+
+@dataclass(frozen=True)
+class MemoryMap:
+    """The flat physical memory map shared by all execution substrates."""
+
+    code_base: int = 0x0000_1000
+    data_base: int = 0x0001_0000
+    stack_top: int = 0x000A_0000
+    output_port: int = 0x000F_0000
+    size: int = 0x0010_0000
+
+    def contains(self, addr: int, width: int = 1) -> bool:
+        return 0 <= addr and addr + width <= self.size
+
+
+DEFAULT_MEMORY_MAP = MemoryMap()
+
+
+@dataclass
+class DataSymbol:
+    """A named, initialized chunk of the data segment."""
+
+    name: str
+    offset: int        # byte offset from the data segment base
+    data: bytes
+    align: int = 8
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+class IRError(Exception):
+    """Raised on malformed IR (verifier failures, duplicate labels, ...)."""
+
+
+@dataclass
+class Program:
+    """A complete IR program: blocks + data segment + memory map."""
+
+    name: str
+    blocks: list[Block]
+    symbols: dict[str, DataSymbol]
+    memmap: MemoryMap = DEFAULT_MEMORY_MAP
+    num_vregs: int = 0
+
+    def block(self, label: str) -> Block:
+        for blk in self.blocks:
+            if blk.label == label:
+                return blk
+        raise IRError(f"no block labelled {label!r} in {self.name}")
+
+    @property
+    def entry(self) -> Block:
+        return self.blocks[0]
+
+    def data_segment(self) -> bytes:
+        """The initialized data segment image, symbols at their offsets."""
+        end = max((s.offset + s.size for s in self.symbols.values()), default=0)
+        image = bytearray(end)
+        for sym in self.symbols.values():
+            image[sym.offset : sym.offset + sym.size] = sym.data
+        return bytes(image)
+
+    def symbol_address(self, name: str) -> int:
+        return self.memmap.data_base + self.symbols[name].offset
+
+    def instruction_count(self) -> int:
+        return sum(len(blk.instrs) for blk in self.blocks)
+
+    def verify(self) -> None:
+        """Structural sanity checks; raises :class:`IRError` on violation."""
+        if not self.blocks:
+            raise IRError(f"{self.name}: empty program")
+        labels = [blk.label for blk in self.blocks]
+        if len(set(labels)) != len(labels):
+            raise IRError(f"{self.name}: duplicate block labels")
+        label_set = set(labels)
+        for blk in self.blocks:
+            if not blk.instrs:
+                raise IRError(f"{self.name}:{blk.label}: empty block")
+            for instr in blk.body:
+                if instr.op in (Op.JUMP, Op.BR, Op.HALT):
+                    raise IRError(
+                        f"{self.name}:{blk.label}: terminator {instr.op} mid-block"
+                    )
+                if instr.op is Op.LA and instr.symbol not in self.symbols:
+                    raise IRError(
+                        f"{self.name}:{blk.label}: unknown symbol {instr.symbol!r}"
+                    )
+                if instr.op in (Op.LOAD, Op.STORE, Op.OUT) and instr.width not in (
+                    1,
+                    2,
+                    4,
+                    8,
+                ):
+                    raise IRError(f"{self.name}:{blk.label}: bad width {instr.width}")
+            term = blk.terminator
+            if term.op not in (Op.JUMP, Op.BR, Op.HALT):
+                raise IRError(f"{self.name}:{blk.label}: missing terminator")
+            for target in blk.successors():
+                if target not in label_set:
+                    raise IRError(
+                        f"{self.name}:{blk.label}: branch to unknown {target!r}"
+                    )
+
+
+class ProgramBuilder:
+    """Fluent construction of :class:`Program` objects.
+
+    Typical use (see :mod:`repro.workloads` for real examples)::
+
+        b = ProgramBuilder("crc32")
+        buf = b.data_bytes("buf", payload)
+        ...
+        b.label("loop")
+        x = b.load(ptr, 0, width=1, signed=False)
+        ...
+        b.br(Cond.LTU, i, n, "loop", "done")
+        b.label("done")
+        b.out(crc, width=4)
+        b.halt()
+        prog = b.build()
+    """
+
+    def __init__(self, name: str, memmap: MemoryMap = DEFAULT_MEMORY_MAP):
+        self.name = name
+        self.memmap = memmap
+        self._blocks: list[Block] = []
+        self._current: Block | None = None
+        self._symbols: dict[str, DataSymbol] = {}
+        self._data_cursor = 0
+        self._next_vreg = 0
+
+    # ---------------------------------------------------------------- data
+
+    def _add_symbol(self, name: str, data: bytes, align: int) -> str:
+        if name in self._symbols:
+            raise IRError(f"duplicate data symbol {name!r}")
+        offset = (self._data_cursor + align - 1) // align * align
+        self._symbols[name] = DataSymbol(name, offset, bytes(data), align)
+        self._data_cursor = offset + len(data)
+        return name
+
+    def data_bytes(self, name: str, data: bytes, align: int = 8) -> str:
+        """Declare an initialized byte buffer in the data segment."""
+        return self._add_symbol(name, data, align)
+
+    def data_words(self, name: str, values: list[int], width: int = 8) -> str:
+        """Declare an array of little-endian integers of ``width`` bytes."""
+        fmt = {1: "B", 2: "H", 4: "I", 8: "Q"}[width]
+        data = b"".join(
+            struct.pack("<" + fmt, to_unsigned(v, width * 8)) for v in values
+        )
+        return self._add_symbol(name, data, max(width, 1))
+
+    def data_floats(self, name: str, values: list[float]) -> str:
+        """Declare an array of IEEE-754 doubles."""
+        data = b"".join(struct.pack("<d", v) for v in values)
+        return self._add_symbol(name, data, 8)
+
+    def data_zeros(self, name: str, size: int, align: int = 8) -> str:
+        """Declare a zero-initialized buffer of ``size`` bytes."""
+        return self._add_symbol(name, bytes(size), align)
+
+    # --------------------------------------------------------------- blocks
+
+    def label(self, name: str) -> None:
+        """Start a new basic block.  Falls through from the previous block."""
+        if self._current is not None and (
+            not self._current.instrs
+            or self._current.terminator.op not in (Op.JUMP, Op.BR, Op.HALT)
+        ):
+            # implicit fall-through
+            self._current.instrs.append(Instr(Op.JUMP, taken=name))
+        self._current = Block(name)
+        self._blocks.append(self._current)
+
+    def _emit(self, instr: Instr) -> Instr:
+        if self._current is None:
+            self.label("entry")
+        self._current.instrs.append(instr)
+        return instr
+
+    def _new_vreg(self, kind: str = "i") -> VReg:
+        reg = VReg(self._next_vreg, kind)
+        self._next_vreg += 1
+        return reg
+
+    # ----------------------------------------------------------- value ops
+
+    def const(self, value: int, dest: VReg | None = None) -> VReg:
+        d = dest or self._new_vreg("i")
+        self._emit(Instr(Op.CONST, dest=d, imm=to_unsigned(int(value))))
+        return d
+
+    def fconst(self, value: float, dest: VReg | None = None) -> VReg:
+        d = dest or self._new_vreg("f")
+        self._emit(Instr(Op.FCONST, dest=d, imm=float(value)))
+        return d
+
+    def mov(self, src: VReg, dest: VReg | None = None) -> VReg:
+        d = dest or self._new_vreg(src.kind)
+        self._emit(Instr(Op.MOV, dest=d, a=src))
+        return d
+
+    def set(self, dest: VReg, src: VReg) -> VReg:
+        """Assign ``src`` into the existing vreg ``dest`` (loop-carried state)."""
+        return self.mov(src, dest=dest)
+
+    def la(self, symbol: str, dest: VReg | None = None) -> VReg:
+        d = dest or self._new_vreg("i")
+        self._emit(Instr(Op.LA, dest=d, symbol=symbol))
+        return d
+
+    def bin(self, binop: BinOp, a: VReg, b: VReg, dest: VReg | None = None) -> VReg:
+        kind = "f" if (binop.is_float and not binop.result_is_int) else "i"
+        d = dest or self._new_vreg(kind)
+        self._emit(Instr(Op.BIN, dest=d, a=a, b=b, binop=binop))
+        return d
+
+    # convenience wrappers -------------------------------------------------
+    def add(self, a: VReg, b: VReg, dest: VReg | None = None) -> VReg:
+        return self.bin(BinOp.ADD, a, b, dest=dest)
+
+    def sub(self, a: VReg, b: VReg, dest: VReg | None = None) -> VReg:
+        return self.bin(BinOp.SUB, a, b, dest=dest)
+
+    def mul(self, a: VReg, b: VReg, dest: VReg | None = None) -> VReg:
+        return self.bin(BinOp.MUL, a, b, dest=dest)
+
+    def and_(self, a: VReg, b: VReg, dest: VReg | None = None) -> VReg:
+        return self.bin(BinOp.AND, a, b, dest=dest)
+
+    def or_(self, a: VReg, b: VReg, dest: VReg | None = None) -> VReg:
+        return self.bin(BinOp.OR, a, b, dest=dest)
+
+    def xor(self, a: VReg, b: VReg, dest: VReg | None = None) -> VReg:
+        return self.bin(BinOp.XOR, a, b, dest=dest)
+
+    def shl(self, a: VReg, b: VReg, dest: VReg | None = None) -> VReg:
+        return self.bin(BinOp.SHL, a, b, dest=dest)
+
+    def shr(self, a: VReg, b: VReg, dest: VReg | None = None) -> VReg:
+        return self.bin(BinOp.SHRL, a, b, dest=dest)
+
+    def addi(self, a: VReg, imm: int, dest: VReg | None = None) -> VReg:
+        return self.add(a, self.const(imm), dest=dest)
+
+    def muli(self, a: VReg, imm: int, dest: VReg | None = None) -> VReg:
+        return self.mul(a, self.const(imm), dest=dest)
+
+    def var(self, init: int = 0) -> VReg:
+        """A fresh integer vreg initialized to ``init`` (loop-carried state)."""
+        return self.const(init)
+
+    def fvar(self, init: float = 0.0) -> VReg:
+        """A fresh float vreg initialized to ``init`` (loop-carried state)."""
+        return self.fconst(init)
+
+    def inc(self, v: VReg, step: int = 1) -> VReg:
+        """``v += step`` in place; returns ``v`` for chaining."""
+        return self.addi(v, step, dest=v)
+
+    def select(self, cond: VReg, a: VReg, b: VReg, dest: VReg | None = None) -> VReg:
+        d = dest or self._new_vreg(a.kind)
+        self._emit(Instr(Op.SELECT, dest=d, a=a, b=b, c=cond))
+        return d
+
+    def fcvt(self, a: VReg, dest: VReg | None = None) -> VReg:
+        d = dest or self._new_vreg("f")
+        self._emit(Instr(Op.FCVT, dest=d, a=a))
+        return d
+
+    def fcvti(self, a: VReg, dest: VReg | None = None) -> VReg:
+        d = dest or self._new_vreg("i")
+        self._emit(Instr(Op.FCVTI, dest=d, a=a))
+        return d
+
+    # -------------------------------------------------------------- memory
+
+    def load(
+        self,
+        base: VReg,
+        offset: int = 0,
+        width: int = 8,
+        signed: bool = True,
+        kind: str = "i",
+        dest: VReg | None = None,
+    ) -> VReg:
+        d = dest or self._new_vreg(kind)
+        self._emit(
+            Instr(Op.LOAD, dest=d, a=base, offset=offset, width=width, signed=signed)
+        )
+        return d
+
+    def fload(self, base: VReg, offset: int = 0, dest: VReg | None = None) -> VReg:
+        return self.load(base, offset, width=8, kind="f", dest=dest)
+
+    def store(self, src: VReg, base: VReg, offset: int = 0, width: int = 8) -> None:
+        self._emit(Instr(Op.STORE, a=base, b=src, offset=offset, width=width))
+
+    # --------------------------------------------------------------- magic
+
+    def out(self, src: VReg, width: int = 8) -> None:
+        """Append the low ``width`` bytes of ``src`` to the program output."""
+        self._emit(Instr(Op.OUT, a=src, width=width))
+
+    def checkpoint(self) -> None:
+        self._emit(Instr(Op.CHECKPOINT))
+
+    def switch_cpu(self) -> None:
+        self._emit(Instr(Op.SWITCH_CPU))
+
+    def wfi(self) -> None:
+        """Wait-for-interrupt: sleeps the CPU until a device interrupt."""
+        self._emit(Instr(Op.WFI))
+
+    def nop(self) -> None:
+        self._emit(Instr(Op.NOP))
+
+    # ---------------------------------------------------------- terminators
+
+    def jump(self, target: str) -> None:
+        self._emit(Instr(Op.JUMP, taken=target))
+
+    def br(self, cond: Cond, a: VReg, b: VReg, taken: str, fallthrough: str) -> None:
+        self._emit(
+            Instr(Op.BR, a=a, b=b, cond=cond, taken=taken, fallthrough=fallthrough)
+        )
+
+    def halt(self) -> None:
+        self._emit(Instr(Op.HALT))
+
+    # ----------------------------------------------------------------- build
+
+    def build(self) -> Program:
+        prog = Program(
+            name=self.name,
+            blocks=self._blocks,
+            symbols=dict(self._symbols),
+            memmap=self.memmap,
+            num_vregs=self._next_vreg,
+        )
+        prog.verify()
+        return prog

@@ -1,0 +1,5 @@
+"""Heterogeneous SoC integration: CPU + accelerator cluster + interconnect."""
+
+from repro.soc.system import HeterogeneousSoC, SoCResult, build_soc
+
+__all__ = ["HeterogeneousSoC", "SoCResult", "build_soc"]

@@ -1,0 +1,208 @@
+"""Full heterogeneous SoC: OoO CPU + memory-mapped accelerator + interrupts.
+
+Models the paper's Figure 1 flow end to end:
+
+1. the host program (compiled for any of the three ISAs) writes the
+   accelerator's memory-mapped CTRL register,
+2. the accelerator DMAs its inputs from preloaded buffers, executes the
+   kernel on the dataflow engine, and DMAs results back,
+3. completion is posted on an interrupt line through the platform
+   controller (GIC for Arm hosts, PLIC for RISC-V — the paper's port),
+4. the CPU, parked in WFI, wakes, reads the results back through the
+   scratchpad aperture, and emits a checksum through its output port.
+
+Accelerator execution is event-based: the kernel's cycle count is computed
+when CTRL is written and the interrupt fires that many CPU cycles later, so
+CPU and DSA time advance on a common clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.accel.cluster import Accelerator
+from repro.accel.dataflow import DataflowEngine
+from repro.accel.interrupts import controller_for_isa
+from repro.accel.mmr import MMRBlock, STATUS_DONE, STATUS_ERROR
+from repro.accel_designs import get_design
+from repro.cpu.config import CPUConfig
+from repro.cpu.core import OoOCore
+from repro.cpu.memory import MainMemory, MMIORegion
+from repro.isa.base import get_isa
+from repro.kernel.compiler import compile_program
+from repro.kernel.ir import Cond, ProgramBuilder
+
+#: SoC physical map: accelerator MMRs and scratchpad apertures
+MMR_BASE = 0x000E_0000
+APERTURE_BASE = 0x000E_1000
+ACCEL_IRQ_LINE = 5
+
+
+@dataclass
+class SoCResult:
+    output: bytes
+    cpu_cycles: int
+    accel_cycles: int
+    accel_operations: int
+    halted: bool
+    crashed: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.halted and self.crashed is None
+
+
+class HeterogeneousSoC:
+    """One CPU plus one accelerator instance behind MMRs and an IRQ line."""
+
+    def __init__(
+        self,
+        isa_name: str,
+        cfg: CPUConfig,
+        accel: Accelerator,
+        scale: str = "tiny",
+        injector=None,
+        accel_injector=None,
+    ):
+        self.isa = get_isa(isa_name)
+        self.cfg = cfg
+        self.accel = accel
+        self.scale = scale
+        self.accel_injector = accel_injector
+        self.controller = controller_for_isa(isa_name)
+        self.accel_cycles = 0
+        self.accel_operations = 0
+        self.accel_crashed: str | None = None
+        self._irq_at: int | None = None
+
+        driver = build_driver_program(accel, scale)
+        exe = compile_program(driver, self.isa)
+        self.memory = MainMemory(exe.memmap.size, latency=cfg.mem_latency)
+        self.memory.load_image(exe.initial_memory())
+        self.mmr = MMRBlock("accel0", MMR_BASE, on_start=self._on_start)
+        self.memory.add_mmio(self.mmr.as_mmio_region())
+        self._map_apertures()
+        self.core = OoOCore(self.isa, cfg, self.memory, exe.entry, injector=injector)
+
+    def _map_apertures(self) -> None:
+        """Expose each accelerator memory as an uncached CPU aperture."""
+        offset = 0
+        self.aperture_of: dict[str, int] = {}
+        for name, mem in self.accel.memories.items():
+            base = APERTURE_BASE + offset
+
+            def read(addr, width, mem=mem, base=base):
+                return mem.read(mem.base + (addr - base), width)
+
+            def write(addr, value, width, mem=mem, base=base):
+                mem.write(mem.base + (addr - base), value, width)
+
+            self.memory.add_mmio(
+                MMIORegion(base, base + mem.size, read, write, f"aperture:{name}")
+            )
+            self.aperture_of[name] = base
+            offset += (mem.size + 0xFF) // 0x100 * 0x100
+
+    # ------------------------------------------------------------ accel side
+
+    def _on_start(self, mmr: MMRBlock) -> None:
+        """CTRL written: run DMA-in + kernel + DMA-out, schedule the IRQ."""
+        dma_in = self.accel.load_inputs(self.scale)
+        engine = DataflowEngine(
+            self.accel.kernel(self.scale),
+            self.accel.memmap,
+            self.accel.fu,
+            watchdog_cycles=2_000_000,
+        )
+        if self.accel_injector is not None:
+            engine.injector = self.accel_injector
+        result = engine.run()
+        self.accel_cycles = dma_in + result.cycles
+        self.accel_operations = result.operations
+        self.accel_crashed = result.crashed
+        self._done_status = STATUS_ERROR if result.crashed else STATUS_DONE
+        self._irq_at = self.core.cycle + self.accel_cycles
+
+    # ------------------------------------------------------------ run
+
+    def run(self, max_cycles: int = 3_000_000) -> SoCResult:
+        crashed = None
+        from repro.cpu.core import CrashError
+
+        try:
+            while not self.core.halted and self.core.cycle < max_cycles:
+                if self._irq_at is not None and self.core.cycle >= self._irq_at:
+                    self._irq_at = None
+                    self.mmr.set_status(self._done_status)
+                    self.controller.post(ACCEL_IRQ_LINE)
+                    if self.controller.pending():
+                        line = self.controller.claim()
+                        self.core.wake_interrupt()
+                        self.controller.complete(line)
+                self.core.step()
+            if not self.core.halted:
+                crashed = "timeout"
+        except CrashError as exc:
+            crashed = exc.reason
+        return SoCResult(
+            output=bytes(self.core.output),
+            cpu_cycles=self.core.cycle,
+            accel_cycles=self.accel_cycles,
+            accel_operations=self.accel_operations,
+            halted=self.core.halted,
+            crashed=crashed or self.accel_crashed,
+        )
+
+
+def build_driver_program(accel: Accelerator, scale: str):
+    """The host-side driver: start the accelerator, WFI, read back, checksum."""
+    b = ProgramBuilder(f"driver_{accel.design.name}")
+    b.label("entry")
+    b.checkpoint()
+    ctrl = b.const(MMR_BASE)
+    b.store(b.const(1), ctrl, 0, width=8)       # CTRL.start
+    # park until the completion interrupt; a spurious wake re-enters WFI
+    b.label("wait")
+    b.wfi()
+    status = b.load(ctrl, 8, width=8)
+    b.br(Cond.LTU, status, b.const(2), "wait", "readback")
+
+    b.label("readback")
+    # checksum every output memory through its aperture
+    check = b.var(0)
+    offset = 0
+    for name, mem in accel.memories.items():
+        if name not in accel.design.output_memories:
+            offset += (mem.size + 0xFF) // 0x100 * 0x100
+            continue
+        base = b.const(APERTURE_BASE + offset)
+        count = b.const(mem.size // 8)
+        i = b.var(0)
+        loop = f"sum_{name}"
+        done = f"done_{name}"
+        b.label(loop)
+        v = b.load(b.add(base, b.shl(i, b.const(3))), 0, width=8)
+        rolled = b.or_(b.shl(check, b.const(5)), b.shr(check, b.const(59)))
+        b.add(rolled, v, dest=check)
+        b.inc(i)
+        b.br(Cond.LTU, i, count, loop, done)
+        b.label(done)
+        offset += (mem.size + 0xFF) // 0x100 * 0x100
+    b.switch_cpu()
+    b.out(check, width=8)
+    b.halt()
+    return b.build()
+
+
+def build_soc(
+    design_name: str,
+    isa_name: str = "rv",
+    cfg: CPUConfig | None = None,
+    scale: str = "tiny",
+    fu=None,
+) -> HeterogeneousSoC:
+    """Convenience constructor: SoC with one named accelerator design."""
+    from repro.core.presets import sim_config
+
+    accel = get_design(design_name).instantiate(fu)
+    return HeterogeneousSoC(isa_name, cfg or sim_config(), accel, scale)

@@ -1,0 +1,5 @@
+"""MiBench-analog workload suite (see :mod:`repro.workloads.suite`)."""
+
+from repro.workloads.suite import WORKLOAD_NAMES, WORKLOADS, build_workload
+
+__all__ = ["WORKLOADS", "WORKLOAD_NAMES", "build_workload"]

@@ -1,0 +1,90 @@
+"""Shared IMA-ADPCM machinery for the ``adpcme``/``adpcmd`` workloads.
+
+The step-size and index-adjust tables are the standard IMA tables; the
+Python-side encoder here produces the reference bitstream that ``adpcmd``
+decodes (mirroring MiBench, where decode consumes encode's output).
+"""
+
+from __future__ import annotations
+
+STEP_TABLE = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37,
+    41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173,
+    190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658,
+    724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484,
+    7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289, 16818,
+    18500, 20350, 22385, 24623, 27086, 29794, 32767,
+]
+
+INDEX_TABLE = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8]
+
+
+def synthetic_waveform(samples: int) -> list[int]:
+    """A deterministic 16-bit waveform: summed integer 'sinusoids' + ramp."""
+    wave = []
+    for t in range(samples):
+        # triangle-ish components avoid float; amplitude fits int16
+        c1 = abs((t * 23) % 2048 - 1024) - 512
+        c2 = abs((t * 7) % 512 - 256) - 128
+        c3 = (t * 3) % 97 - 48
+        wave.append(max(-32768, min(32767, c1 * 12 + c2 * 20 + c3 * 10)))
+    return wave
+
+
+def encode_reference(samples: list[int]) -> tuple[list[int], int, int]:
+    """Pure-Python IMA ADPCM encoder; returns (nibbles, final_pred, final_idx).
+
+    This is the semantic twin of the IR encoder in ``adpcme`` and produces
+    the input bitstream for ``adpcmd``.
+    """
+    predicted, index = 0, 0
+    nibbles = []
+    for sample in samples:
+        step = STEP_TABLE[index]
+        diff = sample - predicted
+        code = 0
+        if diff < 0:
+            code = 8
+            diff = -diff
+        if diff >= step:
+            code |= 4
+            diff -= step
+        if diff >= step >> 1:
+            code |= 2
+            diff -= step >> 1
+        if diff >= step >> 2:
+            code |= 1
+        # reconstruct like the decoder will
+        diffq = step >> 3
+        if code & 4:
+            diffq += step
+        if code & 2:
+            diffq += step >> 1
+        if code & 1:
+            diffq += step >> 2
+        predicted += -diffq if code & 8 else diffq
+        predicted = max(-32768, min(32767, predicted))
+        index = max(0, min(88, index + INDEX_TABLE[code]))
+        nibbles.append(code)
+    return nibbles, predicted, index
+
+
+def decode_reference(nibbles: list[int]) -> list[int]:
+    """Pure-Python IMA ADPCM decoder (test oracle for ``adpcmd``)."""
+    predicted, index = 0, 0
+    out = []
+    for code in nibbles:
+        step = STEP_TABLE[index]
+        diffq = step >> 3
+        if code & 4:
+            diffq += step
+        if code & 2:
+            diffq += step >> 1
+        if code & 1:
+            diffq += step >> 2
+        predicted += -diffq if code & 8 else diffq
+        predicted = max(-32768, min(32767, predicted))
+        index = max(0, min(88, index + INDEX_TABLE[code]))
+        out.append(predicted)
+    return out

@@ -1,0 +1,61 @@
+"""Shared helpers for workload construction.
+
+Workload inputs must be *deterministic* (SFI diffs faulty output against a
+golden run) yet non-trivial; we derive them from a fixed-parameter 64-bit
+linear congruential generator rather than :mod:`random` so the byte streams
+are stable across Python versions and processes.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.ir import MASK64
+
+_LCG_MUL = 6364136223846793005
+_LCG_INC = 1442695040888963407
+
+
+def lcg_stream(seed: int):
+    """Infinite deterministic stream of 64-bit values."""
+    state = (seed * _LCG_MUL + _LCG_INC) & MASK64
+    while True:
+        state = (state * _LCG_MUL + _LCG_INC) & MASK64
+        yield (state >> 16) & MASK64
+
+
+def lcg_values(seed: int, count: int, lo: int = 0, hi: int = 1 << 32) -> list[int]:
+    """``count`` deterministic integers in ``[lo, hi)``."""
+    stream = lcg_stream(seed)
+    span = hi - lo
+    return [lo + next(stream) % span for _ in range(count)]
+
+
+def lcg_bytes(seed: int, count: int) -> bytes:
+    """``count`` deterministic bytes."""
+    return bytes(v & 0xFF for v in lcg_values(seed, count, 0, 256))
+
+
+def synthetic_image(width: int, height: int, seed: int = 7) -> bytes:
+    """A grayscale test image with smooth gradients plus speckle noise.
+
+    Gives the susan-family kernels (smooth/edges/corners) realistic structure:
+    regions, edges, and corners rather than white noise.
+    """
+    noise = lcg_values(seed, width * height, 0, 32)
+    pixels = bytearray()
+    for y in range(height):
+        for x in range(width):
+            base = (x * 255 // max(width - 1, 1) + y * 160 // max(height - 1, 1)) // 2
+            # a bright rectangle introduces edges and corners
+            if width // 4 <= x < 3 * width // 4 and height // 4 <= y < 3 * height // 4:
+                base = min(base + 90, 255)
+            pixels.append(min(base + noise[y * width + x], 255))
+    return bytes(pixels)
+
+
+def scaled(scale: str, tiny: int, default: int, large: int | None = None) -> int:
+    """Pick a size parameter for the requested scale."""
+    if scale == "tiny":
+        return tiny
+    if scale == "large":
+        return large if large is not None else default * 4
+    return default

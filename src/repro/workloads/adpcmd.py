@@ -1,0 +1,85 @@
+"""``adpcmd`` — MiBench telecomm/adpcm (decoder) analog.
+
+Decodes the IMA ADPCM bitstream produced by the reference encoder back to
+16-bit PCM.  Same adaptive-step machinery as ``adpcme`` but driven by the
+4-bit code stream instead of the waveform.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.ir import BinOp, Cond, Program, ProgramBuilder
+from repro.workloads._adpcm import (
+    INDEX_TABLE,
+    STEP_TABLE,
+    encode_reference,
+    synthetic_waveform,
+)
+from repro.workloads._util import scaled
+
+
+def build(scale: str = "default") -> Program:
+    samples = scaled(scale, 48, 220)
+    nibbles, _, _ = encode_reference(synthetic_waveform(samples))
+
+    b = ProgramBuilder("adpcmd")
+    steps = b.data_words("step_table", STEP_TABLE, width=4)
+    idxadj = b.data_words("index_table", INDEX_TABLE, width=4)
+    stream = b.data_words("stream", nibbles, width=1)
+    pcm_out = b.data_zeros("pcm_out", samples * 2)
+
+    b.label("entry")
+    b.checkpoint()
+    stbase = b.la(steps)
+    ixbase = b.la(idxadj)
+    sbase = b.la(stream)
+    obase = b.la(pcm_out)
+    n = b.const(samples)
+    predicted = b.var(0)
+    index = b.var(0)
+    check = b.var(0)
+
+    i = b.var(0)
+    b.label("loop")
+    code = b.load(b.add(sbase, i), 0, width=1, signed=False)
+    step = b.load(b.add(stbase, b.shl(index, b.const(2))), 0, width=4, signed=False)
+
+    diffq = b.shr(step, b.const(3))
+    has4 = b.and_(b.shr(code, b.const(2)), b.const(1))
+    b.add(diffq, b.mul(has4, step), dest=diffq)
+    has2 = b.and_(b.shr(code, b.const(1)), b.const(1))
+    b.add(diffq, b.mul(has2, b.shr(step, b.const(1))), dest=diffq)
+    has1 = b.and_(code, b.const(1))
+    b.add(diffq, b.mul(has1, b.shr(step, b.const(2))), dest=diffq)
+    sign = b.and_(b.shr(code, b.const(3)), b.const(1))
+    neg_d = b.sub(b.const(0), diffq)
+    delta = b.select(sign, neg_d, diffq)
+    b.add(predicted, delta, dest=predicted)
+    lo = b.const(-32768)
+    hi = b.const(32767)
+    below = b.bin(BinOp.SLT, predicted, lo)
+    b.select(below, lo, predicted, dest=predicted)
+    above = b.bin(BinOp.SLT, hi, predicted)
+    b.select(above, hi, predicted, dest=predicted)
+
+    adj = b.load(b.add(ixbase, b.shl(code, b.const(2))), 0, width=4, signed=True)
+    b.add(index, adj, dest=index)
+    zero = b.const(0)
+    neg_idx = b.bin(BinOp.SLT, index, zero)
+    b.select(neg_idx, zero, index, dest=index)
+    top = b.const(88)
+    over = b.bin(BinOp.SLT, top, index)
+    b.select(over, top, index, dest=index)
+
+    b.store(predicted, b.add(obase, b.shl(i, b.const(1))), 0, width=2)
+    masked = b.and_(predicted, b.const(0xFFFF))
+    rolled = b.shl(check, b.const(5))
+    b.add(rolled, masked, dest=check)
+    b.inc(i)
+    b.br(Cond.LTU, i, n, "loop", "emit")
+
+    b.label("emit")
+    b.switch_cpu()
+    b.out(check, width=8)
+    b.out(predicted, width=4)
+    b.halt()
+    return b.build()

@@ -1,0 +1,108 @@
+"""``adpcme`` — MiBench telecomm/adpcm (encoder) analog.
+
+IMA ADPCM encoding of a synthetic 16-bit waveform: quantize the prediction
+error to 4 bits per sample with an adaptive step size.  Short dependent
+arithmetic with two small lookup tables and saturating clamps.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.ir import BinOp, Cond, Program, ProgramBuilder
+from repro.workloads._adpcm import INDEX_TABLE, STEP_TABLE, synthetic_waveform
+from repro.workloads._util import scaled
+
+
+def build(scale: str = "default") -> Program:
+    samples = scaled(scale, 48, 220)
+    wave = synthetic_waveform(samples)
+
+    b = ProgramBuilder("adpcme")
+    steps = b.data_words("step_table", STEP_TABLE, width=4)
+    idxadj = b.data_words("index_table", INDEX_TABLE, width=4)
+    pcm = b.data_words("pcm", wave, width=2)
+    encoded = b.data_zeros("encoded", samples)
+
+    b.label("entry")
+    b.checkpoint()
+    stbase = b.la(steps)
+    ixbase = b.la(idxadj)
+    pbase = b.la(pcm)
+    ebase = b.la(encoded)
+    n = b.const(samples)
+    predicted = b.var(0)
+    index = b.var(0)
+    check = b.var(0)
+
+    i = b.var(0)
+    b.label("loop")
+    sample = b.load(b.add(pbase, b.shl(i, b.const(1))), 0, width=2, signed=True)
+    step = b.load(b.add(stbase, b.shl(index, b.const(2))), 0, width=4, signed=False)
+    diff = b.sub(sample, predicted)
+    code = b.var(0)
+    b.br(Cond.LT, diff, b.const(0), "neg", "quant")
+    b.label("neg")
+    b.const(8, dest=code)
+    b.sub(b.const(0), diff, dest=diff)
+    b.label("quant")
+    # bit 4
+    b.br(Cond.LT, diff, step, "q2", "take4")
+    b.label("take4")
+    b.or_(code, b.const(4), dest=code)
+    b.sub(diff, step, dest=diff)
+    b.label("q2")
+    half = b.shr(step, b.const(1))
+    b.br(Cond.LT, diff, half, "q1", "take2")
+    b.label("take2")
+    b.or_(code, b.const(2), dest=code)
+    b.sub(diff, half, dest=diff)
+    b.label("q1")
+    quarter = b.shr(step, b.const(2))
+    b.br(Cond.LT, diff, quarter, "reconstruct", "take1")
+    b.label("take1")
+    b.or_(code, b.const(1), dest=code)
+
+    # reconstruct the prediction exactly as the decoder will
+    b.label("reconstruct")
+    diffq = b.shr(step, b.const(3))
+    has4 = b.and_(b.shr(code, b.const(2)), b.const(1))
+    b.add(diffq, b.mul(has4, step), dest=diffq)
+    has2 = b.and_(b.shr(code, b.const(1)), b.const(1))
+    b.add(diffq, b.mul(has2, half), dest=diffq)
+    has1 = b.and_(code, b.const(1))
+    b.add(diffq, b.mul(has1, quarter), dest=diffq)
+    sign = b.and_(b.shr(code, b.const(3)), b.const(1))
+    neg_d = b.sub(b.const(0), diffq)
+    delta = b.select(sign, neg_d, diffq)
+    b.add(predicted, delta, dest=predicted)
+    # clamp to int16
+    lo = b.const(-32768)
+    hi = b.const(32767)
+    below = b.bin(BinOp.SLT, predicted, lo)
+    b.select(below, lo, predicted, dest=predicted)
+    above = b.bin(BinOp.SLT, hi, predicted)
+    b.select(above, hi, predicted, dest=predicted)
+
+    # adapt the step index, clamp to [0, 88]
+    adj = b.load(b.add(ixbase, b.shl(code, b.const(2))), 0, width=4, signed=True)
+    b.add(index, adj, dest=index)
+    zero = b.const(0)
+    neg_idx = b.bin(BinOp.SLT, index, zero)
+    b.select(neg_idx, zero, index, dest=index)
+    top = b.const(88)
+    over = b.bin(BinOp.SLT, top, index)
+    b.select(over, top, index, dest=index)
+
+    b.store(code, b.add(ebase, i), 0, width=1)
+    rolled = b.shl(check, b.const(4))
+    b.add(rolled, code, dest=check)
+    b.xor(check, b.shr(check, b.const(32)), dest=check)
+    b.inc(i)
+    b.br(Cond.LTU, i, n, "loop", "emit")
+
+    b.label("emit")
+    b.switch_cpu()
+    b.out(check, width=8)
+    b.out(predicted, width=4)
+    b.out(index, width=4)
+    b.halt()
+    return b.build()

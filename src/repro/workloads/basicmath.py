@@ -1,0 +1,95 @@
+"""``basicmath`` — MiBench automotive/basicmath analog.
+
+Mixed integer math kernels: Euclid's GCD over value pairs, Newton integer
+square roots, and cubic polynomial evaluation over a range.  Exercises the
+integer ALUs, the divider, and short data-dependent loops.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.ir import BinOp, Cond, Program, ProgramBuilder
+from repro.workloads._util import lcg_values, scaled
+
+
+def build(scale: str = "default") -> Program:
+    pairs = scaled(scale, 6, 24)
+    values = lcg_values(11, pairs * 2, 1, 1 << 20)
+
+    b = ProgramBuilder("basicmath")
+    vals = b.data_words("vals", values, width=8)
+
+    b.label("entry")
+    b.checkpoint()
+    base = b.la(vals)
+    npairs = b.const(pairs)
+    acc = b.var(0)
+    i = b.var(0)
+
+    # --- GCD over pairs -------------------------------------------------
+    b.label("gcd_outer")
+    off = b.shl(i, b.const(4))  # 2 words per pair
+    addr = b.add(base, off)
+    x = b.load(addr, 0, width=8)
+    y = b.load(addr, 8, width=8)
+    b.label("gcd_loop")
+    b.br(Cond.EQ, y, b.const(0), "gcd_done", "gcd_step")
+    b.label("gcd_step")
+    r = b.bin(BinOp.REMU, x, y)
+    b.set(x, y)
+    b.set(y, r)
+    b.jump("gcd_loop")
+    b.label("gcd_done")
+    b.add(acc, x, dest=acc)
+    b.inc(i)
+    b.br(Cond.LTU, i, npairs, "gcd_outer", "isqrt_init")
+
+    # --- Newton integer square roots -------------------------------------
+    b.label("isqrt_init")
+    j = b.var(0)
+    count = b.const(pairs * 2)
+    b.label("isqrt_outer")
+    joff = b.shl(j, b.const(3))
+    jaddr = b.add(base, joff)
+    n = b.load(jaddr, 0, width=8)
+    # guess = n/2 + 1; iterate guess = (guess + n/guess)/2 until stable
+    two = b.const(2)
+    guess = b.bin(BinOp.DIVU, n, two)
+    b.addi(guess, 1, dest=guess)
+    it = b.var(0)
+    b.label("isqrt_loop")
+    q = b.bin(BinOp.DIVU, n, guess)
+    nxt = b.add(guess, q)
+    b.bin(BinOp.DIVU, nxt, two, dest=nxt)
+    done = b.bin(BinOp.SLTU, nxt, guess)  # converged when next >= guess
+    b.set(guess, b.select(done, nxt, guess))
+    b.inc(it)
+    stop = b.bin(BinOp.SLTU, it, b.const(24))
+    keep = b.and_(done, stop)
+    b.br(Cond.NE, keep, b.const(0), "isqrt_loop", "isqrt_done")
+    b.label("isqrt_done")
+    b.xor(acc, guess, dest=acc)
+    b.inc(j)
+    b.br(Cond.LTU, j, count, "isqrt_outer", "cubic_init")
+
+    # --- Cubic polynomial sweep ------------------------------------------
+    b.label("cubic_init")
+    k = b.var(0)
+    kend = b.const(pairs * 4)
+    b.label("cubic_loop")
+    k2 = b.mul(k, k)
+    k3 = b.mul(k2, k)
+    t1 = b.muli(k3, 3)
+    t2 = b.muli(k2, 7)
+    t3 = b.muli(k, 11)
+    poly = b.add(t1, t2)
+    b.add(poly, t3, dest=poly)
+    b.addi(poly, 5, dest=poly)
+    b.add(acc, poly, dest=acc)
+    b.inc(k)
+    b.br(Cond.LTU, k, kend, "cubic_loop", "finish")
+
+    b.label("finish")
+    b.switch_cpu()
+    b.out(acc, width=8)
+    b.halt()
+    return b.build()

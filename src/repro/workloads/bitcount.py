@@ -1,0 +1,98 @@
+"""``bitcount`` — MiBench automotive/bitcount analog.
+
+Counts set bits of an input array using three methods, as the original does:
+Kernighan's clear-lowest-bit loop, a 16-entry nibble lookup table, and the
+parallel shift-mask reduction.  Exercises table loads, tight dependent loops,
+and long logical-op chains.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.ir import BinOp, Cond, Program, ProgramBuilder
+from repro.workloads._util import lcg_values, scaled
+
+_NIBBLE_COUNTS = [bin(n).count("1") for n in range(16)]
+
+
+def build(scale: str = "default") -> Program:
+    count = scaled(scale, 16, 48)
+    values = lcg_values(23, count, 0, 1 << 64)
+
+    b = ProgramBuilder("bitcount")
+    vals = b.data_words("vals", values, width=8)
+    table = b.data_words("nibble_table", _NIBBLE_COUNTS, width=1)
+
+    b.label("entry")
+    b.checkpoint()
+    base = b.la(vals)
+    tbase = b.la(table)
+    n = b.const(count)
+    total_a = b.var(0)
+    total_b = b.var(0)
+    total_c = b.var(0)
+
+    # --- method A: Kernighan --------------------------------------------
+    i = b.var(0)
+    b.label("a_outer")
+    addr = b.add(base, b.shl(i, b.const(3)))
+    x = b.load(addr, 0, width=8)
+    b.label("a_loop")
+    b.br(Cond.EQ, x, b.const(0), "a_done", "a_step")
+    b.label("a_step")
+    xm1 = b.addi(x, -1)
+    b.and_(x, xm1, dest=x)
+    b.inc(total_a)
+    b.jump("a_loop")
+    b.label("a_done")
+    b.inc(i)
+    b.br(Cond.LTU, i, n, "a_outer", "b_init")
+
+    # --- method B: nibble table lookup ------------------------------------
+    b.label("b_init")
+    j = b.var(0)
+    b.label("b_outer")
+    jaddr = b.add(base, b.shl(j, b.const(3)))
+    y = b.load(jaddr, 0, width=8)
+    nib = b.var(0)
+    b.label("b_nibbles")
+    idx = b.and_(y, b.const(0xF))
+    cnt = b.load(b.add(tbase, idx), 0, width=1, signed=False)
+    b.add(total_b, cnt, dest=total_b)
+    b.shr(y, b.const(4), dest=y)
+    b.inc(nib)
+    b.br(Cond.LTU, nib, b.const(16), "b_nibbles", "b_next")
+    b.label("b_next")
+    b.inc(j)
+    b.br(Cond.LTU, j, n, "b_outer", "c_init")
+
+    # --- method C: parallel shift-mask reduction --------------------------
+    b.label("c_init")
+    k = b.var(0)
+    m1 = b.const(0x5555555555555555)
+    m2 = b.const(0x3333333333333333)
+    m4 = b.const(0x0F0F0F0F0F0F0F0F)
+    h01 = b.const(0x0101010101010101)
+    b.label("c_loop")
+    kaddr = b.add(base, b.shl(k, b.const(3)))
+    z = b.load(kaddr, 0, width=8)
+    t = b.and_(b.shr(z, b.const(1)), m1)
+    b.sub(z, t, dest=z)
+    lo = b.and_(z, m2)
+    hi = b.and_(b.shr(z, b.const(2)), m2)
+    b.add(lo, hi, dest=z)
+    z4 = b.and_(b.add(z, b.shr(z, b.const(4))), m4)
+    popc = b.shr(b.mul(z4, h01), b.const(56))
+    b.add(total_c, popc, dest=total_c)
+    b.inc(k)
+    b.br(Cond.LTU, k, n, "c_loop", "finish")
+
+    b.label("finish")
+    b.switch_cpu()
+    b.out(total_a, width=4)
+    b.out(total_b, width=4)
+    b.out(total_c, width=4)
+    check = b.xor(total_a, total_b)
+    check = b.xor(check, total_c)
+    b.out(check, width=4)
+    b.halt()
+    return b.build()

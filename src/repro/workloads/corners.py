@@ -1,0 +1,111 @@
+"""``corners`` — MiBench susan-corners analog.
+
+Harris-style corner response: image gradients, their products accumulated
+over a 3x3 window, and a determinant/trace response test.  The heaviest of
+the susan family — long multiply chains plus a windowed reduction.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.ir import BinOp, Cond, Program, ProgramBuilder
+from repro.workloads._util import scaled, synthetic_image
+
+
+def build(scale: str = "default") -> Program:
+    width = scaled(scale, 10, 16)
+    height = scaled(scale, 8, 12)
+    image = synthetic_image(width, height, seed=29)
+
+    b = ProgramBuilder("corners")
+    src = b.data_bytes("src", image)
+    # per-pixel gradient products, 8 bytes each
+    ixx = b.data_zeros("ixx", width * height * 8)
+    iyy = b.data_zeros("iyy", width * height * 8)
+    ixy = b.data_zeros("ixy", width * height * 8)
+
+    b.label("entry")
+    b.checkpoint()
+    sbase = b.la(src)
+    xxb = b.la(ixx)
+    yyb = b.la(iyy)
+    xyb = b.la(ixy)
+    w = b.const(width)
+    hlim = b.const(height - 1)
+    wlim = b.const(width - 1)
+
+    # --- pass 1: gradient products ----------------------------------------
+    y = b.var(1)
+    b.label("g_row")
+    x = b.var(1)
+    b.label("g_col")
+    row_off = b.mul(y, w)
+    left = b.load(b.add(sbase, b.add(row_off, x)), -1, width=1, signed=False)
+    right = b.load(b.add(sbase, b.add(row_off, x)), 1, width=1, signed=False)
+    up_off = b.sub(row_off, w)
+    down_off = b.add(row_off, w)
+    up = b.load(b.add(sbase, b.add(up_off, x)), 0, width=1, signed=False)
+    down = b.load(b.add(sbase, b.add(down_off, x)), 0, width=1, signed=False)
+    gx = b.sub(right, left)
+    gy = b.sub(down, up)
+    idx8 = b.shl(b.add(row_off, x), b.const(3))
+    b.store(b.mul(gx, gx), b.add(xxb, idx8), 0, width=8)
+    b.store(b.mul(gy, gy), b.add(yyb, idx8), 0, width=8)
+    b.store(b.mul(gx, gy), b.add(xyb, idx8), 0, width=8)
+    b.inc(x)
+    b.br(Cond.LT, x, wlim, "g_col", "g_row_next")
+    b.label("g_row_next")
+    b.inc(y)
+    b.br(Cond.LT, y, hlim, "g_row", "h_init")
+
+    # --- pass 2: windowed Harris response ----------------------------------
+    b.label("h_init")
+    corner_count = b.var(0)
+    response_acc = b.var(0)
+    y2 = b.var(2)
+    b.label("h_row")
+    x2 = b.var(2)
+    b.label("h_col")
+    sxx = b.var(0)
+    syy = b.var(0)
+    sxy = b.var(0)
+    dy = b.var(-1)
+    b.label("h_ky")
+    ny = b.add(y2, dy)
+    nrow = b.mul(ny, w)
+    dx = b.var(-1)
+    b.label("h_kx")
+    nx = b.add(x2, dx)
+    nidx = b.shl(b.add(nrow, nx), b.const(3))
+    b.add(sxx, b.load(b.add(xxb, nidx), 0, width=8), dest=sxx)
+    b.add(syy, b.load(b.add(yyb, nidx), 0, width=8), dest=syy)
+    b.add(sxy, b.load(b.add(xyb, nidx), 0, width=8), dest=sxy)
+    b.inc(dx)
+    b.br(Cond.LT, dx, b.const(2), "h_kx", "h_ky_next")
+    b.label("h_ky_next")
+    b.inc(dy)
+    b.br(Cond.LT, dy, b.const(2), "h_ky", "h_resp")
+    b.label("h_resp")
+    det = b.sub(b.mul(sxx, syy), b.mul(sxy, sxy))
+    trace = b.add(sxx, syy)
+    # response = det - (trace^2 / 16); integers keep it exact
+    t2 = b.mul(trace, trace)
+    penalty = b.bin(BinOp.SHRA, t2, b.const(4))
+    resp = b.sub(det, penalty)
+    b.xor(response_acc, resp, dest=response_acc)
+    b.br(Cond.LT, b.const(50000), resp, "h_corner", "h_next")
+    b.label("h_corner")
+    b.inc(corner_count)
+    b.label("h_next")
+    b.inc(x2)
+    b.br(Cond.LT, x2, b.const(width - 2), "h_col", "h_row_next")
+    b.label("h_row_next")
+    b.inc(y2)
+    b.br(Cond.LT, y2, b.const(height - 2), "h_row", "emit")
+
+    # --- emit ---------------------------------------------------------------
+    b.label("emit")
+    b.switch_cpu()
+    b.out(corner_count, width=4)
+    b.out(response_acc, width=8)
+    b.halt()
+    return b.build()

@@ -1,0 +1,56 @@
+"""``crc32`` — MiBench telecomm/CRC32 analog.
+
+Table-driven CRC-32 (IEEE 802.3 polynomial) over a byte buffer.  The classic
+read-modify loop: one table load and one data load per byte, all dependent.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.ir import Cond, Program, ProgramBuilder
+from repro.workloads._util import lcg_bytes, scaled
+
+_POLY = 0xEDB88320
+
+
+def _crc_table() -> list[int]:
+    table = []
+    for n in range(256):
+        c = n
+        for _ in range(8):
+            c = (_POLY ^ (c >> 1)) if (c & 1) else (c >> 1)
+        table.append(c)
+    return table
+
+
+def build(scale: str = "default") -> Program:
+    size = scaled(scale, 96, 512)
+    payload = lcg_bytes(83, size)
+
+    b = ProgramBuilder("crc32")
+    table = b.data_words("crc_table", _crc_table(), width=4)
+    data = b.data_bytes("data", payload)
+
+    b.label("entry")
+    b.checkpoint()
+    tbase = b.la(table)
+    dbase = b.la(data)
+    n = b.const(size)
+    m32 = b.const(0xFFFFFFFF)
+    crc = b.var(0xFFFFFFFF)
+
+    i = b.var(0)
+    b.label("loop")
+    byte = b.load(b.add(dbase, i), 0, width=1, signed=False)
+    idx = b.and_(b.xor(crc, byte), b.const(0xFF))
+    tval = b.load(b.add(tbase, b.shl(idx, b.const(2))), 0, width=4, signed=False)
+    shifted = b.shr(b.and_(crc, m32), b.const(8))
+    b.xor(tval, shifted, dest=crc)
+    b.inc(i)
+    b.br(Cond.LTU, i, n, "loop", "emit")
+
+    b.label("emit")
+    b.switch_cpu()
+    final = b.xor(crc, m32)
+    b.out(final, width=4)
+    b.halt()
+    return b.build()

@@ -1,0 +1,117 @@
+"""``dijkstra`` — MiBench network/dijkstra analog.
+
+Single-source shortest paths over a dense adjacency matrix, run from several
+sources as the original does.  Pointer-free but intensely data-dependent:
+the min-selection scan is a long chain of compare/select operations.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.ir import Cond, Program, ProgramBuilder
+from repro.workloads._util import lcg_values, scaled
+
+_INF = 1 << 30
+
+
+def build(scale: str = "default") -> Program:
+    nodes = scaled(scale, 8, 14)
+    sources = scaled(scale, 1, 3)
+    weights = lcg_values(41, nodes * nodes, 1, 64)
+    # sparsify: ~1/3 of edges absent
+    absent = lcg_values(43, nodes * nodes, 0, 3)
+    matrix = [
+        _INF if (absent[i] == 0 and i // nodes != i % nodes) else weights[i]
+        for i in range(nodes * nodes)
+    ]
+    for i in range(nodes):
+        matrix[i * nodes + i] = 0
+
+    b = ProgramBuilder("dijkstra")
+    adj = b.data_words("adj", matrix, width=4)
+    dist = b.data_zeros("dist", nodes * 4)
+    visited = b.data_zeros("visited", nodes)
+
+    b.label("entry")
+    b.checkpoint()
+    abase = b.la(adj)
+    dbase = b.la(dist)
+    vbase = b.la(visited)
+    n = b.const(nodes)
+    inf = b.const(_INF)
+    check = b.var(0)
+
+    src = b.var(0)
+    b.label("source_loop")
+    # init dist/visited
+    i0 = b.var(0)
+    b.label("init_loop")
+    b.store(inf, b.add(dbase, b.shl(i0, b.const(2))), 0, width=4)
+    b.store(b.const(0), b.add(vbase, i0), 0, width=1)
+    b.inc(i0)
+    b.br(Cond.LTU, i0, n, "init_loop", "init_done")
+    b.label("init_done")
+    b.store(b.const(0), b.add(dbase, b.shl(src, b.const(2))), 0, width=4)
+
+    iteration = b.var(0)
+    b.label("iter_loop")
+    # find unvisited node with min dist
+    best = b.mov(inf)
+    best_idx = b.const(-1)
+    scan = b.var(0)
+    b.label("scan_loop")
+    vis = b.load(b.add(vbase, scan), 0, width=1, signed=False)
+    b.br(Cond.NE, vis, b.const(0), "scan_next", "scan_check")
+    b.label("scan_check")
+    d = b.load(b.add(dbase, b.shl(scan, b.const(2))), 0, width=4, signed=False)
+    b.br(Cond.LTU, d, best, "scan_take", "scan_next")
+    b.label("scan_take")
+    b.set(best, d)
+    b.set(best_idx, scan)
+    b.label("scan_next")
+    b.inc(scan)
+    b.br(Cond.LTU, scan, n, "scan_loop", "relax_check")
+    b.label("relax_check")
+    zero = b.const(0)
+    b.br(Cond.LT, best_idx, zero, "source_done", "relax")
+
+    # relax edges out of best_idx
+    b.label("relax")
+    b.store(b.const(1), b.add(vbase, best_idx), 0, width=1)
+    row = b.mul(best_idx, n)
+    j = b.var(0)
+    b.label("relax_loop")
+    waddr = b.add(abase, b.shl(b.add(row, j), b.const(2)))
+    wgt = b.load(waddr, 0, width=4, signed=False)
+    b.br(Cond.GEU, wgt, inf, "relax_next", "relax_try")
+    b.label("relax_try")
+    cand = b.add(best, wgt)
+    jaddr = b.add(dbase, b.shl(j, b.const(2)))
+    cur = b.load(jaddr, 0, width=4, signed=False)
+    b.br(Cond.LTU, cand, cur, "relax_do", "relax_next")
+    b.label("relax_do")
+    b.store(cand, jaddr, 0, width=4)
+    b.label("relax_next")
+    b.inc(j)
+    b.br(Cond.LTU, j, n, "relax_loop", "iter_next")
+    b.label("iter_next")
+    b.inc(iteration)
+    b.br(Cond.LTU, iteration, n, "iter_loop", "source_done")
+
+    # checksum distances for this source
+    b.label("source_done")
+    k = b.var(0)
+    b.label("sum_loop")
+    dv = b.load(b.add(dbase, b.shl(k, b.const(2))), 0, width=4, signed=False)
+    rolled = b.shl(check, b.const(2))
+    b.add(rolled, dv, dest=check)
+    b.inc(k)
+    b.br(Cond.LTU, k, n, "sum_loop", "source_next")
+    b.label("source_next")
+    b.inc(src)
+    b.br(Cond.LTU, src, b.const(sources), "source_loop", "emit")
+
+    b.label("emit")
+    b.switch_cpu()
+    b.out(check, width=8)
+    b.halt()
+    return b.build()

@@ -1,0 +1,100 @@
+"""``edges`` — MiBench susan-edges analog.
+
+Sobel gradient magnitude with thresholding over a synthetic grayscale image.
+Compared to ``smooth`` the kernel adds data-dependent control flow (the
+threshold test) on top of the 2-D stencil access pattern.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.ir import BinOp, Cond, Program, ProgramBuilder
+from repro.workloads._util import scaled, synthetic_image
+
+_THRESHOLD = 60
+
+
+def build(scale: str = "default") -> Program:
+    width = scaled(scale, 10, 20)
+    height = scaled(scale, 8, 14)
+    image = synthetic_image(width, height, seed=13)
+
+    b = ProgramBuilder("edges")
+    src = b.data_bytes("src", image)
+    dst = b.data_zeros("dst", width * height)
+
+    b.label("entry")
+    b.checkpoint()
+    sbase = b.la(src)
+    dbase = b.la(dst)
+    w = b.const(width)
+    hlim = b.const(height - 1)
+    wlim = b.const(width - 1)
+    thresh = b.const(_THRESHOLD)
+    edge_count = b.var(0)
+
+    y = b.var(1)
+    b.label("row")
+    x = b.var(1)
+    b.label("col")
+    row_off = b.mul(y, w)
+    above = b.sub(row_off, w)
+    below = b.add(row_off, w)
+
+    def pix(roff, dx: int):
+        addr = b.add(sbase, b.add(roff, x))
+        return b.load(addr, dx, width=1, signed=False)
+
+    p00, p01, p02 = pix(above, -1), pix(above, 0), pix(above, 1)
+    p10, p12 = pix(row_off, -1), pix(row_off, 1)
+    p20, p21, p22 = pix(below, -1), pix(below, 0), pix(below, 1)
+
+    # gx = (p02 + 2*p12 + p22) - (p00 + 2*p10 + p20)
+    gx_pos = b.add(b.add(p02, b.shl(p12, b.const(1))), p22)
+    gx_neg = b.add(b.add(p00, b.shl(p10, b.const(1))), p20)
+    gx = b.sub(gx_pos, gx_neg)
+    # gy = (p20 + 2*p21 + p22) - (p00 + 2*p01 + p02)
+    gy_pos = b.add(b.add(p20, b.shl(p21, b.const(1))), p22)
+    gy_neg = b.add(b.add(p00, b.shl(p01, b.const(1))), p02)
+    gy = b.sub(gy_pos, gy_neg)
+
+    # |gx| + |gy| via arithmetic-shift sign tricks
+    sx = b.bin(BinOp.SHRA, gx, b.const(63))
+    ax = b.sub(b.xor(gx, sx), sx)
+    sy = b.bin(BinOp.SHRA, gy, b.const(63))
+    ay = b.sub(b.xor(gy, sy), sy)
+    mag = b.add(ax, ay)
+
+    daddr = b.add(dbase, b.add(row_off, x))
+    b.br(Cond.LT, mag, thresh, "not_edge", "is_edge")
+    b.label("is_edge")
+    b.store(b.const(255), daddr, 0, width=1)
+    b.inc(edge_count)
+    b.jump("next")
+    b.label("not_edge")
+    clipped = b.and_(mag, b.const(0xFF))
+    b.store(clipped, daddr, 0, width=1)
+    b.label("next")
+    b.inc(x)
+    b.br(Cond.LT, x, wlim, "col", "row_next")
+    b.label("row_next")
+    b.inc(y)
+    b.br(Cond.LT, y, hlim, "row", "emit")
+
+    # --- emit -------------------------------------------------------------
+    b.label("emit")
+    b.switch_cpu()
+    i = b.var(0)
+    total = b.const(width * height)
+    check = b.var(0)
+    b.label("emit_loop")
+    v = b.load(b.add(dbase, i), 0, width=1, signed=False)
+    rolled = b.shl(check, b.const(3))
+    b.add(rolled, v, dest=check)
+    b.xor(check, i, dest=check)
+    b.inc(i)
+    b.br(Cond.LTU, i, total, "emit_loop", "emit_done")
+    b.label("emit_done")
+    b.out(edge_count, width=4)
+    b.out(check, width=8)
+    b.halt()
+    return b.build()

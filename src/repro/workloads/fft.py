@@ -1,0 +1,131 @@
+"""``fft`` — MiBench telecomm/FFT analog.
+
+Iterative radix-2 decimation-in-time FFT over IEEE-754 doubles, with
+precomputed bit-reversal permutation and twiddle factors in the data segment.
+The only floating-point-heavy workload in the suite: FP register file,
+FP functional units, and strided cache accesses.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.kernel.ir import BinOp, Cond, Program, ProgramBuilder
+from repro.workloads._util import lcg_values, scaled
+
+
+def build(scale: str = "default") -> Program:
+    n = scaled(scale, 16, 32)
+    log_n = n.bit_length() - 1
+    values = lcg_values(97, n, 0, 1000)
+    real_in = [v / 31.0 - 16.0 for v in values]
+
+    bitrev = []
+    for i in range(n):
+        r = 0
+        for bit in range(log_n):
+            if i & (1 << bit):
+                r |= 1 << (log_n - 1 - bit)
+        bitrev.append(r)
+
+    # twiddles for each stage, flattened: stage s has 2^s factors
+    tw_re, tw_im = [], []
+    for s in range(1, log_n + 1):
+        half = 1 << (s - 1)
+        for k in range(half):
+            angle = -2.0 * math.pi * k / (1 << s)
+            tw_re.append(math.cos(angle))
+            tw_im.append(math.sin(angle))
+
+    b = ProgramBuilder("fft")
+    src = b.data_floats("src", real_in)
+    rev = b.data_words("bitrev", bitrev, width=4)
+    twr = b.data_floats("tw_re", tw_re)
+    twi = b.data_floats("tw_im", tw_im)
+    re = b.data_zeros("re", n * 8)
+    im = b.data_zeros("im", n * 8)
+
+    b.label("entry")
+    b.checkpoint()
+    srcb = b.la(src)
+    revb = b.la(rev)
+    twrb = b.la(twr)
+    twib = b.la(twi)
+    reb = b.la(re)
+    imb = b.la(im)
+    nn = b.const(n)
+    fzero = b.fconst(0.0)
+
+    # --- bit-reversal copy --------------------------------------------------
+    i = b.var(0)
+    b.label("perm")
+    r = b.load(b.add(revb, b.shl(i, b.const(2))), 0, width=4, signed=False)
+    x = b.fload(b.add(srcb, b.shl(r, b.const(3))), 0)
+    dst8 = b.shl(i, b.const(3))
+    b.store(x, b.add(reb, dst8), 0, width=8)
+    b.store(fzero, b.add(imb, dst8), 0, width=8)
+    b.inc(i)
+    b.br(Cond.LTU, i, nn, "perm", "stages")
+
+    # --- butterfly stages ----------------------------------------------------
+    b.label("stages")
+    stage = b.var(1)
+    tw_base_idx = b.var(0)  # offset into the flattened twiddle arrays
+    b.label("stage_loop")
+    m = b.shl(b.const(1), stage)         # group size
+    half = b.shr(m, b.const(1))
+    grp = b.var(0)
+    b.label("group_loop")
+    k = b.var(0)
+    b.label("bfly_loop")
+    tw_idx = b.add(tw_base_idx, k)
+    wr = b.fload(b.add(twrb, b.shl(tw_idx, b.const(3))), 0)
+    wi = b.fload(b.add(twib, b.shl(tw_idx, b.const(3))), 0)
+    top = b.add(grp, k)
+    bot = b.add(top, half)
+    top8 = b.shl(top, b.const(3))
+    bot8 = b.shl(bot, b.const(3))
+    ar = b.fload(b.add(reb, top8), 0)
+    ai = b.fload(b.add(imb, top8), 0)
+    br_ = b.fload(b.add(reb, bot8), 0)
+    bi = b.fload(b.add(imb, bot8), 0)
+    # t = w * b (complex)
+    tr = b.bin(BinOp.FSUB, b.bin(BinOp.FMUL, wr, br_), b.bin(BinOp.FMUL, wi, bi))
+    ti = b.bin(BinOp.FADD, b.bin(BinOp.FMUL, wr, bi), b.bin(BinOp.FMUL, wi, br_))
+    b.store(b.bin(BinOp.FADD, ar, tr), b.add(reb, top8), 0, width=8)
+    b.store(b.bin(BinOp.FADD, ai, ti), b.add(imb, top8), 0, width=8)
+    b.store(b.bin(BinOp.FSUB, ar, tr), b.add(reb, bot8), 0, width=8)
+    b.store(b.bin(BinOp.FSUB, ai, ti), b.add(imb, bot8), 0, width=8)
+    b.inc(k)
+    b.br(Cond.LTU, k, half, "bfly_loop", "group_next")
+    b.label("group_next")
+    b.add(grp, m, dest=grp)
+    b.br(Cond.LTU, grp, nn, "group_loop", "stage_next")
+    b.label("stage_next")
+    b.add(tw_base_idx, half, dest=tw_base_idx)
+    b.inc(stage)
+    b.br(Cond.LTU, stage, b.const(log_n + 1), "stage_loop", "emit")
+
+    # --- emit: integer-quantized spectrum checksum ---------------------------
+    b.label("emit")
+    b.switch_cpu()
+    j = b.var(0)
+    check = b.var(0)
+    scale1000 = b.fconst(1000.0)
+    b.label("emit_loop")
+    j8 = b.shl(j, b.const(3))
+    vr = b.fload(b.add(reb, j8), 0)
+    vi = b.fload(b.add(imb, j8), 0)
+    qr = b.fcvti(b.bin(BinOp.FMUL, vr, scale1000))
+    qi = b.fcvti(b.bin(BinOp.FMUL, vi, scale1000))
+    rolled = b.shl(check, b.const(7))
+    spun = b.shr(check, b.const(57))
+    b.or_(rolled, spun, dest=check)
+    b.xor(check, qr, dest=check)
+    b.add(check, qi, dest=check)
+    b.inc(j)
+    b.br(Cond.LTU, j, nn, "emit_loop", "emit_done")
+    b.label("emit_done")
+    b.out(check, width=8)
+    b.halt()
+    return b.build()

@@ -1,0 +1,129 @@
+"""``patricia`` — MiBench network/patricia analog.
+
+A radix (PATRICIA-style) binary trie over 32-bit keys, array-backed: insert a
+key set, then run lookups with hits and misses.  Pointer chasing through node
+records makes this latency-bound with irregular, data-dependent addresses.
+
+Node layout (32 bytes): [key: u32][bit: u32][left: u64][right: u64][pad: u64]
+Child fields hold node indices; 0 is the root sentinel, so index 0 as a child
+means "null".
+"""
+
+from __future__ import annotations
+
+from repro.kernel.ir import Cond, Program, ProgramBuilder
+from repro.workloads._util import lcg_values, scaled
+
+_NODE_SIZE = 32
+_KEY_OFF = 0
+_BIT_OFF = 4
+_LEFT_OFF = 8
+_RIGHT_OFF = 16
+
+
+def build(scale: str = "default") -> Program:
+    inserts = scaled(scale, 10, 48)
+    lookups = scaled(scale, 12, 64)
+    keys = lcg_values(53, inserts, 0, 1 << 32)
+    probe_hits = keys[:: max(1, inserts // (lookups // 2 or 1))]
+    probes = (probe_hits + lcg_values(59, lookups, 0, 1 << 32))[:lookups]
+
+    b = ProgramBuilder("patricia")
+    key_syms = b.data_words("keys", keys, width=4)
+    probe_syms = b.data_words("probes", probes, width=4)
+    # node pool: slot 0 is the root; grows by bump allocation
+    pool = b.data_zeros("pool", (inserts + 2) * _NODE_SIZE)
+
+    b.label("entry")
+    b.checkpoint()
+    kbase = b.la(key_syms)
+    pbase = b.la(probe_syms)
+    nbase = b.la(pool)
+    node_size = b.const(_NODE_SIZE)
+    next_free = b.var(1)  # slot 0 = root
+    check = b.var(0)
+
+    # --- insert phase ------------------------------------------------------
+    i = b.var(0)
+    b.label("ins_loop")
+    key = b.load(b.add(kbase, b.shl(i, b.const(2))), 0, width=4, signed=False)
+    # walk from root: go left/right by testing bit `depth` of the key
+    cur = b.var(0)
+    depth = b.var(0)
+    b.label("ins_walk")
+    cur_addr = b.add(nbase, b.mul(cur, node_size))
+    bit = b.and_(b.shr(key, depth), b.const(1))
+    b.br(Cond.NE, bit, b.const(0), "ins_right", "ins_left")
+    b.label("ins_left")
+    child = b.load(cur_addr, _LEFT_OFF, width=8)
+    b.br(Cond.EQ, child, b.const(0), "ins_attach_left", "ins_descend")
+    b.label("ins_right")
+    child2 = b.load(cur_addr, _RIGHT_OFF, width=8)
+    b.br(Cond.EQ, child2, b.const(0), "ins_attach_right", "ins_descend2")
+    b.label("ins_descend")
+    b.set(cur, child)
+    b.jump("ins_step")
+    b.label("ins_descend2")
+    b.set(cur, child2)
+    b.label("ins_step")
+    b.inc(depth)
+    b.br(Cond.LTU, depth, b.const(32), "ins_walk", "ins_next")
+    b.label("ins_attach_left")
+    new_addr = b.add(nbase, b.mul(next_free, node_size))
+    b.store(key, new_addr, _KEY_OFF, width=4)
+    b.store(depth, new_addr, _BIT_OFF, width=4)
+    b.store(next_free, cur_addr, _LEFT_OFF, width=8)
+    b.inc(next_free)
+    b.jump("ins_next")
+    b.label("ins_attach_right")
+    new_addr2 = b.add(nbase, b.mul(next_free, node_size))
+    b.store(key, new_addr2, _KEY_OFF, width=4)
+    b.store(depth, new_addr2, _BIT_OFF, width=4)
+    b.store(next_free, cur_addr, _RIGHT_OFF, width=8)
+    b.inc(next_free)
+    b.label("ins_next")
+    b.inc(i)
+    b.br(Cond.LTU, i, b.const(len(keys)), "ins_loop", "look_init")
+
+    # --- lookup phase --------------------------------------------------------
+    b.label("look_init")
+    hits = b.var(0)
+    j = b.var(0)
+    b.label("look_loop")
+    probe = b.load(b.add(pbase, b.shl(j, b.const(2))), 0, width=4, signed=False)
+    lcur = b.var(0)
+    ldepth = b.var(0)
+    b.label("look_walk")
+    laddr = b.add(nbase, b.mul(lcur, node_size))
+    nkey = b.load(laddr, _KEY_OFF, width=4, signed=False)
+    b.br(Cond.EQ, nkey, probe, "look_hit", "look_step")
+    b.label("look_step")
+    lbit = b.and_(b.shr(probe, ldepth), b.const(1))
+    b.br(Cond.NE, lbit, b.const(0), "look_right", "look_left")
+    b.label("look_left")
+    lchild = b.load(laddr, _LEFT_OFF, width=8)
+    b.jump("look_desc")
+    b.label("look_right")
+    lchild2 = b.load(laddr, _RIGHT_OFF, width=8)
+    b.set(lchild, lchild2)
+    b.label("look_desc")
+    b.br(Cond.EQ, lchild, b.const(0), "look_next", "look_go")
+    b.label("look_go")
+    b.set(lcur, lchild)
+    b.inc(ldepth)
+    b.br(Cond.LTU, ldepth, b.const(32), "look_walk", "look_next")
+    b.label("look_hit")
+    b.inc(hits)
+    nbit = b.load(laddr, _BIT_OFF, width=4, signed=False)
+    b.xor(check, nbit, dest=check)
+    b.label("look_next")
+    b.inc(j)
+    b.br(Cond.LTU, j, b.const(lookups), "look_loop", "emit")
+
+    b.label("emit")
+    b.switch_cpu()
+    b.out(hits, width=4)
+    b.out(next_free, width=4)
+    b.out(check, width=8)
+    b.halt()
+    return b.build()

@@ -1,0 +1,110 @@
+"""``qsort`` — MiBench automotive/qsort analog.
+
+Iterative quicksort (explicit stack of sub-ranges, Lomuto partition) over an
+array of 64-bit keys.  Heavily data-dependent branches and swaps make this a
+classic stressor for the load/store queues and the branch predictor.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.ir import Cond, Program, ProgramBuilder
+from repro.workloads._util import lcg_values, scaled
+
+
+def build(scale: str = "default") -> Program:
+    count = scaled(scale, 24, 96)
+    values = lcg_values(37, count, 0, 1 << 32)
+
+    b = ProgramBuilder("qsort")
+    arr = b.data_words("arr", values, width=8)
+    # worst-case stack depth is 2*count ranges (lo, hi pairs)
+    stack = b.data_zeros("stack", count * 2 * 16)
+
+    b.label("entry")
+    b.checkpoint()
+    base = b.la(arr)
+    sbase = b.la(stack)
+    eight = b.const(8)
+
+    # push initial range [0, count-1]
+    sp = b.var(0)
+    b.store(b.const(0), sbase, 0, width=8)
+    b.store(b.const(count - 1), sbase, 8, width=8)
+    b.const(1, dest=sp)
+
+    b.label("pop")
+    b.br(Cond.EQ, sp, b.const(0), "emit", "pop_body")
+    b.label("pop_body")
+    b.addi(sp, -1, dest=sp)
+    frame = b.add(sbase, b.shl(sp, b.const(4)))
+    lo = b.load(frame, 0, width=8)
+    hi = b.load(frame, 8, width=8)
+    b.br(Cond.GE, lo, hi, "pop", "partition")
+
+    # Lomuto partition with arr[hi] as pivot
+    b.label("partition")
+    hoff = b.add(base, b.shl(hi, b.const(3)))
+    pivot = b.load(hoff, 0, width=8)
+    store_idx = b.mov(lo)
+    scan = b.mov(lo)
+    b.label("part_loop")
+    b.br(Cond.GE, scan, hi, "part_done", "part_body")
+    b.label("part_body")
+    saddr = b.add(base, b.shl(scan, b.const(3)))
+    sval = b.load(saddr, 0, width=8)
+    b.br(Cond.LTU, sval, pivot, "part_swap", "part_next")
+    b.label("part_swap")
+    daddr = b.add(base, b.shl(store_idx, b.const(3)))
+    dval = b.load(daddr, 0, width=8)
+    b.store(sval, daddr, 0, width=8)
+    b.store(dval, saddr, 0, width=8)
+    b.inc(store_idx)
+    b.label("part_next")
+    b.inc(scan)
+    b.jump("part_loop")
+    b.label("part_done")
+    # swap pivot into place
+    paddr = b.add(base, b.shl(store_idx, b.const(3)))
+    pval = b.load(paddr, 0, width=8)
+    b.store(pivot, paddr, 0, width=8)
+    b.store(pval, hoff, 0, width=8)
+
+    # push [lo, store_idx-1] and [store_idx+1, hi]
+    left_hi = b.addi(store_idx, -1)
+    b.br(Cond.GE, lo, left_hi, "push_right", "push_left")
+    b.label("push_left")
+    f1 = b.add(sbase, b.shl(sp, b.const(4)))
+    b.store(lo, f1, 0, width=8)
+    b.store(left_hi, f1, 8, width=8)
+    b.inc(sp)
+    b.label("push_right")
+    right_lo = b.addi(store_idx, 1)
+    b.br(Cond.GE, right_lo, hi, "pop", "push_right_body")
+    b.label("push_right_body")
+    f2 = b.add(sbase, b.shl(sp, b.const(4)))
+    b.store(right_lo, f2, 0, width=8)
+    b.store(hi, f2, 8, width=8)
+    b.inc(sp)
+    b.jump("pop")
+
+    # --- emit: rolling checksum of the sorted array -----------------------
+    b.label("emit")
+    b.switch_cpu()
+    i = b.var(0)
+    n = b.const(count)
+    check = b.var(0)
+    b.label("emit_loop")
+    addr = b.add(base, b.shl(i, b.const(3)))
+    v = b.load(addr, 0, width=8)
+    rot = b.shl(check, b.const(5))
+    b.add(rot, v, dest=check)
+    b.inc(i)
+    b.br(Cond.LTU, i, n, "emit_loop", "emit_done")
+    b.label("emit_done")
+    b.out(check, width=8)
+    first = b.load(base, 0, width=8)
+    last = b.load(base, (count - 1) * 8, width=8)
+    b.out(first, width=4)
+    b.out(last, width=4)
+    b.halt()
+    return b.build()

@@ -1,0 +1,132 @@
+"""``rijndael`` — MiBench security/rijndael analog.
+
+AES-flavoured block cipher: the real AES S-box, a byte rotation (ShiftRows
+stand-in), a GF(2^8)-style mixing step, and per-round key addition, applied
+for several rounds over a block stream in CBC-ish chaining.  S-box lookups
+give the data cache an irregular 256-byte working set.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.ir import Cond, Program, ProgramBuilder
+from repro.workloads._util import lcg_bytes, scaled
+
+# the genuine AES forward S-box
+_SBOX = bytes.fromhex(
+    "637c777bf26b6fc53001672bfed7ab76ca82c97dfa5947f0add4a2af9ca472c0"
+    "b7fd9326363ff7cc34a5e5f171d8311504c723c31896059a071280e2eb27b275"
+    "09832c1a1b6e5aa0523bd6b329e32f8453d100ed20fcb15b6acbbe394a4c58cf"
+    "d0efaafb434d338545f9027f503c9fa851a3408f929d38f5bcb6da2110fff3d2"
+    "cd0c13ec5f974417c4a77e3d645d197360814fdc222a908846eeb814de5e0bdb"
+    "e0323a0a4906245cc2d3ac629195e479e7c8376d8dd54ea96c56f4ea657aae08"
+    "ba78252e1ca6b4c6e8dd741f4bbd8b8a703eb5664803f60e613557b986c11d9e"
+    "e1f8981169d98e949b1e87e9ce5528df8ca1890dbfe6426841992d0fb054bb16"
+)
+
+
+def build(scale: str = "default") -> Program:
+    blocks = scaled(scale, 2, 6)
+    rounds = 4
+    plaintext = lcg_bytes(61, blocks * 16)
+    round_keys = lcg_bytes(67, rounds * 16)
+
+    b = ProgramBuilder("rijndael")
+    sbox = b.data_bytes("sbox", _SBOX)
+    data = b.data_bytes("data", plaintext)
+    keys = b.data_bytes("round_keys", round_keys)
+    state = b.data_zeros("state", 16)
+
+    b.label("entry")
+    b.checkpoint()
+    sbase = b.la(sbox)
+    dbase = b.la(data)
+    kbase = b.la(keys)
+    stbase = b.la(state)
+    chain = b.var(0)  # CBC-ish chaining value folded into each block
+
+    blk = b.var(0)
+    b.label("block_loop")
+    boff = b.add(dbase, b.shl(blk, b.const(4)))
+    # load block into state, xored with low bytes of the chain value
+    li = b.var(0)
+    b.label("load_loop")
+    pbyte = b.load(b.add(boff, li), 0, width=1, signed=False)
+    cbyte = b.and_(b.shr(chain, b.shl(b.and_(li, b.const(7)), b.const(3))), b.const(0xFF))
+    b.store(b.xor(pbyte, cbyte), b.add(stbase, li), 0, width=1)
+    b.inc(li)
+    b.br(Cond.LTU, li, b.const(16), "load_loop", "round_init")
+
+    b.label("round_init")
+    rnd = b.var(0)
+    b.label("round_loop")
+    koff = b.add(kbase, b.shl(rnd, b.const(4)))
+    # SubBytes + AddRoundKey
+    si = b.var(0)
+    b.label("sub_loop")
+    sv = b.load(b.add(stbase, si), 0, width=1, signed=False)
+    subbed = b.load(b.add(sbase, sv), 0, width=1, signed=False)
+    kv = b.load(b.add(koff, si), 0, width=1, signed=False)
+    b.store(b.xor(subbed, kv), b.add(stbase, si), 0, width=1)
+    b.inc(si)
+    b.br(Cond.LTU, si, b.const(16), "sub_loop", "shift")
+    # ShiftRows stand-in: rotate the 16 bytes left by 5 (coprime) positions
+    b.label("shift")
+    first5 = b.var(0)
+    ri = b.var(0)
+    b.label("rot_save")
+    sv2 = b.load(b.add(stbase, ri), 0, width=1, signed=False)
+    b.or_(first5, b.shl(sv2, b.shl(ri, b.const(3))), dest=first5)
+    b.inc(ri)
+    b.br(Cond.LTU, ri, b.const(5), "rot_save", "rot_move")
+    b.label("rot_move")
+    mi = b.var(0)
+    b.label("rot_move_loop")
+    src = b.load(b.add(stbase, b.addi(mi, 5)), 0, width=1, signed=False)
+    b.store(src, b.add(stbase, mi), 0, width=1)
+    b.inc(mi)
+    b.br(Cond.LTU, mi, b.const(11), "rot_move_loop", "rot_restore")
+    b.label("rot_restore")
+    wi = b.var(0)
+    b.label("rot_restore_loop")
+    byte = b.and_(b.shr(first5, b.shl(wi, b.const(3))), b.const(0xFF))
+    b.store(byte, b.add(stbase, b.addi(wi, 11)), 0, width=1)
+    b.inc(wi)
+    b.br(Cond.LTU, wi, b.const(5), "rot_restore_loop", "mix")
+    # Mix: each byte ^= xtime(next byte)
+    b.label("mix")
+    xi = b.var(0)
+    b.label("mix_loop")
+    nxt_idx = b.and_(b.addi(xi, 1), b.const(15))
+    nv = b.load(b.add(stbase, nxt_idx), 0, width=1, signed=False)
+    doubled = b.shl(nv, b.const(1))
+    hibit = b.and_(b.shr(nv, b.const(7)), b.const(1))
+    reduced = b.xor(doubled, b.mul(hibit, b.const(0x1B)))
+    b.and_(reduced, b.const(0xFF), dest=reduced)
+    cur = b.load(b.add(stbase, xi), 0, width=1, signed=False)
+    b.store(b.xor(cur, reduced), b.add(stbase, xi), 0, width=1)
+    b.inc(xi)
+    b.br(Cond.LTU, xi, b.const(16), "mix_loop", "round_next")
+    b.label("round_next")
+    b.inc(rnd)
+    b.br(Cond.LTU, rnd, b.const(rounds), "round_loop", "fold")
+
+    # fold the ciphertext block into the chain value
+    b.label("fold")
+    fi = b.var(0)
+    b.label("fold_loop")
+    fv = b.load(b.add(stbase, fi), 0, width=1, signed=False)
+    rolled = b.shl(chain, b.const(7))
+    spun = b.shr(chain, b.const(57))
+    b.or_(rolled, spun, dest=chain)
+    b.xor(chain, fv, dest=chain)
+    b.inc(fi)
+    b.br(Cond.LTU, fi, b.const(16), "fold_loop", "block_next")
+    b.label("block_next")
+    b.inc(blk)
+    b.br(Cond.LTU, blk, b.const(blocks), "block_loop", "emit")
+
+    b.label("emit")
+    b.switch_cpu()
+    b.out(chain, width=8)
+    b.halt()
+    return b.build()

@@ -1,0 +1,108 @@
+"""``search`` — MiBench office/stringsearch analog.
+
+Boyer-Moore-Horspool: build a 256-entry bad-character skip table per pattern,
+then scan a text buffer for several patterns.  Byte loads dominate, with the
+characteristic backwards inner-loop comparison.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.ir import Cond, Program, ProgramBuilder
+from repro.workloads._util import scaled
+
+_WORDS = (
+    b"fault injection campaign microarchitecture vulnerability assessment "
+    b"transient permanent register cache queue accelerator scratchpad soc "
+    b"resilience analysis heterogeneous simulator pipeline commit masked "
+)
+
+
+def _make_text(repeats: int) -> bytes:
+    return (_WORDS * repeats)[: len(_WORDS) * repeats]
+
+
+def build(scale: str = "default") -> Program:
+    repeats = scaled(scale, 1, 2)
+    text = _make_text(repeats)
+    patterns = [b"vulnerability", b"scratchpad", b"commit", b"zzzmissing"]
+
+    b = ProgramBuilder("search")
+    text_sym = b.data_bytes("text", text)
+    pat_blob = b"".join(p.ljust(16, b"\0") for p in patterns)
+    pats = b.data_bytes("patterns", pat_blob)
+    plens = b.data_words("pat_lens", [len(p) for p in patterns], width=4)
+    skip = b.data_zeros("skip", 256 * 4)
+
+    b.label("entry")
+    b.checkpoint()
+    tbase = b.la(text_sym)
+    pbase = b.la(pats)
+    lbase = b.la(plens)
+    sbase = b.la(skip)
+    tlen = b.const(len(text))
+    matches = b.var(0)
+    possum = b.var(0)
+
+    p = b.var(0)
+    b.label("pat_loop")
+    plen = b.load(b.add(lbase, b.shl(p, b.const(2))), 0, width=4, signed=False)
+    pstart = b.add(pbase, b.shl(p, b.const(4)))
+
+    # build skip table: default plen, then skip[pat[k]] = plen-1-k
+    k0 = b.var(0)
+    b.label("skip_init")
+    b.store(plen, b.add(sbase, b.shl(k0, b.const(2))), 0, width=4)
+    b.inc(k0)
+    b.br(Cond.LTU, k0, b.const(256), "skip_init", "skip_fill")
+    b.label("skip_fill")
+    k1 = b.var(0)
+    kend = b.addi(plen, -1)
+    b.label("skip_fill_loop")
+    b.br(Cond.GEU, k1, kend, "scan_init", "skip_fill_body")
+    b.label("skip_fill_body")
+    ch = b.load(b.add(pstart, k1), 0, width=1, signed=False)
+    dist = b.sub(kend, k1)
+    b.store(dist, b.add(sbase, b.shl(ch, b.const(2))), 0, width=4)
+    b.inc(k1)
+    b.jump("skip_fill_loop")
+
+    # scan the text
+    b.label("scan_init")
+    pos = b.var(0)
+    limit = b.sub(tlen, plen)
+    b.label("scan_loop")
+    b.br(Cond.LTU, limit, pos, "pat_next", "scan_body")
+    b.label("scan_body")
+    # compare backwards from the pattern end
+    cmp_i = b.addi(plen, -1)
+    b.label("cmp_loop")
+    tch = b.load(b.add(tbase, b.add(pos, cmp_i)), 0, width=1, signed=False)
+    pch = b.load(b.add(pstart, cmp_i), 0, width=1, signed=False)
+    b.br(Cond.NE, tch, pch, "mismatch", "cmp_step")
+    b.label("cmp_step")
+    b.br(Cond.EQ, cmp_i, b.const(0), "match", "cmp_dec")
+    b.label("cmp_dec")
+    b.addi(cmp_i, -1, dest=cmp_i)
+    b.jump("cmp_loop")
+    b.label("match")
+    b.inc(matches)
+    b.add(possum, pos, dest=possum)
+    b.inc(pos)
+    b.jump("scan_loop")
+    b.label("mismatch")
+    # Horspool shift on the window's last character
+    last = b.load(b.add(tbase, b.add(pos, b.addi(plen, -1))), 0, width=1, signed=False)
+    shift = b.load(b.add(sbase, b.shl(last, b.const(2))), 0, width=4, signed=False)
+    b.add(pos, shift, dest=pos)
+    b.jump("scan_loop")
+
+    b.label("pat_next")
+    b.inc(p)
+    b.br(Cond.LTU, p, b.const(4), "pat_loop", "emit")
+
+    b.label("emit")
+    b.switch_cpu()
+    b.out(matches, width=4)
+    b.out(possum, width=8)
+    b.halt()
+    return b.build()

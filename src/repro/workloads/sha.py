@@ -1,0 +1,117 @@
+"""``sha`` — MiBench security/sha analog.
+
+SHA-1-style compression: 16-to-80 word message schedule with rotations, then
+the 80-round mixing loop with round-dependent boolean functions, over several
+message blocks.  32-bit rotate/xor chains with essentially no memory traffic
+inside the round loop — the register file is the hot structure.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.ir import BinOp, Cond, Program, ProgramBuilder
+from repro.workloads._util import lcg_values, scaled
+
+_H = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0]
+_K = [0x5A827999, 0x6ED9EBA1, 0x8F1BBCDC, 0xCA62C1D6]
+_M32 = 0xFFFFFFFF
+
+
+def build(scale: str = "default") -> Program:
+    nblocks = scaled(scale, 1, 3)
+    message = lcg_values(71, nblocks * 16, 0, 1 << 32)
+
+    b = ProgramBuilder("sha")
+    msg = b.data_words("message", message, width=4)
+    sched = b.data_zeros("schedule", 80 * 4)
+    ktab = b.data_words("k_table", _K, width=4)
+
+    b.label("entry")
+    b.checkpoint()
+    mbase = b.la(msg)
+    wbase = b.la(sched)
+    kbase = b.la(ktab)
+    m32 = b.const(_M32)
+
+    h0 = b.var(_H[0])
+    h1 = b.var(_H[1])
+    h2 = b.var(_H[2])
+    h3 = b.var(_H[3])
+    h4 = b.var(_H[4])
+
+    def rotl32(v, amount):
+        left = b.shl(v, b.const(amount))
+        right = b.shr(b.and_(v, m32), b.const(32 - amount))
+        return b.and_(b.or_(left, right), m32)
+
+    blk = b.var(0)
+    b.label("block_loop")
+    boff = b.add(mbase, b.shl(blk, b.const(6)))  # 16 words * 4 bytes
+
+    # copy 16 words into the schedule
+    ci = b.var(0)
+    b.label("copy_loop")
+    wv = b.load(b.add(boff, b.shl(ci, b.const(2))), 0, width=4, signed=False)
+    b.store(wv, b.add(wbase, b.shl(ci, b.const(2))), 0, width=4)
+    b.inc(ci)
+    b.br(Cond.LTU, ci, b.const(16), "copy_loop", "expand")
+
+    # expand to 80 words: w[t] = rotl1(w[t-3] ^ w[t-8] ^ w[t-14] ^ w[t-16])
+    b.label("expand")
+    t = b.var(16)
+    b.label("expand_loop")
+    t4 = b.shl(t, b.const(2))
+    waddr = b.add(wbase, t4)
+    a3 = b.load(waddr, -12, width=4, signed=False)
+    a8 = b.load(waddr, -32, width=4, signed=False)
+    a14 = b.load(waddr, -56, width=4, signed=False)
+    a16 = b.load(waddr, -64, width=4, signed=False)
+    mixed = b.xor(b.xor(a3, a8), b.xor(a14, a16))
+    b.store(rotl32(mixed, 1), waddr, 0, width=4)
+    b.inc(t)
+    b.br(Cond.LTU, t, b.const(80), "expand_loop", "rounds_init")
+
+    # 80 mixing rounds
+    b.label("rounds_init")
+    a = b.mov(h0)
+    bb = b.mov(h1)
+    c = b.mov(h2)
+    d = b.mov(h3)
+    e = b.mov(h4)
+    r = b.var(0)
+    b.label("round_loop")
+    stage_idx = b.bin(BinOp.DIVU, r, b.const(20))
+    k = b.load(b.add(kbase, b.shl(stage_idx, b.const(2))), 0, width=4, signed=False)
+    # f selection: stage 0 = Ch, stage 2 = Maj, stages 1 and 3 = Parity
+    ch = b.xor(b.and_(bb, c), b.and_(b.xor(bb, m32), d))
+    maj = b.or_(b.and_(bb, c), b.and_(d, b.or_(bb, c)))
+    par = b.xor(b.xor(bb, c), d)
+    is0 = b.bin(BinOp.SEQ, stage_idx, b.const(0))
+    is2 = b.bin(BinOp.SEQ, stage_idx, b.const(2))
+    f = b.select(is0, ch, b.select(is2, maj, par))
+    wv2 = b.load(b.add(wbase, b.shl(r, b.const(2))), 0, width=4, signed=False)
+    temp = b.and_(
+        b.add(b.add(b.add(b.add(rotl32(a, 5), f), e), k), wv2), m32
+    )
+    b.set(e, d)
+    b.set(d, c)
+    b.set(c, rotl32(bb, 30))
+    b.set(bb, a)
+    b.set(a, temp)
+    b.inc(r)
+    b.br(Cond.LTU, r, b.const(80), "round_loop", "block_done")
+
+    b.label("block_done")
+    b.and_(b.add(h0, a), m32, dest=h0)
+    b.and_(b.add(h1, bb), m32, dest=h1)
+    b.and_(b.add(h2, c), m32, dest=h2)
+    b.and_(b.add(h3, d), m32, dest=h3)
+    b.and_(b.add(h4, e), m32, dest=h4)
+    b.inc(blk)
+    b.br(Cond.LTU, blk, b.const(nblocks), "block_loop", "emit")
+
+    b.label("emit")
+    b.switch_cpu()
+    for reg in (h0, h1, h2, h3, h4):
+        b.out(reg, width=4)
+    b.halt()
+    return b.build()

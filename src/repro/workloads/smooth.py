@@ -1,0 +1,78 @@
+"""``smooth`` — MiBench susan-smoothing analog.
+
+3x3 box blur with rounding over a synthetic grayscale image.  Streaming
+2-D stencil: the L1 data cache and load queue see dense, regular reuse.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.ir import BinOp, Cond, Program, ProgramBuilder
+from repro.workloads._util import scaled, synthetic_image
+
+
+def build(scale: str = "default") -> Program:
+    width = scaled(scale, 10, 16)
+    height = scaled(scale, 8, 12)
+    image = synthetic_image(width, height, seed=7)
+
+    b = ProgramBuilder("smooth")
+    src = b.data_bytes("src", image)
+    dst = b.data_zeros("dst", width * height)
+
+    b.label("entry")
+    b.checkpoint()
+    sbase = b.la(src)
+    dbase = b.la(dst)
+    w = b.const(width)
+    hlim = b.const(height - 1)
+    wlim = b.const(width - 1)
+
+    y = b.var(1)
+    b.label("row")
+    x = b.var(1)
+    b.label("col")
+    # sum the 3x3 neighbourhood
+    row_off = b.mul(y, w)
+    acc = b.var(0)
+    dy = b.var(-1)
+    b.label("ky")
+    ny = b.add(y, dy)
+    nrow = b.mul(ny, w)
+    dx = b.var(-1)
+    b.label("kx")
+    nx = b.add(x, dx)
+    pix = b.load(b.add(sbase, b.add(nrow, nx)), 0, width=1, signed=False)
+    b.add(acc, pix, dest=acc)
+    b.inc(dx)
+    b.br(Cond.LT, dx, b.const(2), "kx", "ky_next")
+    b.label("ky_next")
+    b.inc(dy)
+    b.br(Cond.LT, dy, b.const(2), "ky", "write")
+    b.label("write")
+    b.addi(acc, 4, dest=acc)  # rounding
+    blurred = b.bin(BinOp.DIVU, acc, b.const(9))
+    daddr = b.add(dbase, b.add(row_off, x))
+    b.store(blurred, daddr, 0, width=1)
+    b.inc(x)
+    b.br(Cond.LT, x, wlim, "col", "row_next")
+    b.label("row_next")
+    b.inc(y)
+    b.br(Cond.LT, y, hlim, "row", "emit")
+
+    # --- emit: checksum over the blurred image ----------------------------
+    b.label("emit")
+    b.switch_cpu()
+    i = b.var(0)
+    total = b.const(width * height)
+    check = b.var(0)
+    b.label("emit_loop")
+    v = b.load(b.add(dbase, i), 0, width=1, signed=False)
+    mixed = b.xor(v, b.shl(i, b.const(1)))
+    rolled = b.shl(check, b.const(3))
+    b.add(rolled, mixed, dest=check)
+    b.inc(i)
+    b.br(Cond.LTU, i, total, "emit_loop", "emit_done")
+    b.label("emit_done")
+    b.out(check, width=8)
+    b.halt()
+    return b.build()

@@ -1,0 +1,155 @@
+"""Tests for the 8 accelerator designs and DSA fault campaigns."""
+
+import pytest
+
+from repro.accel.campaign import (
+    AccelCampaignSpec,
+    accel_golden,
+    accel_masks,
+    run_accel_campaign,
+    run_one_accel_fault,
+)
+from repro.accel.dataflow import FUConfig
+from repro.accel_designs import DESIGNS, PAPER_TARGETS, get_design
+from repro.accel_designs.registry import reference_output
+from repro.core.faults import FaultMask, FaultModel
+from repro.core.outcome import HVFClass, Outcome
+
+DESIGN_NAMES = list(DESIGNS)
+
+
+@pytest.mark.parametrize("name", DESIGN_NAMES)
+def test_design_matches_reference(name):
+    accel = get_design(name).instantiate()
+    result, output = accel.run_standalone("tiny")
+    assert result.ok
+    assert output == reference_output(name, "tiny")
+
+
+@pytest.mark.parametrize("name", DESIGN_NAMES)
+def test_design_components_match_table4_roles(name):
+    design = get_design(name)
+    declared = {d.name for d in design.memories}
+    assert set(PAPER_TARGETS[name]) <= declared
+    assert set(design.output_memories) <= declared
+
+
+def test_table4_regbank_roles():
+    """BFS carries its graph in register banks; stencils keep coefficients
+    in register banks — exactly the Table IV memory types."""
+    kinds = {
+        (d, m.name): m.kind
+        for d in DESIGN_NAMES
+        for m in get_design(d).memories
+    }
+    assert kinds[("bfs", "EDGES")] == "regbank"
+    assert kinds[("bfs", "NODES")] == "regbank"
+    assert kinds[("stencil2d", "FILTER")] == "regbank"
+    assert kinds[("stencil3d", "C_VAR")] == "regbank"
+    assert kinds[("fft", "REAL")] == "spm"
+
+
+@pytest.mark.parametrize("name", DESIGN_NAMES)
+def test_design_layout_no_overlap(name):
+    accel = get_design(name).instantiate()
+    spans = sorted(
+        (m.base, m.base + m.size) for m in accel.memories.values()
+    )
+    for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+        assert e1 <= s2
+    assert spans[0][0] >= 0x40     # address 0 stays unmapped
+
+
+def test_golden_cached():
+    spec = AccelCampaignSpec(design="spmv", component="VAL", scale="tiny", faults=1)
+    a = accel_golden(spec)
+    b = accel_golden(spec)
+    assert a is b
+    assert a.cycles > 0 and a.output
+
+
+def test_masks_in_bounds():
+    spec = AccelCampaignSpec(design="fft", component="REAL", scale="tiny", faults=40)
+    golden = accel_golden(spec)
+    size = {m.name: m.size for m in get_design("fft").memories}["REAL"]
+    for mask in accel_masks(spec, golden):
+        assert 0 <= mask.flips[0].bit < size * 8
+        assert 0 <= mask.flips[0].cycle < golden.cycles
+
+
+def test_campaign_classification_consistency():
+    spec = AccelCampaignSpec(design="mergesort", component="MAIN", scale="tiny",
+                             faults=25, seed=3)
+    res = run_accel_campaign(spec)
+    assert len(res.records) == 25
+    assert res.avf == pytest.approx(res.sdc_avf + res.crash_avf)
+    for r in res.records:
+        if r.outcome is Outcome.MASKED:
+            assert r.hvf is HVFClass.BENIGN
+        else:
+            assert r.hvf is HVFClass.CORRUPTION   # HVF == AVF for DSA memories
+
+
+def test_campaign_deterministic():
+    spec = AccelCampaignSpec(design="gemm", component="MATRIX1", scale="tiny",
+                             faults=10, seed=9)
+    a = run_accel_campaign(spec)
+    b = run_accel_campaign(spec)
+    assert [r.outcome for r in a.records] == [r.outcome for r in b.records]
+
+
+def test_bfs_faults_crash_not_sdc():
+    """Fig 14's sharpest shape: BFS RegBank faults crash (indices)."""
+    records = []
+    for comp in ("EDGES", "NODES"):
+        spec = AccelCampaignSpec(design="bfs", component=comp, scale="tiny",
+                                 faults=40, seed=11)
+        records += run_accel_campaign(spec).records
+    crashes = sum(1 for r in records if r.outcome is Outcome.CRASH)
+    sdcs = sum(1 for r in records if r.outcome is Outcome.SDC)
+    assert crashes > 0
+    assert crashes >= 5 * max(sdcs, 1) or sdcs == 0
+
+
+def test_fft_faults_sdc_not_crash():
+    spec = AccelCampaignSpec(design="fft", component="REAL", scale="tiny",
+                             faults=40, seed=11)
+    res = run_accel_campaign(spec)
+    assert res.crash_avf == 0.0
+    assert res.sdc_avf > 0.05
+
+
+def test_directed_fault_in_input_data_is_sdc():
+    """Flip a mantissa bit of a live GEMM input value at cycle 1: SDC."""
+    spec = AccelCampaignSpec(design="gemm", component="MATRIX1", scale="tiny", faults=1)
+    mask = FaultMask.single("accel:gemm:MATRIX1", 0, 16, cycle=1)
+    record = run_one_accel_fault(spec, mask)
+    assert record.outcome is Outcome.SDC
+
+
+def test_directed_fault_in_unused_region_is_masked():
+    """tiny-scale GEMM leaves the top of the default-sized SPM untouched."""
+    design = get_design("gemm")
+    size = {m.name: m.size for m in design.memories}["MATRIX1"]
+    spec = AccelCampaignSpec(design="gemm", component="MATRIX1", scale="tiny", faults=1)
+    mask = FaultMask.single("accel:gemm:MATRIX1", 0, size * 8 - 1, cycle=1)
+    record = run_one_accel_fault(spec, mask)
+    assert record.outcome is Outcome.MASKED
+    assert record.masked_reason == "masked_unused"
+
+
+def test_permanent_accel_fault():
+    spec = AccelCampaignSpec(design="fft", component="REAL", scale="tiny",
+                             faults=10, seed=4, model=FaultModel.STUCK_AT_1)
+    res = run_accel_campaign(spec)
+    assert len(res.records) == 10
+    # stuck-at-1 on live float data corrupts some outputs
+    assert res.avf > 0
+
+
+def test_fu_sweep_changes_cycles():
+    lo = AccelCampaignSpec(design="gemm", component="MATRIX1", scale="tiny",
+                           faults=1, fu=FUConfig.uniform(1))
+    hi = AccelCampaignSpec(design="gemm", component="MATRIX1", scale="tiny",
+                           faults=1, fu=FUConfig.uniform(8))
+    assert accel_golden(lo).cycles > accel_golden(hi).cycles

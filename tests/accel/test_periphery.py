@@ -1,0 +1,245 @@
+"""Tests for DMA, MMRs, interrupt controllers, and the config generator."""
+
+import pytest
+
+from repro.accel.configgen import ConfigError, fu_from_config, generate_soc, parse_yaml
+from repro.accel.dma import DMAEngine
+from repro.accel.interrupts import GIC, PLIC, controller_for_isa
+from repro.accel.mmr import (
+    MMR_SIZE,
+    REG_ARG0,
+    REG_CTRL,
+    REG_STATUS,
+    STATUS_DONE,
+    STATUS_RUNNING,
+    MMRBlock,
+)
+from repro.accel.spm import ScratchpadMemory
+
+# ------------------------------------------------------------ DMA
+
+
+def test_dma_transfer_in_and_cost():
+    dma = DMAEngine(setup_cycles=10, bytes_per_cycle=8)
+    spm = ScratchpadMemory("S", 64, base=0)
+    cycles = dma.transfer_in(spm, 0, bytes(range(32)))
+    assert cycles == 10 + 4
+    assert spm.dump(0, 32) == bytes(range(32))
+    assert dma.stats.transfers == 1 and dma.stats.bytes_moved == 32
+
+
+def test_dma_transfer_out_notifies_probe():
+    reads = []
+
+    class Probe:
+        def on_read(self, mem, lo, hi):
+            reads.append((lo, hi))
+
+        def on_write(self, mem, lo, hi):
+            pass
+
+    dma = DMAEngine()
+    spm = ScratchpadMemory("S", 64, base=0)
+    spm.probe = Probe()
+    dma.transfer_out(spm, 0, 16)
+    assert reads == [(0, 16)]
+
+
+def test_dma_rejects_zero_rate():
+    with pytest.raises(ValueError):
+        DMAEngine(bytes_per_cycle=0)
+
+
+# ------------------------------------------------------------ MMR
+
+
+def test_mmr_start_protocol():
+    started = []
+    mmr = MMRBlock("t", base=0x1000, on_start=lambda m: started.append(True))
+    mmr.write(0x1000 + REG_ARG0, 0x42, 8)
+    assert mmr.arg(0) == 0x42
+    assert mmr.status == 0
+    mmr.write(0x1000 + REG_CTRL, 1, 8)
+    assert started == [True]
+    assert mmr.status == STATUS_RUNNING
+    mmr.set_status(STATUS_DONE)
+    assert mmr.read(0x1000 + REG_STATUS, 8) == STATUS_DONE
+
+
+def test_mmr_subword_reads():
+    mmr = MMRBlock("t", base=0)
+    mmr.write(REG_ARG0, 0x1122334455667788, 8)
+    assert mmr.read(REG_ARG0, 4) == 0x55667788
+    assert mmr.read(REG_ARG0 + 4, 4) == 0x11223344
+
+
+def test_mmr_as_region():
+    mmr = MMRBlock("t", base=0x2000)
+    region = mmr.as_mmio_region()
+    assert region.start == 0x2000 and region.end == 0x2000 + MMR_SIZE
+
+
+# ------------------------------------------------------------ interrupts
+
+
+def test_gic_claim_complete_cycle():
+    gic = GIC()
+    gic.post(7)
+    assert gic.pending()
+    line = gic.claim()
+    assert line == 7
+    assert not gic.pending()       # active interrupt masks further delivery
+    gic.post(9)
+    assert gic.claim() is None     # still active
+    gic.complete(7)
+    assert gic.claim() == 9
+
+
+def test_gic_priority_order():
+    gic = GIC()
+    gic.set_priority(3, 10)
+    gic.set_priority(5, 1)
+    gic.post(3)
+    gic.post(5)
+    assert gic.claim() == 5        # lower value = higher priority
+
+
+def test_gic_disabled_line_not_delivered():
+    gic = GIC()
+    gic.enable(4, False)
+    gic.post(4)
+    assert not gic.pending()
+    gic.enable(4, True)
+    assert gic.pending()
+
+
+def test_gic_line_range():
+    with pytest.raises(ValueError):
+        GIC(num_lines=8).post(8)
+
+
+def test_plic_claim_clears_gateway():
+    plic = PLIC()
+    plic.set_priority(3, 5)
+    plic.post(3)
+    assert plic.pending()
+    assert plic.claim() == 3
+    assert not plic.pending()
+    plic.complete(3)
+
+
+def test_plic_threshold_masks():
+    plic = PLIC()
+    plic.set_priority(2, 1)
+    plic.set_threshold(0, 3)
+    plic.post(2)
+    assert not plic.pending()      # priority 1 <= threshold 3
+    plic.set_threshold(0, 0)
+    assert plic.pending()
+
+
+def test_plic_highest_priority_wins():
+    plic = PLIC()
+    plic.set_priority(2, 1)
+    plic.set_priority(9, 7)
+    plic.post(2)
+    plic.post(9)
+    assert plic.claim() == 9
+
+
+def test_plic_source_zero_reserved():
+    with pytest.raises(ValueError):
+        PLIC().post(0)
+    with pytest.raises(ValueError):
+        PLIC().set_priority(1, 9)
+
+
+def test_controller_templates():
+    assert isinstance(controller_for_isa("arm"), GIC)
+    assert isinstance(controller_for_isa("rv"), PLIC)
+    assert isinstance(controller_for_isa("x86"), PLIC)
+    with pytest.raises(ValueError):
+        controller_for_isa("mips")
+
+
+# ------------------------------------------------------------ configgen
+
+
+def test_yaml_scalars_and_nesting():
+    doc = parse_yaml(
+        """
+system:
+  isa: rv
+  threads: 4
+  debug: true
+  ratio: 0.5
+  name: "my soc"
+accelerator:
+  design: gemm
+"""
+    )
+    assert doc["system"]["isa"] == "rv"
+    assert doc["system"]["threads"] == 4
+    assert doc["system"]["debug"] is True
+    assert doc["system"]["ratio"] == 0.5
+    assert doc["system"]["name"] == "my soc"
+
+
+def test_yaml_sequences():
+    doc = parse_yaml(
+        """
+targets:
+  - l1d
+  - l1i
+configs:
+  - design: gemm
+    fu: 4
+  - design: bfs
+    fu: 2
+"""
+    )
+    assert doc["targets"] == ["l1d", "l1i"]
+    assert doc["configs"][1]["design"] == "bfs"
+    assert doc["configs"][0]["fu"] == 4
+
+
+def test_yaml_comments_and_empty_values():
+    doc = parse_yaml("a: 1  # trailing comment\nb:\nc: 2\n")
+    assert doc == {"a": 1, "b": None, "c": 2}
+
+
+def test_yaml_rejects_garbage():
+    with pytest.raises(ConfigError):
+        parse_yaml("system:\n  just a line without colon\n")
+
+
+def test_fu_from_config():
+    fu = fu_from_config({"alu": 2, "fpu": 16})
+    assert fu.alu == 2 and fu.fpu == 16 and fu.mul == 2
+    assert fu_from_config(None) is None
+
+
+def test_generate_soc_end_to_end():
+    soc = generate_soc(
+        """
+system:
+  isa: rv
+  preset: sim
+  scale: tiny
+accelerator:
+  design: gemm
+  fu:
+    alu: 4
+    fpu: 8
+"""
+    )
+    result = soc.run()
+    assert result.ok
+    assert soc.accel.fu.fpu == 8
+
+
+def test_generate_soc_validation():
+    with pytest.raises(ConfigError):
+        generate_soc("system:\n  isa: mips\naccelerator:\n  design: gemm\n")
+    with pytest.raises(ConfigError):
+        generate_soc("system:\n  isa: rv\naccelerator:\n  fu:\n    alu: 1\n")

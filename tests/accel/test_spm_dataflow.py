@@ -1,0 +1,172 @@
+"""Tests for scratchpads/register banks and the dataflow engine."""
+
+import pytest
+
+from repro.accel.dataflow import AddressMap, DataflowEngine, FUConfig
+from repro.accel.spm import AccelMemFault, RegisterBank, ScratchpadMemory
+from repro.kernel.ir import BinOp, Cond, ProgramBuilder
+
+# ------------------------------------------------------------ SPM / RegBank
+
+
+def test_spm_rw_and_bounds():
+    spm = ScratchpadMemory("S", 64, base=0x100)
+    spm.write(0x108, 0xBEEF, 2)
+    assert spm.read(0x108, 2) == 0xBEEF
+    assert spm.reads == 1 and spm.writes == 1
+    with pytest.raises(AccelMemFault):
+        spm.read(0x100 + 63, 2)
+    with pytest.raises(AccelMemFault):
+        spm.read(0xFF, 1)
+
+
+def test_spm_touched_tracking_and_extent():
+    spm = ScratchpadMemory("S", 64, base=0)
+    assert spm.used_extent() == 0
+    spm.write(10, 0xFF, 1)
+    assert spm.byte_used(10) and not spm.byte_used(11)
+    assert spm.used_extent() == 11
+    spm.load_block(0, bytes(32))
+    assert spm.used_extent() == 32
+
+
+def test_spm_flip_and_force():
+    spm = ScratchpadMemory("S", 8, base=0)
+    spm.write(0, 0, 8)
+    spm.flip_bit(12)
+    assert spm.read(0, 8) == 1 << 12
+    assert spm.force_bit(12, 0) is True
+    assert spm.read(0, 8) == 0
+
+
+def test_regbank_latency_properties():
+    bank = RegisterBank("R", 32, base=0)
+    assert bank.kind == "regbank"
+    assert bank.read_latency > ScratchpadMemory("s", 8, 0).read_latency
+    assert bank.delta >= 1
+
+
+def test_address_map_routing():
+    a = ScratchpadMemory("A", 64, base=0x40)
+    b = RegisterBank("B", 32, base=0x80)
+    amap = AddressMap([a, b])
+    assert amap.find(0x50, 8) is a
+    assert amap.find(0x80, 4) is b
+    assert amap.find(0x7C, 8) is None    # straddles the gap
+    assert amap.find(0x0, 1) is None     # address 0 unmapped
+    assert amap.by_name["B"] is b
+
+
+# ------------------------------------------------------------ dataflow engine
+
+
+def _vector_add_kernel(base_a, base_b, base_c, n):
+    b = ProgramBuilder("vadd")
+    b.label("entry")
+    a = b.const(base_a)
+    bb = b.const(base_b)
+    c = b.const(base_c)
+    nn = b.const(n)
+    i = b.var(0)
+    b.label("loop")
+    off = b.shl(i, b.const(3))
+    x = b.load(b.add(a, off), 0, width=8)
+    y = b.load(b.add(bb, off), 0, width=8)
+    b.store(b.add(x, y), b.add(c, off), 0, width=8)
+    b.inc(i)
+    b.br(Cond.LTU, i, nn, "loop", "done")
+    b.label("done")
+    b.halt()
+    return b.build()
+
+
+def _setup_engine(fu=FUConfig(), n=8):
+    mem_a = ScratchpadMemory("A", n * 8, base=0x40)
+    mem_b = ScratchpadMemory("B", n * 8, base=0x40 + n * 8)
+    mem_c = ScratchpadMemory("C", n * 8, base=0x40 + 2 * n * 8)
+    for i in range(n):
+        mem_a.write(mem_a.base + i * 8, i, 8)
+        mem_b.write(mem_b.base + i * 8, 100 * i, 8)
+    kernel = _vector_add_kernel(mem_a.base, mem_b.base, mem_c.base, n)
+    engine = DataflowEngine(kernel, AddressMap([mem_a, mem_b, mem_c]), fu)
+    return engine, mem_c
+
+
+def test_dataflow_functional_correctness():
+    engine, mem_c = _setup_engine()
+    result = engine.run()
+    assert result.ok
+    for i in range(8):
+        assert mem_c.read(mem_c.base + i * 8, 8) == i + 100 * i
+    assert result.cycles > 0 and result.operations > 0
+
+
+def test_dataflow_deterministic():
+    r1 = _setup_engine()[0].run()
+    r2 = _setup_engine()[0].run()
+    assert (r1.cycles, r1.operations, r1.blocks) == (r2.cycles, r2.operations, r2.blocks)
+
+
+def test_more_fus_never_slower():
+    cycles = []
+    for n in (1, 2, 4, 8):
+        engine, _ = _setup_engine(FUConfig.uniform(n))
+        cycles.append(engine.run().cycles)
+    assert cycles == sorted(cycles, reverse=True)
+    assert cycles[0] > cycles[-1]          # constraint actually binds
+
+
+def test_unmapped_access_crashes():
+    kernel_builder = ProgramBuilder("bad")
+    kernel_builder.label("entry")
+    addr = kernel_builder.const(0xDEAD000)
+    kernel_builder.load(addr, 0, width=8)
+    kernel_builder.halt()
+    engine = DataflowEngine(kernel_builder.build(), AddressMap([]), FUConfig())
+    result = engine.run()
+    assert result.crashed == "mem_fault"
+
+
+def test_watchdog_timeout():
+    b = ProgramBuilder("spin")
+    b.label("entry")
+    b.label("loop")
+    b.nop()
+    b.jump("loop")
+    engine = DataflowEngine(b.build(), AddressMap([]), FUConfig(), watchdog_cycles=500)
+    result = engine.run()
+    assert result.crashed == "timeout"
+
+
+def test_memory_ordering_store_then_load():
+    """A load after a store to the same cell must see the stored value even
+    under aggressive dataflow scheduling."""
+    spm = ScratchpadMemory("S", 64, base=0x40)
+    b = ProgramBuilder("ord")
+    b.label("entry")
+    base = b.const(0x40)
+    b.store(b.const(7), base, 0, width=8)
+    v = b.load(base, 0, width=8)
+    b.store(b.muli(v, 3), base, 8, width=8)
+    b.halt()
+    engine = DataflowEngine(b.build(), AddressMap([spm]), FUConfig.uniform(8))
+    assert engine.run().ok
+    assert spm.read(0x48, 8) == 21
+
+
+def test_out_ops_are_ordered():
+    b = ProgramBuilder("outs")
+    b.label("entry")
+    for value in (1, 2, 3, 4):
+        b.out(b.const(value), width=1)
+    b.halt()
+    engine = DataflowEngine(b.build(), AddressMap([]), FUConfig.uniform(8))
+    result = engine.run()
+    assert result.output == b"\x01\x02\x03\x04"
+
+
+def test_fu_config_helpers():
+    fu = FUConfig.uniform(4)
+    assert fu.alu == fu.mul == fu.fpu == 4 and fu.div == 2
+    assert fu.total_units == 14
+    assert FUConfig(alu=1, mul=1, fpu=1, div=1).scaled(4).alu == 4

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.presets import sim_config
+from repro.cpu.config import CacheConfig, CPUConfig
+
+
+@pytest.fixture(scope="session")
+def cfg() -> CPUConfig:
+    """The scaled default configuration used across tests."""
+    return sim_config()
+
+
+@pytest.fixture(scope="session")
+def small_cfg() -> CPUConfig:
+    """An intentionally tiny configuration for structure-pressure tests."""
+    return CPUConfig(
+        name="test-small",
+        width=4,
+        rob_entries=32,
+        iq_entries=16,
+        lq_entries=8,
+        sq_entries=8,
+        int_phys_regs=64,
+        fp_phys_regs=48,
+        l1i=CacheConfig(512, line_size=64, assoc=2),
+        l1d=CacheConfig(512, line_size=64, assoc=2),
+        l2=CacheConfig(4096, line_size=64, assoc=4, hit_latency=8),
+    )
+
+
+ISAS = ["rv", "arm", "x86"]
+
+
+@pytest.fixture(params=ISAS)
+def isa_name(request) -> str:
+    return request.param

@@ -1,0 +1,85 @@
+"""Tests for the figure drivers (reduced samples; shape + plumbing checks)."""
+
+import pytest
+
+from repro.analysis import figures
+
+TINY = dict(faults=6, workloads=["crc32", "qsort"])
+
+
+def test_per_structure_grid_shape():
+    fig = figures.fig4_regfile_avf(**TINY)
+    assert "Figure 4" in fig.figure
+    # 2 workloads + 1 wAVF row per ISA, 3 ISAs
+    assert len(fig.rows) == 9
+    isas = {r["isa"] for r in fig.rows}
+    assert isas == {"arm", "x86", "rv"}
+    assert fig.text.count("wAVF") == 3
+
+
+def test_grid_cache_reuses_campaigns():
+    a = figures.fig4_regfile_avf(**TINY)
+    b = figures.fig9_sdc_regfile(**TINY)   # same grid, different figure label
+    assert a.rows == b.rows
+    assert "Figure 9" in b.figure
+
+
+def test_wavf_row_is_weighted_combination():
+    from repro.core.metrics import weighted_avf
+
+    fig = figures.fig6_l1d_avf(**TINY)
+    for isa in ("rv",):
+        per_wl = [r for r in fig.rows if r["isa"] == isa and r["workload"] != "wAVF"]
+        wavf_row = next(
+            r for r in fig.rows if r["isa"] == isa and r["workload"] == "wAVF"
+        )
+        expected = weighted_avf(
+            [r["avf"] for r in per_wl], [r["golden_cycles"] for r in per_wl]
+        )
+        assert wavf_row["avf"] == pytest.approx(expected)
+
+
+def test_permanent_figure_mixes_stuck_at_polarities():
+    fig = figures.fig12_permanent_l1i(faults=4, workloads=["crc32"], isas=["rv"])
+    assert len(fig.rows) == 1
+    assert fig.rows[0]["model"] == "permanent"
+    assert fig.rows[0]["faults"] == 4
+
+
+def test_fig15_rows_tagged_with_prf_size():
+    fig = figures.fig15_prf_sensitivity(sizes=(96, 192), faults=4,
+                                        workloads=["crc32"])
+    sizes = {r["prf_size"] for r in fig.rows}
+    assert sizes == {96, 192}
+
+
+def test_fig17_dse_rows():
+    fig = figures.fig17_gemm_dse(fu_counts=(1, 8), faults=4, scale="tiny")
+    by = {r["fu_count"]: r for r in fig.rows}
+    assert by[1]["cycles"] > by[8]["cycles"]
+    assert by[1]["area_units"] < by[8]["area_units"]
+
+
+def test_fig18_hvf_invariant():
+    fig = figures.fig18_hvf(faults=6, workloads=["crc32"],
+                            targets=("regfile_int",))
+    for row in fig.rows:
+        assert row["hvf"] >= row["avf"] - 1e-9
+
+
+def test_fig14_covers_table4():
+    from repro.accel_designs import PAPER_TARGETS
+
+    fig = figures.fig14_dsa_avf(faults=3, scale="tiny")
+    cells = {(r["design"], r["component"]) for r in fig.rows}
+    expected = {(d, c) for d, comps in PAPER_TARGETS.items() for c in comps}
+    assert cells == expected
+
+
+def test_env_knobs(monkeypatch):
+    monkeypatch.setenv("MARVEL_FAULTS", "123")
+    monkeypatch.setenv("MARVEL_WORKLOADS", "2")
+    monkeypatch.setenv("MARVEL_SCALE", "default")
+    assert figures.env_faults() == 123
+    assert len(figures.env_workloads()) == 2
+    assert figures.env_scale() == "default"

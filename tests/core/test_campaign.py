@@ -1,0 +1,124 @@
+"""End-to-end campaign tests: golden caching, classification, determinism."""
+
+import pytest
+
+from repro.core.campaign import (
+    CampaignSpec,
+    golden_run,
+    masks_for_spec,
+    run_campaign,
+    run_one_fault,
+)
+from repro.core.faults import FaultMask, FaultModel
+from repro.core.outcome import HVFClass, Outcome
+
+
+def _spec(cfg, **kw):
+    defaults = dict(
+        isa="rv", workload="crc32", target="regfile_int", cfg=cfg,
+        scale="tiny", faults=12, seed=21,
+    )
+    defaults.update(kw)
+    return CampaignSpec(**defaults)
+
+
+def test_golden_run_cached_and_consistent(cfg):
+    a = golden_run("rv", "crc32", cfg, "tiny")
+    b = golden_run("rv", "crc32", cfg, "tiny")
+    assert a is b
+    assert a.result.ok
+    assert a.window[0] < a.window[1] <= a.cycles
+    assert a.result.commit_trace
+
+
+def test_campaign_end_to_end(cfg):
+    res = run_campaign(_spec(cfg))
+    assert len(res.records) == 12
+    assert 0.0 <= res.avf <= 1.0
+    assert res.avf == pytest.approx(res.sdc_avf + res.crash_avf)
+    assert res.hvf >= res.avf - 1e-9           # HVF >= AVF by construction
+    assert res.population_bits == cfg.int_phys_regs * 64
+    assert 0 < res.error_margin < 1
+    summary = res.summary()
+    assert summary["isa"] == "rv" and summary["faults"] == 12
+
+
+def test_campaign_deterministic(cfg):
+    a = run_campaign(_spec(cfg))
+    b = run_campaign(_spec(cfg))
+    assert [r.outcome for r in a.records] == [r.outcome for r in b.records]
+    assert [r.cycles for r in a.records] == [r.cycles for r in b.records]
+
+
+def test_campaign_seed_changes_sample(cfg):
+    a = run_campaign(_spec(cfg, seed=1))
+    b = run_campaign(_spec(cfg, seed=2))
+    assert [r.mask for r in a.records] != [r.mask for r in b.records]
+
+
+def test_masks_within_golden_window(cfg):
+    spec = _spec(cfg, faults=50)
+    golden = golden_run(spec.isa, spec.workload, cfg, spec.scale)
+    for mask in masks_for_spec(spec, golden):
+        assert golden.window[0] <= mask.flips[0].cycle < golden.window[1]
+
+
+def test_directed_fault_in_hot_data_is_sdc(cfg):
+    """Flipping a bit of the CRC table mid-run must corrupt the checksum."""
+    spec = _spec(cfg, target="l1d", faults=1)
+    golden = golden_run("rv", "crc32", cfg, "tiny")
+    from repro.cpu.core import OoOCore
+    from repro.isa.base import get_isa
+
+    # find an L1D line that is valid mid-run and flip a data bit in it
+    probe = OoOCore.from_executable(golden.exe, get_isa("rv"), cfg)
+    mid = (golden.window[0] + golden.window[1]) // 2
+    while probe.cycle < mid:
+        probe.step()
+    line = next(l for l in range(probe.l1d.num_lines) if probe.l1d.valid[l])
+    mask = FaultMask.single("l1d", line, 8 * 8 + 1, cycle=mid)
+    record = run_one_fault(spec, mask)
+    assert record.outcome in (Outcome.SDC, Outcome.MASKED, Outcome.CRASH)
+    if record.outcome is not Outcome.MASKED:
+        assert record.hvf is HVFClass.CORRUPTION
+
+
+def test_permanent_campaign_runs(cfg):
+    spec = _spec(cfg, model=FaultModel.STUCK_AT_1, faults=8, target="l1d")
+    res = run_campaign(spec)
+    assert len(res.records) == 8
+    # permanent faults never take the transient early-exit
+    assert all(r.masked_reason != "masked_unused" for r in res.records
+               if r.outcome is not Outcome.MASKED)
+
+
+def test_early_termination_actually_saves_cycles(cfg):
+    """Masked-by-overwrite runs must stop well before the golden runtime."""
+    res = run_campaign(_spec(cfg, faults=40))
+    golden_cycles = res.golden.cycles
+    early = [
+        r for r in res.records
+        if r.masked_reason in ("masked_unused", "masked_overwritten", "masked_discarded")
+    ]
+    assert early, "expected some early-terminated runs"
+    assert any(r.cycles < golden_cycles * 0.9 for r in early)
+
+
+def test_stop_on_hvf_mode(cfg):
+    spec = _spec(cfg, faults=20, stop_on_hvf=True)
+    res = run_campaign(spec)
+    corrupt = [r for r in res.records if r.hvf is HVFClass.CORRUPTION]
+    if corrupt:  # corrupted runs stopped at the first mismatch
+        assert any(r.cycles <= res.golden.cycles for r in corrupt)
+
+
+def test_multiprocess_workers_agree(cfg):
+    spec = _spec(cfg, faults=4)
+    seq = run_campaign(spec)
+    par = run_campaign(spec, workers=2)
+    assert [r.outcome for r in seq.records] == [r.outcome for r in par.records]
+
+
+def test_unknown_workload_message(cfg):
+    with pytest.raises(KeyError):
+        run_campaign(_spec(cfg, workload="not_a_workload"))

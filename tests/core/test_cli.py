@@ -1,0 +1,53 @@
+"""CLI tests (in-process, small samples)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "rv" in out and "qsort" in out and "regfile_int" in out and "gemm" in out
+
+
+def test_campaign_command(capsys, tmp_path):
+    csv = tmp_path / "out.csv"
+    rc = main([
+        "campaign", "--isa", "rv", "--workload", "crc32",
+        "--target", "regfile_int", "--faults", "5", "--csv", str(csv),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "avf" in out
+    assert csv.exists() and "avf" in csv.read_text()
+
+
+def test_accel_campaign_command(capsys):
+    rc = main([
+        "accel-campaign", "--design", "fft", "--component", "REAL",
+        "--faults", "5", "--scale", "tiny",
+    ])
+    assert rc == 0
+    assert "avf" in capsys.readouterr().out
+
+
+def test_soc_command(capsys):
+    rc = main(["soc", "--isa", "rv", "--design", "gemm"])
+    assert rc == 0
+    assert "cpu=" in capsys.readouterr().out
+
+
+def test_figure_command(capsys):
+    rc = main(["figure", "17", "--faults", "3"])
+    assert rc == 0
+    assert "Figure 17" in capsys.readouterr().out
+
+
+def test_figure_unknown_number():
+    assert main(["figure", "99"]) == 2
+
+
+def test_parser_rejects_bad_isa():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["campaign", "--isa", "mips"])

@@ -1,0 +1,124 @@
+"""Tests for fault models, masks, and the Leveugle sampling machinery."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.faults import FaultFlip, FaultMask, FaultModel
+from repro.core.sampling import error_margin_for, generate_masks, sample_size
+
+
+def test_fault_model_properties():
+    assert not FaultModel.TRANSIENT.permanent
+    assert FaultModel.STUCK_AT_0.permanent
+    assert FaultModel.STUCK_AT_0.stuck_value == 0
+    assert FaultModel.STUCK_AT_1.stuck_value == 1
+    with pytest.raises(ValueError):
+        FaultModel.TRANSIENT.stuck_value
+
+
+def test_mask_construction():
+    m = FaultMask.single("l1d", 3, 17, 100)
+    assert not m.multi_bit
+    assert m.structures == {"l1d"}
+    assert m.first_cycle == 100
+    with pytest.raises(ValueError):
+        FaultMask(model=FaultModel.TRANSIENT, flips=())
+
+
+def test_multi_bit_mask():
+    flips = (FaultFlip("l1d", 0, 0, 5), FaultFlip("regfile_int", 2, 9, 8))
+    m = FaultMask(model=FaultModel.TRANSIENT, flips=flips)
+    assert m.multi_bit
+    assert m.structures == {"l1d", "regfile_int"}
+    assert m.first_cycle == 5
+
+
+# ------------------------------------------------------------ sample size
+
+
+def test_paper_sample_size():
+    """1,000 faults ≈ 3% margin / 95% confidence for large populations."""
+    n = sample_size(population=32 * 1024 * 8, error_margin=0.03, confidence=0.95)
+    assert 1000 <= n <= 1120
+    # and the reverse direction
+    e = error_margin_for(1067, 32 * 1024 * 8)
+    assert 0.028 <= e <= 0.032
+
+
+def test_sample_size_small_population_caps():
+    assert sample_size(population=100, error_margin=0.03) <= 100
+
+
+@given(st.integers(min_value=1000, max_value=10**7))
+def test_sample_size_monotone_in_margin(population):
+    tight = sample_size(population, 0.01)
+    loose = sample_size(population, 0.05)
+    assert tight >= loose
+
+
+@given(st.integers(min_value=100, max_value=10**6),
+       st.integers(min_value=10, max_value=5000))
+def test_error_margin_decreases_with_samples(population, n):
+    n = min(n, population - 1)
+    if n < 2:
+        return
+    bigger = error_margin_for(n, population)
+    smaller = error_margin_for(n // 2 if n // 2 > 0 else 1, population)
+    assert bigger <= smaller + 1e-12
+
+
+def test_error_margin_full_census_is_zero():
+    assert error_margin_for(100, 100) == 0.0
+
+
+def test_bad_inputs():
+    with pytest.raises(ValueError):
+        sample_size(0)
+    with pytest.raises(ValueError):
+        sample_size(100, confidence=0.5)
+    with pytest.raises(ValueError):
+        error_margin_for(0, 100)
+
+
+# ------------------------------------------------------------ mask generation
+
+
+def test_generate_masks_uniform_and_in_bounds():
+    masks = generate_masks("l1d", entries=16, bits_per_entry=512, count=300,
+                           window=(100, 1100), seed=3)
+    assert len(masks) == 300
+    assert len({m.mask_id for m in masks}) == 300
+    for m in masks:
+        (flip,) = m.flips
+        assert 0 <= flip.entry < 16
+        assert 0 <= flip.bit < 512
+        assert 100 <= flip.cycle < 1100
+    # crude uniformity: all entries hit at least once over 300 draws
+    assert len({m.flips[0].entry for m in masks}) == 16
+
+
+def test_generate_masks_deterministic_by_seed():
+    a = generate_masks("sq", 8, 128, 50, (0, 500), seed=9)
+    b = generate_masks("sq", 8, 128, 50, (0, 500), seed=9)
+    c = generate_masks("sq", 8, 128, 50, (0, 500), seed=10)
+    assert a == b
+    assert a != c
+
+
+def test_generate_masks_permanent_present_from_power_on():
+    masks = generate_masks("l1i", 8, 512, 20, (50, 500),
+                           model=FaultModel.STUCK_AT_1, seed=1)
+    assert all(m.flips[0].cycle == 0 for m in masks)
+
+
+def test_generate_masks_multibit():
+    masks = generate_masks("l1d", 16, 512, 10, (0, 100), flips_per_mask=3, seed=2)
+    assert all(len(m.flips) == 3 for m in masks)
+    assert all(m.multi_bit for m in masks)
+
+
+def test_generate_masks_rejects_empty_window():
+    with pytest.raises(ValueError):
+        generate_masks("l1d", 16, 512, 5, (100, 100))
+    with pytest.raises(ValueError):
+        generate_masks("l1d", 0, 512, 5, (0, 10))

@@ -1,0 +1,190 @@
+"""Directed injector tests: each early-termination path and enforcement."""
+
+import pytest
+
+from repro.core.campaign import golden_run
+from repro.core.faults import FaultMask, FaultModel
+from repro.core.injector import (
+    ARMED,
+    ESCAPED,
+    MASKED_DISCARDED,
+    MASKED_OVERWRITTEN,
+    MASKED_UNUSED,
+    READ,
+    InjectionController,
+)
+from repro.core.targets import TARGETS, get_target
+from repro.cpu.core import OoOCore
+from repro.isa.base import get_isa
+
+
+def _fresh_core(cfg, workload="crc32"):
+    golden = golden_run("rv", workload, cfg, "tiny")
+    return OoOCore.from_executable(golden.exe, get_isa("rv"), cfg), golden
+
+
+def test_targets_registry_geometry(cfg):
+    core, _ = _fresh_core(cfg)
+    expected = {
+        "regfile_int": (cfg.int_phys_regs, 64),
+        "regfile_fp": (cfg.fp_phys_regs, 64),
+        "l1i": (cfg.l1i.num_lines, cfg.l1i.line_size * 8),
+        "l1d": (cfg.l1d.num_lines, cfg.l1d.line_size * 8),
+        "l2": (cfg.l2.num_lines, cfg.l2.line_size * 8),
+        "lq": (cfg.lq_entries, 128),
+        "sq": (cfg.sq_entries, 128),
+    }
+    for name, geom in expected.items():
+        assert get_target(name).geometry(core) == geom
+    with pytest.raises(KeyError):
+        get_target("rob_does_not_exist")
+
+
+def test_unused_entry_is_masked_immediately(cfg):
+    core, _ = _fresh_core(cfg)
+    # pick a free physical register: guaranteed unused
+    free_reg = core.prf_int.free[0]
+    mask = FaultMask.single("regfile_int", free_reg, 5, cycle=0)
+    controller = InjectionController(mask)
+    controller.tick(core)
+    assert controller.flips[0].status is MASKED_UNUSED
+    assert controller.early_masked
+
+
+def test_invalid_cache_line_is_masked(cfg):
+    core, _ = _fresh_core(cfg)
+    assert not core.l1d.valid[0]   # nothing ran yet
+    mask = FaultMask.single("l1d", 0, 100, cycle=0)
+    controller = InjectionController(mask)
+    controller.tick(core)
+    assert controller.flips[0].status is MASKED_UNUSED
+
+
+def test_occupied_register_flip_arms_watch(cfg):
+    core, _ = _fresh_core(cfg)
+    mapped = core.rat_int[3]
+    core.prf_int.values[mapped] = 0xF0
+    mask = FaultMask.single("regfile_int", mapped, 0, cycle=0)
+    controller = InjectionController(mask)
+    core.injector = controller
+    controller.tick(core)
+    assert controller.flips[0].status is ARMED
+    assert core.prf_int.values[mapped] == 0xF1
+    # a read consumes the fault
+    core.prf_int.read(mapped)
+    assert controller.flips[0].status is READ
+    assert controller.activated
+
+
+def test_register_overwrite_masks(cfg):
+    core, _ = _fresh_core(cfg)
+    mapped = core.rat_int[3]
+    mask = FaultMask.single("regfile_int", mapped, 0, cycle=0)
+    controller = InjectionController(mask)
+    core.injector = controller
+    controller.tick(core)
+    core.prf_int.write(mapped, 1234)       # overwritten before read
+    assert controller.flips[0].status is MASKED_OVERWRITTEN
+    assert controller.early_masked
+    assert controller.masked_reason() == "masked_overwritten"
+
+
+def test_cache_clean_eviction_discards_fault(cfg):
+    core, _ = _fresh_core(cfg)
+    core.l1d.read(0x10000, 8)              # fill a clean line
+    line = core.l1d._find(0x10000)
+    mask = FaultMask.single("l1d", line, 3, cycle=0)
+    controller = InjectionController(mask)
+    controller.tick(core)
+    assert controller.flips[0].status is ARMED
+    core.l1d.probe.on_evict(core.l1d, line, dirty=False)
+    assert controller.flips[0].status is MASKED_DISCARDED
+
+
+def test_cache_dirty_eviction_escapes(cfg):
+    core, _ = _fresh_core(cfg)
+    core.l1d.write(0x10000, 0xAA, 1)
+    line = core.l1d._find(0x10000)
+    bit = ((0x10000 % 64) + 32) * 8        # another byte in the same line
+    mask = FaultMask.single("l1d", line, bit, cycle=0)
+    controller = InjectionController(mask)
+    controller.tick(core)
+    controller.on_evict(core.l1d, line, dirty=True)
+    assert controller.flips[0].status is ESCAPED
+    assert not controller.early_masked     # corrupted data lives on in L2
+
+
+def test_permanent_fault_reenforced_on_write(cfg):
+    core, _ = _fresh_core(cfg)
+    mapped = core.rat_int[4]
+    mask = FaultMask.single(
+        "regfile_int", mapped, 0, cycle=0, model=FaultModel.STUCK_AT_1
+    )
+    controller = InjectionController(mask)
+    core.injector = controller
+    controller.tick(core)
+    assert core.prf_int.values[mapped] & 1
+    core.prf_int.write(mapped, 0x1000)     # write tries to clear bit 0
+    assert core.prf_int.values[mapped] & 1  # stuck-at re-enforced
+    assert not controller.early_masked      # permanents never exit early
+
+
+def test_permanent_cache_fault_survives_refill(cfg):
+    core, _ = _fresh_core(cfg)
+    core.l1d.read(0x10000, 8)
+    line = core.l1d._find(0x10000)
+    byte_off = 0x10000 % 64
+    mask = FaultMask.single(
+        "l1d", line, byte_off * 8, cycle=0, model=FaultModel.STUCK_AT_1
+    )
+    controller = InjectionController(mask)
+    controller.tick(core)
+    # a full-line refill rewrites the data; stuck bit must persist
+    controller.on_fill(core.l1d, line)
+    assert core.l1d.data[line][byte_off] & 1
+
+
+def test_lsq_field_granularity(cfg):
+    core, _ = _fresh_core(cfg)
+    idx = core.lq.allocate(seq=1)
+    core.lq.set_addr(idx, 0x10000, 8)
+    mask = FaultMask.single("lq", idx, 70, cycle=0)  # data-field bit
+    controller = InjectionController(mask)
+    core.injector = controller
+    controller.tick(core)
+    assert controller.flips[0].status is ARMED
+    core.lq.set_addr(idx, 0x10008, 8)      # addr write: data fault unaffected
+    assert controller.flips[0].status is ARMED
+    core.lq.set_data(idx, 42)              # data write: fault overwritten
+    assert controller.flips[0].status is MASKED_OVERWRITTEN
+
+
+def test_lsq_free_discards(cfg):
+    core, _ = _fresh_core(cfg)
+    idx = core.sq.allocate(seq=1)
+    core.sq.set_addr(idx, 0x10000, 8)
+    mask = FaultMask.single("sq", idx, 3, cycle=0)
+    controller = InjectionController(mask)
+    controller.tick(core)
+    core.sq.free(idx)
+    assert controller.flips[0].status is MASKED_DISCARDED
+
+
+def test_multibit_mask_requires_all_masked_for_early_exit(cfg):
+    core, _ = _fresh_core(cfg)
+    free_reg = core.prf_int.free[0]
+    mapped = core.rat_int[5]
+    mask = FaultMask(
+        model=FaultModel.TRANSIENT,
+        flips=(
+            FaultMask.single("regfile_int", free_reg, 0, 0).flips[0],
+            FaultMask.single("regfile_int", mapped, 0, 0).flips[0],
+        ),
+    )
+    controller = InjectionController(mask)
+    core.injector = controller
+    controller.tick(core)
+    assert not controller.early_masked          # second flip is live
+    core.prf_int.write(mapped, 0)
+    assert controller.early_masked
+    assert controller.masked_reason() == "masked_mixed"

@@ -1,0 +1,104 @@
+"""Tests for AVF / weighted AVF / HVF / OPF metrics."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.campaign import FaultRecord
+from repro.core.faults import FaultMask, FaultModel
+from repro.core.metrics import (
+    avf,
+    crash_avf,
+    error_margin,
+    hvf,
+    opf,
+    sdc_avf,
+    weighted_avf,
+)
+from repro.core.outcome import HVFClass, Outcome
+
+
+def _rec(outcome, hvf_class=None):
+    if hvf_class is None:
+        hvf_class = HVFClass.BENIGN if outcome is Outcome.MASKED else HVFClass.CORRUPTION
+    return FaultRecord(
+        mask=FaultMask.single("l1d", 0, 0, 0),
+        outcome=outcome,
+        hvf=hvf_class,
+        cycles=100,
+    )
+
+
+def test_avf_decomposition():
+    records = (
+        [_rec(Outcome.MASKED)] * 6 + [_rec(Outcome.SDC)] * 3 + [_rec(Outcome.CRASH)]
+    )
+    assert avf(records) == pytest.approx(0.4)
+    assert sdc_avf(records) == pytest.approx(0.3)
+    assert crash_avf(records) == pytest.approx(0.1)
+    assert avf(records) == pytest.approx(sdc_avf(records) + crash_avf(records))
+
+
+def test_hvf_at_least_avf():
+    records = (
+        [_rec(Outcome.MASKED, HVFClass.CORRUPTION)] * 2   # sw-masked corruptions
+        + [_rec(Outcome.MASKED)] * 4
+        + [_rec(Outcome.SDC)] * 4
+    )
+    assert hvf(records) >= avf(records)
+    assert hvf(records) == pytest.approx(0.6)
+
+
+def test_metrics_reject_empty():
+    for fn in (avf, sdc_avf, crash_avf, hvf):
+        with pytest.raises(ValueError):
+            fn([])
+
+
+def test_weighted_avf_formula():
+    # the paper's wAVF: long benchmarks dominate
+    assert weighted_avf([0.1, 0.5], [9.0, 1.0]) == pytest.approx(0.14)
+    assert weighted_avf([0.2], [5.0]) == pytest.approx(0.2)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1), min_size=1, max_size=10),
+       st.lists(st.floats(min_value=0.1, max_value=100), min_size=10, max_size=10))
+def test_weighted_avf_bounded(avfs, times):
+    times = times[: len(avfs)]
+    result = weighted_avf(avfs, times)
+    assert min(avfs) - 1e-9 <= result <= max(avfs) + 1e-9
+
+
+def test_weighted_avf_validation():
+    with pytest.raises(ValueError):
+        weighted_avf([], [])
+    with pytest.raises(ValueError):
+        weighted_avf([0.1], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        weighted_avf([0.1], [0.0])
+
+
+def test_opf_definition():
+    # OPS = ops / (cycles / f); OPF = OPS / AVF
+    value = opf(avf_value=0.5, cycles_per_run=1000, clock_hz=1e9,
+                operations_per_run=10)
+    assert value == pytest.approx((10 / (1000 / 1e9)) / 0.5)
+
+
+def test_opf_faster_platform_wins_despite_higher_avf():
+    """The paper's Observation 7 in miniature: 10x speed beats 3x AVF."""
+    cpu = opf(0.1, cycles_per_run=100_000, operations_per_run=100)
+    dsa = opf(0.3, cycles_per_run=10_000, operations_per_run=100)
+    assert dsa > cpu
+
+
+def test_opf_edges():
+    assert opf(0.0, 100) == float("inf")
+    with pytest.raises(ValueError):
+        opf(0.5, 0)
+
+
+def test_error_margin_wrapper():
+    records = [_rec(Outcome.MASKED)] * 100
+    assert 0 < error_margin(records, population=10**6) < 0.2

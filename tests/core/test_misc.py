@@ -1,0 +1,207 @@
+"""Tests for presets, checkpointing, outcome classification, capabilities,
+reports, and the Listing-1 validation machinery."""
+
+import pytest
+
+from repro.core.capabilities import PRIOR_WORK, THIS_WORK, render_table1
+from repro.core.checkpoint import (
+    CheckpointError,
+    quiesce,
+    restore_checkpoint,
+    take_checkpoint,
+)
+from repro.core.outcome import Classification, HVFClass, Outcome, classify
+from repro.core.presets import get_preset, paper_config, sim_config
+from repro.core.report import (
+    render_bars,
+    render_table,
+    save_report,
+    summaries_to_csv,
+    summaries_to_json,
+)
+from repro.cpu.core import OoOCore, RunResult
+from repro.isa.base import get_isa
+from repro.kernel.compiler import compile_program
+from repro.workloads import build_workload
+
+
+# ------------------------------------------------------------ presets
+
+
+def test_paper_preset_matches_table2():
+    cfg = paper_config()
+    assert cfg.width == 8
+    assert cfg.l1i.size == 32 * 1024 and cfg.l1i.num_sets == 128 and cfg.l1i.assoc == 4
+    assert cfg.l1d.size == 32 * 1024
+    assert cfg.l2.size == 1024 * 1024 and cfg.l2.num_sets == 2048 and cfg.l2.assoc == 8
+    assert cfg.int_phys_regs == 128 and cfg.fp_phys_regs == 128
+    assert (cfg.lq_entries, cfg.sq_entries, cfg.iq_entries, cfg.rob_entries) == (
+        32, 32, 64, 128,
+    )
+
+
+def test_sim_preset_keeps_pipeline_geometry():
+    sim, paper = sim_config(), paper_config()
+    assert sim.rob_entries == paper.rob_entries
+    assert sim.int_phys_regs == paper.int_phys_regs
+    assert sim.l1i.size < paper.l1i.size
+    assert sim.l1i.line_size == paper.l1i.line_size
+
+
+def test_get_preset():
+    assert get_preset("paper").name == "paper"
+    assert get_preset("sim").name == "sim"
+    with pytest.raises(KeyError):
+        get_preset("nope")
+
+
+def test_config_with_override():
+    cfg = sim_config().with_(int_phys_regs=96)
+    assert cfg.int_phys_regs == 96
+    assert cfg.rob_entries == sim_config().rob_entries
+
+
+# ------------------------------------------------------------ outcome
+
+
+def _result(**kw):
+    defaults = dict(output=b"ok", cycles=10, instructions=5, halted=True)
+    defaults.update(kw)
+    return RunResult(**defaults)
+
+
+def test_classify_masked_silent():
+    c = classify(_result(), b"ok", early_masked=False, masked_reason=None)
+    assert c.outcome is Outcome.MASKED and c.hvf is HVFClass.BENIGN
+    assert c.masked_reason == "masked_silent"
+
+
+def test_classify_early_masked():
+    c = classify(_result(), b"ok", early_masked=True, masked_reason="masked_unused")
+    assert c.outcome is Outcome.MASKED and c.masked_reason == "masked_unused"
+
+
+def test_classify_sdc():
+    c = classify(_result(output=b"bad"), b"ok", False, None)
+    assert c.outcome is Outcome.SDC and c.hvf is HVFClass.CORRUPTION
+
+
+def test_classify_crash_beats_output():
+    c = classify(_result(crashed="mem_fault", halted=False), b"ok", False, None)
+    assert c.outcome is Outcome.CRASH
+    assert c.crash_reason == "mem_fault"
+    assert c.hvf is HVFClass.CORRUPTION
+
+
+def test_classify_sw_masked_hw_corruption():
+    """Fault visible at commit yet output intact: HVF corruption, AVF masked."""
+    c = classify(_result(hvf_corrupt=True), b"ok", False, None)
+    assert c.outcome is Outcome.MASKED and c.hvf is HVFClass.CORRUPTION
+
+
+# ------------------------------------------------------------ checkpoint
+
+
+def test_checkpoint_resume_equivalence(cfg):
+    isa = get_isa("rv")
+    exe = compile_program(build_workload("crc32", "tiny"), isa)
+    reference = OoOCore.from_executable(exe, isa, cfg).run()
+
+    core = OoOCore.from_executable(exe, isa, cfg)
+    for _ in range(300):
+        core.step()
+    quiesce(core)
+    ckpt = take_checkpoint(core)
+
+    resumed = OoOCore.from_executable(exe, isa, cfg)
+    restore_checkpoint(resumed, ckpt)
+    res = resumed.run()
+    assert res.ok
+    assert res.output == reference.output
+
+
+def test_checkpoint_requires_drained_pipeline(cfg):
+    isa = get_isa("rv")
+    exe = compile_program(build_workload("crc32", "tiny"), isa)
+    core = OoOCore.from_executable(exe, isa, cfg)
+    for _ in range(300):
+        core.step()
+    if core.rob:
+        with pytest.raises(CheckpointError):
+            take_checkpoint(core)
+
+
+def test_checkpoint_preserves_cache_contents(cfg):
+    isa = get_isa("rv")
+    exe = compile_program(build_workload("crc32", "tiny"), isa)
+    core = OoOCore.from_executable(exe, isa, cfg)
+    for _ in range(500):
+        core.step()
+    quiesce(core)
+    ckpt = take_checkpoint(core)
+    valid_lines = list(core.l1d.valid)
+    core.run()
+    restore_checkpoint(core, ckpt)
+    assert list(core.l1d.valid) == valid_lines
+
+
+# ------------------------------------------------------------ capabilities
+
+
+def test_this_work_covers_every_capability():
+    from dataclasses import fields
+
+    for f in fields(THIS_WORK):
+        if f.type == "bool" or isinstance(getattr(THIS_WORK, f.name), bool):
+            assert getattr(THIS_WORK, f.name) is True, f.name
+
+
+def test_no_prior_work_matches_this_work():
+    from dataclasses import fields
+
+    for prior in PRIOR_WORK:
+        missing = [
+            f.name
+            for f in fields(prior)
+            if isinstance(getattr(prior, f.name), bool)
+            and getattr(THIS_WORK, f.name)
+            and not getattr(prior, f.name)
+        ]
+        assert missing, f"{prior.name} should lack something THIS_WORK has"
+
+
+def test_render_table1():
+    text = render_table1()
+    assert "gem5-MARVEL" in text
+    assert "GeFIN" in text
+    assert len(text.splitlines()) == len(PRIOR_WORK) + 3
+
+
+# ------------------------------------------------------------ report
+
+
+def test_render_table_alignment():
+    text = render_table(["a", "long_header"], [[1, 0.5], ["xx", 0.25]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "long_header" in lines[0]
+    assert "0.500" in text and "0.250" in text
+
+
+def test_render_bars():
+    text = render_bars(["a", "bb"], [0.5, 1.0])
+    assert "bb" in text and "#" in text
+    assert render_bars([], []) == "(no data)"
+
+
+def test_csv_json_roundtrip(tmp_path):
+    rows = [{"isa": "rv", "avf": 0.25}, {"isa": "arm", "avf": 0.5}]
+    csv_text = summaries_to_csv(rows)
+    assert csv_text.splitlines()[0] == "isa,avf"
+    import json
+
+    assert json.loads(summaries_to_json(rows))[1]["isa"] == "arm"
+    path = tmp_path / "out.csv"
+    save_report(str(path), rows)
+    assert path.read_text() == csv_text
+    assert summaries_to_csv([]) == ""

@@ -1,0 +1,87 @@
+"""Tests for the atomic (functional) CPU model."""
+
+import pytest
+
+from repro.cpu.atomic import AtomicCPU, AtomicFault, run_executable
+from repro.isa.base import get_isa
+from repro.kernel.compiler import compile_program
+from repro.kernel.ir import Cond, ProgramBuilder
+
+
+def _program():
+    b = ProgramBuilder("p")
+    buf = b.data_zeros("buf", 32)
+    b.label("entry")
+    base = b.la(buf)
+    b.store(b.const(0x55), base, 0, width=1)
+    v = b.load(base, 0, width=1, signed=False)
+    b.out(v, width=1)
+    b.halt()
+    return b.build()
+
+
+def test_single_stepping():
+    isa = get_isa("rv")
+    cpu = AtomicCPU.from_executable(compile_program(_program(), isa), isa)
+    steps = 0
+    while not cpu.halted:
+        cpu.step()
+        steps += 1
+    assert cpu.output == b"\x55"
+    assert steps == cpu.instructions
+
+
+def test_zero_register_semantics():
+    isa = get_isa("rv")
+    cpu = AtomicCPU.from_executable(compile_program(_program(), isa), isa)
+    cpu.write_reg(0, False, 12345)   # x0 write discarded
+    assert cpu.read_reg(0, False) == 0
+    arm = get_isa("arm")
+    cpu2 = AtomicCPU.from_executable(compile_program(_program(), arm), arm)
+    cpu2.write_reg(31, False, 7)     # XZR
+    assert cpu2.read_reg(31, False) == 0
+
+
+def test_illegal_instruction_fault():
+    isa = get_isa("rv")
+    exe = compile_program(_program(), isa)
+    cpu = AtomicCPU.from_executable(exe, isa)
+    cpu.memory[exe.entry : exe.entry + 4] = bytes(4)   # all-zeros word
+    with pytest.raises(AtomicFault) as err:
+        cpu.run()
+    assert err.value.reason == "illegal instruction"
+
+
+def test_out_of_range_memory_fault():
+    b = ProgramBuilder("oob")
+    b.label("entry")
+    addr = b.const(0x0FFF_FFF0)
+    b.load(addr, 0, width=8)
+    b.halt()
+    isa = get_isa("rv")
+    cpu = AtomicCPU.from_executable(compile_program(b.build(), isa), isa)
+    with pytest.raises(AtomicFault):
+        cpu.run()
+
+
+def test_instruction_budget():
+    b = ProgramBuilder("spin")
+    b.label("entry")
+    b.label("loop")
+    b.jump("loop")
+    isa = get_isa("rv")
+    exe = compile_program(b.build(), isa)
+    with pytest.raises(AtomicFault):
+        run_executable(exe, isa, max_instructions=50)
+
+
+def test_atomic_vs_ooo_same_instruction_count(cfg):
+    """Both models must commit exactly the same architectural stream."""
+    from repro.cpu.core import OoOCore
+    from repro.workloads import build_workload
+
+    isa = get_isa("rv")
+    exe = compile_program(build_workload("crc32", "tiny"), isa)
+    atomic = run_executable(exe, isa)
+    ooo = OoOCore.from_executable(exe, isa, cfg).run()
+    assert atomic.instructions == ooo.instructions

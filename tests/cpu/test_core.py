@@ -1,0 +1,218 @@
+"""Tests for the out-of-order core: correctness, speculation, traps, traces."""
+
+import pytest
+
+from repro.cpu.core import OoOCore
+from repro.isa.base import get_isa
+from repro.kernel.compiler import compile_program
+from repro.kernel.interp import run_program
+from repro.kernel.ir import Cond, ProgramBuilder
+from repro.workloads import build_workload
+
+CORE_WORKLOADS = ["qsort", "sha", "fft", "patricia", "bitcount"]
+
+
+@pytest.mark.parametrize("workload", CORE_WORKLOADS)
+def test_ooo_matches_interpreter(isa_name, workload, cfg):
+    program = build_workload(workload, "tiny")
+    ref = run_program(program)
+    isa = get_isa(isa_name)
+    exe = compile_program(program, isa)
+    res = OoOCore.from_executable(exe, isa, cfg).run()
+    assert res.ok, res.crashed
+    assert res.output == ref.output
+    assert 0.2 < res.instructions / res.cycles < 8.0
+
+
+def test_markers_recorded(cfg):
+    isa = get_isa("rv")
+    exe = compile_program(build_workload("crc32", "tiny"), isa)
+    res = OoOCore.from_executable(exe, isa, cfg).run()
+    assert res.checkpoint_cycle is not None
+    assert res.switch_cycle is not None
+    assert res.checkpoint_cycle < res.switch_cycle
+
+
+def _tiny_program():
+    b = ProgramBuilder("tiny")
+    b.label("entry")
+    acc = b.var(0)
+    i = b.var(0)
+    n = b.const(20)
+    b.label("loop")
+    b.add(acc, i, dest=acc)
+    b.inc(i)
+    b.br(Cond.LTU, i, n, "loop", "done")
+    b.label("done")
+    b.out(acc, width=4)
+    b.halt()
+    return b.build()
+
+
+def test_illegal_instruction_crashes(cfg):
+    isa = get_isa("rv")
+    exe = compile_program(_tiny_program(), isa)
+    core = OoOCore.from_executable(exe, isa, cfg)
+    # clobber an instruction in the loop with an undecodable word
+    loop_pc = exe.labels["loop"]
+    core.memory.write(loop_pc, 0x0000_0000, 4)
+    res = core.run()
+    assert res.crashed == "illegal_instruction"
+
+
+def test_wild_store_crashes(cfg):
+    b = ProgramBuilder("wild")
+    b.label("entry")
+    addr = b.const(0x4000_0000)
+    b.store(b.const(1), addr, 0, width=8)
+    b.halt()
+    isa = get_isa("rv")
+    exe = compile_program(b.build(), isa)
+    res = OoOCore.from_executable(exe, isa, cfg).run()
+    assert res.crashed == "mem_fault"
+
+
+def test_wild_load_crashes(cfg):
+    b = ProgramBuilder("wildload")
+    b.label("entry")
+    addr = b.const(0x7000_0000)
+    v = b.load(addr, 0, width=8)
+    b.out(v, width=8)
+    b.halt()
+    isa = get_isa("rv")
+    exe = compile_program(b.build(), isa)
+    res = OoOCore.from_executable(exe, isa, cfg).run()
+    assert res.crashed == "mem_fault"
+
+
+def test_timeout_reported(cfg):
+    b = ProgramBuilder("spin")
+    b.label("entry")
+    b.label("loop")
+    b.nop()
+    b.jump("loop")
+    isa = get_isa("rv")
+    exe = compile_program(b.build(), isa)
+    res = OoOCore.from_executable(exe, isa, cfg).run(max_cycles=2000)
+    assert res.crashed == "timeout"
+    assert not res.halted
+
+
+def test_speculative_wrong_path_is_squashed(cfg):
+    """A branchy loop must still commit the architecturally correct stream."""
+    b = ProgramBuilder("brmix")
+    b.label("entry")
+    i = b.var(0)
+    acc = b.var(0)
+    n = b.const(64)
+    b.label("loop")
+    parity = b.and_(i, b.const(1))
+    b.br(Cond.EQ, parity, b.const(0), "even", "odd")
+    b.label("even")
+    b.addi(acc, 3, dest=acc)
+    b.jump("next")
+    b.label("odd")
+    b.addi(acc, 5, dest=acc)
+    b.label("next")
+    b.inc(i)
+    b.br(Cond.LTU, i, n, "loop", "done")
+    b.label("done")
+    b.out(acc, width=4)
+    b.halt()
+    program = b.build()
+    ref = run_program(program)
+    isa = get_isa("rv")
+    exe = compile_program(program, isa)
+    core = OoOCore.from_executable(exe, isa, cfg)
+    res = core.run()
+    assert res.output == ref.output
+    assert core.predictor.mispredicts > 0   # alternation defeats bimodal
+
+
+def test_store_load_forwarding_correctness(cfg):
+    """Store immediately followed by a dependent load of the same address."""
+    b = ProgramBuilder("fwd")
+    buf = b.data_zeros("buf", 64)
+    b.label("entry")
+    base = b.la(buf)
+    total = b.var(0)
+    i = b.var(0)
+    n = b.const(32)
+    b.label("loop")
+    b.store(b.addi(i, 100), base, 0, width=8)
+    v = b.load(base, 0, width=8)
+    b.add(total, v, dest=total)
+    b.inc(i)
+    b.br(Cond.LTU, i, n, "loop", "done")
+    b.label("done")
+    b.out(total, width=8)
+    b.halt()
+    program = b.build()
+    ref = run_program(program)
+    isa = get_isa("rv")
+    res = OoOCore.from_executable(compile_program(program, isa), isa, cfg).run()
+    assert res.output == ref.output
+
+
+def test_commit_trace_record_and_compare(cfg):
+    isa = get_isa("rv")
+    exe = compile_program(_tiny_program(), isa)
+    core = OoOCore.from_executable(exe, isa, cfg)
+    core.trace_mode = "record"
+    golden = core.run()
+    assert golden.commit_trace
+    assert len(golden.commit_trace) == golden.instructions
+
+    replay = OoOCore.from_executable(exe, isa, cfg)
+    replay.trace_mode = "compare"
+    replay.golden_trace = golden.commit_trace
+    res = replay.run()
+    assert not res.hvf_corrupt
+
+    # a corrupted data value must trip the commit-stage comparison
+    faulty = OoOCore.from_executable(exe, isa, cfg)
+    faulty.trace_mode = "compare"
+    faulty.golden_trace = golden.commit_trace
+    while faulty.instructions < 20:           # let live state build up
+        faulty.step()
+    for phys in range(faulty.prf_int.size):   # corrupt everything in flight
+        faulty.prf_int.values[phys] ^= 0xFF0
+    res2 = faulty.run()
+    assert res2.hvf_corrupt or res2.output != golden.output or res2.crashed
+
+
+def test_determinism(cfg):
+    isa = get_isa("rv")
+    exe = compile_program(build_workload("dijkstra", "tiny"), isa)
+    a = OoOCore.from_executable(exe, isa, cfg).run()
+    b = OoOCore.from_executable(exe, isa, cfg).run()
+    assert a.output == b.output
+    assert a.cycles == b.cycles
+    assert a.stats == b.stats
+
+
+def test_wfi_wakes_on_interrupt(cfg):
+    b = ProgramBuilder("wfi")
+    b.label("entry")
+    b.wfi()
+    b.out(b.const(0x77), width=1)
+    b.halt()
+    isa = get_isa("rv")
+    exe = compile_program(b.build(), isa)
+    core = OoOCore.from_executable(exe, isa, cfg)
+    for _ in range(200):
+        core.step()
+    assert core.wfi_sleep
+    core.wake_interrupt()
+    res = core.run(max_cycles=5000)
+    assert res.ok and res.output == b"\x77"
+
+
+def test_small_config_still_correct(small_cfg):
+    """Resource pressure (tiny ROB/IQ/PRF) must not change architecture."""
+    program = build_workload("sha", "tiny")
+    ref = run_program(program)
+    isa = get_isa("rv")
+    exe = compile_program(program, isa)
+    res = OoOCore.from_executable(exe, isa, small_cfg).run()
+    assert res.ok and res.output == ref.output

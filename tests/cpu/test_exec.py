@@ -1,0 +1,107 @@
+"""Unit tests for micro-op execution semantics (compute())."""
+
+import pytest
+
+from repro.cpu.exec import ExecError, apply_rm_shift, compute, load_value
+from repro.isa.base import AluFn, MicroOp, UopKind, flags_satisfy, pack_flags
+from repro.kernel.ir import BinOp, Cond, to_unsigned
+
+
+def uop(**kw):
+    return MicroOp(**kw)
+
+
+def test_alu_reg_reg_and_imm_forms():
+    add_rr = uop(kind=UopKind.ALU, fn=BinOp.ADD, srcs=(1, 2))
+    assert compute(add_rr, [5, 7]).value == 12
+    add_ri = uop(kind=UopKind.ALU, fn=BinOp.ADD, srcs=(1,), imm=-3)
+    assert compute(add_ri, [5]).value == 2
+
+
+def test_rm_shift_applied_to_second_operand():
+    shifted = uop(kind=UopKind.ALU, fn=BinOp.ADD, srcs=(1, 2),
+                  rm_shift=("lsl", 4))
+    assert compute(shifted, [1, 2]).value == 1 + (2 << 4)
+    asr = uop(kind=UopKind.ALU, fn=BinOp.ADD, srcs=(1, 2), rm_shift=("asr", 1))
+    assert compute(asr, [0, to_unsigned(-8)]).value == to_unsigned(-4)
+    assert apply_rm_shift(uop(kind=UopKind.ALU, fn=BinOp.ADD), 42) == 42
+
+
+def test_movk_inserts_halfword():
+    mk = uop(kind=UopKind.ALU, fn=AluFn.MOVK, srcs=(0,),
+             imm=0xBEEF | (16 << 16))
+    assert compute(mk, [0x11112222_33334444]).value == 0x11112222_BEEF4444
+
+
+def test_cmp_and_flag_consumers():
+    cmp = uop(kind=UopKind.ALU, fn=AluFn.CMP, srcs=(0, 1))
+    flags = compute(cmp, [3, 9]).value
+    assert flags == pack_flags(3, 9)
+    assert flags_satisfy(Cond.LT, flags) and flags_satisfy(Cond.NE, flags)
+    csel = uop(kind=UopKind.ALU, fn=AluFn.CSEL, srcs=(0, 1, 2), cond=Cond.LT)
+    assert compute(csel, [111, 222, flags]).value == 111
+    cset = uop(kind=UopKind.ALU, fn=AluFn.CSET, srcs=(0,), cond=Cond.GE)
+    assert compute(cset, [flags]).value == 0
+
+
+def test_madd_msub():
+    madd = uop(kind=UopKind.MUL, fn=AluFn.MADD, srcs=(0, 1, 2))
+    assert compute(madd, [3, 4, 100]).value == 112
+    msub = uop(kind=UopKind.MUL, fn=AluFn.MSUB, srcs=(0, 1, 2))
+    assert compute(msub, [3, 4, 100]).value == 88
+
+
+def test_fcmp_flags():
+    from repro.kernel.ir import float_to_bits
+
+    fcmp = uop(kind=UopKind.FPU, fn=AluFn.FCMP, srcs=(0, 1))
+    flags = compute(fcmp, [float_to_bits(1.5), float_to_bits(2.5)]).value
+    assert flags_satisfy(Cond.LT, flags) and flags_satisfy(Cond.LTU, flags)
+    eq = compute(fcmp, [float_to_bits(2.0), float_to_bits(2.0)]).value
+    assert flags_satisfy(Cond.EQ, eq)
+
+
+def test_load_store_address_generation():
+    ld = uop(kind=UopKind.LOAD, srcs=(0,), imm=-16, width=4)
+    assert compute(ld, [0x1010]).addr == 0x1000
+    st = uop(kind=UopKind.STORE, srcs=(0, 1), imm=8, width=8)
+    res = compute(st, [0x2000, 0xDEAD])
+    assert res.addr == 0x2008 and res.store_data == 0xDEAD
+
+
+def test_pair_store_packs_128_bits():
+    stp = uop(kind=UopKind.STORE, fn="pair", srcs=(0, 1, 2), imm=0, width=8)
+    res = compute(stp, [0x100, 0xAAAA, 0xBBBB])
+    assert res.store_data == (0xBBBB << 64) | 0xAAAA
+
+
+def test_branch_variants():
+    beq = uop(kind=UopKind.BRANCH, cond=Cond.EQ, srcs=(0, 1), target=0x40)
+    assert compute(beq, [5, 5]).taken is True
+    cbz = uop(kind=UopKind.BRANCH, fn="cbz", srcs=(0,), target=0x40)
+    assert compute(cbz, [0]).taken is True
+    assert compute(cbz, [1]).taken is False
+    flags = pack_flags(1, 2)
+    bflag = uop(kind=UopKind.BRANCH, cond=Cond.GE, srcs=(9,),
+                uses_flags=True, target=0x40)
+    assert compute(bflag, [flags]).taken is False
+
+
+def test_jump_direct_and_indirect():
+    j = uop(kind=UopKind.JUMP, target=0x1234, pc=0x1000, size=4, dst=1)
+    res = compute(j, [])
+    assert res.target == 0x1234 and res.value == 0x1004
+    jr = uop(kind=UopKind.JUMP, fn="indirect", srcs=(0,), imm=4, pc=0, size=4)
+    assert compute(jr, [0x2001]).target == 0x2004  # low bit cleared
+
+
+def test_load_value_extension():
+    assert load_value(0xFF, 1, signed=True) == to_unsigned(-1)
+    assert load_value(0xFF, 1, signed=False) == 0xFF
+    assert load_value(0x8000, 2, signed=True) == to_unsigned(-32768)
+
+
+def test_unknown_fn_raises():
+    bad = uop(kind=UopKind.ALU, fn="nonsense", srcs=(0,))
+    with pytest.raises(ExecError):
+        compute(bad, [0])

@@ -1,0 +1,201 @@
+"""Unit tests for main memory, register files, LSQ, and branch predictor."""
+
+import pytest
+
+from repro.cpu.branch import BimodalPredictor
+from repro.cpu.lsq import LSQueue
+from repro.cpu.memory import MainMemory, MemoryFault, MMIORegion
+from repro.cpu.regfile import PhysRegFile
+
+# ------------------------------------------------------------ main memory
+
+
+def test_memory_rw_and_bounds():
+    mem = MainMemory(1024)
+    mem.write(100, 0xDEADBEEF, 4)
+    assert mem.read(100, 4) == 0xDEADBEEF
+    with pytest.raises(MemoryFault):
+        mem.read(1022, 4)
+    with pytest.raises(MemoryFault):
+        mem.write(-1, 0, 1)
+
+
+def test_memory_mmio_dispatch():
+    mem = MainMemory(1024)
+    store = {}
+    mem.add_mmio(MMIORegion(0x200, 0x240,
+                            read=lambda a, w: store.get(a, 0),
+                            write=lambda a, v, w: store.__setitem__(a, v)))
+    mem.write(0x210, 77, 8)
+    assert store[0x210] == 77
+    assert mem.read(0x210, 8) == 77
+    assert mem.is_mmio(0x200) and not mem.is_mmio(0x240)
+
+
+def test_memory_snapshot_restore():
+    mem = MainMemory(256)
+    mem.write(10, 0x42, 1)
+    snap = mem.snapshot()
+    mem.write(10, 0x99, 1)
+    mem.restore(snap)
+    assert mem.read(10, 1) == 0x42
+
+
+# ------------------------------------------------------------ regfile
+
+
+def test_regfile_alloc_release_cycle():
+    rf = PhysRegFile("t", 8)
+    rf.free = [4, 5, 6, 7]
+    regs = [rf.allocate() for _ in range(4)]
+    assert sorted(regs) == [4, 5, 6, 7]
+    assert rf.allocate() is None
+    rf.release(5)
+    assert rf.allocate() == 5
+
+
+def test_regfile_allocate_clears_ready():
+    rf = PhysRegFile("t", 4)
+    rf.free = [2]
+    reg = rf.allocate()
+    assert rf.ready[reg] is False
+    rf.write(reg, 123)
+    assert rf.ready[reg] is True
+    assert rf.read(reg) == 123
+
+
+def test_regfile_flip_and_force():
+    rf = PhysRegFile("t", 4)
+    rf.write(1, 0b1000)
+    rf.flip_bit(1, 3)
+    assert rf.read(1) == 0
+    assert rf.force_bit(1, 0, 1) is True
+    assert rf.read(1) == 1
+    assert rf.force_bit(1, 0, 1) is False
+
+
+def test_regfile_probe_order_write_then_notify():
+    observed = []
+
+    class Probe:
+        def on_reg_read(self, rf, reg):
+            observed.append(("r", rf.values[reg]))
+
+        def on_reg_write(self, rf, reg):
+            observed.append(("w", rf.values[reg]))
+
+    rf = PhysRegFile("t", 4)
+    rf.probe = Probe()
+    rf.write(0, 55)
+    # write notification fires AFTER mutation (stuck-at enforcement relies on it)
+    assert observed == [("w", 55)]
+    rf.read(0)
+    assert observed[-1] == ("r", 55)
+
+
+# ------------------------------------------------------------ LSQ
+
+
+def test_lsq_allocate_and_free():
+    q = LSQueue("sq", 2)
+    a = q.allocate(1)
+    b = q.allocate(2)
+    assert {a, b} == {0, 1}
+    assert q.allocate(3) is None
+    q.free(a)
+    assert q.allocate(3) == a
+    assert q.occupancy() == 2
+
+
+def test_lsq_fields_and_flip():
+    q = LSQueue("sq", 2)
+    idx = q.allocate(1)
+    q.set_addr(idx, 0x1000, 8)
+    q.set_data(idx, 0xFF)
+    q.flip_bit(idx, 4)            # addr bit 4
+    assert q.entries[idx].addr == 0x1010
+    q.flip_bit(idx, 64)           # data bit 0
+    assert q.entries[idx].data == 0xFE
+
+
+def test_lsq_force_bit():
+    q = LSQueue("lq", 1)
+    idx = q.allocate(1)
+    q.set_addr(idx, 0, 8)
+    assert q.force_bit(idx, 3, 1) is True
+    assert q.entries[idx].addr == 8
+    assert q.force_bit(idx, 3, 1) is False
+
+
+def test_lsq_pair_data_holds_128_bits():
+    q = LSQueue("sq", 1)
+    idx = q.allocate(1)
+    wide = (0xAAAA << 64) | 0xBBBB
+    q.set_data(idx, wide)
+    assert q.entries[idx].data == wide
+
+
+def test_lsq_squash_respects_committed():
+    q = LSQueue("sq", 4)
+    a = q.allocate(1)
+    b = q.allocate(5)
+    q.entries[a].committed = True
+    q.free_by_seq(0)
+    assert q.entries[a].valid          # committed survives squash
+    assert not q.entries[b].valid
+
+
+def test_lsq_probe_fields():
+    events = []
+
+    class Probe:
+        def on_entry_read(self, q, i):
+            events.append(("r", i))
+
+        def on_entry_write(self, q, i, field):
+            events.append(("w", i, field))
+
+        def on_entry_free(self, q, i):
+            events.append(("f", i))
+
+    q = LSQueue("lq", 2)
+    q.probe = Probe()
+    idx = q.allocate(1)
+    q.set_addr(idx, 8, 8)
+    q.set_data(idx, 9)
+    q.read_entry(idx)
+    q.free(idx)
+    assert events == [
+        ("w", idx, "alloc"), ("w", idx, "addr"), ("w", idx, "data"),
+        ("r", idx), ("f", idx),
+    ]
+
+
+# ------------------------------------------------------------ predictor
+
+
+def test_predictor_learns_taken_loop():
+    p = BimodalPredictor(64)
+    pc = 0x1000
+    for _ in range(4):
+        p.update(pc, taken=True, mispredicted=False)
+    assert p.predict(pc) is True
+    for _ in range(4):
+        p.update(pc, taken=False, mispredicted=True)
+    assert p.predict(pc) is False
+    assert p.mispredicts == 4
+
+
+def test_predictor_counter_saturation():
+    p = BimodalPredictor(64)
+    pc = 0x4
+    for _ in range(100):
+        p.update(pc, True, False)
+    assert p.table[p._index(pc)] == 3
+    p.update(pc, False, False)
+    assert p.predict(pc) is True   # hysteresis: one not-taken doesn't flip
+
+
+def test_predictor_requires_power_of_two():
+    with pytest.raises(ValueError):
+        BimodalPredictor(100)

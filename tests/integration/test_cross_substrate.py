@@ -1,0 +1,78 @@
+"""The grand equivalence suite: one semantic truth across four substrates.
+
+The reference interpreter, the atomic CPUs (x3 ISAs), the cycle-level OoO
+cores (x3 ISAs), and the accelerator dataflow engine must all agree
+bit-for-bit on program results.  This pins down the whole stack: IR
+semantics, compiler backends, encodings, decoders, pipeline, and the
+dataflow scheduler.
+"""
+
+import pytest
+
+from repro.accel_designs import DESIGNS, get_design
+from repro.accel_designs.cpu_ports import CPU_PORTS
+from repro.accel_designs.registry import reference_output
+from repro.cpu.atomic import run_executable
+from repro.cpu.core import OoOCore
+from repro.isa.base import get_isa
+from repro.kernel.compiler import compile_program
+from repro.kernel.interp import run_program
+from repro.workloads import build_workload
+
+SPOT_WORKLOADS = ["basicmath", "rijndael", "adpcme", "fft", "corners"]
+
+
+@pytest.mark.parametrize("workload", SPOT_WORKLOADS)
+def test_interp_atomic_ooo_agree(workload, isa_name, cfg):
+    program = build_workload(workload, "tiny")
+    ref = run_program(program)
+    isa = get_isa(isa_name)
+    exe = compile_program(program, isa)
+    atomic = run_executable(exe, isa, max_instructions=3_000_000)
+    ooo = OoOCore.from_executable(exe, isa, cfg).run()
+    assert atomic.output == ref.output
+    assert ooo.output == ref.output
+    assert ooo.ok
+
+
+@pytest.mark.parametrize("name", list(CPU_PORTS))
+def test_cpu_ports_match_accelerator_results(name, cfg):
+    """The same algorithm on CPU and DSA yields identical result bytes."""
+    builder, design_name = CPU_PORTS[name]
+    ref = reference_output(design_name, "tiny")
+
+    # functional CPU path
+    program = build_workload(name, "tiny")
+    assert run_program(program).output == ref
+
+    # cycle-level CPU path
+    isa = get_isa("rv")
+    exe = compile_program(program, isa)
+    ooo = OoOCore.from_executable(exe, isa, cfg).run()
+    assert ooo.ok and ooo.output == ref
+
+    # accelerator path
+    accel = get_design(design_name).instantiate()
+    result, output = accel.run_standalone("tiny")
+    assert result.ok and output == ref
+
+
+def test_accelerator_is_faster_per_task(cfg):
+    """The OPF premise (Observation 7): the DSA finishes the same kernel in
+    far fewer cycles than the OoO CPU."""
+    isa = get_isa("rv")
+    for name, (builder, design_name) in CPU_PORTS.items():
+        exe = compile_program(build_workload(name, "tiny"), isa)
+        cpu = OoOCore.from_executable(exe, isa, cfg).run()
+        accel = get_design(design_name).instantiate()
+        result, _ = accel.run_standalone("tiny")
+        assert result.cycles < cpu.cycles, name
+
+
+def test_all_designs_two_scales_agree_with_reference():
+    for name in DESIGNS:
+        for scale in ("tiny", "default"):
+            accel = get_design(name).instantiate()
+            result, output = accel.run_standalone(scale)
+            assert result.ok
+            assert output == reference_output(name, scale), (name, scale)

@@ -1,0 +1,93 @@
+"""Directed end-to-end fault-effect tests: the paper's observations as
+executable assertions (at reduced statistical strength)."""
+
+import pytest
+
+from repro.core.campaign import CampaignSpec, golden_run, run_campaign
+from repro.core.outcome import Outcome
+from repro.core.presets import sim_config
+
+
+@pytest.fixture(scope="module")
+def qsort_campaigns():
+    """Shared campaign bundle over qsort/rv for the observation tests."""
+    cfg = sim_config()
+    results = {}
+    for target in ("regfile_int", "l1i", "l1d"):
+        spec = CampaignSpec(
+            isa="rv", workload="qsort", target=target, cfg=cfg,
+            scale="tiny", faults=36, seed=33,
+        )
+        results[target] = run_campaign(spec)
+    return results
+
+
+def test_avf_is_probability(qsort_campaigns):
+    for res in qsort_campaigns.values():
+        assert 0.0 <= res.avf <= 1.0
+        assert res.avf == pytest.approx(res.sdc_avf + res.crash_avf)
+
+
+def test_hvf_dominates_avf(qsort_campaigns):
+    """Figure 18's invariant: commit-visible corruption >= program-visible."""
+    for res in qsort_campaigns.values():
+        assert res.hvf >= res.avf - 1e-9
+
+
+def test_l1i_faults_produce_crashes(qsort_campaigns):
+    """Observation 5: corrupted instruction words tend to crash."""
+    l1i = qsort_campaigns["l1i"]
+    assert l1i.crash_avf > 0
+
+
+def test_l1d_faults_are_sdc_dominant(qsort_campaigns):
+    """Observation 5: data corruption propagates silently."""
+    l1d = qsort_campaigns["l1d"]
+    if l1d.avf > 0:
+        assert l1d.sdc_avf >= l1d.crash_avf
+
+
+def test_masked_runs_show_masking_reasons(qsort_campaigns):
+    reasons = {
+        r.masked_reason
+        for res in qsort_campaigns.values()
+        for r in res.records
+        if r.outcome is Outcome.MASKED
+    }
+    assert "masked_unused" in reasons or "masked_overwritten" in reasons
+
+
+def test_prf_size_sensitivity_direction():
+    """Figure 15's mechanism: fewer physical registers -> higher occupancy.
+
+    Tested structurally (occupancy at a fixed instant) rather than through
+    full AVF campaigns to stay fast and deterministic.
+    """
+    from repro.cpu.core import OoOCore
+    from repro.isa.base import get_isa
+
+    cfg = sim_config()
+    occupancy = {}
+    for size in (96, 192):
+        sized = cfg.with_(int_phys_regs=size)
+        golden = golden_run("rv", "qsort", sized, "tiny")
+        core = OoOCore.from_executable(golden.exe, get_isa("rv"), sized)
+        samples = []
+        while core.cycle < golden.cycles // 2:
+            core.step()
+            if core.cycle % 50 == 0:
+                samples.append(1 - len(core.prf_int.free) / size)
+        occupancy[size] = sum(samples) / len(samples)
+    assert occupancy[96] > occupancy[192]
+
+
+def test_cross_isa_campaigns_complete():
+    """All three ISAs run the same campaign grid without failures."""
+    cfg = sim_config()
+    for isa in ("rv", "arm", "x86"):
+        spec = CampaignSpec(
+            isa=isa, workload="crc32", target="regfile_int", cfg=cfg,
+            scale="tiny", faults=8, seed=2,
+        )
+        res = run_campaign(spec)
+        assert len(res.records) == 8

@@ -1,0 +1,125 @@
+"""Backend equivalence: every workload, every ISA, atomic CPU == interpreter.
+
+This is the architectural-correctness backbone: if a backend mis-lowers any
+IR construct, some workload's machine-code output diverges from the golden
+functional result.
+"""
+
+import pytest
+
+from repro.cpu.atomic import run_executable
+from repro.isa.base import get_isa
+from repro.kernel.compiler import compile_program
+from repro.kernel.interp import run_program
+from repro.workloads import WORKLOAD_NAMES, build_workload
+
+ISAS = ["rv", "arm", "x86"]
+
+
+@pytest.mark.parametrize("isa_name", ISAS)
+@pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+def test_workload_machine_code_matches_interpreter(isa_name, workload):
+    program = build_workload(workload, "tiny")
+    ref = run_program(program)
+    isa = get_isa(isa_name)
+    exe = compile_program(program, isa)
+    res = run_executable(exe, isa, max_instructions=3_000_000)
+    assert res.output == ref.output
+    assert res.halted
+
+
+@pytest.mark.parametrize("isa_name", ISAS)
+def test_checkpoint_markers_survive_compilation(isa_name):
+    program = build_workload("crc32", "tiny")
+    isa = get_isa(isa_name)
+    exe = compile_program(program, isa)
+    res = run_executable(exe, isa)
+    assert res.checkpoint_hits == 1
+    assert res.switch_hits == 1
+
+
+def test_x86_spills_more_than_risc_isas():
+    """16 GPRs vs 31: x86 must spill at least as much on every workload."""
+    total = {isa: 0 for isa in ISAS}
+    for workload in WORKLOAD_NAMES:
+        program = build_workload(workload, "tiny")
+        for isa_name in ISAS:
+            total[isa_name] += compile_program(program, get_isa(isa_name)).spill_slots
+    assert total["x86"] > total["rv"]
+    assert total["x86"] > total["arm"]
+
+
+def test_arm_emits_store_pairs():
+    """The stp peephole must fire somewhere in the suite (qsort pushes pairs)."""
+    program = build_workload("qsort", "tiny")
+    exe = compile_program(program, get_isa("arm"))
+    isa = get_isa("arm")
+    found_pair = False
+    pc = exe.entry
+    mem = exe.initial_memory()
+    while pc < exe.entry + len(exe.code):
+        uop = isa.decode(mem, pc, pc)[0]
+        if uop.fn == "pair":
+            found_pair = True
+            break
+        pc += uop.size
+    assert found_pair
+
+
+def test_x86_emits_folded_load_ops():
+    """The load-op peephole must fire somewhere in the suite."""
+    from repro.isa.base import UopKind
+
+    isa = get_isa("x86")
+    found = False
+    for workload in WORKLOAD_NAMES:
+        exe = compile_program(build_workload(workload, "tiny"), isa)
+        mem = exe.initial_memory()
+        pc = exe.entry
+        while pc < exe.entry + len(exe.code):
+            uops = isa.decode(mem, pc, pc)
+            if len(uops) == 2 and uops[0].kind is UopKind.LOAD:
+                found = True
+                break
+            pc += uops[0].size
+        if found:
+            break
+    assert found
+
+
+@pytest.mark.parametrize("isa_name", ISAS)
+def test_code_is_decodable_from_entry(isa_name):
+    """Walking the code section from the entry decodes only valid instructions."""
+    from repro.isa.base import UopKind
+
+    isa = get_isa(isa_name)
+    exe = compile_program(build_workload("sha", "tiny"), isa)
+    mem = exe.initial_memory()
+    pc = exe.entry
+    count = 0
+    while pc < exe.entry + len(exe.code):
+        uops = isa.decode(mem, pc, pc)
+        assert uops[0].kind is not UopKind.ILLEGAL, f"illegal at {pc:#x}"
+        pc += uops[0].size
+        count += 1
+    assert count > 20
+
+
+@pytest.mark.parametrize("isa_name", ISAS)
+def test_const_materialization_wide_values(isa_name):
+    """64-bit constant materialization round-trips through machine code."""
+    from repro.kernel.ir import ProgramBuilder
+
+    values = [0, 1, -1, 2047, -2048, 0xFFFF_FFFF, 0x8000_0000,
+              0x5555_5555_5555_5555, 0xFFFF_FFFF_FFFF_FFFF, 1 << 63,
+              0x1234_5678_9ABC_DEF0]
+    b = ProgramBuilder("consts")
+    b.label("entry")
+    for v in values:
+        b.out(b.const(v), width=8)
+    b.halt()
+    program = b.build()
+    ref = run_program(program)
+    isa = get_isa(isa_name)
+    res = run_executable(compile_program(program, isa), isa)
+    assert res.output == ref.output

@@ -1,0 +1,213 @@
+"""Encoding/decoding tests: field round trips and decoder totality.
+
+Decoder totality is load-bearing for the whole framework: instruction-cache
+fault injection feeds *arbitrary corrupted bytes* into the decoders, which
+must always return micro-ops (possibly ILLEGAL) and never raise.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import arm, riscv, x86
+from repro.isa.base import UopKind, get_isa
+from repro.kernel.ir import BinOp, Cond
+
+# ------------------------------------------------------------ rv field codecs
+
+
+@given(st.integers(min_value=-4096, max_value=4095))
+def test_rv_b_imm_roundtrip(imm):
+    imm &= ~1  # B-type immediates are even
+    word = riscv.enc_b(riscv._BRANCH, 0, 1, 2, imm)
+    from repro.kernel.ir import to_signed
+
+    assert to_signed(riscv.dec_b_imm(word)) == imm
+
+
+@given(st.integers(min_value=-(1 << 20), max_value=(1 << 20) - 1))
+def test_rv_j_imm_roundtrip(imm):
+    imm &= ~1
+    word = riscv.enc_j(riscv._JAL, 0, imm)
+    from repro.kernel.ir import to_signed
+
+    assert to_signed(riscv.dec_j_imm(word)) == imm
+
+
+@given(st.integers(min_value=-2048, max_value=2047))
+def test_rv_s_imm_roundtrip(imm):
+    word = riscv.enc_s(riscv._STORE, 3, 5, 6, imm)
+    from repro.kernel.ir import to_signed
+
+    assert to_signed(riscv.dec_s_imm(word)) == imm
+
+
+def test_rv_add_decodes():
+    word = riscv.enc_r(riscv._OP, 3, 0, 1, 2, 0)
+    uops = riscv.decode(word.to_bytes(4, "little"), 0x1000, 0)
+    assert len(uops) == 1
+    u = uops[0]
+    assert u.kind is UopKind.ALU and u.fn is BinOp.ADD
+    assert u.dst == 3 and u.srcs == (1, 2)
+
+
+def test_rv_branch_target():
+    word = riscv.enc_b(riscv._BRANCH, riscv._BR_F3[Cond.LTU], 1, 2, 64)
+    u = riscv.decode(word.to_bytes(4, "little"), 0x2000, 0)[0]
+    assert u.kind is UopKind.BRANCH and u.cond is Cond.LTU
+    assert u.target == 0x2040
+
+
+def test_rv_all_zeros_is_illegal():
+    assert riscv.decode(bytes(4), 0, 0)[0].kind is UopKind.ILLEGAL
+
+
+def test_rv_sparse_opcode_space():
+    """Most random rv words must NOT decode (sparse ISA, Observation 2)."""
+    import random
+
+    rng = random.Random(1)
+    valid = sum(
+        riscv.decode(rng.randrange(1 << 32).to_bytes(4, "little"), 0, 0)[0].kind
+        is not UopKind.ILLEGAL
+        for _ in range(2000)
+    )
+    assert valid / 2000 < 0.35
+
+
+def test_arm_dense_opcode_space():
+    """Most random arm words MUST decode (dense ISA, Observation 2)."""
+    import random
+
+    rng = random.Random(1)
+    valid = sum(
+        arm.decode(rng.randrange(1 << 32).to_bytes(4, "little"), 0, 0)[0].kind
+        is not UopKind.ILLEGAL
+        for _ in range(2000)
+    )
+    assert valid / 2000 > 0.85
+
+
+def test_arm_decode_density_exceeds_rv():
+    import random
+
+    rng = random.Random(7)
+    words = [rng.randrange(1 << 32).to_bytes(4, "little") for _ in range(1500)]
+    arm_valid = sum(arm.decode(w, 0, 0)[0].kind is not UopKind.ILLEGAL for w in words)
+    rv_valid = sum(riscv.decode(w, 0, 0)[0].kind is not UopKind.ILLEGAL for w in words)
+    assert arm_valid > 2 * rv_valid
+
+
+# ------------------------------------------------------------ arm specifics
+
+
+def test_arm_movw_movk_sequence():
+    w1 = arm.enc_movw("movw", 3, 0, 0x1234)
+    w2 = arm.enc_movw("movk", 3, 2, 0xABCD)
+    u1 = arm.decode(w1.to_bytes(4, "little"), 0, 0)[0]
+    u2 = arm.decode(w2.to_bytes(4, "little"), 0, 0)[0]
+    from repro.cpu.exec import compute
+
+    v1 = compute(u1, []).value
+    v2 = compute(u2, [v1]).value
+    assert v2 == (0xABCD << 32) | 0x1234
+
+
+def test_arm_stp_decodes_as_pair_store():
+    w = arm.enc_stp(1, 2, 3, 4)   # str x1,x2 -> [x3 + 4*8]
+    u = arm.decode(w.to_bytes(4, "little"), 0, 0)[0]
+    assert u.kind is UopKind.STORE and u.fn == "pair"
+    assert u.srcs == (3, 1, 2)
+    assert u.imm == 32
+
+
+def test_arm_shifted_operand():
+    w = arm.enc_rrr("add", 0, 1, 2, sty=1, amt=4)  # add x0, x1, x2 lsr #4
+    u = arm.decode(w.to_bytes(4, "little"), 0, 0)[0]
+    assert u.rm_shift == ("lsr", 4)
+    from repro.cpu.exec import compute
+
+    assert compute(u, [100, 0x160]).value == 100 + (0x160 >> 4)
+
+
+def test_arm_cmp_bcond_flags_flow():
+    flags_reg = get_isa("arm").flags_reg
+    cmp_word = arm.enc_rrr("cmp", 0, 1, 2)
+    u = arm.decode(cmp_word.to_bytes(4, "little"), 0, 0)[0]
+    assert u.dst == flags_reg
+    bc = arm.enc_bcond(arm._COND_IDX[Cond.LT], 4)
+    ub = arm.decode(bc.to_bytes(4, "little"), 0x100, 0)[0]
+    assert ub.uses_flags and ub.srcs == (flags_reg,)
+    assert ub.target == 0x110
+
+
+# ------------------------------------------------------------ x86 specifics
+
+
+def test_x86_variable_length():
+    isa = get_isa("x86")
+    assert isa.min_instr_bytes == 1 and isa.max_instr_bytes == 10
+    hlt = x86.decode(b"\xf4", 0, 0)[0]
+    assert hlt.size == 1 and hlt.fn.value == "halt"
+    movabs = x86.decode(b"\xb9" + b"\x30" + (123456789).to_bytes(8, "little"), 0, 0)[0]
+    assert movabs.size == 10 and movabs.imm == 123456789
+
+
+def test_x86_load_op_cracks_to_two_uops():
+    # add r2, [r5+16]
+    raw = bytes([0x03, (2 << 4) | 5]) + (16).to_bytes(4, "little", signed=True)
+    uops = x86.decode(raw, 0, 0)
+    assert len(uops) == 2
+    load, alu = uops
+    temp = get_isa("x86").temp_reg
+    assert load.kind is UopKind.LOAD and load.dst == temp and load.srcs == (5,)
+    assert alu.kind is UopKind.ALU and alu.srcs == (2, temp) and alu.dst == 2
+    assert load.first_of_instr and not alu.first_of_instr
+
+
+def test_x86_truncated_instruction_is_illegal():
+    raw = bytes([0x03, 0x25])  # load-op needs 6 bytes, only 2 present
+    u = x86.decode(raw, 0, 0)[0]
+    assert u.kind is UopKind.ILLEGAL
+    assert u.size <= 2
+
+
+def test_x86_unknown_opcode_is_one_byte_illegal():
+    u = x86.decode(b"\xff\x00\x00", 0, 0)[0]
+    assert u.kind is UopKind.ILLEGAL and u.size == 1
+
+
+# ------------------------------------------------------------ totality fuzz
+
+
+@settings(max_examples=300)
+@given(st.binary(min_size=4, max_size=4))
+def test_rv_decoder_total(data):
+    uops = riscv.decode(data, 0x1000, 0)
+    assert uops and uops[0].size >= 1
+
+
+@settings(max_examples=300)
+@given(st.binary(min_size=4, max_size=4))
+def test_arm_decoder_total(data):
+    uops = arm.decode(data, 0x1000, 0)
+    assert uops and uops[0].size >= 1
+
+
+@settings(max_examples=300)
+@given(st.binary(min_size=1, max_size=12))
+def test_x86_decoder_total(data):
+    uops = x86.decode(data, 0x1000, 0)
+    assert uops and 1 <= uops[0].size <= 10
+
+
+@settings(max_examples=120)
+@given(st.binary(min_size=4, max_size=4), st.sampled_from(["rv", "arm", "x86"]))
+def test_decoded_uops_execute_without_python_errors(data, isa_name):
+    """Any decodable uop must be executable over arbitrary operand values."""
+    from repro.cpu.exec import compute
+
+    isa = get_isa(isa_name)
+    for uop in isa.decode(data, 0x1000, 0):
+        if uop.kind in (UopKind.ILLEGAL, UopKind.SYS):
+            continue
+        compute(uop, [0x0123456789ABCDEF] * max(1, len(uop.srcs)))

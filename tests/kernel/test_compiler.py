@@ -1,0 +1,124 @@
+"""Tests for liveness analysis, linear-scan allocation, and compilation."""
+
+import pytest
+
+from repro.isa.base import get_isa
+from repro.kernel.compiler import (
+    Interval,
+    build_intervals,
+    compile_program,
+    compute_liveness,
+    linear_scan,
+)
+from repro.kernel.interp import run_program
+from repro.kernel.ir import Cond, ProgramBuilder
+
+
+def _loop_program():
+    b = ProgramBuilder("lv")
+    b.label("entry")
+    i = b.var(0)
+    acc = b.var(0)
+    n = b.const(5)
+    b.label("loop")
+    b.add(acc, i, dest=acc)
+    b.inc(i)
+    b.br(Cond.LTU, i, n, "loop", "done")
+    b.label("done")
+    b.out(acc, width=8)
+    b.halt()
+    return b.build(), i, acc, n
+
+
+def test_liveness_loop_carried_variables():
+    prog, i, acc, n = _loop_program()
+    liveness = compute_liveness(prog)
+    live_in_loop, live_out_loop = liveness["loop"]
+    # all three values must be live around the back edge
+    assert {i, acc, n} <= live_in_loop
+    assert {i, acc, n} <= live_out_loop
+    # after the loop only acc matters
+    live_in_done, _ = liveness["done"]
+    assert acc in live_in_done
+    assert i not in live_in_done
+
+
+def test_intervals_cover_loop_span():
+    prog, i, acc, n = _loop_program()
+    intervals = {iv.vreg: iv for iv in build_intervals(prog, "i")}
+    loop_end = sum(len(blk.instrs) for blk in prog.blocks[:2]) - 1
+    assert intervals[i].end >= loop_end
+    assert intervals[acc].end > intervals[n].start
+
+
+def test_linear_scan_no_pressure():
+    ivs = [Interval(None, s, s + 1) for s in range(6)]
+    linear_scan(ivs, [1, 2])
+    assert all(iv.reg in (1, 2) for iv in ivs)
+    assert not any(iv.spilled for iv in ivs)
+
+
+def test_linear_scan_spills_longest():
+    # three overlapping intervals, two registers: the one ending last spills
+    ivs = [Interval("a", 0, 10), Interval("b", 1, 100), Interval("c", 2, 5)]
+    linear_scan(ivs, [1, 2])
+    spilled = [iv for iv in ivs if iv.spilled]
+    assert len(spilled) == 1
+    assert spilled[0].vreg == "b"
+
+
+def test_spill_slots_are_unique():
+    ivs = [Interval(chr(97 + k), 0, 50) for k in range(6)]
+    linear_scan(ivs, [1, 2])
+    slots = [iv.slot for iv in ivs if iv.spilled]
+    assert len(slots) == len(set(slots)) == 4
+
+
+@pytest.mark.parametrize("isa_name", ["rv", "arm", "x86"])
+def test_compiled_loop_matches_interpreter(isa_name):
+    from repro.cpu.atomic import run_executable
+
+    prog, *_ = _loop_program()
+    ref = run_program(prog)
+    isa = get_isa(isa_name)
+    exe = compile_program(prog, isa)
+    res = run_executable(exe, isa)
+    assert res.output == ref.output
+
+
+def test_high_pressure_program_spills_on_x86():
+    """A program with ~20 simultaneously-live values must spill on x86
+    (10 allocatable registers) but not on rv (24)."""
+    def build():
+        b = ProgramBuilder("pressure")
+        b.label("entry")
+        vals = [b.const(3 * k + 1) for k in range(20)]
+        total = b.var(0)
+        # use them all *after* creating them all, forcing overlap
+        for v in vals:
+            b.add(total, v, dest=total)
+        b.out(total, width=8)
+        b.halt()
+        return b.build()
+
+    ref = run_program(build())
+    x86 = compile_program(build(), get_isa("x86"))
+    rv = compile_program(build(), get_isa("rv"))
+    assert x86.spill_slots > 0
+    assert rv.spill_slots == 0
+
+    from repro.cpu.atomic import run_executable
+
+    assert run_executable(x86, get_isa("x86")).output == ref.output
+
+
+def test_executable_image_layout():
+    prog, *_ = _loop_program()
+    exe = compile_program(prog, get_isa("rv"))
+    image = exe.initial_memory()
+    assert len(image) == prog.memmap.size
+    assert image[exe.entry : exe.entry + 4] != bytes(4)
+    # the prologue (spill-base setup) precedes the entry label
+    assert exe.labels["entry"] >= exe.entry
+    assert set(exe.labels) == {"entry", "loop", "done"}
+    assert exe.labels["loop"] > exe.entry

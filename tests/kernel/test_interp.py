@@ -1,0 +1,196 @@
+"""Unit + property tests for the reference interpreter and eval_binop."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernel.interp import (
+    INT64_MAX,
+    INT64_MIN,
+    InterpFault,
+    Interpreter,
+    eval_binop,
+    eval_cond,
+    fcvt_to_int,
+    run_program,
+)
+from repro.kernel.ir import (
+    MASK64,
+    BinOp,
+    Cond,
+    ProgramBuilder,
+    bits_to_float,
+    float_to_bits,
+    to_signed,
+    to_unsigned,
+)
+
+u64 = st.integers(min_value=0, max_value=MASK64)
+
+
+# ------------------------------------------------------------ eval_binop
+
+
+@given(u64, u64)
+def test_add_matches_python(a, b):
+    assert eval_binop(BinOp.ADD, a, b) == (a + b) & MASK64
+
+
+@given(u64, u64)
+def test_sub_add_inverse(a, b):
+    assert eval_binop(BinOp.ADD, eval_binop(BinOp.SUB, a, b), b) == a
+
+
+@given(u64, u64)
+def test_xor_self_inverse(a, b):
+    assert eval_binop(BinOp.XOR, eval_binop(BinOp.XOR, a, b), b) == a
+
+
+@given(u64)
+def test_div_by_zero_semantics(a):
+    assert eval_binop(BinOp.DIVU, a, 0) == MASK64
+    assert eval_binop(BinOp.REMU, a, 0) == a
+    assert eval_binop(BinOp.DIVS, a, 0) == MASK64
+    assert eval_binop(BinOp.REMS, a, 0) == a
+
+
+def test_signed_div_overflow():
+    v = to_unsigned(INT64_MIN)
+    assert eval_binop(BinOp.DIVS, v, to_unsigned(-1)) == v
+    assert eval_binop(BinOp.REMS, v, to_unsigned(-1)) == 0
+
+
+@given(st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1),
+       st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+def test_signed_div_truncates_toward_zero(a, b):
+    if b == 0:
+        return
+    got = to_signed(eval_binop(BinOp.DIVS, to_unsigned(a), to_unsigned(b)))
+    expected = abs(a) // abs(b) * (1 if (a < 0) == (b < 0) else -1)
+    assert got == expected
+
+
+@given(u64, st.integers(min_value=0, max_value=63))
+def test_shift_pairs(a, n):
+    left = eval_binop(BinOp.SHL, a, n)
+    assert left == (a << n) & MASK64
+    assert eval_binop(BinOp.SHRL, left, n) == (a << n & MASK64) >> n
+
+
+@given(u64)
+def test_sra_preserves_sign(a):
+    out = eval_binop(BinOp.SHRA, a, 63)
+    assert out == (MASK64 if a >> 63 else 0)
+
+
+@given(u64, u64)
+def test_slt_consistent_with_cond(a, b):
+    assert bool(eval_binop(BinOp.SLT, a, b)) == eval_cond(Cond.LT, a, b)
+    assert bool(eval_binop(BinOp.SLTU, a, b)) == eval_cond(Cond.LTU, a, b)
+    assert bool(eval_binop(BinOp.SEQ, a, b)) == eval_cond(Cond.EQ, a, b)
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False, width=64),
+       st.floats(allow_nan=False, allow_infinity=False, width=64))
+def test_fadd_matches_python(a, b):
+    got = bits_to_float(eval_binop(BinOp.FADD, float_to_bits(a), float_to_bits(b)))
+    expected = a + b
+    assert got == expected or (got != got and expected != expected)
+
+
+def test_fdiv_by_zero():
+    one = float_to_bits(1.0)
+    zero = float_to_bits(0.0)
+    assert bits_to_float(eval_binop(BinOp.FDIV, one, zero)) == float("inf")
+    assert bits_to_float(eval_binop(BinOp.FDIV, float_to_bits(-1.0), zero)) == float("-inf")
+
+
+def test_fcvt_saturation():
+    assert fcvt_to_int(float_to_bits(float("nan"))) == to_unsigned(INT64_MAX)
+    assert fcvt_to_int(float_to_bits(1e300)) == to_unsigned(INT64_MAX)
+    assert fcvt_to_int(float_to_bits(-1e300)) == to_unsigned(INT64_MIN)
+    assert fcvt_to_int(float_to_bits(-3.9)) == to_unsigned(-3)
+
+
+@given(u64, u64)
+def test_cond_pairs_are_complements(a, b):
+    assert eval_cond(Cond.EQ, a, b) != eval_cond(Cond.NE, a, b)
+    assert eval_cond(Cond.LT, a, b) != eval_cond(Cond.GE, a, b)
+    assert eval_cond(Cond.LTU, a, b) != eval_cond(Cond.GEU, a, b)
+
+
+# ------------------------------------------------------------ interpreter
+
+
+def _loop_program(n: int):
+    b = ProgramBuilder("loop")
+    b.label("entry")
+    i = b.var(0)
+    acc = b.var(0)
+    limit = b.const(n)
+    b.label("loop")
+    b.add(acc, i, dest=acc)
+    b.inc(i)
+    b.br(Cond.LTU, i, limit, "loop", "done")
+    b.label("done")
+    b.out(acc, width=8)
+    b.halt()
+    return b.build()
+
+
+def test_interp_loop_sum():
+    r = run_program(_loop_program(10))
+    assert int.from_bytes(r.output, "little") == sum(range(10))
+    assert r.blocks_executed == 12  # entry + 10 loop + done
+
+
+def test_interp_memory_roundtrip():
+    b = ProgramBuilder("mem")
+    buf = b.data_zeros("buf", 64)
+    b.label("entry")
+    base = b.la(buf)
+    b.store(b.const(0xDEADBEEF), base, 8, width=4)
+    v = b.load(base, 8, width=4, signed=False)
+    b.out(v, width=4)
+    sv = b.load(base, 8, width=4, signed=True)
+    b.out(sv, width=8)
+    b.halt()
+    r = run_program(b.build())
+    assert r.output[:4] == bytes.fromhex("efbeadde")
+    assert int.from_bytes(r.output[4:], "little") == to_unsigned(to_signed(0xDEADBEEF, 32))
+
+
+def test_interp_out_of_range_faults():
+    b = ProgramBuilder("oob")
+    b.label("entry")
+    addr = b.const(0x2000_0000)
+    b.load(addr, 0, width=8)
+    b.halt()
+    with pytest.raises(InterpFault):
+        run_program(b.build())
+
+
+def test_interp_instruction_budget():
+    b = ProgramBuilder("spin")
+    b.label("entry")
+    b.label("loop")
+    b.nop()
+    b.jump("loop")
+    with pytest.raises(InterpFault):
+        Interpreter(b.build(), max_instructions=100).run()
+
+
+def test_interp_select_and_fcvt():
+    b = ProgramBuilder("sel")
+    b.label("entry")
+    c = b.const(1)
+    a = b.const(7)
+    d = b.const(9)
+    picked = b.select(c, a, d)
+    b.out(picked, width=1)
+    f = b.fcvt(b.const(-5))
+    back = b.fcvti(f)
+    b.out(back, width=8)
+    b.halt()
+    r = run_program(b.build())
+    assert r.output[0] == 7
+    assert to_signed(int.from_bytes(r.output[1:], "little")) == -5

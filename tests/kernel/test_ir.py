@@ -1,0 +1,197 @@
+"""Unit tests for the mini-IR: builder, verifier, data segment, bit helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernel.ir import (
+    MASK64,
+    BinOp,
+    Cond,
+    IRError,
+    MemoryMap,
+    Op,
+    ProgramBuilder,
+    bits_to_float,
+    float_to_bits,
+    to_signed,
+    to_unsigned,
+)
+
+
+# ------------------------------------------------------------------ helpers
+
+
+@given(st.integers(min_value=0, max_value=MASK64))
+def test_signed_unsigned_roundtrip(value):
+    assert to_unsigned(to_signed(value)) == value
+
+
+@given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+def test_unsigned_signed_roundtrip(value):
+    assert to_signed(to_unsigned(value)) == value
+
+
+@given(st.floats(allow_nan=False))
+def test_float_bits_roundtrip(value):
+    assert bits_to_float(float_to_bits(value)) == value
+
+
+def test_float_bits_nan():
+    bits = float_to_bits(float("nan"))
+    assert bits_to_float(bits) != bits_to_float(bits)  # NaN != NaN
+
+
+@given(st.integers(min_value=0, max_value=(1 << 16) - 1))
+def test_to_signed_16bit(value):
+    s = to_signed(value, 16)
+    assert -(1 << 15) <= s < (1 << 15)
+    assert to_unsigned(s, 16) == value
+
+
+# ------------------------------------------------------------------ builder
+
+
+def _trivial_builder() -> ProgramBuilder:
+    b = ProgramBuilder("t")
+    b.label("entry")
+    return b
+
+
+def test_builder_simple_program():
+    b = _trivial_builder()
+    x = b.const(41)
+    y = b.addi(x, 1)
+    b.out(y, width=4)
+    b.halt()
+    prog = b.build()
+    assert prog.name == "t"
+    assert prog.entry.label == "entry"
+    assert prog.instruction_count() == 5  # const, const(imm 1), add, out, halt
+
+
+def test_builder_implicit_fallthrough_jump():
+    b = _trivial_builder()
+    x = b.const(1)
+    b.label("next")           # entry has no terminator: implicit jump
+    b.out(x, width=1)
+    b.halt()
+    prog = b.build()
+    assert prog.entry.terminator.op is Op.JUMP
+    assert prog.entry.terminator.taken == "next"
+
+
+def test_builder_dest_reuse():
+    b = _trivial_builder()
+    v = b.var(3)
+    b.addi(v, 4, dest=v)
+    assert b._next_vreg >= 2
+    b.halt()
+    prog = b.build()
+    adds = [i for blk in prog.blocks for i in blk.instrs if i.op is Op.BIN]
+    assert adds[0].dest == v
+
+
+def test_data_segment_layout_and_alignment():
+    b = ProgramBuilder("d")
+    b.data_bytes("a", b"\x01\x02\x03", align=8)
+    b.data_words("b", [0x1122334455667788], width=8)
+    b.data_zeros("c", 5)
+    b.label("entry")
+    b.halt()
+    prog = b.build()
+    assert prog.symbols["a"].offset == 0
+    assert prog.symbols["b"].offset == 8   # aligned past the 3-byte blob
+    seg = prog.data_segment()
+    assert seg[0:3] == b"\x01\x02\x03"
+    assert seg[8:16] == bytes.fromhex("8877665544332211")
+
+
+def test_duplicate_symbol_rejected():
+    b = ProgramBuilder("d")
+    b.data_zeros("x", 8)
+    with pytest.raises(IRError):
+        b.data_zeros("x", 8)
+
+
+def test_symbol_address_uses_memmap():
+    b = ProgramBuilder("d")
+    b.data_zeros("x", 8)
+    b.label("entry")
+    b.halt()
+    prog = b.build()
+    assert prog.symbol_address("x") == prog.memmap.data_base
+
+
+# ------------------------------------------------------------------ verifier
+
+
+def test_verifier_rejects_unknown_branch_target():
+    b = _trivial_builder()
+    x = b.const(0)
+    b.br(Cond.EQ, x, x, "nowhere", "also_nowhere")
+    with pytest.raises(IRError):
+        b.build()
+
+
+def test_verifier_rejects_unknown_symbol():
+    b = _trivial_builder()
+    b.la("ghost")
+    b.halt()
+    with pytest.raises(IRError):
+        b.build()
+
+
+def test_verifier_rejects_missing_terminator():
+    b = _trivial_builder()
+    b.const(1)
+    with pytest.raises(IRError):
+        b.build()
+
+
+def test_verifier_rejects_duplicate_labels():
+    b = _trivial_builder()
+    b.halt()
+    b.label("entry")
+    b.halt()
+    with pytest.raises(IRError):
+        b.build()
+
+
+def test_verifier_rejects_bad_width():
+    b = _trivial_builder()
+    base = b.const(0x10000)
+    b.load(base, 0, width=3)
+    b.halt()
+    with pytest.raises(IRError):
+        b.build()
+
+
+# ------------------------------------------------------------------ misc
+
+
+def test_binop_kind_classification():
+    assert BinOp.FADD.is_float and not BinOp.FADD.result_is_int
+    assert BinOp.FLT.is_float and BinOp.FLT.result_is_int
+    assert not BinOp.ADD.is_float
+
+
+def test_memmap_contains():
+    mm = MemoryMap()
+    assert mm.contains(0, 1)
+    assert mm.contains(mm.size - 8, 8)
+    assert not mm.contains(mm.size - 4, 8)
+    assert not mm.contains(-1, 1)
+
+
+def test_block_successors():
+    b = _trivial_builder()
+    x = b.const(0)
+    b.br(Cond.EQ, x, x, "a", "b")
+    b.label("a")
+    b.jump("b")
+    b.label("b")
+    b.halt()
+    prog = b.build()
+    assert prog.entry.successors() == ["a", "b"]
+    assert prog.block("a").successors() == ["b"]
+    assert prog.block("b").successors() == []

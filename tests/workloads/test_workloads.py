@@ -1,0 +1,164 @@
+"""Workload-suite tests: determinism, semantic spot checks, registry."""
+
+import pytest
+
+from repro.kernel.interp import Interpreter, run_program
+from repro.workloads import WORKLOAD_NAMES, WORKLOADS, build_workload
+from repro.workloads._adpcm import decode_reference, encode_reference, synthetic_waveform
+from repro.workloads._util import lcg_bytes, lcg_values, scaled, synthetic_image
+
+
+def test_suite_has_the_papers_fifteen():
+    assert len(WORKLOAD_NAMES) == 15
+    for name in ("smooth", "edges", "corners", "adpcme", "adpcmd", "dijkstra"):
+        assert name in WORKLOAD_NAMES
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_workload_deterministic(name):
+    a = WORKLOADS[name]("tiny")
+    b = WORKLOADS[name]("tiny")
+    assert run_program(a).output == run_program(b).output
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_workload_has_injection_window_markers(name):
+    prog = build_workload(name, "tiny")
+    from repro.kernel.ir import Op
+
+    ops = [i.op for blk in prog.blocks for i in blk.instrs]
+    assert Op.CHECKPOINT in ops
+    assert Op.SWITCH_CPU in ops
+    assert Op.OUT in ops
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_default_scale_is_bigger(name):
+    tiny = run_program(build_workload(name, "tiny"))
+    default = run_program(build_workload(name, "default"))
+    assert default.instructions > tiny.instructions
+
+
+def test_build_workload_memoizes():
+    assert build_workload("sha", "tiny") is build_workload("sha", "tiny")
+
+
+def test_unknown_workload_raises():
+    with pytest.raises(KeyError):
+        build_workload("quake3")
+
+
+# ------------------------------------------------------------ semantics
+
+
+def test_qsort_actually_sorts():
+    prog = build_workload("qsort", "tiny")
+    interp = Interpreter(prog)
+    interp.run()
+    base = prog.symbol_address("arr")
+    count = prog.symbols["arr"].size // 8
+    values = [interp.read_mem(base + i * 8, 8, False) for i in range(count)]
+    assert values == sorted(values)
+
+
+def test_crc32_matches_zlib():
+    import zlib
+
+    prog = build_workload("crc32", "tiny")
+    payload = lcg_bytes(83, 96)
+    out = run_program(prog).output
+    assert int.from_bytes(out, "little") == zlib.crc32(payload)
+
+
+def test_dijkstra_distances_match_networkx():
+    import networkx as nx
+
+    prog = build_workload("dijkstra", "tiny")
+    # rebuild the same matrix the workload generator used
+    nodes, sources, inf = 8, 1, 1 << 30
+    weights = lcg_values(41, nodes * nodes, 1, 64)
+    absent = lcg_values(43, nodes * nodes, 0, 3)
+    matrix = [
+        inf if (absent[i] == 0 and i // nodes != i % nodes) else weights[i]
+        for i in range(nodes * nodes)
+    ]
+    for i in range(nodes):
+        matrix[i * nodes + i] = 0
+    graph = nx.DiGraph()
+    for u in range(nodes):
+        for v in range(nodes):
+            w = matrix[u * nodes + v]
+            if w < inf:
+                graph.add_edge(u, v, weight=w)
+    lengths = nx.single_source_dijkstra_path_length(graph, 0)
+    dist = [lengths.get(v, inf) for v in range(nodes)]
+    check = 0
+    for v in range(nodes):
+        check = ((check << 2) + dist[v]) & ((1 << 64) - 1)
+    out = run_program(prog).output
+    assert int.from_bytes(out, "little") == check
+
+
+def test_adpcm_roundtrip_reference():
+    wave = synthetic_waveform(64)
+    nibbles, _, _ = encode_reference(wave)
+    decoded = decode_reference(nibbles)
+    assert len(decoded) == len(wave)
+    # ADPCM is lossy but must track the waveform
+    err = sum(abs(a - b) for a, b in zip(wave, decoded)) / len(wave)
+    assert err < 2000
+
+
+def test_adpcmd_consumes_adpcme_stream():
+    """The decoder workload's input is the encoder's reference bitstream."""
+    prog_e = build_workload("adpcme", "tiny")
+    prog_d = build_workload("adpcmd", "tiny")
+    nibbles, _, _ = encode_reference(synthetic_waveform(48))
+    stream = prog_d.symbols["stream"].data
+    assert list(stream) == nibbles
+    assert prog_e.symbols["pcm"].size == 48 * 2
+
+
+def test_sha_output_is_five_words():
+    out = run_program(build_workload("sha", "tiny")).output
+    assert len(out) == 20
+
+
+def test_bitcount_methods_agree():
+    out = run_program(build_workload("bitcount", "tiny")).output
+    a = int.from_bytes(out[0:4], "little")
+    b = int.from_bytes(out[4:8], "little")
+    c = int.from_bytes(out[8:12], "little")
+    assert a == b == c
+    values = lcg_values(23, 16, 0, 1 << 64)
+    assert a == sum(bin(v).count("1") for v in values)
+
+
+def test_search_finds_expected_matches():
+    out = run_program(build_workload("search", "tiny")).output
+    matches = int.from_bytes(out[:4], "little")
+    assert matches == 3   # three real patterns present once each, one absent
+
+
+# ------------------------------------------------------------ utilities
+
+
+def test_lcg_determinism_and_range():
+    a = lcg_values(5, 100, 10, 20)
+    assert a == lcg_values(5, 100, 10, 20)
+    assert all(10 <= v < 20 for v in a)
+    assert lcg_values(5, 100, 10, 20) != lcg_values(6, 100, 10, 20)
+
+
+def test_synthetic_image_properties():
+    img = synthetic_image(16, 12, seed=7)
+    assert len(img) == 192
+    assert max(img) <= 255
+    assert len(set(img)) > 10      # not constant
+
+
+def test_scaled_helper():
+    assert scaled("tiny", 1, 2) == 1
+    assert scaled("default", 1, 2) == 2
+    assert scaled("large", 1, 2) == 8
+    assert scaled("large", 1, 2, large=5) == 5
