@@ -15,6 +15,7 @@ paper-vs-measured record of every table and figure.
 """
 
 from repro.core import (
+    CampaignJournal,
     CampaignSpec,
     FaultFlip,
     FaultMask,
@@ -39,6 +40,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CPUConfig",
+    "CampaignJournal",
     "CampaignSpec",
     "FaultFlip",
     "FaultMask",

@@ -10,15 +10,17 @@ visible), so records carry ``hvf = CORRUPTION`` exactly for non-masked runs.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 
 from repro.accel.cluster import Accelerator
 from repro.accel.dataflow import DataflowEngine, FUConfig
 from repro.accel.spm import ScratchpadMemory
 from repro.accel_designs import get_design
 from repro.core.faults import FaultFlip, FaultMask, FaultModel
+from repro.core.journal import CampaignJournal
 from repro.core.outcome import HVFClass, Outcome
-from repro.core.campaign import FaultRecord
+from repro.core.campaign import FaultRecord, SimulatorFault, quarantine_record
 from repro.core.sampling import error_margin_for
 
 
@@ -110,25 +112,48 @@ class AccelCampaignResult:
     records: list[FaultRecord]
     golden: AccelGolden
     population_bits: int
+    #: masks satisfied from a resume journal instead of fresh simulation
+    resumed: int = 0
+
+    @property
+    def valid_records(self) -> list[FaultRecord]:
+        return [r for r in self.records if r.outcome is not Outcome.SIM_FAULT]
 
     def count(self, outcome: Outcome) -> int:
         return sum(1 for r in self.records if r.outcome is outcome)
 
     @property
+    def quarantined(self) -> int:
+        return self.count(Outcome.SIM_FAULT)
+
+    @property
+    def retried(self) -> int:
+        return sum(1 for r in self.records if r.retries)
+
+    @property
+    def timeouts(self) -> int:
+        return sum(1 for r in self.records if r.crash_reason == "timeout")
+
+    @property
     def avf(self) -> float:
-        return 1 - self.count(Outcome.MASKED) / len(self.records)
+        valid = self.valid_records
+        if not valid:
+            return 0.0
+        return 1 - sum(1 for r in valid if r.outcome is Outcome.MASKED) / len(valid)
 
     @property
     def sdc_avf(self) -> float:
-        return self.count(Outcome.SDC) / len(self.records)
+        valid = self.valid_records
+        return self.count(Outcome.SDC) / len(valid) if valid else 0.0
 
     @property
     def crash_avf(self) -> float:
-        return self.count(Outcome.CRASH) / len(self.records)
+        valid = self.valid_records
+        return self.count(Outcome.CRASH) / len(valid) if valid else 0.0
 
     @property
     def error_margin(self) -> float:
-        return error_margin_for(len(self.records), self.population_bits)
+        return error_margin_for(max(1, len(self.valid_records)), self.population_bits)
 
     def summary(self) -> dict:
         return {
@@ -140,6 +165,10 @@ class AccelCampaignResult:
             "sdc_avf": self.sdc_avf,
             "crash_avf": self.crash_avf,
             "golden_cycles": self.golden.cycles,
+            "quarantined": self.quarantined,
+            "retried": self.retried,
+            "timeouts": self.timeouts,
+            "resumed": self.resumed,
         }
 
 
@@ -194,19 +223,29 @@ def accel_masks(spec: AccelCampaignSpec, golden: AccelGolden) -> list[FaultMask]
     return masks
 
 
-def run_one_accel_fault(spec: AccelCampaignSpec, mask: FaultMask) -> FaultRecord:
-    golden = accel_golden(spec)
-    accel = get_design(spec.design).instantiate(spec.fu)
-    accel.load_inputs(spec.scale)
-    injector = AccelInjector(mask, accel.mem(spec.component))
-    engine = DataflowEngine(
-        accel.kernel(spec.scale),
-        accel.memmap,
-        accel.fu,
-        watchdog_cycles=golden.cycles * spec.watchdog_factor + 1000,
-    )
-    engine.injector = injector
-    result = engine.run()
+def _simulate_one_accel(spec: AccelCampaignSpec, mask: FaultMask,
+                        golden: AccelGolden) -> FaultRecord:
+    """One injected accelerator run, unguarded (simulator bugs raise
+    :class:`SimulatorFault` for :func:`run_one_accel_fault` to quarantine)."""
+    max_cycles = golden.cycles * spec.watchdog_factor + 1000
+    try:
+        accel = get_design(spec.design).instantiate(spec.fu)
+        accel.load_inputs(spec.scale)
+        injector = AccelInjector(mask, accel.mem(spec.component))
+        engine = DataflowEngine(
+            accel.kernel(spec.scale),
+            accel.memmap,
+            accel.fu,
+            watchdog_cycles=max_cycles,
+        )
+        engine.injector = injector
+        result = engine.run()
+    except Exception as exc:
+        raise SimulatorFault(exc, snapshot={
+            "design": spec.design,
+            "component": spec.component,
+            "mask_id": mask.mask_id,
+        }) from exc
 
     if injector.early_masked and result.ok:
         outcome, reason = Outcome.MASKED, injector.masked_reason()
@@ -234,17 +273,71 @@ def run_one_accel_fault(spec: AccelCampaignSpec, mask: FaultMask) -> FaultRecord
         masked_reason=reason,
         crash_reason=result.crashed,
         activated=injector.state == AccelInjector.READ,
+        max_cycles=max_cycles,
     )
 
 
+def run_one_accel_fault(spec: AccelCampaignSpec, mask: FaultMask) -> FaultRecord:
+    """Simulate one accelerator fault with the crash-quarantine boundary:
+    a simulator exception is retried once with the same mask, then
+    quarantined — never aborting the campaign (same policy as the CPU
+    driver's :func:`repro.core.campaign.run_one_fault`)."""
+    golden = accel_golden(spec)
+    try:
+        return _simulate_one_accel(spec, mask, golden)
+    except SimulatorFault as first:
+        first_text = first.describe()
+    try:
+        record = _simulate_one_accel(spec, mask, golden)
+    except SimulatorFault as second:
+        return quarantine_record(
+            mask, "deterministic", second.describe(), retries=1
+        )
+    return replace(record, retries=record.retries + 1,
+                   sim_error_kind="flaky", error=first_text)
+
+
 def run_accel_campaign(
-    spec: AccelCampaignSpec, masks: list[FaultMask] | None = None
+    spec: AccelCampaignSpec,
+    masks: list[FaultMask] | None = None,
+    *,
+    journal: str | Path | None = None,
+    resume: str | Path | None = None,
 ) -> AccelCampaignResult:
-    """Run a DSA fault-injection campaign."""
+    """Run a DSA fault-injection campaign (journaled + resumable like the
+    CPU driver: see :func:`repro.core.campaign.run_campaign`)."""
     golden = accel_golden(spec)
     if masks is None:
         masks = accel_masks(spec, golden)
-    records = [run_one_accel_fault(spec, m) for m in masks]
+    if journal is not None or resume is not None:
+        # mask_id is the journal/resume key; duplicates would collide
+        if len({m.mask_id for m in masks}) != len(masks):
+            raise ValueError("duplicate mask_id in fault sample")
+
+    done: dict[int, FaultRecord] = {}
+    if resume is not None and Path(resume).exists():
+        journaled = CampaignJournal.completed(resume, spec)
+        done = {
+            m.mask_id: journaled[m.mask_id]
+            for m in masks
+            if m.mask_id in journaled and journaled[m.mask_id].mask == m
+        }
+
+    writer = CampaignJournal.open(journal, spec) if journal is not None else None
+    records: list[FaultRecord] = []
+    try:
+        for m in masks:
+            if m.mask_id in done:
+                records.append(done[m.mask_id])
+                continue
+            record = run_one_accel_fault(spec, m)
+            if writer is not None:
+                writer.append(record)
+            records.append(record)
+    finally:
+        if writer is not None:
+            writer.close()
+
     design = get_design(spec.design)
     size = {d.name: d.size for d in design.memories}[spec.component]
     return AccelCampaignResult(
@@ -252,4 +345,5 @@ def run_accel_campaign(
         records=records,
         golden=golden,
         population_bits=size * 8,
+        resumed=len(done),
     )

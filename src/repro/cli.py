@@ -31,6 +31,14 @@ def _add_campaign(sub) -> None:
     p.add_argument("--flips-per-mask", type=int, default=1)
     p.add_argument("--workers", type=int, default=1)
     p.add_argument("--csv", help="write per-campaign summary CSV here")
+    p.add_argument("--journal", metavar="PATH",
+                   help="append per-fault records to this JSONL run journal")
+    p.add_argument("--resume", metavar="PATH",
+                   help="skip masks already completed in this journal "
+                        "(typically the same path as --journal)")
+    p.add_argument("--timeout", type=float, metavar="SECONDS",
+                   help="per-fault wall-clock budget for parallel workers "
+                        "(default: derived from the golden cycle count)")
 
 
 def _add_accel(sub) -> None:
@@ -43,6 +51,10 @@ def _add_accel(sub) -> None:
     p.add_argument("--model", default="transient",
                    choices=["transient", "stuck0", "stuck1"])
     p.add_argument("--fu", type=int, help="uniform functional-unit count")
+    p.add_argument("--journal", metavar="PATH",
+                   help="append per-fault records to this JSONL run journal")
+    p.add_argument("--resume", metavar="PATH",
+                   help="skip masks already completed in this journal")
 
 
 def _add_figure(sub) -> None:
@@ -88,7 +100,7 @@ def _model(name: str):
 def cmd_campaign(args) -> int:
     from repro.core.campaign import CampaignSpec, run_campaign
     from repro.core.presets import get_preset
-    from repro.core.report import render_table, save_report
+    from repro.core.report import render_robustness, render_table, save_report
 
     spec = CampaignSpec(
         isa=args.isa, workload=args.workload, target=args.target,
@@ -96,9 +108,18 @@ def cmd_campaign(args) -> int:
         seed=args.seed, model=_model(args.model),
         flips_per_mask=args.flips_per_mask,
     )
-    result = run_campaign(spec, workers=args.workers)
+    result = run_campaign(
+        spec, workers=args.workers,
+        journal=args.journal, resume=args.resume, timeout_s=args.timeout,
+    )
     summary = result.summary()
     print(render_table(["metric", "value"], sorted(summary.items())))
+    if result.resumed:
+        print(f"resumed {result.resumed}/{len(result.records)} masks "
+              f"from {args.resume}")
+    health = render_robustness(result.records)
+    if health:
+        print(f"WARNING: {health}", file=sys.stderr)
     if args.csv:
         save_report(args.csv, [summary])
         print(f"wrote {args.csv}")
@@ -108,15 +129,21 @@ def cmd_campaign(args) -> int:
 def cmd_accel(args) -> int:
     from repro.accel.campaign import AccelCampaignSpec, run_accel_campaign
     from repro.accel.dataflow import FUConfig
-    from repro.core.report import render_table
+    from repro.core.report import render_robustness, render_table
 
     spec = AccelCampaignSpec(
         design=args.design, component=args.component, scale=args.scale,
         faults=args.faults, seed=args.seed, model=_model(args.model),
         fu=FUConfig.uniform(args.fu) if args.fu else None,
     )
-    result = run_accel_campaign(spec)
+    result = run_accel_campaign(spec, journal=args.journal, resume=args.resume)
     print(render_table(["metric", "value"], sorted(result.summary().items())))
+    if result.resumed:
+        print(f"resumed {result.resumed}/{len(result.records)} masks "
+              f"from {args.resume}")
+    health = render_robustness(result.records)
+    if health:
+        print(f"WARNING: {health}", file=sys.stderr)
     return 0
 
 

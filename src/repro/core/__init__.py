@@ -17,11 +17,14 @@ from repro.core.campaign import (
     CampaignResult,
     CampaignSpec,
     FaultRecord,
+    SimulatorFault,
     golden_run,
     run_campaign,
     run_one_fault,
 )
 from repro.core.faults import FaultFlip, FaultMask, FaultModel
+from repro.core.journal import CampaignJournal, JournalError
+from repro.core.supervisor import SupervisorPolicy, TaskOutcome, run_supervised
 from repro.core.metrics import (
     avf,
     crash_avf,
@@ -36,6 +39,7 @@ from repro.core.presets import paper_config, sim_config
 from repro.core.sampling import generate_masks, sample_size
 
 __all__ = [
+    "CampaignJournal",
     "CampaignResult",
     "CampaignSpec",
     "FaultFlip",
@@ -43,7 +47,12 @@ __all__ = [
     "FaultModel",
     "FaultRecord",
     "HVFClass",
+    "JournalError",
     "Outcome",
+    "SimulatorFault",
+    "SupervisorPolicy",
+    "TaskOutcome",
+    "run_supervised",
     "avf",
     "crash_avf",
     "error_margin",

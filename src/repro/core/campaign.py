@@ -12,13 +12,16 @@
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field, replace
+import traceback
+from dataclasses import dataclass, replace
+from pathlib import Path
 
 from repro.core.faults import FaultMask, FaultModel
 from repro.core.injector import InjectionController
+from repro.core.journal import CampaignJournal
 from repro.core.outcome import Classification, HVFClass, Outcome, classify
 from repro.core.sampling import error_margin_for, generate_masks
+from repro.core.supervisor import SupervisorPolicy, TaskOutcome, run_supervised
 from repro.core.targets import get_target
 from repro.cpu.config import CPUConfig
 from repro.cpu.core import CrashError, OoOCore, RunResult
@@ -72,40 +75,109 @@ class FaultRecord:
     masked_reason: str | None = None
     crash_reason: str | None = None
     activated: bool = False
+    #: watchdog budget the run was given (crash-timeout runs hit this)
+    max_cycles: int = 0
+    #: the run halted via the stop_on_hvf early exit, not program completion
+    stopped_on_hvf: bool = False
+    #: simulator-level retries this mask consumed (0 = clean first attempt)
+    retries: int = 0
+    #: simulator failure description (traceback + core snapshot) when the
+    #: run was quarantined or succeeded only after a retry
+    error: str | None = None
+    #: 'deterministic' (both attempts failed), 'flaky' (retry succeeded),
+    #: 'harness_timeout' / 'harness_error' (supervised executor gave up)
+    sim_error_kind: str | None = None
+
+    @property
+    def quarantined(self) -> bool:
+        return self.outcome is Outcome.SIM_FAULT
+
+
+class SimulatorFault(Exception):
+    """A non-CrashError exception escaped the simulated core.
+
+    Carries the original traceback plus a snapshot of where the simulation
+    stood, so the quarantined :class:`FaultRecord` can explain itself.
+    """
+
+    def __init__(self, cause: BaseException, snapshot: dict):
+        self.cause = cause
+        self.snapshot = snapshot
+        self.traceback_text = "".join(
+            traceback.format_exception(type(cause), cause, cause.__traceback__)
+        )
+        super().__init__(f"{type(cause).__name__}: {cause}")
+
+    def describe(self, limit: int = 4000) -> str:
+        state = ", ".join(f"{k}={v}" for k, v in self.snapshot.items())
+        text = f"{self} [{state}]\n{self.traceback_text}"
+        return text[-limit:] if len(text) > limit else text
 
 
 @dataclass
 class CampaignResult:
-    """Aggregated campaign results."""
+    """Aggregated campaign results.
+
+    AVF/HVF aggregates are computed over *valid* records only: quarantined
+    runs (``Outcome.SIM_FAULT``) are simulator failures, not verdicts about
+    the hardware, so they are reported separately instead of polluting the
+    vulnerability factors.
+    """
 
     spec: CampaignSpec
     records: list[FaultRecord]
     golden: GoldenRun
     population_bits: int
+    #: masks satisfied from a resume journal instead of fresh simulation
+    resumed: int = 0
+
+    @property
+    def valid_records(self) -> list[FaultRecord]:
+        return [r for r in self.records if r.outcome is not Outcome.SIM_FAULT]
 
     def count(self, outcome: Outcome) -> int:
         return sum(1 for r in self.records if r.outcome is outcome)
 
     @property
+    def quarantined(self) -> int:
+        return self.count(Outcome.SIM_FAULT)
+
+    @property
+    def retried(self) -> int:
+        return sum(1 for r in self.records if r.retries)
+
+    @property
+    def timeouts(self) -> int:
+        return sum(1 for r in self.records if r.crash_reason == "timeout")
+
+    @property
     def avf(self) -> float:
-        return 1 - self.count(Outcome.MASKED) / len(self.records)
+        valid = self.valid_records
+        if not valid:
+            return 0.0
+        return 1 - sum(1 for r in valid if r.outcome is Outcome.MASKED) / len(valid)
 
     @property
     def sdc_avf(self) -> float:
-        return self.count(Outcome.SDC) / len(self.records)
+        valid = self.valid_records
+        return self.count(Outcome.SDC) / len(valid) if valid else 0.0
 
     @property
     def crash_avf(self) -> float:
-        return self.count(Outcome.CRASH) / len(self.records)
+        valid = self.valid_records
+        return self.count(Outcome.CRASH) / len(valid) if valid else 0.0
 
     @property
     def hvf(self) -> float:
-        corrupt = sum(1 for r in self.records if r.hvf is HVFClass.CORRUPTION)
-        return corrupt / len(self.records)
+        valid = self.valid_records
+        if not valid:
+            return 0.0
+        corrupt = sum(1 for r in valid if r.hvf is HVFClass.CORRUPTION)
+        return corrupt / len(valid)
 
     @property
     def error_margin(self) -> float:
-        return error_margin_for(len(self.records), self.population_bits)
+        return error_margin_for(max(1, len(self.valid_records)), self.population_bits)
 
     def summary(self) -> dict:
         return {
@@ -120,6 +192,10 @@ class CampaignResult:
             "hvf": self.hvf,
             "error_margin": self.error_margin,
             "golden_cycles": self.golden.cycles,
+            "quarantined": self.quarantined,
+            "retried": self.retried,
+            "timeouts": self.timeouts,
+            "resumed": self.resumed,
         }
 
 
@@ -129,6 +205,14 @@ class CampaignResult:
 
 _GOLDEN_CACHE: dict[tuple, GoldenRun] = {}
 _EXE_CACHE: dict[tuple, Executable] = {}
+#: process-local count of golden-cache misses (full golden simulations);
+#: tests use this to assert workers compute the golden run at most once
+_GOLDEN_MISSES = 0
+
+
+def golden_miss_count() -> int:
+    """How many golden simulations this process has actually run."""
+    return _GOLDEN_MISSES
 
 
 def compile_workload(isa_name: str, workload: str, scale: str) -> Executable:
@@ -146,6 +230,8 @@ def golden_run(isa_name: str, workload: str, cfg: CPUConfig, scale: str = "tiny"
     cached = _GOLDEN_CACHE.get(key)
     if cached is not None:
         return cached
+    global _GOLDEN_MISSES
+    _GOLDEN_MISSES += 1
     exe = compile_workload(isa_name, workload, scale)
     isa = get_isa(isa_name)
     core = OoOCore.from_executable(exe, isa, cfg)
@@ -175,10 +261,9 @@ def clear_caches() -> None:
 # --------------------------------------------------------------------------
 
 
-def run_one_fault(spec: CampaignSpec, mask: FaultMask, golden: GoldenRun | None = None) -> FaultRecord:
-    """Simulate one injected fault and classify the outcome."""
-    if golden is None:
-        golden = golden_run(spec.isa, spec.workload, spec.cfg, spec.scale)
+def _simulate_one(spec: CampaignSpec, mask: FaultMask, golden: GoldenRun) -> FaultRecord:
+    """One injected simulation, unguarded: simulator bugs raise
+    :class:`SimulatorFault` for :func:`run_one_fault` to quarantine."""
     isa = get_isa(spec.isa)
     controller = InjectionController(mask, stop_early=spec.stop_early)
     core = OoOCore.from_executable(golden.exe, isa, cfg=spec.cfg, injector=controller)
@@ -197,8 +282,23 @@ def run_one_fault(spec: CampaignSpec, mask: FaultMask, golden: GoldenRun | None 
         if not core.halted and not controller.early_masked:
             crashed = "timeout"
     except CrashError as exc:
+        # an expected outcome: the *simulated program* crashed
         crashed = exc.reason
         crash_pc = exc.pc
+    except Exception as exc:
+        # the *simulator* crashed — a fault-corrupted core walked the model
+        # into a state the code never anticipated; quarantine upstream
+        raise SimulatorFault(exc, snapshot={
+            "cycle": core.cycle,
+            "instructions": core.instructions,
+            "halted": core.halted,
+            "mask_id": mask.mask_id,
+        }) from exc
+
+    # stop_on_hvf halts the core at the first commit mismatch; without this
+    # flag, an incomplete-but-halted run would be indistinguishable from a
+    # genuine program completion (and a hang from an early HVF exit)
+    stopped_on_hvf = bool(spec.stop_on_hvf and core.hvf_corrupt and core.halted)
 
     result = RunResult(
         output=bytes(core.output),
@@ -228,12 +328,72 @@ def run_one_fault(spec: CampaignSpec, mask: FaultMask, golden: GoldenRun | None 
         masked_reason=cls.masked_reason,
         crash_reason=cls.crash_reason,
         activated=controller.activated,
+        max_cycles=max_cycles,
+        stopped_on_hvf=stopped_on_hvf,
     )
+
+
+def quarantine_record(mask: FaultMask, kind: str, error: str,
+                      retries: int = 0) -> FaultRecord:
+    """A FaultRecord for a run the simulator could not complete."""
+    return FaultRecord(
+        mask=mask,
+        outcome=Outcome.SIM_FAULT,
+        hvf=HVFClass.BENIGN,
+        cycles=0,
+        retries=retries,
+        error=error,
+        sim_error_kind=kind,
+    )
+
+
+def run_one_fault(spec: CampaignSpec, mask: FaultMask, golden: GoldenRun | None = None) -> FaultRecord:
+    """Simulate one injected fault and classify the outcome.
+
+    Crash-quarantine boundary: a simulated-program crash (`CrashError`) is a
+    normal campaign outcome, but *any other* exception escaping the
+    fault-corrupted core is a simulator failure.  Those are retried once
+    with the same mask — a second failure means a deterministic simulator
+    bug, a success means flaky state — and never abort the campaign.
+    """
+    if golden is None:
+        golden = golden_run(spec.isa, spec.workload, spec.cfg, spec.scale)
+    try:
+        return _simulate_one(spec, mask, golden)
+    except SimulatorFault as first:
+        first_text = first.describe()
+    try:
+        record = _simulate_one(spec, mask, golden)
+    except SimulatorFault as second:
+        return quarantine_record(
+            mask, "deterministic", second.describe(), retries=1
+        )
+    # the retry succeeded: keep the real verdict, flag the flaky attempt
+    return replace(record, retries=record.retries + 1,
+                   sim_error_kind="flaky", error=first_text)
 
 
 def _worker(args: tuple) -> FaultRecord:
     spec, mask = args
     return run_one_fault(spec, mask)
+
+
+def _worker_init(spec: CampaignSpec) -> None:
+    """Pool initializer: prime the golden run once per worker process.
+
+    Without this every subprocess would recompute the golden simulation on
+    its first fault (the parent's cache does not follow pickled specs under
+    the spawn start method).  The miss counter is reset so tests can assert
+    at-most-one golden simulation per worker.
+    """
+    global _GOLDEN_MISSES
+    _GOLDEN_MISSES = 0
+    golden_run(spec.isa, spec.workload, spec.cfg, spec.scale)
+
+
+def _probe_golden_misses(_arg=None) -> int:
+    """Picklable probe: golden-cache misses inside a worker process."""
+    return golden_miss_count()
 
 
 # --------------------------------------------------------------------------
@@ -258,22 +418,120 @@ def masks_for_spec(spec: CampaignSpec, golden: GoldenRun) -> list[FaultMask]:
     )
 
 
+def _check_unique_mask_ids(masks: list[FaultMask]) -> None:
+    """Journaling and resume key on mask_id; duplicates would silently
+    overwrite each other's records, so reject them up front."""
+    seen: set[int] = set()
+    for m in masks:
+        if m.mask_id in seen:
+            raise ValueError(f"duplicate mask_id {m.mask_id} in fault sample")
+        seen.add(m.mask_id)
+
+
+def default_fault_timeout(golden_cycles: int, watchdog_factor: int) -> float:
+    """Per-fault wall-clock budget, derived from the golden cycle count.
+
+    The in-simulation watchdog already bounds *simulated* time; this bounds
+    *host* time for the case where the simulator itself spins.  Sized very
+    generously (assumes a pessimistic 2k simulated cycles per host second)
+    so it only ever fires on a genuinely wedged worker.
+    """
+    budget_cycles = golden_cycles * watchdog_factor + 10_000
+    return max(60.0, budget_cycles / 2_000)
+
+
+def _outcome_to_record(outcome: TaskOutcome) -> FaultRecord:
+    """Map a supervised-executor verdict onto a FaultRecord."""
+    _spec, mask = outcome.item
+    if outcome.ok:
+        record: FaultRecord = outcome.value
+        if outcome.attempts > 1:
+            record = replace(record, retries=record.retries + outcome.attempts - 1)
+        return record
+    kind = "harness_timeout" if outcome.kind == "timeout" else "harness_error"
+    return quarantine_record(
+        mask, kind, outcome.error or kind, retries=outcome.attempts - 1
+    )
+
+
 def run_campaign(
     spec: CampaignSpec,
     masks: list[FaultMask] | None = None,
     workers: int = 1,
+    *,
+    journal: str | Path | None = None,
+    resume: str | Path | None = None,
+    timeout_s: float | None = None,
+    policy: SupervisorPolicy | None = None,
 ) -> CampaignResult:
-    """Run a full SFI campaign; returns per-fault records + aggregates."""
+    """Run a full SFI campaign; returns per-fault records + aggregates.
+
+    * ``journal`` — append every completed :class:`FaultRecord` to this
+      JSONL file as it finishes (crash-safe progress log);
+    * ``resume`` — skip masks already present in this journal (typically
+      the same path as ``journal``), so an interrupted campaign restarts
+      where it left off;
+    * ``timeout_s`` / ``policy`` — supervised-executor knobs for the
+      ``workers > 1`` path; the default timeout derives from the golden
+      run's cycle count via :func:`default_fault_timeout`.
+    """
     golden = golden_run(spec.isa, spec.workload, spec.cfg, spec.scale)
     if masks is None:
         masks = masks_for_spec(spec, golden)
+    if journal is not None or resume is not None:
+        # mask_id is the journal/resume key; duplicates would silently
+        # overwrite each other's records
+        _check_unique_mask_ids(masks)
 
-    if workers > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            records = list(pool.map(_worker, [(spec, m) for m in masks]))
-    else:
-        records = [run_one_fault(spec, m, golden) for m in masks]
+    done: dict[int, FaultRecord] = {}
+    if resume is not None and Path(resume).exists():
+        journaled = CampaignJournal.completed(resume, spec)
+        # trust a journaled verdict only for the identical mask
+        done = {
+            m.mask_id: journaled[m.mask_id]
+            for m in masks
+            if m.mask_id in journaled and journaled[m.mask_id].mask == m
+        }
+    pending = [(i, m) for i, m in enumerate(masks) if m.mask_id not in done]
 
+    writer = CampaignJournal.open(journal, spec) if journal is not None else None
+    by_pos: dict[int, FaultRecord] = {}
+    try:
+        if workers > 1 and pending:
+            if timeout_s is None:
+                timeout_s = default_fault_timeout(
+                    golden.cycles, spec.cfg.watchdog_factor
+                )
+            policy = policy or SupervisorPolicy(timeout_s=timeout_s)
+            fresh = run_supervised(
+                _worker,
+                [(spec, m) for _, m in pending],
+                workers=workers,
+                policy=policy,
+                initializer=_worker_init,
+                initargs=(spec,),
+                on_result=(
+                    (lambda o: writer.append(_outcome_to_record(o)))
+                    if writer is not None else None
+                ),
+            )
+            by_pos = {
+                i: _outcome_to_record(o) for (i, _), o in zip(pending, fresh)
+            }
+        else:
+            for i, m in pending:
+                record = run_one_fault(spec, m, golden)
+                if writer is not None:
+                    writer.append(record)
+                by_pos[i] = record
+    finally:
+        if writer is not None:
+            writer.close()
+
+    records = [
+        by_pos[i] if i in by_pos else done[m.mask_id]
+        for i, m in enumerate(masks)
+    ]
     isa = get_isa(spec.isa)
     probe_core = OoOCore.from_executable(golden.exe, isa, spec.cfg)
     entries, bits = get_target(spec.target).geometry(probe_core)
@@ -282,4 +540,5 @@ def run_campaign(
         records=records,
         golden=golden,
         population_bits=entries * bits,
+        resumed=len(done),
     )

@@ -1,0 +1,250 @@
+"""Append-only JSONL run journal for fault-injection campaigns.
+
+A 10k-fault campaign that dies at fault 9,800 — power loss, OOM kill,
+Ctrl-C — must not cost 9,800 completed simulations.  The journal records
+every :class:`~repro.core.campaign.FaultRecord` as a single JSON line the
+moment it completes, and ``run_campaign(..., resume=path)`` replays it to
+skip masks that already ran.
+
+File layout (one JSON object per line):
+
+* line 1 — header: ``{"kind": "header", "version": 1, "fingerprint": ...,
+  "spec": {...}}``.  The fingerprint is a SHA-256 over the canonicalized
+  spec, so a journal is only ever resumed against the identical campaign
+  (same ISA, workload, target, config, seed, fault model, sample size).
+* following lines — records: ``{"kind": "record", "mask": {...},
+  "outcome": ..., ...}``.
+
+Robustness properties:
+
+* appends are flushed per record, so at most the line being written when
+  the process died is lost;
+* a truncated or garbled trailing line (torn write) is tolerated on load —
+  reading stops there and the mask simply re-runs;
+* resume validates each journaled mask against the regenerated sample; a
+  mismatched row (journal from a different sample) is ignored rather than
+  trusted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.faults import FaultFlip, FaultMask, FaultModel
+from repro.core.outcome import HVFClass, Outcome
+
+JOURNAL_VERSION = 1
+
+
+class JournalError(RuntimeError):
+    """A journal file exists but cannot be used (bad header, wrong spec)."""
+
+
+# --------------------------------------------------------------------------
+# serialization
+# --------------------------------------------------------------------------
+
+
+def mask_to_dict(mask: FaultMask) -> dict:
+    return {
+        "model": mask.model.value,
+        "mask_id": mask.mask_id,
+        "flips": [
+            {"structure": f.structure, "entry": f.entry, "bit": f.bit,
+             "cycle": f.cycle}
+            for f in mask.flips
+        ],
+    }
+
+
+def mask_from_dict(data: dict) -> FaultMask:
+    return FaultMask(
+        model=FaultModel(data["model"]),
+        flips=tuple(
+            FaultFlip(f["structure"], f["entry"], f["bit"], f["cycle"])
+            for f in data["flips"]
+        ),
+        mask_id=data["mask_id"],
+    )
+
+
+def record_to_dict(record) -> dict:
+    """Serialize a FaultRecord (duck-typed so accel records work too)."""
+    return {
+        "kind": "record",
+        "mask": mask_to_dict(record.mask),
+        "outcome": record.outcome.value,
+        "hvf": record.hvf.value,
+        "cycles": record.cycles,
+        "masked_reason": record.masked_reason,
+        "crash_reason": record.crash_reason,
+        "activated": record.activated,
+        "max_cycles": record.max_cycles,
+        "stopped_on_hvf": record.stopped_on_hvf,
+        "retries": record.retries,
+        "error": record.error,
+        "sim_error_kind": record.sim_error_kind,
+    }
+
+
+def record_from_dict(data: dict):
+    from repro.core.campaign import FaultRecord  # avoid import cycle
+
+    return FaultRecord(
+        mask=mask_from_dict(data["mask"]),
+        outcome=Outcome(data["outcome"]),
+        hvf=HVFClass(data["hvf"]),
+        cycles=data["cycles"],
+        masked_reason=data.get("masked_reason"),
+        crash_reason=data.get("crash_reason"),
+        activated=data.get("activated", False),
+        max_cycles=data.get("max_cycles", 0),
+        stopped_on_hvf=data.get("stopped_on_hvf", False),
+        retries=data.get("retries", 0),
+        error=data.get("error"),
+        sim_error_kind=data.get("sim_error_kind"),
+    )
+
+
+def spec_fingerprint(spec) -> str:
+    """Stable identity hash of a (frozen dataclass) campaign spec."""
+    raw = dataclasses.asdict(spec)
+    canon = json.dumps(raw, sort_keys=True, default=_canon_default)
+    return hashlib.sha256(canon.encode()).hexdigest()
+
+
+def _canon_default(obj: Any) -> Any:
+    if isinstance(obj, (FaultModel, Outcome, HVFClass)):
+        return obj.value
+    if dataclasses.is_dataclass(obj):
+        return dataclasses.asdict(obj)
+    return str(obj)
+
+
+# --------------------------------------------------------------------------
+# the journal
+# --------------------------------------------------------------------------
+
+
+class CampaignJournal:
+    """Append-only per-fault record log with crash-safe resume.
+
+    Writing::
+
+        with CampaignJournal.open(path, spec) as journal:
+            journal.append(record)
+
+    Resuming::
+
+        done = CampaignJournal.completed(path, spec)   # mask_id -> record
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._fh = None
+
+    # ------------------------------------------------------------ writing
+
+    @classmethod
+    def open(cls, path: str | Path, spec) -> "CampaignJournal":
+        """Open for appending; create + write the header if new/empty,
+        validate the header against ``spec`` otherwise."""
+        journal = cls(path)
+        fingerprint = spec_fingerprint(spec)
+        existing = journal._read_header()
+        if existing is None:
+            journal.path.parent.mkdir(parents=True, exist_ok=True)
+            journal._fh = open(journal.path, "a")
+            journal._write_line({
+                "kind": "header",
+                "version": JOURNAL_VERSION,
+                "fingerprint": fingerprint,
+                "spec": json.loads(
+                    json.dumps(dataclasses.asdict(spec), default=_canon_default)
+                ),
+            })
+        else:
+            if existing.get("fingerprint") != fingerprint:
+                raise JournalError(
+                    f"journal {journal.path} was written by a different "
+                    "campaign spec; refusing to append"
+                )
+            journal._fh = open(journal.path, "a")
+        return journal
+
+    def append(self, record) -> None:
+        if self._fh is None:
+            raise JournalError("journal is not open for writing")
+        self._write_line(record_to_dict(record))
+
+    def _write_line(self, data: dict) -> None:
+        self._fh.write(json.dumps(data) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ reading
+
+    def _read_header(self) -> dict | None:
+        if not self.path.exists() or self.path.stat().st_size == 0:
+            return None
+        with open(self.path) as fh:
+            first = fh.readline()
+        try:
+            header = json.loads(first)
+        except json.JSONDecodeError:
+            raise JournalError(f"{self.path}: unreadable journal header")
+        if header.get("kind") != "header":
+            raise JournalError(f"{self.path}: missing journal header")
+        if header.get("version") != JOURNAL_VERSION:
+            raise JournalError(
+                f"{self.path}: journal version {header.get('version')} "
+                f"!= {JOURNAL_VERSION}"
+            )
+        return header
+
+    @classmethod
+    def load(cls, path: str | Path, spec=None) -> list:
+        """Read all complete records; tolerates a torn trailing line.
+
+        With ``spec`` given, raises :class:`JournalError` when the journal
+        belongs to a different campaign.
+        """
+        journal = cls(path)
+        header = journal._read_header()
+        if header is None:
+            return []
+        if spec is not None and header.get("fingerprint") != spec_fingerprint(spec):
+            raise JournalError(
+                f"journal {path} was written by a different campaign spec"
+            )
+        records = []
+        with open(journal.path) as fh:
+            fh.readline()  # header, already validated
+            for line in fh:
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError:
+                    break  # torn tail from an interrupted write: stop here
+                if data.get("kind") != "record":
+                    continue
+                records.append(record_from_dict(data))
+        return records
+
+    @classmethod
+    def completed(cls, path: str | Path, spec=None) -> dict:
+        """``mask_id -> record`` for every journaled fault (last write wins)."""
+        return {r.mask.mask_id: r for r in cls.load(path, spec)}

@@ -21,8 +21,16 @@ from repro.core.sampling import error_margin_for
 
 
 def _count(records: Iterable, outcome: Outcome) -> tuple[int, int]:
+    """Count ``outcome`` hits over the *valid* records.
+
+    Quarantined runs (``Outcome.SIM_FAULT``) are simulator failures, not
+    verdicts about the hardware, and are excluded from every vulnerability
+    factor's numerator and denominator.
+    """
     n = hits = 0
     for r in records:
+        if r.outcome is Outcome.SIM_FAULT:
+            continue
         n += 1
         if r.outcome is outcome:
             hits += 1
@@ -57,12 +65,19 @@ def hvf(records: Sequence) -> float:
     """Hardware Vulnerability Factor: share of commit-visible corruptions."""
     n = corrupt = 0
     for r in records:
+        if r.outcome is Outcome.SIM_FAULT:
+            continue
         n += 1
         if r.hvf is HVFClass.CORRUPTION:
             corrupt += 1
     if n == 0:
         raise ValueError("no fault records")
     return corrupt / n
+
+
+def quarantined(records: Sequence) -> int:
+    """How many runs were quarantined as simulator failures."""
+    return sum(1 for r in records if r.outcome is Outcome.SIM_FAULT)
 
 
 def weighted_avf(avfs: Sequence[float], times: Sequence[float]) -> float:

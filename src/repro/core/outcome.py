@@ -31,6 +31,9 @@ class Outcome(enum.Enum):
     MASKED = "masked"
     SDC = "sdc"
     CRASH = "crash"
+    #: the *simulator* (not the simulated program) failed on this mask; the
+    #: run is quarantined and excluded from AVF/HVF aggregates
+    SIM_FAULT = "sim_fault"
 
 
 class HVFClass(enum.Enum):

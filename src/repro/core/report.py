@@ -7,6 +7,8 @@ import io
 import json
 from collections.abc import Iterable, Sequence
 
+from repro.core.outcome import Outcome
+
 
 def render_table(
     headers: Sequence[str], rows: Iterable[Sequence], floatfmt: str = "{:.3f}"
@@ -42,6 +44,54 @@ def render_bars(
         bar = "#" * max(0, round(value / peak * width))
         lines.append(f"{label.ljust(label_w)} |{bar.ljust(width)}| {value * 100 if unit == '%' else value:7.2f}{unit}")
     return "\n".join(lines)
+
+
+def robustness_summary(records: Sequence) -> dict:
+    """Campaign-health counters: how degraded was this campaign?
+
+    Quarantined / retried / timed-out runs are reported *next to* AVF/HVF
+    rather than silently folded into them, so a campaign that limped through
+    simulator failures is visible as such.  ``watchdog_pressure`` is how
+    close the longest crash-timeout run came to its cycle budget (1.0 means
+    a run hit the watchdog exactly; 0.0 means no timeout crashes).
+    """
+    quarantined = sum(1 for r in records if r.outcome is Outcome.SIM_FAULT)
+    deterministic = sum(
+        1 for r in records if getattr(r, "sim_error_kind", None) == "deterministic"
+    )
+    flaky = sum(1 for r in records if getattr(r, "sim_error_kind", None) == "flaky")
+    retried = sum(1 for r in records if getattr(r, "retries", 0))
+    timeouts = sum(1 for r in records if r.crash_reason == "timeout")
+    hvf_stops = sum(1 for r in records if getattr(r, "stopped_on_hvf", False))
+    pressure = 0.0
+    for r in records:
+        budget = getattr(r, "max_cycles", 0)
+        if r.crash_reason == "timeout" and budget:
+            pressure = max(pressure, r.cycles / budget)
+    return {
+        "quarantined": quarantined,
+        "deterministic_sim_faults": deterministic,
+        "flaky_sim_faults": flaky,
+        "retried": retried,
+        "timeouts": timeouts,
+        "hvf_stops": hvf_stops,
+        "watchdog_pressure": pressure,
+    }
+
+
+def render_robustness(records: Sequence) -> str:
+    """One-line campaign-health note; empty string for a clean campaign."""
+    health = robustness_summary(records)
+    if not (health["quarantined"] or health["retried"] or health["timeouts"]):
+        return ""
+    return (
+        f"degraded campaign: {health['quarantined']} quarantined "
+        f"({health['deterministic_sim_faults']} deterministic, "
+        f"{health['flaky_sim_faults']} flaky), "
+        f"{health['retried']} retried, {health['timeouts']} watchdog timeouts "
+        f"(pressure {health['watchdog_pressure']:.2f}) — quarantined runs are "
+        "excluded from AVF/HVF"
+    )
 
 
 def summaries_to_csv(summaries: list[dict]) -> str:

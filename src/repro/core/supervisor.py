@@ -1,0 +1,251 @@
+"""Supervised process-pool execution for fault-injection campaigns.
+
+``ProcessPoolExecutor.map`` is the wrong tool for a 10k-fault campaign: a
+single hung simulation stalls the whole pool, a worker segfault raises
+``BrokenProcessPool`` out of ``map`` and sinks every remaining mask, and
+nothing records which masks were in flight.  :func:`run_supervised` wraps a
+process pool with the supervision a long campaign needs:
+
+* **per-task wall-clock timeouts** — a task that exceeds its budget is
+  abandoned (its worker killed where possible) and retried with exponential
+  backoff, then reported as a ``timeout`` failure instead of hanging the run;
+* **broken-pool recovery** — ``BrokenProcessPool`` respawns the pool and
+  requeues every in-flight task (the pool failed, not the tasks, so their
+  attempt counts are unchanged);
+* **graceful degradation** — after ``max_pool_respawns`` pool breakages the
+  remaining tasks run serially in the parent process, so a pathological
+  environment degrades to slow-but-complete instead of aborting;
+* **completion callbacks** — ``on_result`` fires in completion order from the
+  parent process, which is what a run journal needs.
+
+The module is campaign-agnostic: it executes ``fn(item)`` for picklable
+``fn``/``item`` and reports :class:`TaskOutcome` rows in input order.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from collections.abc import Callable, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+#: terminal kinds a task can end in
+OK = "ok"
+TIMEOUT = "timeout"
+ERROR = "error"
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Knobs for :func:`run_supervised` (picklable, reusable)."""
+
+    #: per-task wall-clock budget in seconds; ``None`` disables timeouts
+    timeout_s: float | None = None
+    #: extra attempts after the first for timed-out / worker-raised tasks
+    max_retries: int = 2
+    #: exponential backoff: ``min(cap, base * 2**attempt)`` seconds
+    backoff_base_s: float = 0.25
+    backoff_cap_s: float = 4.0
+    #: pool breakages tolerated before degrading to serial execution
+    max_pool_respawns: int = 3
+    #: how often the supervisor wakes up to check deadlines
+    poll_s: float = 0.05
+
+    def backoff_for(self, attempt: int) -> float:
+        return min(self.backoff_cap_s, self.backoff_base_s * (2 ** attempt))
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """Terminal state of one supervised task."""
+
+    index: int                      # position in the input sequence
+    item: object
+    kind: str = OK                  # 'ok' | 'timeout' | 'error'
+    value: object = None            # fn's return value when kind == 'ok'
+    error: str | None = None        # failure description otherwise
+    attempts: int = 1               # total executions attempted
+    mode: str = "pool"              # 'pool' | 'serial' (degraded)
+
+    @property
+    def ok(self) -> bool:
+        return self.kind == OK
+
+
+@dataclass
+class _Pending:
+    index: int
+    item: object
+    attempt: int = 0                # retries consumed so far
+
+
+def _kill_workers(pool: ProcessPoolExecutor) -> None:
+    """Best-effort kill of a pool's worker processes (hung-task recycle)."""
+    try:
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            proc.kill()
+    except Exception:
+        pass
+
+
+def run_supervised(
+    fn: Callable,
+    items: Sequence,
+    workers: int,
+    policy: SupervisorPolicy | None = None,
+    *,
+    initializer: Callable | None = None,
+    initargs: tuple = (),
+    on_result: Callable[[TaskOutcome], None] | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.monotonic,
+) -> list[TaskOutcome]:
+    """Run ``fn(item)`` for every item under pool supervision.
+
+    Returns one :class:`TaskOutcome` per item, in input order.  Never raises
+    for task-level failures — those come back as ``timeout``/``error``
+    outcomes; only truly unexpected supervisor bugs propagate.
+    """
+    policy = policy or SupervisorPolicy()
+    results: list[TaskOutcome | None] = [None] * len(items)
+    pending: deque[_Pending] = deque(_Pending(i, item) for i, item in enumerate(items))
+    pool: ProcessPoolExecutor | None = None
+    inflight: dict = {}              # future -> (_Pending, deadline | None)
+    abandoned = 0                    # timed-out tasks still occupying a worker
+    respawns = 0
+    serial = False
+
+    def emit(outcome: TaskOutcome) -> None:
+        results[outcome.index] = outcome
+        if on_result is not None:
+            on_result(outcome)
+
+    def scrap_pool() -> None:
+        nonlocal pool, abandoned
+        if pool is not None:
+            _kill_workers(pool)
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = None
+        for task, _ in inflight.values():
+            pending.appendleft(task)        # pool failed, not the task
+        inflight.clear()
+        abandoned = 0
+
+    def note_pool_failure() -> None:
+        nonlocal respawns, serial
+        respawns += 1
+        scrap_pool()
+        if respawns > policy.max_pool_respawns:
+            serial = True
+        else:
+            sleep(policy.backoff_for(respawns - 1))
+
+    while pending or inflight:
+        if serial:
+            break
+        if pool is None:
+            pool = ProcessPoolExecutor(
+                max_workers=workers, initializer=initializer, initargs=initargs
+            )
+        # keep the pool fed, with a small overcommit so workers never starve
+        while pending and len(inflight) < workers * 2:
+            task = pending.popleft()
+            try:
+                future = pool.submit(fn, task.item)
+            except (BrokenProcessPool, RuntimeError):
+                pending.appendleft(task)
+                note_pool_failure()
+                break
+            deadline = (
+                clock() + policy.timeout_s if policy.timeout_s is not None else None
+            )
+            inflight[future] = (task, deadline)
+        if not inflight:
+            continue
+
+        done, _ = wait(list(inflight), timeout=policy.poll_s,
+                       return_when=FIRST_COMPLETED)
+        pool_broke = False
+        for future in done:
+            task, _deadline = inflight.pop(future)
+            try:
+                value = future.result()
+            except BrokenProcessPool:
+                pending.appendleft(task)
+                pool_broke = True
+            except Exception as exc:  # fn raised inside the worker
+                if task.attempt < policy.max_retries:
+                    sleep(policy.backoff_for(task.attempt))
+                    pending.append(replace_attempt(task))
+                else:
+                    emit(TaskOutcome(
+                        index=task.index, item=task.item, kind=ERROR,
+                        error=f"{type(exc).__name__}: {exc}",
+                        attempts=task.attempt + 1,
+                    ))
+            else:
+                emit(TaskOutcome(
+                    index=task.index, item=task.item, value=value,
+                    attempts=task.attempt + 1,
+                ))
+        if pool_broke:
+            note_pool_failure()
+            continue
+
+        # enforce wall-clock deadlines on whatever is still running
+        if policy.timeout_s is not None:
+            now = clock()
+            for future, (task, deadline) in list(inflight.items()):
+                if deadline is None or now < deadline:
+                    continue
+                inflight.pop(future)
+                if not future.cancel():
+                    abandoned += 1      # running: its worker slot is poisoned
+                if task.attempt < policy.max_retries:
+                    sleep(policy.backoff_for(task.attempt))
+                    pending.append(replace_attempt(task))
+                else:
+                    emit(TaskOutcome(
+                        index=task.index, item=task.item, kind=TIMEOUT,
+                        error=f"exceeded {policy.timeout_s:.1f}s wall clock",
+                        attempts=task.attempt + 1,
+                    ))
+            if abandoned >= workers:
+                # every slot is stuck behind a hung task: recycle the pool
+                note_pool_failure()
+
+    if pool is not None:
+        if inflight or abandoned:
+            # degraded mid-flight, or a hung task still owns a worker:
+            # waiting would block on it, so kill and reclaim instead
+            scrap_pool()
+        else:
+            pool.shutdown(wait=True)
+
+    if serial and (pending or any(r is None for r in results)):
+        if initializer is not None:
+            initializer(*initargs)
+        while pending:
+            task = pending.popleft()
+            try:
+                value = fn(task.item)
+            except Exception as exc:
+                emit(TaskOutcome(
+                    index=task.index, item=task.item, kind=ERROR,
+                    error=f"{type(exc).__name__}: {exc}",
+                    attempts=task.attempt + 1, mode="serial",
+                ))
+            else:
+                emit(TaskOutcome(
+                    index=task.index, item=task.item, value=value,
+                    attempts=task.attempt + 1, mode="serial",
+                ))
+
+    assert all(r is not None for r in results), "supervisor lost a task"
+    return results  # type: ignore[return-value]
+
+
+def replace_attempt(task: _Pending) -> _Pending:
+    return _Pending(task.index, task.item, task.attempt + 1)

@@ -1,0 +1,93 @@
+"""Accel-campaign quarantine + journal tests (mirror of the CPU driver's)."""
+
+import pytest
+
+import repro.accel.campaign as ac
+from repro.accel.campaign import (
+    AccelCampaignSpec,
+    accel_golden,
+    accel_masks,
+    run_accel_campaign,
+    run_one_accel_fault,
+)
+from repro.core.journal import CampaignJournal
+from repro.core.outcome import Outcome
+
+
+def _spec(**kw):
+    defaults = dict(design="fft", component="REAL", scale="tiny", faults=4,
+                    seed=3)
+    defaults.update(kw)
+    return AccelCampaignSpec(**defaults)
+
+
+@pytest.fixture
+def exploding_engine(monkeypatch):
+    """Swap the dataflow engine for one that raises; golden is primed first
+    (the golden cache keeps the patch from poisoning the reference run)."""
+    spec = _spec()
+    accel_golden(spec)
+    real = ac.DataflowEngine
+    state = {"fuse": None}          # None = always explode; N = N times
+
+    class Exploding(real):
+        def run(self):
+            if state["fuse"] is None:
+                raise KeyError("poisoned rename map")
+            if state["fuse"] > 0:
+                state["fuse"] -= 1
+                raise KeyError("poisoned rename map")
+            return super().run()
+
+    monkeypatch.setattr(ac, "DataflowEngine", Exploding)
+    return state
+
+
+def test_accel_deterministic_quarantine(exploding_engine):
+    spec = _spec()
+    mask = accel_masks(spec, accel_golden(spec))[0]
+    record = run_one_accel_fault(spec, mask)
+    assert record.outcome is Outcome.SIM_FAULT
+    assert record.sim_error_kind == "deterministic"
+    assert "KeyError" in record.error and "poisoned" in record.error
+
+
+def test_accel_flaky_keeps_verdict(exploding_engine):
+    exploding_engine["fuse"] = 1
+    spec = _spec()
+    mask = accel_masks(spec, accel_golden(spec))[0]
+    record = run_one_accel_fault(spec, mask)
+    assert record.outcome is not Outcome.SIM_FAULT
+    assert record.sim_error_kind == "flaky" and record.retries == 1
+
+
+def test_accel_campaign_survives_and_reports(exploding_engine):
+    res = run_accel_campaign(_spec())
+    assert len(res.records) == 4
+    assert res.quarantined == 4
+    assert res.avf == 0.0                     # no valid records, no crash
+    summary = res.summary()
+    assert summary["quarantined"] == 4 and summary["retried"] == 4
+
+
+def test_accel_journal_resume(tmp_path):
+    spec = _spec(faults=5)
+    masks = accel_masks(spec, accel_golden(spec))
+    journal = tmp_path / "accel.jsonl"
+    partial = run_accel_campaign(spec, masks=masks[:3], journal=journal)
+    assert partial.resumed == 0
+    full = run_accel_campaign(spec, masks=masks, journal=journal,
+                              resume=journal)
+    assert full.resumed == 3 and len(full.records) == 5
+    assert CampaignJournal.completed(journal, spec).keys() == set(range(5))
+    fresh = run_accel_campaign(spec, masks=masks)
+    assert [r.outcome for r in full.records] == [r.outcome for r in fresh.records]
+
+
+def test_accel_records_carry_watchdog_budget():
+    spec = _spec(faults=3)
+    res = run_accel_campaign(spec)
+    golden = accel_golden(spec)
+    budget = golden.cycles * spec.watchdog_factor + 1000
+    for r in res.records:
+        assert r.max_cycles == budget

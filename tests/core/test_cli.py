@@ -23,6 +23,37 @@ def test_campaign_command(capsys, tmp_path):
     assert csv.exists() and "avf" in csv.read_text()
 
 
+def test_campaign_journal_and_resume_flags(capsys, tmp_path):
+    journal = tmp_path / "run.jsonl"
+    base = [
+        "campaign", "--isa", "rv", "--workload", "crc32",
+        "--target", "regfile_int", "--faults", "4",
+        "--journal", str(journal),
+    ]
+    assert main(base) == 0
+    capsys.readouterr()
+    assert journal.exists()
+    assert main(base + ["--resume", str(journal)]) == 0
+    out = capsys.readouterr().out
+    assert "resumed 4/4" in out
+    # the journal holds exactly one record per mask (no duplicates appended)
+    from repro.core.journal import CampaignJournal
+
+    assert len(CampaignJournal.load(journal)) == 4
+
+
+def test_accel_campaign_journal_and_resume_flags(capsys, tmp_path):
+    journal = tmp_path / "accel.jsonl"
+    base = [
+        "accel-campaign", "--design", "fft", "--component", "REAL",
+        "--faults", "4", "--scale", "tiny", "--journal", str(journal),
+    ]
+    assert main(base) == 0
+    capsys.readouterr()
+    assert main(base + ["--resume", str(journal)]) == 0
+    assert "resumed 4/4" in capsys.readouterr().out
+
+
 def test_accel_campaign_command(capsys):
     rc = main([
         "accel-campaign", "--design", "fft", "--component", "REAL",

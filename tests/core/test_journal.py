@@ -1,0 +1,147 @@
+"""Run-journal tests: serialization round-trips, torn tails, spec identity."""
+
+import json
+
+import pytest
+
+from repro.core.campaign import CampaignSpec, FaultRecord
+from repro.core.faults import FaultFlip, FaultMask, FaultModel
+from repro.core.journal import (
+    CampaignJournal,
+    JournalError,
+    mask_from_dict,
+    mask_to_dict,
+    record_from_dict,
+    record_to_dict,
+    spec_fingerprint,
+)
+from repro.core.outcome import HVFClass, Outcome
+
+
+def _spec(cfg, **kw):
+    defaults = dict(
+        isa="rv", workload="crc32", target="regfile_int", cfg=cfg,
+        scale="tiny", faults=4, seed=7,
+    )
+    defaults.update(kw)
+    return CampaignSpec(**defaults)
+
+
+def _mask(mask_id=0, bit=3):
+    return FaultMask(
+        model=FaultModel.TRANSIENT,
+        flips=(FaultFlip("regfile_int", 5, bit, 120),
+               FaultFlip("l1d", 2, 17, 250)),
+        mask_id=mask_id,
+    )
+
+
+def _record(mask_id=0, outcome=Outcome.SDC, **kw):
+    defaults = dict(
+        mask=_mask(mask_id), outcome=outcome, hvf=HVFClass.CORRUPTION,
+        cycles=1234, crash_reason=None, activated=True, max_cycles=40_000,
+    )
+    defaults.update(kw)
+    return FaultRecord(**defaults)
+
+
+def test_mask_roundtrip():
+    mask = _mask()
+    assert mask_from_dict(mask_to_dict(mask)) == mask
+    stuck = FaultMask.single("l1i", 3, 9, 0, model=FaultModel.STUCK_AT_1,
+                             mask_id=4)
+    assert mask_from_dict(mask_to_dict(stuck)) == stuck
+
+
+def test_record_roundtrip_all_fields():
+    record = _record(
+        masked_reason=None, retries=1, sim_error_kind="flaky",
+        error="IndexError: boom", stopped_on_hvf=True,
+    )
+    clone = record_from_dict(record_to_dict(record))
+    assert clone == record
+
+
+def test_quarantined_record_roundtrip():
+    record = _record(outcome=Outcome.SIM_FAULT, hvf=HVFClass.BENIGN,
+                     cycles=0, sim_error_kind="deterministic",
+                     error="KeyError: poisoned rename map")
+    clone = record_from_dict(record_to_dict(record))
+    assert clone.quarantined and clone.sim_error_kind == "deterministic"
+
+
+def test_fingerprint_distinguishes_specs(cfg):
+    a, b = _spec(cfg), _spec(cfg, seed=8)
+    assert spec_fingerprint(a) == spec_fingerprint(_spec(cfg))
+    assert spec_fingerprint(a) != spec_fingerprint(b)
+
+
+def test_append_and_load(tmp_path, cfg):
+    path = tmp_path / "run.jsonl"
+    spec = _spec(cfg)
+    with CampaignJournal.open(path, spec) as journal:
+        journal.append(_record(0))
+        journal.append(_record(1, outcome=Outcome.MASKED,
+                               hvf=HVFClass.BENIGN,
+                               masked_reason="masked_unused"))
+    records = CampaignJournal.load(path, spec)
+    assert [r.mask.mask_id for r in records] == [0, 1]
+    assert records[1].masked_reason == "masked_unused"
+    assert CampaignJournal.completed(path, spec).keys() == {0, 1}
+
+
+def test_reopen_appends_after_header(tmp_path, cfg):
+    path = tmp_path / "run.jsonl"
+    spec = _spec(cfg)
+    with CampaignJournal.open(path, spec) as journal:
+        journal.append(_record(0))
+    with CampaignJournal.open(path, spec) as journal:
+        journal.append(_record(1))
+    assert len(CampaignJournal.load(path, spec)) == 2
+    # exactly one header line
+    lines = path.read_text().splitlines()
+    assert sum(1 for l in lines if json.loads(l)["kind"] == "header") == 1
+
+
+def test_torn_trailing_line_is_tolerated(tmp_path, cfg):
+    path = tmp_path / "run.jsonl"
+    spec = _spec(cfg)
+    with CampaignJournal.open(path, spec) as journal:
+        journal.append(_record(0))
+        journal.append(_record(1))
+    with open(path, "a") as fh:
+        fh.write('{"kind": "record", "mask": {"model": "trans')  # torn write
+    records = CampaignJournal.load(path, spec)
+    assert [r.mask.mask_id for r in records] == [0, 1]
+
+
+def test_spec_mismatch_refuses_append_and_load(tmp_path, cfg):
+    path = tmp_path / "run.jsonl"
+    with CampaignJournal.open(path, _spec(cfg)) as journal:
+        journal.append(_record(0))
+    other = _spec(cfg, seed=99)
+    with pytest.raises(JournalError):
+        CampaignJournal.open(path, other)
+    with pytest.raises(JournalError):
+        CampaignJournal.load(path, other)
+
+
+def test_load_missing_or_empty_file(tmp_path, cfg):
+    assert CampaignJournal.load(tmp_path / "absent.jsonl") == []
+    empty = tmp_path / "empty.jsonl"
+    empty.touch()
+    assert CampaignJournal.load(empty) == []
+
+
+def test_bad_header_raises(tmp_path, cfg):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"kind": "record"}\n')
+    with pytest.raises(JournalError):
+        CampaignJournal.load(path)
+
+
+def test_load_without_spec_skips_validation(tmp_path, cfg):
+    path = tmp_path / "run.jsonl"
+    with CampaignJournal.open(path, _spec(cfg)) as journal:
+        journal.append(_record(0))
+    assert len(CampaignJournal.load(path)) == 1

@@ -13,6 +13,7 @@ from repro.core.metrics import (
     error_margin,
     hvf,
     opf,
+    quarantined,
     sdc_avf,
     weighted_avf,
 )
@@ -54,6 +55,24 @@ def test_metrics_reject_empty():
     for fn in (avf, sdc_avf, crash_avf, hvf):
         with pytest.raises(ValueError):
             fn([])
+
+
+def test_quarantined_records_do_not_move_metrics():
+    clean = (
+        [_rec(Outcome.MASKED)] * 6 + [_rec(Outcome.SDC)] * 3
+        + [_rec(Outcome.CRASH)]
+    )
+    poisoned = clean + [_rec(Outcome.SIM_FAULT, HVFClass.BENIGN)] * 5
+    for fn in (avf, sdc_avf, crash_avf, hvf):
+        assert fn(poisoned) == pytest.approx(fn(clean))
+    assert quarantined(poisoned) == 5 and quarantined(clean) == 0
+
+
+def test_all_quarantined_is_rejected_like_empty():
+    records = [_rec(Outcome.SIM_FAULT, HVFClass.BENIGN)] * 3
+    for fn in (avf, sdc_avf, crash_avf, hvf):
+        with pytest.raises(ValueError):
+            fn(records)
 
 
 def test_weighted_avf_formula():

@@ -1,0 +1,119 @@
+"""Supervised-executor tests: timeouts, broken pools, serial degradation.
+
+Worker functions must be module-level (picklable).  Timings are kept tight:
+no test sleeps longer than a couple of seconds even on failure, because the
+supervisor kills hung workers instead of joining them.
+"""
+
+import os
+import time
+
+from repro.core.supervisor import (
+    ERROR,
+    OK,
+    TIMEOUT,
+    SupervisorPolicy,
+    TaskOutcome,
+    run_supervised,
+)
+
+_FAST = dict(backoff_base_s=0.0, backoff_cap_s=0.0, poll_s=0.02)
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise ValueError(f"bad {x}")
+
+
+def _sleepy(x):
+    if x == "sleep":
+        time.sleep(30)
+    return x
+
+
+def _die_once(path):
+    """Break the pool on the first attempt, succeed on the retry."""
+    if os.path.exists(path):
+        return "ok"
+    open(path, "w").close()
+    os._exit(1)
+
+
+def _die_in_child(parent_pid):
+    """Always break the pool; only the parent process can run this."""
+    if os.getpid() != parent_pid:
+        os._exit(1)
+    return "serial"
+
+
+def test_results_in_input_order():
+    outcomes = run_supervised(_square, [1, 2, 3, 4, 5], workers=2,
+                              policy=SupervisorPolicy(**_FAST))
+    assert [o.value for o in outcomes] == [1, 4, 9, 16, 25]
+    assert all(o.ok and o.kind == OK and o.attempts == 1 for o in outcomes)
+
+
+def test_worker_exception_retries_then_reports_error():
+    policy = SupervisorPolicy(max_retries=1, **_FAST)
+    outcomes = run_supervised(_boom, ["x"], workers=2, policy=policy)
+    (outcome,) = outcomes
+    assert outcome.kind == ERROR and not outcome.ok
+    assert outcome.attempts == 2          # first try + one retry
+    assert "ValueError" in outcome.error
+
+
+def test_hung_task_times_out_without_sinking_others():
+    policy = SupervisorPolicy(timeout_s=1.0, max_retries=0, **_FAST)
+    start = time.monotonic()
+    outcomes = run_supervised(_sleepy, ["a", "sleep", "b"], workers=2,
+                              policy=policy)
+    elapsed = time.monotonic() - start
+    by_item = {o.item: o for o in outcomes}
+    assert by_item["a"].ok and by_item["b"].ok
+    assert by_item["sleep"].kind == TIMEOUT
+    assert "wall clock" in by_item["sleep"].error
+    assert elapsed < 15, "supervisor must kill hung workers, not join them"
+
+
+def test_broken_pool_respawns_and_requeues(tmp_path):
+    flag = str(tmp_path / "died-once")
+    policy = SupervisorPolicy(**_FAST)
+    outcomes = run_supervised(_die_once, [flag], workers=2, policy=policy)
+    (outcome,) = outcomes
+    # the pool broke (worker os._exit), the mask was requeued, the retry
+    # succeeded; the task itself never failed so attempts stays 1
+    assert outcome.ok and outcome.value == "ok" and outcome.attempts == 1
+
+
+def test_degrades_to_serial_after_repeated_pool_failures():
+    policy = SupervisorPolicy(max_pool_respawns=0, **_FAST)
+    items = [os.getpid()] * 3
+    outcomes = run_supervised(_die_in_child, items, workers=2, policy=policy)
+    assert [o.value for o in outcomes] == ["serial"] * 3
+    assert all(o.mode == "serial" for o in outcomes)
+
+
+def test_on_result_fires_per_completion():
+    seen = []
+    run_supervised(_square, [1, 2, 3], workers=2,
+                   policy=SupervisorPolicy(**_FAST),
+                   on_result=seen.append)
+    assert sorted(o.value for o in seen) == [1, 4, 9]
+    assert all(isinstance(o, TaskOutcome) for o in seen)
+
+
+def test_serial_items_with_no_workers_needed():
+    # workers=1 still goes through the pool; exercise the trivial case
+    outcomes = run_supervised(_square, [], workers=1)
+    assert outcomes == []
+
+
+def test_backoff_schedule_is_exponential_and_capped():
+    policy = SupervisorPolicy(backoff_base_s=0.25, backoff_cap_s=1.0)
+    assert policy.backoff_for(0) == 0.25
+    assert policy.backoff_for(1) == 0.5
+    assert policy.backoff_for(2) == 1.0
+    assert policy.backoff_for(10) == 1.0
