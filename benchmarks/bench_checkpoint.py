@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Measure the checkpoint fast-forward speedup and write BENCH_checkpoint.json.
+
+For each workload the same fault sample is simulated twice per mask:
+
+* **full** — from cycle 0 with checkpointing and early-exit disabled
+  (``NO_CHECKPOINTS``), the pre-checkpoint behaviour;
+* **ckpt** — restored from the nearest golden checkpoint at-or-before the
+  injection cycle with the re-convergence early exit armed (default policy).
+
+Every pair of records is asserted equal before its timing counts, so the
+numbers can never come from a run that changed the physics.  Each variant
+is timed best-of-``--repeats`` to suppress scheduler noise.
+
+Regenerate with::
+
+    PYTHONPATH=src python benchmarks/bench_checkpoint.py
+
+The ``smoke`` entry mirrors the CI campaign smoke (crc32/regfile_int,
+20 faults, seed 1 — the CLI defaults); its median per-fault speedup is the
+acceptance gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.core.campaign import (
+    CampaignSpec,
+    golden_run,
+    masks_for_spec,
+    run_one_fault,
+)
+from repro.core.checkpoint import NO_CHECKPOINTS, CheckpointPolicy
+from repro.core.presets import sim_config
+
+SMOKE = ("crc32", "regfile_int", 20, 1)   # workload, target, faults, seed
+DEFAULT_WORKLOADS = ["crc32", "qsort", "sha", "fft", "dijkstra"]
+
+
+def _best_of(repeats: int, fn) -> tuple[float, object]:
+    best_t, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best_t = min(best_t, time.perf_counter() - t0)
+    return best_t, result
+
+
+def bench_one(workload: str, target: str, faults: int, seed: int,
+              repeats: int) -> dict:
+    cfg = sim_config()
+    policy = CheckpointPolicy()
+    t0 = time.perf_counter()
+    golden = golden_run("rv", workload, cfg, "tiny", checkpoints=policy)
+    golden_s = time.perf_counter() - t0
+    spec = CampaignSpec(isa="rv", workload=workload, target=target,
+                        cfg=cfg, scale="tiny", faults=faults, seed=seed)
+    masks = masks_for_spec(spec, golden)
+
+    speedups, full_total, ckpt_total = [], 0.0, 0.0
+    for mask in masks:
+        t_full, r_full = _best_of(
+            repeats,
+            lambda: run_one_fault(spec, mask, golden,
+                                  checkpoints=NO_CHECKPOINTS))
+        t_ckpt, r_ckpt = _best_of(
+            repeats,
+            lambda: run_one_fault(spec, mask, golden, checkpoints=policy))
+        assert r_full == r_ckpt, (
+            f"{workload}/{target} mask {mask.mask_id}: checkpointed record "
+            f"diverged from the full run — refusing to report its timing")
+        speedups.append(t_full / t_ckpt)
+        full_total += t_full
+        ckpt_total += t_ckpt
+
+    return {
+        "target": target,
+        "faults": faults,
+        "seed": seed,
+        "golden_cycles": golden.cycles,
+        "checkpoints": len(golden.checkpoints),
+        "checkpoint_stride": golden.checkpoints.stride,
+        "golden_with_checkpoints_s": round(golden_s, 4),
+        "full_total_s": round(full_total, 4),
+        "ckpt_total_s": round(ckpt_total, 4),
+        "median_speedup": round(statistics.median(speedups), 3),
+        "mean_speedup": round(statistics.fmean(speedups), 3),
+        "min_speedup": round(min(speedups), 3),
+        "max_speedup": round(max(speedups), 3),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--workloads", nargs="+", default=DEFAULT_WORKLOADS)
+    ap.add_argument("--faults", type=int, default=20)
+    ap.add_argument("--seed", type=int, default=5)
+    ap.add_argument("--repeats", type=int, default=2,
+                    help="timing repeats per variant (best-of)")
+    ap.add_argument("--out", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_checkpoint.json"))
+    args = ap.parse_args(argv)
+
+    results: dict[str, dict] = {}
+    wl, target, faults, seed = SMOKE
+    print(f"smoke: {wl}/{target} faults={faults} seed={seed}")
+    results["smoke"] = bench_one(wl, target, faults, seed, args.repeats)
+    print(f"  median {results['smoke']['median_speedup']}x  "
+          f"full {results['smoke']['full_total_s']}s -> "
+          f"ckpt {results['smoke']['ckpt_total_s']}s")
+
+    for wl in args.workloads:
+        print(f"bench: {wl}/regfile_int faults={args.faults} seed={args.seed}")
+        results[wl] = bench_one(wl, "regfile_int", args.faults, args.seed,
+                                args.repeats)
+        print(f"  median {results[wl]['median_speedup']}x  "
+              f"full {results[wl]['full_total_s']}s -> "
+              f"ckpt {results[wl]['ckpt_total_s']}s")
+
+    doc = {
+        "benchmark": "checkpoint fast-forward + golden-trace early exit",
+        "command": "PYTHONPATH=src python benchmarks/bench_checkpoint.py",
+        "policy": "adaptive stride, early_exit=True vs NO_CHECKPOINTS",
+        "isa": "rv",
+        "repeats": args.repeats,
+        "overall_median_speedup": round(statistics.median(
+            r["median_speedup"] for r in results.values()), 3),
+        "workloads": results,
+    }
+    Path(args.out).write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    gate = results["smoke"]["median_speedup"]
+    if gate < 3.0:
+        print(f"FAIL: smoke median speedup {gate}x < 3x")
+        return 1
+    print(f"OK: smoke median speedup {gate}x >= 3x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -172,6 +172,33 @@ class AccelCampaignResult:
         }
 
 
+class AccelReplayContext:
+    """Reusable post-DMA accelerator state for back-to-back fault runs.
+
+    Instantiating a design and re-DMAing its inputs dominates the cost of
+    short accelerator fault runs.  The context does both exactly once,
+    snapshots every local memory (data + touched map + access counters,
+    :meth:`ScratchpadMemory.snapshot`), and :meth:`reset` restores the
+    snapshot — so each fault run starts from the identical armed state a
+    fresh instantiation would reach, without paying for it.
+    """
+
+    def __init__(self, spec: AccelCampaignSpec):
+        self.spec = spec
+        self.accel = get_design(spec.design).instantiate(spec.fu)
+        self.dma_in = self.accel.load_inputs(spec.scale)
+        self._snaps = {
+            name: mem.snapshot() for name, mem in self.accel.memories.items()
+        }
+
+    def reset(self) -> Accelerator:
+        """Restore every memory to its freshly-loaded state, drop probes."""
+        for name, mem in self.accel.memories.items():
+            mem.restore(self._snaps[name])
+            mem.probe = None
+        return self.accel
+
+
 _ACCEL_GOLDEN_CACHE: dict[tuple, AccelGolden] = {}
 
 
@@ -224,13 +251,17 @@ def accel_masks(spec: AccelCampaignSpec, golden: AccelGolden) -> list[FaultMask]
 
 
 def _simulate_one_accel(spec: AccelCampaignSpec, mask: FaultMask,
-                        golden: AccelGolden) -> FaultRecord:
+                        golden: AccelGolden,
+                        ctx: AccelReplayContext | None = None) -> FaultRecord:
     """One injected accelerator run, unguarded (simulator bugs raise
     :class:`SimulatorFault` for :func:`run_one_accel_fault` to quarantine)."""
     max_cycles = golden.cycles * spec.watchdog_factor + 1000
     try:
-        accel = get_design(spec.design).instantiate(spec.fu)
-        accel.load_inputs(spec.scale)
+        if ctx is not None:
+            accel = ctx.reset()
+        else:
+            accel = get_design(spec.design).instantiate(spec.fu)
+            accel.load_inputs(spec.scale)
         injector = AccelInjector(mask, accel.mem(spec.component))
         engine = DataflowEngine(
             accel.kernel(spec.scale),
@@ -277,17 +308,21 @@ def _simulate_one_accel(spec: AccelCampaignSpec, mask: FaultMask,
     )
 
 
-def run_one_accel_fault(spec: AccelCampaignSpec, mask: FaultMask) -> FaultRecord:
+def run_one_accel_fault(spec: AccelCampaignSpec, mask: FaultMask,
+                        ctx: AccelReplayContext | None = None) -> FaultRecord:
     """Simulate one accelerator fault with the crash-quarantine boundary:
     a simulator exception is retried once with the same mask, then
     quarantined — never aborting the campaign (same policy as the CPU
     driver's :func:`repro.core.campaign.run_one_fault`)."""
     golden = accel_golden(spec)
     try:
-        return _simulate_one_accel(spec, mask, golden)
+        return _simulate_one_accel(spec, mask, golden, ctx)
     except SimulatorFault as first:
         first_text = first.describe()
     try:
+        # retry from a pristine instantiation: if the context itself is the
+        # corruption vector, the fresh build either succeeds (flaky) or
+        # reproduces the fault deterministically
         record = _simulate_one_accel(spec, mask, golden)
     except SimulatorFault as second:
         return quarantine_record(
@@ -325,12 +360,13 @@ def run_accel_campaign(
 
     writer = CampaignJournal.open(journal, spec) if journal is not None else None
     records: list[FaultRecord] = []
+    ctx = AccelReplayContext(spec)
     try:
         for m in masks:
             if m.mask_id in done:
                 records.append(done[m.mask_id])
                 continue
-            record = run_one_accel_fault(spec, m)
+            record = run_one_accel_fault(spec, m, ctx)
             if writer is not None:
                 writer.append(record)
             records.append(record)

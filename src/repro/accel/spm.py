@@ -120,11 +120,18 @@ class ScratchpadMemory:
         return 0
 
     def snapshot(self) -> dict:
-        return {"data": bytes(self.data), "touched": bytes(self.touched)}
+        return {
+            "data": bytes(self.data),
+            "touched": bytes(self.touched),
+            "reads": self.reads,
+            "writes": self.writes,
+        }
 
     def restore(self, snap: dict) -> None:
         self.data[:] = snap["data"]
         self.touched[:] = snap["touched"]
+        self.reads = snap.get("reads", 0)
+        self.writes = snap.get("writes", 0)
 
 
 class RegisterBank(ScratchpadMemory):

@@ -39,6 +39,15 @@ def _add_campaign(sub) -> None:
     p.add_argument("--timeout", type=float, metavar="SECONDS",
                    help="per-fault wall-clock budget for parallel workers "
                         "(default: derived from the golden cycle count)")
+    p.add_argument("--checkpoint-stride", type=int, default=None,
+                   metavar="CYCLES",
+                   help="cycles between golden-run checkpoints; fault runs "
+                        "fast-forward from the nearest one at-or-before the "
+                        "injection cycle (default: adaptive; 0 disables "
+                        "checkpointing entirely)")
+    p.add_argument("--no-early-exit", action="store_true",
+                   help="disable the golden-trace re-convergence early exit "
+                        "(fault runs always simulate to completion)")
 
 
 def _add_accel(sub) -> None:
@@ -99,6 +108,7 @@ def _model(name: str):
 
 def cmd_campaign(args) -> int:
     from repro.core.campaign import CampaignSpec, run_campaign
+    from repro.core.checkpoint import CheckpointPolicy
     from repro.core.presets import get_preset
     from repro.core.report import render_robustness, render_table, save_report
 
@@ -108,9 +118,14 @@ def cmd_campaign(args) -> int:
         seed=args.seed, model=_model(args.model),
         flips_per_mask=args.flips_per_mask,
     )
+    checkpoints = CheckpointPolicy(
+        stride=args.checkpoint_stride,
+        early_exit=not args.no_early_exit,
+    )
     result = run_campaign(
         spec, workers=args.workers,
         journal=args.journal, resume=args.resume, timeout_s=args.timeout,
+        checkpoints=checkpoints,
     )
     summary = result.summary()
     print(render_table(["metric", "value"], sorted(summary.items())))

@@ -13,9 +13,17 @@
 from __future__ import annotations
 
 import traceback
-from dataclasses import dataclass, replace
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
+from repro.core.checkpoint import (
+    DEFAULT_POLICY as DEFAULT_CHECKPOINT_POLICY,
+    NO_CHECKPOINTS,
+    CheckpointPolicy,
+    CheckpointStore,
+    matches as checkpoint_matches,
+)
 from repro.core.faults import FaultMask, FaultModel
 from repro.core.injector import InjectionController
 from repro.core.journal import CampaignJournal
@@ -54,6 +62,9 @@ class GoldenRun:
     exe: Executable
     result: RunResult
     window: tuple[int, int]
+    #: mid-flight checkpoints collected along this run (None when the run
+    #: was simulated without a checkpoint policy)
+    checkpoints: CheckpointStore | None = field(default=None, repr=False)
 
     @property
     def output(self) -> bytes:
@@ -203,7 +214,34 @@ class CampaignResult:
 # golden-run cache
 # --------------------------------------------------------------------------
 
-_GOLDEN_CACHE: dict[tuple, GoldenRun] = {}
+#: bound on cached golden runs per process — multi-spec sweeps touch many
+#: (isa, workload, cfg) combinations, and each checkpointed golden holds
+#: dozens of full-state snapshots, so an unbounded cache grows worker
+#: memory without limit
+GOLDEN_CACHE_LIMIT = 16
+
+
+class _LRUCache(OrderedDict):
+    """Least-recently-used mapping with a fixed key count."""
+
+    def __init__(self, maxsize: int):
+        super().__init__()
+        self.maxsize = maxsize
+
+    def get(self, key, default=None):
+        if key in self:
+            self.move_to_end(key)
+            return super().__getitem__(key)
+        return default
+
+    def put(self, key, value) -> None:
+        self[key] = value
+        self.move_to_end(key)
+        while len(self) > self.maxsize:
+            self.popitem(last=False)
+
+
+_GOLDEN_CACHE: _LRUCache = _LRUCache(GOLDEN_CACHE_LIMIT)
 _EXE_CACHE: dict[tuple, Executable] = {}
 #: process-local count of golden-cache misses (full golden simulations);
 #: tests use this to assert workers compute the golden run at most once
@@ -224,11 +262,27 @@ def compile_workload(isa_name: str, workload: str, scale: str) -> Executable:
     return _EXE_CACHE[key]
 
 
-def golden_run(isa_name: str, workload: str, cfg: CPUConfig, scale: str = "tiny") -> GoldenRun:
-    """Fault-free reference run (cached per isa/workload/config/scale)."""
+def golden_run(
+    isa_name: str,
+    workload: str,
+    cfg: CPUConfig,
+    scale: str = "tiny",
+    *,
+    checkpoints: CheckpointPolicy | None = None,
+) -> GoldenRun:
+    """Fault-free reference run (cached per isa/workload/config/scale).
+
+    With a ``checkpoints`` policy, the run also collects one mid-flight
+    :class:`CoreCheckpoint` per stride bucket (``GoldenRun.checkpoints``)
+    so fault runs can fast-forward to the injection cycle.  A cached
+    golden that already carries checkpoints is reused as-is — correctness
+    never depends on the stride, only speed does — while a cached one
+    without them is re-simulated once to collect them.
+    """
     key = (isa_name, workload, scale, cfg)
+    want = checkpoints is not None and checkpoints.enabled
     cached = _GOLDEN_CACHE.get(key)
-    if cached is not None:
+    if cached is not None and (not want or cached.checkpoints is not None):
         return cached
     global _GOLDEN_MISSES
     _GOLDEN_MISSES += 1
@@ -236,7 +290,11 @@ def golden_run(isa_name: str, workload: str, cfg: CPUConfig, scale: str = "tiny"
     isa = get_isa(isa_name)
     core = OoOCore.from_executable(exe, isa, cfg)
     core.trace_mode = "record"
-    result = core.run()
+    store = (
+        CheckpointStore(checkpoints, base_image=bytes(exe.initial_memory()))
+        if want else None
+    )
+    result = core.run(on_cycle=store.consider if store is not None else None)
     if not result.ok:
         raise RuntimeError(
             f"golden run failed for {isa_name}/{workload}: {result.crashed}"
@@ -245,8 +303,8 @@ def golden_run(isa_name: str, workload: str, cfg: CPUConfig, scale: str = "tiny"
     hi = result.switch_cycle if result.switch_cycle is not None else result.cycles
     if hi <= lo:
         hi = result.cycles
-    golden = GoldenRun(exe=exe, result=result, window=(lo, hi))
-    _GOLDEN_CACHE[key] = golden
+    golden = GoldenRun(exe=exe, result=result, window=(lo, hi), checkpoints=store)
+    _GOLDEN_CACHE.put(key, golden)
     return golden
 
 
@@ -261,15 +319,59 @@ def clear_caches() -> None:
 # --------------------------------------------------------------------------
 
 
-def _simulate_one(spec: CampaignSpec, mask: FaultMask, golden: GoldenRun) -> FaultRecord:
+def _simulate_one(
+    spec: CampaignSpec,
+    mask: FaultMask,
+    golden: GoldenRun,
+    policy: CheckpointPolicy | None = None,
+) -> FaultRecord:
     """One injected simulation, unguarded: simulator bugs raise
-    :class:`SimulatorFault` for :func:`run_one_fault` to quarantine."""
+    :class:`SimulatorFault` for :func:`run_one_fault` to quarantine.
+
+    With an enabled ``policy`` and a checkpointed golden run, the core is
+    restored from the nearest golden checkpoint at-or-before the earliest
+    flip cycle instead of simulating the warm-up (the simulator is
+    deterministic and the injector is a no-op before the flip cycle, so the
+    restored run is bit-identical to a from-scratch one).  With
+    ``policy.early_exit``, the run additionally compares its state digest
+    against the golden checkpoint stream once every flip has reached a
+    terminal lifecycle state: a digest match proves every remaining cycle
+    is identical to the golden run, so the record is emitted immediately
+    with the exact fields a full-length run would have produced.
+    """
     isa = get_isa(spec.isa)
     controller = InjectionController(mask, stop_early=spec.stop_early)
     core = OoOCore.from_executable(golden.exe, isa, cfg=spec.cfg, injector=controller)
     core.trace_mode = "compare"
     core.golden_trace = golden.result.commit_trace
     core.stop_on_hvf = spec.stop_on_hvf
+
+    store = (
+        golden.checkpoints
+        if policy is not None and policy.enabled else None
+    )
+    restored_from = 0
+    if store is not None:
+        first_cycle = min(f.cycle for f in mask.flips)
+        ckpt = store.best_for(first_cycle)
+        if ckpt is not None and ckpt.cycle > 0:
+            ckpt.restore_into(core)
+            restored_from = ckpt.cycle
+            # replay marker notifications the restored prefix already passed
+            if core.checkpoint_cycle is not None:
+                controller.on_checkpoint(core)
+            if core.switch_cycle is not None:
+                controller.on_switch_cpu(core)
+
+    probes = []
+    if (
+        store is not None
+        and policy.early_exit
+        and mask.model is FaultModel.TRANSIENT
+    ):
+        probes = store.probes_after(core.cycle)
+    probe_idx = 0
+    reconverged = False
 
     max_cycles = golden.cycles * spec.cfg.watchdog_factor + 10_000
     crashed: str | None = None
@@ -279,7 +381,13 @@ def _simulate_one(spec: CampaignSpec, mask: FaultMask, golden: GoldenRun) -> Fau
             core.step()
             if controller.early_masked:
                 break
-        if not core.halted and not controller.early_masked:
+            if probe_idx < len(probes) and core.cycle == probes[probe_idx].cycle:
+                ckpt = probes[probe_idx]
+                probe_idx += 1
+                if controller.settled and checkpoint_matches(ckpt, core):
+                    reconverged = True
+                    break
+        if not core.halted and not controller.early_masked and not reconverged:
             crashed = "timeout"
     except CrashError as exc:
         # an expected outcome: the *simulated program* crashed
@@ -293,6 +401,7 @@ def _simulate_one(spec: CampaignSpec, mask: FaultMask, golden: GoldenRun) -> Fau
             "instructions": core.instructions,
             "halted": core.halted,
             "mask_id": mask.mask_id,
+            "restored_from": restored_from,
         }) from exc
 
     # stop_on_hvf halts the core at the first commit mismatch; without this
@@ -300,16 +409,32 @@ def _simulate_one(spec: CampaignSpec, mask: FaultMask, golden: GoldenRun) -> Fau
     # genuine program completion (and a hang from an early HVF exit)
     stopped_on_hvf = bool(spec.stop_on_hvf and core.hvf_corrupt and core.halted)
 
-    result = RunResult(
-        output=bytes(core.output),
-        cycles=core.cycle,
-        instructions=core.instructions,
-        halted=core.halted,
-        crashed=crashed,
-        crash_pc=crash_pc,
-        hvf_corrupt=core.hvf_corrupt,
-        hvf_seq=core.hvf_seq,
-    )
+    if reconverged:
+        # every cycle from here on would replay the golden run exactly, so
+        # report the record as the full-length run would have: golden
+        # completion cycles/output, the (already settled) injector verdict,
+        # and whatever HVF state the divergence window accumulated
+        result = RunResult(
+            output=golden.output,
+            cycles=golden.cycles,
+            instructions=golden.result.instructions,
+            halted=True,
+            crashed=None,
+            crash_pc=0,
+            hvf_corrupt=core.hvf_corrupt,
+            hvf_seq=core.hvf_seq,
+        )
+    else:
+        result = RunResult(
+            output=bytes(core.output),
+            cycles=core.cycle,
+            instructions=core.instructions,
+            halted=core.halted,
+            crashed=crashed,
+            crash_pc=crash_pc,
+            hvf_corrupt=core.hvf_corrupt,
+            hvf_seq=core.hvf_seq,
+        )
     if spec.stop_on_hvf and core.hvf_corrupt:
         # HVF-only campaign: the run stopped at the first commit mismatch
         cls = Classification(Outcome.SDC, HVFClass.CORRUPTION)
@@ -324,7 +449,7 @@ def _simulate_one(spec: CampaignSpec, mask: FaultMask, golden: GoldenRun) -> Fau
         mask=mask,
         outcome=cls.outcome,
         hvf=cls.hvf,
-        cycles=core.cycle,
+        cycles=result.cycles,
         masked_reason=cls.masked_reason,
         crash_reason=cls.crash_reason,
         activated=controller.activated,
@@ -347,7 +472,13 @@ def quarantine_record(mask: FaultMask, kind: str, error: str,
     )
 
 
-def run_one_fault(spec: CampaignSpec, mask: FaultMask, golden: GoldenRun | None = None) -> FaultRecord:
+def run_one_fault(
+    spec: CampaignSpec,
+    mask: FaultMask,
+    golden: GoldenRun | None = None,
+    *,
+    checkpoints: CheckpointPolicy | None = None,
+) -> FaultRecord:
     """Simulate one injected fault and classify the outcome.
 
     Crash-quarantine boundary: a simulated-program crash (`CrashError`) is a
@@ -355,15 +486,21 @@ def run_one_fault(spec: CampaignSpec, mask: FaultMask, golden: GoldenRun | None 
     fault-corrupted core is a simulator failure.  Those are retried once
     with the same mask — a second failure means a deterministic simulator
     bug, a success means flaky state — and never abort the campaign.
+
+    ``checkpoints`` selects the fast-forward/early-exit strategy (default:
+    :data:`repro.core.checkpoint.DEFAULT_POLICY`); the resulting record is
+    bit-identical either way.
     """
+    policy = checkpoints if checkpoints is not None else DEFAULT_CHECKPOINT_POLICY
     if golden is None:
-        golden = golden_run(spec.isa, spec.workload, spec.cfg, spec.scale)
+        golden = golden_run(spec.isa, spec.workload, spec.cfg, spec.scale,
+                            checkpoints=policy)
     try:
-        return _simulate_one(spec, mask, golden)
+        return _simulate_one(spec, mask, golden, policy)
     except SimulatorFault as first:
         first_text = first.describe()
     try:
-        record = _simulate_one(spec, mask, golden)
+        record = _simulate_one(spec, mask, golden, policy)
     except SimulatorFault as second:
         return quarantine_record(
             mask, "deterministic", second.describe(), retries=1
@@ -373,22 +510,31 @@ def run_one_fault(spec: CampaignSpec, mask: FaultMask, golden: GoldenRun | None 
                    sim_error_kind="flaky", error=first_text)
 
 
+#: checkpoint policy the pool initializer armed for this worker process
+_WORKER_CHECKPOINTS: CheckpointPolicy | None = None
+
+
 def _worker(args: tuple) -> FaultRecord:
     spec, mask = args
-    return run_one_fault(spec, mask)
+    return run_one_fault(spec, mask, checkpoints=_WORKER_CHECKPOINTS)
 
 
-def _worker_init(spec: CampaignSpec) -> None:
+def _worker_init(spec: CampaignSpec,
+                 checkpoints: CheckpointPolicy | None = None) -> None:
     """Pool initializer: prime the golden run once per worker process.
 
     Without this every subprocess would recompute the golden simulation on
     its first fault (the parent's cache does not follow pickled specs under
     the spawn start method).  The miss counter is reset so tests can assert
-    at-most-one golden simulation per worker.
+    at-most-one golden simulation per worker.  The priming run uses the
+    same checkpoint policy the worker's fault runs will, so the cache entry
+    already carries the checkpoint store.
     """
-    global _GOLDEN_MISSES
+    global _GOLDEN_MISSES, _WORKER_CHECKPOINTS
     _GOLDEN_MISSES = 0
-    golden_run(spec.isa, spec.workload, spec.cfg, spec.scale)
+    _WORKER_CHECKPOINTS = checkpoints
+    policy = checkpoints if checkpoints is not None else DEFAULT_CHECKPOINT_POLICY
+    golden_run(spec.isa, spec.workload, spec.cfg, spec.scale, checkpoints=policy)
 
 
 def _probe_golden_misses(_arg=None) -> int:
@@ -428,15 +574,20 @@ def _check_unique_mask_ids(masks: list[FaultMask]) -> None:
         seen.add(m.mask_id)
 
 
-def default_fault_timeout(golden_cycles: int, watchdog_factor: int) -> float:
+def default_fault_timeout(golden_cycles: int, watchdog_factor: int,
+                          restored_from: int = 0) -> float:
     """Per-fault wall-clock budget, derived from the golden cycle count.
 
     The in-simulation watchdog already bounds *simulated* time; this bounds
     *host* time for the case where the simulator itself spins.  Sized very
     generously (assumes a pessimistic 2k simulated cycles per host second)
     so it only ever fires on a genuinely wedged worker.
+
+    ``restored_from`` is the earliest checkpoint cycle the campaign's fault
+    runs resume from: checkpointed runs only replay the delta, so their
+    wall-clock budget shrinks accordingly (never below the 60 s floor).
     """
-    budget_cycles = golden_cycles * watchdog_factor + 10_000
+    budget_cycles = golden_cycles * watchdog_factor + 10_000 - restored_from
     return max(60.0, budget_cycles / 2_000)
 
 
@@ -463,6 +614,7 @@ def run_campaign(
     resume: str | Path | None = None,
     timeout_s: float | None = None,
     policy: SupervisorPolicy | None = None,
+    checkpoints: CheckpointPolicy | None = None,
 ) -> CampaignResult:
     """Run a full SFI campaign; returns per-fault records + aggregates.
 
@@ -473,9 +625,16 @@ def run_campaign(
       where it left off;
     * ``timeout_s`` / ``policy`` — supervised-executor knobs for the
       ``workers > 1`` path; the default timeout derives from the golden
-      run's cycle count via :func:`default_fault_timeout`.
+      run's cycle count via :func:`default_fault_timeout`;
+    * ``checkpoints`` — checkpoint fast-forward / early-exit policy
+      (default: :data:`repro.core.checkpoint.DEFAULT_POLICY`; pass
+      :data:`repro.core.checkpoint.NO_CHECKPOINTS` to simulate every fault
+      from cycle 0).  Records — and journal fingerprints — are identical
+      either way; only wall-clock time changes.
     """
-    golden = golden_run(spec.isa, spec.workload, spec.cfg, spec.scale)
+    ckpt_policy = checkpoints if checkpoints is not None else DEFAULT_CHECKPOINT_POLICY
+    golden = golden_run(spec.isa, spec.workload, spec.cfg, spec.scale,
+                        checkpoints=ckpt_policy)
     if masks is None:
         masks = masks_for_spec(spec, golden)
     if journal is not None or resume is not None:
@@ -499,8 +658,20 @@ def run_campaign(
     try:
         if workers > 1 and pending:
             if timeout_s is None:
+                restored_from = 0
+                if ckpt_policy.enabled and golden.checkpoints is not None:
+                    restored_from = min(
+                        (
+                            golden.checkpoints.restore_cycle_for(
+                                min(f.cycle for f in m.flips)
+                            )
+                            for _, m in pending
+                        ),
+                        default=0,
+                    )
                 timeout_s = default_fault_timeout(
-                    golden.cycles, spec.cfg.watchdog_factor
+                    golden.cycles, spec.cfg.watchdog_factor,
+                    restored_from=restored_from,
                 )
             policy = policy or SupervisorPolicy(timeout_s=timeout_s)
             fresh = run_supervised(
@@ -509,7 +680,7 @@ def run_campaign(
                 workers=workers,
                 policy=policy,
                 initializer=_worker_init,
-                initargs=(spec,),
+                initargs=(spec, ckpt_policy),
                 on_result=(
                     (lambda o: writer.append(_outcome_to_record(o)))
                     if writer is not None else None
@@ -520,7 +691,7 @@ def run_campaign(
             }
         else:
             for i, m in pending:
-                record = run_one_fault(spec, m, golden)
+                record = run_one_fault(spec, m, golden, checkpoints=ckpt_policy)
                 if writer is not None:
                     writer.append(record)
                 by_pos[i] = record

@@ -110,6 +110,18 @@ class InjectionController:
         """At least one corrupted bit was consumed by the pipeline."""
         return any(fs.status in LIVE for fs in self.flips)
 
+    @property
+    def settled(self) -> bool:
+        """Every flip reached a terminal lifecycle state.
+
+        PENDING and ARMED flips can still change verdict fields
+        (``activated``, ``masked_reason``); READ/ESCAPED and the
+        MASKED_* states never transition again.  The checkpoint engine's
+        re-convergence early-exit requires this, so the record it emits
+        carries exactly the verdict a full-length run would have.
+        """
+        return all(fs.status not in (PENDING, ARMED) for fs in self.flips)
+
     def masked_reason(self) -> str | None:
         if not all(fs.status in FINAL_MASKED for fs in self.flips):
             return None

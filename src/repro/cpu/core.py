@@ -679,6 +679,122 @@ class OoOCore:
                 if self.stop_on_hvf:
                     self.halted = True
 
+    # ================================================================ state
+
+    def _copy_entries(self, entries, memo: dict):
+        """Structured copy of _RE lists preserving identity sharing.
+
+        ROB, IQ and the in-flight list alias the same entry objects; the
+        memo keeps one copy per identity so the restored pipeline keeps the
+        aliasing (a writeback must mark the *same* entry the ROB commits).
+        """
+        out = []
+        for e in entries:
+            new = memo.get(id(e))
+            if new is None:
+                new = _RE.__new__(_RE)
+                for slot in _RE.__slots__:
+                    setattr(new, slot, getattr(e, slot))
+                memo[id(e)] = new
+            out.append(new)
+        return out
+
+    def snapshot(self) -> dict:
+        """Capture the complete mid-flight simulator state.
+
+        A fast structured copy (no ``deepcopy``): leaf containers are
+        copied, ``MicroOp`` objects are shared by reference (immutable after
+        decode), and pipeline entries are memo-copied so ROB/IQ/in-flight
+        aliasing survives.  The commit trace is stored as its length only —
+        compare mode uses just the position, and storing the golden trace
+        per checkpoint would be quadratic.
+        """
+        memo: dict[int, _RE] = {}
+        return {
+            "memory": self.memory.snapshot(),
+            "l1i": self.l1i.snapshot(),
+            "l1d": self.l1d.snapshot(),
+            "l2": self.l2.snapshot(),
+            "prf_int": self.prf_int.snapshot(),
+            "prf_fp": self.prf_fp.snapshot(),
+            "rat_int": list(self.rat_int),
+            "rat_fp": list(self.rat_fp),
+            "lq": self.lq.snapshot(),
+            "sq": self.sq.snapshot(),
+            "predictor": self.predictor.snapshot(),
+            "fetch_pc": self.fetch_pc,
+            "fetch_queue": list(self.fetch_queue),
+            "fetch_ready_at": self.fetch_ready_at,
+            "fetch_stalled": self.fetch_stalled,
+            "rob": self._copy_entries(self.rob, memo),
+            "iq": self._copy_entries(self.iq, memo),
+            "inflight": [
+                (when, self._copy_entries([e], memo)[0])
+                for when, e in self.inflight
+            ],
+            "seq": self.seq,
+            "cycle": self.cycle,
+            "instructions": self.instructions,
+            "halted": self.halted,
+            "wfi_sleep": self.wfi_sleep,
+            "irq_pending": self.irq_pending,
+            "output": bytes(self.output),
+            "checkpoint_cycle": self.checkpoint_cycle,
+            "switch_cycle": self.switch_cycle,
+            "div_busy": list(self._div_busy),
+            "fdiv_busy": list(self._fdiv_busy),
+            "trace_len": len(self.trace),
+            "hvf_corrupt": self.hvf_corrupt,
+            "hvf_seq": self.hvf_seq,
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Restore a :meth:`snapshot` into a core with the same config.
+
+        Entries are copied back out of the snapshot (never aliased into it),
+        so one snapshot can seed any number of runs.  All cycle-valued
+        fields (``fetch_ready_at``, in-flight completion times, divider
+        occupancy) are absolute, so a restored core replays the exact future
+        of the snapshotted one.  The commit trace is refilled with
+        placeholders: compare mode only indexes by position.
+        """
+        memo: dict[int, _RE] = {}
+        self.memory.restore(snap["memory"])
+        self.l1i.restore(snap["l1i"])
+        self.l1d.restore(snap["l1d"])
+        self.l2.restore(snap["l2"])
+        self.prf_int.restore(snap["prf_int"])
+        self.prf_fp.restore(snap["prf_fp"])
+        self.rat_int[:] = snap["rat_int"]
+        self.rat_fp[:] = snap["rat_fp"]
+        self.lq.restore(snap["lq"])
+        self.sq.restore(snap["sq"])
+        self.predictor.restore(snap["predictor"])
+        self.fetch_pc = snap["fetch_pc"]
+        self.fetch_queue = list(snap["fetch_queue"])
+        self.fetch_ready_at = snap["fetch_ready_at"]
+        self.fetch_stalled = snap["fetch_stalled"]
+        self.rob = self._copy_entries(snap["rob"], memo)
+        self.iq = self._copy_entries(snap["iq"], memo)
+        self.inflight = [
+            (when, self._copy_entries([e], memo)[0])
+            for when, e in snap["inflight"]
+        ]
+        self.seq = snap["seq"]
+        self.cycle = snap["cycle"]
+        self.instructions = snap["instructions"]
+        self.halted = snap["halted"]
+        self.wfi_sleep = snap["wfi_sleep"]
+        self.irq_pending = snap["irq_pending"]
+        self.output = bytearray(snap["output"])
+        self.checkpoint_cycle = snap["checkpoint_cycle"]
+        self.switch_cycle = snap["switch_cycle"]
+        self._div_busy = list(snap["div_busy"])
+        self._fdiv_busy = list(snap["fdiv_busy"])
+        self.trace = [None] * snap["trace_len"]
+        self.hvf_corrupt = snap["hvf_corrupt"]
+        self.hvf_seq = snap["hvf_seq"]
+
     # ================================================================ run
 
     def wake_interrupt(self) -> None:
@@ -702,12 +818,19 @@ class OoOCore:
         self._fetch()
         self.cycle += 1
 
-    def run(self, max_cycles: int = 5_000_000) -> RunResult:
-        """Run to HALT / crash / cycle budget; always returns a RunResult."""
+    def run(self, max_cycles: int = 5_000_000, on_cycle=None) -> RunResult:
+        """Run to HALT / crash / cycle budget; always returns a RunResult.
+
+        ``on_cycle(core)`` is called at the top of every cycle, before the
+        injector tick — the point a checkpoint collector observes the state
+        a restored run resumes from.
+        """
         crashed: str | None = None
         crash_pc = 0
         try:
             while not self.halted and self.cycle < max_cycles:
+                if on_cycle is not None:
+                    on_cycle(self)
                 self.step()
             if not self.halted:
                 crashed = "timeout"

@@ -1,0 +1,110 @@
+"""Campaign determinism: identical record streams across execution modes.
+
+A campaign is a statistical estimator; its records must depend only on
+(spec, seed), never on how the campaign happened to be executed — serial,
+parallel, resumed from a journal, with or without checkpoint fast-forward.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.core.campaign as campaign_mod
+from repro.core.campaign import (
+    CampaignSpec,
+    _LRUCache,
+    golden_miss_count,
+    golden_run,
+    run_campaign,
+)
+from repro.core.checkpoint import NO_CHECKPOINTS, CheckpointPolicy
+from repro.core.presets import sim_config
+
+
+def _spec(**kw) -> CampaignSpec:
+    base = dict(isa="rv", workload="crc32", target="regfile_int",
+                cfg=sim_config(), scale="tiny", faults=6, seed=21)
+    base.update(kw)
+    return CampaignSpec(**base)
+
+
+def test_serial_repeat_identical_with_and_without_checkpoints():
+    spec = _spec()
+    with_ckpt = run_campaign(spec).records
+    assert run_campaign(spec).records == with_ckpt
+    without = run_campaign(spec, checkpoints=NO_CHECKPOINTS).records
+    assert without == with_ckpt
+    assert run_campaign(spec, checkpoints=NO_CHECKPOINTS).records == without
+
+
+def test_parallel_identical_to_serial():
+    spec = _spec(faults=6, seed=4)
+    serial = run_campaign(spec).records
+    parallel = run_campaign(spec, workers=2).records
+    assert parallel == serial
+    # and the parallel path with checkpointing disabled agrees too
+    assert run_campaign(spec, workers=2,
+                        checkpoints=NO_CHECKPOINTS).records == serial
+
+
+def test_resume_identical_across_checkpoint_policies(tmp_path):
+    """A journal written with checkpointing on resumes bit-identically with
+    it off (and vice versa): the policy is an execution detail, so it is
+    deliberately excluded from the spec fingerprint."""
+    spec = _spec(faults=5, seed=13)
+    journal = tmp_path / "run.jsonl"
+    fresh = run_campaign(spec, journal=journal).records
+
+    resumed = run_campaign(spec, resume=journal,
+                           checkpoints=NO_CHECKPOINTS)
+    assert resumed.records == fresh
+    assert resumed.resumed == spec.faults
+
+    # partial journal: keep header + first 2 records, recompute the rest
+    # from scratch with the opposite policy
+    lines = journal.read_text().splitlines(keepends=True)
+    partial = tmp_path / "partial.jsonl"
+    partial.write_text("".join(lines[:3]))
+    half = run_campaign(spec, resume=partial, checkpoints=NO_CHECKPOINTS)
+    assert half.records == fresh
+    assert half.resumed == 2
+
+
+# ------------------------------------------------------------ golden cache
+
+
+def test_golden_cache_lru_eviction(monkeypatch):
+    cache = _LRUCache(2)
+    monkeypatch.setattr(campaign_mod, "_GOLDEN_CACHE", cache)
+    cfg = sim_config()
+
+    golden_run("rv", "crc32", cfg, "tiny")
+    golden_run("rv", "qsort", cfg, "tiny")
+    assert len(cache) == 2
+    # touching crc32 makes qsort the LRU victim of the next insert
+    golden_run("rv", "crc32", cfg, "tiny")
+    golden_run("rv", "fft", cfg, "tiny")
+    assert len(cache) == 2
+    keys = {k[1] for k in cache}
+    assert keys == {"crc32", "fft"}
+
+    # the evicted entry really is recomputed on the next request
+    before = golden_miss_count()
+    golden_run("rv", "qsort", cfg, "tiny")
+    assert golden_miss_count() == before + 1
+    # ... while a cached one is not
+    golden_run("rv", "fft", cfg, "tiny")
+    assert golden_miss_count() == before + 1
+
+
+def test_lru_cache_primitive():
+    cache = _LRUCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1          # refresh "a"
+    cache.put("c", 3)                   # evicts "b"
+    assert cache.get("b") is None
+    assert cache.get("a") == 1 and cache.get("c") == 3
+    assert len(cache) == 2
+    cache.clear()
+    assert len(cache) == 0

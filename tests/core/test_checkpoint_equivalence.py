@@ -1,0 +1,205 @@
+"""Differential equivalence suite for the checkpoint fast-forward engine.
+
+The contract under test: a fault run that restores a mid-flight golden
+checkpoint and replays only the delta — optionally ending early when its
+state digest re-converges with the golden checkpoint stream — must emit a
+:class:`FaultRecord` bit-identical to the same mask simulated from cycle 0
+with checkpointing and early-exit disabled.  Anything less silently skews
+the AVF/HVF numbers the campaigns exist to measure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.campaign import (
+    CampaignSpec,
+    compile_workload,
+    golden_run,
+    masks_for_spec,
+    run_one_fault,
+)
+from repro.core.checkpoint import (
+    AUTO_INITIAL_STRIDE,
+    NO_CHECKPOINTS,
+    CheckpointError,
+    CheckpointPolicy,
+    CheckpointStore,
+    CoreCheckpoint,
+    delta_apply,
+    delta_encode,
+    matches,
+    payload_digest,
+    state_digest,
+)
+from repro.cpu.core import OoOCore
+from repro.isa.base import get_isa
+
+CKPT = CheckpointPolicy()
+
+WORKLOAD = "crc32"
+
+
+def _fresh_core(isa_name: str, cfg) -> tuple[OoOCore, bytes]:
+    exe = compile_workload(isa_name, WORKLOAD, "tiny")
+    core = OoOCore.from_executable(exe, get_isa(isa_name), cfg)
+    return core, bytes(exe.initial_memory())
+
+
+def _finish(core: OoOCore) -> None:
+    while not core.halted and core.cycle < 100_000:
+        core.step()
+
+
+# ------------------------------------------------------------ round trips
+
+
+def test_snapshot_restore_snapshot_round_trip(isa_name, cfg):
+    """Mid-flight snapshot → restore into a fresh core → identical digest,
+    and both cores finish with identical architectural results."""
+    source, _ = _fresh_core(isa_name, cfg)
+    for _ in range(400):
+        source.step()
+    snap = source.snapshot()
+    digest = payload_digest(snap)
+
+    clone, _ = _fresh_core(isa_name, cfg)
+    clone.restore(snap)
+    assert state_digest(clone) == digest
+    # restoring must not consume the snapshot: a second restore still works
+    assert payload_digest(source.snapshot()) == digest
+
+    _finish(source)
+    _finish(clone)
+    assert clone.output == source.output
+    assert clone.cycle == source.cycle
+    assert clone.instructions == source.instructions
+    assert state_digest(clone) == state_digest(source)
+
+
+def test_checkpoint_capture_restore_round_trip(isa_name, cfg):
+    """CoreCheckpoint (with memory delta-encoding) restores exactly."""
+    core, base = _fresh_core(isa_name, cfg)
+    for _ in range(300):
+        core.step()
+    ckpt = CoreCheckpoint.capture(core, base_image=base)
+    assert ckpt.cycle == core.cycle
+    assert matches(ckpt, core)
+
+    clone, _ = _fresh_core(isa_name, cfg)
+    ckpt.restore_into(clone)
+    assert clone.cycle == ckpt.cycle
+    assert state_digest(clone) == ckpt.digest
+
+
+def test_delta_encoding_round_trip():
+    base = bytes(range(256)) * 8
+    image = bytearray(base)
+    image[3] ^= 0xFF
+    image[700:708] = b"ABCDEFGH"
+    image[-1] ^= 1
+    patches = delta_encode(base, bytes(image))
+    assert delta_apply(base, patches) == image
+    assert delta_encode(base, base) == []
+    assert delta_apply(base, []) == base
+
+
+# ------------------------------------------------------ fault-run identity
+
+
+@pytest.mark.parametrize("target", ["regfile_int", "l1d", "sq"])
+def test_restored_run_bit_identical_to_scratch(isa_name, cfg, target):
+    """Per ISA x structure: checkpointed fault runs emit records equal to
+    from-scratch runs with checkpointing and early-exit disabled."""
+    spec = CampaignSpec(isa=isa_name, workload=WORKLOAD, target=target,
+                        cfg=cfg, scale="tiny", faults=4, seed=11)
+    golden = golden_run(isa_name, WORKLOAD, cfg, "tiny", checkpoints=CKPT)
+    masks = masks_for_spec(spec, golden)
+
+    scratch = [run_one_fault(spec, m, golden, checkpoints=NO_CHECKPOINTS)
+               for m in masks]
+    restored = [run_one_fault(spec, m, golden, checkpoints=CKPT)
+                for m in masks]
+    assert restored == scratch
+
+    # the comparison is only meaningful if fast-forwarding actually engaged
+    store = golden.checkpoints
+    assert store is not None and len(store) > 0
+    assert any(
+        store.restore_cycle_for(min(f.cycle for f in m.flips)) > 0
+        for m in masks
+    )
+
+
+def test_convergence_exit_identical_without_stop_early(cfg):
+    """stop_early=False forces every masked run to full length, so the
+    digest re-convergence exit is the only early path — records must still
+    match the full-length baseline exactly."""
+    spec = CampaignSpec(isa="rv", workload=WORKLOAD, target="l1d",
+                        cfg=cfg, scale="tiny", faults=6, seed=9,
+                        stop_early=False)
+    golden = golden_run("rv", WORKLOAD, cfg, "tiny", checkpoints=CKPT)
+    masks = masks_for_spec(spec, golden)
+    scratch = [run_one_fault(spec, m, golden, checkpoints=NO_CHECKPOINTS)
+               for m in masks]
+    fast = [run_one_fault(spec, m, golden, checkpoints=CKPT) for m in masks]
+    assert fast == scratch
+
+
+def test_early_exit_toggle_identical(cfg):
+    """Checkpointing with early-exit off still equals the baseline."""
+    spec = CampaignSpec(isa="rv", workload=WORKLOAD, target="regfile_int",
+                        cfg=cfg, scale="tiny", faults=4, seed=3)
+    golden = golden_run("rv", WORKLOAD, cfg, "tiny", checkpoints=CKPT)
+    masks = masks_for_spec(spec, golden)
+    no_exit = CheckpointPolicy(early_exit=False)
+    baseline = [run_one_fault(spec, m, golden, checkpoints=NO_CHECKPOINTS)
+                for m in masks]
+    assert [run_one_fault(spec, m, golden, checkpoints=no_exit)
+            for m in masks] == baseline
+
+
+# ------------------------------------------------------------ store policy
+
+
+def test_store_adaptive_thinning_bounds_memory(cfg):
+    core, base = _fresh_core("rv", cfg)
+    policy = CheckpointPolicy(max_checkpoints=8)
+    store = CheckpointStore(policy, base_image=base)
+    core.run(on_cycle=store.consider)
+    assert 0 < len(store) <= policy.max_checkpoints
+    cycles = [c.cycle for c in store.checkpoints]
+    assert cycles == sorted(cycles)
+    # crc32 runs long enough that the initial stride must have doubled
+    assert store.stride > AUTO_INITIAL_STRIDE
+
+
+def test_store_fixed_stride_never_thins(cfg):
+    core, base = _fresh_core("rv", cfg)
+    store = CheckpointStore(CheckpointPolicy(stride=100), base_image=base)
+    core.run(on_cycle=store.consider)
+    assert store.stride == 100
+    deltas = {
+        b.cycle - a.cycle
+        for a, b in zip(store.checkpoints, store.checkpoints[1:])
+    }
+    assert all(d >= 100 for d in deltas)
+
+
+def test_store_queries(cfg):
+    core, base = _fresh_core("rv", cfg)
+    store = CheckpointStore(CheckpointPolicy(stride=200), base_image=base)
+    core.run(on_cycle=store.consider)
+    mid = store.checkpoints[len(store.checkpoints) // 2]
+    assert store.best_for(mid.cycle) is mid
+    assert store.best_for(mid.cycle + 1) is mid
+    assert store.restore_cycle_for(-1) == 0 and store.best_for(-1) is None
+    after = store.probes_after(mid.cycle)
+    assert all(c.cycle > mid.cycle for c in after)
+    assert len(after) == len(store) - store.checkpoints.index(mid) - 1
+
+
+def test_disabled_policy_rejected():
+    assert not NO_CHECKPOINTS.enabled
+    with pytest.raises(CheckpointError):
+        CheckpointStore(NO_CHECKPOINTS)

@@ -42,6 +42,23 @@ def test_campaign_journal_and_resume_flags(capsys, tmp_path):
     assert len(CampaignJournal.load(journal)) == 4
 
 
+def test_campaign_checkpoint_flags_byte_identical_journals(capsys, tmp_path):
+    """--checkpoint-stride 0 --no-early-exit (full simulation) and the
+    default fast-forward path write byte-identical journals: same records,
+    same header (the checkpoint policy is not part of the spec fingerprint)."""
+    full = tmp_path / "full.jsonl"
+    fast = tmp_path / "fast.jsonl"
+    base = [
+        "campaign", "--isa", "rv", "--workload", "crc32",
+        "--target", "regfile_int", "--faults", "4", "--seed", "6",
+    ]
+    assert main(base + ["--checkpoint-stride", "0", "--no-early-exit",
+                        "--journal", str(full)]) == 0
+    assert main(base + ["--checkpoint-stride", "32",
+                        "--journal", str(fast)]) == 0
+    assert full.read_bytes() == fast.read_bytes()
+
+
 def test_accel_campaign_journal_and_resume_flags(capsys, tmp_path):
     journal = tmp_path / "accel.jsonl"
     base = [

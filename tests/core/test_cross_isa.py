@@ -1,0 +1,48 @@
+"""Cross-ISA differential tests.
+
+The paper's heterogeneous-SoC comparisons (x86 vs Arm vs RISC-V AVF for the
+same MiBench workload) are only meaningful if the three ISA models compute
+the same thing: any drift in program output would silently skew every
+cross-ISA figure.  These tests pin golden-output equality for all fifteen
+workloads and classification agreement on a fixture where the verdict is
+ISA-independent by construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.campaign import (
+    CampaignSpec,
+    golden_run,
+    masks_for_spec,
+    run_one_fault,
+)
+from repro.core.outcome import HVFClass, Outcome
+from repro.workloads import WORKLOAD_NAMES
+
+ISAS = ["rv", "arm", "x86"]
+
+
+@pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+def test_golden_output_identical_across_isas(workload, cfg):
+    outputs = {
+        isa: golden_run(isa, workload, cfg, "tiny").output for isa in ISAS
+    }
+    assert outputs["rv"], f"{workload} produced no output"
+    assert outputs["arm"] == outputs["rv"]
+    assert outputs["x86"] == outputs["rv"]
+
+
+def test_masked_classification_identical_across_isas(cfg):
+    """FP-regfile faults in an integer-only workload are Masked on every
+    ISA: the corrupted registers are never architecturally consumed.  A
+    non-Masked record on any ISA means its model reads state it shouldn't."""
+    for isa in ISAS:
+        spec = CampaignSpec(isa=isa, workload="crc32", target="regfile_fp",
+                            cfg=cfg, scale="tiny", faults=8, seed=7)
+        golden = golden_run(isa, "crc32", cfg, "tiny")
+        for mask in masks_for_spec(spec, golden):
+            record = run_one_fault(spec, mask, golden)
+            assert record.outcome is Outcome.MASKED, (isa, mask.mask_id)
+            assert record.hvf is HVFClass.BENIGN, (isa, mask.mask_id)
