@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""Measure sanitizer audit overhead and write BENCH_sanitizer.json.
+
+For each workload the golden run is simulated three times from a cold
+cache — ``off``, ``sampled`` (stride 64) and ``full`` (stride 1) — and the
+per-mode slowdown over ``off`` is reported.  Fault-run overhead is measured
+the same way over one fixed sample per workload, asserting first that the
+sampled records match the unaudited ones (auditing must be
+observation-only for non-quarantined runs).
+
+Regenerate with::
+
+    PYTHONPATH=src python benchmarks/bench_sanitizer.py
+
+The ``smoke`` entry's *sampled* golden overhead is the acceptance gate:
+the default-on mode must cost <= 10% over ``--sanitize=off``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.core.campaign import (
+    CampaignSpec,
+    clear_caches,
+    golden_run,
+    masks_for_spec,
+    run_one_fault,
+)
+from repro.core.sanitizer import (
+    FULL_SANITIZER,
+    NO_SANITIZER,
+    DEFAULT_SANITIZER,
+    SanitizerPolicy,
+)
+from repro.core.presets import sim_config
+
+SMOKE = ("crc32", "regfile_int", 20, 1)   # workload, target, faults, seed
+DEFAULT_WORKLOADS = ["crc32", "qsort", "sha", "fft", "dijkstra"]
+
+MODES: list[tuple[str, SanitizerPolicy]] = [
+    ("off", NO_SANITIZER),
+    ("sampled", DEFAULT_SANITIZER),
+    ("full", FULL_SANITIZER),
+]
+
+
+def _best_of(repeats: int, fn) -> tuple[float, object]:
+    best_t, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best_t = min(best_t, time.perf_counter() - t0)
+    return best_t, result
+
+
+def bench_one(workload: str, target: str, faults: int, seed: int,
+              repeats: int) -> dict:
+    cfg = sim_config()
+
+    # golden-run overhead: audits only happen on cache misses, so every
+    # timed simulation starts from a cold cache
+    golden_s: dict[str, float] = {}
+    for name, policy in MODES:
+        def run_cold(_policy=policy):
+            clear_caches()
+            return golden_run("rv", workload, cfg, "tiny", sanitizer=_policy)
+        golden_s[name], golden = _best_of(repeats, run_cold)
+
+    spec = CampaignSpec(isa="rv", workload=workload, target=target,
+                        cfg=cfg, scale="tiny", faults=faults, seed=seed)
+    # re-prime the cache (with checkpoints) once, outside the timings
+    clear_caches()
+    golden = golden_run("rv", workload, cfg, "tiny")
+    masks = masks_for_spec(spec, golden)
+
+    fault_s: dict[str, float] = {}
+    baseline_records = None
+    for name, policy in MODES:
+        def run_sample(_policy=policy):
+            return [run_one_fault(spec, m, golden, sanitizer=_policy)
+                    for m in masks]
+        fault_s[name], records = _best_of(repeats, run_sample)
+        if baseline_records is None:
+            baseline_records = records
+        else:
+            assert records == baseline_records, (
+                f"{workload}/{target}: {name} records diverged from "
+                f"unaudited ones — refusing to report its timing")
+
+    return {
+        "target": target,
+        "faults": faults,
+        "seed": seed,
+        "golden_cycles": golden.cycles,
+        "golden_s": {k: round(v, 4) for k, v in golden_s.items()},
+        "fault_sample_s": {k: round(v, 4) for k, v in fault_s.items()},
+        "golden_overhead": {
+            k: round(golden_s[k] / golden_s["off"] - 1.0, 4)
+            for k, _ in MODES if k != "off"
+        },
+        "fault_overhead": {
+            k: round(fault_s[k] / fault_s["off"] - 1.0, 4)
+            for k, _ in MODES if k != "off"
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--workloads", nargs="+", default=DEFAULT_WORKLOADS)
+    ap.add_argument("--faults", type=int, default=20)
+    ap.add_argument("--seed", type=int, default=5)
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="timing repeats per variant (best-of)")
+    ap.add_argument("--out", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_sanitizer.json"))
+    args = ap.parse_args(argv)
+
+    results: dict[str, dict] = {}
+    wl, target, faults, seed = SMOKE
+    print(f"smoke: {wl}/{target} faults={faults} seed={seed}")
+    results["smoke"] = bench_one(wl, target, faults, seed, args.repeats)
+    print(f"  golden overhead sampled "
+          f"{results['smoke']['golden_overhead']['sampled']:+.1%}, "
+          f"full {results['smoke']['golden_overhead']['full']:+.1%}")
+
+    for wl in args.workloads:
+        print(f"bench: {wl}/regfile_int faults={args.faults} seed={args.seed}")
+        results[wl] = bench_one(wl, "regfile_int", args.faults, args.seed,
+                                args.repeats)
+        print(f"  golden overhead sampled "
+              f"{results[wl]['golden_overhead']['sampled']:+.1%}, "
+              f"full {results[wl]['golden_overhead']['full']:+.1%}")
+
+    doc = {
+        "benchmark": "integrity-sanitizer audit overhead",
+        "command": "PYTHONPATH=src python benchmarks/bench_sanitizer.py",
+        "modes": "off vs sampled (stride 64, the default) vs full (stride 1)",
+        "isa": "rv",
+        "repeats": args.repeats,
+        "median_sampled_golden_overhead": round(statistics.median(
+            r["golden_overhead"]["sampled"] for r in results.values()), 4),
+        "median_full_golden_overhead": round(statistics.median(
+            r["golden_overhead"]["full"] for r in results.values()), 4),
+        "workloads": results,
+    }
+    Path(args.out).write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    gate = results["smoke"]["golden_overhead"]["sampled"]
+    if gate > 0.10:
+        print(f"FAIL: smoke sampled golden overhead {gate:+.1%} > +10%")
+        return 1
+    print(f"OK: smoke sampled golden overhead {gate:+.1%} <= +10%")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,6 +22,13 @@ from repro.core.journal import CampaignJournal
 from repro.core.outcome import HVFClass, Outcome
 from repro.core.campaign import FaultRecord, SimulatorFault, quarantine_record
 from repro.core.sampling import error_margin_for
+from repro.core.sanitizer import (
+    DEFAULT_HANG_CYCLES,
+    DEFAULT_SANITIZER,
+    AccelAuditor,
+    IntegrityViolation,
+    SanitizerPolicy,
+)
 
 
 @dataclass(frozen=True)
@@ -133,6 +140,14 @@ class AccelCampaignResult:
     @property
     def timeouts(self) -> int:
         return sum(1 for r in self.records if r.crash_reason == "timeout")
+
+    @property
+    def hangs(self) -> int:
+        return sum(1 for r in self.records if r.crash_reason == "hang")
+
+    @property
+    def integrity_quarantined(self) -> int:
+        return sum(1 for r in self.records if r.sim_error_kind == "integrity")
 
     @property
     def avf(self) -> float:
@@ -252,9 +267,12 @@ def accel_masks(spec: AccelCampaignSpec, golden: AccelGolden) -> list[FaultMask]
 
 def _simulate_one_accel(spec: AccelCampaignSpec, mask: FaultMask,
                         golden: AccelGolden,
-                        ctx: AccelReplayContext | None = None) -> FaultRecord:
+                        ctx: AccelReplayContext | None = None,
+                        sanitizer: SanitizerPolicy | None = None,
+                        hang_cycles: int = DEFAULT_HANG_CYCLES) -> FaultRecord:
     """One injected accelerator run, unguarded (simulator bugs raise
-    :class:`SimulatorFault` for :func:`run_one_accel_fault` to quarantine)."""
+    :class:`SimulatorFault` for :func:`run_one_accel_fault` to quarantine,
+    sanitizer hits raise :class:`IntegrityViolation` for it to escalate)."""
     max_cycles = golden.cycles * spec.watchdog_factor + 1000
     try:
         if ctx is not None:
@@ -268,9 +286,20 @@ def _simulate_one_accel(spec: AccelCampaignSpec, mask: FaultMask,
             accel.memmap,
             accel.fu,
             watchdog_cycles=max_cycles,
+            hang_cycles=hang_cycles,
         )
         engine.injector = injector
+        auditor = (
+            AccelAuditor(sanitizer, injector, mask)
+            if sanitizer is not None and sanitizer.enabled else None
+        )
+        engine.sanitizer = auditor
         result = engine.run()
+        if auditor is not None:
+            auditor.audit(engine)   # final audit of the terminal state
+    except IntegrityViolation:
+        # impossible state caught mid-run — escalate upstream untouched
+        raise
     except Exception as exc:
         raise SimulatorFault(exc, snapshot={
             "design": spec.design,
@@ -308,22 +337,67 @@ def _simulate_one_accel(spec: AccelCampaignSpec, mask: FaultMask,
     )
 
 
+def _escalate_accel_integrity(
+    spec: AccelCampaignSpec,
+    mask: FaultMask,
+    golden: AccelGolden,
+    ctx: AccelReplayContext | None,
+    sanitizer: SanitizerPolicy | None,
+    hang_cycles: int,
+    violation: IntegrityViolation,
+) -> FaultRecord:
+    """Differential escalation, accelerator flavor: when the failing run
+    reused an :class:`AccelReplayContext`, re-simulate once from a pristine
+    instantiation — a clean pristine run labels the violation
+    ``checkpoint-divergence`` (the snapshot/reset replay path is the
+    suspect), a dirty one ``deterministic``.  The mask is quarantined
+    either way."""
+    retries = 0
+    if ctx is not None:
+        retries = 1
+        try:
+            _simulate_one_accel(spec, mask, golden, None,
+                                sanitizer=sanitizer, hang_cycles=hang_cycles)
+        except (IntegrityViolation, SimulatorFault):
+            divergence = "deterministic"
+        else:
+            divergence = "checkpoint-divergence"
+    else:
+        divergence = "deterministic"
+    report = replace(violation.report, divergence=divergence)
+    return quarantine_record(mask, "integrity", report.describe(),
+                             retries=retries, integrity=report)
+
+
 def run_one_accel_fault(spec: AccelCampaignSpec, mask: FaultMask,
-                        ctx: AccelReplayContext | None = None) -> FaultRecord:
+                        ctx: AccelReplayContext | None = None, *,
+                        sanitizer: SanitizerPolicy | None = None,
+                        hang_cycles: int = DEFAULT_HANG_CYCLES) -> FaultRecord:
     """Simulate one accelerator fault with the crash-quarantine boundary:
     a simulator exception is retried once with the same mask, then
     quarantined — never aborting the campaign (same policy as the CPU
-    driver's :func:`repro.core.campaign.run_one_fault`)."""
+    driver's :func:`repro.core.campaign.run_one_fault`).  Sanitizer hits
+    take the differential escalation path and quarantine as
+    ``sim_error_kind="integrity"``."""
     golden = accel_golden(spec)
+    san = sanitizer if sanitizer is not None else DEFAULT_SANITIZER
     try:
-        return _simulate_one_accel(spec, mask, golden, ctx)
+        return _simulate_one_accel(spec, mask, golden, ctx,
+                                   sanitizer=san, hang_cycles=hang_cycles)
+    except IntegrityViolation as viol:
+        return _escalate_accel_integrity(spec, mask, golden, ctx, san,
+                                         hang_cycles, viol)
     except SimulatorFault as first:
         first_text = first.describe()
     try:
         # retry from a pristine instantiation: if the context itself is the
         # corruption vector, the fresh build either succeeds (flaky) or
         # reproduces the fault deterministically
-        record = _simulate_one_accel(spec, mask, golden)
+        record = _simulate_one_accel(spec, mask, golden,
+                                     sanitizer=san, hang_cycles=hang_cycles)
+    except IntegrityViolation as viol:
+        return _escalate_accel_integrity(spec, mask, golden, None, san,
+                                         hang_cycles, viol)
     except SimulatorFault as second:
         return quarantine_record(
             mask, "deterministic", second.describe(), retries=1
@@ -338,9 +412,15 @@ def run_accel_campaign(
     *,
     journal: str | Path | None = None,
     resume: str | Path | None = None,
+    sanitizer: SanitizerPolicy | None = None,
+    hang_cycles: int = DEFAULT_HANG_CYCLES,
 ) -> AccelCampaignResult:
     """Run a DSA fault-injection campaign (journaled + resumable like the
-    CPU driver: see :func:`repro.core.campaign.run_campaign`)."""
+    CPU driver: see :func:`repro.core.campaign.run_campaign`).
+
+    ``sanitizer``/``hang_cycles`` mirror the CPU driver: invariant audits
+    at the policy stride (default sampled) and a deterministic
+    dataflow-progress hang detector (0 disables)."""
     golden = accel_golden(spec)
     if masks is None:
         masks = accel_masks(spec, golden)
@@ -366,7 +446,8 @@ def run_accel_campaign(
             if m.mask_id in done:
                 records.append(done[m.mask_id])
                 continue
-            record = run_one_accel_fault(spec, m, ctx)
+            record = run_one_accel_fault(spec, m, ctx, sanitizer=sanitizer,
+                                         hang_cycles=hang_cycles)
             if writer is not None:
                 writer.append(record)
             records.append(record)

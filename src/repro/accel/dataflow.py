@@ -28,6 +28,13 @@ class AccelTimeout(Exception):
     """Kernel exceeded its cycle watchdog (a hang — classified as Crash)."""
 
 
+class AccelHang(Exception):
+    """Deterministic hang: the dataflow window made no progress (no issue,
+    no completion, nothing in flight) for ``hang_cycles`` simulated cycles.
+    Fires long before the wall-clock watchdog and at the same simulated
+    cycle on every host, so the Crash verdict is reproducible."""
+
+
 class _EarlyMaskStop(Exception):
     """The injector proved the fault harmless; no need to finish the run."""
 
@@ -172,19 +179,25 @@ class DataflowEngine:
         memmap: AddressMap,
         fu: FUConfig = FUConfig(),
         watchdog_cycles: int = 10_000_000,
+        hang_cycles: int = 2048,
     ):
         program.verify()
         self.program = program
         self.memmap = memmap
         self.fu = fu
         self.watchdog = watchdog_cycles
+        self.hang_cycles = hang_cycles
         self.values: list[int] = []
         self.cycle = 0
         self.operations = 0
         self.blocks_executed = 0
         self.output = bytearray()
         self.injector = None          # optional AccelInjector
+        self.sanitizer = None         # optional AccelAuditor
         self._blocks = {b.label: b for b in program.blocks}
+        self._window: list[_Node] = []
+        self._completing: dict[int, list[_Node]] = {}
+        self._last_progress = 0
 
     # ------------------------------------------------------------ scheduling
     #
@@ -262,8 +275,11 @@ class DataflowEngine:
         self._mem_stores: list = []
         self._mem_any: list = []
         window: list[_Node] = list(self._fetch_block(self.program.entry))
+        self._window = window
         self.blocks_executed = 1
         completing: dict[int, list[_Node]] = {}
+        self._completing = completing
+        self._last_progress = self.cycle
         halted = False
 
         try:
@@ -275,8 +291,11 @@ class DataflowEngine:
                     self.injector.tick(self)
                     if self.injector.early_masked:
                         raise _EarlyMaskStop
+                if self.sanitizer is not None:
+                    self.sanitizer.on_cycle(self)
                 # complete
-                for node in completing.pop(self.cycle, ()):
+                completed = completing.pop(self.cycle, ())
+                for node in completed:
                     node.done = True
                     for dep in node.dependents:
                         dep.pending -= 1
@@ -286,6 +305,7 @@ class DataflowEngine:
                     "div": self.fu.div, "fdiv": self.fu.div,
                 }
                 mem_ports: dict[str, int] = {}
+                issued = 0
                 for node in window:
                     if not node.ready:
                         continue
@@ -311,12 +331,24 @@ class DataflowEngine:
                     for dep in node.start_dependents:
                         dep.pending_start -= 1
                     self.operations += 1
+                    issued += 1
                     completing.setdefault(self.cycle + latency, []).append(node)
+                if completed or issued:
+                    self._last_progress = self.cycle
+                elif (self.hang_cycles
+                      and self.cycle - self._last_progress >= self.hang_cycles
+                      and not any(t > self.cycle for t in completing)):
+                    # window is non-empty, nothing is in flight, and no node
+                    # has fired for a full hang window: deterministic deadlock
+                    raise AccelHang
                 window = [n for n in window if not n.done]
+                self._window = window
         except _EarlyMaskStop:
             pass
         except AccelTimeout:
             crashed = "timeout"
+        except AccelHang:
+            crashed = "hang"
         except AccelMemFault:
             crashed = "mem_fault"
         return AccelResult(

@@ -8,13 +8,44 @@ scripts"); this CLI is that entry point:
 * ``figure``         — regenerate one paper figure,
 * ``soc``            — run the heterogeneous SoC flow,
 * ``list``           — available ISAs / workloads / targets / designs,
-* ``validate``       — the Listing-1 injector sanity check.
+* ``validate``       — the Listing-1 injector sanity check,
+* ``doctor``         — offline-validate an existing campaign journal.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _add_sanitizer_args(p) -> None:
+    p.add_argument("--sanitize", default="sampled",
+                   choices=["off", "sampled", "full"],
+                   help="microarchitectural invariant auditing: 'sampled' "
+                        "audits every --audit-stride cycles, 'full' every "
+                        "cycle; impossible states quarantine the run as "
+                        "SIM_FAULT/integrity (default: sampled)")
+    p.add_argument("--audit-stride", type=int, default=None, metavar="N",
+                   help="cycles between sanitizer audits in sampled mode "
+                        "(default: 64)")
+    p.add_argument("--hang-cycles", type=int, default=None, metavar="K",
+                   help="deterministic hang detector: classify Crash(hang) "
+                        "after K simulated cycles without commit/dataflow "
+                        "progress (default: 2048; 0 disables)")
+
+
+def _sanitizer_from_args(args):
+    from repro.core.sanitizer import (
+        DEFAULT_AUDIT_STRIDE,
+        DEFAULT_HANG_CYCLES,
+        SanitizerPolicy,
+    )
+
+    stride = (args.audit_stride if args.audit_stride is not None
+              else DEFAULT_AUDIT_STRIDE)
+    hang = (args.hang_cycles if args.hang_cycles is not None
+            else DEFAULT_HANG_CYCLES)
+    return SanitizerPolicy(mode=args.sanitize, audit_stride=stride), hang
 
 
 def _add_campaign(sub) -> None:
@@ -48,6 +79,7 @@ def _add_campaign(sub) -> None:
     p.add_argument("--no-early-exit", action="store_true",
                    help="disable the golden-trace re-convergence early exit "
                         "(fault runs always simulate to completion)")
+    _add_sanitizer_args(p)
 
 
 def _add_accel(sub) -> None:
@@ -64,6 +96,16 @@ def _add_accel(sub) -> None:
                    help="append per-fault records to this JSONL run journal")
     p.add_argument("--resume", metavar="PATH",
                    help="skip masks already completed in this journal")
+    _add_sanitizer_args(p)
+
+
+def _add_doctor(sub) -> None:
+    p = sub.add_parser("doctor",
+                       help="offline-validate a campaign run journal")
+    p.add_argument("journal", metavar="PATH",
+                   help="JSONL journal written by --journal")
+    p.add_argument("--json", action="store_true",
+                   help="emit the diagnosis as JSON instead of text")
 
 
 def _add_figure(sub) -> None:
@@ -92,6 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     _add_campaign(sub)
     _add_accel(sub)
+    _add_doctor(sub)
     _add_figure(sub)
     _add_soc(sub)
     _add_validate(sub)
@@ -122,10 +165,11 @@ def cmd_campaign(args) -> int:
         stride=args.checkpoint_stride,
         early_exit=not args.no_early_exit,
     )
+    sanitizer, hang_cycles = _sanitizer_from_args(args)
     result = run_campaign(
         spec, workers=args.workers,
         journal=args.journal, resume=args.resume, timeout_s=args.timeout,
-        checkpoints=checkpoints,
+        checkpoints=checkpoints, sanitizer=sanitizer, hang_cycles=hang_cycles,
     )
     summary = result.summary()
     print(render_table(["metric", "value"], sorted(summary.items())))
@@ -151,7 +195,9 @@ def cmd_accel(args) -> int:
         faults=args.faults, seed=args.seed, model=_model(args.model),
         fu=FUConfig.uniform(args.fu) if args.fu else None,
     )
-    result = run_accel_campaign(spec, journal=args.journal, resume=args.resume)
+    sanitizer, hang_cycles = _sanitizer_from_args(args)
+    result = run_accel_campaign(spec, journal=args.journal, resume=args.resume,
+                                sanitizer=sanitizer, hang_cycles=hang_cycles)
     print(render_table(["metric", "value"], sorted(result.summary().items())))
     if result.resumed:
         print(f"resumed {result.resumed}/{len(result.records)} masks "
@@ -208,6 +254,19 @@ def cmd_validate(args) -> int:
     return 0 if result.coverage >= 0.9 else 1
 
 
+def cmd_doctor(args) -> int:
+    import json
+
+    from repro.core.doctor import diagnose_journal
+
+    report = diagnose_journal(args.journal)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.describe())
+    return 0 if report.ok else 1
+
+
 def cmd_list(args) -> int:
     from repro.accel_designs import DESIGNS, PAPER_TARGETS
     from repro.core.targets import TARGETS
@@ -227,6 +286,7 @@ def main(argv: list[str] | None = None) -> int:
     handler = {
         "campaign": cmd_campaign,
         "accel-campaign": cmd_accel,
+        "doctor": cmd_doctor,
         "figure": cmd_figure,
         "soc": cmd_soc,
         "validate": cmd_validate,

@@ -22,8 +22,20 @@ from repro.core.campaign import (
     run_campaign,
     run_one_fault,
 )
+from repro.core.doctor import DoctorReport, diagnose_journal
 from repro.core.faults import FaultFlip, FaultMask, FaultModel
 from repro.core.journal import CampaignJournal, JournalError
+from repro.core.sanitizer import (
+    DEFAULT_AUDIT_STRIDE,
+    DEFAULT_HANG_CYCLES,
+    DEFAULT_SANITIZER,
+    FULL_SANITIZER,
+    NO_SANITIZER,
+    IntegrityReport,
+    IntegrityViolation,
+    SanitizerPolicy,
+    hang_detected,
+)
 from repro.core.supervisor import SupervisorPolicy, TaskOutcome, run_supervised
 from repro.core.metrics import (
     avf,
@@ -39,19 +51,30 @@ from repro.core.presets import paper_config, sim_config
 from repro.core.sampling import generate_masks, sample_size
 
 __all__ = [
+    "DEFAULT_AUDIT_STRIDE",
+    "DEFAULT_HANG_CYCLES",
+    "DEFAULT_SANITIZER",
+    "FULL_SANITIZER",
+    "NO_SANITIZER",
     "CampaignJournal",
     "CampaignResult",
     "CampaignSpec",
+    "DoctorReport",
     "FaultFlip",
     "FaultMask",
     "FaultModel",
     "FaultRecord",
     "HVFClass",
+    "IntegrityReport",
+    "IntegrityViolation",
     "JournalError",
     "Outcome",
+    "SanitizerPolicy",
     "SimulatorFault",
     "SupervisorPolicy",
     "TaskOutcome",
+    "diagnose_journal",
+    "hang_detected",
     "run_supervised",
     "avf",
     "crash_avf",

@@ -29,6 +29,15 @@ from repro.core.injector import InjectionController
 from repro.core.journal import CampaignJournal
 from repro.core.outcome import Classification, HVFClass, Outcome, classify
 from repro.core.sampling import error_margin_for, generate_masks
+from repro.core.sanitizer import (
+    DEFAULT_HANG_CYCLES,
+    DEFAULT_SANITIZER,
+    CoreAuditor,
+    IntegrityReport,
+    IntegrityViolation,
+    SanitizerPolicy,
+    hang_detected,
+)
 from repro.core.supervisor import SupervisorPolicy, TaskOutcome, run_supervised
 from repro.core.targets import get_target
 from repro.cpu.config import CPUConfig
@@ -96,8 +105,15 @@ class FaultRecord:
     #: run was quarantined or succeeded only after a retry
     error: str | None = None
     #: 'deterministic' (both attempts failed), 'flaky' (retry succeeded),
-    #: 'harness_timeout' / 'harness_error' (supervised executor gave up)
+    #: 'harness_timeout' / 'harness_error' (supervised executor gave up),
+    #: 'integrity' (a sanitizer invariant check caught an impossible state)
     sim_error_kind: str | None = None
+    #: structured sanitizer evidence for an 'integrity' quarantine
+    integrity: IntegrityReport | None = None
+    #: golden-checkpoint cycle the run fast-forwarded from (0 = from
+    #: scratch).  Excluded from equality: a checkpointed record is the
+    #: *same verdict* as its from-scratch twin, just cheaper to reach.
+    restored_from: int = field(default=0, compare=False)
 
     @property
     def quarantined(self) -> bool:
@@ -160,6 +176,14 @@ class CampaignResult:
     @property
     def timeouts(self) -> int:
         return sum(1 for r in self.records if r.crash_reason == "timeout")
+
+    @property
+    def hangs(self) -> int:
+        return sum(1 for r in self.records if r.crash_reason == "hang")
+
+    @property
+    def integrity_quarantined(self) -> int:
+        return sum(1 for r in self.records if r.sim_error_kind == "integrity")
 
     @property
     def avf(self) -> float:
@@ -269,6 +293,7 @@ def golden_run(
     scale: str = "tiny",
     *,
     checkpoints: CheckpointPolicy | None = None,
+    sanitizer: SanitizerPolicy | None = None,
 ) -> GoldenRun:
     """Fault-free reference run (cached per isa/workload/config/scale).
 
@@ -278,6 +303,13 @@ def golden_run(
     golden that already carries checkpoints is reused as-is — correctness
     never depends on the stride, only speed does — while a cached one
     without them is re-simulated once to collect them.
+
+    With an enabled ``sanitizer`` policy the golden run is invariant-audited
+    at the policy's stride.  No fault mask is active, so nothing is
+    suppressed and a violation propagates as a hard :class:`IntegrityViolation`
+    (a corrupt golden reference invalidates every verdict derived from it).
+    Auditing only happens on cache misses — a cached golden was already
+    simulated — so callers measuring audit overhead must clear the cache.
     """
     key = (isa_name, workload, scale, cfg)
     want = checkpoints is not None and checkpoints.enabled
@@ -294,11 +326,27 @@ def golden_run(
         CheckpointStore(checkpoints, base_image=bytes(exe.initial_memory()))
         if want else None
     )
-    result = core.run(on_cycle=store.consider if store is not None else None)
+    auditor = (
+        CoreAuditor(sanitizer)
+        if sanitizer is not None and sanitizer.enabled else None
+    )
+    if store is not None and auditor is not None:
+        def on_cycle(c, _consider=store.consider, _audit=auditor.on_cycle):
+            _consider(c)
+            _audit(c)
+    elif store is not None:
+        on_cycle = store.consider
+    elif auditor is not None:
+        on_cycle = auditor.on_cycle
+    else:
+        on_cycle = None
+    result = core.run(on_cycle=on_cycle)
     if not result.ok:
         raise RuntimeError(
             f"golden run failed for {isa_name}/{workload}: {result.crashed}"
         )
+    if auditor is not None:
+        auditor.audit(core)   # final audit of the halted end state
     lo = result.checkpoint_cycle if result.checkpoint_cycle is not None else 0
     hi = result.switch_cycle if result.switch_cycle is not None else result.cycles
     if hi <= lo:
@@ -324,9 +372,18 @@ def _simulate_one(
     mask: FaultMask,
     golden: GoldenRun,
     policy: CheckpointPolicy | None = None,
+    sanitizer: SanitizerPolicy | None = None,
+    hang_cycles: int = DEFAULT_HANG_CYCLES,
 ) -> FaultRecord:
     """One injected simulation, unguarded: simulator bugs raise
-    :class:`SimulatorFault` for :func:`run_one_fault` to quarantine.
+    :class:`SimulatorFault` for :func:`run_one_fault` to quarantine, and
+    sanitizer hits raise :class:`IntegrityViolation` for it to escalate.
+
+    The deterministic hang detector is *always* armed (``hang_cycles=0``
+    disables it): it reads only simulated state, so a hang classifies as
+    ``Crash(hang)`` at the identical cycle regardless of sanitize mode,
+    host speed, or worker parallelism — records stay byte-identical
+    between ``--sanitize=off`` and ``--sanitize=sampled``.
 
     With an enabled ``policy`` and a checkpointed golden run, the core is
     restored from the nearest golden checkpoint at-or-before the earliest
@@ -373,11 +430,17 @@ def _simulate_one(
     probe_idx = 0
     reconverged = False
 
+    auditor = (
+        CoreAuditor(sanitizer, controller, mask)
+        if sanitizer is not None and sanitizer.enabled else None
+    )
     max_cycles = golden.cycles * spec.cfg.watchdog_factor + 10_000
     crashed: str | None = None
     crash_pc = 0
     try:
         while not core.halted and core.cycle < max_cycles:
+            if auditor is not None:
+                auditor.on_cycle(core)
             core.step()
             if controller.early_masked:
                 break
@@ -387,12 +450,21 @@ def _simulate_one(
                 if controller.settled and checkpoint_matches(ckpt, core):
                     reconverged = True
                     break
-        if not core.halted and not controller.early_masked and not reconverged:
+            if hang_detected(core, hang_cycles):
+                crashed = "hang"
+                break
+        if (crashed is None and not core.halted
+                and not controller.early_masked and not reconverged):
             crashed = "timeout"
+        if auditor is not None:
+            auditor.audit(core)   # final audit of the terminal state
     except CrashError as exc:
         # an expected outcome: the *simulated program* crashed
         crashed = exc.reason
         crash_pc = exc.pc
+    except IntegrityViolation:
+        # impossible state caught mid-run — escalate upstream untouched
+        raise
     except Exception as exc:
         # the *simulator* crashed — a fault-corrupted core walked the model
         # into a state the code never anticipated; quarantine upstream
@@ -455,11 +527,13 @@ def _simulate_one(
         activated=controller.activated,
         max_cycles=max_cycles,
         stopped_on_hvf=stopped_on_hvf,
+        restored_from=restored_from,
     )
 
 
 def quarantine_record(mask: FaultMask, kind: str, error: str,
-                      retries: int = 0) -> FaultRecord:
+                      retries: int = 0,
+                      integrity: IntegrityReport | None = None) -> FaultRecord:
     """A FaultRecord for a run the simulator could not complete."""
     return FaultRecord(
         mask=mask,
@@ -469,7 +543,50 @@ def quarantine_record(mask: FaultMask, kind: str, error: str,
         retries=retries,
         error=error,
         sim_error_kind=kind,
+        integrity=integrity,
     )
+
+
+def _escalate_integrity(
+    spec: CampaignSpec,
+    mask: FaultMask,
+    golden: GoldenRun,
+    policy: CheckpointPolicy,
+    sanitizer: SanitizerPolicy | None,
+    hang_cycles: int,
+    violation: IntegrityViolation,
+) -> FaultRecord:
+    """Differential escalation for a suspected integrity violation.
+
+    If the failing run fast-forwarded from a golden checkpoint, the mask is
+    re-simulated once *from scratch* (checkpoints disabled): a run that
+    fails again — or any clean verdict that would require trusting state
+    the sanitizer already caught corrupt — labels the violation
+    ``deterministic``, while a clean from-scratch run labels it
+    ``checkpoint-divergence`` (the snapshot/restore path is the suspect).
+    Either way the mask is quarantined; an observed impossible state is
+    never laundered into an AVF verdict.
+    """
+    restored = 0
+    if policy.enabled and golden.checkpoints is not None:
+        restored = golden.checkpoints.restore_cycle_for(
+            min(f.cycle for f in mask.flips)
+        )
+    retries = 0
+    if restored > 0:
+        retries = 1
+        try:
+            _simulate_one(spec, mask, golden, NO_CHECKPOINTS,
+                          sanitizer=sanitizer, hang_cycles=hang_cycles)
+        except (IntegrityViolation, SimulatorFault):
+            divergence = "deterministic"
+        else:
+            divergence = "checkpoint-divergence"
+    else:
+        divergence = "deterministic"
+    report = replace(violation.report, divergence=divergence)
+    return quarantine_record(mask, "integrity", report.describe(),
+                             retries=retries, integrity=report)
 
 
 def run_one_fault(
@@ -478,6 +595,8 @@ def run_one_fault(
     golden: GoldenRun | None = None,
     *,
     checkpoints: CheckpointPolicy | None = None,
+    sanitizer: SanitizerPolicy | None = None,
+    hang_cycles: int = DEFAULT_HANG_CYCLES,
 ) -> FaultRecord:
     """Simulate one injected fault and classify the outcome.
 
@@ -486,21 +605,34 @@ def run_one_fault(
     fault-corrupted core is a simulator failure.  Those are retried once
     with the same mask — a second failure means a deterministic simulator
     bug, a success means flaky state — and never abort the campaign.
+    Sanitizer hits (:class:`IntegrityViolation`) take the differential
+    escalation path instead and quarantine as ``sim_error_kind="integrity"``.
 
     ``checkpoints`` selects the fast-forward/early-exit strategy (default:
     :data:`repro.core.checkpoint.DEFAULT_POLICY`); the resulting record is
-    bit-identical either way.
+    bit-identical either way.  ``sanitizer`` selects the invariant-audit
+    policy (default: :data:`repro.core.sanitizer.DEFAULT_SANITIZER`,
+    sampled mode).
     """
     policy = checkpoints if checkpoints is not None else DEFAULT_CHECKPOINT_POLICY
+    san = sanitizer if sanitizer is not None else DEFAULT_SANITIZER
     if golden is None:
         golden = golden_run(spec.isa, spec.workload, spec.cfg, spec.scale,
                             checkpoints=policy)
     try:
-        return _simulate_one(spec, mask, golden, policy)
+        return _simulate_one(spec, mask, golden, policy,
+                             sanitizer=san, hang_cycles=hang_cycles)
+    except IntegrityViolation as viol:
+        return _escalate_integrity(spec, mask, golden, policy, san,
+                                   hang_cycles, viol)
     except SimulatorFault as first:
         first_text = first.describe()
     try:
-        record = _simulate_one(spec, mask, golden, policy)
+        record = _simulate_one(spec, mask, golden, policy,
+                               sanitizer=san, hang_cycles=hang_cycles)
+    except IntegrityViolation as viol:
+        return _escalate_integrity(spec, mask, golden, policy, san,
+                                   hang_cycles, viol)
     except SimulatorFault as second:
         return quarantine_record(
             mask, "deterministic", second.describe(), retries=1
@@ -512,15 +644,22 @@ def run_one_fault(
 
 #: checkpoint policy the pool initializer armed for this worker process
 _WORKER_CHECKPOINTS: CheckpointPolicy | None = None
+#: sanitizer policy and hang window the pool initializer armed
+_WORKER_SANITIZER: SanitizerPolicy | None = None
+_WORKER_HANG_CYCLES: int = DEFAULT_HANG_CYCLES
 
 
 def _worker(args: tuple) -> FaultRecord:
     spec, mask = args
-    return run_one_fault(spec, mask, checkpoints=_WORKER_CHECKPOINTS)
+    return run_one_fault(spec, mask, checkpoints=_WORKER_CHECKPOINTS,
+                         sanitizer=_WORKER_SANITIZER,
+                         hang_cycles=_WORKER_HANG_CYCLES)
 
 
 def _worker_init(spec: CampaignSpec,
-                 checkpoints: CheckpointPolicy | None = None) -> None:
+                 checkpoints: CheckpointPolicy | None = None,
+                 sanitizer: SanitizerPolicy | None = None,
+                 hang_cycles: int = DEFAULT_HANG_CYCLES) -> None:
     """Pool initializer: prime the golden run once per worker process.
 
     Without this every subprocess would recompute the golden simulation on
@@ -531,8 +670,11 @@ def _worker_init(spec: CampaignSpec,
     already carries the checkpoint store.
     """
     global _GOLDEN_MISSES, _WORKER_CHECKPOINTS
+    global _WORKER_SANITIZER, _WORKER_HANG_CYCLES
     _GOLDEN_MISSES = 0
     _WORKER_CHECKPOINTS = checkpoints
+    _WORKER_SANITIZER = sanitizer
+    _WORKER_HANG_CYCLES = hang_cycles
     policy = checkpoints if checkpoints is not None else DEFAULT_CHECKPOINT_POLICY
     golden_run(spec.isa, spec.workload, spec.cfg, spec.scale, checkpoints=policy)
 
@@ -615,6 +757,8 @@ def run_campaign(
     timeout_s: float | None = None,
     policy: SupervisorPolicy | None = None,
     checkpoints: CheckpointPolicy | None = None,
+    sanitizer: SanitizerPolicy | None = None,
+    hang_cycles: int = DEFAULT_HANG_CYCLES,
 ) -> CampaignResult:
     """Run a full SFI campaign; returns per-fault records + aggregates.
 
@@ -631,6 +775,11 @@ def run_campaign(
       :data:`repro.core.checkpoint.NO_CHECKPOINTS` to simulate every fault
       from cycle 0).  Records — and journal fingerprints — are identical
       either way; only wall-clock time changes.
+    * ``sanitizer`` / ``hang_cycles`` — invariant-audit policy (default:
+      sampled) and the deterministic hang-detector window in simulated
+      cycles (0 disables).  Neither is part of the campaign spec: auditing
+      never changes a valid record, so journal fingerprints stay stable
+      across sanitize modes.
     """
     ckpt_policy = checkpoints if checkpoints is not None else DEFAULT_CHECKPOINT_POLICY
     golden = golden_run(spec.isa, spec.workload, spec.cfg, spec.scale,
@@ -680,7 +829,7 @@ def run_campaign(
                 workers=workers,
                 policy=policy,
                 initializer=_worker_init,
-                initargs=(spec, ckpt_policy),
+                initargs=(spec, ckpt_policy, sanitizer, hang_cycles),
                 on_result=(
                     (lambda o: writer.append(_outcome_to_record(o)))
                     if writer is not None else None
@@ -691,7 +840,9 @@ def run_campaign(
             }
         else:
             for i, m in pending:
-                record = run_one_fault(spec, m, golden, checkpoints=ckpt_policy)
+                record = run_one_fault(spec, m, golden, checkpoints=ckpt_policy,
+                                       sanitizer=sanitizer,
+                                       hang_cycles=hang_cycles)
                 if writer is not None:
                     writer.append(record)
                 by_pos[i] = record

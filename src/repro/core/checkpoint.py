@@ -359,4 +359,5 @@ def restore_checkpoint(core: OoOCore, ckpt: Checkpoint) -> None:
     core.fetch_queue.clear()
     core.fetch_stalled = False
     core.fetch_ready_at = core.cycle
+    core.last_commit_cycle = core.cycle
     core._decode_cache.clear()

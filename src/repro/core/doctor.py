@@ -1,0 +1,228 @@
+"""Offline campaign-journal validation (the ``repro doctor`` subcommand).
+
+A run journal is the crash-safe ledger a 10k-fault campaign resumes from —
+which makes a *corrupt* journal the most expensive file in the project: a
+bad resume silently skips or double-counts masks.  ``diagnose_journal``
+audits one journal without re-running anything:
+
+* the header parses, has a supported version, and its stored fingerprint
+  matches a recomputation over the stored spec (a mismatch means the header
+  was hand-edited or the file spliced from two campaigns);
+* every record line parses; unreadable *trailing* lines are a tolerated
+  torn tail (the writer died mid-append), unreadable *interior* lines are
+  corruption;
+* no two records claim the same ``mask_id`` (resume keys on it);
+* per-record consistency: quarantined runs carry a ``sim_error_kind``,
+  ``integrity`` quarantines carry their :class:`IntegrityReport`, Crash
+  verdicts carry a ``crash_reason``, and every flip targets the structure
+  the campaign spec says it should;
+* the record count does not exceed the spec's sample size.
+
+The verdict ships with the journal's robustness/integrity summary so the
+operator sees campaign health in the same pass.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+
+from repro.core.journal import JOURNAL_VERSION, record_from_dict
+from repro.core.outcome import Outcome
+from repro.core.report import robustness_summary
+from repro.core.sanitizer import IntegrityReport
+
+
+@dataclasses.dataclass
+class DoctorReport:
+    """Everything ``repro doctor`` found out about one journal."""
+
+    path: str
+    problems: list[str] = dataclasses.field(default_factory=list)
+    warnings: list[str] = dataclasses.field(default_factory=list)
+    records: int = 0
+    torn_tail: bool = False
+    header: dict | None = None
+    robustness: dict | None = None
+    integrity_reports: list[IntegrityReport] = dataclasses.field(
+        default_factory=list
+    )
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def describe(self) -> str:
+        lines = [f"journal: {self.path}"]
+        if self.header is not None:
+            spec = self.header.get("spec", {})
+            what = (
+                f"{spec.get('isa')}/{spec.get('workload')}/{spec.get('target')}"
+                if "target" in spec
+                else f"{spec.get('design')}/{spec.get('component')}"
+            )
+            lines.append(
+                f"campaign: {what} model={spec.get('model')} "
+                f"faults={spec.get('faults')} seed={spec.get('seed')}"
+            )
+        lines.append(f"records: {self.records}"
+                     + (" (torn tail tolerated)" if self.torn_tail else ""))
+        if self.robustness is not None:
+            health = ", ".join(f"{k}={v:.2f}" if isinstance(v, float)
+                               else f"{k}={v}"
+                               for k, v in self.robustness.items())
+            lines.append(f"robustness: {health}")
+        for report in self.integrity_reports:
+            lines.append(f"  integrity[mask {report.mask_id}]: "
+                         f"{report.describe()}")
+        for warning in self.warnings:
+            lines.append(f"WARNING: {warning}")
+        for problem in self.problems:
+            lines.append(f"PROBLEM: {problem}")
+        lines.append("verdict: " + ("ok" if self.ok else "CORRUPT"))
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "ok": self.ok,
+            "problems": self.problems,
+            "warnings": self.warnings,
+            "records": self.records,
+            "torn_tail": self.torn_tail,
+            "robustness": self.robustness,
+            "integrity_reports": [r.to_dict() for r in self.integrity_reports],
+        }
+
+
+def _recompute_fingerprint(spec_dict: dict) -> str:
+    """Recompute the header fingerprint from the *stored* spec.
+
+    The writer fingerprints ``json.dumps(asdict(spec), sort_keys=True)``
+    after canonicalizing enums/dataclasses; the stored spec is that same
+    canonical form round-tripped through JSON, so hashing its sorted dump
+    reproduces the original digest exactly.
+    """
+    canon = json.dumps(spec_dict, sort_keys=True)
+    return hashlib.sha256(canon.encode()).hexdigest()
+
+
+def _expected_structure(spec: dict) -> str | None:
+    if "target" in spec:
+        return spec["target"]
+    if "design" in spec and "component" in spec:
+        return f"accel:{spec['design']}:{spec['component']}"
+    return None
+
+
+def _check_record(report: DoctorReport, line_no: int, record,
+                  expected_structure: str | None) -> None:
+    where = f"line {line_no} (mask {record.mask.mask_id})"
+    if record.outcome is Outcome.SIM_FAULT:
+        if not record.sim_error_kind:
+            report.problems.append(
+                f"{where}: quarantined without a sim_error_kind")
+        if record.sim_error_kind == "integrity" and record.integrity is None:
+            report.problems.append(
+                f"{where}: integrity quarantine without an IntegrityReport")
+    if record.integrity is not None:
+        report.integrity_reports.append(record.integrity)
+        if record.sim_error_kind != "integrity":
+            report.problems.append(
+                f"{where}: carries an IntegrityReport but sim_error_kind is "
+                f"{record.sim_error_kind!r}")
+    if record.outcome is Outcome.CRASH and not record.crash_reason:
+        report.problems.append(f"{where}: Crash verdict without a crash_reason")
+    if expected_structure is not None:
+        for flip in record.mask.flips:
+            if flip.structure != expected_structure:
+                report.problems.append(
+                    f"{where}: flip targets {flip.structure!r} but the spec "
+                    f"campaigns against {expected_structure!r}")
+                break
+
+
+def diagnose_journal(path: str | Path) -> DoctorReport:
+    """Validate one campaign journal offline; never raises for bad input."""
+    report = DoctorReport(path=str(path))
+    path = Path(path)
+    if not path.exists():
+        report.problems.append("journal file does not exist")
+        return report
+    lines = path.read_text().splitlines()
+    if not lines:
+        report.problems.append("journal file is empty")
+        return report
+
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError:
+        report.problems.append("line 1: unreadable journal header")
+        return report
+    if header.get("kind") != "header":
+        report.problems.append("line 1: missing journal header")
+        return report
+    report.header = header
+    if header.get("version") != JOURNAL_VERSION:
+        report.problems.append(
+            f"unsupported journal version {header.get('version')!r} "
+            f"(expected {JOURNAL_VERSION})")
+    spec = header.get("spec")
+    if not isinstance(spec, dict):
+        report.problems.append("header carries no campaign spec")
+        spec = {}
+    elif header.get("fingerprint") != _recompute_fingerprint(spec):
+        report.problems.append(
+            "header fingerprint does not match its own spec — the header "
+            "was edited or spliced from another campaign")
+    expected_structure = _expected_structure(spec)
+
+    records = []
+    seen_ids: dict[int, int] = {}
+    last = len(lines) - 1
+    for i, line in enumerate(lines[1:], start=1):
+        line_no = i + 1
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError:
+            if i == last:
+                report.torn_tail = True
+                report.warnings.append(
+                    f"line {line_no}: torn trailing line (interrupted "
+                    f"append) — the mask will simply re-run on resume")
+            else:
+                report.problems.append(
+                    f"line {line_no}: unreadable mid-journal line")
+            continue
+        if data.get("kind") != "record":
+            report.warnings.append(
+                f"line {line_no}: unknown kind {data.get('kind')!r}, skipped")
+            continue
+        try:
+            record = record_from_dict(data)
+        except Exception as exc:
+            report.problems.append(
+                f"line {line_no}: record does not deserialize "
+                f"({type(exc).__name__}: {exc})")
+            continue
+        mask_id = record.mask.mask_id
+        if mask_id in seen_ids:
+            report.problems.append(
+                f"line {line_no}: duplicate mask_id {mask_id} (first at "
+                f"line {seen_ids[mask_id]}) — resume would keep only one")
+        else:
+            seen_ids[mask_id] = line_no
+        _check_record(report, line_no, record, expected_structure)
+        records.append(record)
+
+    report.records = len(records)
+    declared = spec.get("faults")
+    if isinstance(declared, int) and len(seen_ids) > declared:
+        report.problems.append(
+            f"{len(seen_ids)} distinct masks journaled but the spec samples "
+            f"only {declared}")
+    if records:
+        report.robustness = robustness_summary(records)
+    return report

@@ -36,6 +36,7 @@ from typing import Any
 
 from repro.core.faults import FaultFlip, FaultMask, FaultModel
 from repro.core.outcome import HVFClass, Outcome
+from repro.core.sanitizer import IntegrityReport
 
 JOURNAL_VERSION = 1
 
@@ -88,6 +89,11 @@ def record_to_dict(record) -> dict:
         "retries": record.retries,
         "error": record.error,
         "sim_error_kind": record.sim_error_kind,
+        # restored_from is deliberately NOT serialized: a checkpointed run's
+        # journal must stay byte-identical to a from-scratch run's
+        "integrity": (record.integrity.to_dict()
+                      if getattr(record, "integrity", None) is not None
+                      else None),
     }
 
 
@@ -107,6 +113,8 @@ def record_from_dict(data: dict):
         retries=data.get("retries", 0),
         error=data.get("error"),
         sim_error_kind=data.get("sim_error_kind"),
+        integrity=(IntegrityReport.from_dict(data["integrity"])
+                   if data.get("integrity") else None),
     )
 
 

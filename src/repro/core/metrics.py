@@ -80,6 +80,29 @@ def quarantined(records: Sequence) -> int:
     return sum(1 for r in records if r.outcome is Outcome.SIM_FAULT)
 
 
+def integrity_quarantined(records: Sequence) -> int:
+    """How many runs the sanitizer quarantined for impossible state.
+
+    A subset of :func:`quarantined`: these runs tripped an invariant check
+    the active fault mask cannot explain (``sim_error_kind="integrity"``).
+    """
+    return sum(
+        1 for r in records
+        if getattr(r, "sim_error_kind", None) == "integrity"
+    )
+
+
+def hangs(records: Sequence) -> int:
+    """How many runs the deterministic hang detector crashed.
+
+    These count toward :func:`crash_avf` (a hang is a catastrophic program
+    outcome, like the paper's excessively-long BFS runs) — this counter just
+    splits them from wall-clock watchdog ``timeout`` crashes, which are
+    host-speed-dependent where hangs reproduce at an exact simulated cycle.
+    """
+    return sum(1 for r in records if r.crash_reason == "hang")
+
+
 def weighted_avf(avfs: Sequence[float], times: Sequence[float]) -> float:
     """Execution-time-weighted AVF across benchmarks (Section V-A)::
 

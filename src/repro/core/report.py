@@ -51,29 +51,53 @@ def robustness_summary(records: Sequence) -> dict:
 
     Quarantined / retried / timed-out runs are reported *next to* AVF/HVF
     rather than silently folded into them, so a campaign that limped through
-    simulator failures is visible as such.  ``watchdog_pressure`` is how
-    close the longest crash-timeout run came to its cycle budget (1.0 means
-    a run hit the watchdog exactly; 0.0 means no timeout crashes).
+    simulator failures is visible as such.
+
+    ``watchdog_pressure`` is how close the longest run came to exhausting
+    its *effective* cycle budget: a run restored from a golden checkpoint
+    only simulates ``max_cycles - restored_from`` cycles, so its pressure is
+    ``(cycles - restored_from) / (max_cycles - restored_from)`` — using the
+    original ``max_cycles`` would understate how close fast-forwarded runs
+    sail to the watchdog.  1.0 means a run hit the watchdog exactly.
+
+    ``hangs`` counts deterministic hang-detector crashes
+    (``Crash(reason="hang")``) separately from wall-clock/watchdog
+    ``timeouts``; ``integrity_quarantined`` / ``checkpoint_divergence``
+    split out sanitizer escalations and their differential verdicts.
     """
     quarantined = sum(1 for r in records if r.outcome is Outcome.SIM_FAULT)
     deterministic = sum(
         1 for r in records if getattr(r, "sim_error_kind", None) == "deterministic"
     )
     flaky = sum(1 for r in records if getattr(r, "sim_error_kind", None) == "flaky")
+    integrity = sum(
+        1 for r in records if getattr(r, "sim_error_kind", None) == "integrity"
+    )
+    divergence = sum(
+        1 for r in records
+        if getattr(getattr(r, "integrity", None), "divergence", None)
+        == "checkpoint-divergence"
+    )
     retried = sum(1 for r in records if getattr(r, "retries", 0))
     timeouts = sum(1 for r in records if r.crash_reason == "timeout")
+    hangs = sum(1 for r in records if r.crash_reason == "hang")
     hvf_stops = sum(1 for r in records if getattr(r, "stopped_on_hvf", False))
     pressure = 0.0
     for r in records:
         budget = getattr(r, "max_cycles", 0)
-        if r.crash_reason == "timeout" and budget:
-            pressure = max(pressure, r.cycles / budget)
+        restored = getattr(r, "restored_from", 0)
+        effective = budget - restored
+        if effective > 0 and r.outcome is not Outcome.SIM_FAULT:
+            pressure = max(pressure, (r.cycles - restored) / effective)
     return {
         "quarantined": quarantined,
         "deterministic_sim_faults": deterministic,
         "flaky_sim_faults": flaky,
+        "integrity_quarantined": integrity,
+        "checkpoint_divergence": divergence,
         "retried": retried,
         "timeouts": timeouts,
+        "hangs": hangs,
         "hvf_stops": hvf_stops,
         "watchdog_pressure": pressure,
     }
@@ -87,8 +111,11 @@ def render_robustness(records: Sequence) -> str:
     return (
         f"degraded campaign: {health['quarantined']} quarantined "
         f"({health['deterministic_sim_faults']} deterministic, "
-        f"{health['flaky_sim_faults']} flaky), "
+        f"{health['flaky_sim_faults']} flaky, "
+        f"{health['integrity_quarantined']} integrity of which "
+        f"{health['checkpoint_divergence']} checkpoint-divergence), "
         f"{health['retried']} retried, {health['timeouts']} watchdog timeouts "
+        f"/ {health['hangs']} deterministic hangs "
         f"(pressure {health['watchdog_pressure']:.2f}) — quarantined runs are "
         "excluded from AVF/HVF"
     )

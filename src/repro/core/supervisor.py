@@ -52,9 +52,19 @@ class SupervisorPolicy:
     max_pool_respawns: int = 3
     #: how often the supervisor wakes up to check deadlines
     poll_s: float = 0.05
+    #: deadline multiplier for retried attempts: a task that timed out may
+    #: simply be near the budget (e.g. an escalated integrity re-run that
+    #: simulates from scratch), so each retry gets ``timeout_s * scale**n``
+    timeout_scale_on_retry: float = 2.0
 
     def backoff_for(self, attempt: int) -> float:
         return min(self.backoff_cap_s, self.backoff_base_s * (2 ** attempt))
+
+    def timeout_for(self, attempt: int) -> float | None:
+        """Wall-clock budget for a task on its ``attempt``-th retry."""
+        if self.timeout_s is None:
+            return None
+        return self.timeout_s * (self.timeout_scale_on_retry ** attempt)
 
 
 @dataclass(frozen=True)
@@ -128,7 +138,7 @@ def run_supervised(
             _kill_workers(pool)
             pool.shutdown(wait=False, cancel_futures=True)
             pool = None
-        for task, _ in inflight.values():
+        for task, _deadline, _budget in inflight.values():
             pending.appendleft(task)        # pool failed, not the task
         inflight.clear()
         abandoned = 0
@@ -158,10 +168,9 @@ def run_supervised(
                 pending.appendleft(task)
                 note_pool_failure()
                 break
-            deadline = (
-                clock() + policy.timeout_s if policy.timeout_s is not None else None
-            )
-            inflight[future] = (task, deadline)
+            budget = policy.timeout_for(task.attempt)
+            deadline = clock() + budget if budget is not None else None
+            inflight[future] = (task, deadline, budget)
         if not inflight:
             continue
 
@@ -169,7 +178,7 @@ def run_supervised(
                        return_when=FIRST_COMPLETED)
         pool_broke = False
         for future in done:
-            task, _deadline = inflight.pop(future)
+            task, _deadline, _budget = inflight.pop(future)
             try:
                 value = future.result()
             except BrokenProcessPool:
@@ -197,7 +206,7 @@ def run_supervised(
         # enforce wall-clock deadlines on whatever is still running
         if policy.timeout_s is not None:
             now = clock()
-            for future, (task, deadline) in list(inflight.items()):
+            for future, (task, deadline, budget) in list(inflight.items()):
                 if deadline is None or now < deadline:
                     continue
                 inflight.pop(future)
@@ -209,7 +218,7 @@ def run_supervised(
                 else:
                     emit(TaskOutcome(
                         index=task.index, item=task.item, kind=TIMEOUT,
-                        error=f"exceeded {policy.timeout_s:.1f}s wall clock",
+                        error=f"exceeded {budget:.1f}s wall clock",
                         attempts=task.attempt + 1,
                     ))
             if abandoned >= workers:

@@ -148,6 +148,10 @@ class OoOCore:
         self.seq = 0
         self.cycle = 0
         self.instructions = 0
+        # last simulated cycle that retired an instruction — the hang
+        # detector's reference point (travels with snapshot/restore so
+        # checkpointed runs detect hangs at the same cycle as full runs)
+        self.last_commit_cycle = 0
         self.halted = False
         self.wfi_sleep = False
         self.irq_pending = False
@@ -608,6 +612,7 @@ class OoOCore:
                 raise CrashError("illegal_instruction", uop.pc, self.cycle)
             self.rob.pop(0)
             commits += 1
+            self.last_commit_cycle = self.cycle
             if uop.first_of_instr:
                 self.instructions += 1
 
@@ -726,6 +731,7 @@ class OoOCore:
             "fetch_queue": list(self.fetch_queue),
             "fetch_ready_at": self.fetch_ready_at,
             "fetch_stalled": self.fetch_stalled,
+            "last_commit_cycle": self.last_commit_cycle,
             "rob": self._copy_entries(self.rob, memo),
             "iq": self._copy_entries(self.iq, memo),
             "inflight": [
@@ -774,6 +780,7 @@ class OoOCore:
         self.fetch_queue = list(snap["fetch_queue"])
         self.fetch_ready_at = snap["fetch_ready_at"]
         self.fetch_stalled = snap["fetch_stalled"]
+        self.last_commit_cycle = snap.get("last_commit_cycle", 0)
         self.rob = self._copy_entries(snap["rob"], memo)
         self.iq = self._copy_entries(snap["iq"], memo)
         self.inflight = [

@@ -1,0 +1,147 @@
+"""Offline journal-validation (``repro doctor``) tests.
+
+Each test corrupts a real journal the way real incidents do — a spliced
+header, a mid-file garbage line, a torn tail, a duplicated mask — and
+asserts the doctor's verdict, plus the CLI's nonzero exit code on
+corruption.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.campaign import CampaignSpec, run_campaign, run_one_fault
+from repro.core.doctor import diagnose_journal
+from repro.core.faults import FaultMask
+from repro.core.journal import CampaignJournal
+from repro.core.sanitizer import SanitizerPolicy
+
+from tests.core.test_sanitizer import double_release_rat_reg
+
+
+def _spec(cfg, **kw):
+    defaults = dict(
+        isa="rv", workload="crc32", target="regfile_int", cfg=cfg,
+        scale="tiny", faults=4, seed=11,
+    )
+    defaults.update(kw)
+    return CampaignSpec(**defaults)
+
+
+@pytest.fixture
+def journal(cfg, tmp_path):
+    path = tmp_path / "run.jsonl"
+    run_campaign(_spec(cfg), journal=path)
+    return path
+
+
+def test_valid_journal_is_ok(journal):
+    report = diagnose_journal(journal)
+    assert report.ok
+    assert report.records == 4
+    assert not report.torn_tail
+    assert report.robustness["quarantined"] == 0
+    assert "verdict: ok" in report.describe()
+
+
+def test_missing_and_empty_files(tmp_path):
+    report = diagnose_journal(tmp_path / "never-written.jsonl")
+    assert not report.ok and "does not exist" in report.problems[0]
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert not diagnose_journal(empty).ok
+
+
+def test_tampered_fingerprint_detected(journal):
+    lines = journal.read_text().splitlines()
+    header = json.loads(lines[0])
+    header["spec"]["seed"] = 999          # splice: spec edited, hash stale
+    lines[0] = json.dumps(header)
+    journal.write_text("\n".join(lines) + "\n")
+    report = diagnose_journal(journal)
+    assert not report.ok
+    assert any("fingerprint" in p for p in report.problems)
+
+
+def test_torn_tail_is_tolerated_but_interior_garbage_is_not(journal):
+    body = journal.read_text()
+    torn = journal.parent / "torn.jsonl"
+    torn.write_text(body + '{"kind": "record", "mask": {"mask_')
+    report = diagnose_journal(torn)
+    assert report.ok and report.torn_tail
+    assert any("torn" in w for w in report.warnings)
+
+    lines = body.splitlines()
+    lines.insert(2, "NOT JSON AT ALL")
+    bad = journal.parent / "garbled.jsonl"
+    bad.write_text("\n".join(lines) + "\n")
+    report = diagnose_journal(bad)
+    assert not report.ok
+    assert any("mid-journal" in p for p in report.problems)
+
+
+def test_duplicate_mask_id_detected(journal):
+    lines = journal.read_text().splitlines()
+    lines.append(lines[1])                # replay a completed record
+    journal.write_text("\n".join(lines) + "\n")
+    report = diagnose_journal(journal)
+    assert not report.ok
+    assert any("duplicate mask_id" in p for p in report.problems)
+
+
+def test_overfull_sample_detected(cfg, journal):
+    spec = _spec(cfg)
+    extra = [
+        run_one_fault(spec, FaultMask.single("regfile_int", i, 2, cycle=60,
+                                             mask_id=100 + i))
+        for i in range(2)
+    ]
+    with open(journal, "a") as fh:
+        from repro.core.journal import record_to_dict
+        for record in extra:
+            fh.write(json.dumps(record_to_dict(record)) + "\n")
+    report = diagnose_journal(journal)
+    assert not report.ok
+    assert any("distinct masks" in p for p in report.problems)
+
+
+def test_integrity_reports_surface_in_diagnosis(cfg, tmp_path):
+    path = tmp_path / "integrity.jsonl"
+    spec = _spec(cfg, faults=1)
+    policy = SanitizerPolicy(mode="sampled", audit_stride=16,
+                             corruptor=double_release_rat_reg)
+    masks = [FaultMask.single("regfile_int", 0, 3, cycle=2000, mask_id=0)]
+    run_campaign(spec, masks=masks, journal=path, sanitizer=policy)
+    report = diagnose_journal(path)
+    assert report.ok                      # quarantined, but journal is sound
+    assert len(report.integrity_reports) == 1
+    assert report.integrity_reports[0].check == "rename_free_bijection"
+    assert report.robustness["integrity_quarantined"] == 1
+    assert "integrity violation" in report.describe()
+
+
+def test_mismatched_flip_structure_detected(cfg, tmp_path):
+    path = tmp_path / "alien.jsonl"
+    spec = _spec(cfg, faults=1)
+    alien = FaultMask.single("lq", 0, 3, cycle=60, mask_id=0)
+    with CampaignJournal.open(path, spec) as writer:
+        writer.append(run_one_fault(spec, alien))
+    report = diagnose_journal(path)
+    assert not report.ok
+    assert any("campaigns against" in p for p in report.problems)
+
+
+def test_cli_exit_codes(journal, capsys):
+    assert cli_main(["doctor", str(journal)]) == 0
+    assert "verdict: ok" in capsys.readouterr().out
+
+    assert cli_main(["doctor", str(journal), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] and payload["records"] == 4
+
+    lines = journal.read_text().splitlines()
+    lines.append(lines[1])                # duplicate record -> corrupt
+    journal.write_text("\n".join(lines) + "\n")
+    assert cli_main(["doctor", str(journal)]) == 1
+    assert "CORRUPT" in capsys.readouterr().out

@@ -1,0 +1,72 @@
+"""Bounded fault-mask fuzzing: every random mask is classified or quarantined.
+
+~200 random masks per ISA, spread over every CPU injection target with a
+~10% permanent-fault share, all under ``--sanitize=full``.  Three
+properties, none of which depend on what the verdicts *are*:
+
+* the campaign engine never lets an exception escape (a raise here is the
+  test failure);
+* every record carries a terminal outcome — Masked, SDC, Crash, or a
+  quarantine — never an unclassified state;
+* the sanitizer reports **zero** integrity violations: real injected faults
+  exercise the fault-aware suppression in vivo, so a single false positive
+  here means the suppression rules launder genuine fault effects into
+  simulator-bug quarantines.
+"""
+
+import pytest
+
+from repro.core.campaign import CampaignSpec, golden_run, run_campaign
+from repro.core.faults import FaultModel
+from repro.core.outcome import Outcome
+from repro.core.sampling import generate_masks
+from repro.core.sanitizer import FULL_SANITIZER
+from repro.core.targets import TARGETS, get_target
+from repro.cpu.core import OoOCore
+from repro.isa.base import get_isa
+
+TERMINAL = {Outcome.MASKED, Outcome.SDC, Outcome.CRASH, Outcome.SIM_FAULT}
+
+#: per (target, model) batch — 7 targets x (24 transient + 4 stuck-at)
+#: = 196 masks per ISA
+TRANSIENT_PER_TARGET = 24
+PERMANENT_PER_TARGET = 4
+
+
+def _fuzz_masks(spec, golden, count, model, seed):
+    isa = get_isa(spec.isa)
+    probe = OoOCore.from_executable(golden.exe, isa, spec.cfg)
+    entries, bits = get_target(spec.target).geometry(probe)
+    return generate_masks(
+        structure=spec.target, entries=entries, bits_per_entry=bits,
+        count=count, window=golden.window, model=model, seed=seed,
+    )
+
+
+@pytest.mark.parametrize("isa_name", ["rv", "arm", "x86"])
+def test_fuzz_masks_always_classified_never_integrity(isa_name, cfg):
+    total = 0
+    for t_idx, target in enumerate(sorted(TARGETS)):
+        spec = CampaignSpec(
+            isa=isa_name, workload="crc32", target=target, cfg=cfg,
+            scale="tiny", faults=TRANSIENT_PER_TARGET, seed=1000 + t_idx,
+        )
+        golden = golden_run(spec.isa, spec.workload, spec.cfg, spec.scale)
+        for model, count in ((FaultModel.TRANSIENT, TRANSIENT_PER_TARGET),
+                             (FaultModel.STUCK_AT_1, PERMANENT_PER_TARGET)):
+            masks = _fuzz_masks(spec, golden, count, model,
+                                seed=spec.seed + (model is not FaultModel.TRANSIENT))
+            result = run_campaign(spec, masks=masks,
+                                  sanitizer=FULL_SANITIZER)
+            assert len(result.records) == count
+            for record in result.records:
+                assert record.outcome in TERMINAL
+                # a quarantine is acceptable; an integrity false positive
+                # (suppression failing on a genuine fault effect) is not
+                assert record.sim_error_kind != "integrity", (
+                    f"{isa_name}/{target}/{model.value}: sanitizer "
+                    f"false-positive on mask {record.mask.mask_id}: "
+                    f"{record.error}"
+                )
+            total += count
+    assert total == len(TARGETS) * (TRANSIENT_PER_TARGET + PERMANENT_PER_TARGET)

@@ -1,0 +1,294 @@
+"""Microarchitectural integrity sanitizer tests.
+
+The corruptors below are the test doubles for simulator bugs: picklable
+module-level callables planted via ``SanitizerPolicy.corruptor`` that walk
+a live core into an *impossible* state (double-released physical register,
+over-wide load data) or a wedged one (nothing can ever commit) mid-run.
+The sanitizer must quarantine the former as ``SIM_FAULT/integrity`` —
+never launder it into an AVF verdict — and the hang detector must classify
+the latter as a deterministic ``Crash(hang)``.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.campaign import (
+    CampaignSpec,
+    clear_caches,
+    golden_run,
+    run_campaign,
+    run_one_fault,
+)
+from repro.core.checkpoint import NO_CHECKPOINTS
+from repro.core.faults import FaultMask
+from repro.core.injector import ARMED, ESCAPED, PENDING, READ
+from repro.core.outcome import Outcome
+from repro.core.report import render_robustness, robustness_summary
+from repro.core.sanitizer import (
+    ALL_STRUCTURES,
+    CPU_CHECKS,
+    FULL_SANITIZER,
+    NO_SANITIZER,
+    STRUCTURAL,
+    VALUE,
+    IntegrityReport,
+    SanitizerPolicy,
+    cpu_reach,
+    hang_detected,
+    should_suppress,
+)
+
+
+def _spec(cfg, **kw):
+    defaults = dict(
+        isa="rv", workload="crc32", target="regfile_int", cfg=cfg,
+        scale="tiny", faults=4, seed=7,
+    )
+    defaults.update(kw)
+    return CampaignSpec(**defaults)
+
+
+#: a flip that stays PENDING while the corruptors below fire — the active
+#: mask cannot explain the planted corruption, so it must escalate
+def _pending_mask(mask_id=0):
+    return FaultMask.single("regfile_int", 0, 3, cycle=2000, mask_id=mask_id)
+
+
+# ------------------------------------------------------------- corruptors
+# (module-level so they pickle into pool workers)
+
+
+def double_release_rat_reg(core, n_prior_audits):
+    """Plant a rename/free-list bijection break: a register the rename map
+    still points at appears on the free list (the classic double release)."""
+    if core.cycle >= 40:
+        core.prf_int.free.append(core.rat_int[0])
+
+
+def restored_only_corruptor(core, n_prior_audits):
+    """Corrupt only a fast-forwarded run: the first audit of a from-scratch
+    run happens at cycle 0, a restored run's at its restore cycle."""
+    if n_prior_audits == 0 and core.cycle > 0:
+        core.prf_int.free.append(core.rat_int[0])
+
+
+def widen_lq_data(core, n_prior_audits):
+    """Plant a value-check violation: a completed load carrying 101 bits."""
+    for e in core.lq.entries:
+        if e.valid and e.data_known and not e.pair:
+            e.data |= 1 << 100
+            return
+
+
+def wedge_pipeline(core, n_prior_audits):
+    """Walk the core into a commit livelock that violates no invariant:
+    every in-flight completion is dropped and every ROB entry reset to
+    WAIT with nothing left in the issue queue to wake it."""
+    if core.cycle >= 120:
+        core.inflight.clear()
+        core.iq.clear()
+        for e in core.rob:
+            e.state = e.WAIT
+
+
+# ------------------------------------------------------------ policy basics
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError, match="unknown sanitize mode"):
+        SanitizerPolicy(mode="bogus")
+    with pytest.raises(ValueError, match="audit_stride"):
+        SanitizerPolicy(audit_stride=0)
+    assert FULL_SANITIZER.stride == 1
+    assert not NO_SANITIZER.enabled
+    assert SanitizerPolicy(mode="sampled", audit_stride=32).stride == 32
+
+
+def test_integrity_report_roundtrip():
+    report = IntegrityReport(
+        check="rename_free_bijection", structure="prf/rat", kind=STRUCTURAL,
+        cycle=192, detail="p7 double-released", mask_id=4, mode="full",
+        divergence="deterministic",
+    )
+    assert IntegrityReport.from_dict(report.to_dict()) == report
+    assert "deterministic" in report.describe()
+    assert "cycle 192" in report.describe()
+
+
+# --------------------------------------------------------------- suppression
+
+
+def _flip_state(status, structure="regfile_int"):
+    return SimpleNamespace(status=status,
+                           flip=SimpleNamespace(structure=structure))
+
+
+def test_cpu_reach_taint_rules():
+    assert cpu_reach(None) == frozenset()
+    assert cpu_reach(SimpleNamespace(flips=[_flip_state(READ)])) is ALL_STRUCTURES
+    assert cpu_reach(SimpleNamespace(flips=[_flip_state(ESCAPED)])) is ALL_STRUCTURES
+    assert cpu_reach(SimpleNamespace(flips=[_flip_state(ARMED, "lq")])) == {"lq"}
+    assert cpu_reach(SimpleNamespace(flips=[_flip_state(PENDING)])) == frozenset()
+
+
+def test_suppression_is_value_only_and_reach_scoped():
+    lq_value = next(c for c in CPU_CHECKS if c.name == "lq_data_width")
+    structural = next(c for c in CPU_CHECKS if c.kind == STRUCTURAL)
+    assert should_suppress(lq_value, ALL_STRUCTURES)
+    assert should_suppress(lq_value, frozenset({"lq"}))
+    assert not should_suppress(lq_value, frozenset({"regfile_int"}))
+    assert not should_suppress(lq_value, frozenset())
+    # structural breaks are impossible regardless of the mask's reach
+    assert not should_suppress(structural, ALL_STRUCTURES)
+
+
+# --------------------------------------------------- clean goldens stay clean
+
+
+def test_full_audit_clean_golden_every_isa(isa_name, cfg):
+    """A fault-free run violates no invariant at stride 1 on any ISA —
+    the false-positive floor of the whole registry."""
+    clear_caches()
+    golden = golden_run(isa_name, "crc32", cfg, "tiny",
+                        sanitizer=FULL_SANITIZER)
+    assert golden.cycles > 0
+
+
+# ------------------------------------------------------- mutation escalation
+
+
+def test_double_allocation_quarantined_as_integrity(cfg):
+    policy = SanitizerPolicy(mode="sampled", audit_stride=16,
+                             corruptor=double_release_rat_reg)
+    record = run_one_fault(_spec(cfg), _pending_mask(), sanitizer=policy)
+    assert record.outcome is Outcome.SIM_FAULT
+    assert record.sim_error_kind == "integrity"
+    assert record.integrity is not None
+    assert record.integrity.check == "rename_free_bijection"
+    assert record.integrity.kind == STRUCTURAL
+    assert record.integrity.mask_id == 0
+    assert record.integrity.cycle >= 40
+    assert "free and rename-mapped" in record.integrity.detail
+    # differential escalation re-ran from scratch and reproduced it
+    assert record.integrity.divergence == "deterministic"
+    assert record.retries == 1
+
+
+def test_checkpoint_divergence_is_labelled(cfg):
+    """A violation that vanishes when the run is re-simulated from scratch
+    indicts the checkpoint restore path, not the simulator proper."""
+    policy = SanitizerPolicy(mode="sampled", audit_stride=16,
+                             corruptor=restored_only_corruptor)
+    record = run_one_fault(_spec(cfg), _pending_mask(), sanitizer=policy)
+    assert record.outcome is Outcome.SIM_FAULT
+    assert record.sim_error_kind == "integrity"
+    assert record.integrity.divergence == "checkpoint-divergence"
+    assert record.retries == 1
+
+
+def test_value_check_escalates_when_mask_cannot_reach(cfg):
+    policy = SanitizerPolicy(mode="sampled", audit_stride=16,
+                             corruptor=widen_lq_data)
+    record = run_one_fault(_spec(cfg), _pending_mask(),
+                           checkpoints=NO_CHECKPOINTS, sanitizer=policy)
+    assert record.outcome is Outcome.SIM_FAULT
+    assert record.sim_error_kind == "integrity"
+    assert record.integrity.check == "lq_data_width"
+    assert record.integrity.kind == VALUE
+    # without a fast-forward there is nothing to differentiate against
+    assert record.integrity.divergence == "deterministic"
+    assert record.retries == 0
+
+
+def test_integrity_quarantine_excluded_from_avf(cfg):
+    spec = _spec(cfg, faults=2)
+    policy = SanitizerPolicy(mode="sampled", audit_stride=16,
+                             corruptor=double_release_rat_reg)
+    masks = [_pending_mask(0), _pending_mask(1)]
+    result = run_campaign(spec, masks=masks, sanitizer=policy)
+    assert result.integrity_quarantined == 2
+    assert result.valid_records == []
+    assert result.avf == 0.0
+    health = robustness_summary(result.records)
+    assert health["integrity_quarantined"] == 2
+    assert "integrity" in render_robustness(result.records)
+
+
+# ------------------------------------------------------------ hang detection
+
+
+def test_hang_detected_is_stateless_and_gated():
+    core = SimpleNamespace(halted=False, rob=[object()], cycle=5000,
+                           last_commit_cycle=100, fetch_ready_at=0,
+                           inflight=[], _div_busy=[], _fdiv_busy=[])
+    assert hang_detected(core, 2048)
+    assert not hang_detected(core, 0)                    # disabled
+    core.inflight = [(9000, None)]                       # work outstanding
+    assert not hang_detected(core, 2048)
+    core.inflight = [(core.cycle + 1, None)]             # replay livelock
+    assert hang_detected(core, 2048)
+    core.rob = []                                        # nothing to commit
+    assert not hang_detected(core, 2048)
+
+
+def test_wedged_pipeline_classifies_as_hang(cfg):
+    policy = SanitizerPolicy(mode="sampled", audit_stride=16,
+                             corruptor=wedge_pipeline)
+    record = run_one_fault(_spec(cfg), _pending_mask(),
+                           checkpoints=NO_CHECKPOINTS, sanitizer=policy,
+                           hang_cycles=256)
+    assert record.outcome is Outcome.CRASH
+    assert record.crash_reason == "hang"
+    # the detector fired in simulated time, far before the cycle watchdog
+    assert record.cycles < record.max_cycles
+
+
+def test_hang_identical_serial_vs_parallel(cfg):
+    spec = _spec(cfg, faults=3)
+    policy = SanitizerPolicy(mode="sampled", audit_stride=16,
+                             corruptor=wedge_pipeline)
+    masks = [FaultMask.single("regfile_int", i, 5, cycle=200, mask_id=i)
+             for i in range(3)]
+    serial = run_campaign(spec, masks=masks, sanitizer=policy,
+                          hang_cycles=256)
+    parallel = run_campaign(spec, masks=masks, workers=2, sanitizer=policy,
+                            hang_cycles=256)
+    assert serial.records == parallel.records
+    assert all(r.crash_reason == "hang" for r in serial.records)
+    assert serial.hangs == 3
+    health = robustness_summary(serial.records)
+    assert health["hangs"] == 3 and health["timeouts"] == 0
+
+
+# ------------------------------------------------ record/journal equivalence
+
+
+def test_sampled_records_byte_identical_to_off(cfg, tmp_path):
+    """For non-quarantined runs, auditing must be observation-only: the
+    journal written under ``--sanitize=sampled`` is byte-for-byte the one
+    written under ``--sanitize=off``."""
+    spec = _spec(cfg, faults=8)
+    off_path = tmp_path / "off.jsonl"
+    sampled_path = tmp_path / "sampled.jsonl"
+    off = run_campaign(spec, journal=off_path, sanitizer=NO_SANITIZER)
+    sampled = run_campaign(spec, journal=sampled_path,
+                           sanitizer=SanitizerPolicy(mode="sampled"))
+    assert off.quarantined == 0 and sampled.quarantined == 0
+    assert off_path.read_bytes() == sampled_path.read_bytes()
+
+
+# --------------------------------------------- watchdog pressure (satellite)
+
+
+def test_watchdog_pressure_uses_effective_budget():
+    """A run fast-forwarded to cycle 800 of a 1000-cycle budget that stops
+    at 950 used 150 of its 200 *effective* cycles — pressure 0.75, not the
+    0.95 the original budget would claim."""
+    record = SimpleNamespace(
+        outcome=Outcome.SDC, crash_reason=None, retries=0,
+        stopped_on_hvf=False, sim_error_kind=None, integrity=None,
+        max_cycles=1000, restored_from=800, cycles=950,
+    )
+    health = robustness_summary([record])
+    assert health["watchdog_pressure"] == pytest.approx(0.75)
