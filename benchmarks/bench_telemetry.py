@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Measure telemetry overhead and write BENCH_telemetry.json.
+
+For each workload one journaled campaign is timed with telemetry off and
+once with the full observability stack armed — live progress (to a
+throwaway stream), a registered event sink, and a Prometheus ``--metrics-out``
+snapshot — asserting first that both runs produce identical records and
+byte-identical journals (telemetry must be strictly observational).
+
+Regenerate with::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry.py
+
+The ``smoke`` entry is the acceptance gate: the fully-instrumented
+campaign must cost <= 5% over the bare one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.core.campaign import (
+    CampaignSpec,
+    golden_run,
+    masks_for_spec,
+    run_campaign,
+)
+from repro.core.presets import sim_config
+from repro.core.telemetry import ProgressPrinter, Telemetry
+
+SMOKE = ("crc32", "regfile_int", 20, 1)   # workload, target, faults, seed
+DEFAULT_WORKLOADS = ["crc32", "qsort", "sha", "fft", "dijkstra"]
+
+
+def _best_of(repeats: int, fn) -> tuple[float, object]:
+    best_t, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best_t = min(best_t, time.perf_counter() - t0)
+    return best_t, result
+
+
+def bench_one(workload: str, target: str, faults: int, seed: int,
+              repeats: int, tmp: Path) -> dict:
+    cfg = sim_config()
+    spec = CampaignSpec(isa="rv", workload=workload, target=target,
+                        cfg=cfg, scale="tiny", faults=faults, seed=seed)
+    # prime the golden cache once, outside the timings: both variants reuse
+    # the identical cached golden, so only telemetry cost is measured
+    golden = golden_run("rv", workload, cfg, "tiny")
+    masks = masks_for_spec(spec, golden)
+
+    bare_journal = tmp / f"{workload}-bare.jsonl"
+    full_journal = tmp / f"{workload}-full.jsonl"
+
+    def run_bare():
+        bare_journal.unlink(missing_ok=True)
+        return run_campaign(spec, masks=masks, journal=bare_journal)
+
+    def run_instrumented():
+        full_journal.unlink(missing_ok=True)
+        telemetry = Telemetry(
+            progress=ProgressPrinter(stream=io.StringIO(), min_interval_s=0.0),
+            metrics_out=tmp / f"{workload}.prom",
+            sinks=[lambda event: None],
+        )
+        return run_campaign(spec, masks=masks, journal=full_journal,
+                            telemetry=telemetry)
+
+    off_s, bare = _best_of(repeats, run_bare)
+    on_s, instrumented = _best_of(repeats, run_instrumented)
+
+    assert bare.records == instrumented.records, (
+        f"{workload}/{target}: instrumented records diverged from bare ones "
+        "— refusing to report timings")
+    assert bare_journal.read_bytes() == full_journal.read_bytes(), (
+        f"{workload}/{target}: telemetry changed the journal bytes")
+
+    return {
+        "target": target,
+        "faults": faults,
+        "seed": seed,
+        "golden_cycles": golden.cycles,
+        "campaign_s": {"off": round(off_s, 4), "on": round(on_s, 4)},
+        "overhead": round(on_s / off_s - 1.0, 4),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--workloads", nargs="+", default=DEFAULT_WORKLOADS)
+    ap.add_argument("--faults", type=int, default=20)
+    ap.add_argument("--seed", type=int, default=5)
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="timing repeats per variant (best-of)")
+    ap.add_argument("--out", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_telemetry.json"))
+    args = ap.parse_args(argv)
+
+    import tempfile
+
+    results: dict[str, dict] = {}
+    with tempfile.TemporaryDirectory() as tmpdir:
+        tmp = Path(tmpdir)
+        wl, target, faults, seed = SMOKE
+        print(f"smoke: {wl}/{target} faults={faults} seed={seed}")
+        results["smoke"] = bench_one(wl, target, faults, seed,
+                                     args.repeats, tmp)
+        print(f"  telemetry overhead {results['smoke']['overhead']:+.1%}")
+
+        for wl in args.workloads:
+            print(f"bench: {wl}/regfile_int faults={args.faults} "
+                  f"seed={args.seed}")
+            results[wl] = bench_one(wl, "regfile_int", args.faults,
+                                    args.seed, args.repeats, tmp)
+            print(f"  telemetry overhead {results[wl]['overhead']:+.1%}")
+
+    doc = {
+        "benchmark": "campaign telemetry overhead",
+        "command": "PYTHONPATH=src python benchmarks/bench_telemetry.py",
+        "modes": "bare journaled campaign vs progress + event sink + "
+                 "metrics snapshot",
+        "isa": "rv",
+        "repeats": args.repeats,
+        "median_overhead": round(statistics.median(
+            r["overhead"] for r in results.values()), 4),
+        "workloads": results,
+    }
+    Path(args.out).write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    gate = results["smoke"]["overhead"]
+    if gate > 0.05:
+        print(f"FAIL: smoke telemetry overhead {gate:+.1%} > +5%")
+        return 1
+    print(f"OK: smoke telemetry overhead {gate:+.1%} <= +5%")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

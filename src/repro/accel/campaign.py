@@ -10,6 +10,7 @@ visible), so records carry ``hvf = CORRUPTION`` exactly for non-masked runs.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
@@ -176,6 +177,7 @@ class AccelCampaignResult:
             "component": self.spec.component,
             "model": self.spec.model.value,
             "faults": len(self.records),
+            "n_valid": len(self.valid_records),
             "avf": self.avf,
             "sdc_avf": self.sdc_avf,
             "crash_avf": self.crash_avf,
@@ -414,13 +416,16 @@ def run_accel_campaign(
     resume: str | Path | None = None,
     sanitizer: SanitizerPolicy | None = None,
     hang_cycles: int = DEFAULT_HANG_CYCLES,
+    telemetry=None,
 ) -> AccelCampaignResult:
     """Run a DSA fault-injection campaign (journaled + resumable like the
     CPU driver: see :func:`repro.core.campaign.run_campaign`).
 
     ``sanitizer``/``hang_cycles`` mirror the CPU driver: invariant audits
     at the policy stride (default sampled) and a deterministic
-    dataflow-progress hang detector (0 disables)."""
+    dataflow-progress hang detector (0 disables).  ``telemetry`` is the
+    same observational :class:`repro.core.telemetry.Telemetry` hub the CPU
+    driver accepts; journals are byte-identical with it on or off."""
     golden = accel_golden(spec)
     if masks is None:
         masks = accel_masks(spec, golden)
@@ -438,6 +443,13 @@ def run_accel_campaign(
             if m.mask_id in journaled and journaled[m.mask_id].mask == m
         }
 
+    if telemetry is not None:
+        telemetry.campaign_started(
+            planned=len(masks), resumed=len(done),
+            labels={"design": spec.design, "component": spec.component,
+                    "model": spec.model.value},
+        )
+
     writer = CampaignJournal.open(journal, spec) if journal is not None else None
     records: list[FaultRecord] = []
     ctx = AccelReplayContext(spec)
@@ -446,14 +458,22 @@ def run_accel_campaign(
             if m.mask_id in done:
                 records.append(done[m.mask_id])
                 continue
+            if telemetry is not None:
+                telemetry.fault_dispatched(m.mask_id)
+            started = time.perf_counter()
             record = run_one_accel_fault(spec, m, ctx, sanitizer=sanitizer,
                                          hang_cycles=hang_cycles)
             if writer is not None:
                 writer.append(record)
+            if telemetry is not None:
+                telemetry.fault_finished(
+                    record, wall_s=time.perf_counter() - started)
             records.append(record)
     finally:
         if writer is not None:
             writer.close()
+        if telemetry is not None:
+            telemetry.campaign_finished()
 
     design = get_design(spec.design)
     size = {d.name: d.size for d in design.memories}[spec.component]

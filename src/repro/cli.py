@@ -9,7 +9,8 @@ scripts"); this CLI is that entry point:
 * ``soc``            — run the heterogeneous SoC flow,
 * ``list``           — available ISAs / workloads / targets / designs,
 * ``validate``       — the Listing-1 injector sanity check,
-* ``doctor``         — offline-validate an existing campaign journal.
+* ``doctor``         — offline-validate an existing campaign journal,
+* ``tail``           — follow / summarize a campaign journal (live or done).
 """
 
 from __future__ import annotations
@@ -32,6 +33,27 @@ def _add_sanitizer_args(p) -> None:
                    help="deterministic hang detector: classify Crash(hang) "
                         "after K simulated cycles without commit/dataflow "
                         "progress (default: 2048; 0 disables)")
+
+
+def _add_telemetry_args(p) -> None:
+    p.add_argument("--progress", action="store_true",
+                   help="print live progress (done/total, faults/sec, ETA) "
+                        "to stderr while the campaign runs")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="write a Prometheus-textfile metrics snapshot here "
+                        "when the campaign finishes")
+
+
+def _telemetry_from_args(args):
+    """Build a Telemetry hub when any observability flag is set."""
+    if not (args.progress or args.metrics_out):
+        return None
+    from repro.core.telemetry import ProgressPrinter, Telemetry
+
+    return Telemetry(
+        progress=ProgressPrinter() if args.progress else None,
+        metrics_out=args.metrics_out,
+    )
 
 
 def _sanitizer_from_args(args):
@@ -80,6 +102,7 @@ def _add_campaign(sub) -> None:
                    help="disable the golden-trace re-convergence early exit "
                         "(fault runs always simulate to completion)")
     _add_sanitizer_args(p)
+    _add_telemetry_args(p)
 
 
 def _add_accel(sub) -> None:
@@ -97,6 +120,7 @@ def _add_accel(sub) -> None:
     p.add_argument("--resume", metavar="PATH",
                    help="skip masks already completed in this journal")
     _add_sanitizer_args(p)
+    _add_telemetry_args(p)
 
 
 def _add_doctor(sub) -> None:
@@ -106,6 +130,24 @@ def _add_doctor(sub) -> None:
                    help="JSONL journal written by --journal")
     p.add_argument("--json", action="store_true",
                    help="emit the diagnosis as JSON instead of text")
+
+
+def _add_tail(sub) -> None:
+    p = sub.add_parser("tail",
+                       help="follow / summarize a campaign run journal")
+    p.add_argument("journal", metavar="PATH",
+                   help="JSONL journal written by --journal (in-flight or "
+                        "finished)")
+    p.add_argument("--follow", "-f", action="store_true",
+                   help="keep polling the journal and print live progress "
+                        "until the campaign completes")
+    p.add_argument("--interval", type=float, default=1.0, metavar="SECONDS",
+                   help="poll interval with --follow (default: 1.0)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the final aggregate as JSON instead of a table")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="also write a Prometheus-textfile snapshot of the "
+                        "folded aggregate")
 
 
 def _add_figure(sub) -> None:
@@ -135,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_campaign(sub)
     _add_accel(sub)
     _add_doctor(sub)
+    _add_tail(sub)
     _add_figure(sub)
     _add_soc(sub)
     _add_validate(sub)
@@ -166,10 +209,12 @@ def cmd_campaign(args) -> int:
         early_exit=not args.no_early_exit,
     )
     sanitizer, hang_cycles = _sanitizer_from_args(args)
+    telemetry = _telemetry_from_args(args)
     result = run_campaign(
         spec, workers=args.workers,
         journal=args.journal, resume=args.resume, timeout_s=args.timeout,
         checkpoints=checkpoints, sanitizer=sanitizer, hang_cycles=hang_cycles,
+        telemetry=telemetry,
     )
     summary = result.summary()
     print(render_table(["metric", "value"], sorted(summary.items())))
@@ -182,6 +227,8 @@ def cmd_campaign(args) -> int:
     if args.csv:
         save_report(args.csv, [summary])
         print(f"wrote {args.csv}")
+    if args.metrics_out:
+        print(f"wrote {args.metrics_out}")
     return 0
 
 
@@ -196,8 +243,10 @@ def cmd_accel(args) -> int:
         fu=FUConfig.uniform(args.fu) if args.fu else None,
     )
     sanitizer, hang_cycles = _sanitizer_from_args(args)
+    telemetry = _telemetry_from_args(args)
     result = run_accel_campaign(spec, journal=args.journal, resume=args.resume,
-                                sanitizer=sanitizer, hang_cycles=hang_cycles)
+                                sanitizer=sanitizer, hang_cycles=hang_cycles,
+                                telemetry=telemetry)
     print(render_table(["metric", "value"], sorted(result.summary().items())))
     if result.resumed:
         print(f"resumed {result.resumed}/{len(result.records)} masks "
@@ -205,6 +254,8 @@ def cmd_accel(args) -> int:
     health = render_robustness(result.records)
     if health:
         print(f"WARNING: {health}", file=sys.stderr)
+    if args.metrics_out:
+        print(f"wrote {args.metrics_out}")
     return 0
 
 
@@ -267,6 +318,66 @@ def cmd_doctor(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_tail(args) -> int:
+    import json
+    import os
+    import time
+
+    from repro.core.journal import JournalFollower
+    from repro.core.report import render_table
+    from repro.core.telemetry import (
+        CampaignAggregate,
+        labels_from_spec,
+        render_progress,
+        write_prometheus,
+    )
+
+    if not os.path.exists(args.journal):
+        print(f"{args.journal}: no such journal", file=sys.stderr)
+        return 1
+
+    follower = JournalFollower(args.journal)
+    agg = CampaignAggregate()
+
+    def poll() -> None:
+        for record in follower.poll():
+            agg.fold(record)
+        spec = (follower.header or {}).get("spec") or {}
+        if isinstance(spec.get("faults"), int):
+            agg.planned = spec["faults"]
+
+    started = time.monotonic()
+    poll()
+    while args.follow and not (agg.planned and agg.finished >= agg.planned):
+        print(render_progress(agg, time.monotonic() - started),
+              file=sys.stderr)
+        time.sleep(args.interval)
+        poll()
+
+    if follower.header is None:
+        print(f"{args.journal}: no journal header (not a campaign journal?)",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        doc = agg.to_dict()
+        doc["skipped_lines"] = follower.skipped
+        print(json.dumps(doc, indent=2))
+    else:
+        doc = agg.to_dict()
+        rows = sorted(
+            (k, v) for k, v in doc.items() if isinstance(v, (int, float))
+        )
+        rows += [(f"outcome[{out}]", n)
+                 for out, n in sorted(doc["outcomes"].items())]
+        print(render_table(["metric", "value"], rows))
+        print(render_progress(agg))
+    if args.metrics_out:
+        spec = follower.header.get("spec") or {}
+        write_prometheus(args.metrics_out, agg, labels_from_spec(spec))
+        print(f"wrote {args.metrics_out}")
+    return 0
+
+
 def cmd_list(args) -> int:
     from repro.accel_designs import DESIGNS, PAPER_TARGETS
     from repro.core.targets import TARGETS
@@ -287,6 +398,7 @@ def main(argv: list[str] | None = None) -> int:
         "campaign": cmd_campaign,
         "accel-campaign": cmd_accel,
         "doctor": cmd_doctor,
+        "tail": cmd_tail,
         "figure": cmd_figure,
         "soc": cmd_soc,
         "validate": cmd_validate,

@@ -24,7 +24,7 @@ from repro.core.campaign import (
 )
 from repro.core.doctor import DoctorReport, diagnose_journal
 from repro.core.faults import FaultFlip, FaultMask, FaultModel
-from repro.core.journal import CampaignJournal, JournalError
+from repro.core.journal import CampaignJournal, JournalError, JournalFollower
 from repro.core.sanitizer import (
     DEFAULT_AUDIT_STRIDE,
     DEFAULT_HANG_CYCLES,
@@ -42,9 +42,18 @@ from repro.core.metrics import (
     crash_avf,
     error_margin,
     hvf,
+    n_valid,
     opf,
     sdc_avf,
     weighted_avf,
+)
+from repro.core.telemetry import (
+    CampaignAggregate,
+    ProgressPrinter,
+    Telemetry,
+    TelemetryEvent,
+    aggregate_from_journal,
+    to_prometheus,
 )
 from repro.core.outcome import HVFClass, Outcome
 from repro.core.presets import paper_config, sim_config
@@ -56,6 +65,7 @@ __all__ = [
     "DEFAULT_SANITIZER",
     "FULL_SANITIZER",
     "NO_SANITIZER",
+    "CampaignAggregate",
     "CampaignJournal",
     "CampaignResult",
     "CampaignSpec",
@@ -68,20 +78,27 @@ __all__ = [
     "IntegrityReport",
     "IntegrityViolation",
     "JournalError",
+    "JournalFollower",
     "Outcome",
+    "ProgressPrinter",
     "SanitizerPolicy",
     "SimulatorFault",
     "SupervisorPolicy",
     "TaskOutcome",
+    "Telemetry",
+    "TelemetryEvent",
+    "aggregate_from_journal",
     "diagnose_journal",
     "hang_detected",
     "run_supervised",
+    "to_prometheus",
     "avf",
     "crash_avf",
     "error_margin",
     "generate_masks",
     "golden_run",
     "hvf",
+    "n_valid",
     "opf",
     "paper_config",
     "run_campaign",

@@ -12,6 +12,7 @@
 
 from __future__ import annotations
 
+import time
 import traceback
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
@@ -114,6 +115,11 @@ class FaultRecord:
     #: scratch).  Excluded from equality: a checkpointed record is the
     #: *same verdict* as its from-scratch twin, just cheaper to reach.
     restored_from: int = field(default=0, compare=False)
+    #: the run ended at a golden-trace re-convergence probe instead of
+    #: simulating to completion.  Like ``restored_from``, an execution
+    #: detail: excluded from equality and never serialized, so journals
+    #: stay byte-identical; telemetry reads it to count early exits.
+    early_exited: bool = field(default=False, compare=False)
 
     @property
     def quarantined(self) -> bool:
@@ -221,6 +227,7 @@ class CampaignResult:
             "target": self.spec.target,
             "model": self.spec.model.value,
             "faults": len(self.records),
+            "n_valid": len(self.valid_records),
             "avf": self.avf,
             "sdc_avf": self.sdc_avf,
             "crash_avf": self.crash_avf,
@@ -528,6 +535,7 @@ def _simulate_one(
         max_cycles=max_cycles,
         stopped_on_hvf=stopped_on_hvf,
         restored_from=restored_from,
+        early_exited=reconverged,
     )
 
 
@@ -759,6 +767,7 @@ def run_campaign(
     checkpoints: CheckpointPolicy | None = None,
     sanitizer: SanitizerPolicy | None = None,
     hang_cycles: int = DEFAULT_HANG_CYCLES,
+    telemetry=None,
 ) -> CampaignResult:
     """Run a full SFI campaign; returns per-fault records + aggregates.
 
@@ -780,6 +789,11 @@ def run_campaign(
       cycles (0 disables).  Neither is part of the campaign spec: auditing
       never changes a valid record, so journal fingerprints stay stable
       across sanitize modes.
+    * ``telemetry`` — optional :class:`repro.core.telemetry.Telemetry` hub;
+      receives the typed event stream (started / dispatched / finished /
+      retry / quarantine / checkpoint-restore / early-exit / pool-respawn)
+      and per-fault wall clocks.  Strictly observational: records and
+      journals are byte-identical with telemetry on or off.
     """
     ckpt_policy = checkpoints if checkpoints is not None else DEFAULT_CHECKPOINT_POLICY
     golden = golden_run(spec.isa, spec.workload, spec.cfg, spec.scale,
@@ -802,7 +816,21 @@ def run_campaign(
         }
     pending = [(i, m) for i, m in enumerate(masks) if m.mask_id not in done]
 
+    if telemetry is not None:
+        telemetry.campaign_started(
+            planned=len(masks), resumed=len(done),
+            labels={"isa": spec.isa, "workload": spec.workload,
+                    "target": spec.target, "model": spec.model.value},
+        )
+
     writer = CampaignJournal.open(journal, spec) if journal is not None else None
+
+    def record_done(record: FaultRecord, wall_s: float | None = None) -> None:
+        if writer is not None:
+            writer.append(record)
+        if telemetry is not None:
+            telemetry.fault_finished(record, wall_s=wall_s)
+
     by_pos: dict[int, FaultRecord] = {}
     try:
         if workers > 1 and pending:
@@ -823,6 +851,22 @@ def run_campaign(
                     restored_from=restored_from,
                 )
             policy = policy or SupervisorPolicy(timeout_s=timeout_s)
+            on_result = None
+            if writer is not None or telemetry is not None:
+                def on_result(o: TaskOutcome) -> None:
+                    record_done(_outcome_to_record(o), wall_s=o.wall_s)
+            on_event = None
+            if telemetry is not None:
+                pending_mask_ids = [m.mask_id for _, m in pending]
+
+                def on_event(kind: str, info: dict) -> None:
+                    if kind == "dispatch":
+                        telemetry.fault_dispatched(
+                            pending_mask_ids[info["index"]],
+                            attempt=info.get("attempt", 0),
+                        )
+                    else:
+                        telemetry.supervisor_event(kind, info)
             fresh = run_supervised(
                 _worker,
                 [(spec, m) for _, m in pending],
@@ -830,25 +874,27 @@ def run_campaign(
                 policy=policy,
                 initializer=_worker_init,
                 initargs=(spec, ckpt_policy, sanitizer, hang_cycles),
-                on_result=(
-                    (lambda o: writer.append(_outcome_to_record(o)))
-                    if writer is not None else None
-                ),
+                on_result=on_result,
+                on_event=on_event,
             )
             by_pos = {
                 i: _outcome_to_record(o) for (i, _), o in zip(pending, fresh)
             }
         else:
             for i, m in pending:
+                if telemetry is not None:
+                    telemetry.fault_dispatched(m.mask_id)
+                started = time.perf_counter()
                 record = run_one_fault(spec, m, golden, checkpoints=ckpt_policy,
                                        sanitizer=sanitizer,
                                        hang_cycles=hang_cycles)
-                if writer is not None:
-                    writer.append(record)
+                record_done(record, wall_s=time.perf_counter() - started)
                 by_pos[i] = record
     finally:
         if writer is not None:
             writer.close()
+        if telemetry is not None:
+            telemetry.campaign_finished()
 
     records = [
         by_pos[i] if i in by_pos else done[m.mask_id]

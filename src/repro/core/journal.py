@@ -256,3 +256,52 @@ class CampaignJournal:
     def completed(cls, path: str | Path, spec=None) -> dict:
         """``mask_id -> record`` for every journaled fault (last write wins)."""
         return {r.mask.mask_id: r for r in cls.load(path, spec)}
+
+
+class JournalFollower:
+    """Incremental reader for a journal that may still be growing.
+
+    ``repro tail`` follows an in-flight campaign's journal by polling:
+    each :meth:`poll` returns the records appended since the previous
+    call.  Only *complete* lines (newline-terminated) are consumed — a
+    torn tail mid-append is simply left for the next poll, when the
+    writer's flush has completed it.  Complete-but-unparseable lines are
+    skipped and counted in :attr:`skipped` (a crashed writer's garbage
+    must not wedge the follower).
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.header: dict | None = None
+        self.skipped = 0
+        self._offset = 0
+
+    def poll(self) -> list:
+        """Records appended since the last poll (empty if none / no file)."""
+        if not self.path.exists():
+            return []
+        records = []
+        with open(self.path) as fh:
+            fh.seek(self._offset)
+            while True:
+                line = fh.readline()
+                if not line or not line.endswith("\n"):
+                    break               # incomplete tail: retry next poll
+                self._offset += len(line.encode())
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError:
+                    self.skipped += 1
+                    continue
+                kind = data.get("kind")
+                if kind == "header":
+                    self.header = data
+                    continue
+                if kind != "record":
+                    self.skipped += 1
+                    continue
+                try:
+                    records.append(record_from_dict(data))
+                except Exception:
+                    self.skipped += 1
+        return records

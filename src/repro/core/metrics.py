@@ -37,32 +37,58 @@ def _count(records: Iterable, outcome: Outcome) -> tuple[int, int]:
     return hits, n
 
 
-def avf(records: Sequence) -> float:
-    """Architectural Vulnerability Factor: share of non-masked runs."""
+def n_valid(records: Sequence) -> int:
+    """How many records carry a hardware verdict (non-quarantined)."""
+    return sum(1 for r in records if r.outcome is not Outcome.SIM_FAULT)
+
+
+def _degenerate(records: Sequence) -> None:
+    """Zero valid records: decide between a caller bug and a degenerate
+    campaign.
+
+    An *empty* record set is a programming error and raises, as it always
+    has.  A non-empty set where every record was quarantined as
+    ``SIM_FAULT`` is a real (if fully degraded) campaign outcome — one
+    such structure must not abort report rendering for a whole sweep — so
+    the metric degrades to ``None`` (undefined) instead of a traceback.
+    """
+    if not len(records):
+        raise ValueError("no fault records")
+    return None
+
+
+def avf(records: Sequence) -> float | None:
+    """Architectural Vulnerability Factor: share of non-masked runs.
+
+    ``None`` when every record was quarantined (no valid sample to judge).
+    """
     masked, n = _count(records, Outcome.MASKED)
     if n == 0:
-        raise ValueError("no fault records")
+        return _degenerate(records)
     return (n - masked) / n
 
 
-def sdc_avf(records: Sequence) -> float:
-    """The SDC share of the AVF."""
+def sdc_avf(records: Sequence) -> float | None:
+    """The SDC share of the AVF (``None`` when no record is valid)."""
     sdc, n = _count(records, Outcome.SDC)
     if n == 0:
-        raise ValueError("no fault records")
+        return _degenerate(records)
     return sdc / n
 
 
-def crash_avf(records: Sequence) -> float:
-    """The Crash share of the AVF."""
+def crash_avf(records: Sequence) -> float | None:
+    """The Crash share of the AVF (``None`` when no record is valid)."""
     crash, n = _count(records, Outcome.CRASH)
     if n == 0:
-        raise ValueError("no fault records")
+        return _degenerate(records)
     return crash / n
 
 
-def hvf(records: Sequence) -> float:
-    """Hardware Vulnerability Factor: share of commit-visible corruptions."""
+def hvf(records: Sequence) -> float | None:
+    """Hardware Vulnerability Factor: share of commit-visible corruptions.
+
+    ``None`` when every record was quarantined (no valid sample to judge).
+    """
     n = corrupt = 0
     for r in records:
         if r.outcome is Outcome.SIM_FAULT:
@@ -71,7 +97,7 @@ def hvf(records: Sequence) -> float:
         if r.hvf is HVFClass.CORRUPTION:
             corrupt += 1
     if n == 0:
-        raise ValueError("no fault records")
+        return _degenerate(records)
     return corrupt / n
 
 
@@ -135,6 +161,16 @@ def opf(
     return ops / avf_value
 
 
-def error_margin(records: Sequence, population: int, confidence: float = 0.95) -> float:
-    """Achieved statistical error margin of a campaign's sample size."""
-    return error_margin_for(len(records), population, confidence)
+def error_margin(records: Sequence, population: int,
+                 confidence: float = 0.95) -> float | None:
+    """Achieved statistical error margin of a campaign's sample size.
+
+    Only valid (non-quarantined) records contribute statistical power; a
+    set with zero of them has an *undefined* margin — reported as ``None``
+    instead of letting :func:`~repro.core.sampling.error_margin_for` raise
+    on ``n=0`` (same degenerate-campaign family as :func:`avf`).
+    """
+    n = n_valid(records)
+    if n == 0:
+        return _degenerate(records)
+    return error_margin_for(n, population, confidence)

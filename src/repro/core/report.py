@@ -89,7 +89,13 @@ def robustness_summary(records: Sequence) -> dict:
         effective = budget - restored
         if effective > 0 and r.outcome is not Outcome.SIM_FAULT:
             pressure = max(pressure, (r.cycles - restored) / effective)
+    n_records = len(records)
     return {
+        "n_records": n_records,
+        "n_valid": n_records - quarantined,
+        "masked": sum(1 for r in records if r.outcome is Outcome.MASKED),
+        "sdc": sum(1 for r in records if r.outcome is Outcome.SDC),
+        "crash": sum(1 for r in records if r.outcome is Outcome.CRASH),
         "quarantined": quarantined,
         "deterministic_sim_faults": deterministic,
         "flaky_sim_faults": flaky,
@@ -104,8 +110,22 @@ def robustness_summary(records: Sequence) -> dict:
 
 
 def render_robustness(records: Sequence) -> str:
-    """One-line campaign-health note; empty string for a clean campaign."""
+    """One-line campaign-health note; empty string for a clean campaign.
+
+    A fully-quarantined record set is reported as an explicit degenerate
+    campaign (``n_valid=0``, AVF undefined) rather than letting a
+    downstream metric raise ``ValueError`` — one dead structure must not
+    abort the report for a whole sweep.
+    """
     health = robustness_summary(records)
+    if health["n_records"] and health["n_valid"] == 0:
+        return (
+            f"degenerate campaign: all {health['n_records']} records "
+            f"quarantined (n_valid=0, avf=None — AVF/SDC/Crash/HVF "
+            f"undefined): {health['deterministic_sim_faults']} deterministic, "
+            f"{health['flaky_sim_faults']} flaky, "
+            f"{health['integrity_quarantined']} integrity"
+        )
     if not (health["quarantined"] or health["retried"] or health["timeouts"]):
         return ""
     return (

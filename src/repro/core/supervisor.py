@@ -58,13 +58,25 @@ class SupervisorPolicy:
     timeout_scale_on_retry: float = 2.0
 
     def backoff_for(self, attempt: int) -> float:
-        return min(self.backoff_cap_s, self.backoff_base_s * (2 ** attempt))
+        """Backoff before re-running a task whose ``attempt``-th execution
+        failed.  Attempt numbers are clamped at 0: a negative attempt (the
+        first pool respawn computes ``respawns - 1``) must sleep the base
+        backoff, never ``base / 2``.
+        """
+        return min(self.backoff_cap_s,
+                   self.backoff_base_s * (2 ** max(0, attempt)))
 
     def timeout_for(self, attempt: int) -> float | None:
-        """Wall-clock budget for a task on its ``attempt``-th retry."""
+        """Wall-clock budget for a task on its ``attempt``-th retry.
+
+        Attempt 0 (the first execution) gets exactly ``timeout_s``; each
+        retry doubles it (``timeout_scale_on_retry``).  Clamped at 0 like
+        :meth:`backoff_for` so a stray negative attempt can never *shrink*
+        the budget below the configured baseline.
+        """
         if self.timeout_s is None:
             return None
-        return self.timeout_s * (self.timeout_scale_on_retry ** attempt)
+        return self.timeout_s * (self.timeout_scale_on_retry ** max(0, attempt))
 
 
 @dataclass(frozen=True)
@@ -78,6 +90,9 @@ class TaskOutcome:
     error: str | None = None        # failure description otherwise
     attempts: int = 1               # total executions attempted
     mode: str = "pool"              # 'pool' | 'serial' (degraded)
+    #: wall-clock seconds of the terminal attempt, measured in the parent
+    #: from submit to completion (includes any in-pool queueing)
+    wall_s: float | None = None
 
     @property
     def ok(self) -> bool:
@@ -109,6 +124,7 @@ def run_supervised(
     initializer: Callable | None = None,
     initargs: tuple = (),
     on_result: Callable[[TaskOutcome], None] | None = None,
+    on_event: Callable[[str, dict], None] | None = None,
     sleep: Callable[[float], None] = time.sleep,
     clock: Callable[[], float] = time.monotonic,
 ) -> list[TaskOutcome]:
@@ -117,15 +133,25 @@ def run_supervised(
     Returns one :class:`TaskOutcome` per item, in input order.  Never raises
     for task-level failures — those come back as ``timeout``/``error``
     outcomes; only truly unexpected supervisor bugs propagate.
+
+    ``on_event`` receives supervision telemetry as ``(kind, info)`` pairs:
+    ``dispatch`` (a task handed to an executor, with its ``index`` and
+    ``attempt``), ``retry`` (a failed/timed-out task rescheduled),
+    ``pool_respawn`` and ``serial_degradation``.  Purely observational —
+    event consumers cannot change scheduling.
     """
     policy = policy or SupervisorPolicy()
     results: list[TaskOutcome | None] = [None] * len(items)
     pending: deque[_Pending] = deque(_Pending(i, item) for i, item in enumerate(items))
     pool: ProcessPoolExecutor | None = None
-    inflight: dict = {}              # future -> (_Pending, deadline | None)
+    inflight: dict = {}              # future -> (_Pending, deadline, budget, t0)
     abandoned = 0                    # timed-out tasks still occupying a worker
     respawns = 0
     serial = False
+
+    def notify(kind: str, **info) -> None:
+        if on_event is not None:
+            on_event(kind, info)
 
     def emit(outcome: TaskOutcome) -> None:
         results[outcome.index] = outcome
@@ -138,7 +164,7 @@ def run_supervised(
             _kill_workers(pool)
             pool.shutdown(wait=False, cancel_futures=True)
             pool = None
-        for task, _deadline, _budget in inflight.values():
+        for task, *_ in inflight.values():
             pending.appendleft(task)        # pool failed, not the task
         inflight.clear()
         abandoned = 0
@@ -147,8 +173,10 @@ def run_supervised(
         nonlocal respawns, serial
         respawns += 1
         scrap_pool()
+        notify("pool_respawn", respawns=respawns)
         if respawns > policy.max_pool_respawns:
             serial = True
+            notify("serial_degradation", respawns=respawns)
         else:
             sleep(policy.backoff_for(respawns - 1))
 
@@ -169,8 +197,10 @@ def run_supervised(
                 note_pool_failure()
                 break
             budget = policy.timeout_for(task.attempt)
-            deadline = clock() + budget if budget is not None else None
-            inflight[future] = (task, deadline, budget)
+            submitted = clock()
+            deadline = submitted + budget if budget is not None else None
+            inflight[future] = (task, deadline, budget, submitted)
+            notify("dispatch", index=task.index, attempt=task.attempt)
         if not inflight:
             continue
 
@@ -178,7 +208,8 @@ def run_supervised(
                        return_when=FIRST_COMPLETED)
         pool_broke = False
         for future in done:
-            task, _deadline, _budget = inflight.pop(future)
+            task, _deadline, _budget, submitted = inflight.pop(future)
+            wall = clock() - submitted
             try:
                 value = future.result()
             except BrokenProcessPool:
@@ -186,18 +217,20 @@ def run_supervised(
                 pool_broke = True
             except Exception as exc:  # fn raised inside the worker
                 if task.attempt < policy.max_retries:
+                    notify("retry", index=task.index,
+                           attempt=task.attempt + 1, reason="error")
                     sleep(policy.backoff_for(task.attempt))
                     pending.append(replace_attempt(task))
                 else:
                     emit(TaskOutcome(
                         index=task.index, item=task.item, kind=ERROR,
                         error=f"{type(exc).__name__}: {exc}",
-                        attempts=task.attempt + 1,
+                        attempts=task.attempt + 1, wall_s=wall,
                     ))
             else:
                 emit(TaskOutcome(
                     index=task.index, item=task.item, value=value,
-                    attempts=task.attempt + 1,
+                    attempts=task.attempt + 1, wall_s=wall,
                 ))
         if pool_broke:
             note_pool_failure()
@@ -206,20 +239,22 @@ def run_supervised(
         # enforce wall-clock deadlines on whatever is still running
         if policy.timeout_s is not None:
             now = clock()
-            for future, (task, deadline, budget) in list(inflight.items()):
+            for future, (task, deadline, budget, submitted) in list(inflight.items()):
                 if deadline is None or now < deadline:
                     continue
                 inflight.pop(future)
                 if not future.cancel():
                     abandoned += 1      # running: its worker slot is poisoned
                 if task.attempt < policy.max_retries:
+                    notify("retry", index=task.index,
+                           attempt=task.attempt + 1, reason="timeout")
                     sleep(policy.backoff_for(task.attempt))
                     pending.append(replace_attempt(task))
                 else:
                     emit(TaskOutcome(
                         index=task.index, item=task.item, kind=TIMEOUT,
                         error=f"exceeded {budget:.1f}s wall clock",
-                        attempts=task.attempt + 1,
+                        attempts=task.attempt + 1, wall_s=now - submitted,
                     ))
             if abandoned >= workers:
                 # every slot is stuck behind a hung task: recycle the pool
@@ -238,6 +273,9 @@ def run_supervised(
             initializer(*initargs)
         while pending:
             task = pending.popleft()
+            notify("dispatch", index=task.index, attempt=task.attempt,
+                   mode="serial")
+            started = clock()
             try:
                 value = fn(task.item)
             except Exception as exc:
@@ -245,11 +283,13 @@ def run_supervised(
                     index=task.index, item=task.item, kind=ERROR,
                     error=f"{type(exc).__name__}: {exc}",
                     attempts=task.attempt + 1, mode="serial",
+                    wall_s=clock() - started,
                 ))
             else:
                 emit(TaskOutcome(
                     index=task.index, item=task.item, value=value,
                     attempts=task.attempt + 1, mode="serial",
+                    wall_s=clock() - started,
                 ))
 
     assert all(r is not None for r in results), "supervisor lost a task"

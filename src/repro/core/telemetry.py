@@ -1,0 +1,623 @@
+"""Campaign telemetry: typed events, live progress, and metrics export.
+
+A 1,000-fault-per-structure campaign (the paper's Section IV sample size)
+runs for a long time, and until now it ran as a black box: no live
+progress, no per-fault latency accounting, no machine-readable throughput
+counters.  This module is the observability layer threaded through both
+campaign engines:
+
+* **typed event stream** — :class:`TelemetryEvent` rows (campaign started /
+  fault dispatched / fault finished / retry / quarantine /
+  checkpoint-restore / early-exit / pool respawn) emitted by
+  :class:`Telemetry` and forwarded to any registered sink;
+* **pure journal-fold aggregation** — :class:`CampaignAggregate` folds
+  :class:`~repro.core.campaign.FaultRecord` rows into counters and latency
+  histograms.  The fold reads only record fields, so the same numbers come
+  out whether it runs live during a campaign or replayed from a
+  :class:`~repro.core.journal.CampaignJournal` by ``repro tail`` /
+  ``repro doctor`` — :meth:`CampaignAggregate.reconcilable` is the
+  journal-derivable view that is *guaranteed* identical both ways;
+* **live progress** — :class:`ProgressPrinter` renders throttled
+  ``done/total``, faults/sec and ETA lines (the ``--progress`` flag);
+* **latency histograms** — per-fault wall-clock and simulated-cycle
+  histograms split by outcome and by fast-forwarded vs from-scratch runs,
+  quantifying the checkpoint engine's speedup in production;
+* **Prometheus textfile export** — :func:`to_prometheus` /
+  ``--metrics-out metrics.prom`` snapshots every counter and histogram in
+  the node-exporter textfile format.
+
+Telemetry never touches the journal: a campaign run with ``--progress
+--metrics-out`` writes a byte-identical journal to one run without them.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.outcome import Outcome
+
+#: simulated-cycle histogram bucket upper bounds (last bucket is +Inf)
+CYCLE_BUCKETS: tuple[float, ...] = (
+    256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0, 1048576.0, 4194304.0,
+)
+
+#: wall-clock histogram bucket upper bounds in seconds (last bucket is +Inf)
+WALL_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 60.0, 300.0,
+)
+
+#: latency-split keys: did the run fast-forward from a golden checkpoint?
+FAST_FORWARD = "fast_forward"
+FROM_SCRATCH = "from_scratch"
+
+
+class Histogram:
+    """Fixed-bucket latency histogram (Prometheus-style, non-cumulative)."""
+
+    __slots__ = ("bounds", "counts", "total", "n")
+
+    def __init__(self, bounds: Sequence[float]):
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)   # +1 for the +Inf bucket
+        self.total = 0.0
+        self.n = 0
+
+    def add(self, value: float) -> None:
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += value
+        self.n += 1
+
+    def merge(self, other: "Histogram") -> None:
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different buckets")
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.total += other.total
+        self.n += other.n
+
+    def to_dict(self) -> dict:
+        return {
+            "le": [*self.bounds, "inf"],
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.n,
+        }
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Histogram) and self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram(n={self.n}, sum={self.total:.4g})"
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One structured observation from a running campaign."""
+
+    kind: str                       # campaign_started | fault_dispatched |
+                                    # fault_finished | retry | quarantine |
+                                    # checkpoint_restore | early_exit |
+                                    # pool_respawn | serial_degradation |
+                                    # campaign_finished
+    mask_id: int | None = None
+    attempt: int | None = None
+    wall_s: float | None = None
+    record: object = None           # the FaultRecord for fault_finished
+    detail: str | None = None
+
+
+def _record_path(record) -> str:
+    return FAST_FORWARD if getattr(record, "restored_from", 0) else FROM_SCRATCH
+
+
+@dataclass
+class CampaignAggregate:
+    """Folded campaign state: counters + latency histograms.
+
+    :meth:`fold` is a pure function of the record (plus an optional live
+    wall-clock sample), so folding a journal's records reproduces exactly
+    the aggregate a live campaign computed — see :meth:`reconcilable` for
+    the portion with that guarantee.  Fields that depend on live-only
+    information (wall clocks, ``restored_from`` — deliberately not
+    journaled — dispatch counts, pool respawns) are extras on top.
+    """
+
+    planned: int = 0
+    resumed: int = 0
+    dispatched: int = 0
+    finished: int = 0
+    outcomes: dict[str, int] = field(
+        default_factory=lambda: {o.value: 0 for o in Outcome}
+    )
+    sim_error_kinds: dict[str, int] = field(default_factory=dict)
+    retried: int = 0                # records that consumed >= 1 retry
+    retries_total: int = 0          # total retries consumed
+    timeouts: int = 0               # watchdog Crash(timeout) verdicts
+    hangs: int = 0                  # deterministic Crash(hang) verdicts
+    integrity_quarantined: int = 0
+    stopped_on_hvf: int = 0
+    checkpoint_restores: int = 0    # live-only: restored_from is not journaled
+    early_exits: int = 0            # live-only: golden-trace re-convergence
+    pool_respawns: int = 0          # live-only: supervisor pool breakages
+    serial_degradations: int = 0    # live-only: supervisor gave up on pools
+    cycle_hist: dict[tuple[str, str], Histogram] = field(default_factory=dict)
+    wall_hist: dict[tuple[str, str], Histogram] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ folding
+
+    def _bucket(self, hists: dict, key: tuple[str, str],
+                bounds: Sequence[float]) -> Histogram:
+        hist = hists.get(key)
+        if hist is None:
+            hist = hists[key] = Histogram(bounds)
+        return hist
+
+    def fold(self, record, wall_s: float | None = None) -> None:
+        """Fold one finished :class:`FaultRecord` into the aggregate."""
+        out = record.outcome.value
+        self.finished += 1
+        self.outcomes[out] = self.outcomes.get(out, 0) + 1
+        kind = getattr(record, "sim_error_kind", None)
+        if kind:
+            self.sim_error_kinds[kind] = self.sim_error_kinds.get(kind, 0) + 1
+        retries = getattr(record, "retries", 0)
+        if retries:
+            self.retried += 1
+            self.retries_total += retries
+        if record.crash_reason == "timeout":
+            self.timeouts += 1
+        if record.crash_reason == "hang":
+            self.hangs += 1
+        if kind == "integrity":
+            self.integrity_quarantined += 1
+        if getattr(record, "stopped_on_hvf", False):
+            self.stopped_on_hvf += 1
+        path = _record_path(record)
+        if path == FAST_FORWARD:
+            self.checkpoint_restores += 1
+        if getattr(record, "early_exited", False):
+            self.early_exits += 1
+        self._bucket(self.cycle_hist, (out, path), CYCLE_BUCKETS).add(
+            float(record.cycles)
+        )
+        if wall_s is not None:
+            self._bucket(self.wall_hist, (out, path), WALL_BUCKETS).add(wall_s)
+
+    @classmethod
+    def from_records(cls, records: Iterable,
+                     planned: int = 0) -> "CampaignAggregate":
+        agg = cls(planned=planned)
+        for record in records:
+            agg.fold(record)
+        return agg
+
+    # ------------------------------------------------------------ views
+
+    @property
+    def masked(self) -> int:
+        return self.outcomes.get(Outcome.MASKED.value, 0)
+
+    @property
+    def sdc(self) -> int:
+        return self.outcomes.get(Outcome.SDC.value, 0)
+
+    @property
+    def crash(self) -> int:
+        return self.outcomes.get(Outcome.CRASH.value, 0)
+
+    @property
+    def quarantined(self) -> int:
+        return self.outcomes.get(Outcome.SIM_FAULT.value, 0)
+
+    @property
+    def n_valid(self) -> int:
+        return self.finished - self.quarantined
+
+    def reconcilable(self) -> dict:
+        """The journal-derivable view of this aggregate.
+
+        Guaranteed identical whether the aggregate was computed live or
+        folded from ``CampaignJournal.load()``: it reads only journaled
+        record fields, and the cycle histograms are summed over the
+        fast-forward split (``restored_from`` is deliberately not
+        serialized, so a replayed fold sees every run as from-scratch).
+        """
+        by_outcome: dict[str, Histogram] = {}
+        for (out, _path), hist in sorted(self.cycle_hist.items()):
+            merged = by_outcome.get(out)
+            if merged is None:
+                merged = by_outcome[out] = Histogram(hist.bounds)
+            merged.merge(hist)
+        return {
+            "finished": self.finished,
+            "outcomes": dict(self.outcomes),
+            "sim_error_kinds": dict(sorted(self.sim_error_kinds.items())),
+            "retried": self.retried,
+            "retries_total": self.retries_total,
+            "timeouts": self.timeouts,
+            "hangs": self.hangs,
+            "integrity_quarantined": self.integrity_quarantined,
+            "stopped_on_hvf": self.stopped_on_hvf,
+            "cycle_hist": {
+                out: hist.to_dict() for out, hist in sorted(by_outcome.items())
+            },
+        }
+
+    def to_dict(self) -> dict:
+        doc = self.reconcilable()
+        doc.update({
+            "planned": self.planned,
+            "resumed": self.resumed,
+            "dispatched": self.dispatched,
+            "checkpoint_restores": self.checkpoint_restores,
+            "early_exits": self.early_exits,
+            "pool_respawns": self.pool_respawns,
+            "serial_degradations": self.serial_degradations,
+            "wall_hist": {
+                f"{out}/{path}": hist.to_dict()
+                for (out, path), hist in sorted(self.wall_hist.items())
+            },
+        })
+        return doc
+
+
+def aggregate_from_journal(path: str | Path) -> tuple[CampaignAggregate, dict | None]:
+    """Fold a journal into an aggregate; returns ``(aggregate, header)``.
+
+    Tolerates a torn trailing line exactly like
+    :meth:`~repro.core.journal.CampaignJournal.load`; ``planned`` is taken
+    from the header's spec when present.
+    """
+    from repro.core.journal import JournalFollower
+
+    follower = JournalFollower(path)
+    agg = CampaignAggregate()
+    for record in follower.poll():
+        agg.fold(record)
+    header = follower.header
+    spec = (header or {}).get("spec") or {}
+    if isinstance(spec.get("faults"), int):
+        agg.planned = spec["faults"]
+    return agg, header
+
+
+def labels_from_spec(spec: Mapping) -> dict[str, str]:
+    """Prometheus identity labels for a campaign spec (CPU or DSA)."""
+    if "target" in spec:
+        keys = ("isa", "workload", "target", "model")
+    else:
+        keys = ("design", "component", "model")
+    return {k: str(spec[k]) for k in keys if spec.get(k) is not None}
+
+
+# --------------------------------------------------------------------------
+# progress rendering
+# --------------------------------------------------------------------------
+
+
+def _fmt_eta(seconds: float) -> str:
+    seconds = max(0, int(seconds))
+    h, rem = divmod(seconds, 3600)
+    m, s = divmod(rem, 60)
+    return f"{h}:{m:02d}:{s:02d}" if h else f"{m}:{s:02d}"
+
+
+def render_progress(agg: CampaignAggregate,
+                    elapsed_s: float | None = None) -> str:
+    """One live progress line: done/total, faults/sec, ETA, outcome counts."""
+    done = agg.resumed + agg.finished
+    total = agg.planned or done
+    parts = [f"{done}/{total} faults" + (
+        f" ({done / total:5.1%})" if total else "")]
+    if elapsed_s and elapsed_s > 0 and agg.finished:
+        rate = agg.finished / elapsed_s
+        parts.append(f"{rate:.2f} faults/s")
+        if total > done:
+            parts.append(f"eta {_fmt_eta((total - done) / rate)}")
+    parts.append(
+        f"masked {agg.masked} sdc {agg.sdc} crash {agg.crash}"
+        + (f" quarantined {agg.quarantined}" if agg.quarantined else "")
+    )
+    extras = []
+    if agg.resumed:
+        extras.append(f"resumed {agg.resumed}")
+    if agg.retried:
+        extras.append(f"retried {agg.retried}")
+    if agg.timeouts:
+        extras.append(f"timeouts {agg.timeouts}")
+    if agg.hangs:
+        extras.append(f"hangs {agg.hangs}")
+    if agg.pool_respawns:
+        extras.append(f"respawns {agg.pool_respawns}")
+    if agg.checkpoint_restores:
+        extras.append(f"ff {agg.checkpoint_restores}/{agg.finished}")
+    if extras:
+        parts.append(" ".join(extras))
+    return " | ".join(parts)
+
+
+class ProgressPrinter:
+    """Throttled progress-line writer (stderr by default)."""
+
+    def __init__(self, stream=None, min_interval_s: float = 0.5,
+                 clock: Callable[[], float] = time.monotonic):
+        self._stream = stream
+        self.min_interval_s = min_interval_s
+        self._clock = clock
+        self._last = float("-inf")
+
+    @property
+    def stream(self):
+        return self._stream if self._stream is not None else sys.stderr
+
+    def update(self, agg: CampaignAggregate, elapsed_s: float | None = None,
+               force: bool = False) -> None:
+        now = self._clock()
+        if not force and now - self._last < self.min_interval_s:
+            return
+        self._last = now
+        self.stream.write(render_progress(agg, elapsed_s) + "\n")
+        self.stream.flush()
+
+
+# --------------------------------------------------------------------------
+# Prometheus textfile export
+# --------------------------------------------------------------------------
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels(base: Mapping[str, str], **extra: str) -> str:
+    merged = {**base, **extra}
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label(str(v))}"' for k, v in merged.items()
+    )
+    return "{" + inner + "}"
+
+
+def _fmt_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(agg: CampaignAggregate,
+                  labels: Mapping[str, str] | None = None) -> str:
+    """Render the aggregate as a Prometheus textfile snapshot.
+
+    Counter values are plain campaign totals (a textfile collector re-reads
+    the whole file, so no delta bookkeeping is needed).  Histograms use the
+    standard cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count`` form.
+    """
+    base = dict(labels or {})
+    lines: list[str] = []
+
+    def gauge(name: str, value: float, help_text: str, **extra) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name}{_labels(base, **extra)} {_fmt_value(value)}")
+
+    def counter(name: str, help_text: str,
+                series: Sequence[tuple[dict, float]]) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} counter")
+        for extra, value in series:
+            lines.append(f"{name}{_labels(base, **extra)} {_fmt_value(value)}")
+
+    gauge("repro_faults_planned", agg.planned,
+          "total masks in the campaign sample")
+    gauge("repro_faults_resumed", agg.resumed,
+          "masks satisfied from a resume journal")
+    counter("repro_faults_dispatched_total",
+            "fault simulations handed to an executor",
+            [({}, agg.dispatched)])
+    counter("repro_faults_finished_total",
+            "fault records completed (fresh, not resumed)",
+            [({}, agg.finished)])
+    counter("repro_fault_outcomes_total",
+            "fault records by terminal outcome",
+            [({"outcome": out}, n) for out, n in sorted(agg.outcomes.items())])
+    counter("repro_fault_sim_error_kinds_total",
+            "simulator-failure records by sim_error_kind",
+            [({"kind": k}, n)
+             for k, n in sorted(agg.sim_error_kinds.items())])
+    counter("repro_faults_retried_total",
+            "fault records that consumed at least one retry",
+            [({}, agg.retried)])
+    counter("repro_fault_retries_total", "total retries consumed",
+            [({}, agg.retries_total)])
+    counter("repro_fault_timeouts_total",
+            "watchdog Crash(timeout) verdicts", [({}, agg.timeouts)])
+    counter("repro_fault_hangs_total",
+            "deterministic Crash(hang) verdicts", [({}, agg.hangs)])
+    counter("repro_fault_integrity_quarantines_total",
+            "sanitizer integrity quarantines",
+            [({}, agg.integrity_quarantined)])
+    counter("repro_fault_hvf_stops_total",
+            "runs halted by the stop_on_hvf early exit",
+            [({}, agg.stopped_on_hvf)])
+    counter("repro_fault_checkpoint_restores_total",
+            "runs fast-forwarded from a golden checkpoint",
+            [({}, agg.checkpoint_restores)])
+    counter("repro_fault_early_exits_total",
+            "runs ended by golden-trace re-convergence",
+            [({}, agg.early_exits)])
+    counter("repro_supervisor_pool_respawns_total",
+            "worker-pool breakages the supervisor recovered from",
+            [({}, agg.pool_respawns)])
+    counter("repro_supervisor_serial_degradations_total",
+            "campaigns degraded to serial execution",
+            [({}, agg.serial_degradations)])
+
+    for name, hists, help_text in (
+        ("repro_fault_cycles", agg.cycle_hist,
+         "simulated cycles per fault run"),
+        ("repro_fault_wall_seconds", agg.wall_hist,
+         "wall-clock seconds per fault run"),
+    ):
+        if not hists:
+            continue
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} histogram")
+        for (out, path), hist in sorted(hists.items()):
+            cumulative = 0
+            for bound, count in zip((*hist.bounds, float("inf")), hist.counts):
+                cumulative += count
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_labels(base, outcome=out, path=path, le=_fmt_value(bound))}"
+                    f" {cumulative}"
+                )
+            lines.append(
+                f"{name}_sum{_labels(base, outcome=out, path=path)} "
+                f"{_fmt_value(hist.total)}"
+            )
+            lines.append(
+                f"{name}_count{_labels(base, outcome=out, path=path)} "
+                f"{hist.n}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Parse a textfile snapshot back into ``{'name{labels}': value}``.
+
+    Only what the reconciliation checks need — not a general parser.
+    """
+    out: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        key, _, value = line.rpartition(" ")
+        out[key] = float(value)
+    return out
+
+
+def write_prometheus(path: str | Path, agg: CampaignAggregate,
+                     labels: Mapping[str, str] | None = None) -> None:
+    Path(path).write_text(to_prometheus(agg, labels))
+
+
+# --------------------------------------------------------------------------
+# the live telemetry hub
+# --------------------------------------------------------------------------
+
+
+class Telemetry:
+    """Event hub a running campaign reports into.
+
+    Owns one :class:`CampaignAggregate` (folded live), an optional
+    :class:`ProgressPrinter`, an optional ``--metrics-out`` path written on
+    :meth:`campaign_finished`, and any number of event sinks (callables
+    receiving every :class:`TelemetryEvent`).
+
+    Strictly observational: it never writes to the journal and never
+    changes a record, so journals stay byte-identical with telemetry on or
+    off.
+    """
+
+    def __init__(self, progress: ProgressPrinter | None = None,
+                 metrics_out: str | Path | None = None,
+                 labels: Mapping[str, str] | None = None,
+                 sinks: Sequence[Callable[[TelemetryEvent], None]] = (),
+                 clock: Callable[[], float] = time.monotonic):
+        self.aggregate = CampaignAggregate()
+        self.progress = progress
+        self.metrics_out = Path(metrics_out) if metrics_out else None
+        self.labels = dict(labels or {})
+        self._sinks = list(sinks)
+        self._clock = clock
+        self._started: float | None = None
+
+    # ------------------------------------------------------------ plumbing
+
+    def add_sink(self, sink: Callable[[TelemetryEvent], None]) -> None:
+        self._sinks.append(sink)
+
+    @property
+    def elapsed_s(self) -> float | None:
+        if self._started is None:
+            return None
+        return self._clock() - self._started
+
+    def _emit(self, kind: str, **fields) -> None:
+        if self._sinks:
+            event = TelemetryEvent(kind=kind, **fields)
+            for sink in self._sinks:
+                sink(event)
+
+    def _tick(self, force: bool = False) -> None:
+        if self.progress is not None:
+            self.progress.update(self.aggregate, self.elapsed_s, force=force)
+
+    # ------------------------------------------------------------ campaign hooks
+
+    def campaign_started(self, planned: int, resumed: int = 0,
+                         labels: Mapping[str, str] | None = None) -> None:
+        if labels:
+            self.labels.update(labels)
+        self._started = self._clock()
+        self.aggregate.planned = planned
+        self.aggregate.resumed = resumed
+        self._emit("campaign_started", detail=f"planned={planned} resumed={resumed}")
+        self._tick(force=True)
+
+    def fault_dispatched(self, mask_id: int, attempt: int = 0) -> None:
+        if attempt == 0:
+            self.aggregate.dispatched += 1
+        self._emit("fault_dispatched", mask_id=mask_id, attempt=attempt)
+
+    def fault_finished(self, record, wall_s: float | None = None) -> None:
+        self.aggregate.fold(record, wall_s=wall_s)
+        mask_id = record.mask.mask_id
+        self._emit("fault_finished", mask_id=mask_id, wall_s=wall_s,
+                   record=record)
+        if getattr(record, "restored_from", 0):
+            self._emit("checkpoint_restore", mask_id=mask_id,
+                       detail=f"cycle={record.restored_from}")
+        if getattr(record, "early_exited", False):
+            self._emit("early_exit", mask_id=mask_id)
+        if getattr(record, "retries", 0):
+            self._emit("retry", mask_id=mask_id,
+                       attempt=record.retries,
+                       detail=record.sim_error_kind)
+        if record.outcome is Outcome.SIM_FAULT:
+            self._emit("quarantine", mask_id=mask_id,
+                       detail=record.sim_error_kind)
+        self._tick()
+
+    def supervisor_event(self, kind: str, info: Mapping) -> None:
+        """Adapter for :func:`repro.core.supervisor.run_supervised` events."""
+        if kind == "pool_respawn":
+            self.aggregate.pool_respawns += 1
+            self._emit("pool_respawn", detail=str(info.get("respawns")))
+        elif kind == "serial_degradation":
+            self.aggregate.serial_degradations += 1
+            self._emit("serial_degradation")
+        elif kind == "retry":
+            self._emit("retry", attempt=info.get("attempt"),
+                       detail=info.get("reason"))
+        # 'dispatch' is translated by the campaign driver, which knows the
+        # index -> mask_id mapping; unknown kinds are ignored by design.
+
+    def campaign_finished(self) -> None:
+        self._tick(force=True)
+        self._emit("campaign_finished")
+        if self.metrics_out is not None:
+            write_prometheus(self.metrics_out, self.aggregate, self.labels)

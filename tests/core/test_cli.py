@@ -80,6 +80,74 @@ def test_accel_campaign_command(capsys):
     assert "avf" in capsys.readouterr().out
 
 
+def test_campaign_telemetry_flags_leave_journal_byte_identical(
+        capsys, tmp_path):
+    """--progress/--metrics-out are observational: the journal they ride
+    along with is byte-identical to a bare run's."""
+    bare = tmp_path / "bare.jsonl"
+    observed = tmp_path / "observed.jsonl"
+    metrics = tmp_path / "metrics.prom"
+    base = [
+        "campaign", "--isa", "rv", "--workload", "crc32",
+        "--target", "regfile_int", "--faults", "4", "--seed", "3",
+    ]
+    assert main(base + ["--journal", str(bare)]) == 0
+    assert main(base + ["--journal", str(observed), "--progress",
+                        "--metrics-out", str(metrics)]) == 0
+    captured = capsys.readouterr()
+    assert bare.read_bytes() == observed.read_bytes()
+    assert "faults" in captured.err            # progress lines went to stderr
+    assert metrics.exists()
+    from repro.core.telemetry import parse_prometheus
+
+    values = parse_prometheus(metrics.read_text())
+    finished = [v for k, v in values.items()
+                if k.startswith("repro_faults_finished_total")]
+    assert finished == [4.0]
+
+
+def test_tail_command_summarizes_journal(capsys, tmp_path):
+    journal = tmp_path / "run.jsonl"
+    assert main([
+        "campaign", "--isa", "rv", "--workload", "crc32",
+        "--target", "regfile_int", "--faults", "4",
+        "--journal", str(journal),
+    ]) == 0
+    capsys.readouterr()
+    assert main(["tail", str(journal)]) == 0
+    out = capsys.readouterr().out
+    assert "finished" in out and "4/4 faults" in out
+
+
+def test_tail_command_json_and_metrics_reconcile(capsys, tmp_path):
+    journal = tmp_path / "run.jsonl"
+    metrics = tmp_path / "metrics.prom"
+    assert main([
+        "campaign", "--isa", "rv", "--workload", "crc32",
+        "--target", "regfile_int", "--faults", "4",
+        "--journal", str(journal),
+    ]) == 0
+    capsys.readouterr()
+    assert main(["tail", str(journal), "--json",
+                 "--metrics-out", str(metrics)]) == 0
+    import json
+
+    out = capsys.readouterr().out
+    doc = json.loads(out[: out.rindex("}") + 1])
+    assert doc["finished"] == 4 and doc["planned"] == 4
+    assert sum(doc["outcomes"].values()) == 4
+    from repro.core.telemetry import parse_prometheus
+
+    values = parse_prometheus(metrics.read_text())
+    finished = [v for k, v in values.items()
+                if k.startswith("repro_faults_finished_total")]
+    assert finished == [4.0]
+
+
+def test_tail_command_missing_journal():
+    assert main(["tail", "/nonexistent/journal.jsonl"]) == 1
+
+
 def test_soc_command(capsys):
     rc = main(["soc", "--isa", "rv", "--design", "gemm"])
     assert rc == 0

@@ -12,6 +12,7 @@ from repro.core.metrics import (
     crash_avf,
     error_margin,
     hvf,
+    n_valid,
     opf,
     quarantined,
     sdc_avf,
@@ -68,11 +69,22 @@ def test_quarantined_records_do_not_move_metrics():
     assert quarantined(poisoned) == 5 and quarantined(clean) == 0
 
 
-def test_all_quarantined_is_rejected_like_empty():
+def test_all_quarantined_degrades_to_none():
+    """A fully-quarantined (but non-empty) campaign is a real degraded
+    outcome, not a caller bug: metrics report 'undefined' instead of
+    raising and taking a whole sweep's report down with them."""
     records = [_rec(Outcome.SIM_FAULT, HVFClass.BENIGN)] * 3
     for fn in (avf, sdc_avf, crash_avf, hvf):
-        with pytest.raises(ValueError):
-            fn(records)
+        assert fn(records) is None
+    assert n_valid(records) == 0
+    assert quarantined(records) == 3
+
+
+def test_error_margin_all_quarantined_degrades_to_none():
+    records = [_rec(Outcome.SIM_FAULT, HVFClass.BENIGN)] * 5
+    assert error_margin(records, population=10**6) is None
+    with pytest.raises(ValueError):
+        error_margin([], population=10**6)
 
 
 def test_weighted_avf_formula():

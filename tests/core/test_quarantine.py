@@ -117,6 +117,27 @@ def test_campaign_completes_despite_sim_faults(cfg, detonator):
     assert summary["quarantined"] == 4 and summary["retried"] == 4
 
 
+def test_all_quarantined_campaign_renders_degenerate_report(cfg, detonator):
+    """An all-quarantined campaign must make it all the way to a rendered
+    report (the crash family this PR fixes: metrics raising ValueError on
+    n_valid=0 aborted the whole sweep)."""
+    from repro.core.metrics import avf, error_margin, hvf
+
+    spec = _spec(cfg, target="exploding", faults=3)
+    res = run_campaign(spec, masks=_exploding_masks(3))
+    assert res.quarantined == 3
+    assert avf(res.records) is None
+    assert hvf(res.records) is None
+    assert error_margin(res.records, population=10**6) is None
+    summary = res.summary()
+    assert summary["n_valid"] == 0
+    health = robustness_summary(res.records)
+    assert health["n_records"] == 3 and health["n_valid"] == 0
+    note = render_robustness(res.records)
+    assert "degenerate campaign" in note
+    assert "n_valid=0" in note and "avf=None" in note
+
+
 def test_quarantined_records_excluded_from_aggregates(cfg, detonator):
     """Quarantined runs must not move AVF/HVF, only the health counters."""
     spec = _spec(cfg)

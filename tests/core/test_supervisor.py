@@ -117,3 +117,66 @@ def test_backoff_schedule_is_exponential_and_capped():
     assert policy.backoff_for(1) == 0.5
     assert policy.backoff_for(2) == 1.0
     assert policy.backoff_for(10) == 1.0
+
+
+def test_backoff_and_timeout_clamp_negative_attempts():
+    """Attempt numbers below 0 must clamp to the attempt-0 value: a negative
+    attempt may never *shrink* the backoff below base or the deadline below
+    timeout_s (the first-respawn path computes ``respawns - 1``)."""
+    policy = SupervisorPolicy(timeout_s=8.0, backoff_base_s=0.25,
+                              backoff_cap_s=4.0)
+    assert policy.backoff_for(-1) == policy.backoff_for(0) == 0.25
+    assert policy.timeout_for(-1) == policy.timeout_for(0) == 8.0
+    assert policy.timeout_for(1) == 16.0          # retries still escalate
+    assert SupervisorPolicy(timeout_s=None).timeout_for(0) is None
+
+
+def test_first_pool_respawn_sleeps_base_backoff():
+    """Pin the respawn backoff sequence: respawn n sleeps
+    ``backoff_for(n - 1)``, so the first respawn waits exactly the base
+    backoff (not base/2 from a stray ``2**-1``), and the degradation to
+    serial does not sleep at all."""
+    slept = []
+    policy = SupervisorPolicy(max_pool_respawns=2, backoff_base_s=0.25,
+                              backoff_cap_s=1.0, poll_s=0.02)
+    outcomes = run_supervised(_die_in_child, [os.getpid()] * 2, workers=2,
+                              policy=policy, sleep=slept.append)
+    assert [o.value for o in outcomes] == ["serial"] * 2
+    assert slept == [0.25, 0.5]
+
+
+def test_on_event_reports_dispatch_and_retry():
+    events = []
+    policy = SupervisorPolicy(max_retries=1, **_FAST)
+    run_supervised(_boom, ["x"], workers=2, policy=policy,
+                   on_event=lambda kind, info: events.append((kind, info)))
+    kinds = [k for k, _ in events]
+    assert kinds.count("dispatch") == 2          # first try + one retry
+    assert kinds.count("retry") == 1
+    retry = dict(events)["retry"]
+    assert retry["reason"] == "error" and retry["attempt"] == 1
+    dispatches = [info for k, info in events if k == "dispatch"]
+    assert [d["attempt"] for d in dispatches] == [0, 1]
+    assert all(d["index"] == 0 for d in dispatches)
+
+
+def test_on_event_reports_respawn_and_serial_degradation():
+    events = []
+    policy = SupervisorPolicy(max_pool_respawns=0, **_FAST)
+    run_supervised(_die_in_child, [os.getpid()], workers=2, policy=policy,
+                   on_event=lambda kind, info: events.append(kind))
+    assert "pool_respawn" in events
+    assert "serial_degradation" in events
+    # the serial re-dispatch is observable too
+    assert events.count("dispatch") >= 2
+
+
+def test_outcomes_carry_wall_clock():
+    outcomes = run_supervised(_square, [1, 2], workers=2,
+                              policy=SupervisorPolicy(**_FAST))
+    assert all(o.wall_s is not None and o.wall_s >= 0 for o in outcomes)
+    policy = SupervisorPolicy(timeout_s=0.5, max_retries=0, **_FAST)
+    outcomes = run_supervised(_sleepy, ["sleep"], workers=1, policy=policy)
+    (timed_out,) = outcomes
+    assert timed_out.kind == TIMEOUT
+    assert timed_out.wall_s is not None and timed_out.wall_s >= 0.5

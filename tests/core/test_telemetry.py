@@ -1,0 +1,421 @@
+"""Telemetry tests: fold purity, journal reconciliation, Prometheus export.
+
+The load-bearing property: :class:`CampaignAggregate` is a pure fold over
+record fields, so the aggregate a live campaign computes and the aggregate
+``repro tail`` folds from the journal afterwards agree exactly on the
+:meth:`~CampaignAggregate.reconcilable` view — for clean journals, torn
+tails, garbage lines, and resumed (twice-opened) journals alike.
+"""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.campaign import CampaignSpec, FaultRecord, run_campaign
+from repro.core.faults import FaultMask, FaultModel
+from repro.core.journal import CampaignJournal, JournalFollower
+from repro.core.outcome import HVFClass, Outcome
+from repro.core.presets import sim_config
+from repro.core.telemetry import (
+    CYCLE_BUCKETS,
+    FAST_FORWARD,
+    FROM_SCRATCH,
+    CampaignAggregate,
+    Histogram,
+    ProgressPrinter,
+    Telemetry,
+    aggregate_from_journal,
+    labels_from_spec,
+    parse_prometheus,
+    render_progress,
+    to_prometheus,
+)
+
+
+def _rec(outcome=Outcome.MASKED, *, mask_id=0, cycles=100, retries=0,
+         sim_error_kind=None, crash_reason=None, stopped_on_hvf=False,
+         restored_from=0, early_exited=False):
+    return FaultRecord(
+        mask=FaultMask.single("l1d", 0, 0, 0, mask_id=mask_id),
+        outcome=outcome,
+        hvf=HVFClass.BENIGN if outcome is Outcome.MASKED else HVFClass.CORRUPTION,
+        cycles=cycles,
+        crash_reason=crash_reason,
+        retries=retries,
+        sim_error_kind=sim_error_kind,
+        stopped_on_hvf=stopped_on_hvf,
+        restored_from=restored_from,
+        early_exited=early_exited,
+    )
+
+
+_MIXED = [
+    _rec(Outcome.MASKED, mask_id=0, cycles=120),
+    _rec(Outcome.MASKED, mask_id=1, cycles=3000, restored_from=64,
+         early_exited=True),
+    _rec(Outcome.SDC, mask_id=2, cycles=5000, retries=1,
+         sim_error_kind="flaky"),
+    _rec(Outcome.CRASH, mask_id=3, cycles=900, crash_reason="timeout"),
+    _rec(Outcome.CRASH, mask_id=4, cycles=2048, crash_reason="hang",
+         restored_from=128),
+    _rec(Outcome.SIM_FAULT, mask_id=5, cycles=0, retries=1,
+         sim_error_kind="integrity"),
+    _rec(Outcome.SDC, mask_id=6, cycles=10**7, stopped_on_hvf=True),
+]
+
+
+# --------------------------------------------------------------------------
+# Histogram
+# --------------------------------------------------------------------------
+
+
+def test_histogram_bucketing_and_overflow():
+    h = Histogram((10.0, 100.0))
+    for v in (1, 10, 11, 100, 5000):
+        h.add(v)
+    assert h.counts == [2, 2, 1]          # <=10, <=100, +Inf
+    assert h.n == 5 and h.total == 5122
+    assert h.to_dict()["le"] == [10.0, 100.0, "inf"]
+
+
+def test_histogram_merge_requires_same_buckets():
+    a, b = Histogram((1.0,)), Histogram((1.0,))
+    a.add(0.5), b.add(2.0)
+    a.merge(b)
+    assert a.counts == [1, 1] and a.n == 2
+    with pytest.raises(ValueError):
+        a.merge(Histogram((2.0,)))
+
+
+# --------------------------------------------------------------------------
+# fold semantics
+# --------------------------------------------------------------------------
+
+
+def test_fold_counts_every_dimension():
+    agg = CampaignAggregate.from_records(_MIXED, planned=10)
+    assert agg.finished == 7
+    assert agg.masked == 2 and agg.sdc == 2 and agg.crash == 2
+    assert agg.quarantined == 1 and agg.n_valid == 6
+    assert agg.retried == 2 and agg.retries_total == 2
+    assert agg.timeouts == 1 and agg.hangs == 1
+    assert agg.integrity_quarantined == 1
+    assert agg.stopped_on_hvf == 1
+    assert agg.sim_error_kinds == {"flaky": 1, "integrity": 1}
+    # live-only extras read the non-journaled execution-detail fields
+    assert agg.checkpoint_restores == 2
+    assert agg.early_exits == 1
+
+
+def test_fold_splits_cycle_histograms_by_path():
+    agg = CampaignAggregate.from_records(_MIXED)
+    assert (Outcome.MASKED.value, FAST_FORWARD) in agg.cycle_hist
+    assert (Outcome.MASKED.value, FROM_SCRATCH) in agg.cycle_hist
+    assert agg.cycle_hist[(Outcome.MASKED.value, FAST_FORWARD)].n == 1
+    # wall histograms only exist when a live wall clock was supplied
+    assert not agg.wall_hist
+    agg.fold(_rec(mask_id=99), wall_s=0.01)
+    assert agg.wall_hist[(Outcome.MASKED.value, FROM_SCRATCH)].n == 1
+
+
+def test_reconcilable_merges_path_split():
+    """The journal never records restored_from, so the reconcilable view
+    must sum the fast-forward split away — total per outcome is preserved."""
+    agg = CampaignAggregate.from_records(_MIXED)
+    view = agg.reconcilable()
+    masked = view["cycle_hist"][Outcome.MASKED.value]
+    assert masked["count"] == 2
+    assert masked["sum"] == 120 + 3000
+
+
+# --------------------------------------------------------------------------
+# journal fold == live fold
+# --------------------------------------------------------------------------
+
+
+def _spec(faults):
+    return CampaignSpec(isa="rv", workload="crc32", target="regfile_int",
+                        cfg=sim_config(), faults=faults, seed=1)
+
+
+def _journal_with(tmp_path, records, name="j.jsonl", opens=1):
+    path = tmp_path / name
+    spec = _spec(len(records))
+    splits = [records[: len(records) // 2], records[len(records) // 2:]]
+    chunks = splits[:opens] if opens > 1 else [records]
+    for chunk in chunks:
+        with CampaignJournal.open(path, spec) as journal:
+            for r in chunk:
+                journal.append(r)
+    return path
+
+
+def test_journal_fold_matches_live_fold(tmp_path):
+    path = _journal_with(tmp_path, _MIXED)
+    live = CampaignAggregate.from_records(_MIXED)
+    replayed, header = aggregate_from_journal(path)
+    assert header is not None and replayed.planned == len(_MIXED)
+    assert replayed.reconcilable() == live.reconcilable()
+    # the replay can't see restored_from: everything folds as from-scratch
+    assert replayed.checkpoint_restores == 0
+
+
+def test_journal_fold_tolerates_torn_tail_and_garbage(tmp_path):
+    path = _journal_with(tmp_path, _MIXED)
+    with open(path, "a") as fh:
+        fh.write("%% not json at all %%\n")
+        fh.write('{"kind": "record", "mask"')       # torn mid-append
+    live = CampaignAggregate.from_records(_MIXED)
+    replayed, _ = aggregate_from_journal(path)
+    assert replayed.reconcilable() == live.reconcilable()
+
+
+def test_resumed_journal_folds_identically(tmp_path):
+    """A journal written across two opens (interrupt + resume) folds to the
+    same aggregate as a single-shot one."""
+    single = aggregate_from_journal(_journal_with(tmp_path, _MIXED))[0]
+    resumed = aggregate_from_journal(
+        _journal_with(tmp_path, _MIXED, name="resumed.jsonl", opens=2))[0]
+    assert resumed.reconcilable() == single.reconcilable()
+
+
+_outcomes = st.sampled_from(list(Outcome))
+_record_st = st.builds(
+    lambda outcome, cycles, retries, kind, crash, hvf_stop: dict(
+        outcome=outcome, cycles=cycles, retries=retries,
+        sim_error_kind=kind, crash_reason=crash, stopped_on_hvf=hvf_stop,
+    ),
+    _outcomes,
+    st.integers(min_value=0, max_value=10**7),
+    st.integers(min_value=0, max_value=3),
+    st.sampled_from([None, "flaky", "deterministic", "integrity",
+                     "harness_timeout"]),
+    st.sampled_from([None, "timeout", "hang", "illegal"]),
+    st.booleans(),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(_record_st, min_size=0, max_size=12), st.booleans(),
+       st.booleans())
+def test_property_journal_fold_equals_live(tmp_path_factory, fields, torn,
+                                           resumed):
+    """For any record set, journal shape (clean / torn tail / resumed),
+    the folded journal reconciles exactly with the live aggregate."""
+    records = [_rec(f["outcome"], mask_id=i, cycles=f["cycles"],
+                    retries=f["retries"], sim_error_kind=f["sim_error_kind"],
+                    crash_reason=f["crash_reason"],
+                    stopped_on_hvf=f["stopped_on_hvf"])
+               for i, f in enumerate(fields)]
+    tmp_path = tmp_path_factory.mktemp("prop")
+    path = _journal_with(tmp_path, records, opens=2 if resumed else 1)
+    if torn:
+        with open(path, "a") as fh:
+            fh.write('{"kind": "record", "truncat')
+    live = CampaignAggregate.from_records(records)
+    replayed, _ = aggregate_from_journal(path)
+    assert replayed.reconcilable() == live.reconcilable()
+
+
+# --------------------------------------------------------------------------
+# JournalFollower
+# --------------------------------------------------------------------------
+
+
+def test_follower_polls_incrementally(tmp_path):
+    path = tmp_path / "grow.jsonl"
+    spec = _spec(3)
+    journal = CampaignJournal.open(path, spec)
+    follower = JournalFollower(path)
+    assert follower.poll() == [] and follower.header is not None
+
+    journal.append(_MIXED[0])
+    assert len(follower.poll()) == 1
+    assert follower.poll() == []                   # nothing new
+
+    # a torn tail is left for the next poll, not consumed
+    with open(path, "a") as fh:
+        fh.write('{"kind": "record", "mask"')
+    assert follower.poll() == []
+    with open(path, "a") as fh:        # the append completes — to garbage
+        fh.write(': 1}\n')
+    assert follower.poll() == []
+    journal.append(_MIXED[1])
+    journal.close()
+    assert len(follower.poll()) == 1
+    assert follower.skipped == 1       # the completed-garbage line
+
+
+def test_follower_missing_file_is_empty(tmp_path):
+    follower = JournalFollower(tmp_path / "nope.jsonl")
+    assert follower.poll() == [] and follower.header is None
+
+
+# --------------------------------------------------------------------------
+# Prometheus export
+# --------------------------------------------------------------------------
+
+
+def test_prometheus_counters_reconcile_with_aggregate():
+    agg = CampaignAggregate.from_records(_MIXED, planned=10)
+    agg.dispatched = 7
+    text = to_prometheus(agg, {"isa": "rv", "workload": "crc32"})
+    values = parse_prometheus(text)
+    labels = 'isa="rv",workload="crc32"'
+    assert values[f"repro_faults_planned{{{labels}}}"] == 10
+    assert values[f"repro_faults_dispatched_total{{{labels}}}"] == 7
+    assert values[f"repro_faults_finished_total{{{labels}}}"] == 7
+    for out in Outcome:
+        key = f'repro_fault_outcomes_total{{{labels},outcome="{out.value}"}}'
+        assert values[key] == agg.outcomes[out.value]
+    assert values[
+        f'repro_fault_sim_error_kinds_total{{{labels},kind="integrity"}}'] == 1
+    assert values[f"repro_fault_timeouts_total{{{labels}}}"] == 1
+    assert values[f"repro_fault_hangs_total{{{labels}}}"] == 1
+    assert values[f"repro_fault_checkpoint_restores_total{{{labels}}}"] == 2
+    assert values[f"repro_fault_early_exits_total{{{labels}}}"] == 1
+
+
+def test_prometheus_histogram_buckets_are_cumulative():
+    agg = CampaignAggregate()
+    for cycles in (100, 2000, 10**7):
+        agg.fold(_rec(mask_id=cycles, cycles=cycles))
+    text = to_prometheus(agg)
+    values = parse_prometheus(text)
+    key = 'repro_fault_cycles_bucket{outcome="masked",path="from_scratch"'
+    assert values[f'{key},le="256"}}'] == 1
+    assert values[f'{key},le="4096"}}'] == 2
+    assert values[f'{key},le="+Inf"}}'] == 3
+    assert values[
+        'repro_fault_cycles_count{outcome="masked",path="from_scratch"}'] == 3
+    # no wall clocks were supplied, so no wall histogram series exists
+    assert not any(k.startswith("repro_fault_wall_seconds") for k in values)
+
+
+def test_labels_from_spec_cpu_and_accel():
+    assert labels_from_spec(
+        {"isa": "rv", "workload": "crc32", "target": "l1d",
+         "model": "transient", "seed": 1}
+    ) == {"isa": "rv", "workload": "crc32", "target": "l1d",
+          "model": "transient"}
+    assert labels_from_spec(
+        {"design": "fft", "component": "REAL", "model": "transient"}
+    ) == {"design": "fft", "component": "REAL", "model": "transient"}
+
+
+# --------------------------------------------------------------------------
+# progress rendering
+# --------------------------------------------------------------------------
+
+
+def test_render_progress_line():
+    agg = CampaignAggregate.from_records(_MIXED, planned=14)
+    agg.resumed = 2
+    line = render_progress(agg, elapsed_s=7.0)
+    assert "9/14 faults" in line
+    assert "1.00 faults/s" in line and "eta" in line
+    assert "masked 2 sdc 2 crash 2 quarantined 1" in line
+    assert "resumed 2" in line and "ff 2/7" in line
+
+
+def test_progress_printer_throttles():
+    ticks = iter([0.0, 0.1, 0.2, 10.0, 10.1])
+    out = io.StringIO()
+    printer = ProgressPrinter(stream=out, min_interval_s=1.0,
+                              clock=lambda: next(ticks))
+    agg = CampaignAggregate()
+    printer.update(agg)              # t=0.0: prints
+    printer.update(agg)              # t=0.1: throttled
+    printer.update(agg)              # t=0.2: throttled
+    printer.update(agg)              # t=10.0: prints
+    printer.update(agg, force=True)  # t=10.1: forced
+    assert len(out.getvalue().splitlines()) == 3
+
+
+# --------------------------------------------------------------------------
+# the live hub inside a real campaign
+# --------------------------------------------------------------------------
+
+
+def test_live_campaign_telemetry_reconciles(tmp_path):
+    spec = _spec(4)
+    events = []
+    telemetry = Telemetry(progress=ProgressPrinter(stream=io.StringIO()),
+                          metrics_out=tmp_path / "metrics.prom",
+                          sinks=[events.append])
+    journal = tmp_path / "run.jsonl"
+    result = run_campaign(spec, journal=journal, telemetry=telemetry)
+
+    agg = telemetry.aggregate
+    assert agg.planned == 4 and agg.dispatched == 4 and agg.finished == 4
+    assert agg.reconcilable() == CampaignAggregate.from_records(
+        result.records).reconcilable()
+    # replayed journal agrees with the live hub
+    replayed, _ = aggregate_from_journal(journal)
+    assert replayed.reconcilable() == agg.reconcilable()
+    # every fault carried a live wall clock
+    assert sum(h.n for h in agg.wall_hist.values()) == 4
+
+    kinds = [e.kind for e in events]
+    assert kinds[0] == "campaign_started" and kinds[-1] == "campaign_finished"
+    assert kinds.count("fault_dispatched") == 4
+    assert kinds.count("fault_finished") == 4
+
+    # the exported snapshot reconciles with the hub's counters
+    values = parse_prometheus((tmp_path / "metrics.prom").read_text())
+    finished = [v for k, v in values.items()
+                if k.startswith("repro_faults_finished_total")]
+    assert finished == [4.0]
+    labels = [k for k in values if k.startswith("repro_faults_planned")][0]
+    assert 'workload="crc32"' in labels and 'target="regfile_int"' in labels
+
+
+def test_telemetry_keeps_journal_byte_identical(tmp_path):
+    spec = _spec(4)
+    bare = tmp_path / "bare.jsonl"
+    observed = tmp_path / "observed.jsonl"
+    run_campaign(spec, journal=bare)
+    telemetry = Telemetry(progress=ProgressPrinter(stream=io.StringIO()),
+                          metrics_out=tmp_path / "metrics.prom")
+    run_campaign(spec, journal=observed, telemetry=telemetry)
+    assert bare.read_bytes() == observed.read_bytes()
+
+
+def test_accel_campaign_telemetry_reconciles(tmp_path):
+    from repro.accel.campaign import AccelCampaignSpec, run_accel_campaign
+
+    spec = AccelCampaignSpec(design="fft", component="REAL", scale="tiny",
+                             faults=3)
+    bare = tmp_path / "bare.jsonl"
+    observed = tmp_path / "observed.jsonl"
+    run_accel_campaign(spec, journal=bare)
+    telemetry = Telemetry(progress=ProgressPrinter(stream=io.StringIO()),
+                          metrics_out=tmp_path / "metrics.prom")
+    result = run_accel_campaign(spec, journal=observed, telemetry=telemetry)
+    assert bare.read_bytes() == observed.read_bytes()
+
+    agg = telemetry.aggregate
+    assert agg.planned == 3 and agg.finished == 3
+    assert agg.reconcilable() == CampaignAggregate.from_records(
+        result.records).reconcilable()
+    values = parse_prometheus((tmp_path / "metrics.prom").read_text())
+    labels = [k for k in values if k.startswith("repro_faults_planned")][0]
+    assert 'design="fft"' in labels and 'component="REAL"' in labels
+
+
+def test_supervisor_events_feed_the_hub():
+    telemetry = Telemetry()
+    telemetry.supervisor_event("pool_respawn", {"respawns": 1})
+    telemetry.supervisor_event("pool_respawn", {"respawns": 2})
+    telemetry.supervisor_event("serial_degradation", {"respawns": 2})
+    telemetry.supervisor_event("unknown_kind", {})      # ignored by design
+    assert telemetry.aggregate.pool_respawns == 2
+    assert telemetry.aggregate.serial_degradations == 1
+
+
+def test_retry_dispatch_does_not_double_count():
+    telemetry = Telemetry()
+    telemetry.fault_dispatched(7, attempt=0)
+    telemetry.fault_dispatched(7, attempt=1)           # retry of the same mask
+    assert telemetry.aggregate.dispatched == 1
