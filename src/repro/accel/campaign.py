@@ -22,7 +22,7 @@ from repro.core.faults import FaultFlip, FaultMask, FaultModel
 from repro.core.journal import CampaignJournal
 from repro.core.outcome import HVFClass, Outcome
 from repro.core.campaign import FaultRecord, SimulatorFault, quarantine_record
-from repro.core.sampling import error_margin_for
+from repro.core.sampling import AdaptiveSampling, error_margin_for
 from repro.core.sanitizer import (
     DEFAULT_HANG_CYCLES,
     DEFAULT_SANITIZER,
@@ -122,6 +122,9 @@ class AccelCampaignResult:
     population_bits: int
     #: masks satisfied from a resume journal instead of fresh simulation
     resumed: int = 0
+    #: adaptive sequential sampling stopped the campaign before the fixed
+    #: fault budget (``spec.faults``); ``error_margin`` is the achieved one
+    stopped_early: bool = False
 
     @property
     def valid_records(self) -> list[FaultRecord]:
@@ -151,25 +154,30 @@ class AccelCampaignResult:
         return sum(1 for r in self.records if r.sim_error_kind == "integrity")
 
     @property
-    def avf(self) -> float:
+    def avf(self) -> float | None:
+        """``None`` for a degenerate campaign (no valid record to judge)."""
         valid = self.valid_records
         if not valid:
-            return 0.0
+            return None
         return 1 - sum(1 for r in valid if r.outcome is Outcome.MASKED) / len(valid)
 
     @property
-    def sdc_avf(self) -> float:
+    def sdc_avf(self) -> float | None:
         valid = self.valid_records
-        return self.count(Outcome.SDC) / len(valid) if valid else 0.0
+        return self.count(Outcome.SDC) / len(valid) if valid else None
 
     @property
-    def crash_avf(self) -> float:
+    def crash_avf(self) -> float | None:
         valid = self.valid_records
-        return self.count(Outcome.CRASH) / len(valid) if valid else 0.0
+        return self.count(Outcome.CRASH) / len(valid) if valid else None
 
     @property
-    def error_margin(self) -> float:
-        return error_margin_for(max(1, len(self.valid_records)), self.population_bits)
+    def error_margin(self) -> float | None:
+        """Achieved margin of the valid sample (``None`` when it is empty)."""
+        n = len(self.valid_records)
+        if n == 0:
+            return None
+        return error_margin_for(n, self.population_bits)
 
     def summary(self) -> dict:
         return {
@@ -177,10 +185,13 @@ class AccelCampaignResult:
             "component": self.spec.component,
             "model": self.spec.model.value,
             "faults": len(self.records),
+            "budget": self.spec.faults,
             "n_valid": len(self.valid_records),
             "avf": self.avf,
             "sdc_avf": self.sdc_avf,
             "crash_avf": self.crash_avf,
+            "error_margin": self.error_margin,
+            "stopped_early": self.stopped_early,
             "golden_cycles": self.golden.cycles,
             "quarantined": self.quarantined,
             "retried": self.retried,
@@ -245,11 +256,32 @@ def accel_golden(spec: AccelCampaignSpec) -> AccelGolden:
 
 
 def accel_masks(spec: AccelCampaignSpec, golden: AccelGolden) -> list[FaultMask]:
+    """Uniform single-flip sample over one component's bits × kernel cycles.
+
+    Like :func:`repro.core.sampling.generate_masks`, draws are without
+    replacement over ``(bit, cycle)`` sites so the sample size honestly
+    reflects ``error_margin_for``'s distinct-sample assumption.
+    """
     design = get_design(spec.design)
     size = {d.name: d.size for d in design.memories}[spec.component]
+    population = size * 8 * (1 if spec.model.permanent else golden.cycles)
+    if spec.faults > population:
+        raise ValueError(
+            f"cannot draw {spec.faults} distinct fault sites from a "
+            f"population of {population}"
+        )
     rng = random.Random(spec.seed)
+    seen: set[tuple[int, int]] = set()
     masks = []
     for mask_id in range(spec.faults):
+        while True:
+            site = (
+                rng.randrange(size * 8),
+                0 if spec.model.permanent else rng.randrange(golden.cycles),
+            )
+            if site not in seen:
+                seen.add(site)
+                break
         masks.append(
             FaultMask(
                 model=spec.model,
@@ -257,8 +289,8 @@ def accel_masks(spec: AccelCampaignSpec, golden: AccelGolden) -> list[FaultMask]
                     FaultFlip(
                         structure=f"accel:{spec.design}:{spec.component}",
                         entry=0,
-                        bit=rng.randrange(size * 8),
-                        cycle=0 if spec.model.permanent else rng.randrange(golden.cycles),
+                        bit=site[0],
+                        cycle=site[1],
                     ),
                 ),
                 mask_id=mask_id,
@@ -417,6 +449,7 @@ def run_accel_campaign(
     sanitizer: SanitizerPolicy | None = None,
     hang_cycles: int = DEFAULT_HANG_CYCLES,
     telemetry=None,
+    adaptive: AdaptiveSampling | None = None,
 ) -> AccelCampaignResult:
     """Run a DSA fault-injection campaign (journaled + resumable like the
     CPU driver: see :func:`repro.core.campaign.run_campaign`).
@@ -425,7 +458,11 @@ def run_accel_campaign(
     at the policy stride (default sampled) and a deterministic
     dataflow-progress hang detector (0 disables).  ``telemetry`` is the
     same observational :class:`repro.core.telemetry.Telemetry` hub the CPU
-    driver accepts; journals are byte-identical with it on or off."""
+    driver accepts; journals are byte-identical with it on or off.
+    ``adaptive`` is the same sequential stopping rule the CPU driver
+    takes: stop at the first batch boundary whose achieved error margin
+    over the valid records reaches the target, making ``spec.faults`` a
+    budget rather than an exact count."""
     golden = accel_golden(spec)
     if masks is None:
         masks = accel_masks(spec, golden)
@@ -433,6 +470,10 @@ def run_accel_campaign(
         # mask_id is the journal/resume key; duplicates would collide
         if len({m.mask_id for m in masks}) != len(masks):
             raise ValueError("duplicate mask_id in fault sample")
+
+    design = get_design(spec.design)
+    size = {d.name: d.size for d in design.memories}[spec.component]
+    population_bits = size * 8
 
     done: dict[int, FaultRecord] = {}
     if resume is not None and Path(resume).exists():
@@ -452,35 +493,58 @@ def run_accel_campaign(
 
     writer = CampaignJournal.open(journal, spec) if journal is not None else None
     records: list[FaultRecord] = []
+    resumed = 0
+    stopped_early = False
     ctx = AccelReplayContext(spec)
+
+    def n_valid() -> int:
+        return sum(1 for r in records if r.outcome is not Outcome.SIM_FAULT)
+
     try:
-        for m in masks:
-            if m.mask_id in done:
-                records.append(done[m.mask_id])
-                continue
-            if telemetry is not None:
-                telemetry.fault_dispatched(m.mask_id)
-            started = time.perf_counter()
-            record = run_one_accel_fault(spec, m, ctx, sanitizer=sanitizer,
-                                         hang_cycles=hang_cycles)
-            if writer is not None:
-                writer.append(record)
-            if telemetry is not None:
-                telemetry.fault_finished(
-                    record, wall_s=time.perf_counter() - started)
-            records.append(record)
+        boundaries = (
+            list(adaptive.boundaries(len(masks))) if adaptive is not None
+            else [len(masks)]
+        )
+        for boundary in boundaries:
+            for m in masks[len(records):boundary]:
+                if m.mask_id in done:
+                    records.append(done[m.mask_id])
+                    resumed += 1
+                    continue
+                if telemetry is not None:
+                    telemetry.fault_dispatched(m.mask_id)
+                started = time.perf_counter()
+                record = run_one_accel_fault(spec, m, ctx, sanitizer=sanitizer,
+                                             hang_cycles=hang_cycles)
+                if writer is not None:
+                    writer.append(record)
+                if telemetry is not None:
+                    telemetry.fault_finished(
+                        record, wall_s=time.perf_counter() - started)
+                records.append(record)
+            if adaptive is not None and adaptive.satisfied(
+                n_valid(), population_bits
+            ):
+                stopped_early = boundary < len(masks)
+                break
+        if stopped_early and telemetry is not None:
+            telemetry.adaptive_stop(
+                done=len(records), budget=len(masks),
+                margin=error_margin_for(
+                    n_valid(), population_bits, adaptive.confidence
+                ),
+            )
     finally:
         if writer is not None:
             writer.close()
         if telemetry is not None:
             telemetry.campaign_finished()
 
-    design = get_design(spec.design)
-    size = {d.name: d.size for d in design.memories}[spec.component]
     return AccelCampaignResult(
         spec=spec,
         records=records,
         golden=golden,
-        population_bits=size * 8,
-        resumed=len(done),
+        population_bits=population_bits,
+        resumed=resumed,
+        stopped_early=stopped_early,
     )

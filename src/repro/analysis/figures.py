@@ -364,7 +364,8 @@ def fig16_opf(
         ["algorithm", "platform", "AVF", "SDC", "Crash", "cycles", "OPF"],
         [
             (r["algorithm"], r["platform"], r["avf"], r["sdc_avf"],
-             r["crash_avf"], r["cycles"], f"{r['opf']:.3e}")
+             r["crash_avf"], r["cycles"],
+             None if r["opf"] is None else f"{r['opf']:.3e}")
             for r in rows
         ],
     )

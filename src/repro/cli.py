@@ -5,6 +5,7 @@ scripts"); this CLI is that entry point:
 
 * ``campaign``       — CPU-structure fault-injection campaign,
 * ``accel-campaign`` — DSA-memory fault-injection campaign,
+* ``matrix``         — declarative experiment grid (TOML) as one queue,
 * ``figure``         — regenerate one paper figure,
 * ``soc``            — run the heterogeneous SoC flow,
 * ``list``           — available ISAs / workloads / targets / designs,
@@ -56,6 +57,28 @@ def _telemetry_from_args(args):
     )
 
 
+def _add_adaptive_args(p) -> None:
+    p.add_argument("--adaptive", action="store_true",
+                   help="adaptive sequential sampling: dispatch faults in "
+                        "batches and stop once the achieved error margin "
+                        "reaches --target-margin; --faults becomes the "
+                        "budget (upper bound)")
+    p.add_argument("--target-margin", type=float, default=0.03, metavar="E",
+                   help="error-margin target for --adaptive (default: 0.03)")
+    p.add_argument("--batch", type=int, default=50, metavar="N",
+                   help="faults dispatched between --adaptive margin checks "
+                        "(default: 50)")
+
+
+def _adaptive_from_args(args):
+    if not args.adaptive:
+        return None
+    from repro.core.sampling import AdaptiveSampling
+
+    return AdaptiveSampling(target_margin=args.target_margin,
+                            batch=args.batch)
+
+
 def _sanitizer_from_args(args):
     from repro.core.sanitizer import (
         DEFAULT_AUDIT_STRIDE,
@@ -101,6 +124,7 @@ def _add_campaign(sub) -> None:
     p.add_argument("--no-early-exit", action="store_true",
                    help="disable the golden-trace re-convergence early exit "
                         "(fault runs always simulate to completion)")
+    _add_adaptive_args(p)
     _add_sanitizer_args(p)
     _add_telemetry_args(p)
 
@@ -119,6 +143,28 @@ def _add_accel(sub) -> None:
                    help="append per-fault records to this JSONL run journal")
     p.add_argument("--resume", metavar="PATH",
                    help="skip masks already completed in this journal")
+    _add_adaptive_args(p)
+    _add_sanitizer_args(p)
+    _add_telemetry_args(p)
+
+
+def _add_matrix(sub) -> None:
+    p = sub.add_parser(
+        "matrix",
+        help="run a declarative experiment grid (TOML) as one campaign queue",
+    )
+    p.add_argument("grid", metavar="GRID.toml",
+                   help="experiment grid: [cpu] isas × workloads × targets "
+                        "and/or [accel] designs × components, plus optional "
+                        "[adaptive] and [report] sections")
+    p.add_argument("--out", default="matrix-out", metavar="DIR",
+                   help="output directory for per-cell journals and "
+                        "manifest.json (default: matrix-out)")
+    p.add_argument("--resume", action="store_true",
+                   help="continue a previous run of the identical grid from "
+                        "its cell journals (torn tails repaired)")
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--csv", help="write the per-cell summary CSV here")
     _add_sanitizer_args(p)
     _add_telemetry_args(p)
 
@@ -176,6 +222,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     _add_campaign(sub)
     _add_accel(sub)
+    _add_matrix(sub)
     _add_doctor(sub)
     _add_tail(sub)
     _add_figure(sub)
@@ -214,10 +261,13 @@ def cmd_campaign(args) -> int:
         spec, workers=args.workers,
         journal=args.journal, resume=args.resume, timeout_s=args.timeout,
         checkpoints=checkpoints, sanitizer=sanitizer, hang_cycles=hang_cycles,
-        telemetry=telemetry,
+        telemetry=telemetry, adaptive=_adaptive_from_args(args),
     )
     summary = result.summary()
     print(render_table(["metric", "value"], sorted(summary.items())))
+    if result.stopped_early:
+        print(f"adaptive stop: {len(result.records)}/{spec.faults} faults, "
+              f"achieved margin {result.error_margin:.4f}")
     if result.resumed:
         print(f"resumed {result.resumed}/{len(result.records)} masks "
               f"from {args.resume}")
@@ -246,14 +296,50 @@ def cmd_accel(args) -> int:
     telemetry = _telemetry_from_args(args)
     result = run_accel_campaign(spec, journal=args.journal, resume=args.resume,
                                 sanitizer=sanitizer, hang_cycles=hang_cycles,
-                                telemetry=telemetry)
+                                telemetry=telemetry,
+                                adaptive=_adaptive_from_args(args))
     print(render_table(["metric", "value"], sorted(result.summary().items())))
+    if result.stopped_early:
+        print(f"adaptive stop: {len(result.records)}/{spec.faults} faults, "
+              f"achieved margin {result.error_margin:.4f}")
     if result.resumed:
         print(f"resumed {result.resumed}/{len(result.records)} masks "
               f"from {args.resume}")
     health = render_robustness(result.records)
     if health:
         print(f"WARNING: {health}", file=sys.stderr)
+    if args.metrics_out:
+        print(f"wrote {args.metrics_out}")
+    return 0
+
+
+def cmd_matrix(args) -> int:
+    from repro.core.matrix import MatrixError, load_grid, run_matrix
+    from repro.core.report import save_report
+
+    try:
+        grid = load_grid(args.grid)
+    except (MatrixError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    sanitizer, hang_cycles = _sanitizer_from_args(args)
+    telemetry = _telemetry_from_args(args)
+    try:
+        result = run_matrix(
+            grid, args.out, workers=args.workers, resume=args.resume,
+            sanitizer=sanitizer, hang_cycles=hang_cycles, telemetry=telemetry,
+        )
+    except MatrixError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.render())
+    print(f"manifest: {result.manifest_path}")
+    if result.stopped_early:
+        print(f"adaptive sampling stopped {result.stopped_early}/"
+              f"{len(result.cells)} cells before budget")
+    if args.csv:
+        save_report(args.csv, result.cells)
+        print(f"wrote {args.csv}")
     if args.metrics_out:
         print(f"wrote {args.metrics_out}")
     return 0
@@ -397,6 +483,7 @@ def main(argv: list[str] | None = None) -> int:
     handler = {
         "campaign": cmd_campaign,
         "accel-campaign": cmd_accel,
+        "matrix": cmd_matrix,
         "doctor": cmd_doctor,
         "tail": cmd_tail,
         "figure": cmd_figure,

@@ -37,7 +37,17 @@ from repro.core.sanitizer import (
     hang_detected,
 )
 from repro.core.supervisor import SupervisorPolicy, TaskOutcome, run_supervised
+from repro.core.matrix import (
+    MatrixCell,
+    MatrixError,
+    MatrixGrid,
+    MatrixResult,
+    grid_from_dict,
+    load_grid,
+    run_matrix,
+)
 from repro.core.metrics import (
+    WeightedAVF,
     avf,
     crash_avf,
     error_margin,
@@ -46,6 +56,7 @@ from repro.core.metrics import (
     opf,
     sdc_avf,
     weighted_avf,
+    weighted_avf_detailed,
 )
 from repro.core.telemetry import (
     CampaignAggregate,
@@ -57,7 +68,7 @@ from repro.core.telemetry import (
 )
 from repro.core.outcome import HVFClass, Outcome
 from repro.core.presets import paper_config, sim_config
-from repro.core.sampling import generate_masks, sample_size
+from repro.core.sampling import AdaptiveSampling, generate_masks, sample_size
 
 __all__ = [
     "DEFAULT_AUDIT_STRIDE",
@@ -77,8 +88,13 @@ __all__ = [
     "HVFClass",
     "IntegrityReport",
     "IntegrityViolation",
+    "AdaptiveSampling",
     "JournalError",
     "JournalFollower",
+    "MatrixCell",
+    "MatrixError",
+    "MatrixGrid",
+    "MatrixResult",
     "Outcome",
     "ProgressPrinter",
     "SanitizerPolicy",
@@ -92,19 +108,24 @@ __all__ = [
     "hang_detected",
     "run_supervised",
     "to_prometheus",
+    "WeightedAVF",
     "avf",
     "crash_avf",
     "error_margin",
     "generate_masks",
     "golden_run",
+    "grid_from_dict",
     "hvf",
+    "load_grid",
     "n_valid",
     "opf",
     "paper_config",
     "run_campaign",
+    "run_matrix",
     "run_one_fault",
     "sample_size",
     "sdc_avf",
     "sim_config",
     "weighted_avf",
+    "weighted_avf_detailed",
 ]

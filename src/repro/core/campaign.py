@@ -29,7 +29,7 @@ from repro.core.faults import FaultMask, FaultModel
 from repro.core.injector import InjectionController
 from repro.core.journal import CampaignJournal
 from repro.core.outcome import Classification, HVFClass, Outcome, classify
-from repro.core.sampling import error_margin_for, generate_masks
+from repro.core.sampling import AdaptiveSampling, error_margin_for, generate_masks
 from repro.core.sanitizer import (
     DEFAULT_HANG_CYCLES,
     DEFAULT_SANITIZER,
@@ -163,6 +163,9 @@ class CampaignResult:
     population_bits: int
     #: masks satisfied from a resume journal instead of fresh simulation
     resumed: int = 0
+    #: adaptive sequential sampling stopped the campaign before the fixed
+    #: fault budget (``spec.faults``); ``error_margin`` is the achieved one
+    stopped_early: bool = False
 
     @property
     def valid_records(self) -> list[FaultRecord]:
@@ -192,33 +195,38 @@ class CampaignResult:
         return sum(1 for r in self.records if r.sim_error_kind == "integrity")
 
     @property
-    def avf(self) -> float:
+    def avf(self) -> float | None:
+        """``None`` for a degenerate campaign (no valid record to judge)."""
         valid = self.valid_records
         if not valid:
-            return 0.0
+            return None
         return 1 - sum(1 for r in valid if r.outcome is Outcome.MASKED) / len(valid)
 
     @property
-    def sdc_avf(self) -> float:
+    def sdc_avf(self) -> float | None:
         valid = self.valid_records
-        return self.count(Outcome.SDC) / len(valid) if valid else 0.0
+        return self.count(Outcome.SDC) / len(valid) if valid else None
 
     @property
-    def crash_avf(self) -> float:
+    def crash_avf(self) -> float | None:
         valid = self.valid_records
-        return self.count(Outcome.CRASH) / len(valid) if valid else 0.0
+        return self.count(Outcome.CRASH) / len(valid) if valid else None
 
     @property
-    def hvf(self) -> float:
+    def hvf(self) -> float | None:
         valid = self.valid_records
         if not valid:
-            return 0.0
+            return None
         corrupt = sum(1 for r in valid if r.hvf is HVFClass.CORRUPTION)
         return corrupt / len(valid)
 
     @property
-    def error_margin(self) -> float:
-        return error_margin_for(max(1, len(self.valid_records)), self.population_bits)
+    def error_margin(self) -> float | None:
+        """Achieved margin of the valid sample (``None`` when it is empty)."""
+        n = len(self.valid_records)
+        if n == 0:
+            return None
+        return error_margin_for(n, self.population_bits)
 
     def summary(self) -> dict:
         return {
@@ -227,12 +235,14 @@ class CampaignResult:
             "target": self.spec.target,
             "model": self.spec.model.value,
             "faults": len(self.records),
+            "budget": self.spec.faults,
             "n_valid": len(self.valid_records),
             "avf": self.avf,
             "sdc_avf": self.sdc_avf,
             "crash_avf": self.crash_avf,
             "hvf": self.hvf,
             "error_margin": self.error_margin,
+            "stopped_early": self.stopped_early,
             "golden_cycles": self.golden.cycles,
             "quarantined": self.quarantined,
             "retried": self.retried,
@@ -768,6 +778,7 @@ def run_campaign(
     sanitizer: SanitizerPolicy | None = None,
     hang_cycles: int = DEFAULT_HANG_CYCLES,
     telemetry=None,
+    adaptive: AdaptiveSampling | None = None,
 ) -> CampaignResult:
     """Run a full SFI campaign; returns per-fault records + aggregates.
 
@@ -794,6 +805,15 @@ def run_campaign(
       retry / quarantine / checkpoint-restore / early-exit / pool-respawn)
       and per-fault wall clocks.  Strictly observational: records and
       journals are byte-identical with telemetry on or off.
+    * ``adaptive`` — sequential stopping rule
+      (:class:`~repro.core.sampling.AdaptiveSampling`): masks are
+      dispatched in batches, in mask order, and the campaign stops at the
+      first batch boundary where the achieved error margin over the valid
+      records reaches the target.  ``spec.faults`` becomes the *budget*
+      (upper bound); ``CampaignResult.stopped_early`` reports whether the
+      budget was cut short.  Like checkpointing, an execution detail: the
+      journaled records are a prefix of (and byte-identical to) the
+      fixed-budget campaign's.
     """
     ckpt_policy = checkpoints if checkpoints is not None else DEFAULT_CHECKPOINT_POLICY
     golden = golden_run(spec.isa, spec.workload, spec.cfg, spec.scale,
@@ -804,6 +824,11 @@ def run_campaign(
         # mask_id is the journal/resume key; duplicates would silently
         # overwrite each other's records
         _check_unique_mask_ids(masks)
+
+    isa = get_isa(spec.isa)
+    probe_core = OoOCore.from_executable(golden.exe, isa, spec.cfg)
+    entries, bits = get_target(spec.target).geometry(probe_core)
+    population_bits = entries * bits
 
     done: dict[int, FaultRecord] = {}
     if resume is not None and Path(resume).exists():
@@ -831,57 +856,61 @@ def run_campaign(
         if telemetry is not None:
             telemetry.fault_finished(record, wall_s=wall_s)
 
-    by_pos: dict[int, FaultRecord] = {}
-    try:
-        if workers > 1 and pending:
-            if timeout_s is None:
-                restored_from = 0
-                if ckpt_policy.enabled and golden.checkpoints is not None:
-                    restored_from = min(
-                        (
-                            golden.checkpoints.restore_cycle_for(
-                                min(f.cycle for f in m.flips)
-                            )
-                            for _, m in pending
-                        ),
-                        default=0,
+    if workers > 1 and pending and timeout_s is None:
+        restored_from = 0
+        if ckpt_policy.enabled and golden.checkpoints is not None:
+            restored_from = min(
+                (
+                    golden.checkpoints.restore_cycle_for(
+                        min(f.cycle for f in m.flips)
                     )
-                timeout_s = default_fault_timeout(
-                    golden.cycles, spec.cfg.watchdog_factor,
-                    restored_from=restored_from,
-                )
-            policy = policy or SupervisorPolicy(timeout_s=timeout_s)
+                    for _, m in pending
+                ),
+                default=0,
+            )
+        timeout_s = default_fault_timeout(
+            golden.cycles, spec.cfg.watchdog_factor,
+            restored_from=restored_from,
+        )
+    supervisor_policy = policy or SupervisorPolicy(timeout_s=timeout_s)
+
+    by_pos: dict[int, FaultRecord] = {}
+
+    def dispatch(chunk: list[tuple[int, FaultMask]]) -> None:
+        """Simulate one batch of (position, mask) pairs into ``by_pos``."""
+        if not chunk:
+            return
+        if workers > 1:
             on_result = None
             if writer is not None or telemetry is not None:
                 def on_result(o: TaskOutcome) -> None:
                     record_done(_outcome_to_record(o), wall_s=o.wall_s)
             on_event = None
             if telemetry is not None:
-                pending_mask_ids = [m.mask_id for _, m in pending]
+                chunk_mask_ids = [m.mask_id for _, m in chunk]
 
                 def on_event(kind: str, info: dict) -> None:
                     if kind == "dispatch":
                         telemetry.fault_dispatched(
-                            pending_mask_ids[info["index"]],
+                            chunk_mask_ids[info["index"]],
                             attempt=info.get("attempt", 0),
                         )
                     else:
                         telemetry.supervisor_event(kind, info)
             fresh = run_supervised(
                 _worker,
-                [(spec, m) for _, m in pending],
+                [(spec, m) for _, m in chunk],
                 workers=workers,
-                policy=policy,
+                policy=supervisor_policy,
                 initializer=_worker_init,
                 initargs=(spec, ckpt_policy, sanitizer, hang_cycles),
                 on_result=on_result,
                 on_event=on_event,
             )
-            by_pos = {
-                i: _outcome_to_record(o) for (i, _), o in zip(pending, fresh)
-            }
+            for (i, _), o in zip(chunk, fresh):
+                by_pos[i] = _outcome_to_record(o)
         else:
-            for i, m in pending:
+            for i, m in chunk:
                 if telemetry is not None:
                     telemetry.fault_dispatched(m.mask_id)
                 started = time.perf_counter()
@@ -890,23 +919,61 @@ def run_campaign(
                                        hang_cycles=hang_cycles)
                 record_done(record, wall_s=time.perf_counter() - started)
                 by_pos[i] = record
+
+    def record_at(i: int) -> FaultRecord | None:
+        r = by_pos.get(i)
+        if r is None:
+            r = done.get(masks[i].mask_id)
+        return r
+
+    def valid_in_prefix(boundary: int) -> int:
+        n = 0
+        for i in range(boundary):
+            r = record_at(i)
+            if r is not None and r.outcome is not Outcome.SIM_FAULT:
+                n += 1
+        return n
+
+    processed = len(masks)
+    stopped_early = False
+    try:
+        if adaptive is None:
+            dispatch(pending)
+        else:
+            dispatched = 0
+            for boundary in adaptive.boundaries(len(masks)):
+                dispatch([(i, m) for i, m in pending
+                          if dispatched <= i < boundary])
+                dispatched = boundary
+                if adaptive.satisfied(valid_in_prefix(boundary),
+                                      population_bits):
+                    processed = boundary
+                    stopped_early = boundary < len(masks)
+                    break
+            else:
+                processed = dispatched
+            if stopped_early and telemetry is not None:
+                telemetry.adaptive_stop(
+                    done=processed, budget=len(masks),
+                    margin=error_margin_for(
+                        valid_in_prefix(processed), population_bits,
+                        adaptive.confidence,
+                    ),
+                )
     finally:
         if writer is not None:
             writer.close()
         if telemetry is not None:
             telemetry.campaign_finished()
 
-    records = [
-        by_pos[i] if i in by_pos else done[m.mask_id]
-        for i, m in enumerate(masks)
-    ]
-    isa = get_isa(spec.isa)
-    probe_core = OoOCore.from_executable(golden.exe, isa, spec.cfg)
-    entries, bits = get_target(spec.target).geometry(probe_core)
+    records = [record_at(i) for i in range(processed)]
+    assert all(r is not None for r in records), "campaign lost a record"
     return CampaignResult(
         spec=spec,
         records=records,
         golden=golden,
-        population_bits=entries * bits,
-        resumed=len(done),
+        population_bits=population_bits,
+        resumed=sum(1 for i in range(processed)
+                    if i not in by_pos and masks[i].mask_id in done),
+        stopped_early=stopped_early,
     )

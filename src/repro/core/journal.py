@@ -258,6 +258,107 @@ class CampaignJournal:
         return {r.mask.mask_id: r for r in cls.load(path, spec)}
 
 
+def repair_torn_tail(path: str | Path) -> int:
+    """Truncate the torn tail a SIGKILL mid-append leaves; returns bytes cut.
+
+    :meth:`CampaignJournal.load` already *reads past* a torn trailing line
+    by stopping there, but re-opening the journal for append would
+    concatenate the next record onto the fragment and corrupt the file.
+    Byte-identical resume (the matrix runner's contract) therefore repairs
+    first: everything at and after the first unterminated or unparseable
+    line is cut, leaving exactly the clean record prefix.
+    """
+    p = Path(path)
+    if not p.exists():
+        return 0
+    data = p.read_bytes()
+    good = idx = 0
+    while idx < len(data):
+        nl = data.find(b"\n", idx)
+        if nl < 0:
+            break                       # unterminated tail
+        try:
+            json.loads(data[idx:nl])
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            break                       # garbled line: cut from here
+        good = idx = nl + 1
+    removed = len(data) - good
+    if removed:
+        with open(p, "rb+") as fh:
+            fh.truncate(good)
+    return removed
+
+
+class OrderedJournalWriter:
+    """Order-preserving adapter over :class:`CampaignJournal` for parallel
+    producers.
+
+    A serial campaign journals records in mask order, and resume relies on
+    that: the journal is always a clean prefix of the sample.  A parallel
+    (or interleaved, in the experiment-matrix runner) campaign completes
+    records in *completion* order — appending those directly would leave
+    holes on a mid-run kill and make the journal bytes depend on worker
+    scheduling.  This writer buffers out-of-order completions and appends
+    only the contiguous prefix, in position order, so at every instant the
+    file is byte-identical to what a serial run would have written after
+    the same set of positions — a SIGKILL leaves a resumable prefix, never
+    a hole.
+
+    ``start`` seeds the expected next position for resumed campaigns whose
+    journal already holds positions ``[0, start)``.
+    """
+
+    def __init__(self, journal: CampaignJournal, start: int = 0):
+        self.journal = journal
+        self._buffer: dict[int, Any] = {}
+        self._next = start
+
+    def add(self, position: int, record) -> None:
+        if position < self._next or position in self._buffer:
+            raise JournalError(
+                f"duplicate journal position {position} (next={self._next})"
+            )
+        self._buffer[position] = record
+        while self._next in self._buffer:
+            self.journal.append(self._buffer.pop(self._next))
+            self._next += 1
+
+    @property
+    def written(self) -> int:
+        """Positions flushed to disk (the contiguous prefix length)."""
+        return self._next
+
+    @property
+    def buffered(self) -> int:
+        """Completed positions still waiting behind a gap."""
+        return len(self._buffer)
+
+    def close(self) -> None:
+        self.journal.close()
+
+    def __enter__(self) -> "OrderedJournalWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def contiguous_prefix(masks, done: dict) -> int:
+    """Length of the leading run of ``masks`` whose mask_ids are in ``done``.
+
+    The matrix runner journals through :class:`OrderedJournalWriter`, so a
+    valid cell journal always covers exactly the first *k* masks; anything
+    journaled beyond a gap (a corrupt or hand-edited journal) is ignored by
+    resume rather than trusted.
+    """
+    k = 0
+    for m in masks:
+        if m.mask_id not in done:
+            break
+        k += 1
+    return k
+
+
 class JournalFollower:
     """Incremental reader for a journal that may still be growing.
 

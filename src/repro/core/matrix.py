@@ -1,0 +1,649 @@
+"""Experiment-matrix scheduler: declarative campaign grids, run as one queue.
+
+The paper's headline results are *grids* — per-structure AVF across
+workloads × ISAs (Figures 4-11), DSA designs × components (Figure 14) —
+but ``repro campaign`` runs one cell at a time, re-paying compilation and
+golden simulation per invocation.  This module runs a whole grid:
+
+* **declarative grid** — a TOML file expands into campaign *cells*
+  (:func:`load_grid`): every ``[cpu]`` ``isas × workloads × targets``
+  combination and every ``[accel]`` ``designs × components`` combination
+  becomes one cell with its own spec, seed, and fault budget;
+* **one interleaved work queue** — each scheduling round drains every
+  active cell's next batch through a single
+  :func:`~repro.core.supervisor.run_supervised` pool (or a serial loop),
+  round-robin across cells, with per-item wall-clock budgets
+  (``item_timeout``) because CPU and DSA cells have wildly different
+  golden run lengths.  Compiled executables, golden runs and checkpoint
+  stores are shared across cells by the existing process-level caches —
+  cells differing only in target re-use the same golden simulation;
+* **resumable matrix manifest** — every cell journals into
+  ``<out>/cells/<key>.jsonl`` through an
+  :class:`~repro.core.journal.OrderedJournalWriter`, so each cell journal
+  is byte-identical to the one a standalone serial campaign would write,
+  at every instant.  ``manifest.json`` (atomically rewritten each round)
+  records grid fingerprint and per-cell progress; ``resume=True`` repairs
+  torn tails, replays the journal prefix, and continues — producing
+  byte-identical cell journals to an uninterrupted run;
+* **adaptive sequential sampling** — with an ``[adaptive]`` section the
+  grid applies :class:`~repro.core.sampling.AdaptiveSampling` per cell:
+  a cell whose achieved error margin reaches the target at a batch
+  boundary stops early, freeing the queue for unconverged cells.  Stop
+  decisions depend only on absolute boundaries and the deterministic
+  record stream, so resumed matrices stop at the identical fault.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro.core.campaign import (
+    CampaignResult,
+    CampaignSpec,
+    FaultRecord,
+    default_fault_timeout,
+    golden_run,
+    masks_for_spec,
+    quarantine_record,
+    run_one_fault,
+)
+from repro.core.checkpoint import DEFAULT_POLICY as DEFAULT_CHECKPOINT_POLICY
+from repro.core.checkpoint import CheckpointPolicy
+from repro.core.faults import FaultMask, FaultModel
+from repro.core.journal import (
+    CampaignJournal,
+    OrderedJournalWriter,
+    contiguous_prefix,
+    repair_torn_tail,
+)
+from repro.core.outcome import Outcome
+from repro.core.report import render_matrix
+from repro.core.sampling import AdaptiveSampling, error_margin_for
+from repro.core.sanitizer import DEFAULT_HANG_CYCLES, SanitizerPolicy
+from repro.core.supervisor import SupervisorPolicy, TaskOutcome, run_supervised
+from repro.core.targets import get_target
+from repro.cpu.core import OoOCore
+from repro.isa.base import get_isa
+
+MANIFEST_VERSION = 1
+
+_MODELS = {
+    "transient": FaultModel.TRANSIENT,
+    "stuck0": FaultModel.STUCK_AT_0,
+    "stuck1": FaultModel.STUCK_AT_1,
+}
+
+
+class MatrixError(RuntimeError):
+    """A grid file or matrix output directory cannot be used."""
+
+
+# --------------------------------------------------------------------------
+# grid definition
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One campaign in the grid (key is filesystem- and report-stable)."""
+
+    key: str
+    kind: str               # 'cpu' | 'accel'
+    row: str                # report row label (isa/workload or design)
+    col: str                # report column label (target or component)
+    spec: object            # CampaignSpec | AccelCampaignSpec
+
+
+@dataclass(frozen=True)
+class MatrixGrid:
+    """A parsed experiment grid."""
+
+    name: str
+    cells: tuple[MatrixCell, ...]
+    adaptive: AdaptiveSampling | None = None
+    clock_hz: float = 2e9
+    fingerprint: str = ""
+
+
+def _fingerprint(data: dict) -> str:
+    canon = json.dumps(data, sort_keys=True, default=str)
+    return hashlib.sha256(canon.encode()).hexdigest()
+
+
+def _check_keys(section: str, data: dict, allowed: set[str]) -> None:
+    unknown = set(data) - allowed
+    if unknown:
+        raise MatrixError(
+            f"unknown key(s) {sorted(unknown)} in [{section}] "
+            f"(allowed: {sorted(allowed)})"
+        )
+
+
+def grid_from_dict(data: dict) -> MatrixGrid:
+    """Expand a parsed grid document into a :class:`MatrixGrid`."""
+    _check_keys("<top>", data, {"matrix", "cpu", "accel", "adaptive", "report"})
+    meta = data.get("matrix", {})
+    _check_keys("matrix", meta, {"name"})
+    cells: list[MatrixCell] = []
+
+    cpu = data.get("cpu")
+    if cpu:
+        from repro.core.presets import get_preset
+
+        _check_keys("cpu", cpu, {
+            "isas", "workloads", "targets", "faults", "seed", "scale",
+            "model", "preset", "flips_per_mask",
+        })
+        for need in ("workloads", "targets"):
+            if not cpu.get(need):
+                raise MatrixError(f"[cpu] needs a non-empty '{need}' list")
+        cfg = get_preset(cpu.get("preset", "sim"))
+        model = _MODELS.get(cpu.get("model", "transient"))
+        if model is None:
+            raise MatrixError(f"unknown fault model {cpu.get('model')!r}")
+        for isa in cpu.get("isas", ["rv"]):
+            for workload in cpu["workloads"]:
+                for target in cpu["targets"]:
+                    spec = CampaignSpec(
+                        isa=isa, workload=workload, target=target, cfg=cfg,
+                        scale=cpu.get("scale", "tiny"), model=model,
+                        faults=int(cpu.get("faults", 100)),
+                        seed=int(cpu.get("seed", 1)),
+                        flips_per_mask=int(cpu.get("flips_per_mask", 1)),
+                    )
+                    cells.append(MatrixCell(
+                        key=f"cpu-{isa}-{workload}-{target}",
+                        kind="cpu", row=f"{isa}/{workload}", col=target,
+                        spec=spec,
+                    ))
+
+    accel = data.get("accel")
+    if accel:
+        from repro.accel.campaign import AccelCampaignSpec
+        from repro.accel_designs import PAPER_TARGETS
+
+        _check_keys("accel", accel, {
+            "designs", "components", "faults", "seed", "scale", "model",
+        })
+        if not accel.get("designs"):
+            raise MatrixError("[accel] needs a non-empty 'designs' list")
+        model = _MODELS.get(accel.get("model", "transient"))
+        if model is None:
+            raise MatrixError(f"unknown fault model {accel.get('model')!r}")
+        for design in accel["designs"]:
+            components = accel.get("components") or PAPER_TARGETS.get(design)
+            if not components:
+                raise MatrixError(f"no components known for design {design!r}")
+            for component in components:
+                spec = AccelCampaignSpec(
+                    design=design, component=component,
+                    scale=accel.get("scale", "tiny"), model=model,
+                    faults=int(accel.get("faults", 100)),
+                    seed=int(accel.get("seed", 1)),
+                )
+                cells.append(MatrixCell(
+                    key=f"accel-{design}-{component}",
+                    kind="accel", row=f"accel/{design}", col=component,
+                    spec=spec,
+                ))
+
+    if not cells:
+        raise MatrixError("grid expands to zero cells (no [cpu] or [accel])")
+    keys = [c.key for c in cells]
+    if len(set(keys)) != len(keys):
+        raise MatrixError("grid expands to duplicate cell keys")
+
+    adaptive = None
+    if "adaptive" in data:
+        adp = data["adaptive"]
+        _check_keys("adaptive", adp, {
+            "target_margin", "confidence", "batch", "min_faults",
+        })
+        adaptive = AdaptiveSampling(
+            target_margin=float(adp.get("target_margin", 0.03)),
+            confidence=float(adp.get("confidence", 0.95)),
+            batch=int(adp.get("batch", 50)),
+            min_faults=int(adp.get("min_faults", 20)),
+        )
+
+    report = data.get("report", {})
+    _check_keys("report", report, {"clock_hz"})
+
+    return MatrixGrid(
+        name=str(meta.get("name", "matrix")),
+        cells=tuple(cells),
+        adaptive=adaptive,
+        clock_hz=float(report.get("clock_hz", 2e9)),
+        fingerprint=_fingerprint(data),
+    )
+
+
+def load_grid(path: str | Path) -> MatrixGrid:
+    """Parse a grid TOML file into a :class:`MatrixGrid`."""
+    import tomllib
+
+    try:
+        data = tomllib.loads(Path(path).read_text())
+    except tomllib.TOMLDecodeError as exc:
+        raise MatrixError(f"{path}: {exc}") from exc
+    return grid_from_dict(data)
+
+
+# --------------------------------------------------------------------------
+# worker-side execution (one function for both cell kinds)
+# --------------------------------------------------------------------------
+
+#: policies the pool initializer armed for this worker process
+_W_CHECKPOINTS: CheckpointPolicy | None = None
+_W_SANITIZER: SanitizerPolicy | None = None
+_W_HANG_CYCLES: int = DEFAULT_HANG_CYCLES
+#: per-process replay-context cache: accel cells re-use DMA'd state
+_W_ACCEL_CTX: dict = {}
+
+
+def _matrix_worker_init(checkpoints: CheckpointPolicy | None = None,
+                        sanitizer: SanitizerPolicy | None = None,
+                        hang_cycles: int = DEFAULT_HANG_CYCLES) -> None:
+    global _W_CHECKPOINTS, _W_SANITIZER, _W_HANG_CYCLES
+    _W_CHECKPOINTS = checkpoints
+    _W_SANITIZER = sanitizer
+    _W_HANG_CYCLES = hang_cycles
+    _W_ACCEL_CTX.clear()
+
+
+def _matrix_task(task: tuple) -> FaultRecord:
+    """Run one (kind, spec, mask) task; used by pool workers *and* the
+    serial path, so both share the per-process golden/exe/context caches."""
+    kind, spec, mask = task
+    if kind == "cpu":
+        return run_one_fault(spec, mask, checkpoints=_W_CHECKPOINTS,
+                             sanitizer=_W_SANITIZER,
+                             hang_cycles=_W_HANG_CYCLES)
+    from repro.accel.campaign import AccelReplayContext, run_one_accel_fault
+
+    ctx = _W_ACCEL_CTX.get(spec)
+    if ctx is None:
+        ctx = _W_ACCEL_CTX[spec] = AccelReplayContext(spec)
+    return run_one_accel_fault(spec, mask, ctx, sanitizer=_W_SANITIZER,
+                               hang_cycles=_W_HANG_CYCLES)
+
+
+def _task_record(outcome: TaskOutcome) -> FaultRecord:
+    """Map a supervised verdict for a (kind, spec, mask) item to a record."""
+    _kind, _spec, mask = outcome.item
+    if outcome.ok:
+        record: FaultRecord = outcome.value
+        if outcome.attempts > 1:
+            record = replace(record,
+                             retries=record.retries + outcome.attempts - 1)
+        return record
+    kind = "harness_timeout" if outcome.kind == "timeout" else "harness_error"
+    return quarantine_record(
+        mask, kind, outcome.error or kind, retries=outcome.attempts - 1
+    )
+
+
+# --------------------------------------------------------------------------
+# per-cell scheduling state
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _CellState:
+    cell: MatrixCell
+    masks: list[FaultMask]
+    population_bits: int
+    golden: object                      # GoldenRun | AccelGolden
+    timeout_s: float
+    journal_path: Path
+    writer: OrderedJournalWriter | None = None
+    records: dict[int, FaultRecord] = field(default_factory=dict)
+    resumed: int = 0
+    #: terminal state: 'converged' (adaptive stop), 'exhausted' (budget
+    #: spent), or '' while still active; set with the stop position
+    status: str = ""
+    stop_at: int = 0
+    stopped_early: bool = False
+    stop_reported: bool = False
+
+    @property
+    def budget(self) -> int:
+        return len(self.masks)
+
+    def done_prefix(self) -> int:
+        """Contiguous completed positions from 0 (the journalable prefix)."""
+        n = 0
+        while n in self.records:
+            n += 1
+        return n
+
+    def n_valid(self, boundary: int) -> int:
+        return sum(
+            1 for i in range(min(boundary, self.done_prefix()))
+            if self.records[i].outcome is not Outcome.SIM_FAULT
+        )
+
+    def achieved_margin(self, confidence: float = 0.95) -> float | None:
+        n = self.n_valid(self.stop_at or self.done_prefix())
+        if n == 0:
+            return None
+        return error_margin_for(n, self.population_bits, confidence)
+
+    def evaluate(self, adaptive: AdaptiveSampling | None) -> int | None:
+        """Settle terminal status, or return the next dispatch boundary.
+
+        Walks the absolute batch boundaries against the completed prefix —
+        the identical walk an uninterrupted run makes — so a resumed matrix
+        reaches the same stop decision at the same fault.
+        """
+        if self.status:
+            return None
+        done = self.done_prefix()
+        if adaptive is None:
+            if done >= self.budget:
+                self.status, self.stop_at = "exhausted", self.budget
+                return None
+            return self.budget
+        for b in adaptive.boundaries(self.budget):
+            if b > done:
+                return b
+            if adaptive.satisfied(self.n_valid(b), self.population_bits):
+                self.status, self.stop_at = "converged", b
+                self.stopped_early = b < self.budget
+                return None
+        self.status, self.stop_at = "exhausted", self.budget
+        return None
+
+
+# --------------------------------------------------------------------------
+# the matrix runner
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class MatrixResult:
+    """Terminal state of a matrix run."""
+
+    name: str
+    cells: list[dict]                   # per-cell summaries (+ row/col keys)
+    manifest_path: Path
+    clock_hz: float = 2e9
+
+    def render(self) -> str:
+        return render_matrix(self.cells, clock_hz=self.clock_hz)
+
+    @property
+    def stopped_early(self) -> int:
+        return sum(1 for c in self.cells if c.get("stopped_early"))
+
+
+def _cell_result(state: _CellState):
+    """Materialize the campaign-result object for a finished cell."""
+    records = [state.records[i] for i in range(state.stop_at)]
+    if state.cell.kind == "cpu":
+        return CampaignResult(
+            spec=state.cell.spec, records=records, golden=state.golden,
+            population_bits=state.population_bits, resumed=state.resumed,
+            stopped_early=state.stopped_early,
+        )
+    from repro.accel.campaign import AccelCampaignResult
+
+    return AccelCampaignResult(
+        spec=state.cell.spec, records=records, golden=state.golden,
+        population_bits=state.population_bits, resumed=state.resumed,
+        stopped_early=state.stopped_early,
+    )
+
+
+def _prepare_cell(cell: MatrixCell, out_dir: Path, resume: bool,
+                  ckpt_policy: CheckpointPolicy) -> _CellState:
+    """Generate the cell's sample, derive budgets, replay its journal."""
+    if cell.kind == "cpu":
+        spec = cell.spec
+        golden = golden_run(spec.isa, spec.workload, spec.cfg, spec.scale,
+                            checkpoints=ckpt_policy)
+        masks = masks_for_spec(spec, golden)
+        probe = OoOCore.from_executable(golden.exe, get_isa(spec.isa), spec.cfg)
+        entries, bits = get_target(spec.target).geometry(probe)
+        population = entries * bits
+        timeout = default_fault_timeout(golden.cycles,
+                                        spec.cfg.watchdog_factor)
+    else:
+        from repro.accel.campaign import accel_golden, accel_masks
+        from repro.accel_designs import get_design
+
+        spec = cell.spec
+        golden = accel_golden(spec)
+        masks = accel_masks(spec, golden)
+        design = get_design(spec.design)
+        size = {d.name: d.size for d in design.memories}[spec.component]
+        population = size * 8
+        budget_cycles = golden.cycles * spec.watchdog_factor + 1000
+        timeout = max(60.0, budget_cycles / 2_000)
+
+    journal_path = out_dir / "cells" / f"{cell.key}.jsonl"
+    state = _CellState(
+        cell=cell, masks=masks, population_bits=population, golden=golden,
+        timeout_s=timeout, journal_path=journal_path,
+    )
+    if resume and journal_path.exists():
+        repair_torn_tail(journal_path)
+        done = CampaignJournal.completed(journal_path, spec)
+        done = {
+            m.mask_id: done[m.mask_id] for m in masks
+            if m.mask_id in done and done[m.mask_id].mask == m
+        }
+        prefix = contiguous_prefix(masks, done)
+        state.records = {i: done[masks[i].mask_id] for i in range(prefix)}
+        state.resumed = prefix
+    state.writer = OrderedJournalWriter(
+        CampaignJournal.open(journal_path, spec), start=state.done_prefix()
+    )
+    return state
+
+
+def _write_manifest(path: Path, grid: MatrixGrid,
+                    states: list[_CellState]) -> None:
+    """Atomic manifest rewrite: progress + per-cell status each round."""
+    doc = {
+        "kind": "matrix-manifest",
+        "version": MANIFEST_VERSION,
+        "name": grid.name,
+        "fingerprint": grid.fingerprint,
+        "adaptive": (
+            {
+                "target_margin": grid.adaptive.target_margin,
+                "confidence": grid.adaptive.confidence,
+                "batch": grid.adaptive.batch,
+                "min_faults": grid.adaptive.min_faults,
+            }
+            if grid.adaptive is not None else None
+        ),
+        "cells": {
+            s.cell.key: {
+                "kind": s.cell.kind,
+                "row": s.cell.row,
+                "col": s.cell.col,
+                "journal": str(s.journal_path.relative_to(path.parent)),
+                "status": s.status or "running",
+                "faults_done": s.done_prefix(),
+                "budget": s.budget,
+                "stopped_early": s.stopped_early,
+                "achieved_margin": s.achieved_margin(
+                    grid.adaptive.confidence if grid.adaptive else 0.95
+                ),
+            }
+            for s in states
+        },
+    }
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(doc, indent=2) + "\n")
+    os.replace(tmp, path)
+
+
+def read_manifest(out_dir: str | Path) -> dict:
+    """Load ``manifest.json`` from a matrix output directory."""
+    path = Path(out_dir) / "manifest.json"
+    if not path.exists():
+        raise MatrixError(f"{path}: no matrix manifest")
+    doc = json.loads(path.read_text())
+    if doc.get("kind") != "matrix-manifest":
+        raise MatrixError(f"{path}: not a matrix manifest")
+    return doc
+
+
+def run_matrix(
+    grid: MatrixGrid,
+    out_dir: str | Path,
+    *,
+    workers: int = 1,
+    resume: bool = False,
+    checkpoints: CheckpointPolicy | None = None,
+    sanitizer: SanitizerPolicy | None = None,
+    hang_cycles: int = DEFAULT_HANG_CYCLES,
+    telemetry=None,
+) -> MatrixResult:
+    """Run every cell of ``grid``, journaling into ``out_dir``.
+
+    ``resume=True`` continues a previous run of the *identical* grid from
+    its cell journals (torn tails repaired, stop decisions re-derived);
+    without it a populated output directory is refused rather than mixed.
+    Per-cell journals are byte-identical to standalone serial campaigns —
+    and to an uninterrupted matrix run — whatever ``workers`` is.
+    """
+    out_dir = Path(out_dir)
+    manifest_path = out_dir / "manifest.json"
+    if manifest_path.exists():
+        manifest = read_manifest(out_dir)
+        if manifest.get("fingerprint") != grid.fingerprint:
+            raise MatrixError(
+                f"{out_dir} holds a different grid "
+                f"({manifest.get('name')!r}); refusing to mix"
+            )
+        if not resume:
+            raise MatrixError(
+                f"{out_dir} already holds matrix {grid.name!r}; "
+                "pass resume=True to continue it"
+            )
+    out_dir.mkdir(parents=True, exist_ok=True)
+    ckpt_policy = checkpoints if checkpoints is not None else DEFAULT_CHECKPOINT_POLICY
+
+    states = [
+        _prepare_cell(cell, out_dir, resume, ckpt_policy)
+        for cell in grid.cells
+    ]
+    if telemetry is not None:
+        telemetry.campaign_started(
+            planned=sum(s.budget for s in states),
+            resumed=sum(s.resumed for s in states),
+            labels={"matrix": grid.name},
+        )
+    _write_manifest(manifest_path, grid, states)
+
+    timeouts = {id(s.cell.spec): s.timeout_s for s in states}
+    by_spec = {id(s.cell.spec): s for s in states}
+
+    def item_timeout(item: tuple) -> float:
+        return timeouts[id(item[1])]
+
+    policy = SupervisorPolicy()
+    if workers <= 1:
+        # one arming for the whole matrix, so the serial path keeps its
+        # accel replay contexts and golden caches warm across rounds
+        _matrix_worker_init(ckpt_policy, sanitizer, hang_cycles)
+    try:
+        while True:
+            # one scheduling round: every active cell contributes its next
+            # batch, interleaved round-robin so no cell starves the queue
+            batches = []
+            for s in states:
+                boundary = s.evaluate(grid.adaptive)
+                if boundary is None:
+                    if s.status == "converged" and s.stopped_early \
+                            and telemetry is not None \
+                            and not s.stop_reported:
+                        s.stop_reported = True
+                        telemetry.adaptive_stop(
+                            done=s.stop_at, budget=s.budget,
+                            margin=s.achieved_margin(grid.adaptive.confidence),
+                        )
+                    continue
+                start = s.done_prefix()
+                batches.append([
+                    (s, i, s.masks[i]) for i in range(start, boundary)
+                ])
+            if not batches:
+                break
+            tasks: list[tuple[_CellState, int, FaultMask]] = []
+            width = max(len(b) for b in batches)
+            for depth in range(width):
+                for b in batches:
+                    if depth < len(b):
+                        tasks.append(b[depth])
+            items = [(t[0].cell.kind, t[0].cell.spec, t[2]) for t in tasks]
+
+            def finish(task_index: int, record: FaultRecord,
+                       wall_s: float | None = None) -> None:
+                s, pos, _mask = tasks[task_index]
+                s.records[pos] = record
+                s.writer.add(pos, record)
+                if telemetry is not None:
+                    telemetry.fault_finished(record, wall_s=wall_s)
+
+            if workers > 1:
+                def on_result(o: TaskOutcome) -> None:
+                    finish(o.index, _task_record(o), wall_s=o.wall_s)
+
+                on_event = None
+                if telemetry is not None:
+                    def on_event(kind: str, info: dict) -> None:
+                        if kind == "dispatch":
+                            telemetry.fault_dispatched(
+                                items[info["index"]][2].mask_id,
+                                attempt=info.get("attempt", 0),
+                            )
+                        else:
+                            telemetry.supervisor_event(kind, info)
+                run_supervised(
+                    _matrix_task, items, workers=workers, policy=policy,
+                    initializer=_matrix_worker_init,
+                    initargs=(ckpt_policy, sanitizer, hang_cycles),
+                    on_result=on_result, on_event=on_event,
+                    item_timeout=item_timeout,
+                )
+            else:
+                for idx, item in enumerate(items):
+                    if telemetry is not None:
+                        telemetry.fault_dispatched(item[2].mask_id)
+                    started = time.perf_counter()
+                    record = _matrix_task(item)
+                    finish(idx, record, wall_s=time.perf_counter() - started)
+            _write_manifest(manifest_path, grid, states)
+    finally:
+        for s in states:
+            if s.writer is not None:
+                s.writer.close()
+        _write_manifest(manifest_path, grid, states)
+        if telemetry is not None:
+            telemetry.campaign_finished()
+
+    cells = []
+    for s in states:
+        result = _cell_result(s)
+        summary = result.summary()
+        summary["row"] = s.cell.row
+        summary["col"] = s.cell.col
+        summary["key"] = s.cell.key
+        summary["achieved_margin"] = s.achieved_margin(
+            grid.adaptive.confidence if grid.adaptive else 0.95
+        )
+        cells.append(summary)
+    return MatrixResult(
+        name=grid.name, cells=cells, manifest_path=manifest_path,
+        clock_hz=grid.clock_hz,
+    )

@@ -14,7 +14,9 @@
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
 
 from repro.core.outcome import HVFClass, Outcome
 from repro.core.sampling import error_margin_for
@@ -129,32 +131,80 @@ def hangs(records: Sequence) -> int:
     return sum(1 for r in records if r.crash_reason == "hang")
 
 
-def weighted_avf(avfs: Sequence[float], times: Sequence[float]) -> float:
-    """Execution-time-weighted AVF across benchmarks (Section V-A)::
+@dataclass(frozen=True)
+class WeightedAVF:
+    """Result of a weighted-AVF combination over possibly-degenerate cells."""
 
-        wAVF(c) = sum_k AVF_k(c) * t_k / sum_k t_k
+    value: float | None      # None when every cell was skipped
+    n_used: int              # cells that contributed
+    n_skipped: int           # cells dropped for an undefined (None) AVF
+
+
+def weighted_avf_detailed(
+    avfs: Sequence[float | None], times: Sequence[float]
+) -> WeightedAVF:
+    """:func:`weighted_avf` with explicit skip accounting.
+
+    A cell whose AVF is ``None`` (a fully-quarantined degenerate campaign)
+    carries no information, so it is skipped and the weights renormalized
+    over the remaining cells — one dead cell must not crash (or bias) a
+    whole sweep's weighted AVF.  ``n_skipped`` reports how many were
+    dropped; ``value`` is ``None`` only when *every* cell was skipped.
     """
     if len(avfs) != len(times) or not avfs:
         raise ValueError("avfs and times must be equal-length and non-empty")
-    total = sum(times)
+    pairs = [(a, t) for a, t in zip(avfs, times) if a is not None]
+    n_skipped = len(avfs) - len(pairs)
+    if not pairs:
+        return WeightedAVF(value=None, n_used=0, n_skipped=n_skipped)
+    total = sum(t for _, t in pairs)
     if total <= 0:
         raise ValueError("total execution time must be positive")
-    return sum(a * t for a, t in zip(avfs, times)) / total
+    value = sum(a * t for a, t in pairs) / total
+    return WeightedAVF(value=value, n_used=len(pairs), n_skipped=n_skipped)
+
+
+def weighted_avf(
+    avfs: Sequence[float | None], times: Sequence[float]
+) -> float | None:
+    """Execution-time-weighted AVF across benchmarks (Section V-A)::
+
+        wAVF(c) = sum_k AVF_k(c) * t_k / sum_k t_k
+
+    Cells with an undefined AVF (``None``, from an all-quarantined
+    campaign) are skipped with a :class:`RuntimeWarning` and the weights
+    renormalized over the valid cells; ``None`` comes back only when no
+    cell is valid.  Use :func:`weighted_avf_detailed` for the skip count.
+    """
+    detail = weighted_avf_detailed(avfs, times)
+    if detail.n_skipped:
+        warnings.warn(
+            f"weighted_avf: skipped {detail.n_skipped}/{len(avfs)} cells "
+            f"with undefined (None) AVF; weights renormalized over "
+            f"{detail.n_used} valid cells",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return detail.value
 
 
 def opf(
-    avf_value: float,
+    avf_value: float | None,
     cycles_per_run: float,
     clock_hz: float = 2e9,
     operations_per_run: float = 1.0,
-) -> float:
+) -> float | None:
     """Operations-per-Failure: ``OPF = OPS / AVF`` (Section V-G).
 
     ``OPS = operations_per_run / (cycles_per_run / clock_hz)``.  An AVF of 0
-    gives ``inf`` (never fails).
+    gives ``inf`` (never fails); an *undefined* AVF (``None``, from a
+    degenerate all-quarantined campaign) gives an undefined OPF (``None``)
+    instead of a ``TypeError``.
     """
     if cycles_per_run <= 0 or clock_hz <= 0:
         raise ValueError("cycles and clock must be positive")
+    if avf_value is None:
+        return None
     ops = operations_per_run / (cycles_per_run / clock_hz)
     if avf_value <= 0:
         return float("inf")

@@ -10,12 +10,22 @@ from collections.abc import Iterable, Sequence
 from repro.core.outcome import Outcome
 
 
+def _fmt_cell(value, floatfmt: str = "{:.3f}") -> str:
+    """One table cell: floats formatted, ``None`` (an undefined metric from
+    a degenerate campaign) rendered as ``n/a`` instead of the word None."""
+    if value is None:
+        return "n/a"
+    if isinstance(value, float):
+        return floatfmt.format(value)
+    return str(value)
+
+
 def render_table(
     headers: Sequence[str], rows: Iterable[Sequence], floatfmt: str = "{:.3f}"
 ) -> str:
-    """Plain-text table with aligned columns."""
+    """Plain-text table with aligned columns (``None`` cells render n/a)."""
     rendered_rows = [
-        [floatfmt.format(c) if isinstance(c, float) else str(c) for c in row]
+        [_fmt_cell(c, floatfmt) for c in row]
         for row in rows
     ]
     widths = [len(h) for h in headers]
@@ -139,6 +149,97 @@ def render_robustness(records: Sequence) -> str:
         f"(pressure {health['watchdog_pressure']:.2f}) — quarantined runs are "
         "excluded from AVF/HVF"
     )
+
+
+#: heat-grid shade ramp, light to dark, indexed by metric value over [0, 1]
+_SHADES = " .:-=+*#%@"
+
+
+def _shade(value: float | None) -> str:
+    if value is None:
+        return "?"
+    idx = int(min(max(value, 0.0), 1.0) * (len(_SHADES) - 1) + 0.5)
+    return _SHADES[idx]
+
+
+def render_matrix(
+    cells: Sequence[dict],
+    value_key: str = "avf",
+    clock_hz: float = 2e9,
+) -> str:
+    """Cross-cell report for an experiment matrix.
+
+    ``cells`` are per-cell summary dicts carrying ``row`` / ``col`` labels
+    plus the campaign summary keys (``avf`` / ``sdc_avf`` / ``crash_avf`` /
+    ``error_margin`` / ``faults`` / ``budget`` / ``stopped_early`` /
+    ``golden_cycles``).  Output is two blocks:
+
+    * a **heat-grid** of ``value_key`` over rows × columns, each cell a
+      value plus a shade character from :data:`_SHADES` (``?`` and ``n/a``
+      for an undefined metric, e.g. an all-quarantined degenerate cell);
+    * a **detail table** with one line per cell — AVF splits, achieved
+      error margin, faults spent vs. budget (`*` marks an adaptive early
+      stop) and the cell's OPF at ``clock_hz`` — followed by a
+      cycle-weighted AVF per row computed with
+      :func:`repro.core.metrics.weighted_avf_detailed` (degenerate cells
+      skipped and reported, never crashing the sweep).
+    """
+    from repro.core.metrics import opf, weighted_avf_detailed
+
+    if not cells:
+        return "(no cells)"
+    rows = list(dict.fromkeys(c["row"] for c in cells))
+    cols = list(dict.fromkeys(c["col"] for c in cells))
+    by_pos = {(c["row"], c["col"]): c for c in cells}
+
+    def grid_cell(r, c):
+        cell = by_pos.get((r, c))
+        if cell is None:
+            return "-"
+        v = cell.get(value_key)
+        return f"{_fmt_cell(v)} {_shade(v)}"
+
+    grid = render_table(
+        [value_key] + cols,
+        [[r] + [grid_cell(r, c) for c in cols] for r in rows],
+    )
+
+    detail_rows = []
+    for r in rows:
+        row_cells = [by_pos[(r, c)] for c in cols if (r, c) in by_pos]
+        for cell in row_cells:
+            spent, budget = cell.get("faults", 0), cell.get("budget")
+            spent_str = f"{spent}/{budget}" if budget else str(spent)
+            if cell.get("stopped_early"):
+                spent_str += "*"
+            cycles = cell.get("golden_cycles")
+            cell_opf = (
+                opf(cell.get("avf"), cycles, clock_hz)
+                if cycles else None
+            )
+            detail_rows.append(
+                (r, cell["col"], cell.get("avf"), cell.get("sdc_avf"),
+                 cell.get("crash_avf"), cell.get("error_margin"),
+                 spent_str,
+                 None if cell_opf is None else f"{cell_opf:.3e}")
+            )
+        detail = weighted_avf_detailed(
+            [c.get("avf") for c in row_cells],
+            [c.get("golden_cycles", 0) or 0 for c in row_cells],
+        ) if row_cells else None
+        if detail is not None:
+            note = f"wAVF ({detail.n_used} cells"
+            note += f", {detail.n_skipped} skipped)" if detail.n_skipped else ")"
+            detail_rows.append((r, note, detail.value, None, None, None, "", None))
+    table = render_table(
+        ["row", "col", "AVF", "SDC", "Crash", "margin", "faults", "OPF"],
+        detail_rows,
+    )
+    legend = (
+        f"shade ramp [0,1]: '{_SHADES}'  ?=undefined  "
+        "*=adaptive early stop"
+    )
+    return f"{grid}\n\n{table}\n{legend}"
 
 
 def summaries_to_csv(summaries: list[dict]) -> str:

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import math
 import random
+from dataclasses import dataclass
 
 from repro.core.faults import FaultFlip, FaultMask, FaultModel
 
@@ -54,6 +55,67 @@ def error_margin_for(
     return z * math.sqrt(p * (1 - p) / n * (population - n) / (population - 1))
 
 
+@dataclass(frozen=True)
+class AdaptiveSampling:
+    """Sequential stopping rule for a fault campaign (Leveugle, sequel).
+
+    Instead of always burning the fixed fault budget, the campaign
+    dispatches masks in batches and stops as soon as the *achieved* error
+    margin — ``error_margin_for(n_valid, population)`` at ``confidence`` —
+    drops to ``target_margin``.  The fixed budget becomes an upper bound;
+    structures whose estimate converges early stop early.
+
+    The stopping decision is a pure function of the (deterministic) record
+    stream and the *absolute* batch boundaries, so an interrupted campaign
+    resumed from its journal makes the identical stop decision and the
+    journal stays byte-identical to an uninterrupted run's.
+    """
+
+    #: stop once the achieved error margin is at or below this
+    target_margin: float = 0.03
+    #: confidence level for the margin (0.90 / 0.95 / 0.99)
+    confidence: float = 0.95
+    #: masks dispatched between margin checks
+    batch: int = 50
+    #: never stop before this many masks have run (early estimates are noisy)
+    min_faults: int = 20
+
+    def __post_init__(self):
+        if not 0 < self.target_margin < 1:
+            raise ValueError(f"target_margin must be in (0, 1): {self.target_margin}")
+        if self.batch < 1 or self.min_faults < 1:
+            raise ValueError("batch and min_faults must be >= 1")
+        _z(self.confidence)   # validates the confidence level
+
+    def boundaries(self, budget: int):
+        """Absolute mask counts at which the margin is checked.
+
+        ``min_faults, min_faults + batch, min_faults + 2*batch, ...``
+        capped at ``budget`` (which is always the final boundary).
+        """
+        b = min(self.min_faults, budget)
+        while b < budget:
+            yield b
+            b = min(b + self.batch, budget)
+        yield budget
+
+    def next_boundary(self, done: int, budget: int) -> int | None:
+        """The first boundary strictly beyond ``done`` masks (None = spent)."""
+        for b in self.boundaries(budget):
+            if b > done:
+                return b
+        return None
+
+    def satisfied(self, n_valid: int, population: int) -> bool:
+        """Has ``n_valid`` distinct samples already hit the target margin?"""
+        if n_valid <= 0:
+            return False
+        return (
+            error_margin_for(n_valid, population, self.confidence)
+            <= self.target_margin
+        )
+
+
 def generate_masks(
     structure: str,
     entries: int,
@@ -70,23 +132,45 @@ def generate_masks(
     which transient faults may strike (the checkpoint→switch_cpu region of
     the paper's workload protocol).  Stuck-at faults are timed at cycle 0:
     a manufacturing defect is present from power-on.
+
+    Draws are *without replacement* over ``(entry, bit, cycle)`` fault
+    sites: Leveugle's ``error_margin_for(n, N)`` assumes ``n`` distinct
+    samples of the population, so a duplicate site would overstate the
+    achieved statistical power — and inside a multi-bit transient mask a
+    repeated flip would XOR itself away, silently turning an ``n``-bit
+    fault model into an ``n-2``-bit one.
     """
     if entries <= 0 or bits_per_entry <= 0:
         raise ValueError("structure geometry must be positive")
     lo, hi = window
     if hi <= lo:
         raise ValueError(f"empty injection window {window}")
+    # stuck-at sites collapse the cycle dimension (always struck at 0)
+    site_population = entries * bits_per_entry * (1 if model.permanent else hi - lo)
+    if count * flips_per_mask > site_population:
+        raise ValueError(
+            f"cannot draw {count * flips_per_mask} distinct fault sites "
+            f"from a population of {site_population}"
+        )
     rng = random.Random(seed)
+    seen: set[tuple[int, int, int]] = set()
+
+    def draw() -> FaultFlip:
+        while True:
+            site = (
+                rng.randrange(entries),
+                rng.randrange(bits_per_entry),
+                0 if model.permanent else rng.randrange(lo, hi),
+            )
+            if site not in seen:
+                seen.add(site)
+                return FaultFlip(
+                    structure=structure, entry=site[0], bit=site[1],
+                    cycle=site[2],
+                )
+
     masks = []
     for mask_id in range(count):
-        flips = tuple(
-            FaultFlip(
-                structure=structure,
-                entry=rng.randrange(entries),
-                bit=rng.randrange(bits_per_entry),
-                cycle=0 if model.permanent else rng.randrange(lo, hi),
-            )
-            for _ in range(flips_per_mask)
-        )
+        flips = tuple(draw() for _ in range(flips_per_mask))
         masks.append(FaultMask(model=model, flips=flips, mask_id=mask_id))
     return masks

@@ -125,6 +125,7 @@ def run_supervised(
     initargs: tuple = (),
     on_result: Callable[[TaskOutcome], None] | None = None,
     on_event: Callable[[str, dict], None] | None = None,
+    item_timeout: Callable[[object], float | None] | None = None,
     sleep: Callable[[float], None] = time.sleep,
     clock: Callable[[], float] = time.monotonic,
 ) -> list[TaskOutcome]:
@@ -139,6 +140,14 @@ def run_supervised(
     ``attempt``), ``retry`` (a failed/timed-out task rescheduled),
     ``pool_respawn`` and ``serial_degradation``.  Purely observational —
     event consumers cannot change scheduling.
+
+    ``item_timeout`` gives each item its *own* wall-clock budget —
+    ``item_timeout(item) -> seconds | None`` — evaluated in the parent at
+    submit time.  A heterogeneous work queue (the experiment-matrix runner
+    interleaves CPU and DSA cells with wildly different golden run lengths)
+    cannot share one ``policy.timeout_s``.  Retries still scale the budget
+    by ``policy.timeout_scale_on_retry``; an item whose callable returns
+    ``None`` runs untimed.
     """
     policy = policy or SupervisorPolicy()
     results: list[TaskOutcome | None] = [None] * len(items)
@@ -152,6 +161,14 @@ def run_supervised(
     def notify(kind: str, **info) -> None:
         if on_event is not None:
             on_event(kind, info)
+
+    def budget_for(task: _Pending) -> float | None:
+        if item_timeout is not None:
+            base = item_timeout(task.item)
+            if base is None:
+                return None
+            return base * (policy.timeout_scale_on_retry ** max(0, task.attempt))
+        return policy.timeout_for(task.attempt)
 
     def emit(outcome: TaskOutcome) -> None:
         results[outcome.index] = outcome
@@ -196,7 +213,7 @@ def run_supervised(
                 pending.appendleft(task)
                 note_pool_failure()
                 break
-            budget = policy.timeout_for(task.attempt)
+            budget = budget_for(task)
             submitted = clock()
             deadline = submitted + budget if budget is not None else None
             inflight[future] = (task, deadline, budget, submitted)
@@ -236,8 +253,9 @@ def run_supervised(
             note_pool_failure()
             continue
 
-        # enforce wall-clock deadlines on whatever is still running
-        if policy.timeout_s is not None:
+        # enforce wall-clock deadlines on whatever is still running — also
+        # when only per-item budgets are set (policy.timeout_s may be None)
+        if policy.timeout_s is not None or item_timeout is not None:
             now = clock()
             for future, (task, deadline, budget, submitted) in list(inflight.items()):
                 if deadline is None or now < deadline:

@@ -149,6 +149,9 @@ class CampaignAggregate:
     early_exits: int = 0            # live-only: golden-trace re-convergence
     pool_respawns: int = 0          # live-only: supervisor pool breakages
     serial_degradations: int = 0    # live-only: supervisor gave up on pools
+    adaptive_stops: int = 0         # live-only: sequential-sampling early stops
+    adaptive_faults_saved: int = 0  # live-only: budgeted faults never dispatched
+    adaptive_margin: float | None = None   # live-only: achieved margin at stop
     cycle_hist: dict[tuple[str, str], Histogram] = field(default_factory=dict)
     wall_hist: dict[tuple[str, str], Histogram] = field(default_factory=dict)
 
@@ -262,6 +265,9 @@ class CampaignAggregate:
             "early_exits": self.early_exits,
             "pool_respawns": self.pool_respawns,
             "serial_degradations": self.serial_degradations,
+            "adaptive_stops": self.adaptive_stops,
+            "adaptive_faults_saved": self.adaptive_faults_saved,
+            "adaptive_margin": self.adaptive_margin,
             "wall_hist": {
                 f"{out}/{path}": hist.to_dict()
                 for (out, path), hist in sorted(self.wall_hist.items())
@@ -463,6 +469,15 @@ def to_prometheus(agg: CampaignAggregate,
     counter("repro_supervisor_serial_degradations_total",
             "campaigns degraded to serial execution",
             [({}, agg.serial_degradations)])
+    counter("repro_adaptive_stops_total",
+            "adaptive sequential-sampling early stops",
+            [({}, agg.adaptive_stops)])
+    counter("repro_adaptive_faults_saved_total",
+            "budgeted faults adaptive stopping never dispatched",
+            [({}, agg.adaptive_faults_saved)])
+    if agg.adaptive_margin is not None:
+        gauge("repro_adaptive_achieved_margin", agg.adaptive_margin,
+              "achieved error margin at the adaptive stop")
 
     for name, hists, help_text in (
         ("repro_fault_cycles", agg.cycle_hist,
@@ -601,6 +616,19 @@ class Telemetry:
             self._emit("quarantine", mask_id=mask_id,
                        detail=record.sim_error_kind)
         self._tick()
+
+    def adaptive_stop(self, done: int, budget: int, margin: float) -> None:
+        """An adaptive campaign hit its target margin before the budget.
+
+        Live-only (like checkpoint restores): the stop is an execution
+        detail, not a journaled fact — a resumed campaign re-derives the
+        identical stop from the journal prefix, so nothing needs recording.
+        """
+        self.aggregate.adaptive_stops += 1
+        self.aggregate.adaptive_faults_saved += max(0, budget - done)
+        self.aggregate.adaptive_margin = margin
+        self._emit("adaptive_stop",
+                   detail=f"done={done} budget={budget} margin={margin:.4f}")
 
     def supervisor_event(self, kind: str, info: Mapping) -> None:
         """Adapter for :func:`repro.core.supervisor.run_supervised` events."""

@@ -65,7 +65,7 @@ def test_accel_campaign_survives_and_reports(exploding_engine):
     res = run_accel_campaign(_spec())
     assert len(res.records) == 4
     assert res.quarantined == 4
-    assert res.avf == 0.0                     # no valid records, no crash
+    assert res.avf is None                    # no valid records: undefined
     summary = res.summary()
     assert summary["quarantined"] == 4 and summary["retried"] == 4
 

@@ -1,0 +1,203 @@
+"""Adaptive sequential sampling: stopping rule, campaign integration.
+
+The stopping decision is a pure function of the absolute batch boundaries
+and the deterministic record stream, so everything here is reproducible:
+the adaptive run's records are a strict prefix of the fixed-budget run's,
+journals and all.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.accel.campaign import AccelCampaignSpec, run_accel_campaign
+from repro.core.campaign import CampaignSpec, run_campaign
+from repro.core.journal import CampaignJournal
+from repro.core.sampling import AdaptiveSampling, error_margin_for
+from repro.core.telemetry import Telemetry
+
+
+def _spec(cfg, **kw):
+    defaults = dict(
+        isa="rv", workload="crc32", target="regfile_int", cfg=cfg,
+        scale="tiny", faults=10, seed=11,
+    )
+    defaults.update(kw)
+    return CampaignSpec(**defaults)
+
+
+# A loose rule that a 10-fault budget can demonstrably beat: for any
+# multi-KiB population, margin(n=5) ~ 0.438 < 0.44 <= margin(n<5).
+LOOSE = AdaptiveSampling(target_margin=0.44, batch=5, min_faults=5)
+
+
+# ------------------------------------------------------------ stopping rule
+
+
+def test_boundaries_start_at_min_faults_and_end_at_budget():
+    adp = AdaptiveSampling(target_margin=0.1, batch=50, min_faults=20)
+    assert list(adp.boundaries(200)) == [20, 70, 120, 170, 200]
+    assert list(adp.boundaries(20)) == [20]
+    assert list(adp.boundaries(10)) == [10]      # budget below min_faults
+
+
+def test_next_boundary_walks_forward():
+    adp = AdaptiveSampling(target_margin=0.1, batch=30, min_faults=20)
+    assert adp.next_boundary(0, 100) == 20
+    assert adp.next_boundary(20, 100) == 50
+    assert adp.next_boundary(99, 100) == 100
+    assert adp.next_boundary(100, 100) is None
+
+
+@given(budget=st.integers(1, 500), batch=st.integers(1, 100),
+       min_faults=st.integers(1, 100))
+def test_boundaries_are_increasing_and_exhaustive(budget, batch, min_faults):
+    adp = AdaptiveSampling(target_margin=0.1, batch=batch,
+                           min_faults=min_faults)
+    bs = list(adp.boundaries(budget))
+    assert bs[0] == min(min_faults, budget)
+    assert bs[-1] == budget
+    assert all(a < b for a, b in zip(bs, bs[1:]))
+    assert all(0 < b <= budget for b in bs)
+
+
+def test_satisfied_matches_error_margin():
+    adp = AdaptiveSampling(target_margin=0.2, batch=5, min_faults=5)
+    population = 8192
+    # find the first n whose margin crosses the target and check both sides
+    n = next(n for n in range(1, population)
+             if error_margin_for(n, population) <= 0.2)
+    assert adp.satisfied(n, population)
+    assert not adp.satisfied(n - 1, population)
+    assert not adp.satisfied(0, population)
+
+
+def test_adaptive_sampling_validates_parameters():
+    with pytest.raises(ValueError):
+        AdaptiveSampling(target_margin=0.0)
+    with pytest.raises(ValueError):
+        AdaptiveSampling(target_margin=1.5)
+    with pytest.raises(ValueError):
+        AdaptiveSampling(batch=0)
+    with pytest.raises(ValueError):
+        AdaptiveSampling(confidence=0.80)
+
+
+# ------------------------------------------------------ CPU campaign
+
+
+def test_adaptive_stops_before_budget_and_is_prefix_of_fixed(cfg):
+    spec = _spec(cfg)
+    fixed = run_campaign(spec)
+    adaptive = run_campaign(spec, adaptive=LOOSE)
+
+    assert not fixed.stopped_early
+    assert adaptive.stopped_early
+    assert len(adaptive.records) == 5 < len(fixed.records) == 10
+    assert adaptive.records == fixed.records[:5]
+    # the achieved margin is real and at/below the target
+    assert adaptive.error_margin is not None
+    assert adaptive.error_margin <= LOOSE.target_margin
+    assert adaptive.summary()["budget"] == 10
+    assert adaptive.summary()["faults"] == 5
+
+
+def test_adaptive_agrees_with_fixed_within_combined_margin(cfg):
+    """The adaptive estimate is a sub-sample of the fixed one, so the two
+    AVFs must agree within the sum of their achieved error margins."""
+    spec = _spec(cfg, faults=20, seed=5)
+    fixed = run_campaign(spec)
+    adaptive = run_campaign(spec, adaptive=LOOSE)
+    assert fixed.avf is not None and adaptive.avf is not None
+    assert abs(adaptive.avf - fixed.avf) <= (
+        adaptive.error_margin + fixed.error_margin
+    )
+
+
+def test_adaptive_journal_is_byte_prefix_of_fixed_journal(cfg, tmp_path):
+    """Adaptive stopping is an execution detail: the journal it writes is
+    byte-for-byte the first chunk of the fixed-budget campaign's."""
+    spec = _spec(cfg)
+    fixed_path = tmp_path / "fixed.jsonl"
+    adaptive_path = tmp_path / "adaptive.jsonl"
+    run_campaign(spec, journal=fixed_path)
+    adaptive = run_campaign(spec, journal=adaptive_path, adaptive=LOOSE)
+
+    fixed_bytes = fixed_path.read_bytes()
+    adaptive_bytes = adaptive_path.read_bytes()
+    assert len(adaptive_bytes) < len(fixed_bytes)
+    assert fixed_bytes.startswith(adaptive_bytes)
+    assert len(CampaignJournal.load(adaptive_path, spec)) == len(adaptive.records)
+
+
+def test_adaptive_resume_reaches_identical_stop(cfg, tmp_path):
+    """A campaign killed mid-flight and resumed stops at the same fault
+    with the same records as an uninterrupted adaptive run."""
+    spec = _spec(cfg)
+    uninterrupted = run_campaign(spec, adaptive=LOOSE)
+
+    path = tmp_path / "run.jsonl"
+    # simulate the interrupted first attempt: only 3 of the 5 needed
+    # records made it to the journal before the kill
+    with CampaignJournal.open(path, spec) as j:
+        for r in uninterrupted.records[:3]:
+            j.append(r)
+    resumed = run_campaign(spec, journal=path, resume=path, adaptive=LOOSE)
+
+    assert resumed.stopped_early
+    assert resumed.records == uninterrupted.records
+    assert resumed.resumed == 3
+
+
+def test_adaptive_with_parallel_workers_matches_serial(cfg):
+    spec = _spec(cfg)
+    serial = run_campaign(spec, adaptive=LOOSE)
+    parallel = run_campaign(spec, workers=2, adaptive=LOOSE)
+    assert parallel.records == serial.records
+    assert parallel.stopped_early
+
+
+def test_tight_margin_exhausts_budget(cfg):
+    """A 3% target can never be met by 10 faults: the campaign runs the
+    whole budget and reports stopped_early=False."""
+    tight = AdaptiveSampling(target_margin=0.03, batch=5, min_faults=5)
+    result = run_campaign(_spec(cfg), adaptive=tight)
+    assert not result.stopped_early
+    assert len(result.records) == 10
+
+
+def test_adaptive_telemetry_counters(cfg):
+    telemetry = Telemetry()
+    run_campaign(_spec(cfg), adaptive=LOOSE, telemetry=telemetry)
+    agg = telemetry.aggregate
+    assert agg.adaptive_stops == 1
+    assert agg.adaptive_faults_saved == 5
+    assert agg.adaptive_margin is not None
+    assert agg.adaptive_margin <= LOOSE.target_margin
+
+
+# ------------------------------------------------------ accel campaign
+
+
+def test_accel_adaptive_stops_early_and_is_prefix(tmp_path):
+    spec = AccelCampaignSpec(design="gemm", component="MATRIX1",
+                             scale="tiny", faults=10, seed=3)
+    fixed = run_accel_campaign(spec)
+    adaptive = run_accel_campaign(spec, adaptive=LOOSE)
+    assert adaptive.stopped_early
+    assert len(adaptive.records) == 5
+    assert adaptive.records == fixed.records[:5]
+    assert adaptive.error_margin <= LOOSE.target_margin
+
+
+def test_accel_adaptive_journal_prefix_and_resume(tmp_path):
+    spec = AccelCampaignSpec(design="gemm", component="MATRIX1",
+                             scale="tiny", faults=10, seed=3)
+    fixed_path = tmp_path / "fixed.jsonl"
+    adaptive_path = tmp_path / "adaptive.jsonl"
+    run_accel_campaign(spec, journal=fixed_path)
+    run_accel_campaign(spec, journal=adaptive_path, adaptive=LOOSE)
+    assert fixed_path.read_bytes().startswith(adaptive_path.read_bytes())
+
+    resumed = run_accel_campaign(spec, journal=adaptive_path,
+                                 resume=adaptive_path, adaptive=LOOSE)
+    assert resumed.resumed == len(resumed.records) == 5

@@ -122,3 +122,56 @@ def test_generate_masks_rejects_empty_window():
         generate_masks("l1d", 16, 512, 5, (100, 100))
     with pytest.raises(ValueError):
         generate_masks("l1d", 0, 512, 5, (0, 10))
+
+
+# ------------------------------------------------------------------ dedup
+
+
+def test_generate_masks_sites_are_distinct():
+    """Draws are without replacement over (entry, bit, cycle) sites — the
+    Leveugle margin assumes n *distinct* samples of the population."""
+    masks = generate_masks("rf", 4, 8, 60, (0, 2), seed=3)
+    sites = [(f.entry, f.bit, f.cycle) for m in masks for f in m.flips]
+    assert len(sites) == len(set(sites)) == 60
+
+
+def test_generate_masks_multibit_sites_distinct_across_masks():
+    masks = generate_masks("l1d", 4, 4, 10, (0, 8), flips_per_mask=3, seed=5)
+    sites = [(f.entry, f.bit, f.cycle) for m in masks for f in m.flips]
+    assert len(sites) == len(set(sites)) == 30
+
+
+def test_generate_masks_permanent_dedup_collapses_cycle_dimension():
+    """Stuck-at faults are all timed at cycle 0, so the site population is
+    entries * bits — exactly that many masks can be drawn, no more."""
+    masks = generate_masks("rf", 4, 8, 32, (0, 100),
+                           model=FaultModel.STUCK_AT_0, seed=1)
+    assert len({(f.entry, f.bit) for m in masks for f in m.flips}) == 32
+    with pytest.raises(ValueError, match="distinct fault sites"):
+        generate_masks("rf", 4, 8, 33, (0, 100),
+                       model=FaultModel.STUCK_AT_0, seed=1)
+
+
+def test_generate_masks_rejects_oversized_sample():
+    # 4*8*2 = 64 transient sites; 65 single-flip masks cannot all be distinct
+    with pytest.raises(ValueError, match="distinct fault sites"):
+        generate_masks("rf", 4, 8, 65, (0, 2), seed=1)
+
+
+def test_generate_masks_seed_stability_regression():
+    """Pinned draw sequence: journal resume matches masks by exact flips, so
+    any change to the draw order silently invalidates every old journal.
+    If this fails, the sampler changed behaviour — that is a breaking
+    change, not a test to update casually."""
+    masks = generate_masks("rf", 8, 4, 5, (10, 20), seed=42)
+    assert [(f.entry, f.bit, f.cycle) for m in masks for f in m.flips] == [
+        (1, 0, 14), (3, 1, 12), (1, 0, 19), (6, 0, 10), (1, 1, 13),
+    ]
+
+
+def test_generate_masks_smaller_count_is_prefix_of_larger():
+    """An adaptive campaign that stops early used exactly the masks a
+    fixed-budget campaign would have started with."""
+    small = generate_masks("rf", 8, 4, 3, (10, 20), seed=42)
+    large = generate_masks("rf", 8, 4, 5, (10, 20), seed=42)
+    assert [m.flips for m in small] == [m.flips for m in large[:3]]

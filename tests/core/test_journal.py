@@ -9,10 +9,13 @@ from repro.core.faults import FaultFlip, FaultMask, FaultModel
 from repro.core.journal import (
     CampaignJournal,
     JournalError,
+    OrderedJournalWriter,
+    contiguous_prefix,
     mask_from_dict,
     mask_to_dict,
     record_from_dict,
     record_to_dict,
+    repair_torn_tail,
     spec_fingerprint,
 )
 from repro.core.outcome import HVFClass, Outcome
@@ -145,3 +148,117 @@ def test_load_without_spec_skips_validation(tmp_path, cfg):
     with CampaignJournal.open(path, _spec(cfg)) as journal:
         journal.append(_record(0))
     assert len(CampaignJournal.load(path)) == 1
+
+
+# ------------------------------------------------- ordered parallel writer
+
+
+def test_ordered_writer_buffers_out_of_order_completions(tmp_path, cfg):
+    """Records arriving 2, 0, 1 must hit the file as 0, 1, 2 — the journal
+    bytes never depend on worker scheduling."""
+    path = tmp_path / "run.jsonl"
+    with OrderedJournalWriter(CampaignJournal.open(path, _spec(cfg))) as w:
+        w.add(2, _record(2))
+        assert w.written == 0 and w.buffered == 1
+        w.add(0, _record(0))
+        assert w.written == 1 and w.buffered == 1
+        w.add(1, _record(1))
+        assert w.written == 3 and w.buffered == 0
+    loaded = CampaignJournal.load(path, _spec(cfg))
+    assert [r.mask.mask_id for r in loaded] == [0, 1, 2]
+
+
+def test_ordered_writer_matches_serial_journal_bytes(tmp_path, cfg):
+    serial = tmp_path / "serial.jsonl"
+    j = CampaignJournal.open(serial, _spec(cfg))
+    for i in range(4):
+        j.append(_record(i))
+    j.close()
+
+    shuffled = tmp_path / "shuffled.jsonl"
+    with OrderedJournalWriter(CampaignJournal.open(shuffled, _spec(cfg))) as w:
+        for i in (3, 1, 0, 2):
+            w.add(i, _record(i))
+    assert serial.read_bytes() == shuffled.read_bytes()
+
+
+def test_ordered_writer_partial_flush_leaves_clean_prefix(tmp_path, cfg):
+    """A kill with a hole in flight loses only the buffered suffix: the
+    file holds the contiguous prefix, which resume can trust."""
+    path = tmp_path / "run.jsonl"
+    w = OrderedJournalWriter(CampaignJournal.open(path, _spec(cfg)))
+    w.add(0, _record(0))
+    w.add(2, _record(2))          # 1 never arrives (worker died)
+    w.close()
+    assert [r.mask.mask_id for r in CampaignJournal.load(path, _spec(cfg))] == [0]
+
+
+def test_ordered_writer_rejects_duplicate_and_past_positions(tmp_path, cfg):
+    w = OrderedJournalWriter(CampaignJournal.open(tmp_path / "j.jsonl", _spec(cfg)))
+    w.add(0, _record(0))
+    with pytest.raises(JournalError):
+        w.add(0, _record(0))
+    w.add(2, _record(2))
+    with pytest.raises(JournalError):
+        w.add(2, _record(2))
+    w.close()
+
+
+def test_ordered_writer_start_resumes_position_tracking(tmp_path, cfg):
+    path = tmp_path / "run.jsonl"
+    j = CampaignJournal.open(path, _spec(cfg))
+    j.append(_record(0))
+    j.append(_record(1))
+    j.close()
+    with OrderedJournalWriter(CampaignJournal.open(path, _spec(cfg)), start=2) as w:
+        w.add(3, _record(3))
+        w.add(2, _record(2))
+    loaded = CampaignJournal.load(path, _spec(cfg))
+    assert [r.mask.mask_id for r in loaded] == [0, 1, 2, 3]
+
+
+# -------------------------------------------------------- torn-tail repair
+
+
+def test_repair_torn_tail_truncates_partial_line(tmp_path, cfg):
+    path = tmp_path / "run.jsonl"
+    j = CampaignJournal.open(path, _spec(cfg))
+    j.append(_record(0))
+    j.append(_record(1))
+    j.close()
+    clean = path.read_bytes()
+    path.write_bytes(clean + b'{"kind": "record", "trunc')   # SIGKILL mid-write
+    removed = repair_torn_tail(path)
+    assert removed == len(b'{"kind": "record", "trunc')
+    assert path.read_bytes() == clean
+    # appending after repair continues the byte-identical stream
+    j = CampaignJournal.open(path, _spec(cfg))
+    j.append(_record(2))
+    j.close()
+    assert [r.mask.mask_id for r in CampaignJournal.load(path, _spec(cfg))] == [0, 1, 2]
+
+
+def test_repair_torn_tail_noop_on_clean_journal(tmp_path, cfg):
+    path = tmp_path / "run.jsonl"
+    j = CampaignJournal.open(path, _spec(cfg))
+    j.append(_record(0))
+    j.close()
+    before = path.read_bytes()
+    assert repair_torn_tail(path) == 0
+    assert path.read_bytes() == before
+
+
+def test_repair_torn_tail_missing_file_is_noop(tmp_path):
+    assert repair_torn_tail(tmp_path / "absent.jsonl") == 0
+
+
+# ------------------------------------------------------- contiguous prefix
+
+
+def test_contiguous_prefix_stops_at_first_gap():
+    masks = [_mask(i) for i in range(5)]
+    done = {0: "r0", 1: "r1", 3: "r3"}      # 2 missing
+    assert contiguous_prefix(masks, done) == 2
+    assert contiguous_prefix(masks, {}) == 0
+    assert contiguous_prefix(masks, {i: "r" for i in range(5)}) == 5
+    assert contiguous_prefix([], {0: "r"}) == 0

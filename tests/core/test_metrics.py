@@ -133,3 +133,49 @@ def test_opf_edges():
 def test_error_margin_wrapper():
     records = [_rec(Outcome.MASKED)] * 100
     assert 0 < error_margin(records, population=10**6) < 0.2
+
+
+# --------------------------------------------------- None propagation
+
+
+def test_opf_none_avf_propagates_none():
+    assert opf(None, cycles_per_run=1000, clock_hz=2e9) is None
+    with pytest.raises(ValueError):
+        # bad geometry still rejected even with an undefined AVF
+        opf(None, cycles_per_run=0, clock_hz=2e9)
+
+
+def test_weighted_avf_detailed_skips_none_and_renormalizes():
+    from repro.core.metrics import weighted_avf_detailed
+
+    # the None cell's weight must drop out, not dilute the average
+    res = weighted_avf_detailed([0.2, None, 0.4], [1.0, 5.0, 1.0])
+    assert res.value == pytest.approx(0.3)
+    assert res.n_used == 2
+    assert res.n_skipped == 1
+
+
+def test_weighted_avf_detailed_all_none_returns_none():
+    from repro.core.metrics import weighted_avf_detailed
+
+    res = weighted_avf_detailed([None, None], [1.0, 2.0])
+    assert res.value is None
+    assert res.n_used == 0
+    assert res.n_skipped == 2
+
+
+def test_weighted_avf_warns_on_skipped_cells():
+    with pytest.warns(RuntimeWarning, match="skipped"):
+        value = weighted_avf([0.5, None], [2.0, 2.0])
+    assert value == pytest.approx(0.5)
+
+
+def test_weighted_avf_detailed_validation():
+    from repro.core.metrics import weighted_avf_detailed
+
+    with pytest.raises(ValueError):
+        weighted_avf_detailed([0.1], [1.0, 2.0])   # length mismatch
+    with pytest.raises(ValueError):
+        weighted_avf_detailed([], [])
+    with pytest.raises(ValueError):
+        weighted_avf_detailed([0.1, 0.2], [0.0, 0.0])  # zero total weight

@@ -205,3 +205,36 @@ def test_csv_json_roundtrip(tmp_path):
     save_report(str(path), rows)
     assert path.read_text() == csv_text
     assert summaries_to_csv([]) == ""
+
+
+def test_render_table_none_cells_render_na():
+    text = render_table(["k", "v"], [["x", None], ["y", 0.5]])
+    assert "n/a" in text and "0.500" in text
+
+
+def test_render_matrix_grid_and_weighted_rows():
+    from repro.core.report import render_matrix
+
+    cells = [
+        {"row": "rv/crc32", "col": "regfile_int", "avf": 0.2,
+         "sdc_avf": 0.1, "crash_avf": 0.1, "error_margin": 0.3,
+         "faults": 5, "budget": 10, "stopped_early": True,
+         "golden_cycles": 1000},
+        {"row": "rv/crc32", "col": "lq", "avf": None, "sdc_avf": None,
+         "crash_avf": None, "error_margin": None, "faults": 4,
+         "budget": 4, "stopped_early": False, "golden_cycles": 1000},
+    ]
+    text = render_matrix(cells)
+    assert "regfile_int" in text and "lq" in text
+    assert "5/10*" in text          # adaptive early stop marker
+    assert "4/4" in text
+    assert "n/a" in text            # undefined cell metrics
+    assert "?" in text              # undefined heat-grid shade
+    # the weighted row skips the undefined cell and says so
+    assert "1 skipped" in text
+
+
+def test_render_matrix_empty():
+    from repro.core.report import render_matrix
+
+    assert render_matrix([]) == "(no cells)"

@@ -112,7 +112,7 @@ def test_campaign_completes_despite_sim_faults(cfg, detonator):
     assert len(res.records) == 4
     assert res.quarantined == 4
     assert res.valid_records == []
-    assert res.avf == 0.0                           # no divide-by-zero
+    assert res.avf is None                          # degenerate: undefined
     summary = res.summary()
     assert summary["quarantined"] == 4 and summary["retried"] == 4
 

@@ -209,7 +209,7 @@ def test_integrity_quarantine_excluded_from_avf(cfg):
     result = run_campaign(spec, masks=masks, sanitizer=policy)
     assert result.integrity_quarantined == 2
     assert result.valid_records == []
-    assert result.avf == 0.0
+    assert result.avf is None
     health = robustness_summary(result.records)
     assert health["integrity_quarantined"] == 2
     assert "integrity" in render_robustness(result.records)

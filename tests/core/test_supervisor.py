@@ -180,3 +180,50 @@ def test_outcomes_carry_wall_clock():
     (timed_out,) = outcomes
     assert timed_out.kind == TIMEOUT
     assert timed_out.wall_s is not None and timed_out.wall_s >= 0.5
+
+
+def _sleep_for(item):
+    time.sleep(item["sleep"])
+    return item["name"]
+
+
+def test_item_timeout_budgets_each_item_separately():
+    """A heterogeneous queue: the slow item must time out on its own tight
+    budget while the generous-budget item survives a longer runtime."""
+    items = [
+        {"name": "quick", "sleep": 0.0, "budget": 0.2},
+        {"name": "hog", "sleep": 30.0, "budget": 0.2},
+        {"name": "patient", "sleep": 0.4, "budget": 30.0},
+    ]
+    policy = SupervisorPolicy(max_retries=0, **_FAST)
+    outcomes = run_supervised(
+        _sleep_for, items, workers=3, policy=policy,
+        item_timeout=lambda item: item["budget"],
+    )
+    assert outcomes[0].ok and outcomes[0].value == "quick"
+    assert outcomes[1].kind == TIMEOUT
+    assert outcomes[2].ok and outcomes[2].value == "patient"
+
+
+def test_item_timeout_none_runs_untimed():
+    policy = SupervisorPolicy(timeout_s=0.05, max_retries=0, **_FAST)
+    outcomes = run_supervised(
+        _sleep_for, [{"name": "slowish", "sleep": 0.3}], workers=1,
+        policy=policy, item_timeout=lambda item: None,
+    )
+    # per-item None overrides the policy budget: no timeout fires
+    assert outcomes[0].ok and outcomes[0].value == "slowish"
+
+
+def test_item_timeout_scales_on_retry():
+    """Retried attempts get budget * timeout_scale_on_retry**attempt, same
+    rule as the policy-level timeout."""
+    policy = SupervisorPolicy(max_retries=1, timeout_scale_on_retry=10.0,
+                              **_FAST)
+    outcomes = run_supervised(
+        _sleep_for, [{"name": "borderline", "sleep": 0.4}], workers=1,
+        policy=policy, item_timeout=lambda item: 0.15,
+    )
+    # attempt 0 times out at 0.15s; attempt 1's budget is 1.5s and passes
+    assert outcomes[0].ok
+    assert outcomes[0].attempts == 2
