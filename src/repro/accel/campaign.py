@@ -22,6 +22,13 @@ from repro.core.faults import FaultFlip, FaultMask, FaultModel
 from repro.core.journal import CampaignJournal
 from repro.core.outcome import HVFClass, Outcome
 from repro.core.campaign import FaultRecord, SimulatorFault, quarantine_record
+from repro.core.protection import (
+    CORRECT,
+    DETECT,
+    MachineCheckError,
+    ProtectionConfig,
+    ProtectionScheme,
+)
 from repro.core.sampling import AdaptiveSampling, error_margin_for
 from repro.core.sanitizer import (
     DEFAULT_HANG_CYCLES,
@@ -44,44 +51,190 @@ class AccelCampaignSpec:
     seed: int = 1
     fu: FUConfig | None = None
     watchdog_factor: int = 8
+    #: per-structure protection assignment; None = unprotected.  Kept None
+    #: (never an all-``none`` config) so the spec fingerprint — and every
+    #: journal byte — of an unprotected campaign is identical to pre-
+    #: protection output (see ``repro.core.journal.spec_to_dict``).
+    protection: ProtectionConfig | None = None
+
+
+#: protected accelerator memories decode in 8-byte (64-bit) code words —
+#: the natural SPM access grain, and the same word width the CPU regfile
+#: schemes default to
+ACCEL_WORD_BITS = 64
+
+
+def accel_structure_name(spec: AccelCampaignSpec) -> str:
+    """The mask structure name accel flips carry."""
+    return f"accel:{spec.design}:{spec.component}"
+
+
+def accel_scheme(spec: AccelCampaignSpec) -> ProtectionScheme | None:
+    """The active protection scheme for the spec's component, if any."""
+    if spec.protection is None:
+        return None
+    return spec.protection.scheme_for(accel_structure_name(spec))
+
+
+def accel_population_bits(spec: AccelCampaignSpec, size: int) -> int:
+    """Injectable bits of one component: raw bytes, protection-extended.
+
+    A protected memory's fault population includes the (virtual) check
+    bits of every :data:`ACCEL_WORD_BITS`-bit code word; an unprotected
+    one is exactly ``size * 8``, byte-identical to pre-protection output.
+    """
+    scheme = accel_scheme(spec)
+    if scheme is None:
+        return size * 8
+    word_bytes = ACCEL_WORD_BITS // 8
+    if size % word_bytes:
+        raise ValueError(
+            f"{spec.component}: size {size} is not a multiple of the "
+            f"{word_bytes}-byte protection code word"
+        )
+    return (size // word_bytes) * scheme.extended_bits(ACCEL_WORD_BITS)
 
 
 class AccelInjector:
-    """Applies one fault mask to a live accelerator memory."""
+    """Applies one fault mask to a live accelerator memory.
 
-    UNINJECTED, ARMED, READ, MASKED_UNUSED, MASKED_OVERWRITTEN = range(5)
+    With a protection ``scheme``, the memory decodes in
+    :data:`ACCEL_WORD_BITS`-bit code words: flips at or beyond the data
+    bits (``mem.size * 8``) are *virtual check bits* — word-major, never
+    materialized in storage — and any access overlapping the flip's word
+    runs the scheme decoder.  Correctable patterns repair in place
+    (``CORRECTED``); detectable ones raise
+    :class:`~repro.core.protection.MachineCheckError` (``DETECTED`` →
+    ``Outcome.DUE``).
+    """
 
-    def __init__(self, mask: FaultMask, mem: ScratchpadMemory):
+    (UNINJECTED, ARMED, READ, MASKED_UNUSED, MASKED_OVERWRITTEN,
+     CORRECTED, DETECTED) = range(7)
+
+    def __init__(self, mask: FaultMask, mem: ScratchpadMemory,
+                 scheme: ProtectionScheme | None = None,
+                 structure: str = ""):
         if len(mask.flips) != 1:
             raise ValueError("accelerator campaigns use single-flip masks")
+        if scheme is not None and mask.model is not FaultModel.TRANSIENT:
+            raise ValueError(
+                "protection modeling supports transient faults only "
+                f"(got {mask.model.value})"
+            )
         self.mask = mask
         self.flip = mask.flips[0]
         self.mem = mem
+        self.scheme = scheme
+        self.structure = structure or self.flip.structure
         self.state = self.UNINJECTED
+        self.data_total = mem.size * 8
+        if scheme is not None:
+            check = scheme.check_bits(ACCEL_WORD_BITS)
+            if self.flip.bit < self.data_total:
+                self.word = self.flip.bit // ACCEL_WORD_BITS
+                self.local_bit = self.flip.bit % ACCEL_WORD_BITS
+            else:
+                off = self.flip.bit - self.data_total
+                self.word = off // check
+                self.local_bit = ACCEL_WORD_BITS + off % check
         mem.probe = self
 
     @property
     def byte(self) -> int:
         return self.flip.bit // 8
 
+    @property
+    def virtual(self) -> bool:
+        """A check-bit flip: bookkeeping-only, never stored."""
+        return self.scheme is not None and self.flip.bit >= self.data_total
+
+    def _word_range(self) -> tuple[int, int]:
+        """Byte range of the protected code word the flip belongs to."""
+        lo = self.word * (ACCEL_WORD_BITS // 8)
+        return lo, lo + ACCEL_WORD_BITS // 8
+
     def tick(self, engine: DataflowEngine) -> None:
-        if self.state is self.UNINJECTED and engine.cycle >= self.flip.cycle:
-            if self.mask.model is FaultModel.TRANSIENT:
+        if self.state is not self.UNINJECTED or engine.cycle < self.flip.cycle:
+            return
+        if self.mask.model is FaultModel.TRANSIENT:
+            if self.scheme is not None:
+                # protection decodes whole words: the unused fast path only
+                # applies when the entire code word is untouched
+                lo, hi = self._word_range()
+                if not any(self.mem.byte_used(b) for b in range(lo, hi)):
+                    self.state = self.MASKED_UNUSED
+                    return
+                if not self.virtual:
+                    self.mem.flip_bit(self.flip.bit)
+            else:
                 if not self.mem.byte_used(self.byte):
                     self.state = self.MASKED_UNUSED
                     return
                 self.mem.flip_bit(self.flip.bit)
-            else:
-                self.mem.force_bit(self.flip.bit, self.mask.model.stuck_value)
-            self.state = self.ARMED
+        else:
+            self.mem.force_bit(self.flip.bit, self.mask.model.stuck_value)
+        self.state = self.ARMED
+
+    # ------------------------------------------------------------ protection
+
+    def _overlaps_word(self, lo: int, hi: int) -> bool:
+        wlo, whi = self._word_range()
+        return lo < whi and wlo < hi
+
+    def _decode(self, escape_state: int, written=None) -> None:
+        """Run the word's error pattern through the scheme decoder.
+
+        ``written(local_bit)`` marks bits a concurrent write already
+        replaced (the probe fires after the mutation): corrections skip
+        them, and an escaped pattern they cover is simply overwritten.
+        """
+        decode = self.scheme.decode({self.local_bit}, ACCEL_WORD_BITS)
+        base = self.word * ACCEL_WORD_BITS
+        for b in decode.fix_bits:
+            if written is None or not written(b):
+                self.mem.flip_bit(base + b)
+        if decode.verdict == CORRECT:
+            self.state = self.CORRECTED
+        elif decode.verdict == DETECT:
+            self.state = self.DETECTED
+            raise MachineCheckError(f"{self.scheme.name}:{self.structure}")
+        elif written is not None and (self.virtual or written(self.local_bit)):
+            self.state = self.MASKED_OVERWRITTEN
+        else:
+            self.state = escape_state
+
+    def finish(self) -> None:
+        """End-of-run patrol scrub: decode a still-armed protected word.
+
+        :meth:`ScratchpadMemory.dump` fires no probe, so without this a
+        resident detectable error in an output word would be read out
+        silently instead of raising its machine check (DUE)."""
+        if self.scheme is not None and self.state == self.ARMED:
+            self._decode(self.ARMED)
 
     # ------------------------------------------------------------ probe
 
     def on_read(self, mem, lo: int, hi: int) -> None:
-        if self.state == self.ARMED and lo <= self.byte < hi:
+        if self.state != self.ARMED:
+            return
+        if self.scheme is not None:
+            if self._overlaps_word(lo, hi):
+                self._decode(self.READ)
+            return
+        if lo <= self.byte < hi:
             self.state = self.READ
 
     def on_write(self, mem, lo: int, hi: int) -> None:
+        if self.scheme is not None and self.state == self.ARMED:
+            if self._overlaps_word(lo, hi):
+                # read-modify-write: the decoder sees the old word before
+                # the merge, then the re-encode erases covered flips
+                self._decode(
+                    self.READ,
+                    written=lambda b: (b < ACCEL_WORD_BITS
+                                       and lo <= self.word * 8 + b // 8 < hi),
+                )
+            return
         if not (lo <= self.byte < hi):
             return
         if self.mask.model.permanent:
@@ -97,12 +250,14 @@ class AccelInjector:
         return self.mask.model is FaultModel.TRANSIENT and self.state in (
             self.MASKED_UNUSED,
             self.MASKED_OVERWRITTEN,
+            self.CORRECTED,
         )
 
     def masked_reason(self) -> str | None:
         return {
             self.MASKED_UNUSED: "masked_unused",
             self.MASKED_OVERWRITTEN: "masked_overwritten",
+            self.CORRECTED: "corrected",
         }.get(self.state)
 
 
@@ -172,6 +327,29 @@ class AccelCampaignResult:
         return self.count(Outcome.CRASH) / len(valid) if valid else None
 
     @property
+    def due_avf(self) -> float | None:
+        """Detected-uncorrectable share of the AVF (machine checks)."""
+        valid = self.valid_records
+        return self.count(Outcome.DUE) / len(valid) if valid else None
+
+    @property
+    def corrected(self) -> int:
+        """Runs whose flip the protection scheme repaired in place."""
+        return sum(1 for r in self.records if r.masked_reason == "corrected")
+
+    @property
+    def coverage(self) -> float | None:
+        """``(corrected + DUE) / (corrected + DUE + SDC + CRASH)``."""
+        caught = self.corrected + self.count(Outcome.DUE)
+        exercised = caught + self.count(Outcome.SDC) + self.count(Outcome.CRASH)
+        return caught / exercised if exercised else None
+
+    @property
+    def residual_sdc_avf(self) -> float | None:
+        """SDC remaining *despite* protection (multi-bit escapes)."""
+        return self.sdc_avf
+
+    @property
     def error_margin(self) -> float | None:
         """Achieved margin of the valid sample (``None`` when it is empty)."""
         n = len(self.valid_records)
@@ -180,7 +358,7 @@ class AccelCampaignResult:
         return error_margin_for(n, self.population_bits)
 
     def summary(self) -> dict:
-        return {
+        out = {
             "design": self.spec.design,
             "component": self.spec.component,
             "model": self.spec.model.value,
@@ -198,6 +376,16 @@ class AccelCampaignResult:
             "timeouts": self.timeouts,
             "resumed": self.resumed,
         }
+        if self.spec.protection is not None and self.spec.protection.enabled:
+            # protection-only keys: an unprotected summary renders exactly
+            # as it always has
+            scheme = accel_scheme(self.spec)
+            out["protection"] = scheme.name if scheme is not None else "none"
+            out["due_avf"] = self.due_avf
+            out["corrected"] = self.corrected
+            out["coverage"] = self.coverage
+            out["residual_sdc_avf"] = self.residual_sdc_avf
+        return out
 
 
 class AccelReplayContext:
@@ -264,7 +452,8 @@ def accel_masks(spec: AccelCampaignSpec, golden: AccelGolden) -> list[FaultMask]
     """
     design = get_design(spec.design)
     size = {d.name: d.size for d in design.memories}[spec.component]
-    population = size * 8 * (1 if spec.model.permanent else golden.cycles)
+    total_bits = accel_population_bits(spec, size)
+    population = total_bits * (1 if spec.model.permanent else golden.cycles)
     if spec.faults > population:
         raise ValueError(
             f"cannot draw {spec.faults} distinct fault sites from a "
@@ -276,7 +465,7 @@ def accel_masks(spec: AccelCampaignSpec, golden: AccelGolden) -> list[FaultMask]
     for mask_id in range(spec.faults):
         while True:
             site = (
-                rng.randrange(size * 8),
+                rng.randrange(total_bits),
                 0 if spec.model.permanent else rng.randrange(golden.cycles),
             )
             if site not in seen:
@@ -314,7 +503,9 @@ def _simulate_one_accel(spec: AccelCampaignSpec, mask: FaultMask,
         else:
             accel = get_design(spec.design).instantiate(spec.fu)
             accel.load_inputs(spec.scale)
-        injector = AccelInjector(mask, accel.mem(spec.component))
+        injector = AccelInjector(mask, accel.mem(spec.component),
+                                 scheme=accel_scheme(spec),
+                                 structure=accel_structure_name(spec))
         engine = DataflowEngine(
             accel.kernel(spec.scale),
             accel.memmap,
@@ -329,8 +520,24 @@ def _simulate_one_accel(spec: AccelCampaignSpec, mask: FaultMask,
         )
         engine.sanitizer = auditor
         result = engine.run()
+        if result.ok:
+            # patrol scrub before the output dump (dump() fires no probe):
+            # a resident detectable error must machine-check, not read out
+            injector.finish()
         if auditor is not None:
             auditor.audit(engine)   # final audit of the terminal state
+    except MachineCheckError as exc:
+        # protection flagged an uncorrectable error: a first-class DUE —
+        # the machine *knows* it failed, unlike an SDC
+        return FaultRecord(
+            mask=mask,
+            outcome=Outcome.DUE,
+            hvf=HVFClass.CORRUPTION,
+            cycles=engine.cycle,
+            activated=False,
+            max_cycles=max_cycles,
+            detected_by=exc.detected_by,
+        )
     except IntegrityViolation:
         # impossible state caught mid-run — escalate upstream untouched
         raise
@@ -463,6 +670,12 @@ def run_accel_campaign(
     takes: stop at the first batch boundary whose achieved error margin
     over the valid records reaches the target, making ``spec.faults`` a
     budget rather than an exact count."""
+    if (spec.protection is not None and spec.protection.enabled
+            and spec.model is not FaultModel.TRANSIENT):
+        raise ValueError(
+            "protection modeling supports transient faults only; run "
+            f"permanent-fault campaigns unprotected (model={spec.model.value})"
+        )
     golden = accel_golden(spec)
     if masks is None:
         masks = accel_masks(spec, golden)
@@ -473,7 +686,7 @@ def run_accel_campaign(
 
     design = get_design(spec.design)
     size = {d.name: d.size for d in design.memories}[spec.component]
-    population_bits = size * 8
+    population_bits = accel_population_bits(spec, size)
 
     done: dict[int, FaultRecord] = {}
     if resume is not None and Path(resume).exists():

@@ -45,16 +45,45 @@ def _add_telemetry_args(p) -> None:
                         "when the campaign finishes")
 
 
-def _telemetry_from_args(args):
+def _telemetry_from_args(args, metrics_out=None):
     """Build a Telemetry hub when any observability flag is set."""
-    if not (args.progress or args.metrics_out):
+    if metrics_out is None:
+        metrics_out = args.metrics_out
+    if not (args.progress or metrics_out):
         return None
     from repro.core.telemetry import ProgressPrinter, Telemetry
 
     return Telemetry(
         progress=ProgressPrinter() if args.progress else None,
-        metrics_out=args.metrics_out,
+        metrics_out=metrics_out,
     )
+
+
+def _add_protect_arg(p) -> None:
+    p.add_argument("--protect", metavar="STRUCT=SCHEME[,...]",
+                   help="attach protection schemes to structures, e.g. "
+                        "'l1d=secded,regfile_int=tmr'; schemes: none, "
+                        "parity, secded, tmr.  Detected-uncorrectable "
+                        "errors classify as DUE; corrected flips count "
+                        "toward coverage (transient model only)")
+
+
+def _protection_from_args(args):
+    if not getattr(args, "protect", None):
+        return None
+    from repro.core.protection import ProtectionConfig, normalized
+
+    return normalized(ProtectionConfig.parse(args.protect))
+
+
+def _per_target_path(path, tag, multi):
+    """Derive a per-sub-campaign output path; untouched for single runs."""
+    if not path or not multi:
+        return path
+    import os
+
+    root, ext = os.path.splitext(path)
+    return f"{root}-{tag}{ext}"
 
 
 def _add_adaptive_args(p) -> None:
@@ -97,7 +126,9 @@ def _add_campaign(sub) -> None:
     p = sub.add_parser("campaign", help="run a CPU SFI campaign")
     p.add_argument("--isa", default="rv", choices=["rv", "arm", "x86"])
     p.add_argument("--workload", default="qsort")
-    p.add_argument("--target", default="regfile_int")
+    p.add_argument("--target", default="regfile_int",
+                   help="injection target, or a comma-separated list to run "
+                        "one journaled sub-campaign per target")
     p.add_argument("--faults", type=int, default=100)
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--scale", default="tiny")
@@ -124,6 +155,7 @@ def _add_campaign(sub) -> None:
     p.add_argument("--no-early-exit", action="store_true",
                    help="disable the golden-trace re-convergence early exit "
                         "(fault runs always simulate to completion)")
+    _add_protect_arg(p)
     _add_adaptive_args(p)
     _add_sanitizer_args(p)
     _add_telemetry_args(p)
@@ -143,6 +175,7 @@ def _add_accel(sub) -> None:
                    help="append per-fault records to this JSONL run journal")
     p.add_argument("--resume", metavar="PATH",
                    help="skip masks already completed in this journal")
+    _add_protect_arg(p)
     _add_adaptive_args(p)
     _add_sanitizer_args(p)
     _add_telemetry_args(p)
@@ -243,62 +276,110 @@ def cmd_campaign(args) -> int:
     from repro.core.campaign import CampaignSpec, run_campaign
     from repro.core.checkpoint import CheckpointPolicy
     from repro.core.presets import get_preset
-    from repro.core.report import render_robustness, render_table, save_report
-
-    spec = CampaignSpec(
-        isa=args.isa, workload=args.workload, target=args.target,
-        cfg=get_preset(args.preset), scale=args.scale, faults=args.faults,
-        seed=args.seed, model=_model(args.model),
-        flips_per_mask=args.flips_per_mask,
+    from repro.core.report import (
+        render_protection,
+        render_robustness,
+        render_table,
+        save_report,
     )
+
+    targets = [t.strip() for t in args.target.split(",") if t.strip()]
+    if not targets:
+        print("error: empty --target", file=sys.stderr)
+        return 2
+    try:
+        protection = _protection_from_args(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    multi = len(targets) > 1
     checkpoints = CheckpointPolicy(
         stride=args.checkpoint_stride,
         early_exit=not args.no_early_exit,
     )
     sanitizer, hang_cycles = _sanitizer_from_args(args)
-    telemetry = _telemetry_from_args(args)
-    result = run_campaign(
-        spec, workers=args.workers,
-        journal=args.journal, resume=args.resume, timeout_s=args.timeout,
-        checkpoints=checkpoints, sanitizer=sanitizer, hang_cycles=hang_cycles,
-        telemetry=telemetry, adaptive=_adaptive_from_args(args),
-    )
-    summary = result.summary()
-    print(render_table(["metric", "value"], sorted(summary.items())))
-    if result.stopped_early:
-        print(f"adaptive stop: {len(result.records)}/{spec.faults} faults, "
-              f"achieved margin {result.error_margin:.4f}")
-    if result.resumed:
-        print(f"resumed {result.resumed}/{len(result.records)} masks "
-              f"from {args.resume}")
-    health = render_robustness(result.records)
-    if health:
-        print(f"WARNING: {health}", file=sys.stderr)
+    summaries = []
+    for target in targets:
+        spec = CampaignSpec(
+            isa=args.isa, workload=args.workload, target=target,
+            cfg=get_preset(args.preset), scale=args.scale, faults=args.faults,
+            seed=args.seed, model=_model(args.model),
+            flips_per_mask=args.flips_per_mask,
+            protection=protection,
+        )
+        metrics_out = _per_target_path(args.metrics_out, target, multi)
+        telemetry = _telemetry_from_args(args, metrics_out=metrics_out)
+        journal = _per_target_path(args.journal, target, multi)
+        resume = _per_target_path(args.resume, target, multi)
+        try:
+            result = run_campaign(
+                spec, workers=args.workers,
+                journal=journal, resume=resume, timeout_s=args.timeout,
+                checkpoints=checkpoints, sanitizer=sanitizer,
+                hang_cycles=hang_cycles,
+                telemetry=telemetry, adaptive=_adaptive_from_args(args),
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        summary = result.summary()
+        if multi:
+            print(f"== target {target} ==")
+        print(render_table(["metric", "value"], sorted(summary.items())))
+        if result.stopped_early:
+            print(f"adaptive stop: {len(result.records)}/{spec.faults} "
+                  f"faults, achieved margin {result.error_margin:.4f}")
+        if result.resumed:
+            print(f"resumed {result.resumed}/{len(result.records)} masks "
+                  f"from {resume}")
+        health = render_robustness(result.records)
+        if health:
+            print(f"WARNING: {health}", file=sys.stderr)
+        if metrics_out:
+            print(f"wrote {metrics_out}")
+        summaries.append(summary)
+    if protection is not None:
+        print(render_protection(summaries))
     if args.csv:
-        save_report(args.csv, [summary])
+        save_report(args.csv, summaries)
         print(f"wrote {args.csv}")
-    if args.metrics_out:
-        print(f"wrote {args.metrics_out}")
     return 0
 
 
 def cmd_accel(args) -> int:
     from repro.accel.campaign import AccelCampaignSpec, run_accel_campaign
     from repro.accel.dataflow import FUConfig
-    from repro.core.report import render_robustness, render_table
+    from repro.core.report import (
+        render_protection,
+        render_robustness,
+        render_table,
+    )
 
+    try:
+        protection = _protection_from_args(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     spec = AccelCampaignSpec(
         design=args.design, component=args.component, scale=args.scale,
         faults=args.faults, seed=args.seed, model=_model(args.model),
         fu=FUConfig.uniform(args.fu) if args.fu else None,
+        protection=protection,
     )
     sanitizer, hang_cycles = _sanitizer_from_args(args)
     telemetry = _telemetry_from_args(args)
-    result = run_accel_campaign(spec, journal=args.journal, resume=args.resume,
-                                sanitizer=sanitizer, hang_cycles=hang_cycles,
-                                telemetry=telemetry,
-                                adaptive=_adaptive_from_args(args))
-    print(render_table(["metric", "value"], sorted(result.summary().items())))
+    try:
+        result = run_accel_campaign(
+            spec, journal=args.journal, resume=args.resume,
+            sanitizer=sanitizer, hang_cycles=hang_cycles,
+            telemetry=telemetry, adaptive=_adaptive_from_args(args))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    summary = result.summary()
+    print(render_table(["metric", "value"], sorted(summary.items())))
+    if protection is not None:
+        print(render_protection([summary]))
     if result.stopped_early:
         print(f"adaptive stop: {len(result.records)}/{spec.faults} faults, "
               f"achieved margin {result.error_margin:.4f}")

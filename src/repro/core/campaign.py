@@ -29,6 +29,7 @@ from repro.core.faults import FaultMask, FaultModel
 from repro.core.injector import InjectionController
 from repro.core.journal import CampaignJournal
 from repro.core.outcome import Classification, HVFClass, Outcome, classify
+from repro.core.protection import ProtectionConfig
 from repro.core.sampling import AdaptiveSampling, error_margin_for, generate_masks
 from repro.core.sanitizer import (
     DEFAULT_HANG_CYCLES,
@@ -63,6 +64,11 @@ class CampaignSpec:
     flips_per_mask: int = 1
     stop_early: bool = True
     stop_on_hvf: bool = False       # HVF-only campaigns may stop at first mismatch
+    #: per-structure protection assignment; None = unprotected.  Kept None
+    #: (never an all-``none`` config) so the spec fingerprint — and every
+    #: journal byte — of an unprotected campaign is identical to pre-
+    #: protection output (see ``repro.core.journal.spec_to_dict``).
+    protection: ProtectionConfig | None = None
 
 
 @dataclass
@@ -111,6 +117,10 @@ class FaultRecord:
     sim_error_kind: str | None = None
     #: structured sanitizer evidence for an 'integrity' quarantine
     integrity: IntegrityReport | None = None
+    #: ``scheme:structure`` provenance of a DUE verdict (None otherwise;
+    #: omitted from the journal line when None so unprotected journals
+    #: stay byte-identical to pre-protection output)
+    detected_by: str | None = None
     #: golden-checkpoint cycle the run fast-forwarded from (0 = from
     #: scratch).  Excluded from equality: a checkpointed record is the
     #: *same verdict* as its from-scratch twin, just cheaper to reach.
@@ -213,6 +223,35 @@ class CampaignResult:
         return self.count(Outcome.CRASH) / len(valid) if valid else None
 
     @property
+    def due_avf(self) -> float | None:
+        """Detected-uncorrectable share of the AVF (machine checks)."""
+        valid = self.valid_records
+        return self.count(Outcome.DUE) / len(valid) if valid else None
+
+    @property
+    def corrected(self) -> int:
+        """Runs whose every flip the protection scheme repaired in place."""
+        return sum(1 for r in self.records if r.masked_reason == "corrected")
+
+    @property
+    def coverage(self) -> float | None:
+        """Share of protection-relevant faults the scheme caught.
+
+        ``(corrected + DUE) / (corrected + DUE + SDC + CRASH)`` — of the
+        faults that either mattered or were intercepted, how many did the
+        scheme correct or at least flag?  ``None`` when nothing in the
+        sample exercised the question (all masked for other reasons).
+        """
+        caught = self.corrected + self.count(Outcome.DUE)
+        exercised = caught + self.count(Outcome.SDC) + self.count(Outcome.CRASH)
+        return caught / exercised if exercised else None
+
+    @property
+    def residual_sdc_avf(self) -> float | None:
+        """SDC remaining *despite* protection (multi-bit escapes)."""
+        return self.sdc_avf
+
+    @property
     def hvf(self) -> float | None:
         valid = self.valid_records
         if not valid:
@@ -229,7 +268,7 @@ class CampaignResult:
         return error_margin_for(n, self.population_bits)
 
     def summary(self) -> dict:
-        return {
+        out = {
             "isa": self.spec.isa,
             "workload": self.spec.workload,
             "target": self.spec.target,
@@ -249,6 +288,16 @@ class CampaignResult:
             "timeouts": self.timeouts,
             "resumed": self.resumed,
         }
+        if self.spec.protection is not None and self.spec.protection.enabled:
+            # protection-only keys: an unprotected summary renders exactly
+            # as it always has
+            out["protection"] = self.spec.protection.scheme_name_for(
+                self.spec.target) or "none"
+            out["due_avf"] = self.due_avf
+            out["corrected"] = self.corrected
+            out["coverage"] = self.coverage
+            out["residual_sdc_avf"] = self.residual_sdc_avf
+        return out
 
 
 # --------------------------------------------------------------------------
@@ -414,7 +463,8 @@ def _simulate_one(
     with the exact fields a full-length run would have produced.
     """
     isa = get_isa(spec.isa)
-    controller = InjectionController(mask, stop_early=spec.stop_early)
+    controller = InjectionController(mask, stop_early=spec.stop_early,
+                                     protection=spec.protection)
     core = OoOCore.from_executable(golden.exe, isa, cfg=spec.cfg, injector=controller)
     core.trace_mode = "compare"
     core.golden_trace = golden.result.commit_trace
@@ -473,6 +523,11 @@ def _simulate_one(
         if (crashed is None and not core.halted
                 and not controller.early_masked and not reconverged):
             crashed = "timeout"
+        if crashed is None:
+            # end-of-run patrol scrub: decode protected words the program
+            # never touched again, so a resident uncorrectable error
+            # raises its machine check (DUE) instead of silently vanishing
+            controller.finish(core)
         if auditor is not None:
             auditor.audit(core)   # final audit of the terminal state
     except CrashError as exc:
@@ -533,6 +588,7 @@ def _simulate_one(
             golden.output,
             controller.early_masked,
             controller.masked_reason(),
+            detected_by=controller.detected_by,
         )
     return FaultRecord(
         mask=mask,
@@ -544,6 +600,7 @@ def _simulate_one(
         activated=controller.activated,
         max_cycles=max_cycles,
         stopped_on_hvf=stopped_on_hvf,
+        detected_by=cls.detected_by,
         restored_from=restored_from,
         early_exited=reconverged,
     )
@@ -707,11 +764,29 @@ def _probe_golden_misses(_arg=None) -> int:
 # --------------------------------------------------------------------------
 
 
+def target_geometry(spec: CampaignSpec, core) -> tuple[int, int]:
+    """Injectable geometry of the spec's target, protection-extended.
+
+    A protected structure's fault population includes its check bits
+    (virtual for TMR copies / ECC syndromes, see
+    :mod:`repro.core.protection`), so both the mask sample and the
+    Leveugle population are drawn over the extended word.
+    """
+    entries, bits = get_target(spec.target).geometry(core)
+    scheme = (
+        spec.protection.scheme_for(spec.target)
+        if spec.protection is not None else None
+    )
+    if scheme is not None:
+        bits = scheme.extended_bits(bits)
+    return entries, bits
+
+
 def masks_for_spec(spec: CampaignSpec, golden: GoldenRun) -> list[FaultMask]:
     """Generate the statistical fault sample for a campaign spec."""
     isa = get_isa(spec.isa)
     probe_core = OoOCore.from_executable(golden.exe, isa, spec.cfg)
-    entries, bits = get_target(spec.target).geometry(probe_core)
+    entries, bits = target_geometry(spec, probe_core)
     return generate_masks(
         structure=spec.target,
         entries=entries,
@@ -815,6 +890,12 @@ def run_campaign(
       journaled records are a prefix of (and byte-identical to) the
       fixed-budget campaign's.
     """
+    if (spec.protection is not None and spec.protection.enabled
+            and spec.model is not FaultModel.TRANSIENT):
+        raise ValueError(
+            "protection modeling supports transient faults only; run "
+            f"permanent-fault campaigns unprotected (model={spec.model.value})"
+        )
     ckpt_policy = checkpoints if checkpoints is not None else DEFAULT_CHECKPOINT_POLICY
     golden = golden_run(spec.isa, spec.workload, spec.cfg, spec.scale,
                         checkpoints=ckpt_policy)
@@ -827,7 +908,7 @@ def run_campaign(
 
     isa = get_isa(spec.isa)
     probe_core = OoOCore.from_executable(golden.exe, isa, spec.cfg)
-    entries, bits = get_target(spec.target).geometry(probe_core)
+    entries, bits = target_geometry(spec, probe_core)
     population_bits = entries * bits
 
     done: dict[int, FaultRecord] = {}

@@ -14,8 +14,11 @@ audits one journal without re-running anything:
 * no two records claim the same ``mask_id`` (resume keys on it);
 * per-record consistency: quarantined runs carry a ``sim_error_kind``,
   ``integrity`` quarantines carry their :class:`IntegrityReport`, Crash
-  verdicts carry a ``crash_reason``, and every flip targets the structure
-  the campaign spec says it should;
+  verdicts carry a ``crash_reason``, DUE verdicts carry their
+  ``detected_by`` provenance (and protection verdicts — DUE or
+  ``corrected`` — only ever appear under a spec with a protection
+  config), and every flip targets the structure the campaign spec says
+  it should;
 * the record count does not exceed the spec's sample size.
 
 The verdict ships with the journal's robustness/integrity summary so the
@@ -118,8 +121,23 @@ def _expected_structure(spec: dict) -> str | None:
 
 
 def _check_record(report: DoctorReport, line_no: int, record,
-                  expected_structure: str | None) -> None:
+                  expected_structure: str | None,
+                  protected: bool = False) -> None:
     where = f"line {line_no} (mask {record.mask.mask_id})"
+    if record.outcome is Outcome.DUE and not record.detected_by:
+        report.problems.append(
+            f"{where}: DUE verdict without detected_by provenance")
+    if record.detected_by and record.outcome is not Outcome.DUE:
+        report.problems.append(
+            f"{where}: carries detected_by {record.detected_by!r} but the "
+            f"outcome is {record.outcome.value!r}, not due")
+    if not protected and (
+            record.outcome is Outcome.DUE
+            or record.detected_by
+            or record.masked_reason == "corrected"):
+        report.problems.append(
+            f"{where}: protection verdict journaled by a campaign spec "
+            f"without a protection config")
     if record.outcome is Outcome.SIM_FAULT:
         if not record.sim_error_kind:
             report.problems.append(
@@ -178,6 +196,7 @@ def diagnose_journal(path: str | Path) -> DoctorReport:
             "header fingerprint does not match its own spec — the header "
             "was edited or spliced from another campaign")
     expected_structure = _expected_structure(spec)
+    protected = bool(spec.get("protection"))
 
     records = []
     seen_ids: dict[int, int] = {}
@@ -214,7 +233,8 @@ def diagnose_journal(path: str | Path) -> DoctorReport:
                 f"line {seen_ids[mask_id]}) — resume would keep only one")
         else:
             seen_ids[mask_id] = line_no
-        _check_record(report, line_no, record, expected_structure)
+        _check_record(report, line_no, record, expected_structure,
+                      protected=protected)
         records.append(record)
 
     report.records = len(records)

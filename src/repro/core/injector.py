@@ -14,6 +14,24 @@ Implements the paper's campaign speedups (Section IV-B):
 
 Permanent faults are *enforced*: after every write touching the faulty cell
 the stuck-at value is re-applied, so the defect behaves like broken SRAM.
+
+With a :class:`~repro.core.protection.ProtectionConfig`, protected
+structures route every access through the scheme decoder:
+
+* flips in the extended bit range (``>= data_bits``) are **virtual check
+  bits** — armed and tracked, but never materialized in storage;
+* any read of a protected code word decodes the word's armed-flip set:
+  correctable patterns are repaired in place (``CORRECTED``), detectable
+  ones raise :class:`~repro.core.protection.MachineCheckError`
+  (``DETECTED`` → ``Outcome.DUE``), the rest flow through as residual
+  corruption;
+* writes model read-modify-write: the decoder sees the old word before the
+  merge, and the re-encode erases check-bit flips while *baking in* any
+  escaped data corruption (undetectable from then on → ``ESCAPED``);
+* dirty evictions pass the line through the decoder before write-back;
+* :meth:`InjectionController.finish` is the end-of-run patrol scrub —
+  words never touched again still get decoded, so a resident double-bit
+  error surfaces as DUE instead of silently vanishing at run end.
 """
 
 from __future__ import annotations
@@ -21,6 +39,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.faults import FaultFlip, FaultMask, FaultModel
+from repro.core.protection import (
+    CORRECT,
+    DETECT,
+    MachineCheckError,
+    ProtectionConfig,
+    ProtectionScheme,
+)
 from repro.core.targets import Target, get_target
 
 # flip lifecycle states
@@ -31,8 +56,10 @@ ESCAPED = "escaped"                  # corrupted data left the structure (dirty 
 MASKED_UNUSED = "masked_unused"      # hit an invalid/free entry
 MASKED_OVERWRITTEN = "masked_overwritten"
 MASKED_DISCARDED = "masked_discarded"  # clean eviction / entry freed
+CORRECTED = "corrected"              # protection repaired the word in place
+DETECTED = "detected"                # protection raised a machine check (DUE)
 
-FINAL_MASKED = {MASKED_UNUSED, MASKED_OVERWRITTEN, MASKED_DISCARDED}
+FINAL_MASKED = {MASKED_UNUSED, MASKED_OVERWRITTEN, MASKED_DISCARDED, CORRECTED}
 LIVE = {READ, ESCAPED}
 
 
@@ -41,10 +68,20 @@ class _FlipState:
     flip: FaultFlip
     target: Target
     status: str = PENDING
+    #: active protection scheme for this flip's structure (None = bare)
+    scheme: ProtectionScheme | None = field(default=None, repr=False)
+    #: physical data bits per code word (flips at or beyond are virtual)
+    data_bits: int = 0
+    #: the flip physically mutated storage (virtual check bits never do)
+    applied: bool = False
 
     @property
     def byte(self) -> int:
         return self.flip.bit // 8
+
+    @property
+    def virtual(self) -> bool:
+        return self.scheme is not None and self.flip.bit >= self.data_bits
 
 
 class InjectionController:
@@ -55,10 +92,25 @@ class InjectionController:
     probe methods on reads/writes/evictions.
     """
 
-    def __init__(self, mask: FaultMask, stop_early: bool = True):
+    def __init__(self, mask: FaultMask, stop_early: bool = True,
+                 protection: ProtectionConfig | None = None):
         self.mask = mask
         self.stop_early = stop_early
+        self.protection = (
+            protection
+            if protection is not None and protection.enabled else None
+        )
+        if self.protection is not None and mask.model is not FaultModel.TRANSIENT:
+            raise ValueError(
+                "protection modeling supports transient faults only "
+                f"(got {mask.model.value})"
+            )
+        #: ``scheme:structure`` provenance once a machine check fired
+        self.detected_by: str | None = None
         self.flips = [_FlipState(f, get_target(f.structure)) for f in mask.flips]
+        if self.protection is not None:
+            for fs in self.flips:
+                fs.scheme = self.protection.scheme_for(fs.flip.structure)
         self._by_structure: dict[int, list[_FlipState]] = {}
         self.checkpoint_seen = False
         self.switch_seen = False
@@ -72,13 +124,18 @@ class InjectionController:
 
     def _apply(self, core, fs: _FlipState) -> None:
         flip = fs.flip
+        if fs.scheme is not None:
+            fs.data_bits = fs.target.geometry(core)[1]
         if self.mask.model is FaultModel.TRANSIENT:
             if not fs.target.occupied(core, flip.entry):
                 fs.status = MASKED_UNUSED
                 return
-            fs.target.flip(core, flip.entry, flip.bit)
+            if not fs.virtual:
+                fs.target.flip(core, flip.entry, flip.bit)
+                fs.applied = True
         else:
             fs.target.force(core, flip.entry, flip.bit, self.mask.model.stuck_value)
+            fs.applied = True
         fs.status = ARMED
         self._arm(core, fs)
 
@@ -89,6 +146,92 @@ class InjectionController:
 
     def _watches(self, structure) -> list[_FlipState]:
         return self._by_structure.get(id(structure), ())
+
+    # ------------------------------------------------------------ protection
+
+    def _armed_in(self, structure, entry: int) -> list[_FlipState]:
+        """Protected armed flips sharing one code word (empty when bare)."""
+        return [
+            fs for fs in self._watches(structure)
+            if fs.status is ARMED and fs.flip.entry == entry
+            and fs.scheme is not None
+        ]
+
+    def _decode(self, obj, entry: int, armed: list[_FlipState],
+                escape_status: str | None) -> None:
+        """Pass one code word through its scheme decoder.
+
+        ``escape_status`` is what an undetectable pattern becomes (READ on
+        a consuming read, ESCAPED on a dirty eviction, None to leave the
+        flips armed for the caller to settle).
+        """
+        scheme = armed[0].scheme
+        decode = scheme.decode({fs.flip.bit for fs in armed},
+                               armed[0].data_bits)
+        for b in decode.fix_bits:
+            obj.flip_bit(entry, b)
+        if decode.verdict == CORRECT:
+            for fs in armed:
+                fs.status = CORRECTED
+        elif decode.verdict == DETECT:
+            for fs in armed:
+                fs.status = DETECTED
+            self.detected_by = f"{scheme.name}:{armed[0].flip.structure}"
+            raise MachineCheckError(self.detected_by)
+        elif escape_status is not None:
+            for fs in armed:
+                fs.status = escape_status
+
+    def _decode_at_write(self, obj, entry: int, armed: list[_FlipState],
+                         written) -> None:
+        """Read-modify-write decode: verdict first, then the merge.
+
+        The decoder sees the *old* word, so detection still fires — but
+        corrections must not touch bytes the write has already replaced
+        (the probe runs after the mutation), hence the ``written(bit)``
+        filter.  An escaped pattern is re-encoded over: write-covered and
+        check-bit flips are erased, surviving data corruption is baked
+        under fresh check bits and can never be detected again (ESCAPED).
+        """
+        scheme = armed[0].scheme
+        decode = scheme.decode({fs.flip.bit for fs in armed},
+                               armed[0].data_bits)
+        for b in decode.fix_bits:
+            if not written(b):
+                obj.flip_bit(entry, b)
+        if decode.verdict == CORRECT:
+            for fs in armed:
+                fs.status = CORRECTED
+            return
+        if decode.verdict == DETECT:
+            for fs in armed:
+                fs.status = DETECTED
+            self.detected_by = f"{scheme.name}:{armed[0].flip.structure}"
+            raise MachineCheckError(self.detected_by)
+        for fs in armed:
+            if fs.virtual or written(fs.flip.bit):
+                fs.status = MASKED_OVERWRITTEN
+            else:
+                fs.status = ESCAPED
+
+    def finish(self, core) -> None:
+        """End-of-run patrol scrub over still-armed protected words.
+
+        Without this, a resident uncorrectable error in a word the program
+        never read again would classify Masked (output clean) — a silent
+        escape the scheme would in reality have flagged on the next scrub
+        or read.  Called once by the campaign driver after a clean run;
+        escapes are left armed (the output comparison judges them).
+        """
+        if self.protection is None:
+            return
+        groups: dict[int, list[_FlipState]] = {}
+        for fs in self.flips:
+            if fs.status is ARMED and fs.scheme is not None:
+                groups.setdefault(fs.flip.entry, []).append(fs)
+        for entry, armed in sorted(groups.items()):
+            obj = armed[0].target.structure(core)
+            self._decode(obj, entry, armed, None)
 
     # ------------------------------------------------------------ verdicts
 
@@ -115,17 +258,18 @@ class InjectionController:
         """Every flip reached a terminal lifecycle state.
 
         PENDING and ARMED flips can still change verdict fields
-        (``activated``, ``masked_reason``); READ/ESCAPED and the
-        MASKED_* states never transition again.  The checkpoint engine's
-        re-convergence early-exit requires this, so the record it emits
-        carries exactly the verdict a full-length run would have.
+        (``activated``, ``masked_reason``); READ/ESCAPED, the MASKED_*
+        states, and the protection verdicts never transition again.  The
+        checkpoint engine's re-convergence early-exit requires this, so
+        the record it emits carries exactly the verdict a full-length run
+        would have.
         """
         return all(fs.status not in (PENDING, ARMED) for fs in self.flips)
 
     def masked_reason(self) -> str | None:
         if not all(fs.status in FINAL_MASKED for fs in self.flips):
             return None
-        order = [MASKED_UNUSED, MASKED_DISCARDED, MASKED_OVERWRITTEN]
+        order = [MASKED_UNUSED, MASKED_DISCARDED, MASKED_OVERWRITTEN, CORRECTED]
         for status in order:
             if all(fs.status == status for fs in self.flips):
                 return status
@@ -142,12 +286,25 @@ class InjectionController:
     # ------------------------------------------------------------ cache probe
 
     def on_read(self, cache, line: int, lo: int, hi: int) -> None:
+        armed = self._armed_in(cache, line)
+        if armed:
+            # any read of the line runs the whole code word through the
+            # decoder, whatever byte range the access wanted
+            self._decode(cache, line, armed, READ)
+            return
         for fs in self._watches(cache):
             if fs.status is ARMED and fs.flip.entry == line and lo <= fs.byte < hi:
                 fs.status = READ
 
     def on_write(self, cache, line: int, lo: int, hi: int) -> None:
         permanent = self.mask.model.permanent
+        if not permanent:
+            armed = self._armed_in(cache, line)
+            if armed:
+                self._decode_at_write(
+                    cache, line, armed, lambda b: lo <= b // 8 < hi
+                )
+                return
         for fs in self._watches(cache):
             if fs.flip.entry != line or not (lo <= fs.byte < hi):
                 continue
@@ -162,6 +319,13 @@ class InjectionController:
     def on_evict(self, cache, line: int, dirty: bool) -> None:
         if self.mask.model.permanent:
             return  # the broken cell stays broken; next fill re-forces via on_fill
+        armed = self._armed_in(cache, line)
+        if armed and dirty:
+            # the write-back passes through the decoder (the probe fires
+            # before the lower level reads the line, so a correction here
+            # writes back clean data)
+            self._decode(cache, line, armed, ESCAPED)
+            return
         for fs in self._watches(cache):
             if fs.flip.entry != line or fs.status is not ARMED:
                 continue
@@ -170,12 +334,22 @@ class InjectionController:
     # ------------------------------------------------------------ regfile probe
 
     def on_reg_read(self, rf, reg: int) -> None:
+        armed = self._armed_in(rf, reg)
+        if armed:
+            self._decode(rf, reg, armed, READ)
+            return
         for fs in self._watches(rf):
             if fs.status is ARMED and fs.flip.entry == reg:
                 fs.status = READ
 
     def on_reg_write(self, rf, reg: int) -> None:
         permanent = self.mask.model.permanent
+        if not permanent:
+            armed = self._armed_in(rf, reg)
+            if armed:
+                # a register write replaces the whole value and re-encodes
+                self._decode_at_write(rf, reg, armed, lambda b: True)
+                return
         for fs in self._watches(rf):
             if fs.flip.entry != reg:
                 continue
@@ -187,12 +361,27 @@ class InjectionController:
     # ------------------------------------------------------------ LSQ probe
 
     def on_entry_read(self, queue, idx: int) -> None:
+        armed = self._armed_in(queue, idx)
+        if armed:
+            self._decode(queue, idx, armed, READ)
+            return
         for fs in self._watches(queue):
             if fs.status is ARMED and fs.flip.entry == idx:
                 fs.status = READ
 
     def on_entry_write(self, queue, idx: int, field: str) -> None:
         permanent = self.mask.model.permanent
+        if not permanent:
+            armed = self._armed_in(queue, idx)
+            if armed:
+                if field == "alloc":
+                    written = lambda b: True            # noqa: E731
+                elif field == "addr":
+                    written = lambda b: b < 64          # noqa: E731
+                else:
+                    written = lambda b: 64 <= b < 128   # noqa: E731
+                self._decode_at_write(queue, idx, armed, written)
+                return
         for fs in self._watches(queue):
             if fs.flip.entry != idx:
                 continue

@@ -75,7 +75,7 @@ def mask_from_dict(data: dict) -> FaultMask:
 
 def record_to_dict(record) -> dict:
     """Serialize a FaultRecord (duck-typed so accel records work too)."""
-    return {
+    data = {
         "kind": "record",
         "mask": mask_to_dict(record.mask),
         "outcome": record.outcome.value,
@@ -95,6 +95,12 @@ def record_to_dict(record) -> dict:
                       if getattr(record, "integrity", None) is not None
                       else None),
     }
+    # only DUE records carry protection provenance; the key is omitted —
+    # not nulled — otherwise, so unprotected journal lines keep their
+    # exact pre-protection bytes
+    if getattr(record, "detected_by", None) is not None:
+        data["detected_by"] = record.detected_by
+    return data
 
 
 def record_from_dict(data: dict):
@@ -115,13 +121,27 @@ def record_from_dict(data: dict):
         sim_error_kind=data.get("sim_error_kind"),
         integrity=(IntegrityReport.from_dict(data["integrity"])
                    if data.get("integrity") else None),
+        detected_by=data.get("detected_by"),
     )
+
+
+def spec_to_dict(spec) -> dict:
+    """Canonical spec dict used by fingerprints and journal headers.
+
+    The ``protection`` key is dropped when unset: a spec that never asked
+    for protection must fingerprint — and serialize — byte-identically to
+    one written before the protection field existed, so ``--protect``-less
+    journals stay binary-compatible across versions.
+    """
+    raw = dataclasses.asdict(spec)
+    if raw.get("protection", "absent") is None:
+        del raw["protection"]
+    return raw
 
 
 def spec_fingerprint(spec) -> str:
     """Stable identity hash of a (frozen dataclass) campaign spec."""
-    raw = dataclasses.asdict(spec)
-    canon = json.dumps(raw, sort_keys=True, default=_canon_default)
+    canon = json.dumps(spec_to_dict(spec), sort_keys=True, default=_canon_default)
     return hashlib.sha256(canon.encode()).hexdigest()
 
 
@@ -172,7 +192,7 @@ class CampaignJournal:
                 "version": JOURNAL_VERSION,
                 "fingerprint": fingerprint,
                 "spec": json.loads(
-                    json.dumps(dataclasses.asdict(spec), default=_canon_default)
+                    json.dumps(spec_to_dict(spec), default=_canon_default)
                 ),
             })
         else:

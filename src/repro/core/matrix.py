@@ -51,7 +51,9 @@ from repro.core.campaign import (
     masks_for_spec,
     quarantine_record,
     run_one_fault,
+    target_geometry,
 )
+from repro.core.protection import ProtectionConfig, normalized
 from repro.core.checkpoint import DEFAULT_POLICY as DEFAULT_CHECKPOINT_POLICY
 from repro.core.checkpoint import CheckpointPolicy
 from repro.core.faults import FaultMask, FaultModel
@@ -66,7 +68,6 @@ from repro.core.report import render_matrix
 from repro.core.sampling import AdaptiveSampling, error_margin_for
 from repro.core.sanitizer import DEFAULT_HANG_CYCLES, SanitizerPolicy
 from repro.core.supervisor import SupervisorPolicy, TaskOutcome, run_supervised
-from repro.core.targets import get_target
 from repro.cpu.core import OoOCore
 from repro.isa.base import get_isa
 
@@ -124,6 +125,46 @@ def _check_keys(section: str, data: dict, allowed: set[str]) -> None:
         )
 
 
+def _protection_variants(
+    section: str, table: dict | None, structure: str, model: FaultModel,
+) -> list[tuple[str, ProtectionConfig | None]]:
+    """Expand a grid protection table into per-cell (suffix, config) pairs.
+
+    ``table`` maps structure names to a scheme name *or a list of scheme
+    names* — the list form is the coverage-DSE axis, fanning one grid cell
+    out into one cell per scheme.  A ``none`` entry keeps the unsuffixed
+    cell key (and a ``None`` config), so its journal stays byte-identical
+    to an unprotected grid's; every other scheme suffixes the key with
+    ``+<scheme>``.
+    """
+    if not table:
+        return [("", None)]
+    value = table.get(structure, "none")
+    names = list(value) if isinstance(value, list) else [value]
+    if not names:
+        raise MatrixError(
+            f"[{section}.protection] {structure}: empty scheme list"
+        )
+    variants: list[tuple[str, ProtectionConfig | None]] = []
+    for name in names:
+        try:
+            config = normalized(
+                ProtectionConfig(schemes=((structure, str(name)),))
+            )
+        except ValueError as exc:
+            raise MatrixError(
+                f"[{section}.protection] {structure}: {exc}"
+            ) from exc
+        if config is not None and model is not FaultModel.TRANSIENT:
+            raise MatrixError(
+                f"[{section}.protection] {structure}: protection modeling "
+                f"supports transient faults only (model is "
+                f"{model.value!r})"
+            )
+        variants.append(("" if config is None else f"+{name}", config))
+    return variants
+
+
 def grid_from_dict(data: dict) -> MatrixGrid:
     """Expand a parsed grid document into a :class:`MatrixGrid`."""
     _check_keys("<top>", data, {"matrix", "cpu", "accel", "adaptive", "report"})
@@ -137,7 +178,7 @@ def grid_from_dict(data: dict) -> MatrixGrid:
 
         _check_keys("cpu", cpu, {
             "isas", "workloads", "targets", "faults", "seed", "scale",
-            "model", "preset", "flips_per_mask",
+            "model", "preset", "flips_per_mask", "protection",
         })
         for need in ("workloads", "targets"):
             if not cpu.get(need):
@@ -149,18 +190,25 @@ def grid_from_dict(data: dict) -> MatrixGrid:
         for isa in cpu.get("isas", ["rv"]):
             for workload in cpu["workloads"]:
                 for target in cpu["targets"]:
-                    spec = CampaignSpec(
-                        isa=isa, workload=workload, target=target, cfg=cfg,
-                        scale=cpu.get("scale", "tiny"), model=model,
-                        faults=int(cpu.get("faults", 100)),
-                        seed=int(cpu.get("seed", 1)),
-                        flips_per_mask=int(cpu.get("flips_per_mask", 1)),
+                    variants = _protection_variants(
+                        "cpu", cpu.get("protection"), target, model
                     )
-                    cells.append(MatrixCell(
-                        key=f"cpu-{isa}-{workload}-{target}",
-                        kind="cpu", row=f"{isa}/{workload}", col=target,
-                        spec=spec,
-                    ))
+                    for suffix, protection in variants:
+                        spec = CampaignSpec(
+                            isa=isa, workload=workload, target=target,
+                            cfg=cfg,
+                            scale=cpu.get("scale", "tiny"), model=model,
+                            faults=int(cpu.get("faults", 100)),
+                            seed=int(cpu.get("seed", 1)),
+                            flips_per_mask=int(cpu.get("flips_per_mask", 1)),
+                            protection=protection,
+                        )
+                        cells.append(MatrixCell(
+                            key=f"cpu-{isa}-{workload}-{target}{suffix}",
+                            kind="cpu", row=f"{isa}/{workload}",
+                            col=f"{target}{suffix}",
+                            spec=spec,
+                        ))
 
     accel = data.get("accel")
     if accel:
@@ -169,6 +217,7 @@ def grid_from_dict(data: dict) -> MatrixGrid:
 
         _check_keys("accel", accel, {
             "designs", "components", "faults", "seed", "scale", "model",
+            "protection",
         })
         if not accel.get("designs"):
             raise MatrixError("[accel] needs a non-empty 'designs' list")
@@ -180,17 +229,23 @@ def grid_from_dict(data: dict) -> MatrixGrid:
             if not components:
                 raise MatrixError(f"no components known for design {design!r}")
             for component in components:
-                spec = AccelCampaignSpec(
-                    design=design, component=component,
-                    scale=accel.get("scale", "tiny"), model=model,
-                    faults=int(accel.get("faults", 100)),
-                    seed=int(accel.get("seed", 1)),
+                variants = _protection_variants(
+                    "accel", accel.get("protection"), component, model
                 )
-                cells.append(MatrixCell(
-                    key=f"accel-{design}-{component}",
-                    kind="accel", row=f"accel/{design}", col=component,
-                    spec=spec,
-                ))
+                for suffix, protection in variants:
+                    spec = AccelCampaignSpec(
+                        design=design, component=component,
+                        scale=accel.get("scale", "tiny"), model=model,
+                        faults=int(accel.get("faults", 100)),
+                        seed=int(accel.get("seed", 1)),
+                        protection=protection,
+                    )
+                    cells.append(MatrixCell(
+                        key=f"accel-{design}-{component}{suffix}",
+                        kind="accel", row=f"accel/{design}",
+                        col=f"{component}{suffix}",
+                        spec=spec,
+                    ))
 
     if not cells:
         raise MatrixError("grid expands to zero cells (no [cpu] or [accel])")
@@ -409,12 +464,16 @@ def _prepare_cell(cell: MatrixCell, out_dir: Path, resume: bool,
                             checkpoints=ckpt_policy)
         masks = masks_for_spec(spec, golden)
         probe = OoOCore.from_executable(golden.exe, get_isa(spec.isa), spec.cfg)
-        entries, bits = get_target(spec.target).geometry(probe)
+        entries, bits = target_geometry(spec, probe)
         population = entries * bits
         timeout = default_fault_timeout(golden.cycles,
                                         spec.cfg.watchdog_factor)
     else:
-        from repro.accel.campaign import accel_golden, accel_masks
+        from repro.accel.campaign import (
+            accel_golden,
+            accel_masks,
+            accel_population_bits,
+        )
         from repro.accel_designs import get_design
 
         spec = cell.spec
@@ -422,7 +481,7 @@ def _prepare_cell(cell: MatrixCell, out_dir: Path, resume: bool,
         masks = accel_masks(spec, golden)
         design = get_design(spec.design)
         size = {d.name: d.size for d in design.memories}[spec.component]
-        population = size * 8
+        population = accel_population_bits(spec, size)
         budget_cycles = golden.cycles * spec.watchdog_factor + 1000
         timeout = max(60.0, budget_cycles / 2_000)
 

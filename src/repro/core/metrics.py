@@ -86,6 +86,52 @@ def crash_avf(records: Sequence) -> float | None:
     return crash / n
 
 
+def due_avf(records: Sequence) -> float | None:
+    """The detected-uncorrectable (machine-check) share of the AVF.
+
+    Only protected campaigns can produce DUE records; an unprotected
+    sample simply reports 0.0.  ``None`` when no record is valid.
+    """
+    due, n = _count(records, Outcome.DUE)
+    if n == 0:
+        return _degenerate(records)
+    return due / n
+
+
+def corrected(records: Sequence) -> int:
+    """Runs whose every flip a protection scheme repaired in place."""
+    return sum(
+        1 for r in records if getattr(r, "masked_reason", None) == "corrected"
+    )
+
+
+def coverage(records: Sequence) -> float | None:
+    """Protection coverage: ``(corrected + DUE) / (corrected + DUE + SDC +
+    CRASH)``.
+
+    Of the faults that either mattered (SDC/Crash) or were intercepted
+    (corrected/DUE), the share the scheme caught.  ``None`` when the
+    sample never exercised the question — every record masked for
+    protection-unrelated reasons (or was quarantined).
+    """
+    if not len(records):
+        raise ValueError("no fault records")
+    due, _ = _count(records, Outcome.DUE)
+    sdc, _ = _count(records, Outcome.SDC)
+    crash, _ = _count(records, Outcome.CRASH)
+    caught = corrected(records) + due
+    exercised = caught + sdc + crash
+    if exercised == 0:
+        return None
+    return caught / exercised
+
+
+def residual_sdc_avf(records: Sequence) -> float | None:
+    """SDC remaining despite protection (multi-bit escapes): the SDC AVF
+    of a protected campaign, named for what it measures there."""
+    return sdc_avf(records)
+
+
 def hvf(records: Sequence) -> float | None:
     """Hardware Vulnerability Factor: share of commit-visible corruptions.
 

@@ -8,6 +8,11 @@ AVF classes — full cross-layer verdicts on the program outcome:
 * **CRASH** — a catastrophic event ended the run early: illegal instruction,
   wild memory access, or a hang caught by the watchdog ("excessively long
   execution times" count as crashes, as in the paper's BFS analysis).
+* **DUE** — detected uncorrectable error: a protection scheme (parity,
+  SECDED, TMR — see :mod:`repro.core.protection`) raised a machine check.
+  The run ends early like a crash, but the machine *knows* it failed —
+  the defining difference from an SDC — so it is a first-class outcome
+  with its own ``detected_by`` provenance rather than a crash flavor.
 
 HVF classes — hardware-layer verdicts at the commit stage:
 
@@ -24,6 +29,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.core.protection import MACHINE_CHECK
 from repro.cpu.core import RunResult
 
 
@@ -31,6 +37,8 @@ class Outcome(enum.Enum):
     MASKED = "masked"
     SDC = "sdc"
     CRASH = "crash"
+    #: a protection scheme detected an uncorrectable error (machine check)
+    DUE = "due"
     #: the *simulator* (not the simulated program) failed on this mask; the
     #: run is quarantined and excluded from AVF/HVF aggregates
     SIM_FAULT = "sim_fault"
@@ -45,8 +53,10 @@ class HVFClass(enum.Enum):
 class Classification:
     outcome: Outcome
     hvf: HVFClass
-    masked_reason: str | None = None   # unused/overwritten/discarded/silent
+    masked_reason: str | None = None   # unused/overwritten/discarded/corrected/silent
     crash_reason: str | None = None
+    #: ``scheme:structure`` provenance of a DUE verdict (None otherwise)
+    detected_by: str | None = None
 
 
 def classify(
@@ -54,10 +64,17 @@ def classify(
     golden_output: bytes,
     early_masked: bool,
     masked_reason: str | None,
+    detected_by: str | None = None,
 ) -> Classification:
     """Derive the AVF and HVF classes for one fault run."""
     if early_masked:
         return Classification(Outcome.MASKED, HVFClass.BENIGN, masked_reason)
+    if result.crashed == MACHINE_CHECK:
+        # the error became architecturally visible, so HVF-corrupt — but
+        # the machine reported it instead of silently corrupting output
+        return Classification(
+            Outcome.DUE, HVFClass.CORRUPTION, detected_by=detected_by
+        )
     if result.crashed is not None:
         return Classification(
             Outcome.CRASH, HVFClass.CORRUPTION, crash_reason=result.crashed

@@ -1,0 +1,268 @@
+"""Per-structure protection schemes: parity, SECDED ECC, and TMR.
+
+The paper measures *unprotected* AVF; this layer asks the follow-up
+question — how much of that vulnerability a real protection mechanism buys
+back — by modeling the three classic schemes at the code-word level:
+
+* **parity** — one check bit per word; detects any odd number of flipped
+  bits (raising a machine check → ``Outcome.DUE``), silently passes even
+  error patterns;
+* **secded** — single-error-correct / double-error-detect Hamming ECC
+  (``r+1`` check bits where ``2^r >= data + r + 1``); one flipped bit is
+  corrected in place, two raise a machine check, three or more escape
+  undetected;
+* **tmr** — triple modular redundancy (two extra copies, per-bit majority
+  vote); one corrupted copy per bit position is outvoted, two corrupt the
+  voted value silently.
+
+Protection is exercised *by the injected flips themselves*: the fault
+sample is drawn over the **extended** geometry (data bits + check bits per
+code word), and the injector presents the set of still-armed flips in a
+word to :meth:`ProtectionScheme.decode` whenever that word passes through
+a decoder (read, read-modify-write, dirty eviction, end-of-run scrub).
+Check-bit flips are *virtual* — bookkeeping-only, never materialized in
+the simulated storage, since the simulator computes only with data bits —
+but they participate in every decode verdict exactly as stored check bits
+would.
+
+A detected-but-uncorrectable verdict raises :class:`MachineCheckError`, a
+:class:`~repro.cpu.core.CrashError` subclass the campaign driver turns
+into the first-class ``Outcome.DUE`` (detected uncorrectable error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.core import CrashError
+
+#: crash reason carried by a detected-uncorrectable error
+MACHINE_CHECK = "machine_check"
+
+# decode verdicts
+CORRECT = "correct"
+DETECT = "detect"
+ESCAPE = "escape"
+
+
+class MachineCheckError(CrashError):
+    """A protection scheme detected an uncorrectable error.
+
+    Ends the run like a crash, but classifies as ``Outcome.DUE`` — the
+    machine *knows* it failed, unlike an SDC.  ``detected_by`` carries the
+    ``scheme:structure`` provenance into the fault record.
+    """
+
+    def __init__(self, detected_by: str):
+        super().__init__(MACHINE_CHECK, 0, 0)
+        self.detected_by = detected_by
+
+
+@dataclass(frozen=True)
+class Decode:
+    """One decoder pass over a code word's error pattern.
+
+    ``fix_bits`` are *physical* (data) bit positions the decoder flips in
+    storage to make it match the decoder's output — un-flipping corrected
+    bits, or materializing a TMR majority-vote loss in the stored copy.
+    """
+
+    verdict: str                      # correct | detect | escape
+    fix_bits: tuple[int, ...] = ()
+
+
+class ProtectionScheme:
+    """Base scheme: no check bits, every error pattern escapes."""
+
+    name = "none"
+    #: extra pipeline cycles a decode adds on the read path (cost model)
+    latency_cycles = 0
+    #: this scheme can repair (not just detect) some error patterns
+    corrects = False
+
+    def check_bits(self, data_bits: int) -> int:
+        return 0
+
+    def extended_bits(self, data_bits: int) -> int:
+        """Injectable bits per code word: data plus check bits."""
+        return data_bits + self.check_bits(data_bits)
+
+    def area_overhead(self, data_bits: int) -> float:
+        """Storage overhead as a fraction of the protected data bits."""
+        return self.check_bits(data_bits) / data_bits
+
+    def decode(self, bits: set[int], data_bits: int) -> Decode:
+        """Verdict for a word whose flipped-bit set is ``bits``.
+
+        ``bits`` may contain virtual check-bit positions
+        (``>= data_bits``); ``fix_bits`` never does.
+        """
+        return Decode(ESCAPE)
+
+
+class Parity(ProtectionScheme):
+    """One check bit per word: detect-only, odd error patterns."""
+
+    name = "parity"
+
+    def check_bits(self, data_bits: int) -> int:
+        return 1
+
+    def decode(self, bits: set[int], data_bits: int) -> Decode:
+        return Decode(DETECT if len(bits) % 2 else ESCAPE)
+
+
+class Secded(ProtectionScheme):
+    """Hamming single-error-correct / double-error-detect ECC."""
+
+    name = "secded"
+    latency_cycles = 1
+    corrects = True
+
+    def check_bits(self, data_bits: int) -> int:
+        # smallest r with 2^r >= data + r + 1, plus the overall parity bit
+        r = 1
+        while (1 << r) < data_bits + r + 1:
+            r += 1
+        return r + 1
+
+    def decode(self, bits: set[int], data_bits: int) -> Decode:
+        if len(bits) == 1:
+            (bit,) = bits
+            return Decode(CORRECT, (bit,) if bit < data_bits else ())
+        if len(bits) == 2:
+            return Decode(DETECT)
+        # 3+ bits alias into a valid-looking syndrome: residual escape
+        return Decode(ESCAPE)
+
+
+class TMR(ProtectionScheme):
+    """Triple modular redundancy: two extra copies, per-bit majority vote.
+
+    The stored data array models copy 0; the virtual bit ranges
+    ``[data, 2*data)`` and ``[2*data, 3*data)`` are copies 1 and 2.  A bit
+    position with one flipped copy is outvoted (corrected); two flipped
+    copies corrupt the voted value — silently, since a 2-vs-1 vote looks
+    exactly like a healthy word with one bad copy.
+    """
+
+    name = "tmr"
+    latency_cycles = 1
+    corrects = True
+
+    def check_bits(self, data_bits: int) -> int:
+        return 2 * data_bits
+
+    def decode(self, bits: set[int], data_bits: int) -> Decode:
+        flipped_copies: dict[int, set[int]] = {}
+        for b in bits:
+            flipped_copies.setdefault(b % data_bits, set()).add(b // data_bits)
+        fix = []
+        clean = True
+        for pos, copies in flipped_copies.items():
+            voted = len(copies) >= 2      # the voted bit comes out flipped
+            stored = 0 in copies          # the stored copy is flipped
+            if voted:
+                clean = False
+            if voted != stored:
+                fix.append(pos)
+        return Decode(CORRECT if clean else ESCAPE, tuple(sorted(fix)))
+
+
+SCHEMES: dict[str, ProtectionScheme] = {
+    s.name: s for s in (ProtectionScheme(), Parity(), Secded(), TMR())
+}
+
+
+def get_scheme(name: str) -> ProtectionScheme:
+    try:
+        return SCHEMES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown protection scheme {name!r}; "
+            f"available: {', '.join(SCHEMES)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class ProtectionConfig:
+    """Per-structure scheme assignment (picklable, hashable, canonical).
+
+    ``schemes`` maps structure names to scheme names, stored as a sorted
+    tuple of pairs so equal configs fingerprint identically.  Structure
+    names match injection-target names exactly; for accelerator flips
+    (``accel:<design>:<component>``) the trailing component also matches,
+    so ``--protect MATRIX1=secded`` protects gemm's MATRIX1 memory.
+    """
+
+    schemes: tuple[tuple[str, str], ...] = ()
+
+    def __post_init__(self):
+        seen: set[str] = set()
+        for structure, scheme in self.schemes:
+            get_scheme(scheme)
+            if structure in seen:
+                raise ValueError(
+                    f"structure {structure!r} assigned more than one scheme"
+                )
+            seen.add(structure)
+        object.__setattr__(self, "schemes", tuple(sorted(self.schemes)))
+
+    @classmethod
+    def parse(cls, text: str) -> "ProtectionConfig":
+        """Parse the CLI form: ``l1d=secded,regfile_int=tmr``."""
+        pairs = []
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(
+                    f"bad protection entry {part!r} (want structure=scheme)"
+                )
+            structure, scheme = part.split("=", 1)
+            pairs.append((structure.strip(), scheme.strip()))
+        if not pairs:
+            raise ValueError("empty protection assignment")
+        return cls(schemes=tuple(pairs))
+
+    @classmethod
+    def from_dict(cls, mapping: dict) -> "ProtectionConfig":
+        """Build from a ``{structure: scheme}`` table (matrix TOML form)."""
+        return cls(schemes=tuple(
+            (str(k), str(v)) for k, v in sorted(mapping.items())
+        ))
+
+    @property
+    def enabled(self) -> bool:
+        return any(scheme != "none" for _, scheme in self.schemes)
+
+    def scheme_name_for(self, structure: str) -> str | None:
+        for name, scheme in self.schemes:
+            if name == structure:
+                return scheme
+        if ":" in structure:
+            tail = structure.rsplit(":", 1)[1]
+            for name, scheme in self.schemes:
+                if name == tail:
+                    return scheme
+        return None
+
+    def scheme_for(self, structure: str) -> ProtectionScheme | None:
+        """The active scheme for a structure (None = unprotected)."""
+        name = self.scheme_name_for(structure)
+        if name is None or name == "none":
+            return None
+        return SCHEMES[name]
+
+
+def normalized(config: ProtectionConfig | None) -> ProtectionConfig | None:
+    """Collapse a disabled config to None.
+
+    A spec whose protection is ``None`` fingerprints — and journals —
+    byte-identically to a pre-protection spec; an all-``none`` config must
+    not silently fork the fingerprint for the same physical campaign.
+    """
+    if config is not None and not config.enabled:
+        return None
+    return config

@@ -92,6 +92,10 @@ def robustness_summary(records: Sequence) -> dict:
     timeouts = sum(1 for r in records if r.crash_reason == "timeout")
     hangs = sum(1 for r in records if r.crash_reason == "hang")
     hvf_stops = sum(1 for r in records if getattr(r, "stopped_on_hvf", False))
+    due = sum(1 for r in records if r.outcome is Outcome.DUE)
+    corrected = sum(
+        1 for r in records if getattr(r, "masked_reason", None) == "corrected"
+    )
     pressure = 0.0
     for r in records:
         budget = getattr(r, "max_cycles", 0)
@@ -106,6 +110,8 @@ def robustness_summary(records: Sequence) -> dict:
         "masked": sum(1 for r in records if r.outcome is Outcome.MASKED),
         "sdc": sum(1 for r in records if r.outcome is Outcome.SDC),
         "crash": sum(1 for r in records if r.outcome is Outcome.CRASH),
+        "due": due,
+        "corrected": corrected,
         "quarantined": quarantined,
         "deterministic_sim_faults": deterministic,
         "flaky_sim_faults": flaky,
@@ -240,6 +246,54 @@ def render_matrix(
         "*=adaptive early stop"
     )
     return f"{grid}\n\n{table}\n{legend}"
+
+
+def render_protection(cells: Sequence[dict], clock_hz: float = 2e9) -> str:
+    """Protection coverage/cost table for one or more campaign summaries.
+
+    ``cells`` are campaign summary dicts (see
+    :meth:`repro.core.campaign.CampaignResult.summary`); protected cells
+    carry ``protection`` / ``coverage`` / ``due_avf`` / ``corrected`` /
+    ``residual_sdc_avf``, unprotected cells render with the scheme column
+    ``none`` so a protected-vs-unprotected pair reads side by side.  The
+    cost columns come from the scheme model: check-bit area overhead (over
+    ``data_bits``, defaulting to a 64-bit word when the caller does not
+    supply it) and added read-path latency.  OPF is computed from each
+    cell's *total* AVF at ``clock_hz`` — the paper's Section V-G
+    performance/reliability trade-off, which protection shifts by turning
+    SDCs into corrected or DUE runs.
+    """
+    from repro.core.metrics import opf
+    from repro.core.protection import get_scheme
+
+    if not cells:
+        return "(no cells)"
+    rows = []
+    for cell in cells:
+        scheme = get_scheme(cell.get("protection") or "none")
+        data_bits = cell.get("data_bits") or 64
+        cycles = cell.get("golden_cycles")
+        cell_opf = opf(cell.get("avf"), cycles, clock_hz) if cycles else None
+        rows.append((
+            cell.get("target") or cell.get("component") or "?",
+            scheme.name,
+            cell.get("avf"),
+            cell.get("coverage"),
+            cell.get("due_avf"),
+            cell.get("residual_sdc_avf", cell.get("sdc_avf")),
+            cell.get("corrected", 0),
+            f"{scheme.area_overhead(data_bits) * 100:.1f}%",
+            f"+{scheme.latency_cycles}cyc" if scheme.latency_cycles else "-",
+            None if cell_opf is None else f"{cell_opf:.3e}",
+        ))
+    table = render_table(
+        ["target", "scheme", "AVF", "coverage", "DUE",
+         "residual SDC", "corrected", "area", "latency", "OPF"],
+        rows,
+    )
+    legend = ("coverage = (corrected+DUE)/(corrected+DUE+SDC+Crash); "
+              "residual SDC = multi-bit escapes despite protection")
+    return f"{table}\n{legend}"
 
 
 def summaries_to_csv(summaries: list[dict]) -> str:

@@ -46,7 +46,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.core.injector import ARMED, ESCAPED, READ
+from repro.core.injector import ARMED, CORRECTED, DETECTED, ESCAPED, READ
 
 #: default audit stride for ``--sanitize=sampled`` (matches the checkpoint
 #: engine's initial stride so audits land on checkpoint-aligned cycles)
@@ -346,11 +346,52 @@ class CoreAuditor:
         self._next = core.cycle + self.policy.stride
         self.audit(core)
 
+    def _audit_protection(self, core) -> None:
+        """Protection-bookkeeping invariants on the injection controller.
+
+        Purely structural: lifecycle states and virtual-bit bookkeeping are
+        simulator metadata no fault mask can corrupt, so a violation always
+        escalates (never suppressed by mask reach).
+        """
+        ctl = self.controller
+        for fs in ctl.flips:
+            scheme = getattr(fs, "scheme", None)
+            if fs.status == CORRECTED and (scheme is None
+                                           or not scheme.corrects):
+                raise IntegrityViolation(IntegrityReport(
+                    check="protection_corrects", structure=fs.flip.structure,
+                    kind=STRUCTURAL, cycle=core.cycle,
+                    detail=(f"flip bit {fs.flip.bit} marked corrected by "
+                            f"{'no scheme' if scheme is None else scheme.name}"
+                            f", which cannot correct"),
+                    mask_id=self.mask_id, mode=self.policy.mode,
+                ))
+            if fs.status == DETECTED and not ctl.detected_by:
+                raise IntegrityViolation(IntegrityReport(
+                    check="protection_detected_by",
+                    structure=fs.flip.structure,
+                    kind=STRUCTURAL, cycle=core.cycle,
+                    detail=(f"flip bit {fs.flip.bit} marked detected but the "
+                            f"controller carries no detected_by provenance"),
+                    mask_id=self.mask_id, mode=self.policy.mode,
+                ))
+            if getattr(fs, "virtual", False) and fs.applied:
+                raise IntegrityViolation(IntegrityReport(
+                    check="protection_virtual_bits",
+                    structure=fs.flip.structure,
+                    kind=STRUCTURAL, cycle=core.cycle,
+                    detail=(f"virtual check-bit flip {fs.flip.bit} was "
+                            f"materialized in simulated storage"),
+                    mask_id=self.mask_id, mode=self.policy.mode,
+                ))
+
     def audit(self, core) -> None:
         if self.policy.corruptor is not None:
             self.policy.corruptor(core, self.audits)
         self.audits += 1
         reach = cpu_reach(self.controller)
+        if self.controller is not None:
+            self._audit_protection(core)
         for check in CPU_CHECKS:
             detail = check.fn(core)
             if detail is None:

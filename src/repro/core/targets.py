@@ -34,7 +34,9 @@ class Target:
     def geometry(self, core) -> tuple[int, int]:
         obj = self.structure(core)
         if self.kind == "regfile":
-            return obj.size, 64
+            # read the width off the structure: a hard-coded 64 here would
+            # silently drift from check-bit-extended geometries
+            return obj.size, obj.width
         if self.kind == "cache":
             return obj.num_lines, obj.bits_per_line
         if self.kind == "lsq":

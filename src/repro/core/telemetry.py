@@ -143,6 +143,7 @@ class CampaignAggregate:
     retries_total: int = 0          # total retries consumed
     timeouts: int = 0               # watchdog Crash(timeout) verdicts
     hangs: int = 0                  # deterministic Crash(hang) verdicts
+    corrected: int = 0              # masked runs repaired by a protection scheme
     integrity_quarantined: int = 0
     stopped_on_hvf: int = 0
     checkpoint_restores: int = 0    # live-only: restored_from is not journaled
@@ -180,6 +181,8 @@ class CampaignAggregate:
             self.timeouts += 1
         if record.crash_reason == "hang":
             self.hangs += 1
+        if getattr(record, "masked_reason", None) == "corrected":
+            self.corrected += 1
         if kind == "integrity":
             self.integrity_quarantined += 1
         if getattr(record, "stopped_on_hvf", False):
@@ -218,8 +221,26 @@ class CampaignAggregate:
         return self.outcomes.get(Outcome.CRASH.value, 0)
 
     @property
+    def due(self) -> int:
+        return self.outcomes.get(Outcome.DUE.value, 0)
+
+    @property
     def quarantined(self) -> int:
         return self.outcomes.get(Outcome.SIM_FAULT.value, 0)
+
+    @property
+    def protection_coverage(self) -> float | None:
+        """``(corrected + DUE) / (corrected + DUE + SDC + Crash)``.
+
+        ``None`` while no fault has exercised the question — the same
+        definition as :func:`repro.core.metrics.coverage`, computable live
+        because both inputs are folded from journaled record fields.
+        """
+        caught = self.corrected + self.due
+        exercised = caught + self.sdc + self.crash
+        if exercised == 0:
+            return None
+        return caught / exercised
 
     @property
     def n_valid(self) -> int:
@@ -248,6 +269,7 @@ class CampaignAggregate:
             "retries_total": self.retries_total,
             "timeouts": self.timeouts,
             "hangs": self.hangs,
+            "corrected": self.corrected,
             "integrity_quarantined": self.integrity_quarantined,
             "stopped_on_hvf": self.stopped_on_hvf,
             "cycle_hist": {
@@ -342,6 +364,10 @@ def render_progress(agg: CampaignAggregate,
         extras.append(f"timeouts {agg.timeouts}")
     if agg.hangs:
         extras.append(f"hangs {agg.hangs}")
+    if agg.due:
+        extras.append(f"due {agg.due}")
+    if agg.corrected:
+        extras.append(f"corrected {agg.corrected}")
     if agg.pool_respawns:
         extras.append(f"respawns {agg.pool_respawns}")
     if agg.checkpoint_restores:
@@ -451,6 +477,12 @@ def to_prometheus(agg: CampaignAggregate,
             "watchdog Crash(timeout) verdicts", [({}, agg.timeouts)])
     counter("repro_fault_hangs_total",
             "deterministic Crash(hang) verdicts", [({}, agg.hangs)])
+    counter("repro_fault_corrected_total",
+            "masked runs whose flips a protection scheme repaired in place",
+            [({}, agg.corrected)])
+    if agg.protection_coverage is not None:
+        gauge("repro_protection_coverage", agg.protection_coverage,
+              "share of consequential faults the protection scheme caught")
     counter("repro_fault_integrity_quarantines_total",
             "sanitizer integrity quarantines",
             [({}, agg.integrity_quarantined)])

@@ -21,9 +21,13 @@ class RegFileProbe:
 class PhysRegFile:
     """One physical register file (integer or floating point)."""
 
-    def __init__(self, name: str, size: int):
+    #: architectural width of one register value in bits
+    WIDTH = 64
+
+    def __init__(self, name: str, size: int, width: int = WIDTH):
         self.name = name
         self.size = size
+        self.width = width
         self.values = [0] * size
         self.ready = [True] * size
         self.free: list[int] = []
@@ -35,7 +39,7 @@ class PhysRegFile:
         return self.values[reg]
 
     def write(self, reg: int, value: int) -> None:
-        self.values[reg] = value & ((1 << 64) - 1)
+        self.values[reg] = value & ((1 << self.width) - 1)
         self.ready[reg] = True
         if self.probe:  # after mutation, so stuck-at enforcement sees the write
             self.probe.on_reg_write(self, reg)

@@ -1,0 +1,115 @@
+"""Protection modeling on accelerator scratchpad memories."""
+
+import json
+
+import pytest
+
+from repro.accel.campaign import (
+    ACCEL_WORD_BITS,
+    AccelCampaignSpec,
+    accel_population_bits,
+    accel_scheme,
+    accel_structure_name,
+    run_accel_campaign,
+)
+from repro.core.faults import FaultModel
+from repro.core.journal import CampaignJournal
+from repro.core.outcome import Outcome
+from repro.core.protection import ProtectionConfig, Secded
+
+
+def _spec(**kw):
+    defaults = dict(design="gemm", component="MATRIX1", scale="tiny",
+                    faults=20, seed=5)
+    defaults.update(kw)
+    return AccelCampaignSpec(**defaults)
+
+
+def test_structure_name_and_tail_matching():
+    spec = _spec(protection=ProtectionConfig.parse("MATRIX1=secded"))
+    assert accel_structure_name(spec) == "accel:gemm:MATRIX1"
+    assert accel_scheme(spec).name == "secded"
+    other = _spec(component="MATRIX2",
+                  protection=ProtectionConfig.parse("MATRIX1=secded"))
+    assert accel_scheme(other) is None
+
+
+def test_population_bits_extend_with_check_bits():
+    bare = _spec()
+    prot = _spec(protection=ProtectionConfig.parse("MATRIX1=secded"))
+    size = 512
+    assert accel_population_bits(bare, size) == size * 8
+    words = size // (ACCEL_WORD_BITS // 8)
+    expected = words * Secded().extended_bits(ACCEL_WORD_BITS)
+    assert accel_population_bits(prot, size) == expected
+
+
+def test_population_bits_reject_unaligned_size():
+    prot = _spec(protection=ProtectionConfig.parse("MATRIX1=secded"))
+    with pytest.raises(ValueError, match="code word"):
+        accel_population_bits(prot, 100)
+
+
+def test_secded_accel_campaign_has_full_coverage(tmp_path):
+    journal = tmp_path / "accel.jsonl"
+    spec = _spec(protection=ProtectionConfig.parse("MATRIX1=secded"),
+                 faults=30, seed=2)
+    result = run_accel_campaign(spec, journal=journal)
+    for r in result.records:
+        assert r.outcome in (Outcome.MASKED, Outcome.SIM_FAULT)
+    assert result.corrected > 0
+    assert result.coverage in (None, 1.0)
+    assert result.residual_sdc_avf == 0.0
+    # round trip: corrected reasons survive the journal
+    loaded = CampaignJournal.load(journal)
+    assert sum(r.masked_reason == "corrected" for r in loaded) \
+        == result.corrected
+
+
+def test_parity_accel_campaign_raises_due_with_provenance(tmp_path):
+    journal = tmp_path / "parity.jsonl"
+    spec = _spec(protection=ProtectionConfig.parse("MATRIX1=parity"),
+                 faults=30, seed=4)
+    result = run_accel_campaign(spec, journal=journal)
+    due = [r for r in result.records if r.outcome is Outcome.DUE]
+    assert due, "no parity detection across 30 faults"
+    for r in due:
+        assert r.detected_by == "parity:accel:gemm:MATRIX1"
+        assert r.activated is False
+    for r in result.records:
+        assert r.outcome in (Outcome.DUE, Outcome.MASKED, Outcome.SIM_FAULT)
+    assert result.due_avf > 0.0
+    # DUE records reload with provenance intact
+    loaded = CampaignJournal.load(journal)
+    assert {r.mask.mask_id for r in loaded if r.outcome is Outcome.DUE} \
+        == {r.mask.mask_id for r in due}
+
+
+def test_accel_protection_rejects_permanent_models():
+    spec = _spec(model=FaultModel.STUCK_AT_1,
+                 protection=ProtectionConfig.parse("MATRIX1=secded"))
+    with pytest.raises(ValueError, match="transient"):
+        run_accel_campaign(spec)
+
+
+def test_unprotected_accel_journal_has_no_protection_artifacts(tmp_path):
+    journal = tmp_path / "bare.jsonl"
+    result = run_accel_campaign(_spec(faults=8), journal=journal)
+    lines = journal.read_text().splitlines()
+    assert "protection" not in json.loads(lines[0])["spec"]
+    for line in lines[1:]:
+        assert "detected_by" not in json.loads(line)
+    summary = result.summary()
+    for key in ("protection", "due_avf", "corrected", "coverage"):
+        assert key not in summary
+
+
+def test_doctor_accepts_protected_accel_journal(tmp_path):
+    from repro.core.doctor import diagnose_journal
+
+    journal = tmp_path / "prot.jsonl"
+    spec = _spec(protection=ProtectionConfig.parse("MATRIX1=parity"),
+                 faults=20, seed=4)
+    run_accel_campaign(spec, journal=journal)
+    report = diagnose_journal(journal)
+    assert report.ok, report.describe()

@@ -1,0 +1,459 @@
+"""Protection-mechanism modeling: parity / SECDED / TMR, DUE, coverage.
+
+Four layers of guarantees:
+
+* **scheme math** — check-bit counts, decode verdicts, and fix-bit sets
+  for every scheme, including virtual check-bit flips;
+* **campaign semantics** — under SECDED every single-bit transient is
+  corrected or masked (zero residual SDC, coverage 1.0), directed
+  double-bit faults are *detected* (DUE), never silent;
+* **serialization** — DUE / ``detected_by`` / ``corrected`` survive a
+  journal round trip, the telemetry fold is replay-pure, and ``doctor``
+  accepts protected journals while rejecting protection verdicts from
+  unprotected specs;
+* **byte identity** — a spec without protection fingerprints and journals
+  exactly as it did before this layer existed.
+"""
+
+import json
+
+import pytest
+
+from repro.core.campaign import (
+    CampaignSpec,
+    golden_run,
+    masks_for_spec,
+    run_campaign,
+    target_geometry,
+)
+from repro.core.faults import FaultFlip, FaultMask, FaultModel
+from repro.core.journal import CampaignJournal, spec_fingerprint, spec_to_dict
+from repro.core.outcome import Outcome
+from repro.core.protection import (
+    CORRECT,
+    DETECT,
+    ESCAPE,
+    MachineCheckError,
+    Parity,
+    ProtectionConfig,
+    Secded,
+    TMR,
+    get_scheme,
+    normalized,
+)
+
+SECDED_ALL = ProtectionConfig.parse("regfile_int=secded,l1d=secded,lq=secded")
+
+
+def _spec(cfg, **kw):
+    defaults = dict(
+        isa="rv", workload="crc32", target="regfile_int", cfg=cfg,
+        scale="tiny", faults=12, seed=31,
+    )
+    defaults.update(kw)
+    return CampaignSpec(**defaults)
+
+
+# ------------------------------------------------------------ scheme math
+
+
+def test_parity_is_one_bit_odd_detection():
+    p = Parity()
+    assert p.check_bits(64) == 1
+    assert p.extended_bits(64) == 65
+    assert p.decode({3}, 64).verdict == DETECT
+    assert p.decode({64}, 64).verdict == DETECT          # check-bit flip
+    assert p.decode({3, 7}, 64).verdict == ESCAPE        # even pattern
+    assert p.decode({1, 2, 64}, 64).verdict == DETECT
+
+
+@pytest.mark.parametrize("data,check", [(8, 5), (64, 8), (128, 9), (512, 11)])
+def test_secded_check_bit_count(data, check):
+    # smallest r with 2^r >= data + r + 1, plus overall parity
+    assert Secded().check_bits(data) == check
+
+
+def test_secded_decode_verdicts_and_fix_bits():
+    s = Secded()
+    one = s.decode({5}, 64)
+    assert one.verdict == CORRECT and one.fix_bits == (5,)
+    virt = s.decode({70}, 64)                            # check-bit flip
+    assert virt.verdict == CORRECT and virt.fix_bits == ()
+    assert s.decode({5, 70}, 64).verdict == DETECT
+    assert s.decode({1, 2, 3}, 64).verdict == ESCAPE     # residual escape
+
+
+def test_tmr_majority_vote():
+    t = TMR()
+    assert t.check_bits(64) == 128 and t.extended_bits(64) == 192
+    # one corrupt stored copy: outvoted, storage repaired
+    one = t.decode({9}, 64)
+    assert one.verdict == CORRECT and one.fix_bits == (9,)
+    # one corrupt shadow copy: outvoted, nothing to repair
+    shadow = t.decode({64 + 9}, 64)
+    assert shadow.verdict == CORRECT and shadow.fix_bits == ()
+    # two corrupt shadow copies of one position: vote flips silently and
+    # the corruption is materialized into the stored copy
+    lost = t.decode({64 + 9, 128 + 9}, 64)
+    assert lost.verdict == ESCAPE and lost.fix_bits == (9,)
+    # independent single-copy corruptions across positions stay correctable
+    multi = t.decode({3, 64 + 17}, 64)
+    assert multi.verdict == CORRECT and multi.fix_bits == (3,)
+
+
+def test_scheme_cost_model():
+    assert get_scheme("none").area_overhead(64) == 0.0
+    assert get_scheme("parity").area_overhead(64) == pytest.approx(1 / 64)
+    assert get_scheme("secded").area_overhead(64) == pytest.approx(8 / 64)
+    assert get_scheme("tmr").area_overhead(64) == pytest.approx(2.0)
+    assert get_scheme("secded").latency_cycles == 1
+    assert get_scheme("parity").latency_cycles == 0
+
+
+def test_get_scheme_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown protection scheme"):
+        get_scheme("hamming77")
+
+
+# ---------------------------------------------------------------- config
+
+
+def test_config_parse_and_lookup():
+    cfg = ProtectionConfig.parse("l1d=secded, regfile_int=tmr")
+    assert cfg.enabled
+    assert cfg.scheme_name_for("l1d") == "secded"
+    assert cfg.scheme_for("regfile_int").name == "tmr"
+    assert cfg.scheme_for("sq") is None
+    # accel structures match on the trailing component name
+    assert ProtectionConfig.parse("MATRIX1=secded").scheme_for(
+        "accel:gemm:MATRIX1").name == "secded"
+
+
+@pytest.mark.parametrize("text", ["", "l1d", "l1d=ecc5", "l1d=secded,l1d=tmr"])
+def test_config_parse_rejects_malformed(text):
+    with pytest.raises(ValueError):
+        ProtectionConfig.parse(text)
+
+
+def test_normalized_collapses_all_none_config():
+    assert normalized(ProtectionConfig.parse("l1d=none")) is None
+    assert normalized(None) is None
+    cfg = ProtectionConfig.parse("l1d=secded")
+    assert normalized(cfg) is cfg
+
+
+# ----------------------------------------------------- extended geometry
+
+
+def test_target_geometry_extends_protected_words(cfg):
+    golden = golden_run("rv", "crc32", cfg, "tiny")
+    bare = _spec(cfg)
+    prot = _spec(cfg, protection=ProtectionConfig.parse("regfile_int=secded"))
+    from repro.cpu.core import OoOCore
+    from repro.isa.base import get_isa
+
+    core = OoOCore.from_executable(golden.exe, get_isa("rv"), cfg)
+    entries, bits = target_geometry(bare, core)
+    p_entries, p_bits = target_geometry(prot, core)
+    assert p_entries == entries
+    assert p_bits == bits + Secded().check_bits(bits)
+
+
+# ------------------------------------------------- campaign end-to-end
+
+
+def test_secded_fuzz_single_bit_transients_all_corrected_or_masked(cfg):
+    """ISSUE acceptance: >=200 single-bit masks per ISA under SECDED never
+    produce SDC, Crash, or DUE — every activated flip is corrected."""
+    for isa in ("rv", "arm", "x86"):
+        sdc = crash = due = 0
+        exercised = 0
+        for t_idx, target in enumerate(("regfile_int", "l1d", "lq")):
+            spec = _spec(cfg, isa=isa, target=target, faults=68,
+                         seed=500 + t_idx, protection=SECDED_ALL)
+            result = run_campaign(spec)
+            assert len(result.records) == 68
+            for r in result.records:
+                assert r.outcome in (Outcome.MASKED, Outcome.SIM_FAULT), (
+                    f"{isa}/{target}: single-bit escape under SECDED: "
+                    f"mask {r.mask.mask_id} -> {r.outcome}"
+                )
+            sdc += sum(r.outcome is Outcome.SDC for r in result.records)
+            crash += sum(r.outcome is Outcome.CRASH for r in result.records)
+            due += sum(r.outcome is Outcome.DUE for r in result.records)
+            exercised += result.corrected
+            assert result.residual_sdc_avf == 0.0
+            assert result.coverage in (None, 1.0)
+        assert sdc == crash == due == 0
+        assert exercised > 0, f"{isa}: no flip ever reached a decoder"
+
+
+def test_secded_directed_double_bit_is_due_never_silent(cfg):
+    """Two flips in the same code word at the same cycle: SECDED must
+    *detect* (DUE) every activated pattern — never SDC or Crash."""
+    protection = ProtectionConfig.parse("regfile_int=secded")
+    spec = _spec(cfg, protection=protection)
+    golden = golden_run(spec.isa, spec.workload, spec.cfg, spec.scale)
+    lo, hi = golden.window
+    masks = []
+    for i in range(24):
+        entry = i % 16
+        cycle = lo + (i * 7) % (hi - lo)
+        b0, b1 = (i * 3) % 64, ((i * 3) % 64 + 13 + i) % 64
+        if b0 == b1:
+            b1 = (b1 + 1) % 64
+        masks.append(FaultMask(FaultModel.TRANSIENT, (
+            FaultFlip("regfile_int", entry, b0, cycle),
+            FaultFlip("regfile_int", entry, b1, cycle),
+        ), mask_id=i))
+    result = run_campaign(spec, masks=masks)
+    outcomes = {r.outcome for r in result.records}
+    assert Outcome.SDC not in outcomes and Outcome.CRASH not in outcomes
+    assert Outcome.DUE in outcomes           # at least one word was decoded
+    for r in result.records:
+        if r.outcome is Outcome.DUE:
+            assert r.detected_by == "secded:regfile_int"
+            assert r.activated is False      # detected, not consumed
+
+
+def test_parity_check_bit_flip_raises_due_not_sdc(cfg):
+    """A flip in the (virtual) parity bit itself is an odd pattern: the
+    next decode must machine-check, and the journal must say parity did."""
+    protection = ProtectionConfig.parse("regfile_int=parity")
+    spec = _spec(cfg, protection=protection)
+    golden = golden_run(spec.isa, spec.workload, spec.cfg, spec.scale)
+    lo, _ = golden.window
+    masks = [
+        FaultMask(FaultModel.TRANSIENT,
+                  (FaultFlip("regfile_int", entry, 64, lo + 2),),
+                  mask_id=entry)
+        for entry in range(12)
+    ]
+    result = run_campaign(spec, masks=masks)
+    due = [r for r in result.records if r.outcome is Outcome.DUE]
+    assert due, "no parity-bit flip was ever decoded"
+    for r in result.records:
+        assert r.outcome in (Outcome.DUE, Outcome.MASKED)
+    for r in due:
+        assert r.detected_by == "parity:regfile_int"
+
+
+def test_protection_rejects_permanent_models(cfg):
+    spec = _spec(cfg, model=FaultModel.STUCK_AT_1,
+                 protection=ProtectionConfig.parse("regfile_int=secded"))
+    with pytest.raises(ValueError, match="transient"):
+        run_campaign(spec)
+
+
+# ------------------------------------------------ journal / doctor / tail
+
+
+def _protected_result(cfg, tmp_path, scheme="secded", faults=16, seed=31):
+    journal = tmp_path / f"{scheme}.jsonl"
+    spec = _spec(cfg, faults=faults, seed=seed,
+                 protection=ProtectionConfig.parse(f"regfile_int={scheme}"))
+    result = run_campaign(spec, journal=journal)
+    return spec, result, journal
+
+
+def test_due_and_corrected_survive_journal_round_trip(cfg, tmp_path):
+    spec, result, journal = _protected_result(cfg, tmp_path, scheme="parity")
+    loaded = CampaignJournal.load(journal)
+    assert len(loaded) == len(result.records)
+    by_id = {r.mask.mask_id: r for r in result.records}
+    assert any(r.outcome is Outcome.DUE for r in loaded)
+    for rec in loaded:
+        live = by_id[rec.mask.mask_id]
+        assert rec.outcome is live.outcome
+        assert rec.detected_by == live.detected_by
+        assert rec.masked_reason == live.masked_reason
+
+
+def test_corrected_masked_reason_is_journaled(cfg, tmp_path):
+    spec, result, journal = _protected_result(cfg, tmp_path, scheme="secded")
+    assert result.corrected > 0
+    loaded = CampaignJournal.load(journal)
+    corrected = [r for r in loaded if r.masked_reason == "corrected"]
+    assert len(corrected) == result.corrected
+    for rec in corrected:
+        assert rec.outcome is Outcome.MASKED and rec.detected_by is None
+
+
+def test_telemetry_fold_is_replay_pure_for_protection(cfg, tmp_path):
+    from repro.core.telemetry import CampaignAggregate, Telemetry
+
+    telemetry = Telemetry()
+    journal = tmp_path / "prot.jsonl"
+    spec = _spec(cfg, faults=16,
+                 protection=ProtectionConfig.parse("regfile_int=parity"))
+    run_campaign(spec, journal=journal, telemetry=telemetry)
+    replayed = CampaignAggregate()
+    for record in CampaignJournal.load(journal):
+        replayed.fold(record)
+    live = telemetry.aggregate.reconcilable()
+    assert live == replayed.reconcilable()
+    assert replayed.due + replayed.corrected > 0
+    assert "corrected" in live
+
+
+def test_prometheus_exports_corrected_and_coverage(cfg, tmp_path):
+    from repro.core.telemetry import CampaignAggregate, write_prometheus
+
+    agg = CampaignAggregate()
+    spec, result, journal = _protected_result(cfg, tmp_path, scheme="secded")
+    for record in CampaignJournal.load(journal):
+        agg.fold(record)
+    out = tmp_path / "metrics.prom"
+    write_prometheus(out, agg, {"target": "regfile_int"})
+    text = out.read_text()
+    assert "repro_fault_corrected_total" in text
+    assert "repro_protection_coverage" in text
+
+
+def test_doctor_accepts_protected_journals(cfg, tmp_path):
+    from repro.core.doctor import diagnose_journal
+
+    for scheme in ("parity", "secded"):
+        _, _, journal = _protected_result(cfg, tmp_path, scheme=scheme)
+        report = diagnose_journal(journal)
+        assert report.ok, report.describe()
+
+
+def test_doctor_flags_protection_verdicts_without_protection(cfg, tmp_path):
+    """A DUE / detected_by / corrected record inside an *unprotected*
+    spec's journal is a consistency violation the doctor must flag."""
+    from repro.core.doctor import diagnose_journal
+
+    spec = _spec(cfg, faults=4)
+    journal = tmp_path / "bare.jsonl"
+    run_campaign(spec, journal=journal)
+    lines = journal.read_text().splitlines()
+    doc = json.loads(lines[1])
+    doc["outcome"] = "due"
+    doc["detected_by"] = "secded:regfile_int"
+    lines[1] = json.dumps(doc)
+    forged = tmp_path / "forged.jsonl"
+    forged.write_text("\n".join(lines) + "\n")
+    report = diagnose_journal(forged)
+    assert not report.ok
+    assert any("protection" in p for p in report.problems)
+
+
+def test_doctor_flags_due_without_detected_by(cfg, tmp_path):
+    from repro.core.doctor import diagnose_journal
+
+    _, _, journal = _protected_result(cfg, tmp_path, scheme="parity")
+    lines = journal.read_text().splitlines()
+    forged_lines, stripped = [], False
+    for line in lines:
+        doc = json.loads(line)
+        if not stripped and doc.get("outcome") == "due":
+            del doc["detected_by"]
+            stripped = True
+            line = json.dumps(doc)
+        forged_lines.append(line)
+    assert stripped, "parity journal produced no DUE record"
+    forged = tmp_path / "forged.jsonl"
+    forged.write_text("\n".join(forged_lines) + "\n")
+    report = diagnose_journal(forged)
+    assert not report.ok
+
+
+# ----------------------------------------------------------- byte identity
+
+
+def test_unprotected_spec_serializes_without_protection_key(cfg):
+    spec = _spec(cfg)
+    doc = spec_to_dict(spec)
+    assert "protection" not in doc
+    assert spec_fingerprint(spec) == spec_fingerprint(
+        _spec(cfg, protection=None))
+
+
+def test_all_none_protection_fingerprints_as_unprotected(cfg):
+    bare = _spec(cfg)
+    noop = _spec(cfg, protection=normalized(
+        ProtectionConfig.parse("regfile_int=none")))
+    assert spec_fingerprint(bare) == spec_fingerprint(noop)
+
+
+def test_unprotected_journal_bytes_unchanged_by_protection_layer(
+        cfg, tmp_path):
+    """The protection layer must be invisible when off: no protection key
+    in the header, no detected_by on any record."""
+    journal = tmp_path / "bare.jsonl"
+    run_campaign(_spec(cfg, faults=6), journal=journal)
+    lines = journal.read_text().splitlines()
+    header = json.loads(lines[0])
+    assert "protection" not in header["spec"]
+    for line in lines[1:]:
+        doc = json.loads(line)
+        assert "detected_by" not in doc
+
+
+def test_unprotected_summary_has_no_protection_keys(cfg):
+    summary = run_campaign(_spec(cfg, faults=4)).summary()
+    for key in ("protection", "due_avf", "corrected", "coverage",
+                "residual_sdc_avf"):
+        assert key not in summary
+
+
+# ------------------------------------------------------------------- CLI
+
+
+def test_cli_protect_flag_runs_protected_campaign(capsys, tmp_path):
+    from repro.cli import main
+
+    journal = tmp_path / "run.jsonl"
+    rc = main([
+        "campaign", "--isa", "rv", "--workload", "crc32",
+        "--target", "regfile_int", "--faults", "6", "--seed", "3",
+        "--protect", "regfile_int=secded", "--journal", str(journal),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "coverage" in out and "secded" in out
+    header = json.loads(journal.read_text().splitlines()[0])
+    assert header["spec"]["protection"] == {
+        "schemes": [["regfile_int", "secded"]]}
+
+
+def test_cli_protect_rejects_bad_assignment(capsys):
+    from repro.cli import main
+
+    assert main(["campaign", "--faults", "1",
+                 "--protect", "regfile_int=ecc9"]) == 2
+    assert "unknown protection scheme" in capsys.readouterr().err
+
+
+def test_cli_comma_target_list_runs_one_subcampaign_each(capsys, tmp_path):
+    from repro.cli import main
+
+    journal = tmp_path / "multi.jsonl"
+    rc = main([
+        "campaign", "--isa", "rv", "--workload", "crc32",
+        "--target", "regfile_int,l1d", "--faults", "3",
+        "--journal", str(journal),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "== target regfile_int ==" in out and "== target l1d ==" in out
+    for target in ("regfile_int", "l1d"):
+        per = tmp_path / f"multi-{target}.jsonl"
+        assert per.exists()
+        header = json.loads(per.read_text().splitlines()[0])
+        assert header["spec"]["target"] == target
+    assert not journal.exists()          # the unsuffixed path is never used
+
+
+def test_cli_single_target_journal_path_is_unsuffixed(tmp_path, capsys):
+    from repro.cli import main
+
+    journal = tmp_path / "one.jsonl"
+    assert main([
+        "campaign", "--isa", "rv", "--workload", "crc32",
+        "--target", "regfile_int", "--faults", "2",
+        "--journal", str(journal),
+    ]) == 0
+    capsys.readouterr()
+    assert journal.exists()

@@ -1,0 +1,123 @@
+"""Protection coverage DSE in the experiment matrix, plus sanitizer
+invariants over the protection bookkeeping."""
+
+import pytest
+
+from repro.core.campaign import CampaignSpec, golden_run, run_campaign
+from repro.core.faults import FaultFlip, FaultMask, FaultModel
+from repro.core.injector import CORRECTED, InjectionController
+from repro.core.matrix import MatrixError, grid_from_dict
+from repro.core.protection import ProtectionConfig
+from repro.core.sanitizer import (
+    FULL_SANITIZER,
+    CoreAuditor,
+    IntegrityViolation,
+    SanitizerPolicy,
+)
+
+
+# --------------------------------------------------------- matrix DSE
+
+
+def test_grid_protection_list_fans_out_scheme_cells():
+    grid = grid_from_dict({
+        "cpu": {
+            "workloads": ["crc32"], "targets": ["regfile_int"], "faults": 3,
+            "protection": {"regfile_int": ["none", "parity", "secded"]},
+        },
+    })
+    assert {c.key for c in grid.cells} == {
+        "cpu-rv-crc32-regfile_int",            # 'none' keeps the bare key
+        "cpu-rv-crc32-regfile_int+parity",
+        "cpu-rv-crc32-regfile_int+secded",
+    }
+    bare = next(c for c in grid.cells if c.key.endswith("regfile_int"))
+    assert bare.spec.protection is None        # byte-identical journal
+    prot = next(c for c in grid.cells if c.key.endswith("+secded"))
+    assert prot.spec.protection.scheme_name_for("regfile_int") == "secded"
+
+
+def test_grid_protection_scalar_assigns_one_scheme():
+    grid = grid_from_dict({
+        "cpu": {
+            "workloads": ["crc32"], "targets": ["regfile_int", "lq"],
+            "faults": 2, "protection": {"regfile_int": "tmr"},
+        },
+    })
+    keys = {c.key for c in grid.cells}
+    assert "cpu-rv-crc32-regfile_int+tmr" in keys
+    assert "cpu-rv-crc32-lq" in keys           # unlisted target unprotected
+
+
+def test_grid_accel_protection_table():
+    grid = grid_from_dict({
+        "accel": {
+            "designs": ["gemm"], "components": ["MATRIX1"], "faults": 2,
+            "protection": {"MATRIX1": ["none", "secded"]},
+        },
+    })
+    assert {c.key for c in grid.cells} == {
+        "accel-gemm-MATRIX1", "accel-gemm-MATRIX1+secded",
+    }
+
+
+@pytest.mark.parametrize("table", [
+    {"regfile_int": "ecc9"},                   # unknown scheme
+    {"regfile_int": []},                       # empty DSE list
+])
+def test_grid_rejects_bad_protection_tables(table):
+    with pytest.raises(MatrixError):
+        grid_from_dict({
+            "cpu": {"workloads": ["crc32"], "targets": ["regfile_int"],
+                    "faults": 2, "protection": table},
+        })
+
+
+def test_grid_rejects_protection_with_permanent_model():
+    with pytest.raises(MatrixError, match="transient"):
+        grid_from_dict({
+            "cpu": {"workloads": ["crc32"], "targets": ["regfile_int"],
+                    "faults": 2, "model": "stuck1",
+                    "protection": {"regfile_int": "secded"}},
+        })
+
+
+# ------------------------------------------------- sanitizer invariants
+
+
+def _armed_controller(cfg):
+    golden = golden_run("rv", "crc32", cfg, "tiny")
+    mask = FaultMask(FaultModel.TRANSIENT,
+                     (FaultFlip("regfile_int", 0, 3, golden.window[0]),))
+    return InjectionController(
+        mask, protection=ProtectionConfig.parse("regfile_int=parity"))
+
+
+def test_sanitizer_rejects_corrected_under_noncorrecting_scheme(cfg):
+    """CORRECTED bookkeeping under a detect-only scheme is a simulator
+    bug the auditor must escalate (STRUCTURAL, never suppressed)."""
+    controller = _armed_controller(cfg)
+    controller.flips[0].status = CORRECTED     # parity cannot correct
+    auditor = CoreAuditor(SanitizerPolicy(mode="full", audit_stride=1),
+                          controller=controller, mask=controller.mask)
+
+    class _FakeCore:
+        cycle = 0
+
+    with pytest.raises(IntegrityViolation, match="protection_corrects"):
+        auditor._audit_protection(_FakeCore())
+
+
+def test_protected_campaign_clean_under_full_sanitizer(cfg):
+    """In-vivo: a full-stride sanitizer must report zero integrity
+    violations across a protected campaign — the protection lifecycle
+    states are all legal."""
+    spec = CampaignSpec(
+        isa="rv", workload="crc32", target="regfile_int", cfg=cfg,
+        scale="tiny", faults=20, seed=9,
+        protection=ProtectionConfig.parse("regfile_int=secded"),
+    )
+    result = run_campaign(spec, sanitizer=FULL_SANITIZER)
+    assert all(r.sim_error_kind != "integrity" for r in result.records), [
+        r.error for r in result.records if r.sim_error_kind == "integrity"
+    ]

@@ -37,6 +37,7 @@ class _Detonator:
     """
 
     size = 8
+    width = 64
     free = frozenset()          # every entry occupied: flip always attempted
 
     def __init__(self, fuse: int | None = None):
