@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""Measure the liveness pre-analysis payoff and write BENCH_liveness.json.
+
+For each workload the same fault sample runs through three campaign
+variants:
+
+* **baseline** — ``liveness=None``, the PR-6 behaviour: every mask is
+  simulated (checkpoint fast-forward and early exit stay on, so the
+  comparison is against the best the simulator already does);
+* **audit** — every mask simulated *and* checked against the analytic
+  claim, so outcome equality between the variants is machine-verified,
+  not assumed;
+* **on** — masks the golden dead-window map proves Masked are classified
+  analytically and never simulated.
+
+Reported per workload: the analytic skip rate, the end-to-end campaign
+speedup of ``on`` over baseline, and the golden-run overhead of liveness
+recording (absolute, relative, and amortized over the baseline campaign).
+
+Gate: the extra golden-run cost must amortize to <= +5% of the baseline
+campaign's wall clock — the pre-analysis must never cost more than a
+sliver of what it saves.  (The raw golden-run slowdown is reported too,
+but a one-off recording pass is paid once per spec while its skips repay
+on every mask, so the amortized share is the number that matters.)
+
+Regenerate with::
+
+    PYTHONPATH=src python benchmarks/bench_liveness.py
+
+The ``smoke`` entry mirrors the CI liveness smoke (crc32/regfile_int,
+20 faults, seed 1 — the CLI defaults).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.core import campaign as campaign_mod
+from repro.core.campaign import CampaignSpec, golden_run, run_campaign
+from repro.core.presets import sim_config
+
+SMOKE = ("crc32", "regfile_int", 20, 1)   # workload, target, faults, seed
+DEFAULT_WORKLOADS = ["crc32", "qsort", "sha", "fft", "dijkstra"]
+
+#: amortized golden-overhead gate: recording the liveness tape may add at
+#: most this share of the baseline campaign's wall clock
+GOLDEN_OVERHEAD_GATE = 0.05
+
+
+def _best_of(repeats: int, fn) -> tuple[float, object]:
+    best_t, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best_t = min(best_t, time.perf_counter() - t0)
+    return best_t, result
+
+
+def _golden_seconds(workload: str, cfg, liveness: bool, repeats: int) -> float:
+    """Fresh (uncached) golden-run wall clock, best-of-``repeats``."""
+    best = float("inf")
+    for _ in range(repeats):
+        campaign_mod._GOLDEN_CACHE.clear()
+        t0 = time.perf_counter()
+        golden_run("rv", workload, cfg, "tiny", liveness=liveness)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_one(workload: str, target: str, faults: int, seed: int,
+              repeats: int) -> dict:
+    cfg = sim_config()
+
+    def spec(liveness):
+        return CampaignSpec(isa="rv", workload=workload, target=target,
+                            cfg=cfg, scale="tiny", faults=faults, seed=seed,
+                            liveness=liveness)
+
+    # golden-run recording overhead (fresh simulation both sides)
+    golden_plain_s = _golden_seconds(workload, cfg, False, repeats)
+    golden_live_s = _golden_seconds(workload, cfg, True, repeats)
+
+    # end-to-end campaigns; the golden stays cached across repeats, so
+    # these time the per-mask work the skip rate actually saves
+    base_s, base = _best_of(repeats, lambda: run_campaign(spec(None)))
+    audit_s, audit = _best_of(repeats, lambda: run_campaign(spec("audit")))
+    on_s, on = _best_of(repeats, lambda: run_campaign(spec("on")))
+
+    assert audit.liveness_disagreements == 0, (
+        f"{workload}/{target}: audit found analytic/simulated disagreement "
+        f"— refusing to report timings for unsound skips")
+    for a, b in zip(base.records, on.records):
+        assert a.outcome is b.outcome, (
+            f"{workload}/{target} mask {a.mask.mask_id}: liveness=on "
+            f"changed the verdict {a.outcome} -> {b.outcome}")
+
+    overhead_s = golden_live_s - golden_plain_s
+    return {
+        "target": target,
+        "faults": faults,
+        "seed": seed,
+        "golden_cycles": base.golden.cycles,
+        "liveness_skips": on.liveness_skips,
+        "skip_rate": round(on.liveness_skips / faults, 4),
+        "baseline_campaign_s": round(base_s, 4),
+        "audit_campaign_s": round(audit_s, 4),
+        "on_campaign_s": round(on_s, 4),
+        "campaign_speedup": round(base_s / on_s, 3),
+        "golden_plain_s": round(golden_plain_s, 4),
+        "golden_liveness_s": round(golden_live_s, 4),
+        "golden_overhead_s": round(overhead_s, 4),
+        "golden_overhead_pct": round(100 * overhead_s / golden_plain_s, 2),
+        "golden_overhead_vs_campaign_pct": round(
+            100 * max(0.0, overhead_s) / base_s, 2),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--workloads", nargs="+", default=DEFAULT_WORKLOADS)
+    ap.add_argument("--faults", type=int, default=20)
+    ap.add_argument("--seed", type=int, default=5)
+    ap.add_argument("--repeats", type=int, default=2,
+                    help="timing repeats per variant (best-of)")
+    ap.add_argument("--out", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_liveness.json"))
+    args = ap.parse_args(argv)
+
+    # untimed warm-up: the first simulation pays import/allocator costs
+    # that would otherwise inflate whichever variant happens to run first
+    campaign_mod._GOLDEN_CACHE.clear()
+    golden_run("rv", SMOKE[0], sim_config(), "tiny")
+    campaign_mod._GOLDEN_CACHE.clear()
+
+    results: dict[str, dict] = {}
+    wl, target, faults, seed = SMOKE
+    print(f"smoke: {wl}/{target} faults={faults} seed={seed}")
+    results["smoke"] = bench_one(wl, target, faults, seed, args.repeats)
+    print(f"  skip rate {results['smoke']['skip_rate']:.0%}  "
+          f"speedup {results['smoke']['campaign_speedup']}x  "
+          f"golden overhead {results['smoke']['golden_overhead_pct']}% "
+          f"({results['smoke']['golden_overhead_vs_campaign_pct']}% of "
+          f"campaign)")
+
+    for wl in args.workloads:
+        print(f"bench: {wl}/regfile_int faults={args.faults} seed={args.seed}")
+        results[wl] = bench_one(wl, "regfile_int", args.faults, args.seed,
+                                args.repeats)
+        print(f"  skip rate {results[wl]['skip_rate']:.0%}  "
+              f"speedup {results[wl]['campaign_speedup']}x  "
+              f"golden overhead {results[wl]['golden_overhead_pct']}% "
+              f"({results[wl]['golden_overhead_vs_campaign_pct']}% of "
+              f"campaign)")
+
+    doc = {
+        "benchmark": "bit-liveness pre-analysis (analytic Masked skips)",
+        "command": "PYTHONPATH=src python benchmarks/bench_liveness.py",
+        "policy": "liveness=on vs liveness=None (PR-6 baseline), audit-"
+                  "verified outcome equality, checkpoints on in all variants",
+        "isa": "rv",
+        "repeats": args.repeats,
+        "overall_median_skip_rate": round(statistics.median(
+            r["skip_rate"] for r in results.values()), 4),
+        "overall_median_campaign_speedup": round(statistics.median(
+            r["campaign_speedup"] for r in results.values()), 3),
+        "golden_overhead_gate_pct": 100 * GOLDEN_OVERHEAD_GATE,
+        "workloads": results,
+    }
+    Path(args.out).write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    gate = results["smoke"]["golden_overhead_vs_campaign_pct"]
+    if gate > 100 * GOLDEN_OVERHEAD_GATE:
+        print(f"FAIL: smoke golden liveness overhead {gate}% of the "
+              f"baseline campaign > {100 * GOLDEN_OVERHEAD_GATE}%")
+        return 1
+    speedup = results["smoke"]["campaign_speedup"]
+    if speedup < 1.0:
+        print(f"FAIL: smoke campaign speedup {speedup}x < 1x — the "
+              f"pre-analysis costs more than it saves")
+        return 1
+    print(f"OK: golden overhead {gate}% of campaign <= "
+          f"{100 * GOLDEN_OVERHEAD_GATE}%, speedup {speedup}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

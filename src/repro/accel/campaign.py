@@ -20,8 +20,18 @@ from repro.accel.spm import ScratchpadMemory
 from repro.accel_designs import get_design
 from repro.core.faults import FaultFlip, FaultMask, FaultModel
 from repro.core.journal import CampaignJournal
+from repro.core.liveness import (
+    LivenessMap,
+    attach_accel_recorder,
+    mask_provably_dead,
+)
 from repro.core.outcome import HVFClass, Outcome
-from repro.core.campaign import FaultRecord, SimulatorFault, quarantine_record
+from repro.core.campaign import (
+    FaultRecord,
+    SimulatorFault,
+    liveness_masked_record,
+    quarantine_record,
+)
 from repro.core.protection import (
     CORRECT,
     DETECT,
@@ -56,6 +66,10 @@ class AccelCampaignSpec:
     #: journal byte — of an unprotected campaign is identical to pre-
     #: protection output (see ``repro.core.journal.spec_to_dict``).
     protection: ProtectionConfig | None = None
+    #: bit-liveness pre-analysis mode (None = off, "on", "audit") — same
+    #: semantics and byte-identity contract as the CPU
+    #: :class:`repro.core.campaign.CampaignSpec`.
+    liveness: str | None = None
 
 
 #: protected accelerator memories decode in 8-byte (64-bit) code words —
@@ -267,6 +281,9 @@ class AccelGolden:
     total_cycles: int      # incl. DMA
     output: bytes
     operations: int
+    #: bit-liveness dead-window map over every local memory (None when the
+    #: golden run was simulated without liveness recording)
+    liveness: LivenessMap | None = field(default=None, repr=False)
 
 
 @dataclass
@@ -307,6 +324,16 @@ class AccelCampaignResult:
     @property
     def integrity_quarantined(self) -> int:
         return sum(1 for r in self.records if r.sim_error_kind == "integrity")
+
+    @property
+    def liveness_skips(self) -> int:
+        """Records classified analytically by the liveness pre-analysis."""
+        return sum(1 for r in self.records if r.classified_by == "liveness")
+
+    @property
+    def liveness_disagreements(self) -> int:
+        """Audit-mode quarantines where simulation contradicted the claim."""
+        return sum(1 for r in self.records if r.sim_error_kind == "liveness")
 
     @property
     def avf(self) -> float | None:
@@ -385,6 +412,17 @@ class AccelCampaignResult:
             out["corrected"] = self.corrected
             out["coverage"] = self.coverage
             out["residual_sdc_avf"] = self.residual_sdc_avf
+        if self.spec.liveness is not None:
+            # liveness-only keys: an unset summary renders exactly as it
+            # always has
+            out["liveness"] = self.spec.liveness
+            out["liveness_skips"] = self.liveness_skips
+            out["liveness_skip_rate"] = (
+                self.liveness_skips / len(self.records)
+                if self.records else None
+            )
+            if self.spec.liveness == "audit":
+                out["liveness_disagreements"] = self.liveness_disagreements
         return out
 
 
@@ -418,14 +456,31 @@ class AccelReplayContext:
 _ACCEL_GOLDEN_CACHE: dict[tuple, AccelGolden] = {}
 
 
-def accel_golden(spec: AccelCampaignSpec) -> AccelGolden:
+def accel_golden(spec: AccelCampaignSpec, *, liveness: bool = False) -> AccelGolden:
+    """Fault-free reference run, cached per (design, scale, fu).
+
+    With ``liveness=True`` every local memory gets a bit-liveness recorder
+    (see :mod:`repro.core.liveness`) and ``AccelGolden.liveness`` carries
+    the dead-window map, keyed by ``accel:<design>:<memory>`` structure
+    names so it serves any component of the design.  A cached golden
+    without the map is re-simulated once to collect it.
+    """
     key = (spec.design, spec.scale, spec.fu)
     cached = _ACCEL_GOLDEN_CACHE.get(key)
-    if cached is not None:
+    if cached is not None and (not liveness or cached.liveness is not None):
         return cached
     accel = get_design(spec.design).instantiate(spec.fu)
     dma_in = accel.load_inputs(spec.scale)
     engine = DataflowEngine(accel.kernel(spec.scale), accel.memmap, accel.fu)
+    # arm the recorders only now: the DMA precedes cycle 0, and taping its
+    # writes would falsely claim cycle-0 flips as dead
+    recorders = (
+        [
+            attach_accel_recorder(mem, engine, f"accel:{spec.design}:{name}")
+            for name, mem in accel.memories.items()
+        ]
+        if liveness else None
+    )
     result = engine.run()
     if not result.ok:
         raise RuntimeError(f"golden accel run failed: {result.crashed}")
@@ -438,6 +493,11 @@ def accel_golden(spec: AccelCampaignSpec) -> AccelGolden:
         total_cycles=result.cycles + dma_in,
         output=output,
         operations=result.operations,
+        liveness=(
+            LivenessMap.from_recorders(recorders)
+            if recorders is not None
+            else (cached.liveness if cached is not None else None)
+        ),
     )
     _ACCEL_GOLDEN_CACHE[key] = golden
     return golden
@@ -610,18 +670,29 @@ def _escalate_accel_integrity(
                              retries=retries, integrity=report)
 
 
-def run_one_accel_fault(spec: AccelCampaignSpec, mask: FaultMask,
-                        ctx: AccelReplayContext | None = None, *,
-                        sanitizer: SanitizerPolicy | None = None,
-                        hang_cycles: int = DEFAULT_HANG_CYCLES) -> FaultRecord:
-    """Simulate one accelerator fault with the crash-quarantine boundary:
-    a simulator exception is retried once with the same mask, then
-    quarantined — never aborting the campaign (same policy as the CPU
-    driver's :func:`repro.core.campaign.run_one_fault`).  Sanitizer hits
-    take the differential escalation path and quarantine as
-    ``sim_error_kind="integrity"``."""
-    golden = accel_golden(spec)
-    san = sanitizer if sanitizer is not None else DEFAULT_SANITIZER
+def _liveness_claim_accel(spec: AccelCampaignSpec, mask: FaultMask,
+                          golden: AccelGolden) -> FaultRecord | None:
+    """The analytic record for ``mask``, or None when simulation is needed."""
+    if spec.liveness is None or golden.liveness is None:
+        return None
+    protected = (
+        frozenset({accel_structure_name(spec)})
+        if accel_scheme(spec) is not None else frozenset()
+    )
+    if mask_provably_dead(mask, golden.liveness, protected=protected):
+        return liveness_masked_record(mask)
+    return None
+
+
+def _simulate_accel_with_retry(
+    spec: AccelCampaignSpec,
+    mask: FaultMask,
+    golden: AccelGolden,
+    ctx: AccelReplayContext | None,
+    san: SanitizerPolicy,
+    hang_cycles: int,
+) -> FaultRecord:
+    """The supervised simulate path: quarantine boundary + one retry."""
     try:
         return _simulate_one_accel(spec, mask, golden, ctx,
                                    sanitizer=san, hang_cycles=hang_cycles)
@@ -645,6 +716,43 @@ def run_one_accel_fault(spec: AccelCampaignSpec, mask: FaultMask,
         )
     return replace(record, retries=record.retries + 1,
                    sim_error_kind="flaky", error=first_text)
+
+
+def run_one_accel_fault(spec: AccelCampaignSpec, mask: FaultMask,
+                        ctx: AccelReplayContext | None = None, *,
+                        sanitizer: SanitizerPolicy | None = None,
+                        hang_cycles: int = DEFAULT_HANG_CYCLES) -> FaultRecord:
+    """Simulate one accelerator fault with the crash-quarantine boundary:
+    a simulator exception is retried once with the same mask, then
+    quarantined — never aborting the campaign (same policy as the CPU
+    driver's :func:`repro.core.campaign.run_one_fault`).  Sanitizer hits
+    take the differential escalation path and quarantine as
+    ``sim_error_kind="integrity"``.
+
+    With ``spec.liveness`` set, the golden run's dead-window map is
+    consulted first, exactly like the CPU driver: ``"on"`` returns the
+    analytic record for a provably-dead site without simulating, and
+    ``"audit"`` simulates it anyway, quarantining any disagreement with
+    ``sim_error_kind="liveness"``."""
+    golden = accel_golden(spec, liveness=spec.liveness is not None)
+    san = sanitizer if sanitizer is not None else DEFAULT_SANITIZER
+    analytic = _liveness_claim_accel(spec, mask, golden)
+    if analytic is not None and spec.liveness == "on":
+        return analytic
+    record = _simulate_accel_with_retry(spec, mask, golden, ctx, san,
+                                        hang_cycles)
+    if analytic is None:
+        return record
+    if record.outcome is Outcome.SIM_FAULT:
+        return record   # a simulator failure is not evidence either way
+    if record.outcome is Outcome.MASKED:
+        return analytic  # agreement: journal the exact bytes "on" would have
+    return quarantine_record(
+        mask, "liveness",
+        f"liveness pre-analysis claimed mask {mask.mask_id} provably Masked "
+        f"but simulation produced {record.outcome.value}"
+        + (f" ({record.crash_reason})" if record.crash_reason else ""),
+    )
 
 
 def run_accel_campaign(
@@ -676,7 +784,12 @@ def run_accel_campaign(
             "protection modeling supports transient faults only; run "
             f"permanent-fault campaigns unprotected (model={spec.model.value})"
         )
-    golden = accel_golden(spec)
+    if spec.liveness not in (None, "on", "audit"):
+        raise ValueError(
+            f"unknown liveness mode {spec.liveness!r}; "
+            "use None (off), 'on' or 'audit'"
+        )
+    golden = accel_golden(spec, liveness=spec.liveness is not None)
     if masks is None:
         masks = accel_masks(spec, golden)
     if journal is not None or resume is not None:

@@ -68,6 +68,20 @@ def _add_protect_arg(p) -> None:
                         "toward coverage (transient model only)")
 
 
+def _add_liveness_arg(p) -> None:
+    p.add_argument("--liveness", default="off",
+                   choices=["off", "on", "audit"],
+                   help="bit-liveness pre-analysis: 'on' classifies faults "
+                        "landing entirely inside a golden dead interval as "
+                        "Masked analytically (no simulation); 'audit' "
+                        "simulates them anyway and quarantines any "
+                        "disagreement (default: off)")
+
+
+def _liveness_from_args(args) -> str | None:
+    return None if args.liveness == "off" else args.liveness
+
+
 def _protection_from_args(args):
     if not getattr(args, "protect", None):
         return None
@@ -156,6 +170,7 @@ def _add_campaign(sub) -> None:
                    help="disable the golden-trace re-convergence early exit "
                         "(fault runs always simulate to completion)")
     _add_protect_arg(p)
+    _add_liveness_arg(p)
     _add_adaptive_args(p)
     _add_sanitizer_args(p)
     _add_telemetry_args(p)
@@ -176,6 +191,7 @@ def _add_accel(sub) -> None:
     p.add_argument("--resume", metavar="PATH",
                    help="skip masks already completed in this journal")
     _add_protect_arg(p)
+    _add_liveness_arg(p)
     _add_adaptive_args(p)
     _add_sanitizer_args(p)
     _add_telemetry_args(p)
@@ -277,6 +293,7 @@ def cmd_campaign(args) -> int:
     from repro.core.checkpoint import CheckpointPolicy
     from repro.core.presets import get_preset
     from repro.core.report import (
+        render_liveness,
         render_protection,
         render_robustness,
         render_table,
@@ -306,6 +323,7 @@ def cmd_campaign(args) -> int:
             seed=args.seed, model=_model(args.model),
             flips_per_mask=args.flips_per_mask,
             protection=protection,
+            liveness=_liveness_from_args(args),
         )
         metrics_out = _per_target_path(args.metrics_out, target, multi)
         telemetry = _telemetry_from_args(args, metrics_out=metrics_out)
@@ -340,6 +358,8 @@ def cmd_campaign(args) -> int:
         summaries.append(summary)
     if protection is not None:
         print(render_protection(summaries))
+    if _liveness_from_args(args) is not None:
+        print(render_liveness(summaries))
     if args.csv:
         save_report(args.csv, summaries)
         print(f"wrote {args.csv}")
@@ -350,6 +370,7 @@ def cmd_accel(args) -> int:
     from repro.accel.campaign import AccelCampaignSpec, run_accel_campaign
     from repro.accel.dataflow import FUConfig
     from repro.core.report import (
+        render_liveness,
         render_protection,
         render_robustness,
         render_table,
@@ -365,6 +386,7 @@ def cmd_accel(args) -> int:
         faults=args.faults, seed=args.seed, model=_model(args.model),
         fu=FUConfig.uniform(args.fu) if args.fu else None,
         protection=protection,
+        liveness=_liveness_from_args(args),
     )
     sanitizer, hang_cycles = _sanitizer_from_args(args)
     telemetry = _telemetry_from_args(args)
@@ -380,6 +402,8 @@ def cmd_accel(args) -> int:
     print(render_table(["metric", "value"], sorted(summary.items())))
     if protection is not None:
         print(render_protection([summary]))
+    if spec.liveness is not None:
+        print(render_liveness([summary]))
     if result.stopped_early:
         print(f"adaptive stop: {len(result.records)}/{spec.faults} faults, "
               f"achieved margin {result.error_margin:.4f}")

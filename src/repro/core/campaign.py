@@ -28,6 +28,11 @@ from repro.core.checkpoint import (
 from repro.core.faults import FaultMask, FaultModel
 from repro.core.injector import InjectionController
 from repro.core.journal import CampaignJournal
+from repro.core.liveness import (
+    LivenessMap,
+    attach_cpu_recorders,
+    mask_provably_dead,
+)
 from repro.core.outcome import Classification, HVFClass, Outcome, classify
 from repro.core.protection import ProtectionConfig
 from repro.core.sampling import AdaptiveSampling, error_margin_for, generate_masks
@@ -69,6 +74,13 @@ class CampaignSpec:
     #: journal byte — of an unprotected campaign is identical to pre-
     #: protection output (see ``repro.core.journal.spec_to_dict``).
     protection: ProtectionConfig | None = None
+    #: bit-liveness pre-analysis mode: ``None`` = off (the default; the key
+    #: is dropped from the serialized spec so unset campaigns stay
+    #: byte-identical to pre-liveness output), ``"on"`` = provably-dead
+    #: sites classify analytically without simulation, ``"audit"`` =
+    #: analytically classified sites are simulated anyway and any
+    #: disagreement quarantines the mask (``sim_error_kind="liveness"``).
+    liveness: str | None = None
 
 
 @dataclass
@@ -81,6 +93,9 @@ class GoldenRun:
     #: mid-flight checkpoints collected along this run (None when the run
     #: was simulated without a checkpoint policy)
     checkpoints: CheckpointStore | None = field(default=None, repr=False)
+    #: bit-liveness dead-window map recorded along this run (None when the
+    #: run was simulated without liveness recording)
+    liveness: LivenessMap | None = field(default=None, repr=False)
 
     @property
     def output(self) -> bytes:
@@ -121,6 +136,11 @@ class FaultRecord:
     #: omitted from the journal line when None so unprotected journals
     #: stay byte-identical to pre-protection output)
     detected_by: str | None = None
+    #: ``"liveness"`` when the verdict came from the dead-window
+    #: pre-analysis instead of a simulation (None otherwise; omitted from
+    #: the journal line when None so liveness-off journals stay
+    #: byte-identical to pre-liveness output)
+    classified_by: str | None = None
     #: golden-checkpoint cycle the run fast-forwarded from (0 = from
     #: scratch).  Excluded from equality: a checkpointed record is the
     #: *same verdict* as its from-scratch twin, just cheaper to reach.
@@ -203,6 +223,16 @@ class CampaignResult:
     @property
     def integrity_quarantined(self) -> int:
         return sum(1 for r in self.records if r.sim_error_kind == "integrity")
+
+    @property
+    def liveness_skips(self) -> int:
+        """Records classified analytically by the liveness pre-analysis."""
+        return sum(1 for r in self.records if r.classified_by == "liveness")
+
+    @property
+    def liveness_disagreements(self) -> int:
+        """Audit-mode quarantines where simulation contradicted the claim."""
+        return sum(1 for r in self.records if r.sim_error_kind == "liveness")
 
     @property
     def avf(self) -> float | None:
@@ -297,6 +327,17 @@ class CampaignResult:
             out["corrected"] = self.corrected
             out["coverage"] = self.coverage
             out["residual_sdc_avf"] = self.residual_sdc_avf
+        if self.spec.liveness is not None:
+            # liveness-only keys: an unset summary renders exactly as it
+            # always has
+            out["liveness"] = self.spec.liveness
+            out["liveness_skips"] = self.liveness_skips
+            out["liveness_skip_rate"] = (
+                self.liveness_skips / len(self.records)
+                if self.records else None
+            )
+            if self.spec.liveness == "audit":
+                out["liveness_disagreements"] = self.liveness_disagreements
         return out
 
 
@@ -360,6 +401,7 @@ def golden_run(
     *,
     checkpoints: CheckpointPolicy | None = None,
     sanitizer: SanitizerPolicy | None = None,
+    liveness: bool = False,
 ) -> GoldenRun:
     """Fault-free reference run (cached per isa/workload/config/scale).
 
@@ -376,11 +418,20 @@ def golden_run(
     (a corrupt golden reference invalidates every verdict derived from it).
     Auditing only happens on cache misses — a cached golden was already
     simulated — so callers measuring audit overhead must clear the cache.
+
+    With ``liveness=True`` the run is instrumented with bit-liveness
+    recorders (see :mod:`repro.core.liveness`) and ``GoldenRun.liveness``
+    carries the dead-window map.  Like checkpoints, a cached golden
+    without the map is re-simulated once to collect it; the simulation is
+    deterministic and the recorders are pure observers, so the reference
+    result is identical either way.
     """
     key = (isa_name, workload, scale, cfg)
     want = checkpoints is not None and checkpoints.enabled
     cached = _GOLDEN_CACHE.get(key)
-    if cached is not None and (not want or cached.checkpoints is not None):
+    if (cached is not None
+            and (not want or cached.checkpoints is not None)
+            and (not liveness or cached.liveness is not None)):
         return cached
     global _GOLDEN_MISSES
     _GOLDEN_MISSES += 1
@@ -388,6 +439,10 @@ def golden_run(
     isa = get_isa(isa_name)
     core = OoOCore.from_executable(exe, isa, cfg)
     core.trace_mode = "record"
+    # arm the liveness recorders only now: construction-time initialization
+    # writes precede the first injectable cycle and must not be taped (a
+    # pre-injection kill would falsely claim cycle-0 flips)
+    recorders = attach_cpu_recorders(core) if liveness else None
     store = (
         CheckpointStore(checkpoints, base_image=bytes(exe.initial_memory()))
         if want else None
@@ -417,7 +472,18 @@ def golden_run(
     hi = result.switch_cycle if result.switch_cycle is not None else result.cycles
     if hi <= lo:
         hi = result.cycles
-    golden = GoldenRun(exe=exe, result=result, window=(lo, hi), checkpoints=store)
+    lmap = (
+        LivenessMap.from_recorders(recorders) if recorders is not None else None
+    )
+    if cached is not None:
+        # upgrading a cached golden for one facet keeps the other: the run
+        # is deterministic, so the carried-over artifact is still exact
+        if lmap is None:
+            lmap = cached.liveness
+        if store is None:
+            store = cached.checkpoints
+    golden = GoldenRun(exe=exe, result=result, window=(lo, hi),
+                       checkpoints=store, liveness=lmap)
     _GOLDEN_CACHE.put(key, golden)
     return golden
 
@@ -664,36 +730,48 @@ def _escalate_integrity(
                              retries=retries, integrity=report)
 
 
-def run_one_fault(
+def liveness_masked_record(mask: FaultMask) -> FaultRecord:
+    """The analytic verdict for a provably-dead injection site.
+
+    ``cycles=0`` / ``max_cycles=0`` record that no simulation ran — the
+    doctor enforces exactly this shape for liveness-classified records.
+    """
+    return FaultRecord(
+        mask=mask,
+        outcome=Outcome.MASKED,
+        hvf=HVFClass.BENIGN,
+        cycles=0,
+        masked_reason="dead_interval",
+        max_cycles=0,
+        classified_by="liveness",
+    )
+
+
+def _liveness_claim(spec: CampaignSpec, mask: FaultMask,
+                    golden: GoldenRun) -> FaultRecord | None:
+    """The analytic record for ``mask``, or None when simulation is needed."""
+    if spec.liveness is None or golden.liveness is None:
+        return None
+    protected = frozenset()
+    if spec.protection is not None and spec.protection.enabled:
+        protected = frozenset(
+            f.structure for f in mask.flips
+            if spec.protection.scheme_for(f.structure) is not None
+        )
+    if mask_provably_dead(mask, golden.liveness, protected=protected):
+        return liveness_masked_record(mask)
+    return None
+
+
+def _simulate_with_retry(
     spec: CampaignSpec,
     mask: FaultMask,
-    golden: GoldenRun | None = None,
-    *,
-    checkpoints: CheckpointPolicy | None = None,
-    sanitizer: SanitizerPolicy | None = None,
-    hang_cycles: int = DEFAULT_HANG_CYCLES,
+    golden: GoldenRun,
+    policy: CheckpointPolicy,
+    san: SanitizerPolicy,
+    hang_cycles: int,
 ) -> FaultRecord:
-    """Simulate one injected fault and classify the outcome.
-
-    Crash-quarantine boundary: a simulated-program crash (`CrashError`) is a
-    normal campaign outcome, but *any other* exception escaping the
-    fault-corrupted core is a simulator failure.  Those are retried once
-    with the same mask — a second failure means a deterministic simulator
-    bug, a success means flaky state — and never abort the campaign.
-    Sanitizer hits (:class:`IntegrityViolation`) take the differential
-    escalation path instead and quarantine as ``sim_error_kind="integrity"``.
-
-    ``checkpoints`` selects the fast-forward/early-exit strategy (default:
-    :data:`repro.core.checkpoint.DEFAULT_POLICY`); the resulting record is
-    bit-identical either way.  ``sanitizer`` selects the invariant-audit
-    policy (default: :data:`repro.core.sanitizer.DEFAULT_SANITIZER`,
-    sampled mode).
-    """
-    policy = checkpoints if checkpoints is not None else DEFAULT_CHECKPOINT_POLICY
-    san = sanitizer if sanitizer is not None else DEFAULT_SANITIZER
-    if golden is None:
-        golden = golden_run(spec.isa, spec.workload, spec.cfg, spec.scale,
-                            checkpoints=policy)
+    """The supervised simulate path: quarantine boundary + one retry."""
     try:
         return _simulate_one(spec, mask, golden, policy,
                              sanitizer=san, hang_cycles=hang_cycles)
@@ -715,6 +793,66 @@ def run_one_fault(
     # the retry succeeded: keep the real verdict, flag the flaky attempt
     return replace(record, retries=record.retries + 1,
                    sim_error_kind="flaky", error=first_text)
+
+
+def run_one_fault(
+    spec: CampaignSpec,
+    mask: FaultMask,
+    golden: GoldenRun | None = None,
+    *,
+    checkpoints: CheckpointPolicy | None = None,
+    sanitizer: SanitizerPolicy | None = None,
+    hang_cycles: int = DEFAULT_HANG_CYCLES,
+) -> FaultRecord:
+    """Run one injected fault to a classified :class:`FaultRecord`.
+
+    With ``spec.liveness`` set, the golden run's dead-window map is
+    consulted first: a mask whose every flip lands inside a dead interval
+    is provably Masked and — in ``"on"`` mode — returns its analytic
+    record without simulating.  ``"audit"`` mode simulates the claimed
+    site anyway: agreement returns the analytic record (so audit journals
+    match ``"on"`` journals record-for-record), a simulator failure keeps
+    its quarantine record, and a contradicting verdict quarantines the
+    mask with ``sim_error_kind="liveness"``.
+
+    Crash-quarantine boundary: a simulated-program crash (`CrashError`) is a
+    normal campaign outcome, but *any other* exception escaping the
+    fault-corrupted core is a simulator failure.  Those are retried once
+    with the same mask — a second failure means a deterministic simulator
+    bug, a success means flaky state — and never abort the campaign.
+    Sanitizer hits (:class:`IntegrityViolation`) take the differential
+    escalation path instead and quarantine as ``sim_error_kind="integrity"``.
+
+    ``checkpoints`` selects the fast-forward/early-exit strategy (default:
+    :data:`repro.core.checkpoint.DEFAULT_POLICY`); the resulting record is
+    bit-identical either way.  ``sanitizer`` selects the invariant-audit
+    policy (default: :data:`repro.core.sanitizer.DEFAULT_SANITIZER`,
+    sampled mode).
+    """
+    policy = checkpoints if checkpoints is not None else DEFAULT_CHECKPOINT_POLICY
+    san = sanitizer if sanitizer is not None else DEFAULT_SANITIZER
+    if golden is None or (spec.liveness is not None and golden.liveness is None):
+        golden = golden_run(spec.isa, spec.workload, spec.cfg, spec.scale,
+                            checkpoints=policy,
+                            liveness=spec.liveness is not None)
+    analytic = _liveness_claim(spec, mask, golden)
+    if analytic is not None and spec.liveness == "on":
+        return analytic
+    record = _simulate_with_retry(spec, mask, golden, policy, san, hang_cycles)
+    if analytic is None:
+        return record
+    # audit mode: the pre-analysis claimed this site dead and the site was
+    # simulated anyway — reconcile the two verdicts
+    if record.quarantined:
+        return record   # a simulator failure is not evidence either way
+    if record.outcome is Outcome.MASKED:
+        return analytic  # agreement: journal the exact bytes "on" would have
+    return quarantine_record(
+        mask, "liveness",
+        f"liveness pre-analysis claimed mask {mask.mask_id} provably Masked "
+        f"but simulation produced {record.outcome.value}"
+        + (f" ({record.crash_reason})" if record.crash_reason else ""),
+    )
 
 
 #: checkpoint policy the pool initializer armed for this worker process
@@ -751,7 +889,8 @@ def _worker_init(spec: CampaignSpec,
     _WORKER_SANITIZER = sanitizer
     _WORKER_HANG_CYCLES = hang_cycles
     policy = checkpoints if checkpoints is not None else DEFAULT_CHECKPOINT_POLICY
-    golden_run(spec.isa, spec.workload, spec.cfg, spec.scale, checkpoints=policy)
+    golden_run(spec.isa, spec.workload, spec.cfg, spec.scale, checkpoints=policy,
+               liveness=spec.liveness is not None)
 
 
 def _probe_golden_misses(_arg=None) -> int:
@@ -896,9 +1035,15 @@ def run_campaign(
             "protection modeling supports transient faults only; run "
             f"permanent-fault campaigns unprotected (model={spec.model.value})"
         )
+    if spec.liveness not in (None, "on", "audit"):
+        raise ValueError(
+            f"unknown liveness mode {spec.liveness!r}; "
+            "use None (off), 'on' or 'audit'"
+        )
     ckpt_policy = checkpoints if checkpoints is not None else DEFAULT_CHECKPOINT_POLICY
     golden = golden_run(spec.isa, spec.workload, spec.cfg, spec.scale,
-                        checkpoints=ckpt_policy)
+                        checkpoints=ckpt_policy,
+                        liveness=spec.liveness is not None)
     if masks is None:
         masks = masks_for_spec(spec, golden)
     if journal is not None or resume is not None:

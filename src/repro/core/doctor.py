@@ -17,8 +17,10 @@ audits one journal without re-running anything:
   verdicts carry a ``crash_reason``, DUE verdicts carry their
   ``detected_by`` provenance (and protection verdicts — DUE or
   ``corrected`` — only ever appear under a spec with a protection
-  config), and every flip targets the structure the campaign spec says
-  it should;
+  config), liveness-classified records (``classified_by="liveness"``)
+  are Masked with zero simulated cycles and only appear under a spec
+  with a liveness mode, and every flip targets the structure the
+  campaign spec says it should;
 * the record count does not exceed the spec's sample size.
 
 The verdict ships with the journal's robustness/integrity summary so the
@@ -122,8 +124,39 @@ def _expected_structure(spec: dict) -> str | None:
 
 def _check_record(report: DoctorReport, line_no: int, record,
                   expected_structure: str | None,
-                  protected: bool = False) -> None:
+                  protected: bool = False,
+                  liveness: str | None = None) -> None:
     where = f"line {line_no} (mask {record.mask.mask_id})"
+    if record.classified_by is not None and record.classified_by != "liveness":
+        report.problems.append(
+            f"{where}: unknown analytic classifier "
+            f"{record.classified_by!r} (only 'liveness' exists)")
+    if record.classified_by == "liveness":
+        # An analytic claim is only ever "this flip dies before any read":
+        # the verdict must be Masked and no cycle of simulation may have
+        # backed it.  Anything else is forged provenance.
+        if liveness is None:
+            report.problems.append(
+                f"{where}: liveness-classified record journaled by a "
+                f"campaign spec without a liveness mode")
+        if record.outcome is not Outcome.MASKED:
+            report.problems.append(
+                f"{where}: liveness-classified record claims outcome "
+                f"{record.outcome.value!r}; analytic classification can "
+                f"only ever prove masked")
+        if record.cycles != 0 or record.max_cycles != 0:
+            report.problems.append(
+                f"{where}: liveness-classified record carries simulated "
+                f"cycles ({record.cycles}/{record.max_cycles}) — analytic "
+                f"records never simulate")
+        if record.activated:
+            report.problems.append(
+                f"{where}: liveness-classified record claims the fault "
+                f"activated — a dead-interval flip is never read")
+    if record.sim_error_kind == "liveness" and liveness != "audit":
+        report.problems.append(
+            f"{where}: liveness-disagreement quarantine journaled by a "
+            f"campaign spec not in audit mode")
     if record.outcome is Outcome.DUE and not record.detected_by:
         report.problems.append(
             f"{where}: DUE verdict without detected_by provenance")
@@ -197,6 +230,7 @@ def diagnose_journal(path: str | Path) -> DoctorReport:
             "was edited or spliced from another campaign")
     expected_structure = _expected_structure(spec)
     protected = bool(spec.get("protection"))
+    liveness = spec.get("liveness")
 
     records = []
     seen_ids: dict[int, int] = {}
@@ -234,7 +268,7 @@ def diagnose_journal(path: str | Path) -> DoctorReport:
         else:
             seen_ids[mask_id] = line_no
         _check_record(report, line_no, record, expected_structure,
-                      protected=protected)
+                      protected=protected, liveness=liveness)
         records.append(record)
 
     report.records = len(records)

@@ -369,6 +369,15 @@ class InjectionController:
             if fs.status is ARMED and fs.flip.entry == idx:
                 fs.status = READ
 
+    def on_entry_scan(self, queue, idx: int) -> None:
+        """Forwarding CAM scan: the stored address is compared, not consumed.
+
+        Classification is unchanged (a scan alone decides at most which
+        store forwards; the winning entry still gets a full
+        :meth:`on_entry_read`) — the hook exists so liveness recording can
+        pin the addr field at every point the simulation depends on it.
+        """
+
     def on_entry_write(self, queue, idx: int, field: str) -> None:
         permanent = self.mask.model.permanent
         if not permanent:

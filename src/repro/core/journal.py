@@ -100,6 +100,11 @@ def record_to_dict(record) -> dict:
     # exact pre-protection bytes
     if getattr(record, "detected_by", None) is not None:
         data["detected_by"] = record.detected_by
+    # same omit-when-unset rule for liveness provenance: only analytically
+    # classified records carry the key, so liveness-off journals keep their
+    # exact pre-liveness bytes
+    if getattr(record, "classified_by", None) is not None:
+        data["classified_by"] = record.classified_by
     return data
 
 
@@ -122,6 +127,7 @@ def record_from_dict(data: dict):
         integrity=(IntegrityReport.from_dict(data["integrity"])
                    if data.get("integrity") else None),
         detected_by=data.get("detected_by"),
+        classified_by=data.get("classified_by"),
     )
 
 
@@ -136,6 +142,10 @@ def spec_to_dict(spec) -> dict:
     raw = dataclasses.asdict(spec)
     if raw.get("protection", "absent") is None:
         del raw["protection"]
+    # liveness follows the same rule: unset specs must stay byte-identical
+    # to journals written before the field existed
+    if raw.get("liveness", "absent") is None:
+        del raw["liveness"]
     return raw
 
 

@@ -1,0 +1,344 @@
+"""Bit-liveness (ACE-style) pre-analysis over the golden run.
+
+A transient flip is provably Masked when the *first* golden-run event that
+touches the flipped bit at or after the injection cycle is a **kill** — an
+overwrite, a whole-line fill, a clean eviction, or a queue-entry free.  In
+that case the faulty run is cycle-identical to the golden run up to that
+event (the corrupted value was never observed), the event destroys the
+corruption, and the supervised simulation would deterministically reach one
+of the injector's final-masked states.  Such sites can be classified
+analytically, without simulating them.
+
+Events that *observe* a bit — operand reads, store-to-load forwarding
+scans, dirty evictions (the value escapes to the next level), and
+protection decode points — **pin** liveness: no dead window may cross them,
+because the outcome downstream of an observation is unknowable without
+simulation.  Protection composes conservatively: a structure covered by a
+scheme decodes on overwrite as well (a detectable pattern raises DUE before
+the new data lands), so overwrite is no longer a kill there and
+:func:`mask_provably_dead` refuses to claim any flip into a protected
+structure.
+
+The recorders below attach to the existing probe seams (the same ones the
+injector arms) during a golden run and append to a flat event tape; the
+:class:`LivenessMap` is built from the tapes once, after the run, and
+answers point queries by binary search over per-segment dead windows.
+
+Window algebra: injection happens at the top of cycle ``c`` (before any of
+cycle ``c``'s events), so an event at cycle ``k >= c`` is post-injection.
+Every kill at cycle ``k`` emits the half-open-below window ``(prev, k]``
+where ``prev`` is the cycle of the previous event of *any* kind on that
+segment (``-1`` if none); a flip at cycle ``c`` is dead iff some window has
+``prev < c <= k``.  The open tail after the last event is never claimed —
+a bit that is still live when the workload ends may reach the output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_left
+
+from repro.core.targets import TARGETS
+
+#: event kinds on the tape — a pin observes a segment, a kill destroys it
+PIN = 0
+KILL = 1
+
+
+class LivenessTrack:
+    """Dead-window algebra for one segment (one register, byte, or field).
+
+    ``pin``/``kill`` must be fed in non-decreasing cycle order (golden
+    stream order).  ``decode`` is an alias of ``pin``: a protection decode
+    point observes the stored code word, so it pins liveness exactly like
+    an architectural read does.
+    """
+
+    __slots__ = ("last", "starts", "ends")
+
+    def __init__(self) -> None:
+        self.last = -1
+        self.starts: list[int] = []
+        self.ends: list[int] = []
+
+    def event(self, cycle: int, kind: int) -> None:
+        if kind == KILL and self.last < cycle:
+            self.starts.append(self.last)
+            self.ends.append(cycle)
+        self.last = cycle
+
+    def pin(self, cycle: int) -> None:
+        self.event(cycle, PIN)
+
+    def kill(self, cycle: int) -> None:
+        self.event(cycle, KILL)
+
+    def decode(self, cycle: int) -> None:
+        """A protection decode point counts as a read (see DESIGN.md)."""
+        self.event(cycle, PIN)
+
+    def dead(self, cycle: int) -> bool:
+        """True iff a flip injected at the top of ``cycle`` is provably dead."""
+        i = bisect_left(self.ends, cycle)
+        return i < len(self.ends) and self.starts[i] < cycle <= self.ends[i]
+
+    def windows(self) -> list[tuple[int, int]]:
+        return list(zip(self.starts, self.ends))
+
+
+# --------------------------------------------------------------------------
+# golden-run recorders (one per structure, attached to the probe seams)
+
+
+class CacheLivenessRecorder:
+    """CacheProbe recording byte-granular liveness events for one cache."""
+
+    KIND = "cache"
+
+    def __init__(self, structure_name: str, clock) -> None:
+        self.structure_name = structure_name
+        self.clock = clock
+        self.tape: list[tuple[int, int, int, int, int]] = []
+
+    def on_read(self, cache, line: int, lo: int, hi: int) -> None:
+        self.tape.append((self.clock(), line, lo, hi, PIN))
+
+    def on_write(self, cache, line: int, lo: int, hi: int) -> None:
+        self.tape.append((self.clock(), line, lo, hi, KILL))
+
+    def on_fill(self, cache, line: int) -> None:
+        self.tape.append((self.clock(), line, 0, cache.cfg.line_size, KILL))
+
+    def on_evict(self, cache, line: int, dirty: bool) -> None:
+        # a dirty eviction writes the (possibly corrupted) line to the next
+        # level — the value escapes, so it pins; a clean one discards it
+        self.tape.append(
+            (self.clock(), line, 0, cache.cfg.line_size, PIN if dirty else KILL)
+        )
+
+    def build_windows(self) -> dict:
+        table: dict[tuple[int, int], LivenessTrack] = {}
+        for cycle, line, lo, hi, kind in self.tape:
+            for byte in range(lo, hi):
+                track = table.get((line, byte))
+                if track is None:
+                    track = table[(line, byte)] = LivenessTrack()
+                track.event(cycle, kind)
+        return table
+
+
+class RegFileLivenessRecorder:
+    """RegFileProbe recording whole-register liveness events."""
+
+    KIND = "regfile"
+
+    def __init__(self, structure_name: str, clock) -> None:
+        self.structure_name = structure_name
+        self.clock = clock
+        self.tape: list[tuple[int, int, int]] = []
+
+    def on_reg_read(self, rf, reg: int) -> None:
+        self.tape.append((self.clock(), reg, PIN))
+
+    def on_reg_write(self, rf, reg: int) -> None:
+        self.tape.append((self.clock(), reg, KILL))
+
+    def build_windows(self) -> dict:
+        table: dict[int, LivenessTrack] = {}
+        for cycle, reg, kind in self.tape:
+            track = table.get(reg)
+            if track is None:
+                track = table[reg] = LivenessTrack()
+            track.event(cycle, kind)
+        return table
+
+
+#: LSQ segment indices: the two injectable fields of one entry
+LSQ_ADDR, LSQ_DATA = 0, 1
+
+
+class LSQLivenessRecorder:
+    """LSQProbe recording per-field (addr/data) liveness events."""
+
+    KIND = "lsq"
+
+    def __init__(self, structure_name: str, clock) -> None:
+        self.structure_name = structure_name
+        self.clock = clock
+        self.tape: list[tuple[int, int, int, int]] = []
+
+    def _both(self, idx: int, kind: int) -> None:
+        cycle = self.clock()
+        self.tape.append((cycle, idx, LSQ_ADDR, kind))
+        self.tape.append((cycle, idx, LSQ_DATA, kind))
+
+    def on_entry_read(self, queue, idx: int) -> None:
+        self._both(idx, PIN)
+
+    def on_entry_scan(self, queue, idx: int) -> None:
+        # forwarding CAM scan observes the address field only
+        self.tape.append((self.clock(), idx, LSQ_ADDR, PIN))
+
+    def on_entry_write(self, queue, idx: int, field: str) -> None:
+        if field == "alloc":
+            self._both(idx, KILL)
+        elif field == "addr":
+            self.tape.append((self.clock(), idx, LSQ_ADDR, KILL))
+        else:  # "data"
+            self.tape.append((self.clock(), idx, LSQ_DATA, KILL))
+
+    def on_entry_free(self, queue, idx: int) -> None:
+        # free clears the entry; a flip first touched by the free is discarded
+        self._both(idx, KILL)
+
+    def build_windows(self) -> dict:
+        table: dict[tuple[int, int], LivenessTrack] = {}
+        for cycle, idx, seg, kind in self.tape:
+            track = table.get((idx, seg))
+            if track is None:
+                track = table[(idx, seg)] = LivenessTrack()
+            track.event(cycle, kind)
+        return table
+
+
+class MemLivenessRecorder:
+    """MemProbe recording byte-granular liveness for one accel memory."""
+
+    KIND = "mem"
+
+    def __init__(self, structure_name: str, clock) -> None:
+        self.structure_name = structure_name
+        self.clock = clock
+        self.tape: list[tuple[int, int, int, int]] = []
+
+    def on_read(self, mem, lo: int, hi: int) -> None:
+        self.tape.append((self.clock(), lo, hi, PIN))
+
+    def on_write(self, mem, lo: int, hi: int) -> None:
+        self.tape.append((self.clock(), lo, hi, KILL))
+
+    def build_windows(self) -> dict:
+        table: dict[int, LivenessTrack] = {}
+        for cycle, lo, hi, kind in self.tape:
+            for byte in range(lo, hi):
+                track = table.get(byte)
+                if track is None:
+                    track = table[byte] = LivenessTrack()
+                track.event(cycle, kind)
+        return table
+
+
+# --------------------------------------------------------------------------
+# the queryable map
+
+
+def _segment_key(kind: str, entry: int, bit: int):
+    if kind == "cache":
+        return (entry, bit // 8)
+    if kind == "regfile":
+        return entry
+    if kind == "lsq":
+        return (entry, LSQ_ADDR if bit < 64 else LSQ_DATA)
+    if kind == "mem":
+        return bit // 8
+    raise ValueError(kind)  # pragma: no cover
+
+
+class LivenessMap:
+    """Per-structure dead-window tables built from golden-run tapes."""
+
+    def __init__(self) -> None:
+        self._structs: dict[str, tuple[str, dict]] = {}
+
+    @classmethod
+    def from_recorders(cls, recorders) -> "LivenessMap":
+        liveness = cls()
+        for rec in recorders:
+            liveness._structs[rec.structure_name] = (rec.KIND, rec.build_windows())
+        return liveness
+
+    def structures(self) -> list[str]:
+        return sorted(self._structs)
+
+    def dead(self, structure: str, entry: int, bit: int, cycle: int) -> bool:
+        info = self._structs.get(structure)
+        if info is None:
+            return False
+        kind, table = info
+        track = table.get(_segment_key(kind, entry, bit))
+        # an untracked segment saw no post-injection event at all: open
+        # tail, never claimed
+        return track is not None and track.dead(cycle)
+
+    def window_count(self, structure: str) -> int:
+        info = self._structs.get(structure)
+        if info is None:
+            return 0
+        return sum(len(t.ends) for t in info[1].values())
+
+    def fingerprint(self) -> str:
+        """Deterministic digest of every dead window (regression anchor)."""
+        h = hashlib.sha256()
+        for name in sorted(self._structs):
+            kind, table = self._structs[name]
+            h.update(f"{name}:{kind}\n".encode())
+            for key in sorted(table, key=repr):
+                track = table[key]
+                h.update(
+                    f"{key!r}|{track.last}|{track.starts}|{track.ends}\n".encode()
+                )
+        return h.hexdigest()
+
+
+def mask_provably_dead(mask, liveness: LivenessMap, protected=frozenset()) -> bool:
+    """True iff *every* flip of a transient mask lands in a dead window.
+
+    ``protected`` is the set of structure names covered by an active
+    protection scheme: their decoders also fire on overwrite (a detectable
+    pattern raises DUE before new data lands), so overwrite is not a kill
+    there and no claim is made.  Permanent faults re-assert themselves
+    after every overwrite and are never claimed.
+    """
+    if mask.model.permanent:
+        return False
+    for flip in mask.flips:
+        if flip.structure in protected:
+            return False
+        if not liveness.dead(flip.structure, flip.entry, flip.bit, flip.cycle):
+            return False
+    return True
+
+
+# --------------------------------------------------------------------------
+# attach helpers
+
+
+def attach_cpu_recorders(core) -> list:
+    """Arm liveness recorders on every injectable CPU structure.
+
+    Must be called after core construction (so initialization writes that
+    precede the first injectable cycle are not taped) and before ``run()``.
+    """
+    clock = lambda: core.cycle  # noqa: E731
+    factories = {
+        "cache": CacheLivenessRecorder,
+        "regfile": RegFileLivenessRecorder,
+        "lsq": LSQLivenessRecorder,
+    }
+    recorders = []
+    for target in TARGETS.values():
+        rec = factories[target.kind](target.name, clock)
+        target.structure(core).probe = rec
+        recorders.append(rec)
+    return recorders
+
+
+def attach_accel_recorder(mem, engine, structure_name: str) -> MemLivenessRecorder:
+    """Arm a liveness recorder on one accel memory.
+
+    Must be called after ``load_inputs`` (DMA precedes cycle 0 and would
+    otherwise tape pre-injection kills) and before the engine runs.
+    """
+    rec = MemLivenessRecorder(structure_name, lambda: engine.cycle)
+    mem.probe = rec
+    return rec

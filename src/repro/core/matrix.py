@@ -165,6 +165,22 @@ def _protection_variants(
     return variants
 
 
+def _liveness_mode(section: str, value) -> str | None:
+    """Normalize a grid ``liveness`` entry (``"off"`` → ``None``).
+
+    ``None`` keeps the spec's default so the cell journal stays
+    byte-identical to a grid that never mentions liveness.
+    """
+    if value is None or value == "off":
+        return None
+    if value in ("on", "audit"):
+        return value
+    raise MatrixError(
+        f"[{section}] unknown liveness mode {value!r} "
+        f"(allowed: off, on, audit)"
+    )
+
+
 def grid_from_dict(data: dict) -> MatrixGrid:
     """Expand a parsed grid document into a :class:`MatrixGrid`."""
     _check_keys("<top>", data, {"matrix", "cpu", "accel", "adaptive", "report"})
@@ -178,7 +194,7 @@ def grid_from_dict(data: dict) -> MatrixGrid:
 
         _check_keys("cpu", cpu, {
             "isas", "workloads", "targets", "faults", "seed", "scale",
-            "model", "preset", "flips_per_mask", "protection",
+            "model", "preset", "flips_per_mask", "protection", "liveness",
         })
         for need in ("workloads", "targets"):
             if not cpu.get(need):
@@ -187,6 +203,7 @@ def grid_from_dict(data: dict) -> MatrixGrid:
         model = _MODELS.get(cpu.get("model", "transient"))
         if model is None:
             raise MatrixError(f"unknown fault model {cpu.get('model')!r}")
+        liveness = _liveness_mode("cpu", cpu.get("liveness"))
         for isa in cpu.get("isas", ["rv"]):
             for workload in cpu["workloads"]:
                 for target in cpu["targets"]:
@@ -202,6 +219,7 @@ def grid_from_dict(data: dict) -> MatrixGrid:
                             seed=int(cpu.get("seed", 1)),
                             flips_per_mask=int(cpu.get("flips_per_mask", 1)),
                             protection=protection,
+                            liveness=liveness,
                         )
                         cells.append(MatrixCell(
                             key=f"cpu-{isa}-{workload}-{target}{suffix}",
@@ -217,13 +235,14 @@ def grid_from_dict(data: dict) -> MatrixGrid:
 
         _check_keys("accel", accel, {
             "designs", "components", "faults", "seed", "scale", "model",
-            "protection",
+            "protection", "liveness",
         })
         if not accel.get("designs"):
             raise MatrixError("[accel] needs a non-empty 'designs' list")
         model = _MODELS.get(accel.get("model", "transient"))
         if model is None:
             raise MatrixError(f"unknown fault model {accel.get('model')!r}")
+        liveness = _liveness_mode("accel", accel.get("liveness"))
         for design in accel["designs"]:
             components = accel.get("components") or PAPER_TARGETS.get(design)
             if not components:
@@ -239,6 +258,7 @@ def grid_from_dict(data: dict) -> MatrixGrid:
                         faults=int(accel.get("faults", 100)),
                         seed=int(accel.get("seed", 1)),
                         protection=protection,
+                        liveness=liveness,
                     )
                     cells.append(MatrixCell(
                         key=f"accel-{design}-{component}{suffix}",
@@ -461,7 +481,8 @@ def _prepare_cell(cell: MatrixCell, out_dir: Path, resume: bool,
     if cell.kind == "cpu":
         spec = cell.spec
         golden = golden_run(spec.isa, spec.workload, spec.cfg, spec.scale,
-                            checkpoints=ckpt_policy)
+                            checkpoints=ckpt_policy,
+                            liveness=spec.liveness is not None)
         masks = masks_for_spec(spec, golden)
         probe = OoOCore.from_executable(golden.exe, get_isa(spec.isa), spec.cfg)
         entries, bits = target_geometry(spec, probe)
@@ -477,7 +498,7 @@ def _prepare_cell(cell: MatrixCell, out_dir: Path, resume: bool,
         from repro.accel_designs import get_design
 
         spec = cell.spec
-        golden = accel_golden(spec)
+        golden = accel_golden(spec, liveness=spec.liveness is not None)
         masks = accel_masks(spec, golden)
         design = get_design(spec.design)
         size = {d.name: d.size for d in design.memories}[spec.component]

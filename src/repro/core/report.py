@@ -296,6 +296,42 @@ def render_protection(cells: Sequence[dict], clock_hz: float = 2e9) -> str:
     return f"{table}\n{legend}"
 
 
+def render_liveness(cells: Sequence[dict]) -> str:
+    """Liveness pre-analysis skip-rate table, one row per structure.
+
+    ``cells`` are campaign summary dicts (see
+    :meth:`repro.core.campaign.CampaignResult.summary`); liveness-enabled
+    cells carry ``liveness`` / ``liveness_skips`` / ``liveness_skip_rate``
+    (and ``liveness_disagreements`` in audit mode).  The skip rate is the
+    share of the sample classified analytically — faults proven Masked
+    from the golden run's dead-window map without simulating a single
+    cycle — so it is also the fraction of simulation work the pre-analysis
+    removed ("on") or would remove ("audit").
+    """
+    if not cells:
+        return "(no cells)"
+    rows = []
+    for cell in cells:
+        faults = cell.get("faults", 0)
+        skips = cell.get("liveness_skips", 0)
+        rows.append((
+            cell.get("target") or cell.get("component") or "?",
+            cell.get("liveness") or "off",
+            f"{skips}/{faults}" if faults else str(skips),
+            cell.get("liveness_skip_rate"),
+            (cell.get("liveness_disagreements", 0)
+             if cell.get("liveness") == "audit" else None),
+        ))
+    table = render_table(
+        ["target", "mode", "analytic", "skip rate", "disagreements"],
+        rows,
+    )
+    legend = ("skip rate = faults proven Masked from golden dead windows "
+              "(simulation skipped when mode=on); disagreements quarantine "
+              "in audit mode")
+    return f"{table}\n{legend}"
+
+
 def summaries_to_csv(summaries: list[dict]) -> str:
     """Serialize campaign summaries to CSV text."""
     if not summaries:

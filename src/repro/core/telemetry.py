@@ -106,8 +106,8 @@ class TelemetryEvent:
     kind: str                       # campaign_started | fault_dispatched |
                                     # fault_finished | retry | quarantine |
                                     # checkpoint_restore | early_exit |
-                                    # pool_respawn | serial_degradation |
-                                    # campaign_finished
+                                    # liveness_skip | pool_respawn |
+                                    # serial_degradation | campaign_finished
     mask_id: int | None = None
     attempt: int | None = None
     wall_s: float | None = None
@@ -145,6 +145,8 @@ class CampaignAggregate:
     hangs: int = 0                  # deterministic Crash(hang) verdicts
     corrected: int = 0              # masked runs repaired by a protection scheme
     integrity_quarantined: int = 0
+    liveness_skips: int = 0         # records classified analytically (no sim)
+    liveness_disagreements: int = 0  # audit quarantines contradicting a claim
     stopped_on_hvf: int = 0
     checkpoint_restores: int = 0    # live-only: restored_from is not journaled
     early_exits: int = 0            # live-only: golden-trace re-convergence
@@ -185,6 +187,10 @@ class CampaignAggregate:
             self.corrected += 1
         if kind == "integrity":
             self.integrity_quarantined += 1
+        if getattr(record, "classified_by", None) == "liveness":
+            self.liveness_skips += 1
+        if kind == "liveness":
+            self.liveness_disagreements += 1
         if getattr(record, "stopped_on_hvf", False):
             self.stopped_on_hvf += 1
         path = _record_path(record)
@@ -261,7 +267,7 @@ class CampaignAggregate:
             if merged is None:
                 merged = by_outcome[out] = Histogram(hist.bounds)
             merged.merge(hist)
-        return {
+        doc = {
             "finished": self.finished,
             "outcomes": dict(self.outcomes),
             "sim_error_kinds": dict(sorted(self.sim_error_kinds.items())),
@@ -276,6 +282,13 @@ class CampaignAggregate:
                 out: hist.to_dict() for out, hist in sorted(by_outcome.items())
             },
         }
+        if self.liveness_skips or self.liveness_disagreements:
+            # liveness-only keys (both journal-derivable: classified_by and
+            # sim_error_kind are serialized) — omitted when zero so a
+            # non-liveness campaign's view stays exactly as it always was
+            doc["liveness_skips"] = self.liveness_skips
+            doc["liveness_disagreements"] = self.liveness_disagreements
+        return doc
 
     def to_dict(self) -> dict:
         doc = self.reconcilable()
@@ -368,6 +381,10 @@ def render_progress(agg: CampaignAggregate,
         extras.append(f"due {agg.due}")
     if agg.corrected:
         extras.append(f"corrected {agg.corrected}")
+    if agg.liveness_skips:
+        extras.append(f"analytic {agg.liveness_skips}/{agg.finished}")
+    if agg.liveness_disagreements:
+        extras.append(f"liveness-disagree {agg.liveness_disagreements}")
     if agg.pool_respawns:
         extras.append(f"respawns {agg.pool_respawns}")
     if agg.checkpoint_restores:
@@ -486,6 +503,21 @@ def to_prometheus(agg: CampaignAggregate,
     counter("repro_fault_integrity_quarantines_total",
             "sanitizer integrity quarantines",
             [({}, agg.integrity_quarantined)])
+    if agg.liveness_skips or agg.liveness_disagreements:
+        # liveness-only series: a campaign without liveness pre-analysis
+        # exports byte-identical metrics to one predating the feature
+        counter("repro_liveness_skips_total",
+                "fault records classified analytically by the liveness "
+                "pre-analysis (no simulation)",
+                [({}, agg.liveness_skips)])
+        counter("repro_liveness_simulated_total",
+                "fault records the liveness pre-analysis could not prove "
+                "and handed to the simulator",
+                [({}, agg.finished - agg.liveness_skips)])
+        counter("repro_liveness_disagreements_total",
+                "audit-mode quarantines where simulation contradicted an "
+                "analytic Masked claim",
+                [({}, agg.liveness_disagreements)])
     counter("repro_fault_hvf_stops_total",
             "runs halted by the stop_on_hvf early exit",
             [({}, agg.stopped_on_hvf)])
@@ -640,6 +672,8 @@ class Telemetry:
                        detail=f"cycle={record.restored_from}")
         if getattr(record, "early_exited", False):
             self._emit("early_exit", mask_id=mask_id)
+        if getattr(record, "classified_by", None) == "liveness":
+            self._emit("liveness_skip", mask_id=mask_id)
         if getattr(record, "retries", 0):
             self._emit("retry", mask_id=mask_id,
                        attempt=record.retries,

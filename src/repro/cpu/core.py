@@ -451,9 +451,13 @@ class OoOCore:
         # the store CAM-searches the load queue when it resolves and squashes
         # any violating load (memory-order violation replay).
         best = None
-        for se in self.sq.entries:
+        for se_idx, se in enumerate(self.sq.entries):
             if not se.valid or se.seq >= entry.seq or not se.addr_known:
                 continue
+            if self.sq.probe:
+                # the CAM compares this entry's stored address — an
+                # observation of the addr field (liveness pin point)
+                self.sq.probe.on_entry_scan(self.sq, se_idx)
             span = se.width * (2 if se.pair else 1)
             if se.addr + span <= addr or addr + width <= se.addr:
                 continue  # no overlap

@@ -23,6 +23,9 @@ class LSQProbe:
 
     def on_entry_read(self, queue: "LSQueue", idx: int) -> None: ...
 
+    def on_entry_scan(self, queue: "LSQueue", idx: int) -> None:
+        """Forwarding CAM scan observed the entry's address field only."""
+
     def on_entry_write(self, queue: "LSQueue", idx: int, field: str) -> None: ...
 
     def on_entry_free(self, queue: "LSQueue", idx: int) -> None: ...

@@ -145,3 +145,123 @@ def test_cli_exit_codes(journal, capsys):
     journal.write_text("\n".join(lines) + "\n")
     assert cli_main(["doctor", str(journal)]) == 1
     assert "CORRUPT" in capsys.readouterr().out
+
+
+# ------------------------------------------------------------ liveness
+
+
+@pytest.fixture
+def liveness_journal(cfg, tmp_path):
+    """A liveness=on campaign journal with at least one analytic record."""
+    path = tmp_path / "liveness.jsonl"
+    spec = _spec(cfg, faults=8, liveness="on")
+    result = run_campaign(spec, journal=path)
+    assert result.liveness_skips > 0      # the fixture must exercise claims
+    return path
+
+
+def _mutate_record(path, line_idx, **changes):
+    lines = path.read_text().splitlines()
+    data = json.loads(lines[line_idx])
+    data.update(changes)
+    lines[line_idx] = json.dumps(data)
+    path.write_text("\n".join(lines) + "\n")
+
+
+def _analytic_line(path):
+    for i, line in enumerate(path.read_text().splitlines()):
+        if i and json.loads(line).get("classified_by") == "liveness":
+            return i
+    raise AssertionError("no analytic record in journal")
+
+
+def test_valid_liveness_journal_is_ok(liveness_journal):
+    report = diagnose_journal(liveness_journal)
+    assert report.ok, report.problems
+
+
+def test_forged_liveness_provenance_on_sdc_fails(liveness_journal):
+    """classified_by="liveness" stamped onto an SDC verdict is forged:
+    analytic classification can only ever prove Masked."""
+    idx = _analytic_line(liveness_journal)
+    _mutate_record(liveness_journal, idx, outcome="sdc")
+    report = diagnose_journal(liveness_journal)
+    assert not report.ok
+    assert any("can only ever prove masked" in p for p in report.problems)
+
+
+def test_liveness_record_with_simulated_cycles_fails(liveness_journal):
+    idx = _analytic_line(liveness_journal)
+    _mutate_record(liveness_journal, idx, cycles=42, max_cycles=100)
+    report = diagnose_journal(liveness_journal)
+    assert not report.ok
+    assert any("never simulate" in p for p in report.problems)
+
+
+def test_liveness_record_claiming_activation_fails(liveness_journal):
+    idx = _analytic_line(liveness_journal)
+    _mutate_record(liveness_journal, idx, activated=True)
+    report = diagnose_journal(liveness_journal)
+    assert not report.ok
+    assert any("never read" in p for p in report.problems)
+
+
+def test_unknown_classifier_fails(liveness_journal):
+    idx = _analytic_line(liveness_journal)
+    _mutate_record(liveness_journal, idx, classified_by="oracle")
+    report = diagnose_journal(liveness_journal)
+    assert not report.ok
+    assert any("unknown analytic classifier" in p for p in report.problems)
+
+
+def test_liveness_provenance_without_liveness_spec_fails(cfg, tmp_path):
+    """An analytic record spliced into a journal whose spec never enabled
+    liveness is provenance from nowhere."""
+    path = tmp_path / "plain.jsonl"
+    run_campaign(_spec(cfg, faults=4, seed=11), journal=path)
+    lines = path.read_text().splitlines()
+    data = json.loads(lines[1])
+    data.update(outcome="masked", classified_by="liveness", cycles=0,
+                max_cycles=0, activated=False)
+    lines[1] = json.dumps(data)
+    path.write_text("\n".join(lines) + "\n")
+    report = diagnose_journal(path)
+    assert not report.ok
+    assert any("without a liveness mode" in p for p in report.problems)
+
+
+def test_liveness_disagreement_under_non_audit_spec_fails(liveness_journal):
+    """sim_error_kind="liveness" only ever arises in audit mode."""
+    lines = liveness_journal.read_text().splitlines()
+    data = json.loads(lines[1])
+    data.update(outcome="sim_fault", sim_error_kind="liveness",
+                classified_by=None)
+    data.pop("classified_by")
+    lines[1] = json.dumps(data)
+    liveness_journal.write_text("\n".join(lines) + "\n")
+    report = diagnose_journal(liveness_journal)
+    assert not report.ok
+    assert any("not in audit mode" in p for p in report.problems)
+
+
+def test_torn_tail_resume_rederives_analytic_classifications(cfg, tmp_path):
+    """Kill the writer mid-append, resume, and the re-derived journal —
+    including every analytic classification — is byte-identical to an
+    uninterrupted run's."""
+    spec = _spec(cfg, faults=8, liveness="on")
+    reference = tmp_path / "reference.jsonl"
+    run_campaign(spec, journal=reference)
+
+    torn = tmp_path / "torn.jsonl"
+    full = reference.read_text().splitlines()
+    # keep header + first three records, then a torn half-record
+    torn.write_text("\n".join(full[:4]) + "\n" + full[4][:25])
+    report = diagnose_journal(torn)
+    assert report.ok and report.torn_tail
+
+    from repro.core.journal import repair_torn_tail
+    assert repair_torn_tail(torn) > 0
+    result = run_campaign(spec, journal=torn, resume=torn)
+    assert result.resumed == 3
+    assert torn.read_bytes() == reference.read_bytes()
+    assert diagnose_journal(torn).ok
