@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Measure the distributed-campaign substrate overhead; write BENCH_shard.json.
+
+A single-worker sharded campaign (plan + lease + per-shard journals +
+byte-copy merge) is timed against the plain serial matrix runner on the
+same grid — after first asserting the merged per-cell journals are
+byte-identical to the serial ones, which is the substrate's core
+contract.  The merge alone is also timed, since the coordinator re-runs
+it on every poll tick.
+
+Regenerate with::
+
+    PYTHONPATH=src python benchmarks/bench_shard.py
+
+The ``smoke`` entry is the acceptance gate: leases, shard journals and
+the merge together must cost <= 25% over the serial runner (the sims
+dominate; the protocol is a handful of tiny file reads per fault).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import time
+from pathlib import Path
+
+from repro.core.matrix import load_grid, run_matrix
+from repro.core.shard import ShardStore, merge_shards, run_worker
+
+SMOKE = ("crc32", ("regfile_int", "lq"), 10, 3)  # workload, targets, faults, seed
+
+
+def _best_of(repeats: int, fn) -> tuple[float, object]:
+    best_t, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best_t = min(best_t, time.perf_counter() - t0)
+    return best_t, result
+
+
+def _cells(out: Path) -> dict[str, bytes]:
+    return {p.name: p.read_bytes()
+            for p in sorted((out / "cells").glob("*.jsonl"))}
+
+
+def _grid_toml(name: str, workload: str, targets: tuple[str, ...],
+               faults: int, seed: int) -> str:
+    quoted = ", ".join(f'"{t}"' for t in targets)
+    return (f'[matrix]\nname = "{name}"\n\n'
+            f'[cpu]\nworkloads = ["{workload}"]\ntargets = [{quoted}]\n'
+            f'faults = {faults}\nseed = {seed}\n')
+
+
+def bench_one(workload: str, targets: tuple[str, ...], faults: int,
+              seed: int, shard_size: int, repeats: int, tmp: Path) -> dict:
+    grid_path = tmp / f"{workload}-grid.toml"
+    grid_path.write_text(_grid_toml(f"bench-{workload}", workload, targets,
+                                    faults, seed))
+    grid = load_grid(grid_path)
+    serial_out = tmp / f"{workload}-serial"
+    dist_out = tmp / f"{workload}-dist"
+
+    def run_serial():
+        shutil.rmtree(serial_out, ignore_errors=True)
+        return run_matrix(grid, serial_out, workers=1)
+
+    def run_sharded():
+        shutil.rmtree(dist_out, ignore_errors=True)
+        dist_out.mkdir()
+        shutil.copyfile(grid_path, dist_out / "grid.toml")
+        store = ShardStore(dist_out, worker_id="bench")
+        store.init_plan(grid, shard_size=shard_size)
+        run_worker(dist_out, store=store)
+        return merge_shards(dist_out, store=store)
+
+    serial_s, _ = _best_of(repeats, run_serial)
+    dist_s, merged = _best_of(repeats, run_sharded)
+
+    assert merged.complete and merged.conflicts == 0
+    assert _cells(serial_out) == _cells(dist_out), (
+        f"{workload}: sharded merge diverged from the serial journals "
+        "— refusing to report timings")
+
+    merge_s, _ = _best_of(repeats, lambda: merge_shards(dist_out))
+
+    return {
+        "targets": list(targets),
+        "faults_per_cell": faults,
+        "seed": seed,
+        "shard_size": shard_size,
+        "wall_s": {"serial": round(serial_s, 4),
+                   "sharded": round(dist_s, 4),
+                   "merge_only": round(merge_s, 4)},
+        "overhead": round(dist_s / serial_s - 1.0, 4),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--workloads", nargs="+", default=["crc32", "qsort"])
+    ap.add_argument("--faults", type=int, default=12)
+    ap.add_argument("--seed", type=int, default=5)
+    ap.add_argument("--shard-size", type=int, default=5)
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="timing repeats per variant (best-of)")
+    ap.add_argument("--out", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_shard.json"))
+    args = ap.parse_args(argv)
+
+    import tempfile
+
+    results: dict[str, dict] = {}
+    with tempfile.TemporaryDirectory() as tmpdir:
+        tmp = Path(tmpdir)
+        wl, targets, faults, seed = SMOKE
+        print(f"smoke: {wl}/{'+'.join(targets)} faults={faults} seed={seed}")
+        results["smoke"] = bench_one(wl, targets, faults, seed,
+                                     args.shard_size, args.repeats, tmp)
+        print(f"  shard substrate overhead {results['smoke']['overhead']:+.1%}")
+
+        for wl in args.workloads:
+            print(f"bench: {wl}/regfile_int faults={args.faults} "
+                  f"seed={args.seed}")
+            results[wl] = bench_one(wl, ("regfile_int",), args.faults,
+                                    args.seed, args.shard_size,
+                                    args.repeats, tmp)
+            print(f"  shard substrate overhead {results[wl]['overhead']:+.1%}")
+
+    doc = {
+        "benchmark": "distributed campaign substrate overhead",
+        "command": "PYTHONPATH=src python benchmarks/bench_shard.py",
+        "modes": "serial matrix runner vs single-worker sharded campaign "
+                 "(plan + leases + shard journals + byte-copy merge)",
+        "isa": "rv",
+        "repeats": args.repeats,
+        "workloads": results,
+    }
+    Path(args.out).write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    gate = results["smoke"]["overhead"]
+    if gate > 0.25:
+        print(f"FAIL: smoke shard substrate overhead {gate:+.1%} > +25%")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,12 +6,17 @@ scripts"); this CLI is that entry point:
 * ``campaign``       — CPU-structure fault-injection campaign,
 * ``accel-campaign`` — DSA-memory fault-injection campaign,
 * ``matrix``         — declarative experiment grid (TOML) as one queue,
+* ``serve``          — coordinate a distributed (sharded) grid campaign,
+* ``work``           — claim and run shards of a distributed campaign,
+* ``merge``          — rebuild canonical cell journals from shard journals,
 * ``figure``         — regenerate one paper figure,
 * ``soc``            — run the heterogeneous SoC flow,
 * ``list``           — available ISAs / workloads / targets / designs,
 * ``validate``       — the Listing-1 injector sanity check,
-* ``doctor``         — offline-validate an existing campaign journal,
-* ``tail``           — follow / summarize a campaign journal (live or done).
+* ``doctor``         — offline-validate a campaign journal or a distributed
+  output directory,
+* ``tail``           — follow / summarize a campaign journal or a whole
+  matrix output directory (live or done).
 """
 
 from __future__ import annotations
@@ -218,21 +223,95 @@ def _add_matrix(sub) -> None:
     _add_telemetry_args(p)
 
 
+def _add_serve(sub) -> None:
+    p = sub.add_parser(
+        "serve",
+        help="coordinate a distributed grid campaign over a shared "
+             "filesystem (shards + leases + auto-merge)",
+    )
+    p.add_argument("grid", metavar="GRID.toml",
+                   help="experiment grid file (same format as `repro "
+                        "matrix`)")
+    p.add_argument("--out", default="matrix-out", metavar="DIR",
+                   help="shared output directory workers coordinate through "
+                        "(default: matrix-out)")
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="local `repro work` processes to spawn; 0 "
+                        "coordinates workers launched elsewhere (other "
+                        "hosts sharing the filesystem)")
+    p.add_argument("--shard-size", type=int, default=25, metavar="N",
+                   help="mask-index range per shard (default: 25)")
+    p.add_argument("--ttl", type=float, default=60.0, metavar="SECONDS",
+                   help="lease time-to-live; a worker silent this long is "
+                        "presumed dead and its shard reclaimed (default: 60)")
+    p.add_argument("--poll", type=float, default=0.5, metavar="SECONDS",
+                   help="coordinator poll / incremental-merge interval "
+                        "(default: 0.5)")
+    p.add_argument("--stall-timeout", type=float, default=900.0,
+                   metavar="SECONDS",
+                   help="abort when no shard makes progress for this long "
+                        "(default: 900)")
+    _add_sanitizer_args(p)
+    _add_telemetry_args(p)
+
+
+def _add_work(sub) -> None:
+    p = sub.add_parser(
+        "work",
+        help="claim and run shards of a distributed campaign until none "
+             "remain (exit 3 = degraded: filesystem lost, lease left to "
+             "expire)",
+    )
+    p.add_argument("out", metavar="DIR",
+                   help="the `repro serve` output directory (shared "
+                        "filesystem)")
+    p.add_argument("--worker-id", default=None, metavar="ID",
+                   help="stable worker identity (default: host-pid)")
+    p.add_argument("--poll", type=float, default=0.5, metavar="SECONDS",
+                   help="idle poll interval (default: 0.5)")
+    p.add_argument("--plan-wait", type=float, default=60.0,
+                   metavar="SECONDS",
+                   help="how long to wait for plan.json to appear "
+                        "(default: 60)")
+    p.add_argument("--max-shards", type=int, default=None, metavar="N",
+                   help="exit after completing N shards (default: run "
+                        "until the campaign is done)")
+    _add_sanitizer_args(p)
+
+
+def _add_merge(sub) -> None:
+    p = sub.add_parser(
+        "merge",
+        help="rebuild canonical cells/*.jsonl byte-identically from the "
+             "shard journals (exit 1 while cells are still incomplete)",
+    )
+    p.add_argument("out", metavar="DIR",
+                   help="the distributed campaign output directory")
+    p.add_argument("--json", action="store_true",
+                   help="emit the merge result as JSON instead of text")
+
+
 def _add_doctor(sub) -> None:
     p = sub.add_parser("doctor",
-                       help="offline-validate a campaign run journal")
+                       help="offline-validate a campaign run journal or a "
+                            "distributed output directory")
     p.add_argument("journal", metavar="PATH",
-                   help="JSONL journal written by --journal")
+                   help="JSONL journal written by --journal, or a "
+                        "`repro serve` output directory (validates shard/"
+                        "lease consistency and every merged cell journal)")
     p.add_argument("--json", action="store_true",
                    help="emit the diagnosis as JSON instead of text")
 
 
 def _add_tail(sub) -> None:
     p = sub.add_parser("tail",
-                       help="follow / summarize a campaign run journal")
+                       help="follow / summarize a campaign run journal or "
+                            "a matrix output directory")
     p.add_argument("journal", metavar="PATH",
                    help="JSONL journal written by --journal (in-flight or "
-                        "finished)")
+                        "finished), or a matrix/distributed output "
+                        "directory (aggregates shards/*.jsonl and "
+                        "cells/*.jsonl with records deduplicated)")
     p.add_argument("--follow", "-f", action="store_true",
                    help="keep polling the journal and print live progress "
                         "until the campaign completes")
@@ -272,6 +351,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_campaign(sub)
     _add_accel(sub)
     _add_matrix(sub)
+    _add_serve(sub)
+    _add_work(sub)
+    _add_merge(sub)
     _add_doctor(sub)
     _add_tail(sub)
     _add_figure(sub)
@@ -450,6 +532,148 @@ def cmd_matrix(args) -> int:
     return 0
 
 
+def _sanitizer_worker_args(args) -> list[str]:
+    """Re-encode parsed sanitizer flags for spawned `repro work` processes."""
+    out = ["--sanitize", args.sanitize]
+    if args.audit_stride is not None:
+        out += ["--audit-stride", str(args.audit_stride)]
+    if args.hang_cycles is not None:
+        out += ["--hang-cycles", str(args.hang_cycles)]
+    return out
+
+
+def _fold_distributed(out_dir):
+    """Fold every merged/shard record (deduplicated) plus file-derived
+    shard counters into one :class:`CampaignAggregate`."""
+    from repro.core.shard import DirectoryFollower, fold_shard_counters
+    from repro.core.telemetry import CampaignAggregate
+
+    follower = DirectoryFollower(out_dir)
+    agg = CampaignAggregate()
+    for record in follower.poll():
+        agg.fold(record)
+    agg.planned = follower.planned()
+    agg.shard = fold_shard_counters(out_dir)
+    return agg, follower
+
+
+def cmd_serve(args) -> int:
+    from repro.core.matrix import MatrixError, load_grid
+    from repro.core.report import render_table
+    from repro.core.shard import ShardError, serve
+    from repro.core.telemetry import write_prometheus
+
+    try:
+        load_grid(args.grid)
+    except (MatrixError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    on_progress = None
+    if args.progress:
+        def on_progress(merged, done, total) -> None:
+            converged = sum(1 for c in merged.cells.values()
+                            if c["status"] != "running")
+            print(f"shards {done}/{total} | cells settled "
+                  f"{converged}/{len(merged.cells)}", file=sys.stderr)
+
+    try:
+        result = serve(
+            args.grid, args.out, workers=args.workers,
+            shard_size=args.shard_size, ttl_s=args.ttl, poll_s=args.poll,
+            stall_timeout_s=args.stall_timeout,
+            worker_args=tuple(_sanitizer_worker_args(args)),
+            on_progress=on_progress,
+        )
+    except ShardError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    rows = [
+        (key, c["status"], f"{c['faults_done']}/{c['budget']}")
+        for key, c in sorted(result.cells.items())
+    ]
+    print(render_table(["cell", "status", "faults"], rows))
+    agg, _follower = _fold_distributed(args.out)
+    shard = agg.shard or {}
+    print(f"lease expirations {shard.get('lease_expirations', 0)} | "
+          f"shards stolen {shard.get('shards_stolen', 0)} | "
+          f"merge conflicts {shard.get('merge_conflicts', 0)}")
+    print(f"manifest: {result.manifest_path}")
+    if args.metrics_out:
+        write_prometheus(args.metrics_out, agg)
+        print(f"wrote {args.metrics_out}")
+    return 0
+
+
+def cmd_work(args) -> int:
+    from repro.core.shard import ShardError, run_worker
+
+    sanitizer, hang_cycles = _sanitizer_from_args(args)
+    try:
+        result = run_worker(
+            args.out, worker_id=args.worker_id, sanitizer=sanitizer,
+            hang_cycles=hang_cycles, poll_s=args.poll,
+            plan_wait_s=args.plan_wait, max_shards=args.max_shards,
+        )
+    except ShardError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    extras = []
+    if result.resumed:
+        extras.append(f"resumed {result.resumed}")
+    if result.reclaims:
+        extras.append(f"reclaimed {result.reclaims}")
+    if result.splits_published:
+        extras.append(f"split {result.splits_published}")
+    if result.steals_requested:
+        extras.append(f"steal-requests {result.steals_requested}")
+    if result.degraded:
+        extras.append("DEGRADED (lease left to expire)")
+    print(f"worker {result.worker}: {result.shards_completed} shards, "
+          f"{result.faults_run} faults"
+          + (f" | {' '.join(extras)}" if extras else ""))
+    return 3 if result.degraded else 0
+
+
+def cmd_merge(args) -> int:
+    import json
+
+    from repro.core.report import render_table
+    from repro.core.shard import (
+        ShardError,
+        fold_shard_counters,
+        merge_shards,
+    )
+
+    try:
+        result = merge_shards(args.out)
+        counters = fold_shard_counters(args.out)
+    except ShardError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps({
+            "complete": result.complete,
+            "conflicts": result.conflicts,
+            "cells": result.cells,
+            "counters": counters,
+            "manifest": str(result.manifest_path),
+        }, indent=2))
+    else:
+        rows = [
+            (key, c["status"], f"{c['faults_done']}/{c['budget']}",
+             c["conflicts"])
+            for key, c in sorted(result.cells.items())
+        ]
+        print(render_table(["cell", "status", "faults", "conflicts"], rows))
+        print(f"lease expirations {counters['lease_expirations']} | "
+              f"shards stolen {counters['shards_stolen']} | "
+              f"merge conflicts {counters['merge_conflicts']}")
+        print(f"manifest: {result.manifest_path}")
+    return 0 if result.complete else 1
+
+
 _FIGURES = {
     4: "fig4_regfile_avf", 5: "fig5_l1i_avf", 6: "fig6_l1d_avf",
     7: "fig7_lq_avf", 8: "fig8_sq_avf", 9: "fig9_sdc_regfile",
@@ -498,10 +722,14 @@ def cmd_validate(args) -> int:
 
 def cmd_doctor(args) -> int:
     import json
+    import os
 
-    from repro.core.doctor import diagnose_journal
+    from repro.core.doctor import diagnose_distributed, diagnose_journal
 
-    report = diagnose_journal(args.journal)
+    if os.path.isdir(args.journal):
+        report = diagnose_distributed(args.journal)
+    else:
+        report = diagnose_journal(args.journal)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:
@@ -526,6 +754,8 @@ def cmd_tail(args) -> int:
     if not os.path.exists(args.journal):
         print(f"{args.journal}: no such journal", file=sys.stderr)
         return 1
+    if os.path.isdir(args.journal):
+        return _tail_directory(args)
 
     follower = JournalFollower(args.journal)
     agg = CampaignAggregate()
@@ -569,6 +799,85 @@ def cmd_tail(args) -> int:
     return 0
 
 
+def _tail_directory(args) -> int:
+    """``repro tail`` over a matrix / distributed output directory.
+
+    Aggregates ``shards/*.jsonl`` and ``cells/*.jsonl`` together, counting
+    each logical record once (reclaimed generations and merged copies
+    deduplicate), with the file-derived shard counters reconciled in.
+    """
+    import json
+    import time
+
+    from repro.core.report import render_table
+    from repro.core.shard import (
+        DirectoryFollower,
+        ShardError,
+        ShardStore,
+        StoreDegraded,
+        fold_shard_counters,
+    )
+    from repro.core.telemetry import (
+        CampaignAggregate,
+        render_progress,
+        write_prometheus,
+    )
+
+    follower = DirectoryFollower(args.journal)
+    agg = CampaignAggregate()
+
+    def poll() -> None:
+        for record in follower.poll():
+            agg.fold(record)
+        agg.planned = follower.planned()
+
+    def campaign_done() -> bool:
+        store = ShardStore(args.journal)
+        try:
+            plan = store.load_plan()
+        except (ShardError, StoreDegraded):
+            return False
+        shards = store.all_shards(plan)
+        done = store.done_ids()
+        return bool(shards) and all(s.id in done for s in shards)
+
+    started = time.monotonic()
+    poll()
+    while args.follow and not campaign_done():
+        print(render_progress(agg, time.monotonic() - started),
+              file=sys.stderr)
+        time.sleep(args.interval)
+        poll()
+    poll()
+    try:
+        agg.shard = fold_shard_counters(args.journal)
+    except (ShardError, StoreDegraded):
+        pass                    # plain matrix dir: no shard substrate
+
+    if args.json:
+        doc = agg.to_dict()
+        doc["skipped_lines"] = follower.skipped
+        doc["deduplicated"] = follower.duplicates
+        print(json.dumps(doc, indent=2))
+    else:
+        doc = agg.to_dict()
+        rows = sorted(
+            (k, v) for k, v in doc.items() if isinstance(v, (int, float))
+        )
+        rows += [(f"outcome[{out}]", n)
+                 for out, n in sorted(doc["outcomes"].items())]
+        if agg.shard is not None:
+            rows += sorted(
+                (f"shard[{k}]", v) for k, v in agg.shard.items()
+            )
+        print(render_table(["metric", "value"], rows))
+        print(render_progress(agg))
+    if args.metrics_out:
+        write_prometheus(args.metrics_out, agg)
+        print(f"wrote {args.metrics_out}")
+    return 0
+
+
 def cmd_list(args) -> int:
     from repro.accel_designs import DESIGNS, PAPER_TARGETS
     from repro.core.targets import TARGETS
@@ -589,6 +898,9 @@ def main(argv: list[str] | None = None) -> int:
         "campaign": cmd_campaign,
         "accel-campaign": cmd_accel,
         "matrix": cmd_matrix,
+        "serve": cmd_serve,
+        "work": cmd_work,
+        "merge": cmd_merge,
         "doctor": cmd_doctor,
         "tail": cmd_tail,
         "figure": cmd_figure,

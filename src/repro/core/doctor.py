@@ -195,6 +195,118 @@ def _check_record(report: DoctorReport, line_no: int, record,
                 break
 
 
+def diagnose_distributed(out_dir: str | Path) -> DoctorReport:
+    """Validate a distributed campaign output directory offline.
+
+    On top of per-journal checks for every merged ``cells/*.jsonl``, the
+    shard substrate gets its own rules:
+
+    * no two shards of a cell may cover overlapping mask ranges (after
+      steal splits are applied via effective stops);
+    * every record in a merged cell journal must be traceable to exactly
+      one shard — the one whose range owns its mask_id — and the owning
+      shard's journals must contain the byte-identical line;
+    * stale leases, leftover steal requests and temp files are *warnings*:
+      they are recoverable protocol state a crash legitimately leaves
+      behind, not corruption.
+    """
+    import time
+
+    from repro.core.journal import raw_journal_lines
+    from repro.core.shard import ShardError, ShardStore, StoreDegraded
+
+    out = Path(out_dir)
+    report = DoctorReport(path=str(out))
+    store = ShardStore(out)
+    try:
+        plan = store.load_plan()
+    except (ShardError, StoreDegraded) as exc:
+        report.problems.append(str(exc))
+        return report
+    shards = store.all_shards(plan)
+    done = store.done_ids()
+    now = time.time()
+
+    if store.leases_dir.exists():
+        for path in sorted(store.leases_dir.iterdir()):
+            if path.name.endswith(".steal"):
+                report.warnings.append(
+                    f"leases/{path.name}: leftover steal request (the owner "
+                    "died before splitting) — harmless")
+                continue
+            if path.name.startswith(".tmp."):
+                report.warnings.append(
+                    f"leases/{path.name}: leftover temp file — harmless")
+                continue
+            doc = store._read_json(path)
+            if doc is None:
+                report.warnings.append(
+                    f"leases/{path.name}: unreadable lease — reclaim will "
+                    "replace it")
+                continue
+            if doc.get("shard") in done:
+                report.warnings.append(
+                    f"leases/{path.name}: lease outlives its shard's done "
+                    "marker — stale, not fatal")
+            elif float(doc.get("deadline", 0)) <= now:
+                report.warnings.append(
+                    f"leases/{path.name}: stale lease "
+                    f"(worker {doc.get('worker')!r} expired) — "
+                    "reclaimable, not fatal")
+
+    # byte-level shard journal index: cell -> shard id -> mask_id -> lines
+    shard_lines: dict[str, dict[str, dict[int, set[bytes]]]] = {}
+    for shard in shards:
+        per_shard = shard_lines.setdefault(shard.cell, {}).setdefault(
+            shard.id, {})
+        for gen in store.journal_gens(shard.id):
+            _h, lines = raw_journal_lines(store.gen_path(shard.id, gen))
+            for mask_id, line in lines:
+                per_shard.setdefault(mask_id, set()).add(line)
+
+    for cell_key in sorted(plan.get("cells", {})):
+        cell_shards = [s for s in shards if s.cell == cell_key]
+        ranges = sorted(
+            (s.start, store.effective_stop(s, shards), s.id)
+            for s in cell_shards
+        )
+        for (a_start, a_stop, a_id), (b_start, _b_stop, b_id) in zip(
+                ranges, ranges[1:]):
+            if b_start < a_stop:
+                report.problems.append(
+                    f"cell {cell_key}: shards {a_id} and {b_id} cover "
+                    f"overlapping mask ranges "
+                    f"([{a_start},{a_stop}) vs start {b_start})")
+
+        merged = out / "cells" / f"{cell_key}.jsonl"
+        if not merged.exists():
+            continue
+        sub = diagnose_journal(merged)
+        prefix = f"cells/{merged.name}"
+        report.problems.extend(f"{prefix}: {p}" for p in sub.problems)
+        report.warnings.extend(f"{prefix}: {w}" for w in sub.warnings)
+        report.records += sub.records
+        report.integrity_reports.extend(sub.integrity_reports)
+
+        _header, lines = raw_journal_lines(merged)
+        owners_by_id = shard_lines.get(cell_key, {})
+        for mask_id, line in lines:
+            owning = [(start, stop, sid) for start, stop, sid in ranges
+                      if start <= mask_id < stop]
+            if len(owning) != 1:
+                report.problems.append(
+                    f"{prefix}: record mask {mask_id} is traceable to "
+                    f"{len(owning)} shards (must be exactly one)")
+                continue
+            sid = owning[0][2]
+            if line not in owners_by_id.get(sid, {}).get(mask_id, set()):
+                report.problems.append(
+                    f"{prefix}: record mask {mask_id} does not match any "
+                    f"line journaled by its owning shard {sid}")
+
+    return report
+
+
 def diagnose_journal(path: str | Path) -> DoctorReport:
     """Validate one campaign journal offline; never raises for bad input."""
     report = DoctorReport(path=str(path))

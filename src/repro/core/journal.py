@@ -319,6 +319,52 @@ def repair_torn_tail(path: str | Path) -> int:
     return removed
 
 
+def raw_journal_lines(
+    path: str | Path,
+) -> tuple[bytes | None, list[tuple[int, bytes]]]:
+    """Byte-level journal read: ``(header_line, [(mask_id, line), ...])``.
+
+    The distributed merge (:mod:`repro.core.shard`) reconstructs canonical
+    cell journals *byte-identically* to a serial run's, so it must never
+    re-serialize records — round-tripping through ``record_from_dict`` would
+    be correct today and silently fragile forever.  This reader returns the
+    exact line bytes (newline included) keyed by mask_id, stopping at the
+    first torn or unparseable line exactly like :meth:`CampaignJournal.load`;
+    non-record kinds after the header are skipped.
+    """
+    p = Path(path)
+    if not p.exists() or p.stat().st_size == 0:
+        return None, []
+    header_line: bytes | None = None
+    records: list[tuple[int, bytes]] = []
+    data = p.read_bytes()
+    idx = 0
+    while idx < len(data):
+        nl = data.find(b"\n", idx)
+        if nl < 0:
+            break                       # unterminated tail
+        line = data[idx:nl + 1]
+        try:
+            doc = json.loads(line)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            break                       # torn/garbled line: stop here
+        idx = nl + 1
+        kind = doc.get("kind") if isinstance(doc, dict) else None
+        if header_line is None:
+            if kind != "header":
+                break                   # not a journal; nothing trustworthy
+            header_line = line
+            continue
+        if kind != "record":
+            continue
+        try:
+            mask_id = int(doc["mask"]["mask_id"])
+        except (KeyError, TypeError, ValueError):
+            break                       # malformed record: treat as torn
+        records.append((mask_id, line))
+    return header_line, records
+
+
 class OrderedJournalWriter:
     """Order-preserving adapter over :class:`CampaignJournal` for parallel
     producers.

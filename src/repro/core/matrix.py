@@ -475,9 +475,22 @@ def _cell_result(state: _CellState):
     )
 
 
-def _prepare_cell(cell: MatrixCell, out_dir: Path, resume: bool,
-                  ckpt_policy: CheckpointPolicy) -> _CellState:
-    """Generate the cell's sample, derive budgets, replay its journal."""
+@dataclass(frozen=True)
+class CellRuntime:
+    """Everything derived (not declared) about one grid cell: the sample,
+    its population, the golden run and the per-fault wall budget.  Shared
+    by the single-host matrix runner and distributed shard workers so both
+    execute the *identical* mask sequence."""
+
+    masks: tuple[FaultMask, ...]
+    population_bits: int
+    golden: object                      # GoldenRun | AccelGolden
+    timeout_s: float
+
+
+def cell_runtime(cell: MatrixCell,
+                 ckpt_policy: CheckpointPolicy) -> CellRuntime:
+    """Generate the cell's sample and derive budgets (deterministic)."""
     if cell.kind == "cpu":
         spec = cell.spec
         golden = golden_run(spec.isa, spec.workload, spec.cfg, spec.scale,
@@ -505,11 +518,21 @@ def _prepare_cell(cell: MatrixCell, out_dir: Path, resume: bool,
         population = accel_population_bits(spec, size)
         budget_cycles = golden.cycles * spec.watchdog_factor + 1000
         timeout = max(60.0, budget_cycles / 2_000)
+    return CellRuntime(masks=tuple(masks), population_bits=population,
+                       golden=golden, timeout_s=timeout)
 
+
+def _prepare_cell(cell: MatrixCell, out_dir: Path, resume: bool,
+                  ckpt_policy: CheckpointPolicy) -> _CellState:
+    """Generate the cell's sample, derive budgets, replay its journal."""
+    runtime = cell_runtime(cell, ckpt_policy)
+    spec = cell.spec
+    masks = list(runtime.masks)
     journal_path = out_dir / "cells" / f"{cell.key}.jsonl"
     state = _CellState(
-        cell=cell, masks=masks, population_bits=population, golden=golden,
-        timeout_s=timeout, journal_path=journal_path,
+        cell=cell, masks=masks, population_bits=runtime.population_bits,
+        golden=runtime.golden, timeout_s=runtime.timeout_s,
+        journal_path=journal_path,
     )
     if resume and journal_path.exists():
         repair_torn_tail(journal_path)

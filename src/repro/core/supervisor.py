@@ -316,3 +316,37 @@ def run_supervised(
 
 def replace_attempt(task: _Pending) -> _Pending:
     return _Pending(task.index, task.item, task.attempt + 1)
+
+
+def run_with_retry(
+    fn: Callable,
+    *,
+    attempts: int = 5,
+    policy: SupervisorPolicy | None = None,
+    retry_on: tuple = (OSError,),
+    passthrough: tuple = (),
+    sleep: Callable[[float], None] = time.sleep,
+):
+    """Call ``fn()`` with bounded retry and the policy's exponential backoff.
+
+    The single-call sibling of :func:`run_supervised`, for operations that
+    are flaky rather than hung — the distributed shard store funnels every
+    lease/journal filesystem touch through this so a glitching NFS mount
+    degrades to a bounded number of slower attempts instead of an abort.
+    ``passthrough`` exceptions re-raise immediately even when they are
+    subclasses of a ``retry_on`` type: ``FileExistsError`` losing a lease
+    race is a protocol verdict, not an I/O failure, and must never be
+    retried into a double claim.
+    """
+    policy = policy or SupervisorPolicy()
+    last: BaseException | None = None
+    for attempt in range(max(1, attempts)):
+        try:
+            return fn()
+        except passthrough:
+            raise
+        except retry_on as exc:
+            last = exc
+            if attempt + 1 < max(1, attempts):
+                sleep(policy.backoff_for(attempt))
+    raise last

@@ -155,6 +155,11 @@ class CampaignAggregate:
     adaptive_stops: int = 0         # live-only: sequential-sampling early stops
     adaptive_faults_saved: int = 0  # live-only: budgeted faults never dispatched
     adaptive_margin: float | None = None   # live-only: achieved margin at stop
+    #: distributed-campaign counters (lease_expirations / shards_stolen /
+    #: merge_conflicts) — set from repro.core.shard.fold_shard_counters,
+    #: which reads only lease/journal files, so live == replayed trivially;
+    #: None for single-host campaigns keeps their exports byte-identical
+    shard: dict | None = None
     cycle_hist: dict[tuple[str, str], Histogram] = field(default_factory=dict)
     wall_hist: dict[tuple[str, str], Histogram] = field(default_factory=dict)
 
@@ -308,6 +313,8 @@ class CampaignAggregate:
                 for (out, path), hist in sorted(self.wall_hist.items())
             },
         })
+        if self.shard is not None:
+            doc["shard"] = dict(self.shard)
         return doc
 
 
@@ -542,6 +549,21 @@ def to_prometheus(agg: CampaignAggregate,
     if agg.adaptive_margin is not None:
         gauge("repro_adaptive_achieved_margin", agg.adaptive_margin,
               "achieved error margin at the adaptive stop")
+    if agg.shard is not None:
+        # distributed-only series: folded purely from lease/journal files,
+        # so a replayed fold over the same directory exports the identical
+        # values; single-host campaigns omit them entirely
+        counter("repro_lease_expirations_total",
+                "shard leases that expired and were reclaimed "
+                "(generation bumps observed in the shard journals)",
+                [({}, agg.shard.get("lease_expirations", 0))])
+        counter("repro_shards_stolen_total",
+                "shards created by end-of-campaign work stealing splits",
+                [({}, agg.shard.get("shards_stolen", 0))])
+        counter("repro_merge_conflicts_total",
+                "mask ids with byte-differing duplicate records across a "
+                "cell's shard journals",
+                [({}, agg.shard.get("merge_conflicts", 0))])
 
     for name, hists, help_text in (
         ("repro_fault_cycles", agg.cycle_hist,

@@ -1,0 +1,191 @@
+"""Core-test fixtures: the distributed-campaign chaos harness.
+
+``chaos_campaign`` runs a real coordinator + worker fleet as
+subprocesses, SIGKILLs random workers mid-shard (and optionally the
+coordinator itself), lets the lease protocol recover, and then asserts
+the merged per-cell journals are byte-identical to an uninterrupted
+single-host run of the same grid.
+"""
+
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from random import Random
+
+import pytest
+
+SRC = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "..",
+                                   "src"))
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep * bool(env.get("PYTHONPATH")) \
+        + env.get("PYTHONPATH", "")
+    return env
+
+
+@dataclass
+class ChaosResult:
+    out: Path
+    serial: Path
+    kills: list = field(default_factory=list)
+    coordinator_restarts: int = 0
+    counters: dict = field(default_factory=dict)
+
+
+def _cmp_files(a: Path, b: Path) -> None:
+    if shutil.which("cmp"):
+        proc = subprocess.run(["cmp", str(a), str(b)],
+                              capture_output=True, text=True)
+        assert proc.returncode == 0, f"cmp {a} {b}: {proc.stdout}"
+    assert a.read_bytes() == b.read_bytes(), f"{a} != {b}"
+
+
+@pytest.fixture
+def chaos_campaign(tmp_path):
+    """Factory running one chaos'd distributed campaign; see module doc."""
+    procs: list[subprocess.Popen] = []
+
+    def spawn_worker(out: Path, worker_id: str) -> subprocess.Popen:
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "work", str(out),
+             "--worker-id", worker_id, "--poll", "0.2"],
+            env=_env(), stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        procs.append(proc)
+        return proc
+
+    def spawn_serve(grid: Path, out: Path, shard_size: int,
+                    ttl_s: float) -> subprocess.Popen:
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", str(grid),
+             "--out", str(out), "--workers", "0",
+             "--shard-size", str(shard_size), "--ttl", str(ttl_s),
+             "--poll", "0.2", "--stall-timeout", "180"],
+            env=_env(), stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True)
+        procs.append(proc)
+        return proc
+
+    def run(grid_toml: str, *, workers: int = 2, kills: int = 2,
+            coordinator_restarts: int = 0, shard_size: int = 5,
+            ttl_s: float = 6.0, seed: int = 0,
+            timeout_s: float = 420.0) -> ChaosResult:
+        from repro.core.doctor import diagnose_distributed
+        from repro.core.matrix import load_grid, run_matrix
+        from repro.core.shard import ShardStore, fold_shard_counters
+
+        grid_path = tmp_path / "grid.toml"
+        grid_path.write_text(grid_toml)
+
+        serial = tmp_path / "serial"
+        run_matrix(load_grid(grid_path), serial, workers=1)
+
+        out = tmp_path / "dist"
+        rng = Random(seed)
+        result = ChaosResult(out=out, serial=serial)
+        deadline = time.monotonic() + timeout_s
+
+        serve = spawn_serve(grid_path, out, shard_size, ttl_s)
+        fleet = {f"w{i}": spawn_worker(out, f"w{i}")
+                 for i in range(workers)}
+        store = ShardStore(out, worker_id="chaos-observer")
+
+        def eligible_victims() -> list[str]:
+            """Workers holding a live gen-1 lease, visibly mid-shard."""
+            victims = []
+            if not store.leases_dir.exists():
+                return victims
+            for path in store.leases_dir.glob("*.json"):
+                try:
+                    doc = json.loads(path.read_text())
+                except (OSError, ValueError):
+                    continue
+                worker = doc.get("worker")
+                proc = fleet.get(worker)
+                if proc is None or proc.poll() is not None:
+                    continue
+                if int(doc.get("gen", 0)) != 1:
+                    continue
+                shard_id = doc.get("shard", "")
+                journal = store.gen_path(shard_id, 1)
+                try:
+                    lines = journal.read_bytes().count(b"\n")
+                except OSError:
+                    continue
+                try:
+                    a, b = map(int, shard_id.split("@")[1].split("-"))
+                except (IndexError, ValueError):
+                    continue
+                # >= 1 record journaled, <= half the range done: the
+                # worker is provably mid-shard with work still ahead
+                if 2 <= lines <= 1 + (b - a) // 2:
+                    victims.append(worker)
+            return victims
+
+        performed = 0
+        respawn = 0
+        while performed < kills:
+            if time.monotonic() > deadline:
+                pytest.fail(f"chaos harness timed out after {performed} "
+                            f"of {kills} kills")
+            if serve.poll() is not None:
+                pytest.fail(
+                    f"campaign finished before {kills} kills landed "
+                    f"(grid too small for the chaos schedule?): "
+                    f"{serve.stdout.read() if serve.stdout else ''}")
+            victims = eligible_victims()
+            if not victims:
+                time.sleep(0.05)
+                continue
+            victim = rng.choice(victims)
+            proc = fleet.pop(victim)
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+            result.kills.append(victim)
+            performed += 1
+            respawn += 1
+            fleet[f"{victim}r{respawn}"] = spawn_worker(
+                out, f"{victim}r{respawn}")
+            if result.coordinator_restarts < coordinator_restarts:
+                serve.send_signal(signal.SIGKILL)
+                serve.wait(timeout=30)
+                serve = spawn_serve(grid_path, out, shard_size, ttl_s)
+                result.coordinator_restarts += 1
+
+        remaining = max(5.0, deadline - time.monotonic())
+        try:
+            serve_out, _ = serve.communicate(timeout=remaining)
+        except subprocess.TimeoutExpired:
+            pytest.fail("coordinator did not finish after the chaos phase")
+        assert serve.returncode == 0, serve_out
+        for proc in fleet.values():
+            try:
+                proc.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                pytest.fail("worker still running after the campaign ended")
+
+        serial_cells = sorted((serial / "cells").glob("*.jsonl"))
+        assert serial_cells
+        for ref in serial_cells:
+            _cmp_files(ref, out / "cells" / ref.name)
+
+        report = diagnose_distributed(out)
+        assert report.ok, report.problems
+        result.counters = fold_shard_counters(out)
+        return result
+
+    yield run
+
+    for proc in procs:
+        if proc.poll() is None:
+            proc.kill()
+    for proc in procs:
+        if proc.poll() is None:
+            proc.wait(timeout=30)

@@ -1,0 +1,571 @@
+"""Distributed campaign service: leases, work stealing, byte-identical merge.
+
+Everything here runs in-process (workers are `run_worker` calls with
+injectable stores/clocks); true multi-process chaos lives in
+``test_shard_chaos.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.doctor import diagnose_distributed
+from repro.core.journal import raw_journal_lines
+from repro.core.matrix import grid_from_dict, read_manifest, run_matrix
+from repro.core.shard import (
+    DirectoryFollower,
+    ShardError,
+    ShardSpec,
+    ShardStore,
+    StoreDegraded,
+    fold_shard_counters,
+    merge_shards,
+    plan_shards,
+    run_worker,
+    shard_name,
+)
+from repro.core.supervisor import run_with_retry
+
+GRID = {
+    "matrix": {"name": "t"},
+    "cpu": {
+        "workloads": ["crc32"], "targets": ["regfile_int", "lq"],
+        "faults": 6, "seed": 3,
+    },
+}
+
+GRID_TOML = """\
+[matrix]
+name = "t"
+
+[cpu]
+workloads = ["crc32"]
+targets = ["regfile_int", "lq"]
+faults = 6
+seed = 3
+"""
+
+ADAPTIVE_TOML = """\
+[matrix]
+name = "adp"
+
+[cpu]
+workloads = ["crc32"]
+targets = ["regfile_int"]
+faults = 10
+seed = 7
+
+[adaptive]
+target_margin = 0.44
+batch = 5
+min_faults = 5
+"""
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class KilledWorker(Exception):
+    """Raised from the on_fault chaos hook to model a mid-shard SIGKILL."""
+
+
+def _grid():
+    return grid_from_dict(json.loads(json.dumps(GRID)))
+
+
+def _dist_dir(tmp_path, toml_text=GRID_TOML, name="dist"):
+    out = tmp_path / name
+    out.mkdir()
+    (out / "grid.toml").write_text(toml_text)
+    return out
+
+
+def _cell_bytes(out_dir):
+    return {p.name: p.read_bytes()
+            for p in sorted((out_dir / "cells").glob("*.jsonl"))}
+
+
+@pytest.fixture(scope="module")
+def serial_cells(tmp_path_factory):
+    """Uninterrupted single-host reference run of GRID."""
+    out = tmp_path_factory.mktemp("serial")
+    run_matrix(_grid(), out, workers=1)
+    return _cell_bytes(out)
+
+
+# ------------------------------------------------------------ planning
+
+
+def test_plan_shards_tiles_and_interleaves():
+    shards = plan_shards(_grid(), shard_size=4)
+    by_cell = {}
+    for s in shards:
+        by_cell.setdefault(s.cell, []).append((s.start, s.stop))
+    assert set(by_cell) == {"cpu-rv-crc32-regfile_int", "cpu-rv-crc32-lq"}
+    for ranges in by_cell.values():
+        assert ranges == [(0, 4), (4, 6)]
+    # round-robin interleave: consecutive shards alternate cells
+    assert shards[0].cell != shards[1].cell
+    assert all(s.id == shard_name(s.cell, s.start, s.stop) for s in shards)
+
+
+def test_plan_is_idempotent_and_fingerprint_checked(tmp_path):
+    out = _dist_dir(tmp_path)
+    store = ShardStore(out, worker_id="w0")
+    plan = store.init_plan(_grid(), shard_size=4, ttl_s=30.0)
+    again = store.init_plan(_grid(), shard_size=99, ttl_s=1.0)
+    assert again == plan                  # immutable after first write
+    other = grid_from_dict({**GRID, "matrix": {"name": "other"},
+                            "cpu": {**GRID["cpu"], "seed": 4}})
+    with pytest.raises(ShardError, match="different grid"):
+        store.init_plan(other, shard_size=4)
+
+
+def test_load_plan_without_plan_raises(tmp_path):
+    with pytest.raises(ShardError, match="no shard plan"):
+        ShardStore(tmp_path).load_plan()
+
+
+# ------------------------------------------------------------ leases
+
+
+@pytest.fixture
+def leased(tmp_path):
+    out = _dist_dir(tmp_path)
+    clock = FakeClock()
+    w1 = ShardStore(out, worker_id="w1", clock=clock)
+    plan = w1.init_plan(_grid(), shard_size=4, ttl_s=30.0)
+    shard = w1.all_shards(plan)[0]
+    return out, clock, w1, shard
+
+
+def test_claim_is_exclusive(leased):
+    out, clock, w1, shard = leased
+    lease = w1.try_claim(shard, 30.0)
+    assert lease is not None and lease.gen == 1
+    w2 = ShardStore(out, worker_id="w2", clock=clock)
+    assert w2.try_claim(shard, 30.0) is None
+
+
+def test_expired_lease_reclaim_bumps_generation(leased):
+    out, clock, w1, shard = leased
+    lease = w1.try_claim(shard, 30.0)
+    clock.advance(31.0)
+    w2 = ShardStore(out, worker_id="w2", clock=clock)
+    reclaimed = w2.try_claim(shard, 30.0)
+    assert reclaimed is not None
+    assert reclaimed.gen == lease.gen + 1        # fencing token moved on
+    # the original holder can no longer renew: the lease is not its own
+    assert w1.renew(lease) is None
+
+
+def test_renew_refused_past_deadline_even_if_still_named(leased):
+    out, clock, w1, shard = leased
+    lease = w1.try_claim(shard, 30.0)
+    clock.advance(30.0)                          # exactly at the deadline
+    assert w1.renew(lease) is None               # refuses locally
+    clock.advance(-20.0)
+    renewed = w1.renew(lease)
+    assert renewed is not None and renewed.deadline > lease.deadline
+
+
+def test_release_publishes_done_marker_and_drops_lease(leased):
+    out, clock, w1, shard = leased
+    lease = w1.try_claim(shard, 30.0)
+    w1.release(lease, stop=shard.stop, records=4)
+    assert shard.id in w1.done_ids()
+    done = w1.read_done(shard.id)
+    assert done["stop"] == shard.stop and done["records"] == 4
+    assert w1.read_lease(shard.id) is None
+
+
+def test_corrupt_lease_never_blocks_forever(leased):
+    out, clock, w1, shard = leased
+    w1.leases_dir.mkdir(parents=True, exist_ok=True)
+    w1.lease_path(shard.id).write_text("not json{")
+    lease = w1.try_claim(shard, 30.0)
+    assert lease is not None                     # corrupt lease swept aside
+
+
+# ------------------------------------------------------------ stealing
+
+
+def test_steal_protocol_descriptor_first(leased):
+    out, clock, w1, shard = leased
+    lease = w1.try_claim(shard, 30.0)
+    thief = ShardStore(out, worker_id="thief", clock=clock)
+    assert thief.request_steal(shard.id)
+    assert not thief.request_steal(shard.id)     # one request at a time
+    child = w1.publish_split(shard, shard.start + 2, shard.stop)
+    assert child.stolen_from == shard.id
+    assert w1.read_steal(shard.id) is None       # cleared with the split
+    plan = w1.load_plan()
+    shards = w1.all_shards(plan)
+    assert child in shards
+    # the parent is truncated at the child's start everywhere at once
+    assert w1.effective_stop(shard, shards) == shard.start + 2
+    assert thief.try_claim(child, 30.0) is not None
+    counters = fold_shard_counters(out, store=w1)
+    assert counters["shards_stolen"] == 1
+
+
+# ------------------------------------------------------------ end-to-end
+
+
+def test_single_worker_run_merges_byte_identical(tmp_path, serial_cells):
+    out = _dist_dir(tmp_path)
+    store = ShardStore(out, worker_id="solo")
+    store.init_plan(_grid(), shard_size=4, ttl_s=60.0)
+    result = run_worker(out, store=store)
+    assert result.shards_completed == 4 and result.faults_run == 12
+    assert not result.degraded
+    merged = merge_shards(out, store=store)
+    assert merged.complete and merged.conflicts == 0
+    assert _cell_bytes(out) == serial_cells
+    # the merged manifest is readable by the plain matrix tooling
+    manifest = read_manifest(out)
+    assert all(c["status"] == "exhausted" for c in manifest["cells"].values())
+    report = diagnose_distributed(out)
+    assert report.ok, report.problems
+    counters = fold_shard_counters(out, store=store)
+    assert counters == {"lease_expirations": 0, "shards_stolen": 0,
+                        "merge_conflicts": 0}
+
+
+def test_killed_worker_is_reclaimed_and_resumed_byte_identical(
+        tmp_path, serial_cells):
+    out = _dist_dir(tmp_path)
+    clock = FakeClock()
+    w1 = ShardStore(out, worker_id="w1", clock=clock)
+    w1.init_plan(_grid(), shard_size=4, ttl_s=30.0)
+
+    def die_mid_shard(shard_id, position):
+        a, b = map(int, shard_id.split("@")[1].split("-"))
+        if b - a >= 4 and position == a + 2:
+            raise KilledWorker(shard_id)
+
+    with pytest.raises(KilledWorker):
+        run_worker(out, store=w1, on_fault=die_mid_shard)
+
+    # the dead worker leaves a lease and a journal with two records behind
+    leases = list(w1.leases_dir.glob("*.json"))
+    assert len(leases) == 1
+    abandoned = json.loads(leases[0].read_text())
+    gen_path = w1.gen_path(abandoned["shard"], abandoned["gen"])
+    _header, lines = raw_journal_lines(gen_path)
+    assert len(lines) == 2
+    # model a torn tail: the crash interrupted an append mid-line
+    with gen_path.open("ab") as fh:
+        fh.write(b'{"kind": "record", "mask": {"mask_')
+
+    clock.advance(31.0)                          # lease expires
+    w2 = ShardStore(out, worker_id="w2", clock=clock)
+    # w1 may have fully completed other shards before the fatal one
+    done_before = sum(w2.read_done(sid)["records"] for sid in w2.done_ids())
+    result = run_worker(out, store=w2)
+    assert result.reclaims == 1
+    assert result.resumed == 2                   # evidence, not work
+    assert result.faults_run == 12 - 2 - done_before
+
+    merged = merge_shards(out, store=w2)
+    assert merged.complete and merged.conflicts == 0
+    assert _cell_bytes(out) == serial_cells
+    counters = fold_shard_counters(out, store=w2)
+    assert counters["lease_expirations"] == 1
+    assert diagnose_distributed(out).ok
+
+
+def test_steal_split_mid_run_merges_byte_identical(tmp_path, serial_cells):
+    out = _dist_dir(tmp_path)
+    store = ShardStore(out, worker_id="owner")
+    store.init_plan(_grid(), shard_size=4, ttl_s=60.0)
+    thief = ShardStore(out, worker_id="thief")
+    requested = []
+
+    def steal_once(shard_id, position):
+        a, b = map(int, shard_id.split("@")[1].split("-"))
+        if not requested and b - a >= 4 and position == a + 1:
+            assert thief.request_steal(shard_id)
+            requested.append(shard_id)
+
+    result = run_worker(out, store=store, on_fault=steal_once)
+    assert result.splits_published == 1
+    assert result.faults_run == 12               # owner also claims the child
+    children = store.dynamic_shards()
+    assert len(children) == 1 and children[0].stolen_from == requested[0]
+
+    merged = merge_shards(out, store=store)
+    assert merged.complete and merged.conflicts == 0
+    assert _cell_bytes(out) == serial_cells
+    assert fold_shard_counters(out, store=store)["shards_stolen"] == 1
+    assert diagnose_distributed(out).ok
+
+
+def test_adaptive_merge_truncates_to_serial_stop(tmp_path):
+    serial = tmp_path / "serial"
+    grid = grid_from_dict({
+        "matrix": {"name": "adp"},
+        "cpu": {"workloads": ["crc32"], "targets": ["regfile_int"],
+                "faults": 10, "seed": 7},
+        "adaptive": {"target_margin": 0.44, "batch": 5, "min_faults": 5},
+    })
+    run_matrix(grid, serial, workers=1)
+    manifest = read_manifest(serial)
+    (cell_entry,) = manifest["cells"].values()
+    assert cell_entry["stopped_early"]
+    stop = cell_entry["faults_done"]
+
+    # (a) no cancel marker: the worker burns the full budget, but the
+    # merge re-derives the serial stop and truncates byte-identically
+    out_a = _dist_dir(tmp_path, ADAPTIVE_TOML, "dist-a")
+    store_a = ShardStore(out_a, worker_id="wa")
+    store_a.init_plan(grid, shard_size=4, ttl_s=60.0)
+    ra = run_worker(out_a, store=store_a)
+    assert ra.faults_run == 10
+    merged_a = merge_shards(out_a, store=store_a)
+    assert merged_a.complete
+    assert _cell_bytes(out_a) == _cell_bytes(serial)
+    man_a = read_manifest(out_a)
+    (entry_a,) = man_a["cells"].values()
+    assert entry_a["status"] == "converged"
+    assert entry_a["faults_done"] == stop and entry_a["stopped_early"]
+
+    # (b) a coordinator cancel marker stops workers at the serial stop,
+    # saving the budget the adaptive rule proved unnecessary
+    out_b = _dist_dir(tmp_path, ADAPTIVE_TOML, "dist-b")
+    store_b = ShardStore(out_b, worker_id="wb")
+    store_b.init_plan(grid, shard_size=4, ttl_s=60.0)
+    (cell_key,) = man_a["cells"].keys()
+    store_b.write_cancel(cell_key, stop)
+    rb = run_worker(out_b, store=store_b)
+    assert rb.faults_run == stop
+    merged_b = merge_shards(out_b, store=store_b)
+    assert merged_b.complete
+    assert _cell_bytes(out_b) == _cell_bytes(serial)
+
+
+# ------------------------------------------------------------ conflicts
+
+
+def test_merge_conflict_higher_generation_wins(tmp_path):
+    out = _dist_dir(tmp_path)
+    store = ShardStore(out, worker_id="solo")
+    plan = store.init_plan(_grid(), shard_size=4, ttl_s=60.0)
+    run_worker(out, store=store)
+    shard = store.all_shards(plan)[0]
+
+    # forge a zombie generation-2 journal whose mask-0 record differs
+    g1 = store.gen_path(shard.id, 1).read_bytes().splitlines(keepends=True)
+    header, first = g1[0], json.loads(g1[1])
+    first["cycles"] = int(first["cycles"]) + 1
+    forged = (json.dumps(first) + "\n").encode()
+    store.gen_path(shard.id, 2).write_bytes(header + forged)
+
+    merged = merge_shards(out, store=store)
+    assert merged.complete
+    assert merged.conflicts == 1
+    cell_lines = (out / "cells" / f"{shard.cell}.jsonl").read_bytes()
+    assert forged in cell_lines                  # gen 2 won the merge
+    assert fold_shard_counters(out, store=store)["merge_conflicts"] == 1
+
+
+def test_merge_incomplete_without_all_shards(tmp_path):
+    out = _dist_dir(tmp_path)
+    store = ShardStore(out, worker_id="solo")
+    store.init_plan(_grid(), shard_size=4, ttl_s=60.0)
+    run_worker(out, store=store, max_shards=2)
+    merged = merge_shards(out, store=store)
+    assert not merged.complete
+    incomplete = [k for k, e in merged.cells.items()
+                  if e["status"] == "running"]
+    assert incomplete                            # and nothing half-written
+    for key in incomplete:
+        assert not (out / "cells" / f"{key}.jsonl").exists()
+
+
+# ------------------------------------------------------------ doctor
+
+
+def test_doctor_warns_on_stale_protocol_state_but_stays_ok(tmp_path,
+                                                           serial_cells):
+    out = _dist_dir(tmp_path)
+    store = ShardStore(out, worker_id="solo")
+    plan = store.init_plan(_grid(), shard_size=4, ttl_s=60.0)
+    run_worker(out, store=store)
+    merge_shards(out, store=store)
+    shard = store.all_shards(plan)[0]
+    # a crash can leave all of these behind; none of them is corruption
+    store.steal_path(shard.id).write_text('{"kind": "steal", "by": "ghost"}')
+    (store.leases_dir / ".tmp.ghost.1").write_text("{")
+    store.lease_path(shard.id).write_text(json.dumps({
+        "kind": "lease", "shard": shard.id, "worker": "ghost",
+        "gen": 1, "deadline": 1.0, "ttl_s": 5.0,
+    }))
+    report = diagnose_distributed(out)
+    assert report.ok, report.problems
+    text = "\n".join(report.warnings)
+    assert "steal request" in text
+    assert "temp file" in text
+    assert "stale" in text or "outlives" in text
+
+
+def test_doctor_flags_overlapping_shard_ranges(tmp_path):
+    out = _dist_dir(tmp_path)
+    store = ShardStore(out, worker_id="solo")
+    plan = store.init_plan(_grid(), shard_size=4, ttl_s=60.0)
+    run_worker(out, store=store)
+    merge_shards(out, store=store)
+    cell = store.all_shards(plan)[0].cell
+    forged = shard_name(cell, 0, 3)
+    store.descriptor_path(forged).write_text(json.dumps({
+        "kind": "shard", "id": forged, "cell": cell, "start": 0, "stop": 3,
+    }))
+    report = diagnose_distributed(out)
+    assert not report.ok
+    assert any("overlapping mask ranges" in p for p in report.problems)
+
+
+def test_doctor_flags_untraceable_merged_record(tmp_path):
+    out = _dist_dir(tmp_path)
+    store = ShardStore(out, worker_id="solo")
+    plan = store.init_plan(_grid(), shard_size=4, ttl_s=60.0)
+    run_worker(out, store=store)
+    merge_shards(out, store=store)
+    cell = store.all_shards(plan)[0].cell
+    merged = out / "cells" / f"{cell}.jsonl"
+    lines = merged.read_bytes().splitlines(keepends=True)
+    doc = json.loads(lines[1])
+    doc["cycles"] = int(doc["cycles"]) + 1       # byte-level tamper
+    lines[1] = (json.dumps(doc) + "\n").encode()
+    merged.write_bytes(b"".join(lines))
+    report = diagnose_distributed(out)
+    assert not report.ok
+    assert any("does not match any line journaled by its owning shard" in p
+               for p in report.problems)
+
+
+def test_doctor_reports_missing_plan(tmp_path):
+    report = diagnose_distributed(tmp_path)
+    assert not report.ok
+    assert any("no shard plan" in p for p in report.problems)
+
+
+# ------------------------------------------------------------ degradation
+
+
+class FlakyStore(ShardStore):
+    """Loses the filesystem permanently after the trapdoor is armed."""
+
+    armed = False
+
+    def _io(self, fn, passthrough=(FileExistsError, FileNotFoundError)):
+        if self.armed:
+            raise StoreDegraded("filesystem gone")
+        return super()._io(fn, passthrough=passthrough)
+
+
+def test_degraded_store_exits_cleanly_and_leaves_lease(tmp_path):
+    out = _dist_dir(tmp_path)
+    store = FlakyStore(out, worker_id="flaky")
+    store.init_plan(_grid(), shard_size=4, ttl_s=60.0)
+
+    def arm(shard_id, position):
+        store.armed = True
+
+    result = run_worker(out, store=store, on_fault=arm)
+    assert result.degraded                       # clean exit, not a crash
+    assert result.shards_completed == 0
+    # the lease is left behind for its ttl to expire naturally
+    assert len(list(store.leases_dir.glob("*.json"))) == 1
+
+
+def test_run_with_retry_passthrough_and_exhaustion():
+    sleeps = []
+    calls = {"n": 0}
+
+    def flaky():
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise OSError("transient")
+        return "ok"
+
+    assert run_with_retry(flaky, attempts=5, sleep=sleeps.append) == "ok"
+    assert len(sleeps) == 2                      # backed off twice
+
+    def signal():
+        raise FileExistsError("protocol signal")
+
+    with pytest.raises(FileExistsError):         # never retried
+        run_with_retry(signal, attempts=5, passthrough=(FileExistsError,),
+                       sleep=sleeps.append)
+
+    def dead():
+        raise OSError("gone")
+
+    with pytest.raises(OSError):
+        run_with_retry(dead, attempts=3, sleep=sleeps.append)
+
+
+# ------------------------------------------------------------ tail + counters
+
+
+def test_directory_follower_dedups_merged_copies(tmp_path):
+    out = _dist_dir(tmp_path)
+    store = ShardStore(out, worker_id="solo")
+    store.init_plan(_grid(), shard_size=4, ttl_s=60.0)
+    run_worker(out, store=store)
+    merge_shards(out, store=store)
+    follower = DirectoryFollower(out)
+    records = follower.poll()
+    assert len(records) == 12                    # shards + cells, deduped
+    assert follower.duplicates == 12             # every record exists twice
+    assert follower.planned() == 12
+    assert follower.poll() == []                 # nothing new
+
+
+def test_tail_cli_reconciles_directory(tmp_path, capsys):
+    out = _dist_dir(tmp_path)
+    store = ShardStore(out, worker_id="solo")
+    store.init_plan(_grid(), shard_size=4, ttl_s=60.0)
+    run_worker(out, store=store)
+    merge_shards(out, store=store)
+    rc = main(["tail", str(out), "--json"])
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["finished"] == 12
+    assert doc["deduplicated"] == 12
+    assert doc["shard"] == {"lease_expirations": 0, "shards_stolen": 0,
+                            "merge_conflicts": 0}
+
+
+def test_prometheus_exports_shard_counters():
+    from repro.core.telemetry import (
+        CampaignAggregate,
+        parse_prometheus,
+        to_prometheus,
+    )
+
+    agg = CampaignAggregate()
+    agg.shard = {"lease_expirations": 2, "shards_stolen": 1,
+                 "merge_conflicts": 0}
+    metrics = parse_prometheus(to_prometheus(agg))
+
+    def value(prefix):
+        hits = [v for k, v in metrics.items() if k.startswith(prefix)]
+        assert len(hits) == 1, prefix
+        return hits[0]
+
+    assert value("repro_lease_expirations_total") == 2
+    assert value("repro_shards_stolen_total") == 1
+    assert value("repro_merge_conflicts_total") == 0
+    bare = to_prometheus(CampaignAggregate())
+    assert "repro_lease_expirations_total" not in bare
