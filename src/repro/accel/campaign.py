@@ -9,7 +9,6 @@ visible), so records carry ``hvf = CORRUPTION`` exactly for non-masked runs.
 
 from __future__ import annotations
 
-import random
 import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -18,7 +17,8 @@ from repro.accel.cluster import Accelerator
 from repro.accel.dataflow import DataflowEngine, FUConfig
 from repro.accel.spm import ScratchpadMemory
 from repro.accel_designs import get_design
-from repro.core.faults import FaultFlip, FaultMask, FaultModel
+from repro.core.faultmodels import FaultModelSpec, accel_sample, validate_for
+from repro.core.faults import FaultMask, FaultModel
 from repro.core.journal import CampaignJournal
 from repro.core.liveness import (
     LivenessMap,
@@ -70,6 +70,11 @@ class AccelCampaignSpec:
     #: semantics and byte-identity contract as the CPU
     #: :class:`repro.core.campaign.CampaignSpec`.
     liveness: str | None = None
+    #: fault-generator selection (None = uniform default) — same
+    #: byte-identity and fingerprint-provenance contract as the CPU spec;
+    #: accelerator campaigns accept single-flip generators only
+    #: (``uniform``, ``error-map``).
+    fault_model: FaultModelSpec | None = None
 
 
 #: protected accelerator memories decode in 8-byte (64-bit) code words —
@@ -423,6 +428,10 @@ class AccelCampaignResult:
             )
             if self.spec.liveness == "audit":
                 out["liveness_disagreements"] = self.liveness_disagreements
+        if self.spec.fault_model is not None:
+            # fault-model-only key: a default-generator summary renders
+            # exactly as it always has
+            out["fault_model"] = self.spec.fault_model.describe()
         return out
 
 
@@ -504,48 +513,27 @@ def accel_golden(spec: AccelCampaignSpec, *, liveness: bool = False) -> AccelGol
 
 
 def accel_masks(spec: AccelCampaignSpec, golden: AccelGolden) -> list[FaultMask]:
-    """Uniform single-flip sample over one component's bits × kernel cycles.
+    """Single-flip sample over one component's bits × kernel cycles.
 
-    Like :func:`repro.core.sampling.generate_masks`, draws are without
+    Dispatches through the fault-model registry
+    (:mod:`repro.core.faultmodels`); an unset ``fault_model`` draws the
+    historical uniform stream byte-for-byte.  Like
+    :func:`repro.core.sampling.generate_masks`, draws are without
     replacement over ``(bit, cycle)`` sites so the sample size honestly
     reflects ``error_margin_for``'s distinct-sample assumption.
     """
     design = get_design(spec.design)
     size = {d.name: d.size for d in design.memories}[spec.component]
     total_bits = accel_population_bits(spec, size)
-    population = total_bits * (1 if spec.model.permanent else golden.cycles)
-    if spec.faults > population:
-        raise ValueError(
-            f"cannot draw {spec.faults} distinct fault sites from a "
-            f"population of {population}"
-        )
-    rng = random.Random(spec.seed)
-    seen: set[tuple[int, int]] = set()
-    masks = []
-    for mask_id in range(spec.faults):
-        while True:
-            site = (
-                rng.randrange(total_bits),
-                0 if spec.model.permanent else rng.randrange(golden.cycles),
-            )
-            if site not in seen:
-                seen.add(site)
-                break
-        masks.append(
-            FaultMask(
-                model=spec.model,
-                flips=(
-                    FaultFlip(
-                        structure=f"accel:{spec.design}:{spec.component}",
-                        entry=0,
-                        bit=site[0],
-                        cycle=site[1],
-                    ),
-                ),
-                mask_id=mask_id,
-            )
-        )
-    return masks
+    return accel_sample(
+        spec.fault_model,
+        structure=accel_structure_name(spec),
+        total_bits=total_bits,
+        cycles=golden.cycles,
+        count=spec.faults,
+        model=spec.model,
+        seed=spec.seed,
+    )
 
 
 def _simulate_one_accel(spec: AccelCampaignSpec, mask: FaultMask,
@@ -789,6 +777,7 @@ def run_accel_campaign(
             f"unknown liveness mode {spec.liveness!r}; "
             "use None (off), 'on' or 'audit'"
         )
+    validate_for(spec.fault_model, accel=True, model=spec.model)
     golden = accel_golden(spec, liveness=spec.liveness is not None)
     if masks is None:
         masks = accel_masks(spec, golden)
@@ -846,7 +835,9 @@ def run_accel_campaign(
                     writer.append(record)
                 if telemetry is not None:
                     telemetry.fault_finished(
-                        record, wall_s=time.perf_counter() - started)
+                        record, wall_s=time.perf_counter() - started,
+                        generator=(spec.fault_model.name
+                                   if spec.fault_model else None))
                 records.append(record)
             if adaptive is not None and adaptive.satisfied(
                 n_valid(), population_bits

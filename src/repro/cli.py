@@ -95,6 +95,24 @@ def _protection_from_args(args):
     return normalized(ProtectionConfig.parse(args.protect))
 
 
+def _add_fault_model_arg(p) -> None:
+    p.add_argument("--fault-model", metavar="NAME[:K=V,...]",
+                   help="fault-generator strategy: 'uniform' (default), "
+                        "'burst:arity=2,span=4' (correlated multi-bit), "
+                        "'error-map:rows=4/2/1' or 'error-map:map=FILE.toml' "
+                        "(per-row weighted), 'adversarial:attack=branch' "
+                        "(directed instruction attacks, cache targets). "
+                        "Recorded in the journal/spec fingerprint")
+
+
+def _fault_model_from_args(args):
+    if not getattr(args, "fault_model", None):
+        return None
+    from repro.core.faultmodels import parse_fault_model
+
+    return parse_fault_model(args.fault_model)
+
+
 def _per_target_path(path, tag, multi):
     """Derive a per-sub-campaign output path; untouched for single runs."""
     if not path or not multi:
@@ -174,6 +192,7 @@ def _add_campaign(sub) -> None:
     p.add_argument("--no-early-exit", action="store_true",
                    help="disable the golden-trace re-convergence early exit "
                         "(fault runs always simulate to completion)")
+    _add_fault_model_arg(p)
     _add_protect_arg(p)
     _add_liveness_arg(p)
     _add_adaptive_args(p)
@@ -195,6 +214,7 @@ def _add_accel(sub) -> None:
                    help="append per-fault records to this JSONL run journal")
     p.add_argument("--resume", metavar="PATH",
                    help="skip masks already completed in this journal")
+    _add_fault_model_arg(p)
     _add_protect_arg(p)
     _add_liveness_arg(p)
     _add_adaptive_args(p)
@@ -388,6 +408,7 @@ def cmd_campaign(args) -> int:
         return 2
     try:
         protection = _protection_from_args(args)
+        fault_model = _fault_model_from_args(args)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -406,6 +427,7 @@ def cmd_campaign(args) -> int:
             flips_per_mask=args.flips_per_mask,
             protection=protection,
             liveness=_liveness_from_args(args),
+            fault_model=fault_model,
         )
         metrics_out = _per_target_path(args.metrics_out, target, multi)
         telemetry = _telemetry_from_args(args, metrics_out=metrics_out)
@@ -460,6 +482,7 @@ def cmd_accel(args) -> int:
 
     try:
         protection = _protection_from_args(args)
+        fault_model = _fault_model_from_args(args)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -469,6 +492,7 @@ def cmd_accel(args) -> int:
         fu=FUConfig.uniform(args.fu) if args.fu else None,
         protection=protection,
         liveness=_liveness_from_args(args),
+        fault_model=fault_model,
     )
     sanitizer, hang_cycles = _sanitizer_from_args(args)
     telemetry = _telemetry_from_args(args)
@@ -761,9 +785,14 @@ def cmd_tail(args) -> int:
     agg = CampaignAggregate()
 
     def poll() -> None:
-        for record in follower.poll():
-            agg.fold(record)
+        # the header line precedes every record in the file, so the
+        # generator attribution is available before the first fold
+        records = list(follower.poll())
         spec = (follower.header or {}).get("spec") or {}
+        fm = spec.get("fault_model")
+        generator = fm.get("name") if isinstance(fm, dict) else None
+        for record in records:
+            agg.fold(record, generator=generator)
         if isinstance(spec.get("faults"), int):
             agg.planned = spec["faults"]
 

@@ -25,6 +25,7 @@ from repro.core.checkpoint import (
     CheckpointStore,
     matches as checkpoint_matches,
 )
+from repro.core.faultmodels import FaultModelSpec, cpu_sample, validate_for
 from repro.core.faults import FaultMask, FaultModel
 from repro.core.injector import InjectionController
 from repro.core.journal import CampaignJournal
@@ -35,7 +36,7 @@ from repro.core.liveness import (
 )
 from repro.core.outcome import Classification, HVFClass, Outcome, classify
 from repro.core.protection import ProtectionConfig
-from repro.core.sampling import AdaptiveSampling, error_margin_for, generate_masks
+from repro.core.sampling import AdaptiveSampling, error_margin_for
 from repro.core.sanitizer import (
     DEFAULT_HANG_CYCLES,
     DEFAULT_SANITIZER,
@@ -81,6 +82,13 @@ class CampaignSpec:
     #: analytically classified sites are simulated anyway and any
     #: disagreement quarantines the mask (``sim_error_kind="liveness"``).
     liveness: str | None = None
+    #: fault-generator selection; ``None`` = the uniform default (the key
+    #: is dropped from the serialized spec so unset campaigns journal
+    #: byte-identically to pre-registry output).  Generator name + params
+    #: are part of the spec fingerprint: ``--resume`` refuses a journal
+    #: drawn by a different generator and ``repro doctor`` validates the
+    #: provenance (see ``repro.core.faultmodels``).
+    fault_model: "FaultModelSpec | None" = None
 
 
 @dataclass
@@ -290,6 +298,20 @@ class CampaignResult:
         return corrupt / len(valid)
 
     @property
+    def attack_success(self) -> float | None:
+        """Share of directed injections that silently corrupted output.
+
+        The InjectV success criterion: an attack *succeeds* when the
+        workload completes with wrong output (SDC) — a crash or machine
+        check is a detected, hence failed, attack.  Reported next to AVF
+        for ``adversarial`` campaigns; numerically it equals ``sdc_avf``
+        over the directed (non-uniform) sample, which is the point of
+        the comparison.
+        """
+        valid = self.valid_records
+        return self.count(Outcome.SDC) / len(valid) if valid else None
+
+    @property
     def error_margin(self) -> float | None:
         """Achieved margin of the valid sample (``None`` when it is empty)."""
         n = len(self.valid_records)
@@ -338,6 +360,12 @@ class CampaignResult:
             )
             if self.spec.liveness == "audit":
                 out["liveness_disagreements"] = self.liveness_disagreements
+        if self.spec.fault_model is not None:
+            # fault-model-only keys: a default-generator summary renders
+            # exactly as it always has
+            out["fault_model"] = self.spec.fault_model.describe()
+            if self.spec.fault_model.name == "adversarial":
+                out["attack_success"] = self.attack_success
         return out
 
 
@@ -922,11 +950,23 @@ def target_geometry(spec: CampaignSpec, core) -> tuple[int, int]:
 
 
 def masks_for_spec(spec: CampaignSpec, golden: GoldenRun) -> list[FaultMask]:
-    """Generate the statistical fault sample for a campaign spec."""
+    """Generate the fault sample for a campaign spec (registry dispatch).
+
+    Every sample — matrix cells and distributed shard workers included —
+    flows through here, so selecting a generator on the spec covers every
+    execution path.  An unset ``fault_model`` dispatches to ``uniform``,
+    whose stream is byte-identical to the pre-registry sampler.
+    """
     isa = get_isa(spec.isa)
     probe_core = OoOCore.from_executable(golden.exe, isa, spec.cfg)
     entries, bits = target_geometry(spec, probe_core)
-    return generate_masks(
+    target = get_target(spec.target)
+    cache_geometry = None
+    if target.kind == "cache":
+        cfg = target.structure(probe_core).cfg
+        cache_geometry = (cfg.line_size, cfg.num_sets, cfg.assoc)
+    return cpu_sample(
+        spec.fault_model,
         structure=spec.target,
         entries=entries,
         bits_per_entry=bits,
@@ -935,6 +975,9 @@ def masks_for_spec(spec: CampaignSpec, golden: GoldenRun) -> list[FaultMask]:
         model=spec.model,
         seed=spec.seed,
         flips_per_mask=spec.flips_per_mask,
+        target_kind=target.kind,
+        cache_geometry=cache_geometry,
+        commit_trace=golden.result.commit_trace,
     )
 
 
@@ -1040,6 +1083,12 @@ def run_campaign(
             f"unknown liveness mode {spec.liveness!r}; "
             "use None (off), 'on' or 'audit'"
         )
+    validate_for(
+        spec.fault_model,
+        model=spec.model,
+        flips_per_mask=spec.flips_per_mask,
+        target_kind=get_target(spec.target).kind,
+    )
     ckpt_policy = checkpoints if checkpoints is not None else DEFAULT_CHECKPOINT_POLICY
     golden = golden_run(spec.isa, spec.workload, spec.cfg, spec.scale,
                         checkpoints=ckpt_policy,
@@ -1076,11 +1125,14 @@ def run_campaign(
 
     writer = CampaignJournal.open(journal, spec) if journal is not None else None
 
+    generator_name = spec.fault_model.name if spec.fault_model else None
+
     def record_done(record: FaultRecord, wall_s: float | None = None) -> None:
         if writer is not None:
             writer.append(record)
         if telemetry is not None:
-            telemetry.fault_finished(record, wall_s=wall_s)
+            telemetry.fault_finished(record, wall_s=wall_s,
+                                     generator=generator_name)
 
     if workers > 1 and pending and timeout_s is None:
         restored_from = 0

@@ -122,10 +122,39 @@ def _expected_structure(spec: dict) -> str | None:
     return None
 
 
+def _check_fault_model(report: DoctorReport, spec: dict) -> str | None:
+    """Validate the spec's fault-generator provenance; return its name.
+
+    An unset key means the uniform default (the byte-identity contract);
+    a set key must name a registered generator with well-formed,
+    generator-accepted parameters — anything else is forged or drifted
+    provenance.  Returns the generator name for per-record shape checks
+    (``None`` when unset or invalid).
+    """
+    data = spec.get("fault_model")
+    if data is None:
+        return None
+    from repro.core.faultmodels import fault_model_from_dict, get_generator
+
+    try:
+        fm = fault_model_from_dict(data)
+        get_generator(fm.name).validate(fm.param_dict())
+    except ValueError as exc:
+        report.problems.append(f"header fault_model is invalid: {exc}")
+        return None
+    if fm.name == "uniform" and not fm.params:
+        report.warnings.append(
+            "header spells out the uniform default fault model — written "
+            "by an API caller that skipped spec normalization; the journal "
+            "will not fingerprint-match an unset-spec resume")
+    return fm.name
+
+
 def _check_record(report: DoctorReport, line_no: int, record,
                   expected_structure: str | None,
                   protected: bool = False,
-                  liveness: str | None = None) -> None:
+                  liveness: str | None = None,
+                  generator: str | None = None) -> None:
     where = f"line {line_no} (mask {record.mask.mask_id})"
     if record.classified_by is not None and record.classified_by != "liveness":
         report.problems.append(
@@ -193,6 +222,22 @@ def _check_record(report: DoctorReport, line_no: int, record,
                     f"{where}: flip targets {flip.structure!r} but the spec "
                     f"campaigns against {expected_structure!r}")
                 break
+    if generator == "burst":
+        # a burst is one spatially-correlated event: every flip of the
+        # mask strikes at the same timestamp
+        if len({flip.cycle for flip in record.mask.flips}) > 1:
+            report.problems.append(
+                f"{where}: burst-generator mask spreads flips over "
+                f"multiple cycles — a burst strikes at one timestamp")
+        if len(record.mask.flips) < 2:
+            report.problems.append(
+                f"{where}: burst-generator mask carries a single flip "
+                f"(burst arity is always >= 2)")
+    if generator == "adversarial" and len(record.mask.flips) != 1:
+        report.problems.append(
+            f"{where}: adversarial-generator mask carries "
+            f"{len(record.mask.flips)} flips (directed attacks place "
+            f"exactly one)")
 
 
 def diagnose_distributed(out_dir: str | Path) -> DoctorReport:
@@ -343,6 +388,7 @@ def diagnose_journal(path: str | Path) -> DoctorReport:
     expected_structure = _expected_structure(spec)
     protected = bool(spec.get("protection"))
     liveness = spec.get("liveness")
+    generator = _check_fault_model(report, spec)
 
     records = []
     seen_ids: dict[int, int] = {}
@@ -380,7 +426,8 @@ def diagnose_journal(path: str | Path) -> DoctorReport:
         else:
             seen_ids[mask_id] = line_no
         _check_record(report, line_no, record, expected_structure,
-                      protected=protected, liveness=liveness)
+                      protected=protected, liveness=liveness,
+                      generator=generator)
         records.append(record)
 
     report.records = len(records)

@@ -1,0 +1,851 @@
+"""Pluggable fault-model registry: named, parameterized mask generators.
+
+Every campaign used to draw its sample from one hard-coded generator —
+uniform IID single-bit (or IID multi-bit) faults over the target's
+``(entry, bit, cycle)`` sites.  Real fault processes are richer: measured
+undervolted-SRAM errors are spatially correlated and per-row non-uniform
+("Hardware Versus Software Fault Injection of Modern Undervolted SRAMs",
+PAPERS.md), and InjectV-style security campaigns *aim* faults at specific
+instructions instead of sampling them.  This module makes the generator a
+named strategy selected per campaign:
+
+* ``uniform`` — the default.  Delegates to the exact pre-registry
+  samplers, so a campaign that never mentions a fault model journals
+  byte-identical output to pre-registry releases;
+* ``burst`` — spatially-correlated multi-bit transients: ``arity`` flips
+  within a ``span``-wide window of adjacent bits (or adjacent entries),
+  all struck at one timestamp, drawn without replacement over bursts;
+* ``error-map`` — per-row non-uniform error rates (the undervolted-SRAM
+  shape): rows are weighted by an inline ``rows=w0/w1/...`` list or a
+  TOML map file, sites are drawn row-weighted but still without
+  replacement;
+* ``adversarial`` — InjectV-style directed campaigns against an
+  instruction cache: instruction-skip / opcode-corruption / branch-flip
+  site selectors derived from the golden commit trace, reported with an
+  ``attack_success`` metric next to AVF.
+
+A generator's identity — name *and* parameters — is part of the campaign
+spec, so it lands in the journal header and the spec fingerprint:
+``--resume`` refuses a journal drawn by a different generator, and
+``repro doctor`` validates the provenance offline.  ``error-map`` files
+are inlined into the params at parse time (see :func:`resolve`) so the
+fingerprint is content-sensitive and the journal self-contained.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.faults import FaultFlip, FaultMask, FaultModel
+from repro.core.sampling import generate_masks, uniform_accel_sites
+
+#: generator used when a spec carries no fault model at all
+DEFAULT_GENERATOR = "uniform"
+
+#: bounded-retry budget multiplier for without-replacement draws; generous
+#: because dispatch only rejection-samples well below saturation
+_MAX_ATTEMPTS_PER_MASK = 200
+
+
+# --------------------------------------------------------------------------
+# the spec: a (name, params) pair that lives inside campaign specs
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultModelSpec:
+    """A named fault generator plus its parameters (picklable, hashable).
+
+    ``params`` is a sorted tuple of ``(key, value)`` string pairs: the
+    canonical form that serializes identically through ``asdict`` → JSON →
+    journal header → doctor re-hash, whatever order the user typed them in.
+    """
+
+    name: str
+    params: tuple[tuple[str, str], ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "params",
+            tuple(sorted((str(k), str(v)) for k, v in self.params)),
+        )
+
+    def param_dict(self) -> dict[str, str]:
+        return dict(self.params)
+
+    def describe(self) -> str:
+        """Canonical ``name:k=v,...`` form (round-trips through parse)."""
+        if not self.params:
+            return self.name
+        return self.name + ":" + ",".join(f"{k}={v}" for k, v in self.params)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultModelSpec":
+        """Parse ``name[:k=v,...]`` (the ``--fault-model`` argument)."""
+        text = text.strip()
+        name, _, rest = text.partition(":")
+        name = name.strip()
+        if not name:
+            raise ValueError("empty fault-model name")
+        params = []
+        for part in rest.split(",") if rest else []:
+            part = part.strip()
+            if not part:
+                continue
+            key, eq, value = part.partition("=")
+            if not eq or not key.strip():
+                raise ValueError(
+                    f"malformed fault-model parameter {part!r} "
+                    "(expected key=value)"
+                )
+            params.append((key.strip(), value.strip()))
+        return cls(name=name, params=tuple(params))
+
+
+def fault_model_from_dict(data) -> FaultModelSpec:
+    """Rebuild a :class:`FaultModelSpec` from its journal-header form.
+
+    The header stores ``{"name": ..., "params": [[k, v], ...]}`` (the
+    JSON round-trip of ``dataclasses.asdict``); anything else is treated
+    as forged provenance and raises ``ValueError``.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(f"fault_model must be a table, got {type(data).__name__}")
+    name = data.get("name")
+    if not isinstance(name, str) or not name:
+        raise ValueError("fault_model carries no generator name")
+    raw = data.get("params", [])
+    if not isinstance(raw, (list, tuple)):
+        raise ValueError("fault_model params must be a list of [key, value] pairs")
+    params = []
+    for pair in raw:
+        if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+            raise ValueError(f"malformed fault_model param {pair!r}")
+        params.append((str(pair[0]), str(pair[1])))
+    return FaultModelSpec(name=name, params=tuple(params))
+
+
+# --------------------------------------------------------------------------
+# sampling contexts: what a generator gets to see
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CpuSampleContext:
+    """Geometry + golden-run facts for a CPU-structure sample."""
+
+    structure: str
+    entries: int
+    bits_per_entry: int
+    count: int
+    window: tuple[int, int]
+    model: FaultModel
+    seed: int
+    flips_per_mask: int = 1
+    #: target kind ('regfile' | 'cache' | 'lsq'); generators that only make
+    #: sense on one kind (adversarial → cache) check it
+    target_kind: str | None = None
+    #: (line_size, num_sets, assoc) of a cache target — how a program
+    #: address maps onto (entry, bit) sites
+    cache_geometry: tuple[int, int, int] | None = None
+    #: golden commit trace rows (pc, raw, dst, value, addr, store_data,
+    #: taken); the adversarial generator derives its site selectors here
+    commit_trace: list | None = None
+
+
+@dataclass(frozen=True)
+class AccelSampleContext:
+    """Geometry for an accelerator-memory sample (flat bit space)."""
+
+    structure: str
+    total_bits: int
+    cycles: int
+    count: int
+    model: FaultModel
+    seed: int
+
+
+# --------------------------------------------------------------------------
+# generator base + helpers
+# --------------------------------------------------------------------------
+
+
+class FaultGenerator:
+    """One named mask-generation strategy.
+
+    Subclasses declare their parameter schema (``param_help``) and
+    implement :meth:`cpu_masks` and/or :meth:`accel_masks`; dispatch
+    validates parameters and side support before calling either.
+    """
+
+    name: str = ""
+    supports_cpu: bool = True
+    supports_accel: bool = False
+    #: parameter name -> help text; unknown parameters are rejected
+    param_help: dict[str, str] = {}
+
+    def validate(self, params: dict[str, str]) -> None:
+        unknown = sorted(set(params) - set(self.param_help))
+        if unknown:
+            raise ValueError(
+                f"fault model {self.name!r} does not take parameter(s) "
+                f"{', '.join(unknown)} "
+                f"(known: {', '.join(sorted(self.param_help)) or 'none'})"
+            )
+        self._validate(params)
+
+    def _validate(self, params: dict[str, str]) -> None:
+        pass
+
+    def cpu_masks(self, params: dict[str, str],
+                  ctx: CpuSampleContext) -> list[FaultMask]:
+        raise NotImplementedError  # pragma: no cover
+
+    def accel_masks(self, params: dict[str, str],
+                    ctx: AccelSampleContext) -> list[FaultMask]:
+        raise NotImplementedError  # pragma: no cover
+
+
+def _int_param(params: dict[str, str], key: str, default: int,
+               minimum: int = 1) -> int:
+    raw = params.get(key)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"fault-model parameter {key}={raw!r} is not an "
+                         "integer") from None
+    if value < minimum:
+        raise ValueError(f"fault-model parameter {key}={value} must be "
+                         f">= {minimum}")
+    return value
+
+
+def _float_param(params: dict[str, str], key: str, default: float) -> float:
+    raw = params.get(key)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"fault-model parameter {key}={raw!r} is not a "
+                         "number") from None
+    if value < 0:
+        raise ValueError(f"fault-model parameter {key}={value} must be >= 0")
+    return value
+
+
+def _weights_param(params: dict[str, str]) -> list[float]:
+    raw = params.get("rows", "")
+    weights = []
+    for i, part in enumerate(p for p in raw.split("/") if p.strip()):
+        try:
+            w = float(part)
+        except ValueError:
+            raise ValueError(
+                f"error-map row weight {part!r} (position {i}) is not a "
+                "number") from None
+        if w < 0:
+            raise ValueError(f"error-map row weight {w} (position {i}) "
+                             "must be >= 0")
+        weights.append(w)
+    return weights
+
+
+def _drawn_without_replacement(count: int, draw_one, describe: str):
+    """``count`` distinct draws via ``draw_one(rng_attempt)``; bounded.
+
+    ``draw_one`` returns a tuple of site keys (hashable); a duplicate is
+    retried up to the attempt budget, then the sample is declared
+    unplaceable with a clear error instead of spinning forever.
+    """
+    seen: set = set()
+    out = []
+    budget = max(1000, count * _MAX_ATTEMPTS_PER_MASK)
+    attempts = 0
+    while len(out) < count:
+        attempts += 1
+        if attempts > budget:
+            raise ValueError(
+                f"cannot place {count} distinct {describe} "
+                f"(placed {len(out)} after {attempts - 1} attempts); "
+                "reduce the fault count or widen the site population"
+            )
+        candidate = draw_one()
+        key = tuple(candidate)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(candidate)
+    return out
+
+
+# --------------------------------------------------------------------------
+# uniform: the pre-registry sampler, byte-for-byte
+# --------------------------------------------------------------------------
+
+
+class UniformGenerator(FaultGenerator):
+    """IID uniform draws over all sites — the historical default.
+
+    Delegates to the exact pre-registry samplers
+    (:func:`repro.core.sampling.generate_masks` and the accelerator
+    ``(bit, cycle)`` stream), so an unset / ``uniform`` spec produces
+    byte-identical journals to releases that predate the registry.
+    """
+
+    name = "uniform"
+    supports_accel = True
+    param_help: dict[str, str] = {}
+
+    def cpu_masks(self, params, ctx):
+        return generate_masks(
+            structure=ctx.structure,
+            entries=ctx.entries,
+            bits_per_entry=ctx.bits_per_entry,
+            count=ctx.count,
+            window=ctx.window,
+            model=ctx.model,
+            seed=ctx.seed,
+            flips_per_mask=ctx.flips_per_mask,
+        )
+
+    def accel_masks(self, params, ctx):
+        sites = uniform_accel_sites(
+            total_bits=ctx.total_bits,
+            cycles=ctx.cycles,
+            count=ctx.count,
+            permanent=ctx.model.permanent,
+            seed=ctx.seed,
+        )
+        return [
+            FaultMask(
+                model=ctx.model,
+                flips=(FaultFlip(structure=ctx.structure, entry=0,
+                                 bit=bit, cycle=cycle),),
+                mask_id=mask_id,
+            )
+            for mask_id, (bit, cycle) in enumerate(sites)
+        ]
+
+
+# --------------------------------------------------------------------------
+# burst: spatially-correlated multi-bit transients
+# --------------------------------------------------------------------------
+
+
+class BurstGenerator(FaultGenerator):
+    """``arity`` correlated flips inside a ``span``-wide adjacency window.
+
+    The undervolted-SRAM measurements show multi-bit upsets cluster in
+    physically adjacent cells; this models that as one *burst* per mask:
+    ``arity`` distinct flips drawn from a window of ``span`` adjacent bits
+    (``axis=bit``) or ``span`` adjacent entries/rows (``axis=entry``),
+    all struck at a single timestamp.  Bursts are drawn without
+    replacement over their constituent flip sites.
+    """
+
+    name = "burst"
+    param_help = {
+        "arity": "flips per burst (default 2)",
+        "span": "adjacency window the flips land in (default = arity)",
+        "axis": "'bit' = adjacent bits in one entry, "
+                "'entry' = same bit in adjacent entries (default bit)",
+    }
+
+    def _validate(self, params):
+        arity = _int_param(params, "arity", 2, minimum=2)
+        span = _int_param(params, "span", arity, minimum=2)
+        if span < arity:
+            raise ValueError(
+                f"burst span={span} cannot hold arity={arity} distinct flips")
+        axis = params.get("axis", "bit")
+        if axis not in ("bit", "entry"):
+            raise ValueError(
+                f"burst axis={axis!r} unknown (use 'bit' or 'entry')")
+
+    def cpu_masks(self, params, ctx):
+        if ctx.flips_per_mask != 1:
+            raise ValueError(
+                "the burst fault model sets its own multi-bit arity; "
+                "leave flips_per_mask at 1")
+        arity = _int_param(params, "arity", 2)
+        span = _int_param(params, "span", arity)
+        axis = params.get("axis", "bit")
+        extent = ctx.bits_per_entry if axis == "bit" else ctx.entries
+        if span > extent:
+            raise ValueError(
+                f"burst span={span} exceeds the {axis} extent ({extent}) "
+                f"of {ctx.structure}")
+        lo, hi = ctx.window
+        if hi <= lo:
+            raise ValueError(f"empty injection window {ctx.window}")
+        if ctx.entries <= 0 or ctx.bits_per_entry <= 0:
+            raise ValueError("structure geometry must be positive")
+        rng = random.Random(ctx.seed)
+        taken: set[tuple[int, int, int]] = set()
+        masks: list[FaultMask] = []
+        budget = max(1000, ctx.count * _MAX_ATTEMPTS_PER_MASK)
+        attempts = 0
+        while len(masks) < ctx.count:
+            attempts += 1
+            if attempts > budget:
+                raise ValueError(
+                    f"cannot place {ctx.count} distinct bursts on "
+                    f"{ctx.structure} (placed {len(masks)}); reduce the "
+                    "fault count or widen span/geometry")
+            if axis == "bit":
+                entry = rng.randrange(ctx.entries)
+                base = rng.randrange(ctx.bits_per_entry - span + 1)
+            else:
+                entry = rng.randrange(ctx.entries - span + 1)
+                base = rng.randrange(ctx.bits_per_entry)
+            offsets = sorted(rng.sample(range(span), arity))
+            cycle = 0 if ctx.model.permanent else rng.randrange(lo, hi)
+            if axis == "bit":
+                sites = [(entry, base + off, cycle) for off in offsets]
+            else:
+                sites = [(entry + off, base, cycle) for off in offsets]
+            if any(site in taken for site in sites):
+                continue
+            taken.update(sites)
+            masks.append(FaultMask(
+                model=ctx.model,
+                flips=tuple(
+                    FaultFlip(structure=ctx.structure, entry=e, bit=b,
+                              cycle=c)
+                    for e, b, c in sites
+                ),
+                mask_id=len(masks),
+            ))
+        return masks
+
+
+# --------------------------------------------------------------------------
+# error-map: per-row non-uniform error rates
+# --------------------------------------------------------------------------
+
+
+class ErrorMapGenerator(FaultGenerator):
+    """Row-weighted site draws (the undervolted-SRAM error-map shape).
+
+    Rows are entries on CPU structures and 8-bit bytes on accelerator
+    memories.  Row ``i`` carries weight ``rows[i]`` from the
+    ``rows=w0/w1/...`` list (or a TOML map file inlined by
+    :func:`resolve`); rows beyond the list carry ``default`` (1.0 unless
+    set).  Sites inside a row stay uniform, and draws remain without
+    replacement so the Leveugle margin keeps its distinct-sample
+    assumption.
+    """
+
+    name = "error-map"
+    supports_accel = True
+    param_help = {
+        "rows": "slash-separated per-row weights, e.g. rows=4/2/1/0.25",
+        "default": "weight of rows beyond the list (default 1.0)",
+        "map": "TOML file with `rows = [...]` and optional `default`; "
+               "inlined into the spec at parse time",
+    }
+
+    def _validate(self, params):
+        if "map" in params:
+            raise ValueError(
+                "error-map 'map' files must be resolved before sampling "
+                "(parse the model through repro.core.faultmodels.resolve)")
+        weights = _weights_param(params)
+        default = _float_param(params, "default", 1.0)
+        if not weights and "rows" not in params and "default" not in params:
+            raise ValueError(
+                "error-map needs a rows=w0/w1/... weight list, a "
+                "default=..., or a map=FILE.toml")
+        if default == 0 and (not weights or not any(weights)):
+            raise ValueError(
+                "error-map assigns zero weight to every row; nothing to draw")
+
+    def _row_weights(self, params, rows: int) -> list[float]:
+        weights = _weights_param(params)
+        default = _float_param(params, "default", 1.0)
+        full = [
+            weights[i] if i < len(weights) else default for i in range(rows)
+        ]
+        if not any(full):
+            raise ValueError(
+                f"error-map assigns zero weight to all {rows} rows of the "
+                "target; nothing to draw")
+        return full
+
+    @staticmethod
+    def _pick_row(rng: random.Random, cumulative: list[float]) -> int:
+        import bisect
+
+        r = rng.random() * cumulative[-1]
+        return bisect.bisect_right(cumulative, r)
+
+    @staticmethod
+    def _cumulative(weights: list[float]) -> list[float]:
+        total = 0.0
+        out = []
+        for w in weights:
+            total += w
+            out.append(total)
+        return out
+
+    def cpu_masks(self, params, ctx):
+        lo, hi = ctx.window
+        if hi <= lo:
+            raise ValueError(f"empty injection window {ctx.window}")
+        if ctx.entries <= 0 or ctx.bits_per_entry <= 0:
+            raise ValueError("structure geometry must be positive")
+        weights = self._row_weights(params, ctx.entries)
+        live_rows = sum(1 for w in weights if w > 0)
+        span = 1 if ctx.model.permanent else hi - lo
+        population = live_rows * ctx.bits_per_entry * span
+        needed = ctx.count * ctx.flips_per_mask
+        if needed > population:
+            raise ValueError(
+                f"cannot draw {needed} distinct fault sites from a "
+                f"population of {population} positively-weighted sites")
+        rng = random.Random(ctx.seed)
+        cumulative = self._cumulative(weights)
+
+        def draw_one():
+            entry = self._pick_row(rng, cumulative)
+            return (
+                entry,
+                rng.randrange(ctx.bits_per_entry),
+                0 if ctx.model.permanent else rng.randrange(lo, hi),
+            )
+
+        sites = _drawn_without_replacement(
+            needed, draw_one, f"row-weighted sites on {ctx.structure}")
+        masks = []
+        for mask_id in range(ctx.count):
+            chunk = sites[mask_id * ctx.flips_per_mask:
+                          (mask_id + 1) * ctx.flips_per_mask]
+            masks.append(FaultMask(
+                model=ctx.model,
+                flips=tuple(
+                    FaultFlip(structure=ctx.structure, entry=e, bit=b,
+                              cycle=c)
+                    for e, b, c in chunk
+                ),
+                mask_id=mask_id,
+            ))
+        return masks
+
+    def accel_masks(self, params, ctx):
+        if ctx.total_bits <= 0 or ctx.cycles <= 0:
+            raise ValueError("accelerator geometry must be positive")
+        rows = (ctx.total_bits + 7) // 8
+        weights = self._row_weights(params, rows)
+        live_rows = sum(1 for w in weights if w > 0)
+        span = 1 if ctx.model.permanent else ctx.cycles
+        population = live_rows * 8 * span
+        if ctx.count > population:
+            raise ValueError(
+                f"cannot draw {ctx.count} distinct fault sites from a "
+                f"population of {population} positively-weighted sites")
+        rng = random.Random(ctx.seed)
+        cumulative = self._cumulative(weights)
+
+        def draw_one():
+            while True:
+                row = self._pick_row(rng, cumulative)
+                bit = row * 8 + rng.randrange(8)
+                if bit < ctx.total_bits:
+                    break
+            return (bit, 0 if ctx.model.permanent else rng.randrange(ctx.cycles))
+
+        sites = _drawn_without_replacement(
+            ctx.count, draw_one, f"row-weighted sites on {ctx.structure}")
+        return [
+            FaultMask(
+                model=ctx.model,
+                flips=(FaultFlip(structure=ctx.structure, entry=0,
+                                 bit=bit, cycle=cycle),),
+                mask_id=mask_id,
+            )
+            for mask_id, (bit, cycle) in enumerate(sites)
+        ]
+
+
+# --------------------------------------------------------------------------
+# adversarial: InjectV-style directed campaigns
+# --------------------------------------------------------------------------
+
+
+class AdversarialGenerator(FaultGenerator):
+    """Directed flips aimed at instruction bytes resident in a cache.
+
+    Instead of sampling the structure uniformly, the generator walks the
+    golden commit trace and targets the cache lines that hold committed
+    instructions — the InjectV attack families:
+
+    * ``attack=skip``   — any committed instruction's first (opcode) byte;
+    * ``attack=opcode`` — any of the first 4 instruction bytes (clamped to
+      the cache line);
+    * ``attack=branch`` — the opcode byte of committed *branches* only
+      (the decode/branch-resolution window).
+
+    The cache set is determined by the instruction address; the way is
+    drawn at random (an attacker does not control fill order), and the
+    injection cycle is spread across the golden window by trace position.
+    Campaigns report ``attack_success`` — the SDC share of valid records —
+    next to AVF.
+    """
+
+    name = "adversarial"
+    param_help = {
+        "attack": "'skip', 'opcode' or 'branch' (default skip)",
+    }
+
+    def _validate(self, params):
+        attack = params.get("attack", "skip")
+        if attack not in ("skip", "opcode", "branch"):
+            raise ValueError(
+                f"adversarial attack={attack!r} unknown "
+                "(use skip, opcode or branch)")
+
+    def _candidates(self, attack: str, trace: list,
+                    line_size: int) -> list[tuple[int, int]]:
+        """Distinct ``(pc, targetable_bytes)`` selectors, in commit order."""
+        seen: set[int] = set()
+        out: list[tuple[int, int]] = []
+        for rec in trace:
+            pc, _raw, _dst, _value, _addr, _store, taken = rec
+            if pc in seen:
+                continue
+            seen.add(pc)
+            if attack == "branch" and taken is None:
+                continue
+            if attack == "opcode":
+                nbytes = min(4, line_size - pc % line_size)
+            else:
+                nbytes = 1
+            out.append((pc, nbytes))
+        return out
+
+    def cpu_masks(self, params, ctx):
+        if ctx.target_kind != "cache":
+            raise ValueError(
+                "the adversarial fault model targets instruction bytes in "
+                f"a cache (l1i recommended); {ctx.structure} is a "
+                f"{ctx.target_kind or 'non-cache'} structure")
+        if ctx.model is not FaultModel.TRANSIENT:
+            raise ValueError(
+                "the adversarial fault model injects timed transients only "
+                f"(got {ctx.model.value})")
+        if ctx.flips_per_mask != 1:
+            raise ValueError(
+                "the adversarial fault model places one directed flip per "
+                "mask; leave flips_per_mask at 1")
+        if ctx.cache_geometry is None or not ctx.commit_trace:
+            raise ValueError(
+                "adversarial sampling needs the golden commit trace and the "
+                "target cache geometry")
+        attack = params.get("attack", "skip")
+        line_size, num_sets, assoc = ctx.cache_geometry
+        candidates = self._candidates(attack, ctx.commit_trace, line_size)
+        if not candidates:
+            raise ValueError(
+                f"adversarial attack={attack!r}: the golden commit trace "
+                "has no eligible instructions (no branches committed?)")
+        lo, hi = ctx.window
+        if hi <= lo:
+            raise ValueError(f"empty injection window {ctx.window}")
+        rng = random.Random(ctx.seed)
+        n = len(candidates)
+
+        def draw_one():
+            i = rng.randrange(n)
+            pc, nbytes = candidates[i]
+            byte_off = rng.randrange(nbytes)
+            bit_in_byte = rng.randrange(8)
+            set_idx = (pc // line_size) % num_sets
+            way = rng.randrange(assoc)
+            entry = set_idx * assoc + way
+            bit = (pc % line_size + byte_off) * 8 + bit_in_byte
+            # the commit trace carries no cycle stamps: spread injections
+            # across the golden window by trace position, deterministically
+            cycle = min(hi - 1, lo + ((i + 1) * (hi - lo)) // (n + 1))
+            return (entry, bit, cycle)
+
+        sites = _drawn_without_replacement(
+            ctx.count, draw_one,
+            f"adversarial sites over {n} candidate instructions")
+        return [
+            FaultMask(
+                model=ctx.model,
+                flips=(FaultFlip(structure=ctx.structure, entry=e, bit=b,
+                                 cycle=c),),
+                mask_id=mask_id,
+            )
+            for mask_id, (e, b, c) in enumerate(sites)
+        ]
+
+
+# --------------------------------------------------------------------------
+# registry + dispatch
+# --------------------------------------------------------------------------
+
+
+GENERATORS: dict[str, FaultGenerator] = {
+    g.name: g
+    for g in (
+        UniformGenerator(),
+        BurstGenerator(),
+        ErrorMapGenerator(),
+        AdversarialGenerator(),
+    )
+}
+
+
+def get_generator(name: str) -> FaultGenerator:
+    try:
+        return GENERATORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault model {name!r}; available: "
+            f"{', '.join(sorted(GENERATORS))}"
+        ) from None
+
+
+def _inline_error_map(params: dict[str, str],
+                      base_dir: str | Path | None) -> dict[str, str]:
+    """Replace a ``map=FILE.toml`` param with the file's inline weights.
+
+    Inlining — rather than fingerprinting the path — makes the spec
+    fingerprint content-sensitive *and* the journal self-contained: a
+    resumed or distributed campaign never needs the file again, and
+    editing the file cannot silently change what a journal claims was run.
+    """
+    import tomllib
+
+    if "rows" in params or "default" in params:
+        raise ValueError(
+            "error-map: pass either map=FILE.toml or inline "
+            "rows=/default= weights, not both")
+    path = Path(params["map"])
+    if base_dir is not None and not path.is_absolute():
+        path = Path(base_dir) / path
+    try:
+        doc = tomllib.loads(path.read_text())
+    except OSError as exc:
+        raise ValueError(f"error-map file {path}: {exc}") from exc
+    except tomllib.TOMLDecodeError as exc:
+        raise ValueError(f"error-map file {path}: {exc}") from exc
+    unknown = sorted(set(doc) - {"rows", "default"})
+    if unknown:
+        raise ValueError(
+            f"error-map file {path}: unknown key(s) {', '.join(unknown)} "
+            "(allowed: rows, default)")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not all(
+            isinstance(w, (int, float)) for w in rows):
+        raise ValueError(
+            f"error-map file {path}: 'rows' must be a list of numbers")
+    out = {k: v for k, v in params.items() if k != "map"}
+    out["rows"] = "/".join(_fmt_weight(w) for w in rows)
+    if "default" in doc:
+        if not isinstance(doc["default"], (int, float)):
+            raise ValueError(
+                f"error-map file {path}: 'default' must be a number")
+        out["default"] = _fmt_weight(doc["default"])
+    return out
+
+
+def _fmt_weight(w) -> str:
+    return str(int(w)) if float(w).is_integer() else repr(float(w))
+
+
+def resolve(spec: FaultModelSpec | None,
+            base_dir: str | Path | None = None) -> FaultModelSpec | None:
+    """Canonicalize a parsed fault-model spec for use in a campaign spec.
+
+    * validates the generator name and its parameters,
+    * inlines ``error-map`` ``map=`` files (relative to ``base_dir``),
+    * collapses a bare ``uniform`` to ``None`` — the unset form — so an
+      explicitly-requested default fingerprint-matches (and journals
+      byte-identically to) a spec that never mentioned a fault model.
+    """
+    if spec is None:
+        return None
+    generator = get_generator(spec.name)
+    params = spec.param_dict()
+    if spec.name == "error-map" and "map" in params:
+        params = _inline_error_map(params, base_dir)
+    generator.validate(params)
+    if spec.name == DEFAULT_GENERATOR and not params:
+        return None
+    return FaultModelSpec(name=spec.name, params=tuple(params.items()))
+
+
+def parse_fault_model(text: str,
+                      base_dir: str | Path | None = None) -> FaultModelSpec | None:
+    """Parse + resolve a ``--fault-model`` argument in one step."""
+    return resolve(FaultModelSpec.parse(text), base_dir)
+
+
+def validate_for(spec: FaultModelSpec | None, *, accel: bool = False,
+                 model: FaultModel | None = None,
+                 flips_per_mask: int = 1,
+                 target_kind: str | None = None) -> None:
+    """Static compatibility check of a fault model against a campaign.
+
+    Raises ``ValueError`` with an actionable message when the generator is
+    unknown, unsupported on this campaign side, mis-parameterized, or
+    incompatible with the campaign's fault model / mask arity / target
+    kind.  Campaign drivers call this before any golden simulation so a
+    bad spec fails fast.
+    """
+    if spec is None:
+        return
+    generator = get_generator(spec.name)
+    if accel and not generator.supports_accel:
+        raise ValueError(
+            f"fault model {spec.name!r} supports CPU campaigns only")
+    if not accel and not generator.supports_cpu:  # pragma: no cover
+        raise ValueError(
+            f"fault model {spec.name!r} supports accelerator campaigns only")
+    generator.validate(spec.param_dict())
+    if spec.name == "burst" and flips_per_mask != 1:
+        raise ValueError(
+            "the burst fault model sets its own multi-bit arity; "
+            "leave flips_per_mask at 1")
+    if spec.name == "adversarial":
+        if flips_per_mask != 1:
+            raise ValueError(
+                "the adversarial fault model places one directed flip per "
+                "mask; leave flips_per_mask at 1")
+        if model is not None and model is not FaultModel.TRANSIENT:
+            raise ValueError(
+                "the adversarial fault model injects timed transients only "
+                f"(got {model.value})")
+        if target_kind is not None and target_kind != "cache":
+            raise ValueError(
+                "the adversarial fault model targets instruction bytes in "
+                "a cache (l1i recommended); pick a cache target")
+
+
+def cpu_sample(spec: FaultModelSpec | None, **kwargs) -> list[FaultMask]:
+    """Dispatch a CPU-structure sample through the registry."""
+    ctx = CpuSampleContext(**kwargs)
+    generator = get_generator(spec.name if spec is not None else DEFAULT_GENERATOR)
+    params = spec.param_dict() if spec is not None else {}
+    generator.validate(params)
+    return generator.cpu_masks(params, ctx)
+
+
+def accel_sample(spec: FaultModelSpec | None, **kwargs) -> list[FaultMask]:
+    """Dispatch an accelerator-memory sample through the registry."""
+    ctx = AccelSampleContext(**kwargs)
+    name = spec.name if spec is not None else DEFAULT_GENERATOR
+    generator = get_generator(name)
+    if not generator.supports_accel:
+        raise ValueError(f"fault model {name!r} supports CPU campaigns only")
+    params = spec.param_dict() if spec is not None else {}
+    generator.validate(params)
+    return generator.accel_masks(params, ctx)

@@ -146,6 +146,10 @@ def spec_to_dict(spec) -> dict:
     # to journals written before the field existed
     if raw.get("liveness", "absent") is None:
         del raw["liveness"]
+    # and fault_model: the uniform default serializes as absence, so
+    # default-generator journals stay binary-compatible across versions
+    if raw.get("fault_model", "absent") is None:
+        del raw["fault_model"]
     return raw
 
 

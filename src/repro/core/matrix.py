@@ -68,6 +68,7 @@ from repro.core.report import render_matrix
 from repro.core.sampling import AdaptiveSampling, error_margin_for
 from repro.core.sanitizer import DEFAULT_HANG_CYCLES, SanitizerPolicy
 from repro.core.supervisor import SupervisorPolicy, TaskOutcome, run_supervised
+from repro.core.targets import get_target
 from repro.cpu.core import OoOCore
 from repro.isa.base import get_isa
 
@@ -165,6 +166,79 @@ def _protection_variants(
     return variants
 
 
+def _cell_seed(base: int, *parts: str) -> int:
+    """Stable per-cell sub-seed derived from the grid seed and cell identity.
+
+    Feeding the raw grid ``seed`` into every cell's ``random.Random`` made
+    cells with coinciding geometry and window draw *identical* fault-site
+    sequences (e.g. two same-width regfile targets, or the same target
+    across workloads sharing a window), silently correlating their AVF
+    estimates.  Hashing the cell identity into the seed keeps each cell's
+    stream deterministic and resumable while decorrelating cells; the
+    derived seed lands in the cell's spec (and so its journal header), so
+    a standalone ``repro campaign`` replay of that spec still produces the
+    byte-identical journal.
+    """
+    digest = hashlib.sha256("\x1f".join([*parts, str(base)]).encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _fault_model_variants(section: str, value, *, accel: bool,
+                          model: FaultModel, flips_per_mask: int = 1,
+                          target_kind: str | None = None,
+                          base_dir: str | Path | None = None):
+    """Expand a grid ``fault_model`` entry into (suffix, spec) pairs.
+
+    ``value`` is a generator string (``"burst:arity=3"``), a table
+    (``{name = "error-map", rows = "4/2/1"}``), or a list of either — the
+    list form fans one grid cell out into one cell per generator, like
+    protection scheme lists.  A ``uniform`` (or absent) entry keeps the
+    unsuffixed cell key and an unset spec field, so its journal stays
+    byte-identical to a grid that never mentions fault models; every other
+    generator suffixes the key with ``@<name>[-k=v...]``.
+    """
+    from repro.core import faultmodels
+
+    if value is None:
+        return [("", None)]
+    items = list(value) if isinstance(value, list) else [value]
+    if not items:
+        raise MatrixError(f"[{section}] fault_model: empty list")
+    variants = []
+    for item in items:
+        try:
+            if isinstance(item, str):
+                parsed = faultmodels.FaultModelSpec.parse(item)
+            elif isinstance(item, dict):
+                name = item.get("name")
+                if not isinstance(name, str):
+                    raise ValueError(
+                        "fault_model table needs a string 'name' key")
+                params = tuple(
+                    (str(k), str(v)) for k, v in item.items() if k != "name"
+                )
+                parsed = faultmodels.FaultModelSpec(name=name, params=params)
+            else:
+                raise ValueError(
+                    f"fault_model entries are strings or tables, "
+                    f"got {type(item).__name__}")
+            resolved = faultmodels.resolve(parsed, base_dir)
+            faultmodels.validate_for(
+                resolved, accel=accel, model=model,
+                flips_per_mask=flips_per_mask, target_kind=target_kind,
+            )
+        except ValueError as exc:
+            raise MatrixError(f"[{section}] fault_model: {exc}") from exc
+        if resolved is None:
+            variants.append(("", None))
+        else:
+            # cell keys become journal filenames: strip path separators
+            safe = (resolved.describe()
+                    .replace(":", "-").replace(",", "-").replace("/", "_"))
+            variants.append((f"@{safe}", resolved))
+    return variants
+
+
 def _liveness_mode(section: str, value) -> str | None:
     """Normalize a grid ``liveness`` entry (``"off"`` → ``None``).
 
@@ -181,8 +255,13 @@ def _liveness_mode(section: str, value) -> str | None:
     )
 
 
-def grid_from_dict(data: dict) -> MatrixGrid:
-    """Expand a parsed grid document into a :class:`MatrixGrid`."""
+def grid_from_dict(data: dict,
+                   base_dir: str | Path | None = None) -> MatrixGrid:
+    """Expand a parsed grid document into a :class:`MatrixGrid`.
+
+    ``base_dir`` anchors relative paths inside the grid (error-map files);
+    :func:`load_grid` passes the grid file's own directory.
+    """
     _check_keys("<top>", data, {"matrix", "cpu", "accel", "adaptive", "report"})
     meta = data.get("matrix", {})
     _check_keys("matrix", meta, {"name"})
@@ -195,6 +274,7 @@ def grid_from_dict(data: dict) -> MatrixGrid:
         _check_keys("cpu", cpu, {
             "isas", "workloads", "targets", "faults", "seed", "scale",
             "model", "preset", "flips_per_mask", "protection", "liveness",
+            "fault_model",
         })
         for need in ("workloads", "targets"):
             if not cpu.get(need):
@@ -204,29 +284,43 @@ def grid_from_dict(data: dict) -> MatrixGrid:
         if model is None:
             raise MatrixError(f"unknown fault model {cpu.get('model')!r}")
         liveness = _liveness_mode("cpu", cpu.get("liveness"))
+        flips_per_mask = int(cpu.get("flips_per_mask", 1))
         for isa in cpu.get("isas", ["rv"]):
             for workload in cpu["workloads"]:
                 for target in cpu["targets"]:
+                    try:
+                        target_kind = get_target(target).kind
+                    except KeyError as exc:
+                        raise MatrixError(f"[cpu] {exc.args[0]}") from exc
                     variants = _protection_variants(
                         "cpu", cpu.get("protection"), target, model
                     )
+                    fm_variants = _fault_model_variants(
+                        "cpu", cpu.get("fault_model"), accel=False,
+                        model=model, flips_per_mask=flips_per_mask,
+                        target_kind=target_kind, base_dir=base_dir,
+                    )
                     for suffix, protection in variants:
-                        spec = CampaignSpec(
-                            isa=isa, workload=workload, target=target,
-                            cfg=cfg,
-                            scale=cpu.get("scale", "tiny"), model=model,
-                            faults=int(cpu.get("faults", 100)),
-                            seed=int(cpu.get("seed", 1)),
-                            flips_per_mask=int(cpu.get("flips_per_mask", 1)),
-                            protection=protection,
-                            liveness=liveness,
-                        )
-                        cells.append(MatrixCell(
-                            key=f"cpu-{isa}-{workload}-{target}{suffix}",
-                            kind="cpu", row=f"{isa}/{workload}",
-                            col=f"{target}{suffix}",
-                            spec=spec,
-                        ))
+                        for fm_suffix, fault_model in fm_variants:
+                            spec = CampaignSpec(
+                                isa=isa, workload=workload, target=target,
+                                cfg=cfg,
+                                scale=cpu.get("scale", "tiny"), model=model,
+                                faults=int(cpu.get("faults", 100)),
+                                seed=_cell_seed(int(cpu.get("seed", 1)),
+                                                "cpu", isa, workload, target),
+                                flips_per_mask=flips_per_mask,
+                                protection=protection,
+                                liveness=liveness,
+                                fault_model=fault_model,
+                            )
+                            cells.append(MatrixCell(
+                                key=(f"cpu-{isa}-{workload}-{target}"
+                                     f"{suffix}{fm_suffix}"),
+                                kind="cpu", row=f"{isa}/{workload}",
+                                col=f"{target}{suffix}{fm_suffix}",
+                                spec=spec,
+                            ))
 
     accel = data.get("accel")
     if accel:
@@ -235,7 +329,7 @@ def grid_from_dict(data: dict) -> MatrixGrid:
 
         _check_keys("accel", accel, {
             "designs", "components", "faults", "seed", "scale", "model",
-            "protection", "liveness",
+            "protection", "liveness", "fault_model",
         })
         if not accel.get("designs"):
             raise MatrixError("[accel] needs a non-empty 'designs' list")
@@ -243,6 +337,10 @@ def grid_from_dict(data: dict) -> MatrixGrid:
         if model is None:
             raise MatrixError(f"unknown fault model {accel.get('model')!r}")
         liveness = _liveness_mode("accel", accel.get("liveness"))
+        fm_variants = _fault_model_variants(
+            "accel", accel.get("fault_model"), accel=True,
+            model=model, base_dir=base_dir,
+        )
         for design in accel["designs"]:
             components = accel.get("components") or PAPER_TARGETS.get(design)
             if not components:
@@ -252,20 +350,24 @@ def grid_from_dict(data: dict) -> MatrixGrid:
                     "accel", accel.get("protection"), component, model
                 )
                 for suffix, protection in variants:
-                    spec = AccelCampaignSpec(
-                        design=design, component=component,
-                        scale=accel.get("scale", "tiny"), model=model,
-                        faults=int(accel.get("faults", 100)),
-                        seed=int(accel.get("seed", 1)),
-                        protection=protection,
-                        liveness=liveness,
-                    )
-                    cells.append(MatrixCell(
-                        key=f"accel-{design}-{component}{suffix}",
-                        kind="accel", row=f"accel/{design}",
-                        col=f"{component}{suffix}",
-                        spec=spec,
-                    ))
+                    for fm_suffix, fault_model in fm_variants:
+                        spec = AccelCampaignSpec(
+                            design=design, component=component,
+                            scale=accel.get("scale", "tiny"), model=model,
+                            faults=int(accel.get("faults", 100)),
+                            seed=_cell_seed(int(accel.get("seed", 1)),
+                                            "accel", design, component),
+                            protection=protection,
+                            liveness=liveness,
+                            fault_model=fault_model,
+                        )
+                        cells.append(MatrixCell(
+                            key=(f"accel-{design}-{component}"
+                                 f"{suffix}{fm_suffix}"),
+                            kind="accel", row=f"accel/{design}",
+                            col=f"{component}{suffix}{fm_suffix}",
+                            spec=spec,
+                        ))
 
     if not cells:
         raise MatrixError("grid expands to zero cells (no [cpu] or [accel])")
@@ -306,7 +408,7 @@ def load_grid(path: str | Path) -> MatrixGrid:
         data = tomllib.loads(Path(path).read_text())
     except tomllib.TOMLDecodeError as exc:
         raise MatrixError(f"{path}: {exc}") from exc
-    return grid_from_dict(data)
+    return grid_from_dict(data, base_dir=Path(path).parent)
 
 
 # --------------------------------------------------------------------------
@@ -696,7 +798,10 @@ def run_matrix(
                 s.records[pos] = record
                 s.writer.add(pos, record)
                 if telemetry is not None:
-                    telemetry.fault_finished(record, wall_s=wall_s)
+                    fm = s.cell.spec.fault_model
+                    telemetry.fault_finished(
+                        record, wall_s=wall_s,
+                        generator=fm.name if fm is not None else None)
 
             if workers > 1:
                 def on_result(o: TaskOutcome) -> None:

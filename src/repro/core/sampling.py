@@ -37,6 +37,8 @@ def sample_size(
     """
     if population <= 0:
         raise ValueError("population must be positive")
+    if not 0 < p < 1:
+        raise ValueError(f"p must be in the open interval (0, 1): {p}")
     z = _z(confidence)
     e2 = error_margin * error_margin
     n = population / (1 + e2 * (population - 1) / (z * z * p * (1 - p)))
@@ -49,6 +51,10 @@ def error_margin_for(
     """Error margin achieved by ``n`` samples out of ``population`` bits."""
     if n <= 0 or population <= 0:
         raise ValueError("n and population must be positive")
+    if not 0 < p < 1:
+        # p=0/p=1 would silently report margin 0 and stop an adaptive
+        # campaign after its first batch — reject it loudly instead
+        raise ValueError(f"p must be in the open interval (0, 1): {p}")
     if n >= population:
         return 0.0
     z = _z(confidence)
@@ -93,6 +99,8 @@ class AdaptiveSampling:
         ``min_faults, min_faults + batch, min_faults + 2*batch, ...``
         capped at ``budget`` (which is always the final boundary).
         """
+        if budget <= 0:
+            raise ValueError(f"budget must be positive: {budget}")
         b = min(self.min_faults, budget)
         while b < budget:
             yield b
@@ -139,6 +147,14 @@ def generate_masks(
     achieved statistical power — and inside a multi-bit transient mask a
     repeated flip would XOR itself away, silently turning an ``n``-bit
     fault model into an ``n-2``-bit one.
+
+    Below 50% saturation the draws come from the historical rejection
+    stream and are byte-identical to every earlier release.  At or above
+    50% saturation rejection sampling degenerates toward coupon-collector
+    time, so the sampler switches to a seeded full-population shuffle —
+    same distribution, same determinism per seed, linear time.  The
+    smaller-count-is-a-prefix property therefore holds *within* a
+    sampling regime, not across the 50% boundary.
     """
     if entries <= 0 or bits_per_entry <= 0:
         raise ValueError("structure geometry must be positive")
@@ -147,30 +163,97 @@ def generate_masks(
         raise ValueError(f"empty injection window {window}")
     # stuck-at sites collapse the cycle dimension (always struck at 0)
     site_population = entries * bits_per_entry * (1 if model.permanent else hi - lo)
-    if count * flips_per_mask > site_population:
+    needed = count * flips_per_mask
+    if needed > site_population:
         raise ValueError(
-            f"cannot draw {count * flips_per_mask} distinct fault sites "
+            f"cannot draw {needed} distinct fault sites "
             f"from a population of {site_population}"
         )
     rng = random.Random(seed)
-    seen: set[tuple[int, int, int]] = set()
 
-    def draw() -> FaultFlip:
-        while True:
-            site = (
-                rng.randrange(entries),
-                rng.randrange(bits_per_entry),
-                0 if model.permanent else rng.randrange(lo, hi),
+    if needed * 2 > site_population:
+        # coupon-collector regime: enumerate every site in canonical
+        # (entry, bit, cycle) order and shuffle once
+        cycles = (0,) if model.permanent else range(lo, hi)
+        sites = [
+            (e, b, c)
+            for e in range(entries)
+            for b in range(bits_per_entry)
+            for c in cycles
+        ]
+        rng.shuffle(sites)
+        picked = iter(sites[:needed])
+
+        def draw() -> FaultFlip:
+            site = next(picked)
+            return FaultFlip(
+                structure=structure, entry=site[0], bit=site[1],
+                cycle=site[2],
             )
-            if site not in seen:
-                seen.add(site)
-                return FaultFlip(
-                    structure=structure, entry=site[0], bit=site[1],
-                    cycle=site[2],
+    else:
+        seen: set[tuple[int, int, int]] = set()
+
+        def draw() -> FaultFlip:
+            while True:
+                site = (
+                    rng.randrange(entries),
+                    rng.randrange(bits_per_entry),
+                    0 if model.permanent else rng.randrange(lo, hi),
                 )
+                if site not in seen:
+                    seen.add(site)
+                    return FaultFlip(
+                        structure=structure, entry=site[0], bit=site[1],
+                        cycle=site[2],
+                    )
 
     masks = []
     for mask_id in range(count):
         flips = tuple(draw() for _ in range(flips_per_mask))
         masks.append(FaultMask(model=model, flips=flips, mask_id=mask_id))
     return masks
+
+
+def uniform_accel_sites(
+    total_bits: int,
+    cycles: int,
+    count: int,
+    permanent: bool,
+    seed: int = 1,
+) -> list[tuple[int, int]]:
+    """``count`` distinct uniform ``(bit, cycle)`` accelerator fault sites.
+
+    This is the historical accelerator draw loop, extracted so the fault
+    -model registry's ``uniform`` generator and the accelerator campaign
+    driver share one stream.  Below 50% saturation the rejection stream is
+    byte-identical to earlier releases; at or above it, a seeded
+    full-population shuffle avoids coupon-collector degeneration (same
+    regime split as :func:`generate_masks`).
+    """
+    if total_bits <= 0 or cycles <= 0:
+        raise ValueError("accelerator geometry must be positive")
+    population = total_bits * (1 if permanent else cycles)
+    if count > population:
+        raise ValueError(
+            f"cannot draw {count} distinct fault sites from a population "
+            f"of {population}"
+        )
+    rng = random.Random(seed)
+    if count * 2 > population:
+        if permanent:
+            sites = [(b, 0) for b in range(total_bits)]
+        else:
+            sites = [(b, c) for b in range(total_bits) for c in range(cycles)]
+        rng.shuffle(sites)
+        return sites[:count]
+    seen: set[tuple[int, int]] = set()
+    out: list[tuple[int, int]] = []
+    while len(out) < count:
+        site = (
+            rng.randrange(total_bits),
+            0 if permanent else rng.randrange(cycles),
+        )
+        if site not in seen:
+            seen.add(site)
+            out.append(site)
+    return out

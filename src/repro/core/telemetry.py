@@ -160,6 +160,12 @@ class CampaignAggregate:
     #: which reads only lease/journal files, so live == replayed trivially;
     #: None for single-host campaigns keeps their exports byte-identical
     shard: dict | None = None
+    #: per-fault-generator outcome counters (generator -> outcome -> n);
+    #: populated only when a campaign declares a non-default fault model,
+    #: so default campaigns' exports stay byte-identical.  Journal-
+    #: derivable: the generator name comes from the journal header's spec,
+    #: identical live and replayed.
+    generator_outcomes: dict[str, dict[str, int]] = field(default_factory=dict)
     cycle_hist: dict[tuple[str, str], Histogram] = field(default_factory=dict)
     wall_hist: dict[tuple[str, str], Histogram] = field(default_factory=dict)
 
@@ -172,11 +178,20 @@ class CampaignAggregate:
             hist = hists[key] = Histogram(bounds)
         return hist
 
-    def fold(self, record, wall_s: float | None = None) -> None:
-        """Fold one finished :class:`FaultRecord` into the aggregate."""
+    def fold(self, record, wall_s: float | None = None,
+             generator: str | None = None) -> None:
+        """Fold one finished :class:`FaultRecord` into the aggregate.
+
+        ``generator`` is the spec's fault-generator name (``None`` for the
+        uniform default): live folds pass it from the spec, replayed folds
+        from the journal header, so the two views stay identical.
+        """
         out = record.outcome.value
         self.finished += 1
         self.outcomes[out] = self.outcomes.get(out, 0) + 1
+        if generator is not None:
+            per = self.generator_outcomes.setdefault(generator, {})
+            per[out] = per.get(out, 0) + 1
         kind = getattr(record, "sim_error_kind", None)
         if kind:
             self.sim_error_kinds[kind] = self.sim_error_kinds.get(kind, 0) + 1
@@ -293,6 +308,13 @@ class CampaignAggregate:
             # non-liveness campaign's view stays exactly as it always was
             doc["liveness_skips"] = self.liveness_skips
             doc["liveness_disagreements"] = self.liveness_disagreements
+        if self.generator_outcomes:
+            # fault-model-only key — omitted for default-generator
+            # campaigns so their view stays exactly as it always was
+            doc["generator_outcomes"] = {
+                gen: dict(sorted(per.items()))
+                for gen, per in sorted(self.generator_outcomes.items())
+            }
         return doc
 
     def to_dict(self) -> dict:
@@ -329,10 +351,15 @@ def aggregate_from_journal(path: str | Path) -> tuple[CampaignAggregate, dict | 
 
     follower = JournalFollower(path)
     agg = CampaignAggregate()
-    for record in follower.poll():
-        agg.fold(record)
+    # materialize before folding: the header line precedes every record,
+    # so the generator attribution is known for the whole batch
+    records = list(follower.poll())
     header = follower.header
     spec = (header or {}).get("spec") or {}
+    fm = spec.get("fault_model")
+    generator = fm.get("name") if isinstance(fm, dict) else None
+    for record in records:
+        agg.fold(record, generator=generator)
     if isinstance(spec.get("faults"), int):
         agg.planned = spec["faults"]
     return agg, header
@@ -525,6 +552,14 @@ def to_prometheus(agg: CampaignAggregate,
                 "audit-mode quarantines where simulation contradicted an "
                 "analytic Masked claim",
                 [({}, agg.liveness_disagreements)])
+    if agg.generator_outcomes:
+        # fault-model-only series: a default-generator campaign exports
+        # byte-identical metrics to one predating the registry
+        counter("repro_fault_generator_outcomes_total",
+                "fault records by generator strategy and terminal outcome",
+                [({"generator": gen, "outcome": out}, n)
+                 for gen, per in sorted(agg.generator_outcomes.items())
+                 for out, n in sorted(per.items())])
     counter("repro_fault_hvf_stops_total",
             "runs halted by the stop_on_hvf early exit",
             [({}, agg.stopped_on_hvf)])
@@ -684,8 +719,9 @@ class Telemetry:
             self.aggregate.dispatched += 1
         self._emit("fault_dispatched", mask_id=mask_id, attempt=attempt)
 
-    def fault_finished(self, record, wall_s: float | None = None) -> None:
-        self.aggregate.fold(record, wall_s=wall_s)
+    def fault_finished(self, record, wall_s: float | None = None,
+                       generator: str | None = None) -> None:
+        self.aggregate.fold(record, wall_s=wall_s, generator=generator)
         mask_id = record.mask.mask_id
         self._emit("fault_finished", mask_id=mask_id, wall_s=wall_s,
                    record=record)

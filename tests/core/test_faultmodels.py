@@ -1,0 +1,783 @@
+"""Pluggable fault-model registry: generators, provenance, byte identity.
+
+Five layers of guarantees:
+
+* **spec canonicalization** — ``name:k=v,...`` parsing, sorted params,
+  journal-dict round trips, and the collapse of a bare ``uniform`` to the
+  unset form;
+* **generator streams** — seed-pinned determinism for ``burst``,
+  ``error-map`` and ``adversarial``, plus their structural invariants
+  (burst adjacency/arity/single-timestamp, error-map row weighting,
+  adversarial cache-site geometry) and without-replacement draws;
+* **byte identity** — an unset (or bare-``uniform``) fault model
+  dispatches to the exact pre-registry sampler streams and serializes
+  without a ``fault_model`` key, so old journals fingerprint-match;
+* **provenance** — the generator identity rides the journal header:
+  ``--resume`` refuses a journal drawn by a different generator, and
+  ``repro doctor`` validates the header and per-record mask shapes;
+* **interplay** — burst (multi-bit) masks flow through the liveness
+  audit with zero disagreements and through protection with the real
+  SECDED/TMR semantics (double-bit DUE, triple-bit residual escape,
+  TMR vote), and telemetry's per-generator counters are replay-pure.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.accel.campaign import AccelCampaignSpec, run_accel_campaign
+from repro.cli import main as cli_main
+from repro.core.campaign import CampaignSpec, run_campaign
+from repro.core.faultmodels import (
+    GENERATORS,
+    FaultModelSpec,
+    accel_sample,
+    cpu_sample,
+    fault_model_from_dict,
+    get_generator,
+    parse_fault_model,
+    resolve,
+    validate_for,
+)
+from repro.core.faults import FaultFlip, FaultMask, FaultModel
+from repro.core.journal import (
+    CampaignJournal,
+    JournalError,
+    spec_fingerprint,
+    spec_to_dict,
+)
+from repro.core.outcome import Outcome
+from repro.core.protection import ProtectionConfig
+from repro.core.sampling import generate_masks
+
+
+def _spec(cfg, **kw):
+    defaults = dict(
+        isa="rv", workload="crc32", target="regfile_int", cfg=cfg,
+        scale="tiny", faults=6, seed=9,
+    )
+    defaults.update(kw)
+    return CampaignSpec(**defaults)
+
+
+#: synthetic commit trace (pc, raw, dst, value, addr, store_data, taken):
+#: three straight-line ops and two branches, one duplicated pc
+SYNTH_TRACE = [
+    (0x100, 0x13, 1, 0, None, None, None),
+    (0x104, 0x6F, 0, 0, None, None, True),
+    (0x108, 0x33, 2, 5, None, None, None),
+    (0x10C, 0x63, 0, 0, None, None, False),
+    (0x100, 0x13, 1, 0, None, None, None),     # duplicate pc: deduped
+]
+
+
+# ------------------------------------------------------- spec canonical form
+
+
+def test_parse_round_trips_describe():
+    spec = FaultModelSpec.parse("burst:span=4, arity=3")
+    assert spec.name == "burst"
+    assert spec.params == (("arity", "3"), ("span", "4"))   # sorted
+    assert spec.describe() == "burst:arity=3,span=4"
+    assert FaultModelSpec.parse(spec.describe()) == spec
+    assert FaultModelSpec.parse("uniform").describe() == "uniform"
+
+
+def test_params_sort_whatever_the_construction_order():
+    a = FaultModelSpec("burst", (("span", "4"), ("arity", "3")))
+    b = FaultModelSpec("burst", (("arity", "3"), ("span", "4")))
+    assert a == b and a.param_dict() == {"arity": "3", "span": "4"}
+
+
+@pytest.mark.parametrize("text", ["", ":arity=2", "burst:arity", "burst:=3"])
+def test_parse_rejects_malformed(text):
+    with pytest.raises(ValueError):
+        FaultModelSpec.parse(text)
+
+
+def test_from_dict_round_trips_the_journal_form():
+    import dataclasses
+
+    spec = FaultModelSpec.parse("error-map:rows=4/2/1,default=0.5")
+    wire = json.loads(json.dumps(dataclasses.asdict(spec)))
+    assert fault_model_from_dict(wire) == spec
+
+
+@pytest.mark.parametrize("data", [
+    "burst", {"params": []}, {"name": ""}, {"name": "burst", "params": "x"},
+    {"name": "burst", "params": [["arity"]]},
+])
+def test_from_dict_rejects_forged_provenance(data):
+    with pytest.raises(ValueError):
+        fault_model_from_dict(data)
+
+
+def test_registry_contents_and_unknown_name():
+    assert set(GENERATORS) == {"uniform", "burst", "error-map", "adversarial"}
+    with pytest.raises(ValueError, match="unknown fault model"):
+        get_generator("gauss")
+    with pytest.raises(ValueError, match="unknown fault model"):
+        parse_fault_model("gauss:sigma=2")
+
+
+def test_generators_reject_unknown_params():
+    with pytest.raises(ValueError, match="does not take parameter"):
+        get_generator("burst").validate({"frequency": "2"})
+    with pytest.raises(ValueError, match="does not take parameter"):
+        parse_fault_model("uniform:arity=2")
+
+
+def test_resolve_collapses_bare_uniform_to_unset():
+    """An explicitly-requested default must fingerprint (and journal)
+    exactly like a spec that never mentioned a fault model."""
+    assert parse_fault_model("uniform") is None
+    assert resolve(FaultModelSpec("uniform")) is None
+    assert resolve(None) is None
+    assert parse_fault_model("burst:arity=2") == FaultModelSpec.parse(
+        "burst:arity=2")
+
+
+def test_validate_for_side_and_compatibility_checks():
+    validate_for(None)                                      # unset: anything
+    validate_for(FaultModelSpec("error-map", (("rows", "2/1"),)), accel=True)
+    with pytest.raises(ValueError, match="CPU campaigns only"):
+        validate_for(FaultModelSpec("burst"), accel=True)
+    with pytest.raises(ValueError, match="CPU campaigns only"):
+        validate_for(FaultModelSpec("adversarial"), accel=True)
+    with pytest.raises(ValueError, match="flips_per_mask"):
+        validate_for(FaultModelSpec("burst"), flips_per_mask=3)
+    with pytest.raises(ValueError, match="transients only"):
+        validate_for(FaultModelSpec("adversarial"),
+                     model=FaultModel.STUCK_AT_0)
+    with pytest.raises(ValueError, match="cache"):
+        validate_for(FaultModelSpec("adversarial"), target_kind="regfile")
+
+
+# --------------------------------------------------- uniform byte identity
+
+
+def test_uniform_cpu_dispatch_is_generate_masks_verbatim():
+    """Unset and bare-uniform specs must reproduce the historical CPU
+    sampler stream bit for bit — the journal byte-identity contract."""
+    kwargs = dict(structure="rf", entries=8, bits_per_entry=32, count=10,
+                  window=(10, 60), model=FaultModel.TRANSIENT, seed=42,
+                  flips_per_mask=2)
+    reference = generate_masks("rf", 8, 32, 10, (10, 60), seed=42,
+                               flips_per_mask=2)
+    assert cpu_sample(None, **kwargs) == reference
+    assert cpu_sample(FaultModelSpec("uniform"), **kwargs) == reference
+
+
+def test_uniform_accel_dispatch_is_deterministic_and_distinct():
+    kwargs = dict(structure="accel:gemm:MATRIX1", total_bits=256, cycles=40,
+                  count=20, model=FaultModel.TRANSIENT, seed=7)
+    a = accel_sample(None, **kwargs)
+    b = accel_sample(FaultModelSpec("uniform"), **kwargs)
+    assert a == b
+    sites = [(m.flips[0].bit, m.flips[0].cycle) for m in a]
+    assert len(set(sites)) == 20
+    for bit, cycle in sites:
+        assert 0 <= bit < 256 and 0 <= cycle < 40
+
+
+def test_unset_spec_serializes_without_fault_model_key(cfg):
+    bare = _spec(cfg)
+    assert "fault_model" not in spec_to_dict(bare)
+    assert spec_fingerprint(bare) == spec_fingerprint(
+        _spec(cfg, fault_model=parse_fault_model("uniform")))
+    burst = _spec(cfg, fault_model=parse_fault_model("burst:arity=2"))
+    # pre-JSON form keeps tuples; the journal writes their list round-trip
+    assert spec_to_dict(burst)["fault_model"] == {
+        "name": "burst", "params": (("arity", "2"),)}
+    assert spec_fingerprint(burst) != spec_fingerprint(bare)
+
+
+# ------------------------------------------------------------------- burst
+
+
+def test_burst_seed_stability_regression():
+    """Pinned draw sequence — the same breaking-change tripwire as the
+    uniform sampler's pin: resumed journals match masks by exact flips."""
+    masks = cpu_sample(FaultModelSpec.parse("burst:arity=3,span=4"),
+                       structure="rf", entries=8, bits_per_entry=32, count=3,
+                       window=(10, 20), model=FaultModel.TRANSIENT, seed=7)
+    assert [[(f.entry, f.bit, f.cycle) for f in m.flips] for m in masks] == [
+        [(5, 4, 11), (5, 6, 11), (5, 7, 11)],
+        [(1, 11, 10), (1, 13, 10), (1, 14, 10)],
+        [(1, 13, 11), (1, 15, 11), (1, 16, 11)],
+    ]
+
+
+def test_burst_bit_axis_shape_invariants():
+    spec = FaultModelSpec.parse("burst:arity=3,span=5")
+    masks = cpu_sample(spec, structure="rf", entries=16, bits_per_entry=64,
+                       count=20, window=(0, 100),
+                       model=FaultModel.TRANSIENT, seed=3)
+    seen_sites = set()
+    for m in masks:
+        assert len(m.flips) == 3 and m.multi_bit
+        entries = {f.entry for f in m.flips}
+        cycles = {f.cycle for f in m.flips}
+        bits = sorted(f.bit for f in m.flips)
+        assert len(entries) == 1                    # one row
+        assert len(cycles) == 1                     # one timestamp
+        assert bits[-1] - bits[0] < 5               # inside the span window
+        assert len(set(bits)) == 3                  # distinct flips
+        for f in m.flips:
+            site = (f.entry, f.bit, f.cycle)
+            assert site not in seen_sites           # without replacement
+            seen_sites.add(site)
+
+
+def test_burst_entry_axis_strikes_adjacent_rows():
+    spec = FaultModelSpec.parse("burst:axis=entry,span=3,arity=2")
+    masks = cpu_sample(spec, structure="rf", entries=16, bits_per_entry=8,
+                       count=10, window=(5, 50),
+                       model=FaultModel.TRANSIENT, seed=1)
+    for m in masks:
+        assert len({f.bit for f in m.flips}) == 1   # same column
+        assert len({f.cycle for f in m.flips}) == 1
+        rows = sorted(f.entry for f in m.flips)
+        assert rows[1] - rows[0] < 3
+
+
+def test_burst_parameter_and_placement_errors():
+    ctx = dict(structure="rf", entries=4, bits_per_entry=8, count=2,
+               window=(0, 10), model=FaultModel.TRANSIENT, seed=1)
+    with pytest.raises(ValueError, match="flips_per_mask"):
+        cpu_sample(FaultModelSpec("burst"), flips_per_mask=2, **ctx)
+    with pytest.raises(ValueError, match="cannot hold"):
+        parse_fault_model("burst:arity=4,span=2")
+    with pytest.raises(ValueError, match="axis"):
+        parse_fault_model("burst:axis=diag")
+    with pytest.raises(ValueError, match="exceeds the bit extent"):
+        cpu_sample(FaultModelSpec.parse("burst:span=16"), **ctx)
+    with pytest.raises(ValueError, match="cannot place"):
+        cpu_sample(FaultModelSpec.parse("burst:arity=2"),
+                   structure="rf", entries=1, bits_per_entry=4, count=50,
+                   window=(0, 2), model=FaultModel.TRANSIENT, seed=1)
+
+
+# --------------------------------------------------------------- error-map
+
+
+def test_error_map_seed_stability_and_zero_weight_rows():
+    """Pinned stream; rows with weight 0 (row 1 inline, row 3 by default=0)
+    must never be drawn."""
+    spec = FaultModelSpec.parse("error-map:rows=4/0/1,default=0")
+    masks = cpu_sample(spec, structure="rf", entries=4, bits_per_entry=8,
+                       count=5, window=(0, 6),
+                       model=FaultModel.TRANSIENT, seed=11)
+    sites = [(m.flips[0].entry, m.flips[0].bit, m.flips[0].cycle)
+             for m in masks]
+    assert sites == [(0, 7, 3), (0, 3, 1), (2, 7, 5), (0, 2, 0), (0, 0, 4)]
+    assert {e for e, _, _ in sites} <= {0, 2}
+    assert len(set(sites)) == 5                     # without replacement
+
+
+def test_error_map_weighting_skews_the_draw():
+    spec = FaultModelSpec.parse("error-map:rows=50/1")
+    masks = cpu_sample(spec, structure="rf", entries=2, bits_per_entry=64,
+                       count=60, window=(0, 50),
+                       model=FaultModel.TRANSIENT, seed=5)
+    hot = sum(1 for m in masks if m.flips[0].entry == 0)
+    assert hot > 45                                 # ~50x the cold row
+
+
+def test_error_map_accel_rows_are_bytes():
+    """Accel rows are 8-bit bytes; a zero-weighted byte is never struck,
+    and the stream is seed-pinned."""
+    spec = FaultModelSpec.parse("error-map:rows=8/0/1,default=1")
+    masks = accel_sample(spec, structure="accel:gemm:MATRIX1", total_bits=30,
+                         cycles=12, count=5, model=FaultModel.TRANSIENT,
+                         seed=5)
+    sites = [(m.flips[0].bit, m.flips[0].cycle) for m in masks]
+    assert sites == [(5, 11), (24, 7), (3, 10), (2, 1), (3, 6)]
+    assert all(not 8 <= bit < 16 for bit, _ in sites)   # dead byte row 1
+
+
+def test_error_map_rejects_degenerate_weights():
+    with pytest.raises(ValueError):
+        parse_fault_model("error-map")              # no weights at all
+    with pytest.raises(ValueError, match="zero weight"):
+        parse_fault_model("error-map:rows=0/0,default=0")
+    with pytest.raises(ValueError, match="not a number"):
+        parse_fault_model("error-map:rows=4/x/1")
+    with pytest.raises(ValueError, match=">= 0"):
+        parse_fault_model("error-map:rows=4/-1")
+    # population counts positively-weighted rows only: 1 live row x 8 bits
+    # x 4 cycles = 32 sites < 40 requested
+    with pytest.raises(ValueError, match="positively-weighted"):
+        cpu_sample(FaultModelSpec.parse("error-map:rows=1,default=0"),
+                   structure="rf", entries=4, bits_per_entry=8, count=40,
+                   window=(0, 4), model=FaultModel.TRANSIENT, seed=1)
+
+
+def test_error_map_file_is_inlined_at_resolve_time(tmp_path):
+    """map=FILE.toml becomes inline rows= weights: the fingerprint is
+    content-sensitive and the journal self-contained."""
+    map_file = tmp_path / "undervolt.toml"
+    map_file.write_text("rows = [4, 2, 1]\ndefault = 0.5\n")
+    spec = parse_fault_model(f"error-map:map={map_file}")
+    assert spec.param_dict() == {"rows": "4/2/1", "default": "0.5"}
+    # relative paths anchor at base_dir (the grid file's directory)
+    rel = parse_fault_model("error-map:map=undervolt.toml",
+                            base_dir=tmp_path)
+    assert rel == spec
+    # editing the file changes the resolved identity
+    map_file.write_text("rows = [4, 2, 99]\n")
+    assert parse_fault_model(f"error-map:map={map_file}") != spec
+
+
+def test_error_map_file_errors(tmp_path):
+    missing = tmp_path / "nope.toml"
+    with pytest.raises(ValueError, match="nope.toml"):
+        parse_fault_model(f"error-map:map={missing}")
+    bad = tmp_path / "bad.toml"
+    bad.write_text("rows = 'all'\n")
+    with pytest.raises(ValueError, match="list of numbers"):
+        parse_fault_model(f"error-map:map={bad}")
+    extra = tmp_path / "extra.toml"
+    extra.write_text("rows = [1]\nvoltage = 0.7\n")
+    with pytest.raises(ValueError, match="unknown key"):
+        parse_fault_model(f"error-map:map={extra}")
+    both = tmp_path / "ok.toml"
+    both.write_text("rows = [1, 2]\n")
+    with pytest.raises(ValueError, match="not both"):
+        parse_fault_model(f"error-map:map={both},rows=3/1")
+    # an unresolved map= param must never reach the sampler
+    with pytest.raises(ValueError, match="resolved before sampling"):
+        cpu_sample(FaultModelSpec("error-map", (("map", str(both)),)),
+                   structure="rf", entries=2, bits_per_entry=8, count=1,
+                   window=(0, 4), model=FaultModel.TRANSIENT, seed=1)
+
+
+# ------------------------------------------------------------- adversarial
+
+
+def _adv_sample(attack="branch", count=3, trace=SYNTH_TRACE, **over):
+    kwargs = dict(structure="l1i", entries=8, bits_per_entry=128, count=count,
+                  window=(100, 200), model=FaultModel.TRANSIENT, seed=3,
+                  target_kind="cache", cache_geometry=(16, 4, 2),
+                  commit_trace=trace)
+    kwargs.update(over)
+    return cpu_sample(FaultModelSpec.parse(f"adversarial:attack={attack}"),
+                      **kwargs)
+
+
+def test_adversarial_seed_stability_regression():
+    masks = _adv_sample()
+    sites = [(m.flips[0].entry, m.flips[0].bit, m.flips[0].cycle)
+             for m in masks]
+    assert sites == [(1, 37, 133), (1, 39, 133), (0, 99, 166)]
+
+
+def test_adversarial_sites_land_on_traced_cache_lines():
+    """Every directed flip maps back to a traced instruction: the set index
+    derives from its pc, the bit from its line-offset bytes."""
+    line_size, num_sets, assoc = 16, 4, 2
+    for attack, nbytes in (("skip", 1), ("opcode", 4), ("branch", 1)):
+        masks = _adv_sample(attack=attack, count=4)
+        eligible = {pc for pc, *rest in SYNTH_TRACE
+                    if attack != "branch" or rest[-1] is not None}
+        for m in masks:
+            (flip,) = m.flips
+            set_idx, way = divmod(flip.entry, assoc)
+            byte_off, bit_in_byte = divmod(flip.bit, 8)
+            assert 0 <= way < assoc and 0 <= bit_in_byte < 8
+            matching = [pc for pc in eligible
+                        if (pc // line_size) % num_sets == set_idx
+                        and 0 <= byte_off - pc % line_size < nbytes]
+            assert matching, (attack, flip)
+            assert 100 <= flip.cycle < 200
+
+
+def test_adversarial_branch_filter_and_empty_trace():
+    straight = [(0x200 + 4 * i, 0x13, 1, 0, None, None, None)
+                for i in range(4)]
+    with pytest.raises(ValueError, match="no eligible instructions"):
+        _adv_sample(attack="branch", trace=straight)
+    with pytest.raises(ValueError, match="golden commit trace"):
+        _adv_sample(trace=[])
+    with pytest.raises(ValueError, match="golden commit trace"):
+        _adv_sample(cache_geometry=None)
+    with pytest.raises(ValueError, match="attack="):
+        parse_fault_model("adversarial:attack=rowhammer")
+
+
+def test_adversarial_campaign_rejects_incompatible_specs(cfg):
+    adv = parse_fault_model("adversarial")
+    with pytest.raises(ValueError, match="cache"):
+        run_campaign(_spec(cfg, target="regfile_int", fault_model=adv))
+    with pytest.raises(ValueError, match="transients only"):
+        run_campaign(_spec(cfg, target="l1i", model=FaultModel.STUCK_AT_1,
+                           fault_model=adv))
+    with pytest.raises(ValueError, match="one directed flip"):
+        run_campaign(_spec(cfg, target="l1i", flips_per_mask=2,
+                           fault_model=adv))
+
+
+def test_adversarial_campaign_reports_attack_success(cfg):
+    spec = _spec(cfg, target="l1i", faults=8,
+                 fault_model=parse_fault_model("adversarial:attack=branch"))
+    result = run_campaign(spec)
+    assert len(result.records) == 8
+    summary = result.summary()
+    assert summary["fault_model"] == "adversarial:attack=branch"
+    # the InjectV success criterion is the SDC share of valid records —
+    # numerically sdc_avf over the *directed* sample, which is the point
+    # of reporting it next to AVF
+    assert summary["attack_success"] == result.attack_success
+    valid = result.valid_records
+    assert result.attack_success == pytest.approx(
+        sum(r.outcome is Outcome.SDC for r in valid) / len(valid))
+
+
+def test_attack_success_absent_for_undirected_campaigns(cfg):
+    summary = run_campaign(_spec(cfg, faults=4)).summary()
+    assert "attack_success" not in summary and "fault_model" not in summary
+
+
+# -------------------------------------------- journal provenance + resume
+
+
+@pytest.fixture(scope="module")
+def burst_journal(cfg, tmp_path_factory):
+    """One journaled burst campaign shared by the provenance tests."""
+    path = tmp_path_factory.mktemp("fm") / "burst.jsonl"
+    spec = CampaignSpec(isa="rv", workload="crc32", target="regfile_int",
+                        cfg=cfg, scale="tiny", faults=6, seed=9,
+                        fault_model=parse_fault_model("burst:arity=2"))
+    result = run_campaign(spec, journal=path)
+    return spec, result, path
+
+
+def test_burst_campaign_journals_its_generator(burst_journal):
+    spec, result, path = burst_journal
+    header = json.loads(path.read_text().splitlines()[0])
+    assert header["spec"]["fault_model"] == {
+        "name": "burst", "params": [["arity", "2"]]}
+    for record in result.records:
+        assert len(record.mask.flips) == 2
+        assert len({f.cycle for f in record.mask.flips}) == 1
+    assert result.summary()["fault_model"] == "burst:arity=2"
+
+
+def test_resume_refuses_a_mismatched_generator(cfg, burst_journal, tmp_path):
+    """The generator identity is in the spec fingerprint, so opening (or
+    resuming) a journal under a different generator fails loudly."""
+    spec, _, path = burst_journal
+    copy = tmp_path / "burst.jsonl"
+    copy.write_bytes(path.read_bytes())
+    bare = _spec(cfg)
+    with pytest.raises(JournalError, match="different"):
+        CampaignJournal.open(copy, bare)
+    with pytest.raises(JournalError, match="different"):
+        run_campaign(bare, journal=copy, resume=copy)
+    assert copy.read_bytes() == path.read_bytes()   # refused before writing
+    # the matching spec still resumes cleanly
+    resumed = run_campaign(spec, journal=copy, resume=copy)
+    assert resumed.resumed == 6
+
+
+def _rehash(header: dict) -> dict:
+    """Recompute the header fingerprint after a spec edit, so the doctor's
+    fingerprint gate passes and the provenance checks are what trips."""
+    header["fingerprint"] = hashlib.sha256(
+        json.dumps(header["spec"], sort_keys=True).encode()).hexdigest()
+    return header
+
+
+def _with_header(path, out_path, mutate):
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    mutate(header)
+    lines[0] = json.dumps(_rehash(header))
+    out_path.write_text("\n".join(lines) + "\n")
+    return out_path
+
+
+def test_doctor_validates_generator_provenance(burst_journal, tmp_path):
+    from repro.core.doctor import diagnose_journal
+
+    _, _, path = burst_journal
+    assert diagnose_journal(path).ok
+
+    forged = _with_header(
+        path, tmp_path / "forged.jsonl",
+        lambda h: h["spec"]["fault_model"].update(name="gauss"))
+    report = diagnose_journal(forged)
+    assert not report.ok
+    assert any("fault_model is invalid" in p for p in report.problems)
+
+    badparam = _with_header(
+        path, tmp_path / "badparam.jsonl",
+        lambda h: h["spec"]["fault_model"].update(params=[["arity", "one"]]))
+    assert not diagnose_journal(badparam).ok
+
+
+def test_doctor_warns_on_unnormalized_uniform_header(burst_journal, tmp_path):
+    from repro.core.doctor import diagnose_journal
+
+    _, _, path = burst_journal
+    verbose = _with_header(
+        path, tmp_path / "verbose.jsonl",
+        lambda h: h["spec"].update(
+            fault_model={"name": "uniform", "params": []}))
+    report = diagnose_journal(verbose)
+    assert any("uniform default" in w for w in report.warnings)
+
+
+def test_doctor_flags_burst_shaped_record_violations(burst_journal, tmp_path):
+    from repro.core.doctor import diagnose_journal
+
+    _, _, path = burst_journal
+    lines = path.read_text().splitlines()
+
+    # a burst mask whose flips straddle two cycles is not a burst
+    spread = json.loads(lines[1])
+    spread["mask"]["flips"][1]["cycle"] += 1
+    torn = tmp_path / "spread.jsonl"
+    torn.write_text("\n".join([lines[0], json.dumps(spread)] + lines[2:])
+                    + "\n")
+    report = diagnose_journal(torn)
+    assert not report.ok
+    assert any("multiple cycles" in p for p in report.problems)
+
+    # a single-flip mask under a burst header is equally forged
+    single = json.loads(lines[1])
+    single["mask"]["flips"] = single["mask"]["flips"][:1]
+    lone = tmp_path / "single.jsonl"
+    lone.write_text("\n".join([lines[0], json.dumps(single)] + lines[2:])
+                    + "\n")
+    report = diagnose_journal(lone)
+    assert not report.ok
+    assert any("single flip" in p for p in report.problems)
+
+
+# --------------------------------------------------------------- telemetry
+
+
+def test_generator_outcomes_live_equals_replayed(burst_journal):
+    from repro.core.telemetry import CampaignAggregate, aggregate_from_journal
+
+    spec, result, path = burst_journal
+    live = CampaignAggregate()
+    for record in result.records:
+        live.fold(record, generator="burst")
+    replayed, header = aggregate_from_journal(path)
+    assert live.reconcilable() == replayed.reconcilable()
+    doc = replayed.reconcilable()
+    assert "generator_outcomes" in doc
+    assert sum(doc["generator_outcomes"]["burst"].values()) == 6
+    assert header["spec"]["fault_model"]["name"] == "burst"
+
+
+def test_generator_outcomes_absent_for_default_campaigns(cfg, tmp_path):
+    from repro.core.telemetry import Telemetry, aggregate_from_journal
+
+    telemetry = Telemetry()
+    path = tmp_path / "bare.jsonl"
+    run_campaign(_spec(cfg, faults=4), journal=path, telemetry=telemetry)
+    assert "generator_outcomes" not in telemetry.aggregate.reconcilable()
+    replayed, _ = aggregate_from_journal(path)
+    assert "generator_outcomes" not in replayed.reconcilable()
+
+
+def test_prometheus_exports_generator_outcomes(burst_journal, tmp_path):
+    from repro.core.telemetry import aggregate_from_journal, write_prometheus
+
+    _, _, path = burst_journal
+    agg, _ = aggregate_from_journal(path)
+    out = tmp_path / "metrics.prom"
+    write_prometheus(out, agg, {"target": "regfile_int"})
+    text = out.read_text()
+    assert "repro_fault_generator_outcomes_total{" in text
+    assert 'generator="burst"' in text
+
+
+def test_prometheus_omits_generator_series_for_default(cfg, tmp_path):
+    from repro.core.telemetry import aggregate_from_journal, write_prometheus
+
+    path = tmp_path / "bare.jsonl"
+    run_campaign(_spec(cfg, faults=4), journal=path)
+    agg, _ = aggregate_from_journal(path)
+    out = tmp_path / "metrics.prom"
+    write_prometheus(out, agg, {"target": "regfile_int"})
+    assert "repro_fault_generator_outcomes_total" not in out.read_text()
+
+
+# ------------------------------------------- liveness + protection interplay
+
+
+def test_burst_masks_through_liveness_audit(cfg):
+    """Multi-bit burst masks through the audit oracle: the analytic Masked
+    claim must hold for every flip of every claimed mask."""
+    spec = CampaignSpec(isa="rv", workload="qsort", target="regfile_int",
+                        cfg=cfg, scale="tiny", faults=15, seed=21,
+                        liveness="audit",
+                        fault_model=parse_fault_model("burst:arity=2,span=4"))
+    result = run_campaign(spec)
+    assert result.liveness_disagreements == 0, (
+        [r.error for r in result.records if r.sim_error_kind == "liveness"])
+    assert result.liveness_skips > 0       # the claim path was exercised
+    assert all(r.sim_error_kind != "liveness" for r in result.records)
+
+
+def test_mask_provably_dead_requires_every_flip_dead():
+    """A burst mask is claimed only when ALL its flips land in dead
+    windows — one live bit disqualifies the whole mask."""
+    from repro.core.liveness import LivenessMap, LivenessTrack
+
+    class _DeadReg:
+        structure_name = "regfile_int"
+        KIND = "regfile"
+
+        def build_windows(self):
+            dead = LivenessTrack()
+            dead.kill(100)                 # entry 3: dead through cycle 100
+            return {3: dead}
+
+    from repro.core.liveness import mask_provably_dead
+
+    liveness = LivenessMap.from_recorders([_DeadReg()])
+    both_dead = FaultMask(FaultModel.TRANSIENT, (
+        FaultFlip("regfile_int", 3, 4, 50),
+        FaultFlip("regfile_int", 3, 5, 50),
+    ))
+    one_live = FaultMask(FaultModel.TRANSIENT, (
+        FaultFlip("regfile_int", 3, 4, 50),
+        FaultFlip("regfile_int", 2, 4, 50),    # untracked entry: never dead
+    ))
+    assert mask_provably_dead(both_dead, liveness)
+    assert not mask_provably_dead(one_live, liveness)
+    assert not mask_provably_dead(both_dead, liveness,
+                                  protected=frozenset({"regfile_int"}))
+    stuck = FaultMask(FaultModel.STUCK_AT_0, (
+        FaultFlip("regfile_int", 3, 4, 0),
+        FaultFlip("regfile_int", 3, 5, 0),
+    ))
+    assert not mask_provably_dead(stuck, liveness)
+
+
+def test_secded_double_bit_burst_raises_due_never_silent(cfg):
+    """A 2-flip burst lands both flips in one code word at one cycle:
+    SECDED must *detect* (DUE) every activated burst — never SDC/Crash."""
+    spec = _spec(cfg, faults=20,
+                 protection=ProtectionConfig.parse("regfile_int=secded"),
+                 fault_model=parse_fault_model("burst:arity=2"))
+    result = run_campaign(spec)
+    outcomes = {r.outcome for r in result.records}
+    assert Outcome.SDC not in outcomes and Outcome.CRASH not in outcomes
+    assert Outcome.DUE in outcomes
+    for r in result.records:
+        if r.outcome is Outcome.DUE:
+            assert r.detected_by == "secded:regfile_int"
+            assert r.activated is False
+
+
+def test_secded_triple_bit_burst_escapes_to_residual_sdc(cfg):
+    """Three flips in one code word exceed SECDED's detection guarantee:
+    the decode escapes silently and the corruption runs — residual SDC."""
+    spec = _spec(cfg, workload="qsort", target="l1d", faults=24,
+                 protection=ProtectionConfig.parse("l1d=secded"),
+                 fault_model=parse_fault_model("burst:arity=3,span=3"))
+    result = run_campaign(spec)
+    sdc = [r for r in result.records if r.outcome is Outcome.SDC]
+    assert sdc, "no triple-bit burst escaped to SDC"
+    assert result.residual_sdc_avf > 0
+    for r in sdc:
+        assert r.detected_by is None       # escaped, not detected
+
+
+def test_tmr_votes_out_double_bit_bursts(cfg):
+    """A burst corrupts two positions of the *stored* copy only — both
+    shadow copies outvote it, so TMR corrects every activated burst."""
+    spec = _spec(cfg, faults=20,
+                 protection=ProtectionConfig.parse("regfile_int=tmr"),
+                 fault_model=parse_fault_model("burst:arity=2"))
+    result = run_campaign(spec)
+    outcomes = {r.outcome for r in result.records}
+    for bad in (Outcome.SDC, Outcome.CRASH, Outcome.DUE):
+        assert bad not in outcomes
+    assert result.corrected > 0
+
+
+# --------------------------------------------------------------------- CLI
+
+
+def test_cli_fault_model_flag_runs_and_journals(tmp_path):
+    journal = tmp_path / "run.jsonl"
+    rc = cli_main([
+        "campaign", "--isa", "rv", "--workload", "crc32",
+        "--target", "regfile_int", "--faults", "4", "--seed", "3",
+        "--fault-model", "burst:arity=2", "--journal", str(journal),
+    ])
+    assert rc == 0
+    header = json.loads(journal.read_text().splitlines()[0])
+    assert header["spec"]["fault_model"] == {
+        "name": "burst", "params": [["arity", "2"]]}
+
+
+def test_cli_explicit_uniform_is_byte_identical_to_unset(tmp_path):
+    base = ["campaign", "--isa", "rv", "--workload", "crc32",
+            "--target", "regfile_int", "--faults", "3", "--seed", "5"]
+    unset = tmp_path / "unset.jsonl"
+    explicit = tmp_path / "uniform.jsonl"
+    assert cli_main(base + ["--journal", str(unset)]) == 0
+    assert cli_main(base + ["--fault-model", "uniform",
+                            "--journal", str(explicit)]) == 0
+    assert unset.read_bytes() == explicit.read_bytes()
+    assert "fault_model" not in json.loads(
+        explicit.read_text().splitlines()[0])["spec"]
+
+
+def test_cli_fault_model_rejects_bad_values(capsys):
+    assert cli_main(["campaign", "--faults", "1",
+                     "--fault-model", "gauss"]) == 2
+    assert "unknown fault model" in capsys.readouterr().err
+    assert cli_main(["campaign", "--faults", "1",
+                     "--fault-model", "burst:arity=one"]) == 2
+    assert "arity" in capsys.readouterr().err
+
+
+def test_cli_accel_fault_model_flag(tmp_path, capsys):
+    journal = tmp_path / "accel.jsonl"
+    rc = cli_main([
+        "accel-campaign", "--design", "gemm", "--component", "MATRIX1",
+        "--faults", "3", "--seed", "2",
+        "--fault-model", "error-map:rows=3/1", "--journal", str(journal),
+    ])
+    assert rc == 0
+    capsys.readouterr()
+    header = json.loads(journal.read_text().splitlines()[0])
+    assert header["spec"]["fault_model"]["name"] == "error-map"
+    assert cli_main(["accel-campaign", "--faults", "1",
+                     "--fault-model", "burst"]) == 2
+    assert "CPU campaigns only" in capsys.readouterr().err
+
+
+# ------------------------------------------------------------------- accel
+
+
+def test_accel_error_map_campaign_end_to_end(tmp_path):
+    from repro.core.doctor import diagnose_journal
+
+    journal = tmp_path / "accel-em.jsonl"
+    spec = AccelCampaignSpec(design="gemm", component="MATRIX1", faults=6,
+                             seed=4,
+                             fault_model=parse_fault_model(
+                                 "error-map:rows=8/1"))
+    result = run_accel_campaign(spec, journal=journal)
+    assert len(result.records) == 6
+    assert result.summary()["fault_model"] == "error-map:rows=8/1"
+    report = diagnose_journal(journal)
+    assert report.ok, report.problems
+
+
+def test_accel_rejects_cpu_only_generators():
+    spec = AccelCampaignSpec(design="gemm", component="MATRIX1", faults=2,
+                             fault_model=FaultModelSpec("adversarial"))
+    with pytest.raises(ValueError, match="CPU campaigns only"):
+        run_accel_campaign(spec)

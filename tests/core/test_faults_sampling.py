@@ -4,7 +4,12 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.faults import FaultFlip, FaultMask, FaultModel
-from repro.core.sampling import error_margin_for, generate_masks, sample_size
+from repro.core.sampling import (
+    error_margin_for,
+    generate_masks,
+    sample_size,
+    uniform_accel_sites,
+)
 
 
 def test_fault_model_properties():
@@ -78,6 +83,35 @@ def test_bad_inputs():
         sample_size(100, confidence=0.5)
     with pytest.raises(ValueError):
         error_margin_for(0, 100)
+
+
+@pytest.mark.parametrize("p", [0.0, 1.0, -0.1, 1.5])
+def test_degenerate_prior_rejected(p):
+    """p=0 used to divide by zero in sample_size and — worse — silently
+    report margin 0.0 from error_margin_for, stopping an adaptive campaign
+    after its first batch.  Both must reject the prior loudly."""
+    with pytest.raises(ValueError, match="open interval"):
+        sample_size(10_000, p=p)
+    with pytest.raises(ValueError, match="open interval"):
+        error_margin_for(100, 10_000, p=p)
+
+
+def test_degenerate_prior_rejected_even_at_full_census():
+    """The p check fires before the n >= population early return — a bad
+    prior is a bug regardless of sample size."""
+    with pytest.raises(ValueError, match="open interval"):
+        error_margin_for(100, 100, p=0.0)
+
+
+def test_adaptive_boundaries_reject_nonpositive_budget():
+    from repro.core.sampling import AdaptiveSampling
+
+    adaptive = AdaptiveSampling()
+    for budget in (0, -5):
+        with pytest.raises(ValueError, match="budget must be positive"):
+            list(adaptive.boundaries(budget))
+        with pytest.raises(ValueError, match="budget must be positive"):
+            adaptive.next_boundary(0, budget)
 
 
 # ------------------------------------------------------------ mask generation
@@ -162,7 +196,13 @@ def test_generate_masks_seed_stability_regression():
     """Pinned draw sequence: journal resume matches masks by exact flips, so
     any change to the draw order silently invalidates every old journal.
     If this fails, the sampler changed behaviour — that is a breaking
-    change, not a test to update casually."""
+    change, not a test to update casually.
+
+    Note (fault-model registry PR): this pin covers the *rejection* regime
+    (below 50% site saturation — here 5 of 320), which is still the exact
+    historical stream.  At or above 50% saturation the sampler now uses a
+    seeded full-population shuffle instead of coupon-collector rejection;
+    that regime is pinned separately below."""
     masks = generate_masks("rf", 8, 4, 5, (10, 20), seed=42)
     assert [(f.entry, f.bit, f.cycle) for m in masks for f in m.flips] == [
         (1, 0, 14), (3, 1, 12), (1, 0, 19), (6, 0, 10), (1, 1, 13),
@@ -175,3 +215,70 @@ def test_generate_masks_smaller_count_is_prefix_of_larger():
     small = generate_masks("rf", 8, 4, 3, (10, 20), seed=42)
     large = generate_masks("rf", 8, 4, 5, (10, 20), seed=42)
     assert [m.flips for m in small] == [m.flips for m in large[:3]]
+
+
+# ------------------------------------------------- high-saturation shuffle
+
+
+def test_generate_masks_high_saturation_uses_shuffle_regime():
+    """At >= 50% site saturation rejection sampling degenerates toward
+    coupon-collector time; the sampler switches to a seeded shuffle of the
+    full site enumeration.  Same distinct-draw guarantee, linear time —
+    and pinned, because journals drawn in this regime resume too."""
+    masks = generate_masks("rf", 2, 4, 6, (0, 1), seed=7)   # 6 of 8 sites
+    assert [(f.entry, f.bit, f.cycle) for m in masks for f in m.flips] == [
+        (1, 2, 0), (1, 3, 0), (0, 2, 0), (1, 0, 0), (0, 0, 0), (0, 3, 0),
+    ]
+
+
+def test_generate_masks_full_census_is_a_permutation():
+    """count == population must terminate (the old rejection loop would
+    coupon-collector forever on the last few sites) and cover every site
+    exactly once."""
+    masks = generate_masks("rf", 4, 4, 32, (0, 2), seed=5)
+    sites = {(f.entry, f.bit, f.cycle) for m in masks for f in m.flips}
+    assert sites == {(e, b, c)
+                     for e in range(4) for b in range(4) for c in range(2)}
+
+
+def test_generate_masks_prefix_property_within_shuffle_regime():
+    small = generate_masks("rf", 4, 4, 17, (0, 2), seed=5)   # 17/32 > 50%
+    large = generate_masks("rf", 4, 4, 32, (0, 2), seed=5)
+    assert [m.flips for m in small] == [m.flips for m in large[:17]]
+
+
+def test_generate_masks_shuffle_regime_deterministic_by_seed():
+    a = generate_masks("rf", 4, 4, 20, (0, 2), seed=5)
+    b = generate_masks("rf", 4, 4, 20, (0, 2), seed=5)
+    c = generate_masks("rf", 4, 4, 20, (0, 2), seed=6)
+    assert a == b and a != c
+
+
+# ------------------------------------------------------ accel site stream
+
+
+def test_uniform_accel_sites_rejection_stream_is_historical():
+    """Below 50% saturation the extracted accel sampler must replay the
+    exact historical per-mask rejection loop, byte for byte."""
+    import random
+
+    rng = random.Random(3)
+    seen, expected = set(), []
+    while len(expected) < 10:
+        site = (rng.randrange(64), rng.randrange(10))
+        if site not in seen:
+            seen.add(site)
+            expected.append(site)
+    assert uniform_accel_sites(64, 10, 10, False, seed=3) == expected
+
+
+def test_uniform_accel_sites_full_census_and_permanent_collapse():
+    sites = uniform_accel_sites(8, 2, 16, False, seed=3)
+    assert set(sites) == {(b, c) for b in range(8) for c in range(2)}
+    stuck = uniform_accel_sites(8, 100, 8, True, seed=3)
+    assert {c for _, c in stuck} == {0}
+    assert len({b for b, _ in stuck}) == 8
+    with pytest.raises(ValueError, match="distinct fault sites"):
+        uniform_accel_sites(8, 2, 17, False)
+    with pytest.raises(ValueError, match="distinct fault sites"):
+        uniform_accel_sites(8, 100, 9, True)

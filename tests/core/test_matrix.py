@@ -96,6 +96,118 @@ def test_load_grid_parses_toml(tmp_path):
         load_grid(bad)
 
 
+# ------------------------------------------------------- fault-model cells
+
+
+def test_grid_fault_model_list_fans_out_cells():
+    """A fault_model list multiplies cells like protection lists do; the
+    uniform entry keeps the unsuffixed key (and an unset spec field) so
+    its journal stays byte-identical to a fault-model-free grid."""
+    grid = grid_from_dict({
+        "matrix": {"name": "fm"},
+        "cpu": {"workloads": ["crc32"], "targets": ["l1i"], "faults": 3,
+                "fault_model": ["uniform", "burst:arity=2",
+                                {"name": "error-map", "rows": "4/2/1"}]},
+    })
+    by_key = {c.key: c for c in grid.cells}
+    assert set(by_key) == {
+        "cpu-rv-crc32-l1i",
+        "cpu-rv-crc32-l1i@burst-arity=2",
+        "cpu-rv-crc32-l1i@error-map-rows=4_2_1",
+    }
+    assert by_key["cpu-rv-crc32-l1i"].spec.fault_model is None
+    assert by_key["cpu-rv-crc32-l1i@burst-arity=2"].spec.fault_model \
+        .describe() == "burst:arity=2"
+    em = by_key["cpu-rv-crc32-l1i@error-map-rows=4_2_1"].spec.fault_model
+    assert em.param_dict() == {"rows": "4/2/1"}
+
+
+def test_grid_fault_model_accel_section():
+    grid = grid_from_dict({
+        "accel": {"designs": ["gemm"], "components": ["MATRIX1"],
+                  "faults": 2, "fault_model": "error-map:rows=2/1"},
+    })
+    (cell,) = grid.cells
+    assert cell.key == "accel-gemm-MATRIX1@error-map-rows=2_1"
+    assert cell.spec.fault_model.name == "error-map"
+
+
+def test_grid_fault_model_rejections():
+    base = {"workloads": ["crc32"], "targets": ["regfile_int"], "faults": 2}
+    with pytest.raises(MatrixError, match="unknown fault model"):
+        grid_from_dict({"cpu": {**base, "fault_model": "gauss"}})
+    with pytest.raises(MatrixError, match="empty list"):
+        grid_from_dict({"cpu": {**base, "fault_model": []}})
+    with pytest.raises(MatrixError, match="strings or tables"):
+        grid_from_dict({"cpu": {**base, "fault_model": [3]}})
+    # adversarial only targets caches — refused at grid-expansion time
+    with pytest.raises(MatrixError, match="cache"):
+        grid_from_dict({"cpu": {**base, "fault_model": "adversarial"}})
+    with pytest.raises(MatrixError, match="CPU campaigns only"):
+        grid_from_dict({"accel": {"designs": ["gemm"], "faults": 2,
+                                  "fault_model": "burst"}})
+
+
+def test_grid_error_map_file_resolves_relative_to_grid(tmp_path):
+    (tmp_path / "undervolt.toml").write_text("rows = [9, 1]\n")
+    grid_path = tmp_path / "grid.toml"
+    grid_path.write_text(
+        '[cpu]\nworkloads = ["crc32"]\ntargets = ["lq"]\nfaults = 2\n'
+        'fault_model = "error-map:map=undervolt.toml"\n'
+    )
+    grid = load_grid(grid_path)
+    (cell,) = grid.cells
+    # the map file is inlined: the spec (and journal) never needs it again
+    assert cell.spec.fault_model.param_dict() == {"rows": "9/1"}
+    assert cell.key == "cpu-rv-crc32-lq@error-map-rows=9_1"
+
+
+def test_grid_cell_seeds_are_decorrelated_sub_seeds():
+    """Satellite bugfix: feeding the raw grid seed into every cell made
+    cells with coinciding geometry/window draw identical fault sites.
+    Each cell now gets a stable sub-seed hashed from its identity; the
+    derived seed lives in the cell spec, so standalone replays of a cell
+    spec remain byte-identical.  Pinned: these seeds are journal-resume
+    anchors, not values to update casually."""
+    from repro.core.matrix import _cell_seed
+
+    assert _cell_seed(1, "cpu", "rv", "crc32", "regfile_int") == \
+        11788026300808674172
+    assert _cell_seed(1, "accel", "gemm", "MATRIX1") == 5724332883000996998
+
+    grid = grid_from_dict(dict(GRID))
+    seeds = {c.key: c.spec.seed for c in grid.cells}
+    assert seeds["cpu-rv-crc32-regfile_int"] == _cell_seed(
+        3, "cpu", "rv", "crc32", "regfile_int")
+    assert seeds["cpu-rv-crc32-lq"] == _cell_seed(3, "cpu", "rv", "crc32",
+                                                  "lq")
+    # the whole point: coinciding cells no longer share a seed
+    assert len(set(seeds.values())) == len(seeds)
+    # and expansion is deterministic
+    assert {c.key: c.spec.seed
+            for c in grid_from_dict(dict(GRID)).cells} == seeds
+
+
+def test_run_matrix_fault_model_cell_matches_standalone(tmp_path, cfg):
+    """A burst cell's matrix journal is byte-identical to a standalone
+    campaign of the cell's spec (generator + sub-seed included)."""
+    from repro.core.campaign import run_campaign
+
+    grid = grid_from_dict({
+        "matrix": {"name": "fm-run"},
+        "cpu": {"workloads": ["crc32"], "targets": ["regfile_int"],
+                "faults": 3, "fault_model": "burst:arity=2"},
+    })
+    run_matrix(grid, tmp_path / "m")
+    (cell,) = grid.cells
+    standalone = tmp_path / "standalone.jsonl"
+    run_campaign(cell.spec, journal=standalone)
+    matrix_journal = tmp_path / "m" / "cells" / f"{cell.key}.jsonl"
+    assert matrix_journal.read_bytes() == standalone.read_bytes()
+    header = json.loads(matrix_journal.read_text().splitlines()[0])
+    assert header["spec"]["fault_model"]["name"] == "burst"
+
+
 # ------------------------------------------------------------ matrix runs
 
 
