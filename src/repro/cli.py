@@ -192,6 +192,20 @@ def _add_campaign(sub) -> None:
     p.add_argument("--no-early-exit", action="store_true",
                    help="disable the golden-trace re-convergence early exit "
                         "(fault runs always simulate to completion)")
+    p.add_argument("--mshr-entries", type=int, default=None, metavar="N",
+                   help="L1D MSHR file size; >0 makes the L1D non-blocking "
+                        "(default: 0, blocking L1D; auto-sized when the "
+                        "mshr is itself the injection target)")
+    p.add_argument("--store-buffer-entries", type=int, default=None,
+                   metavar="N",
+                   help="post-commit store buffer size (default: 0, stores "
+                        "drain straight from the SQ; auto-sized when the "
+                        "store_buffer is itself the injection target)")
+    p.add_argument("--prefetcher-entries", type=int, default=None,
+                   metavar="N",
+                   help="stride-prefetcher table size (default: 0, no "
+                        "prefetching; auto-sized when the prefetcher is "
+                        "itself the injection target)")
     _add_fault_model_arg(p)
     _add_protect_arg(p)
     _add_liveness_arg(p)
@@ -418,11 +432,23 @@ def cmd_campaign(args) -> int:
         early_exit=not args.no_early_exit,
     )
     sanitizer, hang_cycles = _sanitizer_from_args(args)
+    cfg = get_preset(args.preset)
+    uarch_sizes = {
+        name: value
+        for name, value in (
+            ("mshr_entries", args.mshr_entries),
+            ("store_buffer_entries", args.store_buffer_entries),
+            ("prefetcher_entries", args.prefetcher_entries),
+        )
+        if value is not None
+    }
+    if uarch_sizes:
+        cfg = cfg.with_(**uarch_sizes)
     summaries = []
     for target in targets:
         spec = CampaignSpec(
             isa=args.isa, workload=args.workload, target=target,
-            cfg=get_preset(args.preset), scale=args.scale, faults=args.faults,
+            cfg=cfg, scale=args.scale, faults=args.faults,
             seed=args.seed, model=_model(args.model),
             flips_per_mask=args.flips_per_mask,
             protection=protection,

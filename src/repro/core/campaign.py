@@ -90,6 +90,27 @@ class CampaignSpec:
     #: provenance (see ``repro.core.faultmodels``).
     fault_model: "FaultModelSpec | None" = None
 
+    #: default sizes used when a campaign targets an optional structure
+    #: the configuration left disabled
+    _AUTO_SIZES = {
+        "mshr": ("mshr_entries", 8),
+        "store_buffer": ("store_buffer_entries", 8),
+        "prefetcher": ("prefetcher_entries", 16),
+    }
+
+    def __post_init__(self) -> None:
+        # Targeting an optional structure implies enabling it: an MSHR
+        # campaign needs the non-blocking L1D to exist.  Idempotent (a
+        # round-tripped spec already carries the size), and a nonzero
+        # explicit size always wins.
+        info = self._AUTO_SIZES.get(self.target)
+        if info is not None:
+            fname, default = info
+            if getattr(self.cfg, fname) == 0:
+                object.__setattr__(
+                    self, "cfg", self.cfg.with_(**{fname: default})
+                )
+
 
 @dataclass
 class GoldenRun:

@@ -127,6 +127,11 @@ def payload_digest(payload: dict) -> bytes:
         payload["checkpoint_cycle"], payload["switch_cycle"],
         payload["div_busy"], payload["fdiv_busy"], payload["trace_len"],
     )).encode())
+    # optional structures: their keys only exist when the core has them,
+    # so digests of legacy configurations are unchanged byte for byte
+    for name in ("mshr", "store_buffer", "prefetcher"):
+        if name in payload:
+            h.update(repr((name, payload[name])).encode())
     return h.digest()
 
 
@@ -299,7 +304,10 @@ def quiesce(core: OoOCore, max_cycles: int = 100_000) -> None:
     call right after the instruction of interest commits.
     """
     start = core.cycle
-    while core.rob or any(e.valid for e in core.sq.entries):
+    while (core.rob or any(e.valid for e in core.sq.entries)
+           or (core.store_buffer is not None
+               and any(e.valid for e in core.store_buffer.entries))
+           or (core.mshr is not None and core.mshr.occupancy())):
         if core.halted:
             return
         if core.cycle - start > max_cycles:
@@ -330,6 +338,14 @@ def take_checkpoint(core: OoOCore) -> Checkpoint:
         "output": bytes(core.output),
         "halted": core.halted,
     }
+    # quiesce drained the MSHR and store buffer, but the prefetcher's
+    # trained strides are persistent timing state, like the predictor's
+    if core.mshr is not None:
+        payload["mshr"] = core.mshr.snapshot()
+    if core.store_buffer is not None:
+        payload["store_buffer"] = core.store_buffer.snapshot()
+    if core.prefetcher is not None:
+        payload["prefetcher"] = core.prefetcher.snapshot()
     return Checkpoint(cycle=core.cycle, payload=payload)
 
 
@@ -353,6 +369,12 @@ def restore_checkpoint(core: OoOCore, ckpt: Checkpoint) -> None:
     core.instructions = p["instructions"]
     core.output = bytearray(p["output"])
     core.halted = p["halted"]
+    if core.mshr is not None and "mshr" in p:
+        core.mshr.restore(p["mshr"])
+    if core.store_buffer is not None and "store_buffer" in p:
+        core.store_buffer.restore(p["store_buffer"])
+    if core.prefetcher is not None and "prefetcher" in p:
+        core.prefetcher.restore(p["prefetcher"])
     core.rob.clear()
     core.iq.clear()
     core.inflight.clear()

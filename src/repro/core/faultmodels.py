@@ -144,8 +144,9 @@ class CpuSampleContext:
     model: FaultModel
     seed: int
     flips_per_mask: int = 1
-    #: target kind ('regfile' | 'cache' | 'lsq'); generators that only make
-    #: sense on one kind (adversarial → cache) check it
+    #: target kind ('regfile' | 'cache' | 'lsq' | 'mshr' | 'store_buffer'
+    #: | 'prefetcher'); generators that only make sense on one kind
+    #: (adversarial → cache) check it
     target_kind: str | None = None
     #: (line_size, num_sets, assoc) of a cache target — how a program
     #: address maps onto (entry, bit) sites

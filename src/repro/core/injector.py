@@ -378,6 +378,14 @@ class InjectionController:
         pin the addr field at every point the simulation depends on it.
         """
 
+    @staticmethod
+    def _field_of(queue, bit: int) -> str | None:
+        """Name of the injectable field a bit index falls in (queue.FIELDS)."""
+        for name, lo, hi in queue.FIELDS:
+            if lo <= bit < hi:
+                return name
+        return None
+
     def on_entry_write(self, queue, idx: int, field: str) -> None:
         permanent = self.mask.model.permanent
         if not permanent:
@@ -385,17 +393,22 @@ class InjectionController:
             if armed:
                 if field == "alloc":
                     written = lambda b: True            # noqa: E731
-                elif field == "addr":
-                    written = lambda b: b < 64          # noqa: E731
                 else:
-                    written = lambda b: 64 <= b < 128   # noqa: E731
+                    # the structure's FIELDS table is the single source of
+                    # truth for which bit range a field write replaces —
+                    # hard-coding boundaries here went stale when the LSQ
+                    # data field widened to 128 bits
+                    lo, hi = next(
+                        (lo, hi) for name, lo, hi in queue.FIELDS
+                        if name == field
+                    )
+                    written = lambda b: lo <= b < hi    # noqa: E731
                 self._decode_at_write(queue, idx, armed, written)
                 return
         for fs in self._watches(queue):
             if fs.flip.entry != idx:
                 continue
-            fault_field = "addr" if fs.flip.bit < 64 else "data"
-            if field != "alloc" and field != fault_field:
+            if field != "alloc" and field != self._field_of(queue, fs.flip.bit):
                 continue
             if permanent:
                 queue.force_bit(idx, fs.flip.bit, self.mask.model.stuck_value)

@@ -40,6 +40,13 @@ from repro.core.sanitizer import IntegrityReport
 
 JOURNAL_VERSION = 1
 
+#: injectable LSQ bits per entry (64 address + 128 data — pair stores
+#: carry two registers).  Journaled as provenance for lq/sq campaigns:
+#: journals from the 128-bit era (when the upper data half was silently
+#: uninjectable) fingerprint differently and are refused on resume
+#: instead of silently mixing geometries in one file.
+LSQ_GEOMETRY_BITS = 192
+
 
 class JournalError(RuntimeError):
     """A journal file exists but cannot be used (bad header, wrong spec)."""
@@ -150,6 +157,19 @@ def spec_to_dict(spec) -> dict:
     # default-generator journals stay binary-compatible across versions
     if raw.get("fault_model", "absent") is None:
         del raw["fault_model"]
+    # optional-structure sizes serialize as absence when disabled, so
+    # configurations predating the structures fingerprint identically
+    cfg = raw.get("cfg")
+    if isinstance(cfg, dict):
+        for key in ("mshr_entries", "store_buffer_entries",
+                    "prefetcher_entries"):
+            if cfg.get(key) == 0:
+                del cfg[key]
+    # lq/sq campaigns carry their injectable geometry as provenance — a
+    # deliberate fingerprint break against journals written when the data
+    # field was 128 bits wide and pair-store bits were uninjectable
+    if raw.get("target") in ("lq", "sq"):
+        raw["lsq_geometry"] = LSQ_GEOMETRY_BITS
     return raw
 
 
@@ -157,6 +177,23 @@ def spec_fingerprint(spec) -> str:
     """Stable identity hash of a (frozen dataclass) campaign spec."""
     canon = json.dumps(spec_to_dict(spec), sort_keys=True, default=_canon_default)
     return hashlib.sha256(canon.encode()).hexdigest()
+
+
+def _spec_mismatch_detail(spec, header: dict) -> str:
+    """Explain *why* a header fingerprint differs when we can tell.
+
+    The lq/sq geometry widening is the one mismatch users hit on perfectly
+    reasonable resumes of old journals, so it gets a dedicated message.
+    """
+    want = spec_to_dict(spec).get("lsq_geometry")
+    have = header.get("spec", {}).get("lsq_geometry")
+    if want is not None and have != want:
+        return (
+            f" (the journal predates the {want}-bit LSQ entry geometry — "
+            "pair-store data bits were not injectable when it was written; "
+            "re-run the campaign instead of resuming)"
+        )
+    return ""
 
 
 def _canon_default(obj: Any) -> Any:
@@ -211,9 +248,10 @@ class CampaignJournal:
             })
         else:
             if existing.get("fingerprint") != fingerprint:
+                detail = _spec_mismatch_detail(spec, existing)
                 raise JournalError(
                     f"journal {journal.path} was written by a different "
-                    "campaign spec; refusing to append"
+                    f"campaign spec; refusing to append{detail}"
                 )
             journal._fh = open(journal.path, "a")
         return journal
@@ -272,6 +310,7 @@ class CampaignJournal:
         if spec is not None and header.get("fingerprint") != spec_fingerprint(spec):
             raise JournalError(
                 f"journal {path} was written by a different campaign spec"
+                f"{_spec_mismatch_detail(spec, header)}"
             )
         records = []
         with open(journal.path) as fh:

@@ -201,6 +201,58 @@ class LSQLivenessRecorder:
         return table
 
 
+class FieldQueueLivenessRecorder:
+    """Per-field recorder for any ``FIELDS``-described queue structure.
+
+    The MSHR file, store buffer and prefetcher table all speak the LSQ
+    probe protocol and publish their injectable bit layout as a ``FIELDS``
+    table; one recorder covers them all, with one liveness segment per
+    field.  Segment indices are the field's position in ``FIELDS`` —
+    :func:`_segment_key` mirrors the same boundaries per kind.
+    """
+
+    def __init__(self, structure_name: str, clock, kind: str) -> None:
+        self.structure_name = structure_name
+        self.clock = clock
+        self.KIND = kind
+        self.tape: list[tuple[int, int, int, int]] = []
+
+    def on_entry_read(self, queue, idx: int) -> None:
+        cycle = self.clock()
+        for seg in range(len(queue.FIELDS)):
+            self.tape.append((cycle, idx, seg, PIN))
+
+    def on_entry_scan(self, queue, idx: int) -> None:
+        # CAM scans compare the address — always the first declared field
+        self.tape.append((self.clock(), idx, 0, PIN))
+
+    def on_entry_write(self, queue, idx: int, field: str) -> None:
+        cycle = self.clock()
+        if field == "alloc":
+            for seg in range(len(queue.FIELDS)):
+                self.tape.append((cycle, idx, seg, KILL))
+        else:
+            seg = next(
+                i for i, (name, _, _) in enumerate(queue.FIELDS)
+                if name == field
+            )
+            self.tape.append((cycle, idx, seg, KILL))
+
+    def on_entry_free(self, queue, idx: int) -> None:
+        cycle = self.clock()
+        for seg in range(len(queue.FIELDS)):
+            self.tape.append((cycle, idx, seg, KILL))
+
+    def build_windows(self) -> dict:
+        table: dict[tuple[int, int], LivenessTrack] = {}
+        for cycle, idx, seg, kind in self.tape:
+            track = table.get((idx, seg))
+            if track is None:
+                track = table[(idx, seg)] = LivenessTrack()
+            track.event(cycle, kind)
+        return table
+
+
 class MemLivenessRecorder:
     """MemProbe recording byte-granular liveness for one accel memory."""
 
@@ -241,6 +293,14 @@ def _segment_key(kind: str, entry: int, bit: int):
         return (entry, LSQ_ADDR if bit < 64 else LSQ_DATA)
     if kind == "mem":
         return bit // 8
+    # the FIELDS-described structures: segment = field index, boundaries
+    # fixed by each structure's declared bit layout
+    if kind == "store_buffer":        # 64 addr | 128 data
+        return (entry, 0 if bit < 64 else 1)
+    if kind == "mshr":                # 64 addr | 1 valid | targets
+        return (entry, 0 if bit < 64 else (1 if bit == 64 else 2))
+    if kind == "prefetcher":          # 64 last_addr | 16 stride | 4 conf
+        return (entry, 0 if bit < 64 else (1 if bit < 80 else 2))
     raise ValueError(kind)  # pragma: no cover
 
 
@@ -327,8 +387,15 @@ def attach_cpu_recorders(core) -> list:
     }
     recorders = []
     for target in TARGETS.values():
-        rec = factories[target.kind](target.name, clock)
-        target.structure(core).probe = rec
+        obj = target.accessor(core)
+        if obj is None:
+            continue  # optional structure disabled on this configuration
+        factory = factories.get(target.kind)
+        if factory is not None:
+            rec = factory(target.name, clock)
+        else:
+            rec = FieldQueueLivenessRecorder(target.name, clock, target.kind)
+        obj.probe = rec
         recorders.append(rec)
     return recorders
 

@@ -274,12 +274,21 @@ def grid_from_dict(data: dict,
         _check_keys("cpu", cpu, {
             "isas", "workloads", "targets", "faults", "seed", "scale",
             "model", "preset", "flips_per_mask", "protection", "liveness",
-            "fault_model",
+            "fault_model", "mshr_entries", "store_buffer_entries",
+            "prefetcher_entries",
         })
         for need in ("workloads", "targets"):
             if not cpu.get(need):
                 raise MatrixError(f"[cpu] needs a non-empty '{need}' list")
         cfg = get_preset(cpu.get("preset", "sim"))
+        uarch_sizes = {
+            key: int(cpu[key])
+            for key in ("mshr_entries", "store_buffer_entries",
+                        "prefetcher_entries")
+            if key in cpu
+        }
+        if uarch_sizes:
+            cfg = cfg.with_(**uarch_sizes)
         model = _MODELS.get(cpu.get("model", "transient"))
         if model is None:
             raise MatrixError(f"unknown fault model {cpu.get('model')!r}")

@@ -325,6 +325,75 @@ def _check_lq_data_width(core) -> str | None:
     return None
 
 
+@_cpu_check("mshr_state", "mshr", VALUE, reaches=("mshr",))
+def _check_mshr_state(core) -> str | None:
+    """MSHR entries reference in-flight misses only.
+
+    A valid entry is a dispatched, not-yet-retired miss: block-aligned,
+    still pointing where it was dispatched, with at least one waiting
+    load in range.  Invalid slots are cleared by ``free``.  VALUE check:
+    the mask can flip addr/valid/targets, so mshr-reaching masks suppress.
+    """
+    if core.mshr is None:
+        return None
+    line = core.cfg.l1d.line_size
+    bound = 1 << core.cfg.lq_entries
+    for idx, e in enumerate(core.mshr.entries):
+        if e.valid:
+            if e.addr % line:
+                return f"mshr[{idx}]: miss address {e.addr:#x} not block-aligned"
+            if e.addr != e.orig_addr:
+                return (f"mshr[{idx}]: fill destination {e.addr:#x} diverged "
+                        f"from dispatch address {e.orig_addr:#x}")
+            if not e.targets:
+                return f"mshr[{idx}]: outstanding miss with no waiting loads"
+            if e.targets >> core.cfg.lq_entries:
+                return (f"mshr[{idx}]: target bitmap {e.targets:#x} exceeds "
+                        f"the LQ ({bound:#x})")
+        elif e.addr or e.targets:
+            return f"mshr[{idx}]: freed slot not cleared"
+    return None
+
+
+@_cpu_check("store_buffer_order", "store_buffer", STRUCTURAL)
+def _check_store_buffer_order(core) -> str | None:
+    """The store buffer drains committed stores in program order.
+
+    Sequence numbers are metadata the mask never flips, so violations
+    always escalate: duplicates mean a store was buffered twice, and an
+    entry at or below ``last_drained_seq`` means program order broke.
+    """
+    if core.store_buffer is None:
+        return None
+    seen: set[int] = set()
+    for idx, e in enumerate(core.store_buffer.entries):
+        if not e.valid:
+            continue
+        if e.seq in seen:
+            return f"store_buffer[{idx}]: seq {e.seq} buffered twice"
+        seen.add(e.seq)
+        if e.seq <= core.store_buffer.last_drained_seq:
+            return (f"store_buffer[{idx}]: seq {e.seq} still resident after "
+                    f"seq {core.store_buffer.last_drained_seq} drained")
+    return None
+
+
+@_cpu_check("prefetcher_untouched_zero", "prefetcher", VALUE,
+            reaches=("prefetcher",))
+def _check_prefetcher_untouched_zero(core) -> str | None:
+    """Never-trained prefetch slots hold all-zero state; trained slots
+    stay inside their declared field widths."""
+    if core.prefetcher is None:
+        return None
+    for idx, e in enumerate(core.prefetcher.entries):
+        if not e.trained:
+            if e.last_addr or e.stride or e.conf:
+                return f"prefetcher[{idx}]: untouched slot is nonzero"
+        elif e.stride >> 16 or e.conf >> 4 or e.last_addr >> 64:
+            return f"prefetcher[{idx}]: field value exceeds declared width"
+    return None
+
+
 # --------------------------------------------------------------------------
 # Auditors
 # --------------------------------------------------------------------------
@@ -432,6 +501,13 @@ def hang_detected(core, hang_cycles: int) -> bool:
     for until in core._fdiv_busy:
         if until > horizon:
             return False
+    mshr = getattr(core, "mshr", None)
+    if mshr is not None:
+        # an outstanding miss whose fill is still in flight is progress:
+        # its retire will wake replaying loads
+        for e in mshr.entries:
+            if e.valid and e.ready_at > horizon:
+                return False
     return True
 
 

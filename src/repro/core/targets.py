@@ -18,18 +18,29 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+#: kinds sharing the entry-indexed queue interface (``entries`` list,
+#: ``BITS_PER_ENTRY``, ``entry_valid``/``flip_bit``/``force_bit``)
+QUEUE_KINDS = frozenset({"lsq", "mshr", "store_buffer", "prefetcher"})
+
 
 @dataclass(frozen=True)
 class Target:
     """One injectable structure."""
 
     name: str
-    kind: str                      # 'regfile' | 'cache' | 'lsq'
+    kind: str        # 'regfile' | 'cache' | one of QUEUE_KINDS
     accessor: object               # core -> structure object
     description: str = ""
 
     def structure(self, core):
-        return self.accessor(core)
+        obj = self.accessor(core)
+        if obj is None:
+            raise ValueError(
+                f"target {self.name!r} is disabled on this core — set "
+                f"CPUConfig.{self.name}_entries > 0 (campaign specs "
+                "auto-enable it when the structure is the injection target)"
+            )
+        return obj
 
     def geometry(self, core) -> tuple[int, int]:
         obj = self.structure(core)
@@ -39,7 +50,7 @@ class Target:
             return obj.size, obj.width
         if self.kind == "cache":
             return obj.num_lines, obj.bits_per_line
-        if self.kind == "lsq":
+        if self.kind in QUEUE_KINDS:
             return len(obj.entries), obj.BITS_PER_ENTRY
         raise ValueError(self.kind)  # pragma: no cover
 
@@ -55,7 +66,7 @@ class Target:
             return entry not in obj.free
         if self.kind == "cache":
             return obj.line_valid(entry)
-        if self.kind == "lsq":
+        if self.kind in QUEUE_KINDS:
             return obj.entry_valid(entry)
         raise ValueError(self.kind)  # pragma: no cover
 
@@ -72,6 +83,12 @@ TARGETS: dict[str, Target] = {
         Target("l2", "cache", lambda c: c.l2, "unified L2 cache data array"),
         Target("lq", "lsq", lambda c: c.lq, "load queue (address+data fields)"),
         Target("sq", "lsq", lambda c: c.sq, "store queue (address+data fields)"),
+        Target("mshr", "mshr", lambda c: c.mshr,
+               "L1D miss-status holding registers (addr+valid+target bits)"),
+        Target("store_buffer", "store_buffer", lambda c: c.store_buffer,
+               "post-commit store buffer (address+data fields)"),
+        Target("prefetcher", "prefetcher", lambda c: c.prefetcher,
+               "stride-prefetcher table (last-addr+stride+confidence)"),
     ]
 }
 

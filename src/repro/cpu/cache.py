@@ -225,6 +225,28 @@ class Cache:
             self.probe.on_write(self, line, off, off + len(raw))
         return latency
 
+    # side-effect-free queries (no stats, no PLRU, no probes) ------------------
+
+    def contains(self, addr: int) -> bool:
+        """Pure hit/miss predicate — safe to consult before a real access."""
+        return self._find(addr) is not None
+
+    def peek_block(self, line_addr: int) -> bytes | None:
+        """Copy of the resident block at ``line_addr``, or None on a miss."""
+        line = self._find(line_addr)
+        return None if line is None else bytes(self.data[line])
+
+    def prefetch_fill(self, addr: int) -> None:
+        """Bring a block in on behalf of a prefetcher.
+
+        No demand hit/miss accounting and no PLRU touch for the fill
+        itself, so demand-access behavior (and its stats) is undisturbed;
+        eviction/fill probes still fire because the victim line genuinely
+        dies and the new line genuinely appears.
+        """
+        if self._find(addr) is None:
+            self._fill(addr)
+
     # block interface used by an upper cache level -----------------------------
 
     def read_block(self, line_addr: int, size: int) -> tuple[bytes, int]:
@@ -259,11 +281,27 @@ class Cache:
     # ------------------------------------------------------------ injection
 
     def flip_bit(self, line: int, bit: int) -> None:
-        """Flip one stored data bit (transient fault)."""
+        """Flip one stored data bit (transient fault).
+
+        Guarded against invalid lines: a transient flip only ever lands
+        after the injector's ``occupied()`` check (or on a line a probe
+        just observed), so reaching an invalid line here means the
+        occupancy view and the flip path disagree — a simulator bug that
+        must surface as a quarantine, not silently corrupt a dead line.
+        """
+        if not self.valid[line]:
+            raise RuntimeError(
+                f"{self.name}: transient flip into invalid line {line} — "
+                "occupied() and the flip path disagree"
+            )
         self.data[line][bit // 8] ^= 1 << (bit % 8)
 
     def force_bit(self, line: int, bit: int, value: int) -> bool:
-        """Force a stored bit to 0/1 (permanent fault); True if it changed."""
+        """Force a stored bit to 0/1 (permanent fault); True if it changed.
+
+        Unlike :meth:`flip_bit` this is legal on invalid lines: a stuck-at
+        cell is broken from power-on, whatever the line's valid bit says.
+        """
         byte = bit // 8
         mask = 1 << (bit % 8)
         old = self.data[line][byte]

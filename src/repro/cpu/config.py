@@ -68,6 +68,12 @@ class CPUConfig:
     fdiv_latency: int = 12
     # branch prediction
     predictor_entries: int = 512
+    # optional memory-side structures — 0 disables the structure entirely and
+    # reproduces the legacy blocking-L1D core bit for bit (the keys are also
+    # dropped from journaled specs at 0, keeping old fingerprints stable)
+    mshr_entries: int = 0            # >0: non-blocking L1D with this many MSHRs
+    store_buffer_entries: int = 0    # >0: post-commit store buffer depth
+    prefetcher_entries: int = 0      # >0: stride-prefetcher table slots
     # watchdog: a fault run is declared hung (Crash) beyond this multiple of
     # the golden run's cycle count
     watchdog_factor: int = 10

@@ -31,7 +31,10 @@ from repro.cpu.config import CPUConfig
 from repro.cpu.exec import compute, load_value
 from repro.cpu.lsq import LSQueue
 from repro.cpu.memory import MainMemory
+from repro.cpu.mshr import MSHRFile
+from repro.cpu.prefetch import StridePrefetcher
 from repro.cpu.regfile import PhysRegFile
+from repro.cpu.storebuffer import StoreBuffer
 from repro.isa.base import ISA, MicroOp, SysFn, UopKind
 from repro.kernel.compiler import Executable
 from repro.kernel.ir import MASK64
@@ -129,6 +132,21 @@ class OoOCore:
         self.lq = LSQueue("lq", cfg.lq_entries)
         self.sq = LSQueue("sq", cfg.sq_entries)
         self.predictor = BimodalPredictor(cfg.predictor_entries)
+        # optional memory-side structures — None (entries=0) reproduces the
+        # legacy blocking-L1D / drain-from-SQ core exactly
+        self.mshr = (
+            MSHRFile("mshr", cfg.mshr_entries, cfg.l1d.line_size,
+                     cfg.lq_entries)
+            if cfg.mshr_entries > 0 else None
+        )
+        self.store_buffer = (
+            StoreBuffer("store_buffer", cfg.store_buffer_entries)
+            if cfg.store_buffer_entries > 0 else None
+        )
+        self.prefetcher = (
+            StridePrefetcher("prefetcher", cfg.prefetcher_entries)
+            if cfg.prefetcher_entries > 0 else None
+        )
 
         n_arch_int = isa.total_int_regs
         if cfg.int_phys_regs < n_arch_int + 8:
@@ -470,22 +488,97 @@ class OoOCore:
         if best == "stall":
             self.inflight.append((self.cycle + 1, entry))  # replay
             return
+
+        # No SQ match: the post-commit store buffer (when present) holds
+        # committed-but-undrained stores, all older than anything in the SQ,
+        # so it is searched second and a hit forwards the same way.
+        sb_raw = None
+        if best is None and self.store_buffer is not None:
+            sb_best = None
+            for bi, be in enumerate(self.store_buffer.entries):
+                if not be.valid:
+                    continue
+                if self.store_buffer.probe:
+                    self.store_buffer.probe.on_entry_scan(self.store_buffer, bi)
+                span = be.width * (2 if be.pair else 1)
+                if be.addr + span <= addr or addr + width <= be.addr:
+                    continue
+                covers = be.addr <= addr and be.addr + span >= addr + width
+                if not covers:
+                    sb_best = "stall"
+                    break
+                if sb_best is None or self.store_buffer.entries[sb_best].seq < be.seq:
+                    sb_best = bi
+            if sb_best == "stall":
+                self.inflight.append((self.cycle + 1, entry))  # replay
+                return
+            if sb_best is not None:
+                be = self.store_buffer.read_entry(sb_best)
+                shift = (addr - be.addr) * 8
+                sb_raw = (be.data >> shift) & ((1 << (width * 8)) - 1)
+
         if best is not None:
             shift = (addr - best.addr) * 8
             raw = (best.data >> shift) & ((1 << (width * 8)) - 1)
             latency = 1
             if self.sq.probe:
                 self.sq.probe.on_entry_read(self.sq, self.sq.entries.index(best))
+        elif sb_raw is not None:
+            raw = sb_raw
+            latency = 1
         elif self.memory.is_mmio(addr):
             raw = self.memory.read(addr, width)
             latency = self.cfg.l1d.hit_latency
             entry.mmio = True
         else:
-            raw, latency = self.l1d.read(addr, width)
+            raw, latency = self._l1d_access(entry, addr, width)
+            if raw is None:
+                # MSHR file full: lockup back-pressure, replay next cycle
+                self.inflight.append((self.cycle + 1, entry))
+                return
         self.lq.set_data(entry.lq_idx, raw)
         entry.addr = addr
         entry.phase = 2
         self.inflight.append((self.cycle + latency, entry))
+
+    def _l1d_access(self, entry: _RE, addr: int, width: int):
+        """Demand L1D access, through the MSHR file when non-blocking.
+
+        Functionally the L1D fills synchronously (``Cache.read`` installs
+        the line and returns correct data; latency is modeled separately
+        via the in-flight list), so the MSHR's job is timing and tracking:
+        a secondary miss CAM-hits the outstanding entry and pays only the
+        primary's remaining latency, a primary miss allocates an entry (or
+        replays when the file is full), and a plain hit bypasses the file.
+        Returns ``(None, 0)`` for the structural-stall case.
+        """
+        if self.mshr is None:
+            raw, latency = self.l1d.read(addr, width)
+        else:
+            block = addr - (addr % self.cfg.l1d.line_size)
+            idx = self.mshr.lookup(block)
+            if idx is not None:
+                ready_at = self.mshr.merge(idx, entry.lq_idx)
+                raw, _ = self.l1d.read(addr, width)
+                latency = max(1, ready_at - self.cycle)
+            elif not self.l1d.contains(addr):
+                if self.mshr.occupancy() >= len(self.mshr.entries):
+                    return None, 0
+                raw, latency = self.l1d.read(addr, width)
+                fill = self.l1d.peek_block(block) or b""
+                self.mshr.allocate(block, self.cycle + latency,
+                                   entry.lq_idx, fill)
+            else:
+                raw, latency = self.l1d.read(addr, width)
+        if self.prefetcher is not None:
+            pf = self.prefetcher.train(entry.uop.pc, addr)
+            if pf is not None:
+                line = self.cfg.l1d.line_size
+                pf_block = pf - (pf % line)
+                if (not self.memory.is_mmio(pf_block)
+                        and pf_block + line <= self.memory.size):
+                    self.l1d.prefetch_fill(pf_block)
+        return raw, latency
 
     def _check_order_violation(self, store: _RE, addr: int, span: int) -> None:
         """A resolving store CAM-searches the load queue for younger loads
@@ -518,6 +611,10 @@ class OoOCore:
 
     def _drain_stores(self) -> None:
         """Write committed stores to the L1D at the ISA's drain rate."""
+        if self.store_buffer is not None:
+            self._fill_store_buffer()
+            self._drain_store_buffer(self.isa.memory_model.store_drain_rate)
+            return
         budget = self.isa.memory_model.store_drain_rate
         # strict program order among committed stores
         committed = sorted(
@@ -536,6 +633,43 @@ class OoOCore:
             if se.pair:
                 self.l1d.write(se.addr + se.width, se.data >> (se.width * 8), se.width)
             self.sq.free(idx)
+
+    def _fill_store_buffer(self) -> None:
+        """Move committed stores from the SQ into the buffer, in seq order.
+
+        This is what makes the SQ slot available to the front-end early;
+        a full buffer leaves the store in the SQ (back-pressure).
+        """
+        committed = sorted(
+            (se.seq, idx)
+            for idx, se in enumerate(self.sq.entries)
+            if se.valid and se.committed
+        )
+        for _, idx in committed:
+            se = self.sq.read_entry(idx)
+            if self.store_buffer.push(
+                se.seq, se.addr, se.data, se.width, se.pair
+            ) is None:
+                break
+            self.sq.free(idx)
+
+    def _drain_store_buffer(self, budget: int | None) -> None:
+        """Drain the oldest buffered stores; ``None`` = full fence flush."""
+        while budget is None or budget > 0:
+            idx = self.store_buffer.oldest()
+            if idx is None:
+                return
+            se = self.store_buffer.read_entry(idx)
+            if self.memory.is_mmio(se.addr):
+                self.memory.write(se.addr, se.data, se.width)
+            else:
+                self.l1d.write(se.addr, se.data, se.width)
+            if se.pair:
+                self.l1d.write(se.addr + se.width, se.data >> (se.width * 8),
+                               se.width)
+            self.store_buffer.free(idx)
+            if budget is not None:
+                budget -= 1
 
     # ================================================================ complete
 
@@ -641,6 +775,12 @@ class OoOCore:
 
     def _commit_sys(self, entry: _RE) -> None:
         fn = entry.uop.fn
+        # HALT / CHECKPOINT / SWITCH_CPU / WFI are fences for the store
+        # buffer: every buffered store must reach memory before the final
+        # state is read, a checkpoint is cut, or an accelerator takes over.
+        if fn in (SysFn.HALT, SysFn.CHECKPOINT, SysFn.SWITCH_CPU, SysFn.WFI):
+            if self.store_buffer is not None:
+                self._drain_store_buffer(None)
         if fn is SysFn.HALT:
             self.halted = True
         elif fn is SysFn.OUT:
@@ -719,7 +859,7 @@ class OoOCore:
         per checkpoint would be quadratic.
         """
         memo: dict[int, _RE] = {}
-        return {
+        snap = {
             "memory": self.memory.snapshot(),
             "l1i": self.l1i.snapshot(),
             "l1d": self.l1d.snapshot(),
@@ -757,6 +897,15 @@ class OoOCore:
             "hvf_corrupt": self.hvf_corrupt,
             "hvf_seq": self.hvf_seq,
         }
+        # keys only exist when the structure does, so snapshots (and their
+        # digests) of legacy configurations are unchanged
+        if self.mshr is not None:
+            snap["mshr"] = self.mshr.snapshot()
+        if self.store_buffer is not None:
+            snap["store_buffer"] = self.store_buffer.snapshot()
+        if self.prefetcher is not None:
+            snap["prefetcher"] = self.prefetcher.snapshot()
+        return snap
 
     def restore(self, snap: dict) -> None:
         """Restore a :meth:`snapshot` into a core with the same config.
@@ -805,6 +954,12 @@ class OoOCore:
         self.trace = [None] * snap["trace_len"]
         self.hvf_corrupt = snap["hvf_corrupt"]
         self.hvf_seq = snap["hvf_seq"]
+        if self.mshr is not None:
+            self.mshr.restore(snap["mshr"])
+        if self.store_buffer is not None:
+            self.store_buffer.restore(snap["store_buffer"])
+        if self.prefetcher is not None:
+            self.prefetcher.restore(snap["prefetcher"])
 
     # ================================================================ run
 
@@ -819,6 +974,8 @@ class OoOCore:
         """Advance one clock cycle."""
         if self.injector is not None:
             self.injector.tick(self)
+        if self.mshr is not None:
+            self.mshr.retire(self.cycle, self.l1d)
         self._commit()
         if self.halted:
             return

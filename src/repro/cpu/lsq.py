@@ -59,8 +59,17 @@ class LSQEntry:
 class LSQueue:
     """A circular-buffer-free simple queue: index = slot, ordered by seq."""
 
-    #: bits per entry visible to the injector: 64 addr + 64 data
-    BITS_PER_ENTRY = 128
+    #: bits per entry visible to the injector: 64 addr + 128 data.  The data
+    #: field is 128 bits because Arm pair stores carry two 64-bit registers
+    #: in one slot (see :meth:`set_data`); historically this constant said
+    #: 128, which silently left data bits 64-127 unreachable by the sampler
+    #: and biased lq/sq AVF low on pair-heavy workloads.
+    BITS_PER_ENTRY = 192
+
+    #: injectable field layout as (name, lo, hi) half-open bit ranges — the
+    #: injector derives overwrite/decode boundaries from this instead of
+    #: hard-coding them
+    FIELDS = (("addr", 0, 64), ("data", 64, 192))
 
     def __init__(self, name: str, entries: int):
         self.name = name
@@ -104,7 +113,12 @@ class LSQueue:
         self.entries[idx].clear()
 
     def free_by_seq(self, min_seq: int) -> None:
-        """Squash entries younger than or equal to nothing — free seq > min_seq."""
+        """Branch-squash: free uncommitted entries with ``seq > min_seq``.
+
+        Entries at or older than ``min_seq`` survive, and so do committed
+        stores — they are architecturally done and only await drain, so a
+        squash may never revoke them.
+        """
         for idx, e in enumerate(self.entries):
             if e.valid and e.seq > min_seq and not e.committed:
                 self.free(idx)

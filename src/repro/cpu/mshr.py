@@ -1,0 +1,187 @@
+"""Miss Status Holding Registers: the L1D's outstanding-miss file.
+
+With ``CPUConfig.mshr_entries > 0`` the L1D becomes lockup-free in the
+gem5/Kroft sense: a primary miss allocates an MSHR entry recording the
+block address, a valid bit and a target bitmap of load-queue slots
+waiting on the fill; a secondary miss to the same block *merges* into
+the existing entry and pays only the primary's remaining latency instead
+of issuing another memory request; a full file exerts structural
+back-pressure (the load replays next cycle).
+
+Fault-consequence channels (why each field is injectable):
+
+* **addr** doubles as the fill destination — hardware routes the
+  returning memory data to the line the MSHR points at, so an address
+  corrupted *after* the miss was dispatched installs the captured fill
+  block into the wrong cache line at retire time (architecturally
+  visible corruption).  A corrupted address also desynchronizes the
+  merge CAM: later misses to the original block allocate a duplicate
+  entry (timing), and misses that happen to equal the corrupted value
+  merge spuriously (timing).
+* **valid** dropped 1→0 silently loses the outstanding-miss record; the
+  slot becomes reusable and the in-flight tracking diverges (timing).
+* **targets** is the wakeup vector consumed with the entry at retire.
+
+``ready_at``, ``orig_addr`` and ``fill`` are control metadata, not
+stored SRAM bits, and are therefore not injectable — like ``seq`` in the
+load/store queues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MASK64 = (1 << 64) - 1
+
+
+@dataclass
+class MSHREntry:
+    """One outstanding miss.  ``addr``/``valid``/``targets`` are injectable."""
+
+    valid: bool = False
+    addr: int = 0            # block-aligned miss address (injectable, 64b)
+    targets: int = 0         # bitmap of LQ slots waiting on this fill
+    ready_at: int = 0        # absolute cycle the fill returns (metadata)
+    orig_addr: int = 0       # address the miss was dispatched with (metadata)
+    fill: bytes = b""        # in-flight fill payload captured at dispatch
+
+    def clear(self) -> None:
+        self.valid = False
+        self.addr = 0
+        self.targets = 0
+        self.ready_at = 0
+        self.orig_addr = 0
+        self.fill = b""
+
+
+class MSHRFile:
+    """The miss file.  Probe protocol matches :class:`~repro.cpu.lsq.LSQProbe`."""
+
+    def __init__(self, name: str, entries: int, line_size: int,
+                 lq_entries: int):
+        self.name = name
+        self.line_size = line_size
+        self.entries = [MSHREntry() for _ in range(entries)]
+        #: 64 addr + 1 valid + one target bit per LQ slot
+        self.BITS_PER_ENTRY = 65 + lq_entries
+        self.FIELDS = (
+            ("addr", 0, 64),
+            ("valid", 64, 65),
+            ("targets", 65, 65 + lq_entries),
+        )
+        self.probe = None
+
+    # ------------------------------------------------------------ miss flow
+
+    def lookup(self, block: int) -> int | None:
+        """CAM-match an incoming miss against outstanding entries.
+
+        Every valid entry's address is compared (a scan observation, like
+        the store-queue forwarding CAM); the first full match merges.
+        """
+        for idx, e in enumerate(self.entries):
+            if not e.valid:
+                continue
+            if self.probe:
+                self.probe.on_entry_scan(self, idx)
+            if e.addr == block:
+                return idx
+        return None
+
+    def allocate(self, block: int, ready_at: int, lq_slot: int,
+                 fill: bytes) -> int | None:
+        """Record a primary miss; None when the file is full (lockup)."""
+        for idx, e in enumerate(self.entries):
+            if not e.valid:
+                e.clear()
+                e.valid = True
+                e.addr = block & MASK64
+                e.orig_addr = block & MASK64
+                e.ready_at = ready_at
+                e.targets = 1 << (lq_slot % max(1, self.FIELDS[2][2] - 65))
+                e.fill = bytes(fill)
+                if self.probe:
+                    self.probe.on_entry_write(self, idx, "alloc")
+                return idx
+        return None
+
+    def merge(self, idx: int, lq_slot: int) -> int:
+        """Fold a secondary miss into entry ``idx``; returns its ready cycle.
+
+        The CAM hit consumed the entry (read), and appending the waiting
+        load is a read-modify-write of the target bitmap.
+        """
+        e = self.entries[idx]
+        if self.probe:
+            self.probe.on_entry_read(self, idx)
+        e.targets |= 1 << (lq_slot % max(1, self.FIELDS[2][2] - 65))
+        if self.probe:
+            self.probe.on_entry_write(self, idx, "targets")
+        return e.ready_at
+
+    def retire(self, cycle: int, l1d) -> None:
+        """Free entries whose fill has returned (``cycle >= ready_at``).
+
+        Retire consumes the whole entry: the address steers the fill into
+        its cache line and the target bitmap wakes the waiting loads —
+        so the probe sees a read before the free.  When the address no
+        longer equals the dispatch address (a post-dispatch flip), the
+        captured fill payload is installed at the *corrupted* address:
+        the wrong line gets the data, exactly the escape a real fill
+        redirect causes.
+        """
+        for idx, e in enumerate(self.entries):
+            if not e.valid or cycle < e.ready_at:
+                continue
+            if self.probe:
+                self.probe.on_entry_read(self, idx)
+            if e.addr != e.orig_addr and e.fill:
+                l1d.write_block(e.addr & ~(self.line_size - 1), e.fill)
+            self.free(idx)
+
+    def free(self, idx: int) -> None:
+        if self.probe:
+            self.probe.on_entry_free(self, idx)
+        self.entries[idx].clear()
+
+    def occupancy(self) -> int:
+        return sum(1 for e in self.entries if e.valid)
+
+    # ------------------------------------------------------------ injection
+
+    def entry_valid(self, idx: int) -> bool:
+        return self.entries[idx].valid
+
+    def flip_bit(self, idx: int, bit: int) -> None:
+        e = self.entries[idx]
+        if bit < 64:
+            e.addr ^= 1 << bit
+        elif bit == 64:
+            e.valid = not e.valid
+        else:
+            e.targets ^= 1 << (bit - 65)
+
+    def force_bit(self, idx: int, bit: int, value: int) -> bool:
+        e = self.entries[idx]
+        if bit < 64:
+            old = e.addr
+            e.addr = (old | (1 << bit)) if value else (old & ~(1 << bit))
+            return e.addr != old
+        if bit == 64:
+            old = e.valid
+            e.valid = bool(value)
+            return e.valid != old
+        bit -= 65
+        old = e.targets
+        e.targets = (old | (1 << bit)) if value else (old & ~(1 << bit))
+        return e.targets != old
+
+    # ------------------------------------------------------------ state
+
+    def snapshot(self) -> list[dict]:
+        return [dict(vars(e)) for e in self.entries]
+
+    def restore(self, snap: list[dict]) -> None:
+        for e, s in zip(self.entries, snap):
+            for key, val in s.items():
+                setattr(e, key, val)

@@ -1,0 +1,149 @@
+"""PC-indexed stride prefetcher feeding L1D fills.
+
+With ``CPUConfig.prefetcher_entries > 0`` every demand load that reaches
+the L1D trains a direct-mapped (by PC) table of reference-prediction
+entries — the classic Chen/Baer scheme: each entry tracks the load's
+last address, its observed stride and a saturating confidence counter;
+once confidence crosses the threshold the predicted next block
+(``addr + stride``) is pulled into the L1D through a background fill
+that pays no demand latency.
+
+The whole table is injectable state: a corrupted ``last_addr`` or
+``stride`` steers prefetches at the wrong blocks (cache pollution /
+lost coverage) and a corrupted ``conf`` turns the prefetcher on or off
+for that PC.  All of that is *timing-only* — prefetched data always
+comes from the coherent lower hierarchy — which is exactly the AVF
+story a performance-only structure should tell, and the liveness
+pre-analysis agrees: every train is a read-modify-write of the whole
+entry, so live windows are pinned end to end.
+
+Untouched slots stay all-zero (``trained`` is metadata, not a stored
+bit), which the sanitizer checks as a structural hygiene invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MASK64 = (1 << 64) - 1
+STRIDE_BITS = 16
+CONF_BITS = 4
+CONF_MAX = (1 << CONF_BITS) - 1
+#: prefetch once confidence reaches this (2 consecutive stride confirms)
+CONF_THRESHOLD = 2
+
+
+def _signed_stride(raw: int) -> int:
+    """Interpret the stored 16-bit stride as a signed byte offset."""
+    return raw - (1 << STRIDE_BITS) if raw & (1 << (STRIDE_BITS - 1)) else raw
+
+
+@dataclass
+class PrefetchEntry:
+    """One reference-prediction slot.  All three fields are injectable."""
+
+    trained: bool = False    # slot ever used (metadata, the occupancy bit)
+    last_addr: int = 0
+    stride: int = 0          # raw 16-bit two's-complement byte stride
+    conf: int = 0
+
+    def clear(self) -> None:
+        self.trained = False
+        self.last_addr = 0
+        self.stride = 0
+        self.conf = 0
+
+
+class StridePrefetcher:
+    """The table.  Probe protocol matches :class:`~repro.cpu.lsq.LSQProbe`."""
+
+    #: 64 last_addr + 16 stride + 4 confidence
+    BITS_PER_ENTRY = 64 + STRIDE_BITS + CONF_BITS
+    FIELDS = (
+        ("last_addr", 0, 64),
+        ("stride", 64, 64 + STRIDE_BITS),
+        ("conf", 64 + STRIDE_BITS, 64 + STRIDE_BITS + CONF_BITS),
+    )
+
+    def __init__(self, name: str, entries: int):
+        self.name = name
+        self.entries = [PrefetchEntry() for _ in range(entries)]
+        self.probe = None
+        self.issued = 0          # prefetches launched (stats)
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) % len(self.entries)
+
+    def train(self, pc: int, addr: int) -> int | None:
+        """Observe one demand load; returns a prefetch address or None.
+
+        A train is a read-modify-write of the whole entry: the old state
+        decides the new stride/confidence and whether to prefetch, then
+        every field is rewritten — the probe sees the read first, so an
+        armed flip is consumed (READ) before the overwrite could mask it.
+        """
+        idx = self._index(pc)
+        e = self.entries[idx]
+        if self.probe:
+            self.probe.on_entry_read(self, idx)
+        stride_mask = (1 << STRIDE_BITS) - 1
+        if e.trained:
+            delta = (addr - e.last_addr) & stride_mask
+            if delta and delta == e.stride:
+                e.conf = min(CONF_MAX, e.conf + 1)
+            else:
+                e.conf = max(0, e.conf - 1)
+                if e.conf == 0:
+                    e.stride = delta
+        e.trained = True
+        e.last_addr = addr & MASK64
+        if self.probe:
+            self.probe.on_entry_write(self, idx, "alloc")
+        if e.conf >= CONF_THRESHOLD and e.stride:
+            target = (addr + _signed_stride(e.stride)) & MASK64
+            self.issued += 1
+            return target
+        return None
+
+    def occupancy(self) -> int:
+        return sum(1 for e in self.entries if e.trained)
+
+    # ------------------------------------------------------------ injection
+
+    def entry_valid(self, idx: int) -> bool:
+        return self.entries[idx].trained
+
+    def flip_bit(self, idx: int, bit: int) -> None:
+        e = self.entries[idx]
+        if bit < 64:
+            e.last_addr ^= 1 << bit
+        elif bit < 64 + STRIDE_BITS:
+            e.stride ^= 1 << (bit - 64)
+        else:
+            e.conf ^= 1 << (bit - 64 - STRIDE_BITS)
+
+    def force_bit(self, idx: int, bit: int, value: int) -> bool:
+        e = self.entries[idx]
+        if bit < 64:
+            old = e.last_addr
+            e.last_addr = (old | (1 << bit)) if value else (old & ~(1 << bit))
+            return e.last_addr != old
+        if bit < 64 + STRIDE_BITS:
+            bit -= 64
+            old = e.stride
+            e.stride = (old | (1 << bit)) if value else (old & ~(1 << bit))
+            return e.stride != old
+        bit -= 64 + STRIDE_BITS
+        old = e.conf
+        e.conf = (old | (1 << bit)) if value else (old & ~(1 << bit))
+        return e.conf != old
+
+    # ------------------------------------------------------------ state
+
+    def snapshot(self) -> list[dict]:
+        return [dict(vars(e)) for e in self.entries]
+
+    def restore(self, snap: list[dict]) -> None:
+        for e, s in zip(self.entries, snap):
+            for key, val in s.items():
+                setattr(e, key, val)

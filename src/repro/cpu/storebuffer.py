@@ -1,0 +1,140 @@
+"""Post-commit store buffer between the store queue and the L1D.
+
+With ``CPUConfig.store_buffer_entries > 0`` a committed store leaves the
+store queue immediately (freeing the SQ slot for the front-end) and sits
+in this buffer until the drain engine writes it to the memory system at
+the ISA's ``store_drain_rate`` — strictly in program (sequence-number)
+order, the write-combining-free gem5 write-buffer model.  Fences drain
+it completely: CHECKPOINT / SWITCH_CPU / WFI / HALT commits flush every
+buffered store before proceeding, so checkpoints, accelerator hand-offs
+and the final architectural state never observe a store still in flight.
+
+Younger loads forward from the buffer exactly like from the store queue
+(all buffered stores are older than any SQ-resident store, commit being
+in order, so the SQ is searched first and wins on a hit).
+
+``addr`` and ``data`` are the injectable bit fields — corruption here
+escapes to the memory system at drain time, the classic store-buffer
+SDC channel.  ``seq``/``width``/``pair`` are control metadata (like the
+LSQ's) and are not injectable; the sanitizer leans on ``seq`` for the
+program-order drain invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MASK64 = (1 << 64) - 1
+MASK128 = (1 << 128) - 1
+
+
+@dataclass
+class SBEntry:
+    """One buffered committed store.  ``addr``/``data`` are injectable."""
+
+    valid: bool = False
+    seq: int = -1
+    addr: int = 0
+    data: int = 0            # 128 bits: pair stores carry two registers
+    width: int = 8
+    pair: bool = False
+
+    def clear(self) -> None:
+        self.valid = False
+        self.seq = -1
+        self.addr = 0
+        self.data = 0
+        self.width = 8
+        self.pair = False
+
+
+class StoreBuffer:
+    """Draining buffer.  Probe protocol matches :class:`~repro.cpu.lsq.LSQProbe`."""
+
+    #: same geometry as the post-fix LSQ: 64 addr + 128 data
+    BITS_PER_ENTRY = 192
+    FIELDS = (("addr", 0, 64), ("data", 64, 192))
+
+    def __init__(self, name: str, entries: int):
+        self.name = name
+        self.entries = [SBEntry() for _ in range(entries)]
+        self.probe = None
+        #: seq of the last store written out — drains must be monotonic
+        self.last_drained_seq = -1
+
+    def push(self, seq: int, addr: int, data: int, width: int,
+             pair: bool) -> int | None:
+        """Accept one committed store; None when the buffer is full."""
+        for idx, e in enumerate(self.entries):
+            if not e.valid:
+                e.clear()
+                e.valid = True
+                e.seq = seq
+                e.addr = addr & MASK64
+                e.data = data & MASK128
+                e.width = width
+                e.pair = pair
+                if self.probe:
+                    self.probe.on_entry_write(self, idx, "alloc")
+                return idx
+        return None
+
+    def oldest(self) -> int | None:
+        """Index of the drainable entry: the lowest sequence number."""
+        best = None
+        for idx, e in enumerate(self.entries):
+            if e.valid and (best is None or e.seq < self.entries[best].seq):
+                best = idx
+        return best
+
+    def read_entry(self, idx: int) -> SBEntry:
+        if self.probe:
+            self.probe.on_entry_read(self, idx)
+        return self.entries[idx]
+
+    def free(self, idx: int) -> None:
+        self.last_drained_seq = max(self.last_drained_seq,
+                                    self.entries[idx].seq)
+        if self.probe:
+            self.probe.on_entry_free(self, idx)
+        self.entries[idx].clear()
+
+    def occupancy(self) -> int:
+        return sum(1 for e in self.entries if e.valid)
+
+    # ------------------------------------------------------------ injection
+
+    def entry_valid(self, idx: int) -> bool:
+        return self.entries[idx].valid
+
+    def flip_bit(self, idx: int, bit: int) -> None:
+        e = self.entries[idx]
+        if bit < 64:
+            e.addr ^= 1 << bit
+        else:
+            e.data ^= 1 << (bit - 64)
+
+    def force_bit(self, idx: int, bit: int, value: int) -> bool:
+        e = self.entries[idx]
+        if bit < 64:
+            old = e.addr
+            e.addr = (old | (1 << bit)) if value else (old & ~(1 << bit))
+            return e.addr != old
+        bit -= 64
+        old = e.data
+        e.data = (old | (1 << bit)) if value else (old & ~(1 << bit))
+        return e.data != old
+
+    # ------------------------------------------------------------ state
+
+    def snapshot(self) -> dict:
+        return {
+            "entries": [dict(vars(e)) for e in self.entries],
+            "last_drained_seq": self.last_drained_seq,
+        }
+
+    def restore(self, snap: dict) -> None:
+        for e, s in zip(self.entries, snap["entries"]):
+            for key, val in s.items():
+                setattr(e, key, val)
+        self.last_drained_seq = snap["last_drained_seq"]

@@ -107,13 +107,16 @@ def test_delta_encoding_round_trip():
 # ------------------------------------------------------ fault-run identity
 
 
-@pytest.mark.parametrize("target", ["regfile_int", "l1d", "sq"])
+@pytest.mark.parametrize("target", ["regfile_int", "l1d", "sq",
+                                    "mshr", "store_buffer", "prefetcher"])
 def test_restored_run_bit_identical_to_scratch(isa_name, cfg, target):
     """Per ISA x structure: checkpointed fault runs emit records equal to
     from-scratch runs with checkpointing and early-exit disabled."""
     spec = CampaignSpec(isa=isa_name, workload=WORKLOAD, target=target,
                         cfg=cfg, scale="tiny", faults=4, seed=11)
-    golden = golden_run(isa_name, WORKLOAD, cfg, "tiny", checkpoints=CKPT)
+    # spec.cfg, not cfg: uarch targets auto-enable their structure
+    golden = golden_run(isa_name, WORKLOAD, spec.cfg, "tiny",
+                        checkpoints=CKPT)
     masks = masks_for_spec(spec, golden)
 
     scratch = [run_one_fault(spec, m, golden, checkpoints=NO_CHECKPOINTS)

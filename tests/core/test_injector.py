@@ -31,13 +31,24 @@ def test_targets_registry_geometry(cfg):
         "l1i": (cfg.l1i.num_lines, cfg.l1i.line_size * 8),
         "l1d": (cfg.l1d.num_lines, cfg.l1d.line_size * 8),
         "l2": (cfg.l2.num_lines, cfg.l2.line_size * 8),
-        "lq": (cfg.lq_entries, 128),
-        "sq": (cfg.sq_entries, 128),
+        # 192 = 64 addr + 128 data (pair stores); was 128 before the
+        # coverage fix that exposed the upper data half
+        "lq": (cfg.lq_entries, 192),
+        "sq": (cfg.sq_entries, 192),
     }
     for name, geom in expected.items():
         assert get_target(name).geometry(core) == geom
     with pytest.raises(KeyError):
         get_target("rob_does_not_exist")
+
+
+def test_uarch_targets_registry_geometry(cfg):
+    ucfg = cfg.with_(mshr_entries=4, store_buffer_entries=4,
+                     prefetcher_entries=8)
+    core, _ = _fresh_core(ucfg)
+    assert get_target("mshr").geometry(core) == (4, 65 + ucfg.lq_entries)
+    assert get_target("store_buffer").geometry(core) == (4, 192)
+    assert get_target("prefetcher").geometry(core) == (8, 84)
 
 
 def test_unused_entry_is_masked_immediately(cfg):

@@ -27,7 +27,9 @@ from repro.core.targets import TARGETS
 #: qsort is store-heavy — together they exercise every structure's seams
 WORKLOADS = ["crc32", "qsort"]
 
-#: 2 workloads x 7 targets x 15 masks = 210 masks per ISA (>= 200)
+#: 2 workloads x 10 targets x 15 masks = 300 masks per ISA (>= 200);
+#: the sweep iterates TARGETS, so mshr/store_buffer/prefetcher campaigns
+#: (which auto-enable their structures) are fuzzed alongside the originals
 FAULTS_PER_CAMPAIGN = 15
 
 ACCEL_DESIGNS = ["gemm", "spmv"]

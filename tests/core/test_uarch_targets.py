@@ -1,0 +1,203 @@
+"""End-to-end coverage for the ``mshr`` / ``store_buffer`` / ``prefetcher``
+injection targets and the LSQ geometry provenance.
+
+Two contracts anchor this file:
+
+* the non-blocking machinery is *timing-only* when healthy — a core with
+  MSHRs, a store buffer and a prefetcher computes exactly what the
+  blocking seed core computes;
+* enabling the structures (or targeting them) never perturbs the journal
+  identity of pre-existing campaigns, while lq/sq journals deliberately
+  re-fingerprint on the 192-bit geometry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.core.campaign import (
+    CampaignSpec,
+    compile_workload,
+    run_campaign,
+)
+from repro.core.faults import FaultFlip, FaultMask, FaultModel
+from repro.core.outcome import Outcome
+from repro.core.journal import (
+    LSQ_GEOMETRY_BITS,
+    CampaignJournal,
+    JournalError,
+    spec_to_dict,
+)
+from repro.core.targets import get_target
+from repro.cpu.core import OoOCore
+from repro.isa.base import get_isa
+
+UARCH_TARGETS = ["mshr", "store_buffer", "prefetcher"]
+
+UARCH_CFG = dict(mshr_entries=8, store_buffer_entries=8,
+                 prefetcher_entries=16)
+
+
+def _run_to_halt(isa_name, workload, cfg):
+    exe = compile_workload(isa_name, workload, "tiny")
+    core = OoOCore.from_executable(exe, get_isa(isa_name), cfg)
+    while not core.halted and core.cycle < 400_000:
+        core.step()
+    assert core.halted
+    return core
+
+
+# ------------------------------------------------------- golden equivalence
+
+
+@pytest.mark.parametrize("workload", ["crc32", "qsort"])
+def test_nonblocking_core_architecturally_equal_to_blocking(
+        isa_name, cfg, workload):
+    """MSHRs + store buffer + prefetcher change cycles, never results."""
+    blocking = _run_to_halt(isa_name, workload, cfg)
+    nonblocking = _run_to_halt(isa_name, workload, cfg.with_(**UARCH_CFG))
+    assert nonblocking.output == blocking.output
+    assert nonblocking.instructions == blocking.instructions
+
+
+# ------------------------------------------------------------ auto-enable
+
+
+def test_spec_auto_enables_targeted_structure(cfg):
+    assert cfg.mshr_entries == 0
+    spec = CampaignSpec(isa="rv", workload="crc32", target="mshr",
+                        cfg=cfg, scale="tiny", faults=4, seed=1)
+    assert spec.cfg.mshr_entries > 0
+    # idempotent: re-wrapping an already-enabled cfg changes nothing
+    again = CampaignSpec(isa="rv", workload="crc32", target="mshr",
+                         cfg=spec.cfg, scale="tiny", faults=4, seed=1)
+    assert again.cfg == spec.cfg
+    # non-uarch targets leave the configuration untouched
+    plain = CampaignSpec(isa="rv", workload="crc32", target="l1d",
+                         cfg=cfg, scale="tiny", faults=4, seed=1)
+    assert plain.cfg is cfg
+
+
+def test_disabled_structure_refused_with_guidance(cfg):
+    core = _run_to_halt("rv", "crc32", cfg)
+    with pytest.raises(ValueError, match="mshr_entries"):
+        get_target("mshr").structure(core)
+
+
+# ------------------------------------------------------------ end to end
+
+
+@pytest.mark.parametrize("target", UARCH_TARGETS)
+def test_uarch_campaign_end_to_end(cfg, target):
+    spec = CampaignSpec(isa="rv", workload="qsort", target=target,
+                        cfg=cfg, scale="tiny", faults=10, seed=21)
+    result = run_campaign(spec)
+    assert len(result.records) == 10
+    summary = result.summary()
+    assert summary["quarantined"] == 0
+    assert summary["target"] == target
+
+
+def _occupied_sites(spec, attr):
+    """Golden-run (cycle, entry) pairs where the structure held live state."""
+    exe = compile_workload(spec.isa, spec.workload, spec.scale)
+    core = OoOCore.from_executable(exe, get_isa(spec.isa), spec.cfg)
+    sites = []
+    while not core.halted and core.cycle < 400_000:
+        core.step()
+        obj = getattr(core, attr)
+        for idx in range(len(obj.entries)):
+            if obj.entry_valid(idx):
+                sites.append((core.cycle, idx))
+    return sites
+
+
+@pytest.mark.parametrize("target,bit", [
+    # data bit 2 of a buffered store escapes to memory at drain time
+    ("store_buffer", 66),
+    # addr bit 6 is the lowest above the 64B block offset: the captured
+    # fill installs at the neighbouring line on retire (redirect channel)
+    ("mshr", 6),
+])
+def test_directed_flip_into_occupied_entry_reaches_sdc(cfg, target, bit):
+    """Uniform sampling rarely lands on these short-lived structures at
+    tiny scale; directed masks prove the SDC channel is live end-to-end."""
+    spec = CampaignSpec(isa="rv", workload="qsort", target=target,
+                        cfg=cfg, scale="tiny", faults=1, seed=1)
+    sites = _occupied_sites(spec, target)
+    assert sites, f"golden qsort never occupied the {target}"
+    picks = sites[:: max(1, len(sites) // 40)][:40]
+    masks = [FaultMask(FaultModel.TRANSIENT,
+                       (FaultFlip(target, idx, bit, cyc),), mask_id=i)
+             for i, (cyc, idx) in enumerate(picks)]
+    result = run_campaign(spec, masks=masks)
+    assert all(r.activated for r in result.records)
+    assert any(r.outcome is Outcome.SDC for r in result.records)
+    assert not any(r.quarantined for r in result.records)
+
+
+def test_prefetcher_faults_are_timing_only(cfg):
+    """Every prefetcher-table corruption must classify Masked: prefetched
+    data always comes from the coherent hierarchy."""
+    spec = CampaignSpec(isa="rv", workload="qsort", target="prefetcher",
+                        cfg=cfg, scale="tiny", faults=1, seed=1)
+    sites = _occupied_sites(spec, "prefetcher")
+    assert sites, "golden qsort never trained the prefetcher"
+    picks = sites[:: max(1, len(sites) // 25)][:25]
+    masks = []
+    for i, (cyc, idx) in enumerate(picks):
+        bit = (3, 65, 81)[i % 3]       # last_addr, stride, conf fields
+        masks.append(FaultMask(FaultModel.TRANSIENT,
+                               (FaultFlip("prefetcher", idx, bit, cyc),),
+                               mask_id=i))
+    result = run_campaign(spec, masks=masks)
+    assert all(r.outcome is Outcome.MASKED for r in result.records)
+
+
+# ------------------------------------------------------ journal provenance
+
+
+def test_spec_dict_drops_disabled_structure_sizes(cfg):
+    """Specs not using the new structures serialize byte-identically to
+    pre-MSHR-era journals: the size keys only exist when nonzero."""
+    spec = CampaignSpec(isa="rv", workload="crc32", target="regfile_int",
+                        cfg=cfg, scale="tiny", faults=4, seed=1)
+    raw = spec_to_dict(spec)
+    for key in ("mshr_entries", "store_buffer_entries", "prefetcher_entries"):
+        assert key not in raw["cfg"]
+    assert "lsq_geometry" not in raw
+
+    uarch = CampaignSpec(isa="rv", workload="crc32", target="mshr",
+                         cfg=cfg, scale="tiny", faults=4, seed=1)
+    assert spec_to_dict(uarch)["cfg"]["mshr_entries"] > 0
+
+
+def test_lq_sq_specs_carry_geometry_provenance(cfg):
+    for target in ("lq", "sq"):
+        spec = CampaignSpec(isa="rv", workload="crc32", target=target,
+                            cfg=cfg, scale="tiny", faults=4, seed=1)
+        assert spec_to_dict(spec)["lsq_geometry"] == LSQ_GEOMETRY_BITS == 192
+
+
+def test_resume_refuses_old_geometry_journal(cfg, tmp_path):
+    """A journal written before the 192-bit LSQ widening must be refused on
+    resume with a message naming the geometry change."""
+    spec = CampaignSpec(isa="rv", workload="crc32", target="sq",
+                        cfg=cfg, scale="tiny", faults=4, seed=2)
+    path = tmp_path / "sq.jsonl"
+    run_campaign(spec, journal=path)
+
+    # forge the pre-widening era: strip the provenance key and re-seal the
+    # header the way the old writer would have (fingerprint over its spec)
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    del header["spec"]["lsq_geometry"]
+    canon = json.dumps(header["spec"], sort_keys=True)
+    header["fingerprint"] = hashlib.sha256(canon.encode()).hexdigest()
+    path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+
+    with pytest.raises(JournalError, match="192-bit LSQ entry geometry"):
+        CampaignJournal.open(path, spec)

@@ -81,6 +81,20 @@ def test_force_bit_reports_change():
     assert l1.force_bit(line, bit, 0) is False   # already 0
 
 
+def test_flip_bit_rejects_invalid_line():
+    # forge the occupied()/flip-path disagreement the guard exists for: a
+    # transient flip must never land on an invalid line silently
+    mem, l2, l1 = make_hierarchy()
+    l1.write(0x200, 0xFF, 1)
+    line = l1._find(0x200)
+    l1.valid[line] = False
+    with pytest.raises(RuntimeError, match="invalid line"):
+        l1.flip_bit(line, 0)
+    # permanent faults are legal on invalid lines: a stuck-at cell is
+    # broken from power-on regardless of the valid bit
+    assert isinstance(l1.force_bit(line, 0, 0), bool)
+
+
 def test_plru_prefers_untouched_way():
     mem, l2, l1 = make_hierarchy(l1_size=512, assoc=4)  # 2 sets, 4-way
     stride = l1.cfg.num_sets * l1.cfg.line_size

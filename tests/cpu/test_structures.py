@@ -145,6 +145,37 @@ def test_lsq_squash_respects_committed():
     assert not q.entries[b].valid
 
 
+def test_lsq_squash_seq_boundary_and_committed_payload():
+    # contract: only *strictly younger* (seq > min_seq) uncommitted entries
+    # are squashed, and a committed store keeps its payload intact
+    q = LSQueue("sq", 4)
+    at = q.allocate(3)                 # seq == min_seq: survives
+    young = q.allocate(4)              # seq > min_seq, uncommitted: freed
+    done = q.allocate(7)
+    q.set_addr(done, 0x800, 8)
+    q.set_data(done, 0xDEAD)
+    q.entries[done].committed = True
+    q.free_by_seq(3)
+    assert q.entries[at].valid
+    assert not q.entries[young].valid
+    assert q.entries[done].valid
+    assert q.entries[done].addr == 0x800 and q.entries[done].data == 0xDEAD
+
+
+def test_lsq_flip_reaches_pair_store_upper_half():
+    # regression for the coverage fix: entries are 192 bits wide (64 addr +
+    # 128 data) so the second register of an Arm pair store is injectable
+    q = LSQueue("sq", 1)
+    assert q.BITS_PER_ENTRY == 192
+    idx = q.allocate(1)
+    wide = (0xAAAA << 64) | 0xBBBB
+    q.set_data(idx, wide)
+    q.flip_bit(idx, 128)               # bit 0 of the upper (pair) half
+    assert q.entries[idx].data == ((0xAAAB << 64) | 0xBBBB)
+    assert q.force_bit(idx, 191, 1) is True
+    assert q.entries[idx].data >> 127 == 1
+
+
 def test_lsq_probe_fields():
     events = []
 

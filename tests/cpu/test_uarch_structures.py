@@ -1,0 +1,248 @@
+"""Unit tests for the MSHR file, post-commit store buffer and stride
+prefetcher — the non-blocking-L1D structures behind the ``mshr``,
+``store_buffer`` and ``prefetcher`` injection targets."""
+
+import pytest
+
+from repro.cpu.mshr import MSHRFile
+from repro.cpu.prefetch import (
+    CONF_THRESHOLD,
+    STRIDE_BITS,
+    StridePrefetcher,
+    _signed_stride,
+)
+from repro.cpu.storebuffer import StoreBuffer
+
+LINE = 64
+
+
+class RecordingProbe:
+    def __init__(self):
+        self.events = []
+
+    def on_entry_read(self, q, i):
+        self.events.append(("r", i))
+
+    def on_entry_scan(self, q, i):
+        self.events.append(("s", i))
+
+    def on_entry_write(self, q, i, field):
+        self.events.append(("w", i, field))
+
+    def on_entry_free(self, q, i):
+        self.events.append(("f", i))
+
+
+class FakeL1D:
+    def __init__(self):
+        self.installs = []
+
+    def write_block(self, addr, block):
+        self.installs.append((addr, bytes(block)))
+
+
+# ------------------------------------------------------------ MSHR
+
+
+def make_mshr(entries=4, lq_entries=8):
+    return MSHRFile("mshr", entries, LINE, lq_entries)
+
+
+def test_mshr_allocate_lookup_merge():
+    m = make_mshr()
+    fill = bytes(range(LINE))
+    idx = m.allocate(0x100, ready_at=10, lq_slot=2, fill=fill)
+    assert idx is not None
+    assert m.lookup(0x100) == idx          # secondary miss CAM-hits
+    assert m.lookup(0x140) is None         # different block misses
+    assert m.merge(idx, 5) == 10           # merged load pays the remainder
+    e = m.entries[idx]
+    assert e.targets == (1 << 2) | (1 << 5)
+    assert e.addr == e.orig_addr == 0x100
+    assert m.occupancy() == 1 and m.entry_valid(idx)
+
+
+def test_mshr_full_file_exerts_backpressure():
+    m = make_mshr(entries=2)
+    assert m.allocate(0x000, 5, 0, b"") is not None
+    assert m.allocate(0x040, 5, 1, b"") is not None
+    assert m.allocate(0x080, 5, 2, b"") is None     # lockup: load replays
+
+
+def test_mshr_retire_frees_only_ready_entries():
+    m = make_mshr()
+    l1d = FakeL1D()
+    a = m.allocate(0x100, ready_at=10, lq_slot=0, fill=b"")
+    b = m.allocate(0x140, ready_at=20, lq_slot=1, fill=b"")
+    m.retire(15, l1d)
+    assert not m.entries[a].valid and m.entries[b].valid
+    m.retire(20, l1d)
+    assert m.occupancy() == 0
+    # golden retire: addresses untouched, nothing is ever redirected
+    assert l1d.installs == []
+
+
+def test_mshr_corrupted_addr_redirects_fill_at_retire():
+    m = make_mshr()
+    l1d = FakeL1D()
+    fill = bytes(LINE)
+    idx = m.allocate(0x100, ready_at=5, lq_slot=0, fill=fill)
+    m.flip_bit(idx, 10)                    # addr bit 10: 0x100 -> 0x500
+    m.retire(5, l1d)
+    # the captured fill lands at the corrupted, block-aligned address
+    assert l1d.installs == [(0x500, fill)]
+    assert m.occupancy() == 0
+
+
+def test_mshr_probe_event_order():
+    m = make_mshr()
+    m.probe = probe = RecordingProbe()
+    idx = m.allocate(0x100, ready_at=3, lq_slot=0, fill=b"")
+    m.lookup(0x100)
+    m.merge(idx, 1)
+    m.retire(3, FakeL1D())
+    # alloc, CAM scan, merge = read-modify-write, retire = read then free
+    assert probe.events == [
+        ("w", idx, "alloc"), ("s", idx),
+        ("r", idx), ("w", idx, "targets"),
+        ("r", idx), ("f", idx),
+    ]
+
+
+def test_mshr_flip_and_force_cover_all_fields():
+    m = make_mshr(lq_entries=8)
+    assert m.BITS_PER_ENTRY == 65 + 8
+    idx = m.allocate(0x100, 1, 0, b"")
+    m.flip_bit(idx, 64)
+    assert not m.entries[idx].valid        # valid bit dropped: record lost
+    assert m.force_bit(idx, 64, 1) is True
+    assert m.force_bit(idx, 64, 1) is False
+    assert m.force_bit(idx, 67, 1) is True  # targets bit 2
+    assert m.entries[idx].targets == (1 << 0) | (1 << 2)
+    m.flip_bit(idx, 67)
+    assert m.entries[idx].targets == 1
+
+
+def test_mshr_snapshot_restore_round_trip():
+    m = make_mshr()
+    m.allocate(0x100, 9, 3, bytes(LINE))
+    snap = m.snapshot()
+    m.retire(9, FakeL1D())
+    assert m.occupancy() == 0
+    m.restore(snap)
+    assert m.occupancy() == 1
+    assert m.entries[0].ready_at == 9 and m.entries[0].targets == 1 << 3
+
+
+# ------------------------------------------------------------ store buffer
+
+
+def test_store_buffer_drains_in_program_order():
+    sb = StoreBuffer("store_buffer", 4)
+    sb.push(7, 0x20, 1, 8, False)
+    sb.push(3, 0x10, 2, 8, False)
+    sb.push(5, 0x18, 3, 8, False)
+    order = []
+    while (idx := sb.oldest()) is not None:
+        order.append(sb.read_entry(idx).seq)
+        sb.free(idx)
+    assert order == [3, 5, 7]
+    assert sb.last_drained_seq == 7
+
+
+def test_store_buffer_full_rejects_push():
+    sb = StoreBuffer("store_buffer", 1)
+    assert sb.push(1, 0x10, 0, 8, False) == 0
+    assert sb.push(2, 0x18, 0, 8, False) is None
+
+
+def test_store_buffer_pair_data_injectable():
+    sb = StoreBuffer("store_buffer", 1)
+    assert sb.BITS_PER_ENTRY == 192        # matches the post-fix LSQ
+    wide = (0xAAAA << 64) | 0xBBBB
+    idx = sb.push(1, 0x10, wide, 8, True)
+    sb.flip_bit(idx, 64 + 64)              # bit 0 of the pair's second half
+    assert sb.entries[idx].data == ((0xAAAB << 64) | 0xBBBB)
+    assert sb.force_bit(idx, 0, 1) is True  # addr bit 0
+    assert sb.entries[idx].addr == 0x11
+
+
+def test_store_buffer_probe_events_and_snapshot():
+    sb = StoreBuffer("store_buffer", 2)
+    sb.probe = probe = RecordingProbe()
+    idx = sb.push(4, 0x10, 9, 8, False)
+    sb.read_entry(idx)
+    snap = sb.snapshot()
+    sb.free(idx)
+    assert probe.events == [("w", idx, "alloc"), ("r", idx), ("f", idx)]
+    assert sb.occupancy() == 0
+    sb.restore(snap)
+    assert sb.occupancy() == 1 and sb.last_drained_seq == -1
+
+
+# ------------------------------------------------------------ prefetcher
+
+
+def test_prefetcher_learns_constant_stride():
+    pf = StridePrefetcher("prefetcher", 16)
+    pc, base, stride = 0x1000, 0x8000, 64
+    issued = [pf.train(pc, base + i * stride) for i in range(5)]
+    # needs two confirmations to cross CONF_THRESHOLD, then predicts ahead
+    assert issued[:CONF_THRESHOLD + 1] == [None] * (CONF_THRESHOLD + 1)
+    assert issued[-1] == base + 5 * stride
+    assert pf.issued >= 1
+    assert pf.entry_valid(pf._index(pc))
+
+
+def test_prefetcher_negative_stride():
+    pf = StridePrefetcher("prefetcher", 16)
+    pc, base = 0x2000, 0x9000
+    out = [pf.train(pc, base - i * 32) for i in range(6)]
+    assert out[-1] == base - 6 * 32
+    assert _signed_stride((-32) & ((1 << STRIDE_BITS) - 1)) == -32
+
+
+def test_prefetcher_stride_change_resets_confidence():
+    pf = StridePrefetcher("prefetcher", 16)
+    pc = 0x3000
+    for i in range(4):
+        pf.train(pc, 0x1000 + i * 8)
+    assert pf.train(pc, 0x5000) is None        # break the pattern
+    idx = pf._index(pc)
+    assert pf.entries[idx].conf < CONF_THRESHOLD or not pf.entries[idx].stride
+
+
+def test_prefetcher_conf_flip_disables_prediction():
+    pf = StridePrefetcher("prefetcher", 16)
+    pc = 0x4000
+    for i in range(5):
+        pf.train(pc, 0x1000 + i * 16)
+    idx = pf._index(pc)
+    conf_lo = 64 + STRIDE_BITS
+    for bit in range(conf_lo, pf.BITS_PER_ENTRY):
+        pf.force_bit(idx, bit, 0)              # zero the confidence counter
+    assert pf.train(pc, 0x1000 + 5 * 16) is None
+
+
+def test_prefetcher_untouched_slots_stay_zero():
+    pf = StridePrefetcher("prefetcher", 8)
+    pf.train(0x1000, 0x100)
+    for idx, e in enumerate(pf.entries):
+        if idx == pf._index(0x1000):
+            continue
+        assert not e.trained
+        assert e.last_addr == 0 and e.stride == 0 and e.conf == 0
+        assert not pf.entry_valid(idx)
+
+
+def test_prefetcher_probe_rmw_and_snapshot():
+    pf = StridePrefetcher("prefetcher", 4)
+    pf.probe = probe = RecordingProbe()
+    pf.train(0x100, 0x8000)
+    idx = pf._index(0x100)
+    # a train is a read-modify-write: read fires before the rewrite
+    assert probe.events == [("r", idx), ("w", idx, "alloc")]
+    snap = pf.snapshot()
+    pf.entries[idx].clear()
+    pf.restore(snap)
+    assert pf.entries[idx].trained and pf.entries[idx].last_addr == 0x8000
